@@ -1,0 +1,91 @@
+(* Benchmark / reproduction harness.
+
+   Default: regenerate every table, figure, and in-text experiment of the
+   paper (the ids of DESIGN.md's per-experiment index), timing each.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --list       # list experiment ids
+     dune exec bench/main.exe -- --only fig5  # a single experiment
+     dune exec bench/main.exe -- --perf       # Bechamel micro-benchmarks *)
+
+let fmt = Format.std_formatter
+
+let run_entry (e : Core.Registry.entry) =
+  let t0 = Unix.gettimeofday () in
+  e.run fmt;
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.fprintf fmt "[%s done in %.2fs]@." e.id dt
+
+let run_all () =
+  Format.fprintf fmt
+    "Reproduction harness: Paxson & Floyd, \"Wide-Area Traffic: The Failure of Poisson Modeling\"@.";
+  List.iter run_entry Core.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the hot primitives.                     *)
+
+let perf () =
+  let open Bechamel in
+  let rng = Prng.Rng.create 42 in
+  let fgn_input = Lrd.Fgn.generate ~h:0.8 ~n:4096 (Prng.Rng.create 1) in
+  let counts = Array.map (fun x -> (x *. 3.) +. 10.) fgn_input in
+  let interarrivals =
+    Array.init 500 (fun _ -> Tcplib.Telnet.sample_interarrival rng)
+  in
+  let tests =
+    [
+      Test.make ~name:"fft-4096"
+        (Staged.stage (fun () -> ignore (Timeseries.Fft.dft_real fgn_input)));
+      Test.make ~name:"fgn-generate-4096"
+        (Staged.stage (fun () ->
+             ignore (Lrd.Fgn.generate ~h:0.8 ~n:4096 (Prng.Rng.create 7))));
+      Test.make ~name:"whittle-4096"
+        (Staged.stage (fun () -> ignore (Lrd.Whittle.estimate fgn_input)));
+      Test.make ~name:"variance-time-4096"
+        (Staged.stage (fun () ->
+             ignore (Timeseries.Variance_time.curve counts)));
+      Test.make ~name:"anderson-darling-500"
+        (Staged.stage (fun () ->
+             ignore (Stest.Anderson_darling.test_exponential interarrivals)));
+      Test.make ~name:"tcplib-sample-1000"
+        (Staged.stage (fun () ->
+             for _ = 1 to 1000 do
+               ignore (Tcplib.Telnet.sample_interarrival rng)
+             done));
+    ]
+  in
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
+  in
+  let analyze results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Format.fprintf fmt "%-24s %12.1f ns/run@." name est
+          | _ -> Format.fprintf fmt "%-24s (no estimate)@." name)
+        results)
+    tests
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--list" :: _ ->
+    List.iter
+      (fun (e : Core.Registry.entry) ->
+        Format.fprintf fmt "%-14s %s@." e.id e.title)
+      Core.Registry.all
+  | _ :: "--only" :: id :: _ -> (
+    match Core.Registry.find id with
+    | Some e -> run_entry e
+    | None ->
+      Format.fprintf fmt "unknown id %s; try --list@." id;
+      exit 1)
+  | _ :: "--perf" :: _ -> perf ()
+  | _ -> run_all ()

@@ -1,0 +1,323 @@
+(* wanpoisson: command-line frontend.
+
+   Subcommands:
+     list                     -- list reproducible experiments
+     run ID [--out FILE]      -- run one experiment (or "all")
+     gen DATASET -o FILE      -- synthesize a SYN/FIN trace to a TSV file
+     check FILE [-p PROTO]    -- Appendix-A Poisson battery on a saved trace
+     hurst FILE [-p PROTO]    -- LRD analysis of a saved trace's arrivals *)
+
+open Cmdliner
+
+let fmt_of_out = function
+  | None -> Format.std_formatter
+  | Some path ->
+    let oc = open_out path in
+    at_exit (fun () -> close_out_noerr oc);
+    Format.formatter_of_out_channel oc
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Core.Registry.entry) -> Printf.printf "%-14s %s\n" e.id e.title)
+      Core.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids (tables, figures, in-text)")
+    Term.(const run $ const ())
+
+(* ---------------- run ---------------- *)
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+         ~doc:"Write the report to $(docv) instead of stdout")
+
+let run_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id from $(b,list), or $(b,all)")
+  in
+  let run id out =
+    let fmt = fmt_of_out out in
+    let res =
+      if id = "all" then begin
+        List.iter (fun (e : Core.Registry.entry) -> e.run fmt) Core.Registry.all;
+        `Ok ()
+      end
+      else
+        match Core.Registry.find id with
+        | Some e ->
+          e.run fmt;
+          `Ok ()
+        | None -> `Error (false, "unknown experiment id " ^ id)
+    in
+    Format.pp_print_flush fmt ();
+    res
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Regenerate a table, figure, or in-text experiment")
+    Term.(ret (const run $ id_arg $ out_arg))
+
+(* ---------------- gen ---------------- *)
+
+let gen_cmd =
+  let dataset_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DATASET"
+           ~doc:"Catalog name, e.g. LBL-1 (see DESIGN.md)")
+  in
+  let file_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Output TSV path")
+  in
+  let days_arg =
+    Arg.(value & opt (some float) None & info [ "days" ] ~docv:"DAYS"
+           ~doc:"Override the synthetic span in days")
+  in
+  let run name file days =
+    match Trace.Dataset.find name with
+    | None -> `Error (false, "unknown dataset " ^ name)
+    | Some spec ->
+      let trace = Trace.Dataset.generate ?days spec in
+      Trace.Io.save file trace;
+      Printf.printf "wrote %d connections to %s\n"
+        (Array.length trace.Trace.Record.connections)
+        file;
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Synthesize a SYN/FIN connection trace")
+    Term.(ret (const run $ dataset_arg $ file_arg $ days_arg))
+
+(* ---------------- genpkt ---------------- *)
+
+let genpkt_cmd =
+  let dataset_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DATASET"
+           ~doc:"Packet catalog name, e.g. LBL-PKT-2")
+  in
+  let file_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Output path")
+  in
+  let run name file =
+    match Trace.Packet_dataset.find name with
+    | None -> `Error (false, "unknown packet dataset " ^ name)
+    | Some spec ->
+      let t = Trace.Packet_io.of_packet_dataset (Trace.Packet_dataset.generate spec) in
+      Trace.Packet_io.save file t;
+      Printf.printf "wrote %d packets to %s\n"
+        (Array.length t.Trace.Packet_io.packets)
+        file;
+      `Ok ()
+  in
+  Cmd.v (Cmd.info "genpkt" ~doc:"Synthesize a packet-level trace")
+    Term.(ret (const run $ dataset_arg $ file_arg))
+
+(* ---------------- shared: load + select arrivals ---------------- *)
+
+let proto_arg =
+  Arg.(value & opt (some string) None & info [ "p"; "protocol" ]
+         ~docv:"PROTO"
+         ~doc:"Restrict to one protocol (telnet, ftp, ftpdata, smtp, nntp, \
+               www, rlogin, x11); default: all connections")
+
+(* A file is a packet trace iff its header says so. *)
+let is_packet_trace path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match String.split_on_char '\t' (input_line ic) with
+      | "# pkttrace" :: _ -> true
+      | _ -> false
+      | exception End_of_file -> false)
+
+(* (arrival times, span) from either trace format. *)
+let load_arrivals path proto =
+  let proto_of p =
+    match Trace.Record.protocol_of_string p with
+    | None -> Error ("unknown protocol " ^ p)
+    | Some proto -> Ok proto
+  in
+  if is_packet_trace path then begin
+    let t = Trace.Packet_io.load path in
+    match proto with
+    | None -> Ok (Trace.Packet_io.times t (), t.Trace.Packet_io.span)
+    | Some p ->
+      Result.map
+        (fun proto ->
+          (Trace.Packet_io.times t ~protocol:proto (), t.Trace.Packet_io.span))
+        (proto_of p)
+  end
+  else begin
+    let trace = Trace.Io.load path in
+    let span = trace.Trace.Record.span in
+    match proto with
+    | None -> Ok (Trace.Record.starts trace.Trace.Record.connections, span)
+    | Some p ->
+      Result.map
+        (fun proto ->
+          (Trace.Record.starts (Trace.Record.filter_protocol trace proto), span))
+        (proto_of p)
+  end
+
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Trace file written by $(b,gen) (or in the same format)")
+  in
+  let interval_arg =
+    Arg.(value & opt float 3600. & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Fixed-rate interval length (default one hour)")
+  in
+  let run file proto interval =
+    match load_arrivals file proto with
+    | Error e -> `Error (false, e)
+    | Ok (arrivals, _) when Array.length arrivals < 10 ->
+      `Error (false, "too few arrivals to test")
+    | Ok (arrivals, span) ->
+      let v = Stest.Poisson_check.check ~interval ~duration:span arrivals in
+      Format.printf "%s (%d arrivals): %a@." file (Array.length arrivals)
+        Stest.Poisson_check.pp v;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Test a trace's arrivals for Poisson structure (Appendix A)")
+    Term.(ret (const run $ file_arg $ proto_arg $ interval_arg))
+
+(* ---------------- render ---------------- *)
+
+let render_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Figure id (see $(b,list)), or $(b,all)")
+  in
+  let dir_arg =
+    Arg.(value & opt string "figures" & info [ "d"; "dir" ] ~docv:"DIR"
+           ~doc:"Output directory (default ./figures)")
+  in
+  let run id dir =
+    if id = "all" then begin
+      Core.Figure_svg.save_all ~dir;
+      Printf.printf "wrote %d figures to %s/\n"
+        (List.length Core.Figure_svg.supported)
+        dir;
+      `Ok ()
+    end
+    else
+      match Core.Figure_svg.render id with
+      | None ->
+        `Error
+          ( false,
+            "no SVG rendering for " ^ id ^ "; supported: "
+            ^ String.concat ", " Core.Figure_svg.supported )
+      | Some svg ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let path = Filename.concat dir (id ^ ".svg") in
+        let oc = open_out path in
+        output_string oc svg;
+        close_out oc;
+        Printf.printf "wrote %s\n" path;
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "render" ~doc:"Render a figure as SVG")
+    Term.(ret (const run $ id_arg $ dir_arg))
+
+(* ---------------- summary ---------------- *)
+
+let summary_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Trace file written by $(b,gen)")
+  in
+  let run file =
+    let trace = Trace.Io.load file in
+    Format.printf "%s (%.1f h)@." trace.Trace.Record.name
+      (trace.Trace.Record.span /. 3600.);
+    Format.printf "%a@." Trace.Summary.pp trace
+  in
+  Cmd.v (Cmd.info "summary" ~doc:"Per-protocol summary of a trace")
+    Term.(const run $ file_arg)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Connection or packet trace")
+  in
+  let bin_arg =
+    Arg.(value & opt float 1.0 & info [ "bin" ] ~docv:"SECONDS"
+           ~doc:"Count-process bin width (default 1 s)")
+  in
+  let run file proto bin =
+    match load_arrivals file proto with
+    | Error e -> `Error (false, e)
+    | Ok (arrivals, _) when Array.length arrivals < 100 ->
+      `Error (false, "too few arrivals for a full analysis")
+    | Ok (arrivals, span) ->
+      if span /. bin < 512. then
+        `Error (false, "span/bin too small; lower --bin")
+      else begin
+        let report = Core.Analyze.arrivals ~bin ~span arrivals in
+        Format.printf "%a@." Core.Analyze.pp report;
+        `Ok ()
+      end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Full Paxson-Floyd analysis of a trace: Poisson battery, five \
+             Hurst estimators, LRD tests, marginals")
+    Term.(ret (const run $ file_arg $ proto_arg $ bin_arg))
+
+(* ---------------- hurst ---------------- *)
+
+let hurst_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Trace file written by $(b,gen)")
+  in
+  let bin_arg =
+    Arg.(value & opt float 1.0 & info [ "bin" ] ~docv:"SECONDS"
+           ~doc:"Count-process bin width (default 1 s)")
+  in
+  let run file proto bin =
+    match load_arrivals file proto with
+    | Error e -> `Error (false, e)
+    | Ok (arrivals, _) when Array.length arrivals < 100 ->
+      `Error (false, "too few arrivals for LRD analysis")
+    | Ok (arrivals, span) ->
+      let counts = Timeseries.Counts.of_events ~bin ~t_end:span arrivals in
+      let vt = Lrd.Hurst.variance_time counts in
+      let wh = Lrd.Whittle.estimate counts in
+      let beran = Lrd.Beran.test ~h:wh.Lrd.Whittle.h counts in
+      Format.printf "H (variance-time)  = %.3f (r2 %.2f)@." vt.Lrd.Hurst.h
+        vt.Lrd.Hurst.r2;
+      Format.printf "H (R/S)            = %.3f@."
+        (Lrd.Hurst.rescaled_range counts).Lrd.Hurst.h;
+      Format.printf "H (Whittle)        = %.3f +/- %.3f@." wh.Lrd.Whittle.h
+        wh.Lrd.Whittle.stderr;
+      Format.printf "Beran fGn fit      = p %.4f (%s)@."
+        beran.Lrd.Beran.p_value
+        (if beran.Lrd.Beran.consistent then "consistent" else "rejected");
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "hurst" ~doc:"Long-range dependence analysis of a trace")
+    Term.(ret (const run $ file_arg $ proto_arg $ bin_arg))
+
+let () =
+  let info =
+    Cmd.info "wanpoisson" ~version:"1.0.0"
+      ~doc:
+        "Reproduction toolkit for Paxson & Floyd, \"Wide-Area Traffic: The \
+         Failure of Poisson Modeling\""
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; gen_cmd; genpkt_cmd; check_cmd; hurst_cmd;
+            analyze_cmd; render_cmd; summary_cmd ]))

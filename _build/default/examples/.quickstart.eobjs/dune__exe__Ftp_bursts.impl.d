@@ -1,0 +1,1 @@
+examples/ftp_bursts.ml: Array Core Format Int List Printf Prng Stats Stest Trace Traffic

@@ -1,0 +1,1 @@
+examples/poisson_audit.ml: Array Core Format List Printf Stest String Sys Trace

@@ -1,0 +1,1 @@
+examples/poisson_audit.mli:

@@ -1,0 +1,1 @@
+examples/queueing_provisioning.ml: Array Core Dist Float Format List Printf Prng Queueing Tcplib Traffic

@@ -1,0 +1,1 @@
+examples/queueing_provisioning.mli:

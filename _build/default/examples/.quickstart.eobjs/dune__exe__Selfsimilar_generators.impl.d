@@ -1,0 +1,1 @@
+examples/selfsimilar_generators.ml: Core Dist Format List Lrd Printf Prng Traffic

@@ -1,0 +1,1 @@
+examples/selfsimilar_generators.mli:

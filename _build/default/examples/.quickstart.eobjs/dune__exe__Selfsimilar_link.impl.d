@@ -1,0 +1,1 @@
+examples/selfsimilar_link.ml: Array Core Format Lrd Option Printf Stats Timeseries Trace

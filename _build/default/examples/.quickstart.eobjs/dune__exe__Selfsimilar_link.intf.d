@@ -1,0 +1,1 @@
+examples/selfsimilar_link.mli:

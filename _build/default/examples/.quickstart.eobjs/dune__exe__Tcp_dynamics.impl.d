@@ -1,0 +1,1 @@
+examples/tcp_dynamics.ml: Array Core Dist Format List Lrd Prng Stats Stest Tcpsim Timeseries Traffic

@@ -1,0 +1,70 @@
+(* Section VII-B side by side: the three ways the paper discusses for
+   producing (apparent) self-similarity in traffic —
+
+   1. multiplexed ON/OFF sources with heavy-tailed period lengths,
+   2. the M/G/inf model (Poisson arrivals, heavy-tailed lifetimes),
+   3. the "pseudo-self-similar" i.i.d. Pareto renewal source of
+      Appendix C —
+
+   plus exact fractional Gaussian noise as the reference, all pushed
+   through the same Hurst estimators.
+
+   Run with: dune exec examples/selfsimilar_generators.exe *)
+
+let () =
+  let fmt = Format.std_formatter in
+  Core.Report.heading fmt
+    "Four roads to (apparent) self-similarity (target H = 0.75)";
+  let n = 8192 in
+  let rng = Prng.Rng.create 99 in
+
+  (* beta = 1.5 in both heavy-tailed constructions gives H = 0.75. *)
+  let beta = 1.5 in
+
+  let onoff =
+    let sources =
+      List.init 50 (fun _ ->
+          Traffic.Onoff.pareto_source ~beta ~mean_period:10. ~on_rate:10.)
+    in
+    Traffic.Onoff.count_process ~sources ~dt:1. ~n (Prng.Rng.split rng)
+  in
+  let mginf =
+    let service =
+      Dist.Pareto.sample (Dist.Pareto.create ~location:1. ~shape:beta)
+    in
+    Traffic.Mg_inf.count_process ~rate:10. ~service ~dt:1. ~n
+      (Prng.Rng.split rng)
+  in
+  let pareto_renewal =
+    Lrd.Pareto_count.count_process ~beta:1.0 ~a:1.0 ~bin:20. ~bins:n
+      (Prng.Rng.split rng)
+  in
+  let fgn = Lrd.Fgn.generate ~h:0.75 ~n (Prng.Rng.split rng) in
+
+  let rows =
+    List.map
+      (fun (label, xs) ->
+        let vt = Lrd.Hurst.variance_time xs in
+        let wh = Lrd.Whittle.estimate xs in
+        let lo = Lrd.Lo_rs.test xs in
+        [
+          label;
+          Printf.sprintf "%.3f" vt.Lrd.Hurst.h;
+          Printf.sprintf "%.3f" wh.Lrd.Whittle.h;
+          Printf.sprintf "%.2f" lo.Lrd.Lo_rs.v_q;
+          (if lo.Lrd.Lo_rs.reject_srd then "LRD" else "no LRD evidence");
+        ])
+      [
+        ("ON/OFF (beta=1.5)", onoff);
+        ("M/G/inf (beta=1.5)", mginf);
+        ("i.i.d. Pareto renewal (beta=1)", pareto_renewal);
+        ("fGn (H=0.75)", fgn);
+      ]
+  in
+  Core.Report.table fmt
+    ~headers:[ "generator"; "H (var-time)"; "H (Whittle)"; "Lo V_q"; "Lo test" ]
+    rows;
+  Format.fprintf fmt
+    "@.Appendix C's renewal source only *looks* self-similar over finite@.\
+     scales (its count process is not truly long-range dependent), which@.\
+     is exactly the paper's warning about arguing from finite traces.@."

@@ -1,0 +1,1 @@
+lib/core/analyze.ml: Array Format Int Lrd Prng Report Stats Stest Timeseries

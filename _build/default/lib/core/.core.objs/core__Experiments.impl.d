@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Cache Dist Float Format Int List Lrd Printf Prng Queueing Report Stats Stest Tcplib Timeseries Trace Traffic

@@ -1,0 +1,1 @@
+lib/core/extensions.ml: Array Cache Dist Float Format Int List Lrd Printf Prng Queueing Report Stats Stest Tcpsim Timeseries Trace Traffic

@@ -1,0 +1,1 @@
+lib/core/extensions2.ml: Array Cache Dist Float Format List Lrd Printf Prng Report Stest Tcpsim Timeseries Trace Traffic

@@ -1,0 +1,1 @@
+lib/core/extensions2.mli: Format

@@ -1,0 +1,1 @@
+lib/core/fig_connection.ml: Array Cache Char Float Format List Printf Report Stats Stest Trace

@@ -1,0 +1,1 @@
+lib/core/fig_connection.mli: Format Stest

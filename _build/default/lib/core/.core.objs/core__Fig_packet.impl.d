@@ -1,0 +1,1 @@
+lib/core/fig_packet.ml: Array Bytes Cache Dist Float Format Int List Printf Prng Report Stats Tcplib Timeseries Trace Traffic

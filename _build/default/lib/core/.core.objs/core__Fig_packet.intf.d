@@ -1,0 +1,1 @@
+lib/core/fig_packet.mli: Format Timeseries

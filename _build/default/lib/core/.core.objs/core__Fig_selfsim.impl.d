@@ -1,0 +1,1 @@
+lib/core/fig_selfsim.ml: Array Cache Char Fig_packet Format List Lrd Printf Prng Report Stats Timeseries Trace

@@ -1,0 +1,1 @@
+lib/core/fig_selfsim.mli: Format Lrd Timeseries

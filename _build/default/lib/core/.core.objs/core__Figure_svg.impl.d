@@ -1,0 +1,1 @@
+lib/core/figure_svg.ml: Array Fig_connection Fig_packet Fig_selfsim Filename Fun List Printf Svg Sys Timeseries

@@ -1,0 +1,1 @@
+lib/core/figure_svg.mli:

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Experiments Extensions Extensions2 Fig_connection Fig_packet Fig_selfsim Format List

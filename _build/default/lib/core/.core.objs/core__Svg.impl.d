@@ -1,0 +1,1 @@
+lib/core/svg.ml: Array Buffer Float Fun List Printf String

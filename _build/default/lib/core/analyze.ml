@@ -1,0 +1,74 @@
+type report = {
+  n_arrivals : int;
+  span : float;
+  poisson_1h : Stest.Poisson_check.verdict;
+  poisson_10min : Stest.Poisson_check.verdict;
+  h_variance_time : Lrd.Hurst.estimate;
+  h_vt_ci : Stats.Bootstrap.interval;
+  h_rs : Lrd.Hurst.estimate;
+  h_wavelet : Lrd.Hurst.estimate;
+  whittle : Lrd.Whittle.result;
+  beran : Lrd.Beran.result;
+  lo : Lrd.Lo_rs.result;
+  marginal_normal : Stest.Anderson_darling.verdict;
+  zero_fraction : float;
+}
+
+let arrivals ?(bin = 1.0) ~span times =
+  assert (Array.length times >= 100);
+  let counts = Timeseries.Counts.of_events ~bin ~t_end:span times in
+  assert (Array.length counts >= 512);
+  let whittle = Lrd.Whittle.estimate counts in
+  let vt_stat xs =
+    try (Lrd.Hurst.variance_time xs).Lrd.Hurst.h with _ -> nan
+  in
+  let h_vt_ci =
+    Stats.Bootstrap.confidence_interval ~replicates:100
+      ~block:(Int.max 32 (Array.length counts / 32))
+      vt_stat counts (Prng.Rng.create 4242)
+  in
+  let zeros =
+    Array.fold_left (fun a c -> if c = 0. then a + 1 else a) 0 counts
+  in
+  {
+    n_arrivals = Array.length times;
+    span;
+    poisson_1h = Stest.Poisson_check.check ~interval:3600. ~duration:span times;
+    poisson_10min =
+      Stest.Poisson_check.check ~interval:600. ~duration:span times;
+    h_variance_time = Lrd.Hurst.variance_time counts;
+    h_vt_ci;
+    h_rs = Lrd.Hurst.rescaled_range counts;
+    h_wavelet = Lrd.Wavelet.estimate counts;
+    whittle;
+    beran = Lrd.Beran.test ~h:whittle.Lrd.Whittle.h counts;
+    lo = Lrd.Lo_rs.test counts;
+    marginal_normal = Stest.Anderson_darling.test_normal counts;
+    zero_fraction = float_of_int zeros /. float_of_int (Array.length counts);
+  }
+
+let pp fmt r =
+  Report.kv fmt "arrivals" "%d over %.0f s" r.n_arrivals r.span;
+  Format.fprintf fmt "@.Poisson battery (Appendix A):@.";
+  Format.fprintf fmt "  1 hour    : %a@." Stest.Poisson_check.pp r.poisson_1h;
+  Format.fprintf fmt "  10 minutes: %a@." Stest.Poisson_check.pp
+    r.poisson_10min;
+  Format.fprintf fmt "@.Long-range dependence:@.";
+  Report.kv fmt "  H (variance-time)" "%.3f  [%.3f, %.3f] bootstrap 95%%"
+    r.h_variance_time.Lrd.Hurst.h r.h_vt_ci.Stats.Bootstrap.lo
+    r.h_vt_ci.Stats.Bootstrap.hi;
+  Report.kv fmt "  H (R/S)" "%.3f" r.h_rs.Lrd.Hurst.h;
+  Report.kv fmt "  H (wavelet)" "%.3f" r.h_wavelet.Lrd.Hurst.h;
+  Report.kv fmt "  H (Whittle, fGn)" "%.3f +/- %.3f" r.whittle.Lrd.Whittle.h
+    r.whittle.Lrd.Whittle.stderr;
+  Report.kv fmt "  Lo's modified R/S" "V_q = %.2f (%s)" r.lo.Lrd.Lo_rs.v_q
+    (if r.lo.Lrd.Lo_rs.reject_srd then "LRD" else "no LRD evidence");
+  Report.kv fmt "  Beran fGn goodness-of-fit" "p = %.4f (%s)"
+    r.beran.Lrd.Beran.p_value
+    (if r.beran.Lrd.Beran.consistent then "consistent" else "rejected");
+  Format.fprintf fmt "@.Marginal distribution of the counts:@.";
+  Report.kv fmt "  A2* vs normal" "%.2f (%s)"
+    r.marginal_normal.Stest.Anderson_darling.a2_modified
+    (if r.marginal_normal.Stest.Anderson_darling.pass then "normal"
+     else "not normal");
+  Report.kv fmt "  zero bins" "%.1f%%" (100. *. r.zero_fraction)

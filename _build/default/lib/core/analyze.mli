@@ -1,0 +1,25 @@
+(** One-stop analysis of an arrival process: everything the paper would
+    ask of a trace, in one report. Backs `wanpoisson analyze`. *)
+
+type report = {
+  n_arrivals : int;
+  span : float;
+  poisson_1h : Stest.Poisson_check.verdict;
+  poisson_10min : Stest.Poisson_check.verdict;
+  h_variance_time : Lrd.Hurst.estimate;
+  h_vt_ci : Stats.Bootstrap.interval;
+      (** Moving-block bootstrap CI on the variance-time H. *)
+  h_rs : Lrd.Hurst.estimate;
+  h_wavelet : Lrd.Hurst.estimate;
+  whittle : Lrd.Whittle.result;
+  beran : Lrd.Beran.result;
+  lo : Lrd.Lo_rs.result;
+  marginal_normal : Stest.Anderson_darling.verdict;
+  zero_fraction : float;
+}
+
+val arrivals : ?bin:float -> span:float -> float array -> report
+(** [arrivals ~span times] with counting bin [bin] (default 1 s).
+    Requires at least 100 arrivals and span/bin >= 512. *)
+
+val pp : Format.formatter -> report -> unit

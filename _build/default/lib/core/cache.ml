@@ -1,0 +1,32 @@
+let conn_cache : (string, Trace.Record.t) Hashtbl.t = Hashtbl.create 16
+let pkt_cache : (string, Trace.Packet_dataset.t) Hashtbl.t = Hashtbl.create 16
+
+let connection_trace name =
+  match Hashtbl.find_opt conn_cache name with
+  | Some t -> t
+  | None ->
+    let spec =
+      match Trace.Dataset.find name with
+      | Some s -> s
+      | None -> raise Not_found
+    in
+    let t = Trace.Dataset.generate spec in
+    Hashtbl.replace conn_cache name t;
+    t
+
+let packet_trace name =
+  match Hashtbl.find_opt pkt_cache name with
+  | Some t -> t
+  | None ->
+    let spec =
+      match Trace.Packet_dataset.find name with
+      | Some s -> s
+      | None -> raise Not_found
+    in
+    let t = Trace.Packet_dataset.generate spec in
+    Hashtbl.replace pkt_cache name t;
+    t
+
+let clear () =
+  Hashtbl.reset conn_cache;
+  Hashtbl.reset pkt_cache

@@ -1,0 +1,12 @@
+(** Memoised synthetic datasets: several figures read the same trace, so
+    each catalog entry is generated at most once per process. Generation
+    is deterministic (seeded), so caching cannot change any result. *)
+
+val connection_trace : string -> Trace.Record.t
+(** By catalog name (e.g. "LBL-1"); raises [Not_found] for unknown
+    names. *)
+
+val packet_trace : string -> Trace.Packet_dataset.t
+(** By catalog name (e.g. "LBL-PKT-2"). *)
+
+val clear : unit -> unit

@@ -1,0 +1,146 @@
+(** The paper's in-text numeric claims, reproduced one by one. Every
+    experiment has a data accessor (for tests) and a printer. *)
+
+type poisson_triple = {
+  rlogin : Stest.Poisson_check.verdict;
+  x11_connections : Stest.Poisson_check.verdict;
+  x11_sessions : Stest.Poisson_check.verdict;
+}
+
+val rlogin_x11_data : unit -> poisson_triple
+(** Section III: RLOGIN connection arrivals pass the Poisson battery,
+    X11 connection arrivals do not, X11 *session* arrivals do (the
+    paper's conjecture). *)
+
+val rlogin_x11 : Format.formatter -> unit
+
+type expfit_row = {
+  label : string;
+  below_8ms : float;
+  above_1s : float;
+  above_10s : float;
+}
+
+val exp_fit_errors_data : unit -> expfit_row list
+(** Section IV: neither exponential fit (geometric- or arithmetic-mean
+    matched) can reproduce the Tcplib quantiles; the far tail (P[X>10s])
+    is off by orders of magnitude. The paper's exact 25%/2% figures for
+    fit #1 imply a far smaller geometric mean than our reconstruction —
+    which is pinned instead to the explicit "2% below 8 ms / 15% above
+    1 s" statements — so the failure shows here at different quantiles
+    (see EXPERIMENTS.md). *)
+
+val exp_fit_errors : Format.formatter -> unit
+
+type multiplex_result = {
+  tcplib_mean : float;
+  tcplib_variance : float;
+  exp_mean : float;
+  exp_variance : float;
+}
+
+val multiplex100_data : unit -> multiplex_result
+(** Section IV: 100 TELNET connections multiplexed for 10 minutes;
+    1 s counts have roughly equal means but the Tcplib variance stays
+    ~2.5x the exponential variance (paper: 240 vs 97 at mean 92). *)
+
+val multiplex100 : Format.formatter -> unit
+
+type queueing_result = {
+  utilization : float;
+  tcplib_stats : Queueing.Fifo.stats;
+  exp_stats : Queueing.Fifo.stats;
+}
+
+val queueing_delay_data : unit -> queueing_result
+(** Section IV: at matched utilisation, a FIFO queue fed by Tcplib
+    interarrivals sees substantially larger delays than one fed by
+    exponential interarrivals. *)
+
+val queueing_delay : Format.formatter -> unit
+
+type burst_tail_result = {
+  cutoff : float;
+  n_bursts : int;
+  hill_shape : float;  (** Tail index of burst sizes (upper 5%). *)
+  share_top05 : float;
+  share_top2 : float;
+  exp_share_top05 : float;  (** The ~3% an exponential tail would hold. *)
+}
+
+val burst_tail_data : unit -> burst_tail_result list
+(** Section VI, on LBL-6: Pareto tail of FTPDATA burst sizes with
+    0.9 <= beta <= 1.4; the top 0.5% of bursts holds 30-60% of all
+    bytes. Computed for both the 4 s and the 2 s cutoffs (the paper says
+    the choice barely matters). *)
+
+val burst_tail : Format.formatter -> unit
+
+val huge_burst_data : unit -> Stest.Anderson_darling.verdict
+(** Section VI: interarrivals (in intervening-burst counts) of the
+    upper-0.5%-tail bursts fail the exponentiality test. *)
+
+val huge_burst_arrivals : Format.formatter -> unit
+
+type mg_inf_result = {
+  service : string;
+  theoretical_h : float option;
+  vt_h : float;
+  whittle_h : float;
+  beran_consistent : bool;
+}
+
+val mg_inf_data : unit -> mg_inf_result list
+(** Appendices D/E: M/G/inf with Pareto service times is asymptotically
+    self-similar (H = (3-beta)/2); with log-normal service times it is
+    not long-range dependent. *)
+
+val mg_inf : Format.formatter -> unit
+
+val pareto_properties : Format.formatter -> unit
+(** Appendix B: truncation invariance and linear conditional mean
+    exceedance, checked numerically. *)
+
+type scaling_row = {
+  beta : float;
+  bin_width : float;
+  mean_burst_bins : float;
+  mean_lull_bins : float;
+  predicted_burst_bins : float;
+}
+
+val burst_lull_data : unit -> scaling_row list
+(** Appendix C: burst length grows ~b/a for beta = 2, ~log(b/a) for
+    beta = 1, constant for beta = 1/2 — while lull lengths (in bins) stay
+    put. *)
+
+val burst_lull : Format.formatter -> unit
+
+type priority_result = {
+  high_kind : string;
+  low_mean_wait : float;
+  low_max_wait : float;
+  longest_low_gap : float;
+}
+
+val priority_starvation_data : unit -> priority_result list
+(** Section VIII: when the high-priority class carries LRD FTP traffic,
+    its bursts starve low-priority traffic far longer than a Poisson
+    high-priority class of the same rate would. *)
+
+val priority_starvation : Format.formatter -> unit
+
+type fgn_row = {
+  h_true : float;
+  h_vt : float;
+  h_rs : float;
+  h_pgram : float;
+  h_whittle : float;
+  beran_p : float;
+}
+
+val fgn_validate_data : unit -> fgn_row list
+(** Toolkit validation on exact fGn: all estimators should recover H and
+    Beran's test should accept. *)
+
+val fgn_validate : Format.formatter -> unit

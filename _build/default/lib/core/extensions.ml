@@ -1,0 +1,587 @@
+(* ------------------------------------------------------------------ *)
+(* M/G/k (Section VII-C)                                                *)
+
+type mgk_row = {
+  servers : string;
+  vt_h : float;
+  mean_wait : float;
+  mean_in_system : float;
+}
+
+let mgk_data () =
+  let rate = 5. in
+  let pareto = Dist.Pareto.create ~location:1.0 ~shape:1.4 in
+  let service rng = Dist.Pareto.sample pareto rng in
+  (* Offered load = rate x E[S] = 5 x 3.5 = 17.5 busy servers. *)
+  let n = 16384 in
+  let hurst_of counts =
+    (Lrd.Hurst.variance_time (Timeseries.Counts.aggregate counts 8)).Lrd.Hurst.h
+  in
+  let infinite =
+    let counts =
+      Traffic.Mg_inf.count_process ~rate ~service ~dt:1. ~n
+        (Prng.Rng.create 7001)
+    in
+    {
+      servers = "inf";
+      vt_h = hurst_of counts;
+      mean_wait = 0.;
+      mean_in_system = Stats.Descriptive.mean counts;
+    }
+  in
+  let finite k seed =
+    let counts =
+      Queueing.Mgk.count_process ~k ~rate ~service ~dt:1. ~n
+        (Prng.Rng.create seed)
+    in
+    let rng = Prng.Rng.create (seed + 1) in
+    let arrivals =
+      Traffic.Poisson_proc.homogeneous ~rate ~duration:5000.
+        (Prng.Rng.split rng)
+    in
+    let stats = Queueing.Mgk.simulate ~k ~arrivals ~service rng in
+    {
+      servers = string_of_int k;
+      vt_h = hurst_of counts;
+      mean_wait = stats.Queueing.Mgk.mean_wait;
+      mean_in_system = Stats.Descriptive.mean counts;
+    }
+  in
+  [ infinite; finite 40 7002; finite 24 7004; finite 20 7006 ]
+
+let mgk fmt =
+  Report.heading fmt "Extension (S7-C): M/G/k — capacity limits vs correlations";
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.servers;
+          Printf.sprintf "%.3f" r.vt_h;
+          Printf.sprintf "%.2f" r.mean_wait;
+          Printf.sprintf "%.1f" r.mean_in_system;
+        ])
+      (mgk_data ())
+  in
+  Report.table fmt
+    ~headers:[ "servers k"; "H (var-time)"; "mean wait"; "mean in system" ]
+    rows;
+  Format.fprintf fmt
+    "(offered load ~17.5 servers; delay grows as k shrinks but H stays >> 0.5)@."
+
+(* ------------------------------------------------------------------ *)
+(* ON/OFF superposition (Section VII-B)                                 *)
+
+type onoff_row = { beta : float; theory_h : float; vt_h : float }
+
+let onoff_data () =
+  List.map
+    (fun beta ->
+      let sources =
+        List.init 50 (fun _ ->
+            Traffic.Onoff.pareto_source ~beta ~mean_period:10. ~on_rate:10.)
+      in
+      let counts =
+        Traffic.Onoff.count_process ~sources ~dt:1. ~n:16384
+          (Prng.Rng.create (7100 + int_of_float (beta *. 10.)))
+      in
+      let vt = Lrd.Hurst.variance_time counts in
+      { beta; theory_h = (3. -. beta) /. 2.; vt_h = vt.Lrd.Hurst.h })
+    [ 1.2; 1.5; 1.8 ]
+
+let onoff fmt =
+  Report.heading fmt "Extension (S7-B): ON/OFF superposition self-similarity";
+  let rows =
+    List.map
+      (fun r ->
+        [
+          Printf.sprintf "%.1f" r.beta;
+          Printf.sprintf "%.2f" r.theory_h;
+          Printf.sprintf "%.3f" r.vt_h;
+        ])
+      (onoff_data ())
+  in
+  Report.table fmt ~headers:[ "beta"; "theory H"; "H (var-time)" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* fARIMA (Section VII-D)                                               *)
+
+type farima_result = {
+  d_true : float;
+  d_whittle : float;
+  h_vt : float;
+  beran_p_farima : float;
+  trace_d : float;
+  trace_beran_farima : float;
+  trace_beran_fgn : float;
+}
+
+let farima_data () =
+  let d = 0.3 in
+  let xs = Lrd.Farima.generate ~d ~n:8192 (Prng.Rng.create 7201) in
+  let est = Lrd.Farima.whittle_d xs in
+  let gof = Lrd.Farima.beran ~d:est.Lrd.Whittle.h xs in
+  (* Fit both families to an aggregate trace at 1 s. *)
+  let t = Cache.packet_trace "LBL-PKT-3" in
+  let counts =
+    Timeseries.Counts.of_events ~bin:1.0
+      ~t_end:t.Trace.Packet_dataset.spec.duration
+      t.Trace.Packet_dataset.all_packets
+  in
+  let trace_fit = Lrd.Farima.whittle_d counts in
+  let trace_gof = Lrd.Farima.beran ~d:trace_fit.Lrd.Whittle.h counts in
+  let fgn_fit = Lrd.Whittle.estimate counts in
+  let fgn_gof = Lrd.Beran.test ~h:fgn_fit.Lrd.Whittle.h counts in
+  {
+    d_true = d;
+    d_whittle = est.Lrd.Whittle.h;
+    h_vt = (Lrd.Hurst.variance_time xs).Lrd.Hurst.h;
+    beran_p_farima = gof.Lrd.Beran.p_value;
+    trace_d = trace_fit.Lrd.Whittle.h;
+    trace_beran_farima = trace_gof.Lrd.Beran.p_value;
+    trace_beran_fgn = fgn_gof.Lrd.Beran.p_value;
+  }
+
+let farima fmt =
+  Report.heading fmt "Extension (S7-D): fractional ARIMA(0,d,0)";
+  let r = farima_data () in
+  Report.kv fmt "true d" "%.2f (H = %.2f)" r.d_true
+    (Lrd.Farima.hurst_of_d r.d_true);
+  Report.kv fmt "Whittle d-hat" "%.3f" r.d_whittle;
+  Report.kv fmt "variance-time H" "%.3f" r.h_vt;
+  Report.kv fmt "Beran p (fARIMA shape, fARIMA data)" "%.3f" r.beran_p_farima;
+  Report.kv fmt "LBL-PKT-3 @1s: fitted d" "%.3f" r.trace_d;
+  Report.kv fmt "LBL-PKT-3 Beran p, fARIMA shape" "%.4f" r.trace_beran_farima;
+  Report.kv fmt "LBL-PKT-3 Beran p, fGn shape" "%.4f" r.trace_beran_fgn
+
+(* ------------------------------------------------------------------ *)
+(* Wavelet estimator                                                    *)
+
+type wavelet_row = { label : string; h_expected : float option; h_wavelet : float }
+
+let wavelet_data () =
+  let fgn h seed =
+    let xs = Lrd.Fgn.generate ~h ~n:16384 (Prng.Rng.create seed) in
+    {
+      label = Printf.sprintf "fGn H=%.2f" h;
+      h_expected = Some h;
+      h_wavelet = (Lrd.Wavelet.estimate xs).Lrd.Hurst.h;
+    }
+  in
+  let trace =
+    let t = Cache.packet_trace "LBL-PKT-2" in
+    let counts =
+      Timeseries.Counts.of_events ~bin:0.1
+        ~t_end:t.Trace.Packet_dataset.spec.duration
+        t.Trace.Packet_dataset.all_packets
+    in
+    {
+      label = "LBL-PKT-2 all packets (0.1 s)";
+      h_expected = None;
+      h_wavelet = (Lrd.Wavelet.estimate counts).Lrd.Hurst.h;
+    }
+  in
+  [ fgn 0.6 7301; fgn 0.9 7302; trace ]
+
+let wavelet fmt =
+  Report.heading fmt "Extension: Abry-Veitch wavelet Hurst estimator";
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.label;
+          (match r.h_expected with
+          | Some h -> Printf.sprintf "%.2f" h
+          | None -> "-");
+          Printf.sprintf "%.3f" r.h_wavelet;
+        ])
+      (wavelet_data ())
+  in
+  Report.table fmt ~headers:[ "series"; "expected H"; "wavelet H" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* TELNET responder (Sections I / VIII)                                 *)
+
+type responder_result = {
+  originator_packets : int;
+  responder_packets : int;
+  originator_vt_h : float;
+  responder_vt_h : float;
+  originator_var_1s : float;
+  responder_var_1s : float;
+}
+
+let responder_data () =
+  let rng = Prng.Rng.create 7401 in
+  let duration = 3600. in
+  let conns =
+    Traffic.Telnet_model.full_tel ~rate_per_hour:250. ~duration
+      (Prng.Rng.split rng)
+  in
+  let orig =
+    Traffic.Arrival.clip ~lo:0. ~hi:duration
+      (Traffic.Telnet_model.packet_times conns)
+  in
+  let resp_conns =
+    List.map (fun c -> Traffic.Telnet_responder.connection c rng) conns
+  in
+  let resp =
+    Traffic.Arrival.clip ~lo:0. ~hi:duration
+      (Traffic.Telnet_model.packet_times resp_conns)
+  in
+  let vt times =
+    (Lrd.Hurst.variance_time
+       (Timeseries.Counts.of_events ~bin:0.1 ~t_end:duration times))
+      .Lrd.Hurst.h
+  in
+  let var1s times =
+    let c = Timeseries.Counts.of_events ~bin:1. ~t_end:duration times in
+    Stats.Descriptive.variance c /. Stats.Descriptive.mean c
+  in
+  {
+    originator_packets = Array.length orig;
+    responder_packets = Array.length resp;
+    originator_vt_h = vt orig;
+    responder_vt_h = vt resp;
+    originator_var_1s = var1s orig;
+    responder_var_1s = var1s resp;
+  }
+
+let responder fmt =
+  Report.heading fmt "Extension (S1/S8): modeling the TELNET responder";
+  let r = responder_data () in
+  Report.table fmt
+    ~headers:[ "stream"; "packets"; "H (var-time)"; "1 s index of dispersion" ]
+    [
+      [ "originator"; string_of_int r.originator_packets;
+        Printf.sprintf "%.3f" r.originator_vt_h;
+        Printf.sprintf "%.1f" r.originator_var_1s ];
+      [ "responder"; string_of_int r.responder_packets;
+        Printf.sprintf "%.3f" r.responder_vt_h;
+        Printf.sprintf "%.1f" r.responder_var_1s ];
+    ];
+  Format.fprintf fmt
+    "(echoes track keystrokes; heavy-tailed command output makes the responder burstier)@."
+
+(* ------------------------------------------------------------------ *)
+(* TCP bottleneck (Section VII-C)                                       *)
+
+type tcp_result = {
+  flows : int;
+  delivered : int;
+  drops : int;
+  utilisation : float;
+  egress_ad_pass : bool;
+  egress_vt_h : float;
+  rtt_lag_acf : float;
+  mean_lag_acf : float;
+}
+
+let tcp_data () =
+  let rng = Prng.Rng.create 7501 in
+  let horizon = 600. in
+  (* Offered load ~90 pkt/s against a 120 pkt/s link: congestion control
+     is actually exercised (drops, window cuts). *)
+  let config =
+    {
+      Tcpsim.Bottleneck.link_rate = 120.;
+      buffer = 25;
+      horizon;
+      initial_ssthresh = 64.;
+    }
+  in
+  (* Heavy-tailed transfer sizes from the FTP burst model, staggered
+     Poisson starts, a common dominant RTT plus spread. *)
+  let starts =
+    Traffic.Poisson_proc.homogeneous ~rate:0.5 ~duration:(horizon *. 0.9) rng
+  in
+  let sizes = Dist.Pareto.create ~location:30. ~shape:1.2 in
+  let specs =
+    Array.to_list starts
+    |> List.map (fun s ->
+           {
+             Tcpsim.Bottleneck.flow_start = s;
+             flow_packets =
+               int_of_float
+                 (Dist.Pareto.sample_truncated sizes ~upper:50_000. rng);
+             flow_rtt =
+               (if Prng.Rng.float rng < 0.7 then 0.1
+                else Prng.Rng.float_range rng 0.04 0.3);
+           })
+  in
+  let result = Tcpsim.Bottleneck.run ~config specs in
+  let egress = result.Tcpsim.Bottleneck.departures in
+  let gaps = Stats.Descriptive.diffs egress in
+  let gaps =
+    Array.of_list (List.filter (fun g -> g > 0.) (Array.to_list gaps))
+  in
+  let ad = Stest.Anderson_darling.test_exponential gaps in
+  let counts = Timeseries.Counts.of_events ~bin:0.01 ~t_end:horizon egress in
+  let vt =
+    Lrd.Hurst.variance_time ~min_m:10 (Timeseries.Counts.aggregate counts 10)
+  in
+  (* Ack clocking: the dominant RTT is 0.1 s = 10 bins of 10 ms. *)
+  let acf = Stats.Descriptive.autocorrelations counts 15 in
+  let rtt_lag = 10 in
+  let others =
+    [ 3; 4; 6; 7; 13; 14 ]
+    |> List.map (fun k -> Float.abs acf.(k))
+  in
+  {
+    flows = List.length specs;
+    delivered =
+      List.fold_left
+        (fun a (f : Tcpsim.Bottleneck.flow_result) -> a + f.delivered)
+        0 result.Tcpsim.Bottleneck.flows;
+    drops = result.Tcpsim.Bottleneck.total_drops;
+    utilisation = Tcpsim.Bottleneck.utilisation result config;
+    egress_ad_pass = ad.Stest.Anderson_darling.pass;
+    egress_vt_h = vt.Lrd.Hurst.h;
+    rtt_lag_acf = acf.(rtt_lag);
+    mean_lag_acf =
+      List.fold_left ( +. ) 0. others /. float_of_int (List.length others);
+  }
+
+let tcp fmt =
+  Report.heading fmt
+    "Extension (S7-C): TCP congestion control over a droptail bottleneck";
+  let r = tcp_data () in
+  Report.kv fmt "flows / delivered / drops" "%d / %d / %d" r.flows r.delivered
+    r.drops;
+  Report.kv fmt "link utilisation" "%.2f" r.utilisation;
+  Report.kv fmt "egress interarrivals exponential?" "%s"
+    (if r.egress_ad_pass then "pass (unexpected)" else "REJECTED (as in [12])");
+  Report.kv fmt "egress H (var-time, 0.1 s+)" "%.3f" r.egress_vt_h;
+  Report.kv fmt "count ACF at the RTT lag (0.1 s)" "%.3f" r.rtt_lag_acf;
+  Report.kv fmt "mean |ACF| at non-RTT lags" "%.3f" r.mean_lag_acf;
+  Format.fprintf fmt
+    "(window clocking shows up at the RTT; correlations survive congestion control)@."
+
+(* ------------------------------------------------------------------ *)
+(* Admission control (Section VIII)                                     *)
+
+type admission_row = {
+  durations : string;
+  admitted_fraction : float;
+  overload_fraction : float;
+  peak_utilisation : float;
+  longest_overload : float;
+  mean_overload_episode : float;
+}
+
+let admission_data () =
+  let capacity = 100. and flow_rate = 1. in
+  let horizon = 24. *. 3600. in
+  let n_steps = int_of_float horizon in
+  (* Uncontrolled background class with mean rate ~55 units: heavy-tailed
+     ON/OFF swells make it long-range dependent. The control background
+     is the SAME samples randomly shuffled — identical marginal
+     distribution, no temporal correlation — so any difference is purely
+     the correlation structure the paper warns about. *)
+  let lrd_background =
+    let rng = Prng.Rng.create 7611 in
+    let sources =
+      List.init 10 (fun _ ->
+          Traffic.Onoff.pareto_source ~beta:1.2 ~mean_period:1800. ~on_rate:11.)
+    in
+    Traffic.Onoff.count_process ~sources ~dt:1. ~n:n_steps rng
+  in
+  let shuffled_background =
+    let b = Array.copy lrd_background in
+    Prng.Rng.shuffle (Prng.Rng.create 7612) b;
+    b
+  in
+  let requests =
+    Traffic.Poisson_proc.homogeneous ~rate:0.1 ~duration:horizon
+      (Prng.Rng.create 7613)
+  in
+  let exp_d = Dist.Exponential.create ~mean:600. in
+  let run label background seed =
+    let r =
+      Queueing.Admission.simulate ~capacity ~window:60. ~flow_rate ~requests
+        ~duration:(Dist.Exponential.sample exp_d)
+        ~background ~horizon (Prng.Rng.create seed)
+    in
+    {
+      durations = label;
+      admitted_fraction =
+        float_of_int r.Queueing.Admission.admitted
+        /. float_of_int (Int.max 1 r.Queueing.Admission.offered);
+      overload_fraction = r.Queueing.Admission.overload_fraction;
+      peak_utilisation = r.Queueing.Admission.peak_utilisation;
+      longest_overload = r.Queueing.Admission.longest_overload;
+      mean_overload_episode = r.Queueing.Admission.mean_overload_episode;
+    }
+  in
+  [
+    run "LRD background (ON/OFF swells)" lrd_background 7601;
+    run "same marginal, shuffled (no LRD)" shuffled_background 7602;
+  ]
+
+let admission fmt =
+  Report.heading fmt
+    "Extension (S8): measurement-based admission control under LRD load";
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.durations;
+          Printf.sprintf "%.0f%%" (100. *. r.admitted_fraction);
+          Printf.sprintf "%.2f%%" (100. *. r.overload_fraction);
+          Printf.sprintf "%.2f" r.peak_utilisation;
+          Printf.sprintf "%.0f s" r.longest_overload;
+          Printf.sprintf "%.0f s" r.mean_overload_episode;
+        ])
+      (admission_data ())
+  in
+  Report.table fmt
+    ~headers:
+      [ "scenario"; "admitted"; "time overloaded"; "peak util";
+        "longest episode"; "mean episode" ]
+    rows;
+  Format.fprintf fmt
+    "(LRD demand swells mislead the trailing-window controller: it admits\n\
+    \ during lulls and the overload that follows persists)@."
+
+(* ------------------------------------------------------------------ *)
+(* Timer synchronisation (Section I)                                    *)
+
+type sync_result = { timer_acf_peak : float; poisson_acf_peak : float }
+
+let sync_data () =
+  (* Floyd & Jacobson's scenario [17]: many hosts on the same nominal
+     update period (300 s) with small independent jitter. *)
+  let duration = 86400. in
+  let rng = Prng.Rng.create 7701 in
+  let hosts =
+    List.init 20 (fun _ ->
+        let phase = Prng.Rng.float_range rng 0. 300. in
+        Traffic.Arrival.shift phase
+          (Traffic.Cascade.periodic ~period:300. ~jitter:5.
+             ~duration:(duration -. 300.) rng))
+  in
+  let timers = Traffic.Arrival.merge hosts in
+  let rate = float_of_int (Array.length timers) /. duration in
+  let poisson =
+    Traffic.Poisson_proc.homogeneous ~rate ~duration (Prng.Rng.create 7702)
+  in
+  (* Bin at 10 s: the period is lag 30. *)
+  let acf_at times =
+    let counts = Timeseries.Counts.of_events ~bin:10. ~t_end:duration times in
+    Stats.Descriptive.autocorrelation counts 30
+  in
+  { timer_acf_peak = acf_at timers; poisson_acf_peak = acf_at poisson }
+
+let sync fmt =
+  Report.heading fmt
+    "Extension (S1): timer-driven periodicity (routing-update scenario)";
+  let r = sync_data () in
+  Report.kv fmt "timer traffic ACF at the period lag" "%.3f" r.timer_acf_peak;
+  Report.kv fmt "rate-matched Poisson, same lag" "%.3f" r.poisson_acf_peak;
+  Format.fprintf fmt
+    "(machine periodicity is visible structure no Poisson process carries)@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 6)                                      *)
+
+let ablations fmt =
+  Report.heading fmt "Ablations";
+  (* 1. A2 vs chi-square power: Appendix A prefers A2 because it is
+     "generally much more powerful". Use a subtle alternative (Weibull
+     shape 0.8, mildly heavier than exponential) at a small sample. *)
+  let power test =
+    let w = Dist.Weibull.create ~shape:0.8 ~scale:1. in
+    let rejects = ref 0 in
+    for seed = 1 to 300 do
+      let rng = Prng.Rng.create (7800 + seed) in
+      let xs = Array.init 50 (fun _ -> Dist.Weibull.sample w rng) in
+      if not (test xs) then incr rejects
+    done;
+    float_of_int !rejects /. 300.
+  in
+  let ad_power =
+    power (fun xs ->
+        (Stest.Anderson_darling.test_exponential xs).Stest.Anderson_darling.pass)
+  in
+  let chi_power =
+    power (fun xs ->
+        let e = Stats.Fit.exponential_mle xs in
+        (Stest.Chi_square.test (Dist.Exponential.cdf e) xs).Stest.Chi_square.pass)
+  in
+  Report.kv fmt "power vs Weibull(0.8), n=50: A2" "%.2f" ad_power;
+  Report.kv fmt "power vs Weibull(0.8), n=50: chi-square" "%.2f" chi_power;
+  (* 2. Significance level 5% vs 1% on a known-Poisson trace. *)
+  let arrivals =
+    Traffic.Poisson_proc.homogeneous ~rate:0.05 ~duration:(4. *. 86400.)
+      (Prng.Rng.create 7801)
+  in
+  List.iter
+    (fun level ->
+      let v =
+        Stest.Poisson_check.check ~level ~interval:3600.
+          ~duration:(4. *. 86400.) arrivals
+      in
+      Report.kv fmt
+        (Printf.sprintf "Poisson battery at %.0f%% level" (100. *. level))
+        "exp pass %.0f%%, verdict %s" v.Stest.Poisson_check.exp_pass_rate
+        (if v.Stest.Poisson_check.poisson then "POISSON" else "not"))
+    [ 0.05; 0.01 ];
+  (* 3. Minimum interarrivals threshold. *)
+  List.iter
+    (fun min_interarrivals ->
+      let v =
+        Stest.Poisson_check.check ~min_interarrivals ~interval:3600.
+          ~duration:(4. *. 86400.) arrivals
+      in
+      Report.kv fmt
+        (Printf.sprintf "min interarrivals = %d" min_interarrivals)
+        "tested %d/%d intervals, exp pass %.0f%%"
+        v.Stest.Poisson_check.intervals_tested
+        v.Stest.Poisson_check.intervals_total
+        v.Stest.Poisson_check.exp_pass_rate)
+    [ 5; 10; 30 ];
+  (* 4. Variance-time bin width on the same packet trace. *)
+  let t = Cache.packet_trace "LBL-PKT-2" in
+  let duration = t.Trace.Packet_dataset.spec.duration in
+  List.iter
+    (fun bin ->
+      let counts =
+        Timeseries.Counts.of_events ~bin ~t_end:duration
+          t.Trace.Packet_dataset.all_packets
+      in
+      let h = (Lrd.Hurst.variance_time ~min_m:10 counts).Lrd.Hurst.h in
+      Report.kv fmt (Printf.sprintf "variance-time H at bin %.2f s" bin)
+        "%.3f" h)
+    [ 0.01; 0.1 ];
+  (* 5. Whittle fGn spectral-sum truncation depth: Paxson's 3-term
+     approximation vs a brute-force 200-term sum. *)
+  let brute_density ~theta lambda =
+    let d = (-2. *. theta) -. 1. in
+    let acc = ref (Float.abs lambda ** d) in
+    for j = 1 to 200 do
+      let w = 2. *. Float.pi *. float_of_int j in
+      acc := !acc +. ((w +. lambda) ** d) +. ((w -. lambda) ** d)
+    done;
+    (1. -. cos lambda) *. !acc
+  in
+  let fgn_sample = Lrd.Fgn.generate ~h:0.8 ~n:8192 (Prng.Rng.create 7805) in
+  let h_fast = (Lrd.Whittle.estimate fgn_sample).Lrd.Whittle.h in
+  let h_brute =
+    (Lrd.Whittle.estimate_with ~density:brute_density ~lo:0.01 ~hi:0.99
+       fgn_sample)
+      .Lrd.Whittle.h
+  in
+  Report.kv fmt "Whittle H, Paxson 3-term density" "%.4f" h_fast;
+  Report.kv fmt "Whittle H, brute-force 200-term sum" "%.4f" h_brute;
+  Report.kv fmt "truncation-depth effect on H" "%.5f"
+    (Float.abs (h_fast -. h_brute));
+  (* 6. Burst cutoff (extends x-bursttail to 8 s). *)
+  let trace = Cache.connection_trace "LBL-6" in
+  let conns = Trace.Record.filter_protocol trace Trace.Record.Ftpdata in
+  List.iter
+    (fun cutoff ->
+      let bursts = Trace.Bursts.group ~cutoff conns in
+      let sizes = Trace.Bursts.sizes bursts in
+      Report.kv fmt (Printf.sprintf "burst cutoff %.0f s" cutoff)
+        "%d bursts, top 0.5%% holds %.0f%%" (List.length bursts)
+        (100. *. Stats.Fit.tail_mass sizes ~top_fraction:0.005))
+    [ 2.; 4.; 8. ]

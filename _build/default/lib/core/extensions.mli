@@ -1,0 +1,116 @@
+(** Extension experiments: the paper's open questions and proposed
+    refinements, built out. Each has a data accessor and a printer
+    (registered in {!Registry} with ids x-mgk, x-onoff, x-farima,
+    x-wavelet, x-responder, x-tcp, x-admission, x-sync, x-ablate). *)
+
+type mgk_row = {
+  servers : string;  (** "inf" or the k. *)
+  vt_h : float;
+  mean_wait : float;
+  mean_in_system : float;
+}
+
+val mgk_data : unit -> mgk_row list
+(** Section VII-C's M/G/k proposal: limited capacity delays arrivals and
+    weakens the self-similar fit but does "not eliminate the underlying
+    large-scale correlations" — H stays far above 0.5 at every k. *)
+
+val mgk : Format.formatter -> unit
+
+type onoff_row = { beta : float; theory_h : float; vt_h : float }
+
+val onoff_data : unit -> onoff_row list
+(** The ON/OFF path to self-similarity (Section VII-B, after Willinger et
+    al.): multiplexed sources with Pareto(beta) period lengths give
+    H = (3 - beta) / 2. *)
+
+val onoff : Format.formatter -> unit
+
+type farima_result = {
+  d_true : float;
+  d_whittle : float;
+  h_vt : float;
+  beran_p_farima : float;  (** GoF of the fARIMA shape on fARIMA data. *)
+  trace_d : float;  (** fARIMA d fitted to an LBL PKT aggregate (1 s). *)
+  trace_beran_farima : float;
+  trace_beran_fgn : float;
+}
+
+val farima_data : unit -> farima_result
+
+val farima : Format.formatter -> unit
+(** Section VII-D names fractional ARIMA as a candidate when fGn is
+    rejected; this validates the fARIMA generator/estimator and compares
+    fGn vs fARIMA goodness-of-fit on an aggregate trace. *)
+
+type wavelet_row = { label : string; h_expected : float option; h_wavelet : float }
+
+val wavelet_data : unit -> wavelet_row list
+val wavelet : Format.formatter -> unit
+
+type responder_result = {
+  originator_packets : int;
+  responder_packets : int;
+  originator_vt_h : float;
+  responder_vt_h : float;
+  originator_var_1s : float;
+  responder_var_1s : float;
+}
+
+val responder_data : unit -> responder_result
+
+val responder : Format.formatter -> unit
+(** The open modeling task of Sections I/VIII: the responder stream
+    (echoes + heavy-tailed command output) is burstier than the
+    originator stream it answers. *)
+
+type tcp_result = {
+  flows : int;
+  delivered : int;
+  drops : int;
+  utilisation : float;
+  egress_ad_pass : bool;  (** A2 exponentiality of egress interarrivals. *)
+  egress_vt_h : float;
+  rtt_lag_acf : float;  (** Count autocorrelation at the dominant RTT lag. *)
+  mean_lag_acf : float;  (** Average |acf| at non-RTT lags, for contrast. *)
+}
+
+val tcp_data : unit -> tcp_result
+
+val tcp : Format.formatter -> unit
+(** Section VII-C mechanics, made concrete: heavy-tailed TCP transfers
+    through a droptail bottleneck produce packet departures that are not
+    Poisson, carry RTT-scale periodicity (ack clocking), and stay
+    long-range correlated despite congestion control. *)
+
+type admission_row = {
+  durations : string;
+  admitted_fraction : float;
+  overload_fraction : float;
+  peak_utilisation : float;
+  longest_overload : float;
+  mean_overload_episode : float;
+}
+
+val admission_data : unit -> admission_row list
+
+val admission : Format.formatter -> unit
+(** Section VIII: a measurement-based admission controller is "easily
+    misled following a long period of fairly low traffic rates" when
+    flow durations are heavy-tailed. *)
+
+type sync_result = {
+  timer_acf_peak : float;  (** NNTP count ACF at the timer lag. *)
+  poisson_acf_peak : float;  (** Same lag, rate-matched Poisson. *)
+}
+
+val sync_data : unit -> sync_result
+
+val sync : Format.formatter -> unit
+(** Timer-driven traffic carries periodic structure "impossible with
+    Poisson models" (Section I, citing Floyd & Jacobson). *)
+
+val ablations : Format.formatter -> unit
+(** The DESIGN.md section-6 ablations: A2 significance level, A2 vs
+    chi-square power (the Appendix-A justification), variance-time bin
+    width, burst cutoff, and the minimum-interarrivals threshold. *)

@@ -1,0 +1,57 @@
+(** Second wave of extension experiments: marginal-distribution evidence
+    (Section VII-C), TCP phase effects (the [16] mechanism Section VII-C
+    cites), and VBR video sources (Section VIII). Registered as
+    x-marginal, x-phase, x-vbr. *)
+
+type marginal_row = {
+  series : string;
+  a2 : float;  (** Modified A2 against normality. *)
+  normal : bool;
+  zero_fraction : float;  (** Share of bins with zero arrivals. *)
+}
+
+val marginal_data : unit -> marginal_row list
+(** Section VII-C: "fractional Gaussian noise ... marginal distribution
+    is normal, and cannot accommodate such a peak [at zero]". FTPDATA
+    counts flunk normality with a large zero-spike; fGn passes; dense
+    aggregate traffic sits in between. *)
+
+val marginal : Format.formatter -> unit
+
+type phase_row = {
+  rtt_ratio : float;
+  share_flow1 : float;  (** Flow 1's share of delivered packets. *)
+}
+
+val phase_data : unit -> phase_row list
+(** Floyd & Jacobson's traffic phase effects: two long TCP flows over
+    one droptail bottleneck; as the RTT ratio varies, the bandwidth
+    split swings far from fair — deterministic structure, again nothing
+    a Poisson model could produce. *)
+
+val phase : Format.formatter -> unit
+
+type vbr_result = {
+  vbr_h_vt : float;
+  vbr_h_whittle : float;
+  mix_h_vt : float;
+      (** VBR multiplexed with Poisson-like background bytes. *)
+}
+
+val vbr_data : unit -> vbr_result
+(** Section VIII: VBR video carries H ~ 0.85 by construction of its
+    source, and keeps the aggregate long-range dependent after
+    multiplexing with short-range traffic. *)
+
+val vbr : Format.formatter -> unit
+
+val cwnd_data : unit -> (float * float) array
+(** One long TCP flow's congestion-window trajectory through repeated
+    loss cycles — Section VII-D's "long-term oscillations ... as the TCP
+    congestion window changes over the lifetime of the connection". *)
+
+val cwnd : Format.formatter -> unit
+
+val summary : Format.formatter -> unit
+(** Per-protocol connection/byte breakdown of every catalog dataset (the
+    companion-paper tables the paper refers its readers to). *)

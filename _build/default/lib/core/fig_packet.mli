@@ -1,0 +1,72 @@
+(** Packet-level reproductions: Table II, Fig. 3 (interarrival CDFs),
+    Fig. 4 (dot plots), Fig. 5 (TELNET variance-time), Fig. 6 (5 s
+    counts), Fig. 7 (FULL-TEL), Figs. 10-11 (burst dominance). *)
+
+val lbl_pkt_names : string list
+val wrl_names : string list
+
+val table2 : Format.formatter -> unit
+
+type fig3_curves = {
+  grid : float array;  (** Interarrival values (s), log-spaced. *)
+  trace_cdf : float array;
+  tcplib_cdf : float array;
+  exp_geometric_cdf : float array;  (** Fit #1: matched geometric mean. *)
+  exp_arithmetic_cdf : float array;  (** Fit #2: matched arithmetic mean. *)
+  geometric_mean : float;
+  arithmetic_mean : float;
+}
+
+val fig3_data : unit -> fig3_curves
+val fig3 : Format.formatter -> unit
+
+val fig4_data : unit -> float array * float array
+(** Packet times of two simulated 2000 s connections: (Tcplib
+    interarrivals, exponential mean-1.1 interarrivals). *)
+
+val fig4 : Format.formatter -> unit
+
+val fig5_data : unit -> (string * Timeseries.Variance_time.curve) list
+(** Variance-time curves for TRACE / TCPLIB / EXP / VAR-EXP, built from
+    the LBL-PKT-2 stand-in's TELNET connections re-synthesised under each
+    scheme (0.1 s bins). *)
+
+val fig5 : Format.formatter -> unit
+
+type fig6_result = {
+  trace_counts : float array;  (** TELNET packets per 5 s interval. *)
+  exp_counts : float array;
+  trace_mean : float;
+  trace_variance : float;
+  exp_mean : float;
+  exp_variance : float;
+}
+
+val fig6_data : unit -> fig6_result
+val fig6 : Format.formatter -> unit
+
+val fig7_data : unit -> (string * Timeseries.Variance_time.curve) list
+(** Trace vs three FULL-TEL model runs (second hour of two-hour runs). *)
+
+val fig7 : Format.formatter -> unit
+
+type burst_dominance = {
+  trace_name : string;
+  n_bursts : int;
+  minutes : float array;  (** Minute index midpoints. *)
+  total_rate : float array;  (** Bytes per minute, all FTPDATA. *)
+  top2_rate : float array;  (** Bytes per minute from the largest 2%. *)
+  top05_rate : float array;
+  share_top2 : float;  (** Fraction of bytes in the top 2% of bursts. *)
+  share_top05 : float;
+}
+
+val fig10_data : unit -> burst_dominance list
+(** LBL PKT traces. *)
+
+val fig10 : Format.formatter -> unit
+
+val fig11_data : unit -> burst_dominance list
+(** DEC WRL traces. *)
+
+val fig11 : Format.formatter -> unit

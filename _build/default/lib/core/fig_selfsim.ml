@@ -1,0 +1,151 @@
+type trace_selfsim = {
+  trace_name : string;
+  curve : Timeseries.Variance_time.curve;
+  vt_hurst : float;
+  whittle : Lrd.Whittle.result;
+  beran : Lrd.Beran.result;
+  whittle_1s : Lrd.Whittle.result;
+  beran_1s : Lrd.Beran.result;
+}
+
+let selfsim_of name =
+  let t = Cache.packet_trace name in
+  let duration = t.Trace.Packet_dataset.spec.duration in
+  let counts =
+    Timeseries.Counts.of_events ~bin:0.01 ~t_end:duration
+      t.Trace.Packet_dataset.all_packets
+  in
+  let curve = Timeseries.Variance_time.curve counts in
+  let fit = Timeseries.Variance_time.slope ~min_m:10 curve in
+  (* Whittle and Beran on the 0.1 s aggregation: the paper's formal tests
+     target time scales of 0.1 s and larger. *)
+  let coarse = Timeseries.Counts.aggregate counts 10 in
+  let whittle = Lrd.Whittle.estimate coarse in
+  let beran = Lrd.Beran.test ~h:whittle.Lrd.Whittle.h coarse in
+  let second = Timeseries.Counts.aggregate counts 100 in
+  let whittle_1s = Lrd.Whittle.estimate second in
+  let beran_1s = Lrd.Beran.test ~h:whittle_1s.Lrd.Whittle.h second in
+  {
+    trace_name = name;
+    curve;
+    vt_hurst =
+      Timeseries.Variance_time.hurst_of_slope fit.Stats.Regression.slope;
+    whittle;
+    beran;
+    whittle_1s;
+    beran_1s;
+  }
+
+let fig12_data () = List.map selfsim_of Fig_packet.lbl_pkt_names
+let fig13_data () = List.map selfsim_of Fig_packet.wrl_names
+
+let print_selfsim fmt data =
+  let rows =
+    List.map
+      (fun d ->
+        [
+          d.trace_name;
+          Printf.sprintf "%.3f" d.vt_hurst;
+          Printf.sprintf "%.3f +/- %.3f" d.whittle.Lrd.Whittle.h
+            d.whittle.Lrd.Whittle.stderr;
+          Printf.sprintf "%.3f" d.beran.Lrd.Beran.p_value;
+          Printf.sprintf "%.3f" d.beran_1s.Lrd.Beran.p_value;
+          (if d.beran_1s.Lrd.Beran.consistent then "fGn at 1s+"
+           else if d.beran.Lrd.Beran.consistent then "fGn at 0.1s+"
+           else "LRD, not fGn");
+        ])
+      data
+  in
+  Report.table fmt
+    ~headers:
+      [ "Trace"; "H (var-time)"; "H (Whittle)"; "Beran p @0.1s";
+        "Beran p @1s"; "verdict" ]
+    rows;
+  let series =
+    List.mapi
+      (fun i d ->
+        ( Char.chr (Char.code 'a' + i),
+          d.trace_name,
+          Array.map
+            (fun (p : Timeseries.Variance_time.point) ->
+              (log10 (float_of_int p.m), log10 p.normalised))
+            d.curve ))
+      data
+  in
+  Report.chart fmt ~series;
+  Format.fprintf fmt
+    "(x: log10 M over 0.01 s bins; y: log10 normalised variance; slope -1 = Poisson)@."
+
+let fig12 fmt =
+  Report.heading fmt
+    "Fig. 12: variance-time, all packets, LBL PKT traces";
+  print_selfsim fmt (fig12_data ())
+
+let fig13 fmt =
+  Report.heading fmt
+    "Fig. 13: variance-time, all packets, DEC WRL traces";
+  print_selfsim fmt (fig13_data ())
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 14 and 15                                                     *)
+
+type pareto_panel = {
+  bin : float;
+  seeds : int list;
+  stats : Lrd.Pareto_count.run_stats list;
+  sample_counts : float array;
+}
+
+let panel ~bin =
+  let seeds = List.init 9 (fun i -> 1000 + i) in
+  let counts_of seed =
+    Lrd.Pareto_count.count_process ~beta:1.0 ~a:1.0 ~bin ~bins:1000
+      (Prng.Rng.create seed)
+  in
+  let all = List.map counts_of seeds in
+  {
+    bin;
+    seeds;
+    stats = List.map Lrd.Pareto_count.run_stats all;
+    sample_counts = List.hd all;
+  }
+
+let fig14_data ?(bin = 1e3) () = panel ~bin
+let fig15_data ?(bin = 1e6) () = panel ~bin
+
+let print_panel fmt title p =
+  Report.heading fmt title;
+  Report.kv fmt "bin width" "%.0e" p.bin;
+  let rows =
+    List.map2
+      (fun seed (s : Lrd.Pareto_count.run_stats) ->
+        [
+          string_of_int seed;
+          string_of_int s.n_bursts;
+          Printf.sprintf "%.2f" s.mean_burst;
+          Printf.sprintf "%.2f" s.mean_lull;
+          Printf.sprintf "%.3f" s.occupancy;
+        ])
+      p.seeds p.stats
+  in
+  Report.table fmt
+    ~headers:[ "seed"; "bursts"; "mean burst (bins)"; "mean lull (bins)"; "occupancy" ]
+    rows;
+  Format.fprintf fmt "@.Count process, first seed (1000 bins):@.";
+  Report.chart fmt ~height:10
+    ~series:
+      [
+        ( '*',
+          "counts per bin",
+          Array.mapi (fun i c -> (float_of_int i, c)) p.sample_counts );
+      ]
+
+let fig14 fmt =
+  print_panel fmt
+    "Fig. 14: i.i.d. Pareto (beta=1) count process, bin = 10^3"
+    (fig14_data ())
+
+let fig15 fmt =
+  print_panel fmt
+    "Fig. 15: i.i.d. Pareto (beta=1) count process, large bins"
+    (fig15_data ())

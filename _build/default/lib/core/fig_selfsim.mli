@@ -1,0 +1,47 @@
+(** Section VII reproductions: Figs. 12-13 (variance-time plots of
+    aggregate traffic, with Whittle and Beran verdicts) and Figs. 14-15
+    (visual self-similarity of the i.i.d. Pareto count process). *)
+
+type trace_selfsim = {
+  trace_name : string;
+  curve : Timeseries.Variance_time.curve;
+  vt_hurst : float;  (** From the variance-time slope. *)
+  whittle : Lrd.Whittle.result;  (** On 0.1 s counts. *)
+  beran : Lrd.Beran.result;
+      (** Goodness-of-fit of fGn at the Whittle H, 0.1 s counts. *)
+  whittle_1s : Lrd.Whittle.result;  (** On 1 s counts. *)
+  beran_1s : Lrd.Beran.result;
+      (** The paper reports fGn consistency per time scale ("at time
+          scales of 1 s and greater"); this is the 1 s verdict. *)
+}
+
+val fig12_data : unit -> trace_selfsim list
+(** LBL PKT traces, all packets, 0.01 s bins (Whittle/Beran computed on
+    the 0.1 s aggregation). *)
+
+val fig12 : Format.formatter -> unit
+
+val fig13_data : unit -> trace_selfsim list
+(** DEC WRL traces. *)
+
+val fig13 : Format.formatter -> unit
+
+type pareto_panel = {
+  bin : float;
+  seeds : int list;
+  stats : Lrd.Pareto_count.run_stats list;  (** One per seed. *)
+  sample_counts : float array;  (** Count process of the first seed. *)
+}
+
+val fig14_data : ?bin:float -> unit -> pareto_panel
+(** Default bin 10^3 (the paper's Fig. 14): 9 seeds, 1000 bins,
+    beta = 1, a = 1. *)
+
+val fig14 : Format.formatter -> unit
+
+val fig15_data : ?bin:float -> unit -> pareto_panel
+(** Default bin 10^6 — scaled down from the paper's 10^7 to keep the
+    default run fast (see EXPERIMENTS.md); pass [~bin:1e7] for the
+    paper-exact panel. *)
+
+val fig15 : Format.formatter -> unit

@@ -1,0 +1,117 @@
+let line label points = { Svg.label; points; style = Svg.Line }
+
+let vt_series named =
+  List.map
+    (fun (name, curve) ->
+      line name
+        (Array.map
+           (fun (p : Timeseries.Variance_time.point) ->
+             (log10 (float_of_int p.m), log10 p.normalised))
+           curve))
+    named
+
+let vt_svg ~title named =
+  Svg.render ~title ~xlabel:"log10 M" ~ylabel:"log10 normalised variance"
+    (vt_series named)
+
+let fig1 () =
+  let series =
+    List.map
+      (fun (label, fracs) ->
+        line label (Array.mapi (fun h f -> (float_of_int h, f)) fracs))
+      (Fig_connection.fig1_data ())
+  in
+  Svg.render ~title:"Fig. 1: hourly connection arrival rate" ~xlabel:"hour"
+    ~ylabel:"fraction of day's connections" series
+
+let fig3 () =
+  let d = Fig_packet.fig3_data () in
+  let curve label cdf =
+    line label
+      (Array.init (Array.length d.Fig_packet.grid) (fun i ->
+           (log10 d.Fig_packet.grid.(i), cdf.(i))))
+  in
+  Svg.render ~title:"Fig. 3: TELNET packet interarrival CDFs"
+    ~xlabel:"log10 seconds" ~ylabel:"CDF"
+    [
+      curve "tcplib" d.Fig_packet.tcplib_cdf;
+      curve "trace" d.Fig_packet.trace_cdf;
+      curve "exp fit #1" d.Fig_packet.exp_geometric_cdf;
+      curve "exp fit #2" d.Fig_packet.exp_arithmetic_cdf;
+    ]
+
+let fig4 () =
+  let tcp, ex = Fig_packet.fig4_data () in
+  let row y times =
+    Array.map (fun t -> (t, y)) times
+  in
+  Svg.render ~height:220 ~title:"Fig. 4: packet arrivals, one connection"
+    ~xlabel:"seconds" ~ylabel:""
+    [
+      { Svg.label = "tcplib interarrivals"; points = row 1. tcp;
+        style = Svg.Dots };
+      { Svg.label = "exponential interarrivals"; points = row 0. ex;
+        style = Svg.Dots };
+    ]
+
+let fig9 () =
+  let series =
+    List.map
+      (fun (name, _, curve) -> line name curve)
+      (Fig_connection.fig9_data ())
+  in
+  Svg.render ~title:"Fig. 9: FTPDATA byte concentration"
+    ~xlabel:"% largest bursts" ~ylabel:"% of bytes" series
+
+let pareto_panel title (p : Fig_selfsim.pareto_panel) =
+  Svg.render ~title ~xlabel:"bin" ~ylabel:"arrivals per bin"
+    [
+      {
+        Svg.label = Printf.sprintf "b = %.0e" p.Fig_selfsim.bin;
+        points =
+          Array.mapi (fun i c -> (float_of_int i, c)) p.Fig_selfsim.sample_counts;
+        style = Svg.Dots;
+      };
+    ]
+
+let selfsim_svg ~title data =
+  vt_svg ~title
+    (List.map
+       (fun (d : Fig_selfsim.trace_selfsim) -> (d.trace_name, d.curve))
+       data)
+
+let supported =
+  [ "fig1"; "fig3"; "fig4"; "fig5"; "fig7"; "fig9"; "fig12"; "fig13";
+    "fig14"; "fig15" ]
+
+let render = function
+  | "fig1" -> Some (fig1 ())
+  | "fig3" -> Some (fig3 ())
+  | "fig4" -> Some (fig4 ())
+  | "fig5" ->
+    Some (vt_svg ~title:"Fig. 5: TELNET variance-time" (Fig_packet.fig5_data ()))
+  | "fig7" ->
+    Some (vt_svg ~title:"Fig. 7: FULL-TEL variance-time" (Fig_packet.fig7_data ()))
+  | "fig9" -> Some (fig9 ())
+  | "fig12" ->
+    Some (selfsim_svg ~title:"Fig. 12: LBL PKT variance-time" (Fig_selfsim.fig12_data ()))
+  | "fig13" ->
+    Some (selfsim_svg ~title:"Fig. 13: DEC WRL variance-time" (Fig_selfsim.fig13_data ()))
+  | "fig14" ->
+    Some (pareto_panel "Fig. 14: Pareto count process, b = 1e3" (Fig_selfsim.fig14_data ()))
+  | "fig15" ->
+    Some (pareto_panel "Fig. 15: Pareto count process, large bins" (Fig_selfsim.fig15_data ()))
+  | _ -> None
+
+let save_all ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun id ->
+      match render id with
+      | Some svg ->
+        let oc = open_out (Filename.concat dir (id ^ ".svg")) in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc svg)
+      | None -> ())
+    supported

@@ -1,0 +1,13 @@
+(** SVG renderings of the figures whose data is naturally (x, y) series.
+    Complements the ASCII charts in the text reports. *)
+
+val supported : string list
+(** Figure ids with an SVG rendering: fig1, fig3, fig4, fig5, fig7,
+    fig9, fig12, fig13, fig14, fig15. *)
+
+val render : string -> string option
+(** [render id] is the SVG document for a supported figure id. *)
+
+val save_all : dir:string -> unit
+(** Write every supported figure to [dir]/<id>.svg (creates the
+    directory if needed). *)

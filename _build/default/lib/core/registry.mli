@@ -1,0 +1,13 @@
+(** One entry per table, figure, and in-text experiment; the bench and
+    CLI harnesses iterate this list. Ids match the per-experiment index
+    in DESIGN.md. *)
+
+type entry = {
+  id : string;  (** e.g. "fig5", "table1", "x-mux100". *)
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+val all : entry list
+val find : string -> entry option
+val ids : unit -> string list

@@ -1,0 +1,76 @@
+let heading fmt title =
+  Format.fprintf fmt "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let kv fmt label format =
+  Format.fprintf fmt "%-32s: " label;
+  Format.kfprintf (fun f -> Format.pp_print_newline f ()) fmt format
+
+let table fmt ~headers rows =
+  let all = headers :: rows in
+  let n_cols = List.length headers in
+  List.iter (fun row -> assert (List.length row = n_cols)) rows;
+  let widths = Array.make n_cols 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         widths.(i) <- Int.max widths.(i) (String.length cell)))
+    all;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        Format.fprintf fmt "%s%s"
+          (if i = 0 then "" else "  ")
+          (cell ^ String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Format.pp_print_newline fmt ()
+  in
+  print_row headers;
+  print_row
+    (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter print_row rows
+
+let chart ?(width = 72) ?(height = 20) fmt ~series =
+  let points = List.concat_map (fun (_, _, ps) -> Array.to_list ps) series in
+  match points with
+  | [] -> Format.fprintf fmt "(empty chart)@."
+  | (x0, y0) :: rest ->
+    let fold f init = List.fold_left f init rest in
+    let xmin = fold (fun a (x, _) -> Float.min a x) x0 in
+    let xmax = fold (fun a (x, _) -> Float.max a x) x0 in
+    let ymin = fold (fun a (_, y) -> Float.min a y) y0 in
+    let ymax = fold (fun a (_, y) -> Float.max a y) y0 in
+    let xspan = if xmax > xmin then xmax -. xmin else 1. in
+    let yspan = if ymax > ymin then ymax -. ymin else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun (glyph, _, ps) ->
+        Array.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+            in
+            let cy =
+              int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+            in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then
+              grid.(height - 1 - cy).(cx) <- glyph)
+          ps)
+      series;
+    Format.fprintf fmt "%10.3g +%s@." ymax (String.make width ' ');
+    Array.iteri
+      (fun i row ->
+        if i > 0 && i < height - 1 then
+          Format.fprintf fmt "%10s |%s@." "" (String.init width (Array.get row))
+        else if i = 0 then
+          Format.fprintf fmt "%10s |%s@." "" (String.init width (Array.get row))
+        else
+          Format.fprintf fmt "%10.3g +%s@." ymin (String.init width (Array.get row)))
+      grid;
+    Format.fprintf fmt "%10s  %-10.3g%s%10.3g@." "" xmin
+      (String.make (Int.max 1 (width - 20)) ' ')
+      xmax;
+    List.iter
+      (fun (glyph, label, _) ->
+        Format.fprintf fmt "%12s = %s@." (String.make 1 glyph) label)
+      series
+
+let float_cell v = Printf.sprintf "%.4g" v

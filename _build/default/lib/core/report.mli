@@ -1,0 +1,26 @@
+(** Plain-text report rendering: aligned tables, labelled values, and
+    ASCII scatter charts for the paper's log-log figures. *)
+
+val heading : Format.formatter -> string -> unit
+(** Underlined section heading. *)
+
+val kv : Format.formatter -> string -> ('a, Format.formatter, unit) format -> 'a
+(** [kv fmt label format ...]: one "label: value" line. *)
+
+val table : Format.formatter -> headers:string list -> string list list -> unit
+(** Column-aligned table; every row must have as many cells as
+    [headers]. *)
+
+val chart :
+  ?width:int ->
+  ?height:int ->
+  Format.formatter ->
+  series:(char * string * (float * float) array) list ->
+  unit
+(** Scatter chart: each series is (glyph, legend label, points). Axis
+    ranges cover all series; points map to character cells (later series
+    overwrite earlier ones on collision). Useful for variance-time plots
+    and CDFs. *)
+
+val float_cell : float -> string
+(** Compact %.4g rendering used in table rows. *)

@@ -1,0 +1,144 @@
+type style = Line | Dots
+type series = { label : string; points : (float * float) array; style : style }
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b";
+     "#e377c2"; "#17becf"; "#7f7f7f" |]
+
+(* Round tick step: 1, 2 or 5 times a power of ten covering span/target. *)
+let tick_step span target =
+  assert (span > 0.);
+  let raw = span /. float_of_int target in
+  let mag = 10. ** Float.floor (log10 raw) in
+  let r = raw /. mag in
+  let m = if r <= 1. then 1. else if r <= 2. then 2. else if r <= 5. then 5. else 10. in
+  m *. mag
+
+let ticks lo hi =
+  let step = tick_step (hi -. lo) 5 in
+  let first = Float.ceil (lo /. step) *. step in
+  let rec go t acc =
+    if t > hi +. (step /. 2.) then List.rev acc else go (t +. step) (t :: acc)
+  in
+  go first []
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render ?(width = 640) ?(height = 440) ?title ?xlabel ?ylabel series =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"11\">\n"
+    width height width height;
+  add "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  let all = List.concat_map (fun s -> Array.to_list s.points) series in
+  (match all with
+  | [] -> add "<text x=\"20\" y=\"20\">(no data)</text>\n"
+  | (x0, y0) :: rest ->
+    let fold f init = List.fold_left f init rest in
+    let xmin = fold (fun a (x, _) -> Float.min a x) x0 in
+    let xmax = fold (fun a (x, _) -> Float.max a x) x0 in
+    let ymin = fold (fun a (_, y) -> Float.min a y) y0 in
+    let ymax = fold (fun a (_, y) -> Float.max a y) y0 in
+    let xspan = if xmax > xmin then xmax -. xmin else 1. in
+    let yspan = if ymax > ymin then ymax -. ymin else 1. in
+    let ml = 60 and mr = 20 and mt = 35 and mb = 45 in
+    let pw = width - ml - mr and ph = height - mt - mb in
+    let px x = float_of_int ml +. ((x -. xmin) /. xspan *. float_of_int pw) in
+    let py y =
+      float_of_int (mt + ph) -. ((y -. ymin) /. yspan *. float_of_int ph)
+    in
+    (* Frame and ticks. *)
+    add
+      "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" \
+       stroke=\"#333\"/>\n"
+      ml mt pw ph;
+    List.iter
+      (fun t ->
+        add
+          "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" \
+           stroke=\"#ccc\"/>\n"
+          (px t) mt (px t) (mt + ph);
+        add
+          "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%.4g</text>\n"
+          (px t) (mt + ph + 16) t)
+      (ticks xmin xmax);
+    List.iter
+      (fun t ->
+        add
+          "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" \
+           stroke=\"#ccc\"/>\n"
+          ml (py t) (ml + pw) (py t);
+        add
+          "<text x=\"%d\" y=\"%.1f\" text-anchor=\"end\">%.4g</text>\n"
+          (ml - 6) (py t +. 4.) t)
+      (ticks ymin ymax);
+    (* Series. *)
+    List.iteri
+      (fun i s ->
+        let color = palette.(i mod Array.length palette) in
+        (match s.style with
+        | Line ->
+          let pts =
+            Array.to_list s.points
+            |> List.map (fun (x, y) -> Printf.sprintf "%.2f,%.2f" (px x) (py y))
+            |> String.concat " "
+          in
+          add
+            "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+             stroke-width=\"1.5\"/>\n"
+            pts color
+        | Dots ->
+          Array.iter
+            (fun (x, y) ->
+              add
+                "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"2\" fill=\"%s\"/>\n"
+                (px x) (py y) color)
+            s.points);
+        (* Legend entry. *)
+        let ly = mt + 14 + (i * 15) in
+        add
+          "<rect x=\"%d\" y=\"%d\" width=\"10\" height=\"10\" fill=\"%s\"/>\n"
+          (ml + pw - 150) (ly - 9) color;
+        add "<text x=\"%d\" y=\"%d\">%s</text>\n" (ml + pw - 135) ly
+          (escape s.label))
+      series;
+    (match title with
+    | Some t ->
+      add
+        "<text x=\"%d\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">%s</text>\n"
+        (width / 2) (escape t)
+    | None -> ());
+    (match xlabel with
+    | Some t ->
+      add
+        "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\">%s</text>\n"
+        (ml + (pw / 2)) (height - 10) (escape t)
+    | None -> ());
+    (match ylabel with
+    | Some t ->
+      add
+        "<text x=\"14\" y=\"%d\" text-anchor=\"middle\" \
+         transform=\"rotate(-90 14 %d)\">%s</text>\n"
+        (mt + (ph / 2)) (mt + (ph / 2)) (escape t)
+    | None -> ()));
+  add "</svg>\n";
+  Buffer.contents b
+
+let save ~path ?width ?height ?title ?xlabel ?ylabel series =
+  let svg = render ?width ?height ?title ?xlabel ?ylabel series in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc svg)

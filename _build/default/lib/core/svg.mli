@@ -1,0 +1,32 @@
+(** Minimal SVG chart rendering — enough to regenerate the paper's
+    figures as actual graphics (lines and scatter over linear axes; pass
+    pre-logged coordinates for log-log plots). No dependencies. *)
+
+type style = Line | Dots
+
+type series = {
+  label : string;
+  points : (float * float) array;
+  style : style;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?xlabel:string ->
+  ?ylabel:string ->
+  series list ->
+  string
+(** The SVG document as a string. Colours cycle through a fixed palette;
+    axes get ~5 ticks each at round values. *)
+
+val save :
+  path:string ->
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?xlabel:string ->
+  ?ylabel:string ->
+  series list ->
+  unit

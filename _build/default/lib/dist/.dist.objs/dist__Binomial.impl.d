@@ -1,0 +1,1 @@
+lib/dist/binomial.ml: Float Int Prng Special

@@ -1,0 +1,1 @@
+lib/dist/binomial.mli: Prng

@@ -1,0 +1,1 @@
+lib/dist/geometric.ml: Float Prng

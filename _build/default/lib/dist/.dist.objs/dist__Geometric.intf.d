@@ -1,0 +1,1 @@
+lib/dist/geometric.mli: Prng

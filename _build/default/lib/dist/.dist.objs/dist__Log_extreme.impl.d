@@ -1,0 +1,1 @@
+lib/dist/log_extreme.ml: Float Prng

@@ -1,0 +1,1 @@
+lib/dist/log_extreme.mli: Prng

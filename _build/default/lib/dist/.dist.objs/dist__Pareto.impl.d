@@ -1,0 +1,1 @@
+lib/dist/pareto.ml: Float Prng

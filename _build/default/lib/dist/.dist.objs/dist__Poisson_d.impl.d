@@ -1,0 +1,1 @@
+lib/dist/poisson_d.ml: Prng Special

@@ -1,0 +1,1 @@
+lib/dist/special.ml: Array Float

@@ -1,0 +1,1 @@
+lib/dist/weibull.ml: Prng Special

@@ -1,0 +1,1 @@
+lib/dist/weibull.mli: Prng

@@ -1,0 +1,1 @@
+lib/dist/zipf.ml: Float Int Prng

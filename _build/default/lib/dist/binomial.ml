@@ -1,0 +1,57 @@
+type t = { n : int; p : float }
+
+let create ~n ~p =
+  assert (n >= 0 && p >= 0. && p <= 1.);
+  { n; p }
+
+let n t = t.n
+let p t = t.p
+
+let pmf t k =
+  if k < 0 || k > t.n then 0.
+  else if t.p = 0. then if k = 0 then 1. else 0.
+  else if t.p = 1. then if k = t.n then 1. else 0.
+  else
+    let kf = float_of_int k and nf = float_of_int t.n in
+    exp
+      (Special.log_factorial t.n -. Special.log_factorial k
+      -. Special.log_factorial (t.n - k)
+      +. (kf *. log t.p)
+      +. ((nf -. kf) *. log (1. -. t.p)))
+
+let cdf t k =
+  if k < 0 then 0.
+  else if k >= t.n then 1.
+  else if t.p = 0. then 1.
+  else if t.p = 1. then 0.
+  else
+    (* P[X <= k] = I_{1-p}(n - k, k + 1). *)
+    Special.beta_i (float_of_int (t.n - k)) (float_of_int (k + 1)) (1. -. t.p)
+
+let survival_ge t k = if k <= 0 then 1. else 1. -. cdf t (k - 1)
+let mean t = float_of_int t.n *. t.p
+let variance t = float_of_int t.n *. t.p *. (1. -. t.p)
+
+let sample t rng =
+  if t.n <= 64 then (
+    let count = ref 0 in
+    for _ = 1 to t.n do
+      if Prng.Rng.float rng < t.p then incr count
+    done;
+    !count)
+  else
+    (* Start from the normal approximation, then walk to the exact
+       inverse-CDF answer. The walk is O(1) in expectation. *)
+    let u = Prng.Rng.float_pos rng in
+    let mu = mean t and sd = sqrt (variance t) in
+    let guess =
+      int_of_float (Float.round (mu +. (sd *. Special.normal_quantile u)))
+    in
+    let k = ref (Int.max 0 (Int.min t.n guess)) in
+    while cdf t !k < u && !k < t.n do
+      incr k
+    done;
+    while !k > 0 && cdf t (!k - 1) >= u do
+      decr k
+    done;
+    !k

@@ -1,0 +1,27 @@
+(** Binomial distribution. Appendix A of the paper uses binomial
+    consistency tests: if arrivals are truly Poisson, the number of
+    intervals passing a 5%-level test is Binomial(N, 0.95), and the number
+    of positive lag-1 autocorrelations is Binomial(N, 0.5). *)
+
+type t
+
+val create : n:int -> p:float -> t
+(** Requires [n >= 0] and [0 <= p <= 1]. *)
+
+val n : t -> int
+val p : t -> float
+val pmf : t -> int -> float
+
+val cdf : t -> int -> float
+(** P[X <= k], via the regularized incomplete beta function. *)
+
+val survival_ge : t -> int -> float
+(** P[X >= k]. *)
+
+val mean : t -> float
+val variance : t -> float
+
+val sample : t -> Prng.Rng.t -> int
+(** Sum of Bernoulli draws for small [n]; inversion from the normal
+    approximation (clamped, then locally corrected by CDF search) for
+    large [n]. *)

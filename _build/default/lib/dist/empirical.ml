@@ -1,0 +1,111 @@
+type t = {
+  ps : float array; (* ascending, ps.(0) = 0., ps.(last) = 1. *)
+  xs : float array; (* non-decreasing values at each probability knot *)
+  log_interp : bool;
+}
+
+let of_samples samples =
+  let n = Array.length samples in
+  assert (n > 0);
+  let xs = Array.copy samples in
+  Array.sort compare xs;
+  let ps =
+    if n = 1 then [| 0.; 1. |]
+    else Array.init n (fun i -> float_of_int i /. float_of_int (n - 1))
+  in
+  let xs = if n = 1 then [| xs.(0); xs.(0) |] else xs in
+  { ps; xs; log_interp = false }
+
+let of_quantile_table ?(log_interp = false) knots =
+  let n = Array.length knots in
+  assert (n >= 2);
+  let ps = Array.map fst knots and xs = Array.map snd knots in
+  assert (ps.(0) = 0. && ps.(n - 1) = 1.);
+  for i = 1 to n - 1 do
+    assert (ps.(i) > ps.(i - 1));
+    assert (xs.(i) >= xs.(i - 1))
+  done;
+  if log_interp then Array.iter (fun x -> assert (x > 0.)) xs;
+  { ps; xs; log_interp }
+
+(* Value at probability [u] within segment [i, i+1]. *)
+let interp t i u =
+  let p0 = t.ps.(i) and p1 = t.ps.(i + 1) in
+  let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+  let f = (u -. p0) /. (p1 -. p0) in
+  if x0 = x1 then x0
+  else if t.log_interp then x0 *. ((x1 /. x0) ** f)
+  else x0 +. (f *. (x1 -. x0))
+
+let quantile t u =
+  assert (u >= 0. && u <= 1.);
+  let n = Array.length t.ps in
+  if u <= 0. then t.xs.(0)
+  else if u >= 1. then t.xs.(n - 1)
+  else
+    (* Binary search: largest i with ps.(i) <= u. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.ps.(mid) <= u then lo := mid else hi := mid
+    done;
+    interp t !lo u
+
+let cdf t x =
+  let n = Array.length t.xs in
+  if x < t.xs.(0) then 0.
+  else if x >= t.xs.(n - 1) then 1.
+  else
+    (* Largest i with xs.(i) <= x; invert the interpolation on that
+       segment. Flat runs of equal values map to the run's upper knot. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let i = !lo in
+    let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+    let p0 = t.ps.(i) and p1 = t.ps.(i + 1) in
+    if x1 = x0 then p1
+    else
+      let f =
+        if t.log_interp then log (x /. x0) /. log (x1 /. x0)
+        else (x -. x0) /. (x1 -. x0)
+      in
+      p0 +. (f *. (p1 -. p0))
+
+let sample t rng = quantile t (Prng.Rng.float rng)
+
+(* E[X] = integral of quantile(u) du, segment by segment. *)
+let segment_mean t i =
+  let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+  if x0 = x1 then x0
+  else if t.log_interp then (x1 -. x0) /. log (x1 /. x0)
+  else (x0 +. x1) /. 2.
+
+(* E[X^2] restricted to a segment (per unit probability). *)
+let segment_mean_sq t i =
+  let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+  if x0 = x1 then x0 *. x0
+  else if t.log_interp then
+    ((x1 *. x1) -. (x0 *. x0)) /. (2. *. log (x1 /. x0))
+  else ((x0 *. x0) +. (x0 *. x1) +. (x1 *. x1)) /. 3.
+
+let mean t =
+  let acc = ref 0. in
+  for i = 0 to Array.length t.ps - 2 do
+    acc := !acc +. ((t.ps.(i + 1) -. t.ps.(i)) *. segment_mean t i)
+  done;
+  !acc
+
+let variance t =
+  let m = mean t in
+  let acc = ref 0. in
+  for i = 0 to Array.length t.ps - 2 do
+    acc := !acc +. ((t.ps.(i + 1) -. t.ps.(i)) *. segment_mean_sq t i)
+  done;
+  !acc -. (m *. m)
+
+let min_value t = t.xs.(0)
+let max_value t = t.xs.(Array.length t.xs - 1)
+let support t = Array.copy t.xs

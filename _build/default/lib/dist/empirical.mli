@@ -1,0 +1,32 @@
+(** Empirical distributions.
+
+    Two constructors: from raw samples (the empirical CDF, with linear
+    interpolation between order statistics for quantiles/sampling — the
+    way Tcplib's tables are used), or from an explicit quantile table of
+    (probability, value) knots. *)
+
+type t
+
+val of_samples : float array -> t
+(** Builds the empirical distribution of the given samples. The input is
+    copied and sorted. Requires a non-empty array. *)
+
+val of_quantile_table : ?log_interp:bool -> (float * float) array -> t
+(** [of_quantile_table knots] builds a distribution from CDF knots
+    [(p_i, x_i)] with [p_i] strictly increasing in [0, 1] and [x_i]
+    non-decreasing. Quantiles interpolate linearly between knots — in
+    log-value space when [log_interp] is true (sensible for heavy-tailed
+    positive data; this is how the synthetic Tcplib table is encoded).
+    The first knot's probability must be 0 and the last 1. *)
+
+val cdf : t -> float -> float
+val quantile : t -> float -> float
+val sample : t -> Prng.Rng.t -> float
+val mean : t -> float
+val variance : t -> float
+
+val min_value : t -> float
+val max_value : t -> float
+
+val support : t -> float array
+(** The knot/sample values (sorted). *)

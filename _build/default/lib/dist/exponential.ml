@@ -1,0 +1,28 @@
+type t = { mean : float }
+
+let create ~mean =
+  assert (mean > 0.);
+  { mean }
+
+let of_rate lambda =
+  assert (lambda > 0.);
+  { mean = 1. /. lambda }
+
+let mean t = t.mean
+let rate t = 1. /. t.mean
+let pdf t x = if x < 0. then 0. else exp (-.x /. t.mean) /. t.mean
+let cdf t x = if x <= 0. then 0. else 1. -. exp (-.x /. t.mean)
+let survival t x = if x <= 0. then 1. else exp (-.x /. t.mean)
+
+let quantile t u =
+  assert (u >= 0. && u < 1.);
+  -.t.mean *. log (1. -. u)
+
+let variance t = t.mean *. t.mean
+let sample t rng = -.t.mean *. log (Prng.Rng.float_pos rng)
+
+let euler_gamma = 0.57721566490153286
+
+let fit_geometric_mean g =
+  assert (g > 0.);
+  { mean = g *. exp euler_gamma }

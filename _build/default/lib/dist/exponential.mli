@@ -1,0 +1,29 @@
+(** Exponential distribution, parameterised by its mean (1 / rate).
+
+    This is the interarrival distribution implied by Poisson arrival
+    processes; the paper's Section IV compares it (fitted both to the
+    geometric and arithmetic mean of the data) against the heavy-tailed
+    Tcplib TELNET interarrival distribution. *)
+
+type t
+
+val create : mean:float -> t
+(** Requires [mean > 0]. *)
+
+val of_rate : float -> t
+(** [of_rate lambda] has mean [1 /. lambda]. Requires [lambda > 0]. *)
+
+val mean : t -> float
+val rate : t -> float
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+val survival : t -> float -> float
+val quantile : t -> float -> float
+val variance : t -> float
+val sample : t -> Prng.Rng.t -> float
+
+val fit_geometric_mean : float -> t
+(** [fit_geometric_mean g] is the exponential whose geometric mean equals
+    [g]: its arithmetic mean is [g * exp gamma] (Euler-Mascheroni gamma),
+    because E[ln X] = ln mean - gamma. This reproduces the paper's
+    "fit #1" to the Tcplib distribution. *)

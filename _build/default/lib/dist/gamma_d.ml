@@ -1,0 +1,53 @@
+type t = { shape : float; scale : float }
+
+let create ~shape ~scale =
+  assert (shape > 0. && scale > 0.);
+  { shape; scale }
+
+let shape t = t.shape
+let scale t = t.scale
+
+let pdf t x =
+  if x <= 0. then 0.
+  else
+    exp
+      (((t.shape -. 1.) *. log x)
+      -. (x /. t.scale)
+      -. Special.log_gamma t.shape
+      -. (t.shape *. log t.scale))
+
+let cdf t x = if x <= 0. then 0. else Special.gamma_p t.shape (x /. t.scale)
+let mean t = t.shape *. t.scale
+let variance t = t.shape *. t.scale *. t.scale
+
+(* Marsaglia & Tsang (2000). *)
+let rec sample_shape_ge1 k rng =
+  let d = k -. (1. /. 3.) in
+  let c = 1. /. sqrt (9. *. d) in
+  let rec go () =
+    let x =
+      (* One standard normal via Box-Muller. *)
+      let u1 = Prng.Rng.float_pos rng and u2 = Prng.Rng.float rng in
+      sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+    in
+    let v = 1. +. (c *. x) in
+    if v <= 0. then go ()
+    else begin
+      let v3 = v *. v *. v in
+      let u = Prng.Rng.float_pos rng in
+      if u < 1. -. (0.0331 *. x *. x *. x *. x) then d *. v3
+      else if log u < (0.5 *. x *. x) +. (d *. (1. -. v3 +. log v3)) then
+        d *. v3
+      else go ()
+    end
+  in
+  go ()
+
+and sample_unit_scale k rng =
+  if k >= 1. then sample_shape_ge1 k rng
+  else
+    (* Boost: Gamma(k) = Gamma(k+1) U^(1/k). *)
+    sample_shape_ge1 (k +. 1.) rng
+    *. (Prng.Rng.float_pos rng ** (1. /. k))
+
+let sample t rng = t.scale *. sample_unit_scale t.shape rng

@@ -1,0 +1,22 @@
+(** Gamma distribution with shape k and scale theta (mean k theta).
+
+    A flexible service-time / duration law sitting between the
+    exponential (k = 1) and near-deterministic (large k) extremes; used
+    in the queueing experiments as the "G" in M/G/k. *)
+
+type t
+
+val create : shape:float -> scale:float -> t
+(** Requires both positive. *)
+
+val shape : t -> float
+val scale : t -> float
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+(** Via the regularized incomplete gamma function. *)
+
+val mean : t -> float
+val variance : t -> float
+
+val sample : t -> Prng.Rng.t -> float
+(** Marsaglia-Tsang squeeze for k >= 1; boosting for k < 1. *)

@@ -1,0 +1,17 @@
+type t = { p : float }
+
+let create ~p =
+  assert (p > 0. && p <= 1.);
+  { p }
+
+let p t = t.p
+let pmf t k = if k < 0 then 0. else ((1. -. t.p) ** float_of_int k) *. t.p
+let cdf t k = if k < 0 then 0. else 1. -. ((1. -. t.p) ** float_of_int (k + 1))
+let mean t = (1. -. t.p) /. t.p
+let variance t = (1. -. t.p) /. (t.p *. t.p)
+
+let sample t rng =
+  if t.p >= 1. then 0
+  else
+    let u = Prng.Rng.float_pos rng in
+    int_of_float (Float.floor (log u /. log (1. -. t.p)))

@@ -1,0 +1,16 @@
+(** Geometric distribution on {0, 1, 2, ...}: P[K = k] = (1-p)^k p.
+
+    Appendix C uses geometric burst lengths to bound the expected number
+    of bins spanned by a burst of the Pareto count process. *)
+
+type t
+
+val create : p:float -> t
+(** Success probability; requires [0 < p <= 1]. *)
+
+val p : t -> float
+val pmf : t -> int -> float
+val cdf : t -> int -> float
+val mean : t -> float
+val variance : t -> float
+val sample : t -> Prng.Rng.t -> int

@@ -1,0 +1,30 @@
+type t = { alpha : float; beta : float }
+
+let create ~alpha ~beta =
+  assert (beta > 0.);
+  { alpha; beta }
+
+let log2 x = log x /. log 2.
+let telnet_bytes = { alpha = log2 100.; beta = log2 3.5 }
+let alpha t = t.alpha
+let beta t = t.beta
+
+let cdf t x =
+  if x <= 0. then 0. else exp (-.exp (-.(log2 x -. t.alpha) /. t.beta))
+
+let pdf t x =
+  if x <= 0. then 0.
+  else
+    let y = log2 x in
+    let z = (y -. t.alpha) /. t.beta in
+    (* d/dx of CDF: Gumbel density in y times dy/dx = 1 / (x ln 2). *)
+    exp (-.z -. exp (-.z)) /. (t.beta *. x *. log 2.)
+
+let quantile t u =
+  assert (u > 0. && u < 1.);
+  let y = t.alpha -. (t.beta *. log (-.log u)) in
+  Float.pow 2. y
+
+let median t = quantile t 0.5
+
+let sample t rng = quantile t (Prng.Rng.float_pos rng)

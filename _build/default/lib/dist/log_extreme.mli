@@ -1,0 +1,27 @@
+(** Log-extreme distribution: log2 X follows a Gumbel (extreme-value)
+    distribution with location [alpha] and scale [beta].
+
+    Paxson [34] models the bytes sent by the originator of a wide-area
+    TELNET connection as log-extreme with alpha = log2 100 and
+    beta = log2 3.5; Section V of the paper keeps that model for bytes
+    while preferring a log2-normal for the size in packets. *)
+
+type t
+
+val create : alpha:float -> beta:float -> t
+(** Location and scale of the Gumbel on the log2 scale; requires
+    [beta > 0]. *)
+
+val telnet_bytes : t
+(** The paper's fit: alpha = log2 100, beta = log2 3.5. *)
+
+val alpha : t -> float
+val beta : t -> float
+
+val cdf : t -> float -> float
+(** F(x) = exp (-exp (-(log2 x - alpha) / beta)) for x > 0. *)
+
+val pdf : t -> float -> float
+val quantile : t -> float -> float
+val median : t -> float
+val sample : t -> Prng.Rng.t -> float

@@ -1,0 +1,21 @@
+type t = { normal : Normal.t }
+
+let create ~mu ~sigma = { normal = Normal.create ~mu ~sigma }
+let ln2 = log 2.
+
+let of_log2 ~mean_log2 ~sd_log2 =
+  create ~mu:(mean_log2 *. ln2) ~sigma:(sd_log2 *. ln2)
+
+let mu t = Normal.mu t.normal
+let sigma t = Normal.sigma t.normal
+let pdf t x = if x <= 0. then 0. else Normal.pdf t.normal (log x) /. x
+let cdf t x = if x <= 0. then 0. else Normal.cdf t.normal (log x)
+let quantile t u = exp (Normal.quantile t.normal u)
+let mean t = exp (mu t +. (sigma t *. sigma t /. 2.))
+
+let variance t =
+  let s2 = sigma t *. sigma t in
+  (exp s2 -. 1.) *. exp ((2. *. mu t) +. s2)
+
+let median t = exp (mu t)
+let sample t rng = exp (Normal.sample t.normal rng)

@@ -1,0 +1,26 @@
+(** Log-normal distribution.
+
+    [ln X ~ Normal(mu, sigma)]. The paper (Section V) models TELNET
+    connection sizes in packets as log2-normal with log2-mean
+    [log2 100] and log2-standard deviation 2.24; {!of_log2} performs the
+    base conversion. Appendix E shows the log-normal is long-tailed
+    (subexponential) but {e not} heavy-tailed in the Pareto sense. *)
+
+type t
+
+val create : mu:float -> sigma:float -> t
+(** Natural-log parameters; requires [sigma > 0]. *)
+
+val of_log2 : mean_log2:float -> sd_log2:float -> t
+(** [of_log2 ~mean_log2 ~sd_log2]: if log2 X ~ Normal(m, s) then
+    ln X ~ Normal(m ln 2, s ln 2). *)
+
+val mu : t -> float
+val sigma : t -> float
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+val quantile : t -> float -> float
+val mean : t -> float
+val variance : t -> float
+val median : t -> float
+val sample : t -> Prng.Rng.t -> float

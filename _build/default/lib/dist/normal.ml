@@ -1,0 +1,28 @@
+type t = { mu : float; sigma : float }
+
+let create ~mu ~sigma =
+  assert (sigma > 0.);
+  { mu; sigma }
+
+let standard = { mu = 0.; sigma = 1. }
+let mu t = t.mu
+let sigma t = t.sigma
+
+let pdf t x =
+  let z = (x -. t.mu) /. t.sigma in
+  exp (-0.5 *. z *. z) /. (t.sigma *. sqrt (2. *. Float.pi))
+
+let cdf t x = Special.normal_cdf ((x -. t.mu) /. t.sigma)
+
+let quantile t u =
+  assert (u > 0. && u < 1.);
+  t.mu +. (t.sigma *. Special.normal_quantile u)
+
+let mean t = t.mu
+let variance t = t.sigma *. t.sigma
+
+let sample t rng =
+  let u1 = Prng.Rng.float_pos rng in
+  let u2 = Prng.Rng.float rng in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  t.mu +. (t.sigma *. z)

@@ -1,0 +1,18 @@
+(** Normal (Gaussian) distribution. *)
+
+type t
+
+val create : mu:float -> sigma:float -> t
+(** Requires [sigma > 0]. *)
+
+val standard : t
+val mu : t -> float
+val sigma : t -> float
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+val quantile : t -> float -> float
+val mean : t -> float
+val variance : t -> float
+
+val sample : t -> Prng.Rng.t -> float
+(** Box-Muller (polar-free variant: uses two uniforms per call). *)

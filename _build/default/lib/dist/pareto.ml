@@ -1,0 +1,61 @@
+type t = { a : float; beta : float }
+
+let create ~location ~shape =
+  assert (location > 0. && shape > 0.);
+  { a = location; beta = shape }
+
+let location t = t.a
+let shape t = t.beta
+
+let pdf t x =
+  if x < t.a then 0. else t.beta *. (t.a ** t.beta) *. (x ** (-.t.beta -. 1.))
+
+let survival t x = if x <= t.a then 1. else (t.a /. x) ** t.beta
+let cdf t x = 1. -. survival t x
+
+let quantile t u =
+  assert (u >= 0. && u < 1.);
+  (* beta = 1 fast path: avoids [Float.pow] in the hot renewal loops of
+     Appendix C's count processes. *)
+  if t.beta = 1. then t.a /. (1. -. u)
+  else t.a *. ((1. -. u) ** (-1. /. t.beta))
+
+let mean t =
+  if t.beta <= 1. then infinity else t.beta *. t.a /. (t.beta -. 1.)
+
+let variance t =
+  if t.beta <= 2. then infinity
+  else
+    t.a *. t.a *. t.beta
+    /. ((t.beta -. 1.) *. (t.beta -. 1.) *. (t.beta -. 2.))
+
+let sample t rng = quantile t (Prng.Rng.float rng)
+
+let sample_truncated t ~upper rng =
+  assert (upper > t.a);
+  (* Inverse CDF restricted to [a, upper]: draw u in [0, F(upper)). *)
+  let fmax = cdf t upper in
+  quantile t (Prng.Rng.float rng *. fmax)
+
+let truncate_below t x0 =
+  assert (x0 >= t.a);
+  { a = x0; beta = t.beta }
+
+let cmex t x =
+  if t.beta <= 1. then infinity
+  else
+    let x = Float.max x t.a in
+    x /. (t.beta -. 1.)
+
+let mean_truncated t ~upper =
+  assert (upper > t.a);
+  (* E[X | X <= T] = integral of x f(x) / F(T) over [a, T]. *)
+  let f_t = cdf t upper in
+  let integral =
+    if Float.abs (t.beta -. 1.) < 1e-12 then
+      t.a *. log (upper /. t.a)
+    else
+      t.beta *. (t.a ** t.beta) /. (1. -. t.beta)
+      *. ((upper ** (1. -. t.beta)) -. (t.a ** (1. -. t.beta)))
+  in
+  integral /. f_t

@@ -1,0 +1,48 @@
+(** Classical Pareto distribution (Appendix B of the paper).
+
+    CDF: F(x) = 1 - (a / x)^beta for x >= a, with location [a > 0] and
+    shape [beta > 0]. For [beta <= 2] the variance is infinite; for
+    [beta <= 1] the mean is infinite as well. The paper fits the body of
+    TELNET packet interarrivals with beta = 0.9, the upper 3% tail with
+    beta ~ 0.95, and FTPDATA burst sizes with 0.9 <= beta <= 1.4. *)
+
+type t
+
+val create : location:float -> shape:float -> t
+(** Requires [location > 0] and [shape > 0]. *)
+
+val location : t -> float
+val shape : t -> float
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+
+val survival : t -> float -> float
+(** [survival t x = (a / x)^beta] for [x >= a], 1 below [a]. *)
+
+val quantile : t -> float -> float
+
+val mean : t -> float
+(** [infinity] when [shape <= 1]. *)
+
+val variance : t -> float
+(** [infinity] when [shape <= 2]. *)
+
+val sample : t -> Prng.Rng.t -> float
+
+val sample_truncated : t -> upper:float -> Prng.Rng.t -> float
+(** Sample conditioned on [x <= upper] (inverse-CDF on the restricted
+    range). Requires [upper > location]. *)
+
+val truncate_below : t -> float -> t
+(** [truncate_below t x0] is the conditional distribution given X >= x0 —
+    again Pareto with the same shape and location [x0] (the paper's
+    "invariance under truncation from below", eq. 2). Requires
+    [x0 >= location t]. *)
+
+val cmex : t -> float -> float
+(** Conditional mean exceedance E[X - x | X >= x] = x / (beta - 1) for
+    [beta > 1] (linear in x: the hallmark of heavy tails); [infinity]
+    for [beta <= 1]. *)
+
+val mean_truncated : t -> upper:float -> float
+(** Mean of the distribution truncated at [upper]; finite for all shapes. *)

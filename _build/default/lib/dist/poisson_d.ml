@@ -1,0 +1,35 @@
+type t = { mean : float }
+
+let create ~mean =
+  assert (mean > 0.);
+  { mean }
+
+let mean t = t.mean
+
+let pmf t k =
+  if k < 0 then 0.
+  else
+    exp ((float_of_int k *. log t.mean) -. t.mean -. Special.log_factorial k)
+
+let cdf t k =
+  if k < 0 then 0. else Special.gamma_q (float_of_int k +. 1.) t.mean
+
+let variance t = t.mean
+
+(* Knuth: count multiplications of uniforms until the product drops below
+   exp (-lambda). Chunked at lambda = 30 to keep exp (-lambda) away from
+   underflow and the loop length modest. *)
+let sample_knuth lambda rng =
+  let limit = exp (-.lambda) in
+  let rec go k p =
+    let p = p *. Prng.Rng.float_pos rng in
+    if p <= limit then k else go (k + 1) p
+  in
+  go 0 1.
+
+let sample t rng =
+  let rec go lambda acc =
+    if lambda <= 30. then acc + sample_knuth lambda rng
+    else go (lambda -. 30.) (acc + sample_knuth 30. rng)
+  in
+  go t.mean 0

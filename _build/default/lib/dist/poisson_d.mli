@@ -1,0 +1,17 @@
+(** Poisson distribution over counts. *)
+
+type t
+
+val create : mean:float -> t
+(** Requires [mean > 0]. *)
+
+val mean : t -> float
+val pmf : t -> int -> float
+val cdf : t -> int -> float
+(** Via the regularized incomplete gamma function. *)
+
+val variance : t -> float
+
+val sample : t -> Prng.Rng.t -> int
+(** Knuth's product method, chunked so the cost stays bounded for large
+    means (Poisson variables are additive across chunks). *)

@@ -1,0 +1,195 @@
+(* Lanczos approximation, g = 7, n = 9 coefficients (Boost/GSL standard). *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  assert (x > 0.);
+  if x < 0.5 then
+    (* Reflection formula keeps the Lanczos series in its accurate range. *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else
+    let x = x -. 1. in
+    let a = ref lanczos.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+
+let factorial_table =
+  let t = Array.make 171 0. in
+  t.(0) <- 1.;
+  for i = 1 to 170 do
+    t.(i) <- t.(i - 1) *. float_of_int i
+  done;
+  t
+
+let log_factorial n =
+  assert (n >= 0);
+  if n <= 170 then log factorial_table.(n) else log_gamma (float_of_int n +. 1.)
+
+let max_iter = 500
+let eps = 3e-15
+let fpmin = 1e-300
+
+(* Series representation of P(a,x), converges quickly for x < a + 1. *)
+let gamma_p_series a x =
+  let ap = ref a in
+  let sum = ref (1. /. a) in
+  let del = ref !sum in
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < max_iter do
+    incr n;
+    ap := !ap +. 1.;
+    del := !del *. x /. !ap;
+    sum := !sum +. !del;
+    if Float.abs !del < Float.abs !sum *. eps then continue := false
+  done;
+  !sum *. exp ((-.x) +. (a *. log x) -. log_gamma a)
+
+(* Continued fraction for Q(a,x) (modified Lentz), for x >= a + 1. *)
+let gamma_q_cf a x =
+  let b = ref (x +. 1. -. a) in
+  let c = ref (1. /. fpmin) in
+  let d = ref (1. /. !b) in
+  let h = ref !d in
+  let i = ref 1 in
+  let continue = ref true in
+  while !continue && !i < max_iter do
+    let an = -.float_of_int !i *. (float_of_int !i -. a) in
+    b := !b +. 2.;
+    d := (an *. !d) +. !b;
+    if Float.abs !d < fpmin then d := fpmin;
+    c := !b +. (an /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1. /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.) < eps then continue := false;
+    incr i
+  done;
+  exp ((-.x) +. (a *. log x) -. log_gamma a) *. !h
+
+let gamma_p a x =
+  assert (a > 0. && x >= 0.);
+  if x = 0. then 0.
+  else if x < a +. 1. then gamma_p_series a x
+  else 1. -. gamma_q_cf a x
+
+let gamma_q a x =
+  assert (a > 0. && x >= 0.);
+  if x = 0. then 1.
+  else if x < a +. 1. then 1. -. gamma_p_series a x
+  else gamma_q_cf a x
+
+(* Continued fraction for the incomplete beta function (modified Lentz). *)
+let beta_cf a b x =
+  let qab = a +. b in
+  let qap = a +. 1. in
+  let qam = a -. 1. in
+  let c = ref 1. in
+  let d = ref (1. -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1. /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let continue = ref true in
+  while !continue && !m <= max_iter do
+    let mf = float_of_int !m in
+    let m2 = 2. *. mf in
+    let aa = mf *. (b -. mf) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1. +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1. +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1. /. !d;
+    h := !h *. !d *. !c;
+    let aa = -.(a +. mf) *. (qab +. mf) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1. +. (aa *. !d);
+    if Float.abs !d < fpmin then d := fpmin;
+    c := 1. +. (aa /. !c);
+    if Float.abs !c < fpmin then c := fpmin;
+    d := 1. /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if Float.abs (del -. 1.) < eps then continue := false;
+    incr m
+  done;
+  !h
+
+let beta_i a b x =
+  assert (a > 0. && b > 0. && x >= 0. && x <= 1.);
+  if x = 0. then 0.
+  else if x = 1. then 1.
+  else
+    let bt =
+      exp
+        (log_gamma (a +. b) -. log_gamma a -. log_gamma b +. (a *. log x)
+        +. (b *. log (1. -. x)))
+    in
+    if x < (a +. 1.) /. (a +. b +. 2.) then bt *. beta_cf a b x /. a
+    else 1. -. (bt *. beta_cf b a (1. -. x) /. b)
+
+let erf x =
+  if x >= 0. then gamma_p 0.5 (x *. x) else -.gamma_p 0.5 (x *. x)
+
+let erfc x =
+  if x >= 0. then gamma_q 0.5 (x *. x) else 1. +. gamma_p 0.5 (x *. x)
+
+let normal_cdf x = 0.5 *. erfc (-.x /. sqrt 2.)
+
+(* Acklam's rational approximation to the inverse normal CDF, followed by
+   one Halley refinement against [normal_cdf]. *)
+let normal_quantile p =
+  assert (p > 0. && p < 1.);
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let tail_num q =
+    (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q)
+    +. c.(5)
+  in
+  let tail_den q =
+    ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q) +. 1.
+  in
+  let x =
+    if p < p_low then
+      let q = sqrt (-2. *. log p) in
+      tail_num q /. tail_den q
+    else if p <= 1. -. p_low then
+      let q = p -. 0.5 in
+      let r = q *. q in
+      let num =
+        ((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+        *. r +. a.(5)
+      in
+      let den =
+        ((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4))
+        *. r +. 1.
+      in
+      num *. q /. den
+    else
+      let q = sqrt (-2. *. log (1. -. p)) in
+      -.(tail_num q /. tail_den q)
+  in
+  (* Halley refinement. *)
+  let e = normal_cdf x -. p in
+  let u = e *. sqrt (2. *. Float.pi) *. exp (x *. x /. 2.) in
+  x -. (u /. (1. +. (x *. u /. 2.)))

@@ -1,0 +1,35 @@
+(** Special functions needed by the distribution and test modules.
+
+    All routines are pure float computations, accurate to roughly 1e-12
+    relative error over the parameter ranges used in this repository. *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is [ln (Gamma x)] for [x > 0] (Lanczos approximation). *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is [ln n!]; exact table for small [n], [log_gamma]
+    otherwise. Requires [n >= 0]. *)
+
+val gamma_p : float -> float -> float
+(** [gamma_p a x] is the regularized lower incomplete gamma function
+    P(a, x) for [a > 0], [x >= 0]. *)
+
+val gamma_q : float -> float -> float
+(** [gamma_q a x = 1 - gamma_p a x]. *)
+
+val beta_i : float -> float -> float -> float
+(** [beta_i a b x] is the regularized incomplete beta function I_x(a, b)
+    for [a, b > 0] and [0 <= x <= 1]. *)
+
+val erf : float -> float
+(** Error function. *)
+
+val erfc : float -> float
+(** Complementary error function, accurate in the far tail. *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF. *)
+
+val normal_quantile : float -> float
+(** Inverse standard normal CDF for probabilities in (0, 1); Acklam's
+    rational approximation refined by one Halley step. *)

@@ -1,0 +1,23 @@
+type t = { lo : float; hi : float }
+
+let create ~lo ~hi =
+  assert (lo < hi);
+  { lo; hi }
+
+let lo t = t.lo
+let hi t = t.hi
+let width t = t.hi -. t.lo
+let pdf t x = if x < t.lo || x >= t.hi then 0. else 1. /. width t
+
+let cdf t x =
+  if x <= t.lo then 0.
+  else if x >= t.hi then 1.
+  else (x -. t.lo) /. width t
+
+let quantile t u =
+  assert (u >= 0. && u <= 1.);
+  t.lo +. (u *. width t)
+
+let mean t = (t.lo +. t.hi) /. 2.
+let variance t = width t *. width t /. 12.
+let sample t rng = Prng.Rng.float_range rng t.lo t.hi

@@ -1,0 +1,15 @@
+(** Continuous uniform distribution on [[lo, hi)]. *)
+
+type t
+
+val create : lo:float -> hi:float -> t
+(** Requires [lo < hi]. *)
+
+val lo : t -> float
+val hi : t -> float
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+val quantile : t -> float -> float
+val mean : t -> float
+val variance : t -> float
+val sample : t -> Prng.Rng.t -> float

@@ -1,0 +1,30 @@
+type t = { shape : float; scale : float }
+
+let create ~shape ~scale =
+  assert (shape > 0. && scale > 0.);
+  { shape; scale }
+
+let shape t = t.shape
+let scale t = t.scale
+
+let pdf t x =
+  if x < 0. then 0.
+  else
+    let z = x /. t.scale in
+    t.shape /. t.scale *. (z ** (t.shape -. 1.)) *. exp (-.(z ** t.shape))
+
+let survival t x = if x <= 0. then 1. else exp (-.((x /. t.scale) ** t.shape))
+let cdf t x = 1. -. survival t x
+
+let quantile t u =
+  assert (u >= 0. && u < 1.);
+  t.scale *. ((-.log (1. -. u)) ** (1. /. t.shape))
+
+let gamma x = exp (Special.log_gamma x)
+let mean t = t.scale *. gamma (1. +. (1. /. t.shape))
+
+let variance t =
+  let m = mean t in
+  (t.scale *. t.scale *. gamma (1. +. (2. /. t.shape))) -. (m *. m)
+
+let sample t rng = quantile t (Prng.Rng.float rng)

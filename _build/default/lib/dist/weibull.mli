@@ -1,0 +1,19 @@
+(** Weibull distribution: F(x) = 1 - exp (-(x / scale)^shape).
+
+    Heavy-tailed in the paper's eq. (1) sense when shape < 1; used as an
+    alternative long-tailed ON/OFF period model. *)
+
+type t
+
+val create : shape:float -> scale:float -> t
+(** Requires [shape > 0] and [scale > 0]. *)
+
+val shape : t -> float
+val scale : t -> float
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+val survival : t -> float -> float
+val quantile : t -> float -> float
+val mean : t -> float
+val variance : t -> float
+val sample : t -> Prng.Rng.t -> float

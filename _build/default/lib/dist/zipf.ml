@@ -1,0 +1,15 @@
+type t = unit
+
+let create () = ()
+
+let pmf () n =
+  if n < 0 then 0. else 1. /. (float_of_int (n + 1) *. float_of_int (n + 2))
+
+let cdf () n = if n < 0 then 0. else 1. -. (1. /. float_of_int (n + 2))
+
+let quantile () u =
+  assert (u >= 0. && u < 1.);
+  (* Smallest n with 1 - 1/(n+2) >= u, i.e. n >= 1/(1-u) - 2. *)
+  Int.max 0 (int_of_float (Float.ceil ((1. /. (1. -. u)) -. 2.)))
+
+let sample () rng = quantile () (Prng.Rng.float rng)

@@ -1,0 +1,18 @@
+(** The discrete Pareto (Zipf) distribution cited in Appendix B:
+
+    P[X = n] = 1 / ((n + 1) (n + 2)), n >= 0.
+
+    It has infinite mean; the paper notes it arises for platoon lengths of
+    cars on an infinite road — "a model suggestively analogous to computer
+    network traffic". *)
+
+type t
+
+val create : unit -> t
+
+val pmf : t -> int -> float
+val cdf : t -> int -> float
+(** P[X <= n] = 1 - 1 / (n + 2) (telescoping sum). *)
+
+val quantile : t -> float -> int
+val sample : t -> Prng.Rng.t -> int

@@ -1,0 +1,1 @@
+lib/lrd/beran.ml: Array Dist Fgn Float Timeseries

@@ -1,0 +1,1 @@
+lib/lrd/beran.mli: Timeseries

@@ -1,0 +1,1 @@
+lib/lrd/farima.ml: Beran Dist Float Gaussian_process Timeseries Whittle

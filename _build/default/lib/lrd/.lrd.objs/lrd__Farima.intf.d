@@ -1,0 +1,1 @@
+lib/lrd/farima.mli: Beran Prng Whittle

@@ -1,0 +1,1 @@
+lib/lrd/fgn.ml: Array Float Gaussian_process

@@ -1,0 +1,1 @@
+lib/lrd/gaussian_process.mli: Prng

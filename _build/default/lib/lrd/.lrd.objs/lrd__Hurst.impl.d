@@ -1,0 +1,1 @@
+lib/lrd/hurst.ml: Array Float List Stats Timeseries

@@ -1,0 +1,1 @@
+lib/lrd/hurst.mli:

@@ -1,0 +1,1 @@
+lib/lrd/lo_rs.mli:

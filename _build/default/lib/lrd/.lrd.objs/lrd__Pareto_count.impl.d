@@ -1,0 +1,1 @@
+lib/lrd/pareto_count.ml: Array Dist Float List

@@ -1,0 +1,1 @@
+lib/lrd/pareto_count.mli: Prng

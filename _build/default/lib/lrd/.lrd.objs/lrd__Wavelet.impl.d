@@ -1,0 +1,1 @@
+lib/lrd/wavelet.ml: Array Float Hurst Int List Stats

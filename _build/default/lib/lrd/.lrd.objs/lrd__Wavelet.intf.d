@@ -1,0 +1,1 @@
+lib/lrd/wavelet.mli: Hurst

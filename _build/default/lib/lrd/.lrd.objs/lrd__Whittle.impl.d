@@ -1,0 +1,1 @@
+lib/lrd/whittle.ml: Array Fgn Float Timeseries

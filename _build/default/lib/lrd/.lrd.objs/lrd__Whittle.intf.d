@@ -1,0 +1,1 @@
+lib/lrd/whittle.mli: Timeseries

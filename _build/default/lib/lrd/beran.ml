@@ -1,0 +1,24 @@
+type result = { t_stat : float; z : float; p_value : float; consistent : bool }
+
+let test_periodogram ?(level = 0.05) f pgram =
+  let freqs = pgram.Timeseries.Periodogram.freqs in
+  let power = pgram.Timeseries.Periodogram.power in
+  let n = Array.length freqs in
+  assert (n >= 4);
+  let s1 = ref 0. and s2 = ref 0. in
+  for j = 0 to n - 1 do
+    let eta = power.(j) /. f freqs.(j) in
+    s1 := !s1 +. eta;
+    s2 := !s2 +. (eta *. eta)
+  done;
+  let nf = float_of_int n in
+  let a = !s2 /. nf and b = !s1 /. nf in
+  let t_stat = a /. (b *. b) in
+  let z = sqrt nf *. (t_stat -. 2.) /. 2. in
+  let p_value = 2. *. (1. -. Dist.Special.normal_cdf (Float.abs z)) in
+  { t_stat; z; p_value; consistent = p_value >= level }
+
+let test ?level ~h xs =
+  assert (Array.length xs >= 16);
+  let pgram = Timeseries.Periodogram.compute xs in
+  test_periodogram ?level (fun lambda -> Fgn.spectral_density ~h lambda) pgram

@@ -1,0 +1,29 @@
+(** Beran's (1992) goodness-of-fit test for a long-memory spectral model.
+
+    Under the null hypothesis that the series has spectral density shape
+    f (here: fGn with a given H), the normalised periodogram ordinates
+    eta_j = I(lambda_j) / f(lambda_j) behave like i.i.d. standard
+    exponentials, so the statistic
+
+      T = mean(eta^2) / mean(eta)^2
+
+    is asymptotically Normal(2, 4/n'). T is scale-invariant, so neither
+    the series variance nor the periodogram normalisation matters. The
+    paper uses this test (with Whittle's H) to decide which traces are
+    "consistent with fractional Gaussian noise". *)
+
+type result = {
+  t_stat : float;
+  z : float;  (** Standardised statistic sqrt n' (T - 2) / 2. *)
+  p_value : float;  (** Two-sided. *)
+  consistent : bool;  (** p >= 0.05. *)
+}
+
+val test : ?level:float -> h:float -> float array -> result
+(** [test ~h xs] tests the series against the fGn spectral shape with
+    Hurst parameter [h] (typically the Whittle estimate), at significance
+    [level] (default 0.05). Requires at least 16 observations. *)
+
+val test_periodogram :
+  ?level:float -> (float -> float) -> Timeseries.Periodogram.t -> result
+(** Test against an arbitrary spectral-density shape. *)

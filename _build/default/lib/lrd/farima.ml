@@ -1,0 +1,32 @@
+let autocovariance ~d ~sigma2 k =
+  assert (d > 0. && d < 0.5);
+  let k = abs k in
+  let lg = Dist.Special.log_gamma in
+  let kf = float_of_int k in
+  sigma2
+  *. exp
+       (lg (1. -. (2. *. d))
+       +. lg (kf +. d)
+       -. lg d
+       -. lg (1. -. d)
+       -. lg (kf +. 1. -. d))
+(* Note Gamma(k+d)/Gamma(d) handled in log space; all arguments are
+   positive for 0 < d < 1/2. *)
+
+let generate ?(sigma2 = 1.) ~d ~n rng =
+  Gaussian_process.generate ~acvf:(autocovariance ~d ~sigma2) ~n rng
+
+let spectral_density ~d lambda =
+  assert (lambda > 0. && lambda <= Float.pi +. 1e-9);
+  (2. *. Float.abs (sin (lambda /. 2.))) ** (-2. *. d)
+
+let hurst_of_d d = d +. 0.5
+
+let whittle_d ?(d_lo = 0.001) ?(d_hi = 0.499) xs =
+  Whittle.estimate_with
+    ~density:(fun ~theta lambda -> spectral_density ~d:theta lambda)
+    ~lo:d_lo ~hi:d_hi xs
+
+let beran ?level ~d xs =
+  let pgram = Timeseries.Periodogram.compute xs in
+  Beran.test_periodogram ?level (fun lambda -> spectral_density ~d lambda) pgram

@@ -1,0 +1,32 @@
+(** Fractional ARIMA(0,d,0) — the alternative self-similar family the
+    paper names when traces reject fractional Gaussian noise ("better
+    fits to other self-similar models such as fractional ARIMA", Section
+    VII-D).
+
+    For 0 < d < 1/2 the process is stationary and long-range dependent
+    with Hurst parameter H = d + 1/2. Autocovariance:
+
+      gamma(k) = sigma2 Gamma(1-2d) Gamma(k+d)
+                 / (Gamma(d) Gamma(1-d) Gamma(k+1-d))
+
+    and spectral density f(lambda) proportional to
+    |2 sin(lambda/2)|^(-2d). *)
+
+val autocovariance : d:float -> sigma2:float -> int -> float
+(** Requires [0 < d < 0.5]. *)
+
+val generate : ?sigma2:float -> d:float -> n:int -> Prng.Rng.t -> float array
+(** Exact sampling by circulant embedding; [n] must be a power of two. *)
+
+val spectral_density : d:float -> float -> float
+(** Up to a constant scale; lambda in (0, pi]. *)
+
+val hurst_of_d : float -> float
+(** H = d + 1/2. *)
+
+val whittle_d : ?d_lo:float -> ?d_hi:float -> float array -> Whittle.result
+(** Whittle estimate of [d] against the fARIMA spectral shape (the
+    result's [h] field holds d-hat). Defaults d in [0.001, 0.499]. *)
+
+val beran : ?level:float -> d:float -> float array -> Beran.result
+(** Beran goodness-of-fit against the fARIMA shape at the given [d]. *)

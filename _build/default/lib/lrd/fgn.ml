@@ -1,0 +1,37 @@
+let autocovariance ~h ~sigma2 k =
+  let k = Float.abs (float_of_int k) in
+  let p x = x ** (2. *. h) in
+  sigma2 /. 2. *. (p (k +. 1.) -. (2. *. p k) +. p (Float.abs (k -. 1.)))
+
+let generate ?(sigma2 = 1.) ~h ~n rng =
+  assert (h > 0. && h < 1.);
+  Gaussian_process.generate ~acvf:(autocovariance ~h ~sigma2) ~n rng
+
+let fbm_of_fgn xs =
+  let acc = ref 0. in
+  Array.map
+    (fun x ->
+      acc := !acc +. x;
+      !acc)
+    xs
+
+(* Paxson's approximation to the fGn spectral density sum
+   B(lambda, H) = sum_{j>=1} [(2 pi j + lambda)^d + (2 pi j - lambda)^d]
+   with d = -2H - 1: first three terms exactly, the tail by the
+   trapezoidal-corrected integral. *)
+let spectral_density ~h lambda =
+  assert (lambda > 0. && lambda <= Float.pi +. 1e-9);
+  let d = (-2. *. h) -. 1. in
+  let two_pi = 2. *. Float.pi in
+  let aj j = (two_pi *. j) +. lambda and bj j = (two_pi *. j) -. lambda in
+  let b3 =
+    (aj 1. ** d) +. (bj 1. ** d) +. (aj 2. ** d) +. (bj 2. ** d)
+    +. (aj 3. ** d) +. (bj 3. ** d)
+  in
+  let dprime = -2. *. h in
+  let tail =
+    ((aj 3. ** dprime) +. (bj 3. ** dprime) +. (aj 4. ** dprime)
+    +. (bj 4. ** dprime))
+    /. (8. *. h *. Float.pi)
+  in
+  (1. -. cos lambda) *. ((Float.abs lambda ** d) +. b3 +. tail)

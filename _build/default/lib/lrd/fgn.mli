@@ -1,0 +1,26 @@
+(** Exact fractional Gaussian noise generation (Davies-Harte circulant
+    embedding).
+
+    fGn is "the simplest type of self-similar process" the paper tests
+    traffic against (Section VII); generating it exactly lets us validate
+    every Hurst estimator and the Whittle/Beran machinery against a known
+    ground truth. *)
+
+val autocovariance : h:float -> sigma2:float -> int -> float
+(** [autocovariance ~h ~sigma2 k] is
+    sigma2 / 2 (|k+1|^2H - 2|k|^2H + |k-1|^2H). *)
+
+val generate : ?sigma2:float -> h:float -> n:int -> Prng.Rng.t -> float array
+(** [generate ~h ~n rng]: [n] samples of zero-mean fGn with Hurst
+    parameter [h] in (0, 1) and marginal variance [sigma2] (default 1).
+    Requires [n] to be a power of two (the circulant embedding uses a
+    radix-2 FFT). O(n log n). *)
+
+val fbm_of_fgn : float array -> float array
+(** Cumulative sums: fractional Brownian motion increments-to-path. *)
+
+val spectral_density : h:float -> float -> float
+(** fGn spectral density (up to the variance scale) at frequency
+    lambda in (0, pi], using Paxson's 1997 truncated-sum approximation:
+    f(lambda) = (1 - cos lambda) [ |lambda|^(-2H-1) + B(lambda, H) ].
+    Used by Whittle's estimator and Beran's test. *)

@@ -1,0 +1,36 @@
+let generate ~acvf ~n rng =
+  assert (Timeseries.Fft.is_pow2 n);
+  let m = 2 * n in
+  (* First row of the circulant embedding of the covariance matrix. *)
+  let cr = Array.make m 0. and ci = Array.make m 0. in
+  for k = 0 to n do
+    cr.(k) <- acvf k
+  done;
+  for k = n + 1 to m - 1 do
+    cr.(k) <- cr.(m - k)
+  done;
+  Timeseries.Fft.fft_pow2 cr ci;
+  let scale0 = Float.abs cr.(0) +. 1e-9 in
+  let lambda =
+    Array.map
+      (fun x ->
+        if x < -.(1e-8 *. scale0) then
+          invalid_arg "Gaussian_process.generate: embedding not nonneg definite"
+        else Float.max x 0.)
+      cr
+  in
+  let std = Dist.Normal.standard in
+  let vr = Array.make m 0. and vi = Array.make m 0. in
+  vr.(0) <- sqrt lambda.(0) *. Dist.Normal.sample std rng;
+  vr.(n) <- sqrt lambda.(n) *. Dist.Normal.sample std rng;
+  for k = 1 to n - 1 do
+    let s = sqrt (lambda.(k) /. 2.) in
+    let a = Dist.Normal.sample std rng and b = Dist.Normal.sample std rng in
+    vr.(k) <- s *. a;
+    vi.(k) <- s *. b;
+    vr.(m - k) <- s *. a;
+    vi.(m - k) <- -.s *. b
+  done;
+  Timeseries.Fft.fft_pow2 vr vi;
+  let scale = 1. /. sqrt (float_of_int m) in
+  Array.init n (fun i -> vr.(i) *. scale)

@@ -1,0 +1,10 @@
+(** Exact sampling of stationary Gaussian processes by circulant
+    embedding (Davies-Harte). Shared by the fGn and fARIMA generators. *)
+
+val generate : acvf:(int -> float) -> n:int -> Prng.Rng.t -> float array
+(** [generate ~acvf ~n rng]: [n] samples of the zero-mean stationary
+    Gaussian process with autocovariance [acvf]. Requires [n] to be a
+    power of two and the circulant embedding of the covariance to be
+    non-negative definite (true for fGn and fARIMA(0,d,0); tiny negative
+    rounding eigenvalues are clamped, and a clearly negative eigenvalue
+    raises [Invalid_argument]). *)

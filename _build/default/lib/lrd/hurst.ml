@@ -1,0 +1,89 @@
+type estimate = { h : float; slope : float; r2 : float }
+
+let variance_time ?min_m ?max_m xs =
+  let curve = Timeseries.Variance_time.curve xs in
+  let fit = Timeseries.Variance_time.slope ?min_m ?max_m curve in
+  {
+    h = Timeseries.Variance_time.hurst_of_slope fit.Stats.Regression.slope;
+    slope = fit.slope;
+    r2 = fit.r2;
+  }
+
+(* Rescaled adjusted range of one block. *)
+let rs_of_block xs lo len =
+  let mean = ref 0. in
+  for i = lo to lo + len - 1 do
+    mean := !mean +. xs.(i)
+  done;
+  let mean = !mean /. float_of_int len in
+  let dev = ref 0. and dmin = ref 0. and dmax = ref 0. and ss = ref 0. in
+  for i = lo to lo + len - 1 do
+    let d = xs.(i) -. mean in
+    dev := !dev +. d;
+    if !dev < !dmin then dmin := !dev;
+    if !dev > !dmax then dmax := !dev;
+    ss := !ss +. (d *. d)
+  done;
+  let r = !dmax -. !dmin in
+  let s = sqrt (!ss /. float_of_int len) in
+  if s > 0. then Some (r /. s) else None
+
+let rescaled_range ?(min_block = 8) ?max_block xs =
+  let n = Array.length xs in
+  assert (n >= 32);
+  let max_block = match max_block with Some m -> m | None -> n / 4 in
+  (* Log-spaced block sizes, half-decade steps. *)
+  let sizes =
+    let rec go k acc =
+      let s = int_of_float (Float.round (10. ** (float_of_int k /. 4.))) in
+      if s > max_block then List.rev acc
+      else
+        let acc =
+          if s >= min_block && (match acc with p :: _ -> p <> s | [] -> true)
+          then s :: acc
+          else acc
+        in
+        go (k + 1) acc
+    in
+    go 0 []
+  in
+  let points =
+    List.filter_map
+      (fun size ->
+        let blocks = n / size in
+        if blocks < 1 then None
+        else begin
+          let acc = ref 0. and cnt = ref 0 in
+          for b = 0 to blocks - 1 do
+            match rs_of_block xs (b * size) size with
+            | Some rs ->
+              acc := !acc +. rs;
+              incr cnt
+            | None -> ()
+          done;
+          if !cnt = 0 then None
+          else
+            Some
+              ( log10 (float_of_int size),
+                log10 (!acc /. float_of_int !cnt) )
+        end)
+      sizes
+  in
+  let fit = Stats.Regression.ols (Array.of_list points) in
+  { h = fit.Stats.Regression.slope; slope = fit.slope; r2 = fit.r2 }
+
+let periodogram_regression ?(fraction = 0.1) xs =
+  let pgram = Timeseries.Periodogram.compute xs in
+  let low = Timeseries.Periodogram.low_frequency pgram ~fraction in
+  let points =
+    Array.to_list
+      (Array.map2
+         (fun f p -> (log10 f, log10 (Float.max p 1e-300)))
+         low.Timeseries.Periodogram.freqs low.Timeseries.Periodogram.power)
+  in
+  let fit = Stats.Regression.ols (Array.of_list points) in
+  {
+    h = (1. -. fit.Stats.Regression.slope) /. 2.;
+    slope = fit.slope;
+    r2 = fit.r2;
+  }

@@ -1,0 +1,25 @@
+(** Hurst-parameter estimators.
+
+    Three classical estimators over a stationary series: the
+    variance-time slope (the paper's main graphical tool), rescaled-range
+    (R/S) analysis, and log-periodogram regression. {!Whittle} provides
+    the likelihood-based estimator the paper uses for its formal claims. *)
+
+type estimate = {
+  h : float;
+  slope : float;  (** Underlying regression slope. *)
+  r2 : float;  (** Regression goodness. *)
+}
+
+val variance_time : ?min_m:int -> ?max_m:int -> float array -> estimate
+(** H from the variance-time slope: H = 1 + slope/2. *)
+
+val rescaled_range :
+  ?min_block:int -> ?max_block:int -> float array -> estimate
+(** Classic R/S: average rescaled adjusted range over non-overlapping
+    blocks at log-spaced block sizes; H is the slope of
+    log E[R/S] vs log block size. Requires at least 32 observations. *)
+
+val periodogram_regression : ?fraction:float -> float array -> estimate
+(** Regress log10 I(lambda) on log10 lambda over the lowest [fraction]
+    (default 0.1) of Fourier frequencies; slope ~ 1 - 2H. *)

@@ -1,0 +1,43 @@
+type result = { v_q : float; q : int; reject_srd : bool }
+
+(* 95% two-sided interval of the limiting distribution of V_q under
+   short-range dependence (Lo 1991, Table II). *)
+let upper_95 = 1.862
+
+let test ?q xs =
+  let n = Array.length xs in
+  assert (n >= 32);
+  let nf = float_of_int n in
+  let q =
+    match q with
+    | Some q ->
+      assert (q >= 0 && q < n);
+      q
+    | None -> int_of_float (Float.floor ((1.5 *. nf) ** (1. /. 3.)))
+  in
+  let mean = Stats.Descriptive.mean xs in
+  (* Adjusted range of the cumulative deviations. *)
+  let dev = ref 0. and dmin = ref 0. and dmax = ref 0. in
+  Array.iter
+    (fun x ->
+      dev := !dev +. (x -. mean);
+      if !dev < !dmin then dmin := !dev;
+      if !dev > !dmax then dmax := !dev)
+    xs;
+  let range = !dmax -. !dmin in
+  (* Newey-West long-run variance with Bartlett weights. *)
+  let gamma k =
+    let acc = ref 0. in
+    for i = 0 to n - 1 - k do
+      acc := !acc +. ((xs.(i) -. mean) *. (xs.(i + k) -. mean))
+    done;
+    !acc /. nf
+  in
+  let sigma2 = ref (gamma 0) in
+  for k = 1 to q do
+    let w = 1. -. (float_of_int k /. (float_of_int q +. 1.)) in
+    sigma2 := !sigma2 +. (2. *. w *. gamma k)
+  done;
+  let sigma = sqrt (Float.max !sigma2 1e-300) in
+  let v_q = range /. (sqrt nf *. sigma) in
+  { v_q; q; reject_srd = v_q > upper_95 }

@@ -1,0 +1,25 @@
+(** Lo's (1991) modified rescaled-range test for long-range dependence.
+
+    Classical R/S is biased by short-range dependence; Lo's statistic
+    replaces the sample standard deviation with a Newey-West long-run
+    variance estimate over q lags:
+
+      V_q = R / (sqrt n sigma_hat_q)
+
+    Under short-range dependence only, V_q falls in [0.809, 1.862] with
+    95% probability; values above reject H0 in favour of long-range
+    dependence. This complements the estimators: it is a formal *test*
+    for the presence of LRD, which the paper's variance-time plots argue
+    visually. *)
+
+type result = {
+  v_q : float;
+  q : int;  (** Newey-West truncation lag used. *)
+  reject_srd : bool;
+      (** True when V_q exceeds the 95% upper bound: evidence of LRD. *)
+}
+
+val test : ?q:int -> float array -> result
+(** [test xs] with [q] defaulting to Andrews' rule-of-thumb
+    floor((3n/2)^(1/3)). Requires at least 32 observations. With
+    [q = 0] this is the classical R/S statistic over the full series. *)

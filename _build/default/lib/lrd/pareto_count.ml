@@ -1,0 +1,73 @@
+type run_stats = {
+  n_bursts : int;
+  n_lulls : int;
+  mean_burst : float;
+  mean_lull : float;
+  occupancy : float;
+}
+
+let arrival_times ~beta ~a ~n rng =
+  let p = Dist.Pareto.create ~location:a ~shape:beta in
+  let t = ref 0. in
+  Array.init n (fun _ ->
+      t := !t +. Dist.Pareto.sample p rng;
+      !t)
+
+let count_process ~beta ~a ~bin ~bins rng =
+  assert (bin > 0. && bins > 0);
+  let p = Dist.Pareto.create ~location:a ~shape:beta in
+  let counts = Array.make bins 0. in
+  let horizon = float_of_int bins *. bin in
+  let t = ref (Dist.Pareto.sample p rng) in
+  while !t < horizon do
+    let i = int_of_float (!t /. bin) in
+    counts.(i) <- counts.(i) +. 1.;
+    t := !t +. Dist.Pareto.sample p rng
+  done;
+  counts
+
+(* Collect maximal runs; [select] picks occupied (burst) or empty (lull)
+   runs. Leading/trailing runs count too. *)
+let runs select counts =
+  let out = ref [] in
+  let len = ref 0 in
+  Array.iter
+    (fun c ->
+      if select (c > 0.) then incr len
+      else if !len > 0 then begin
+        out := !len :: !out;
+        len := 0
+      end)
+    counts;
+  if !len > 0 then out := !len :: !out;
+  Array.of_list (List.rev !out)
+
+let burst_lengths counts = runs (fun occupied -> occupied) counts
+let lull_lengths counts = runs (fun occupied -> not occupied) counts
+
+let run_stats counts =
+  let bursts = burst_lengths counts and lulls = lull_lengths counts in
+  let mean xs =
+    if Array.length xs = 0 then nan
+    else
+      float_of_int (Array.fold_left ( + ) 0 xs) /. float_of_int (Array.length xs)
+  in
+  let occupied = Array.fold_left (fun acc c -> if c > 0. then acc + 1 else acc) 0 counts in
+  {
+    n_bursts = Array.length bursts;
+    n_lulls = Array.length lulls;
+    mean_burst = mean bursts;
+    mean_lull = mean lulls;
+    occupancy = float_of_int occupied /. float_of_int (Array.length counts);
+  }
+
+let expected_burst_bins ~beta ~a ~b =
+  assert (b > a);
+  if Float.abs (beta -. 2.) < 1e-9 then b /. a
+  else if Float.abs (beta -. 1.) < 1e-9 then log (b /. a)
+  else if Float.abs (beta -. 0.5) < 1e-9 then 1. /. (1. -. (2. ** -0.5))
+  else
+    (* Geometric bound: an interarrival ends the burst with probability
+       at least p = P[I > b] = (a/b)^beta; expected run of continuations
+       is 1/p. *)
+    1. /. ((a /. b) ** beta)

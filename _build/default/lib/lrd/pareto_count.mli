@@ -1,0 +1,40 @@
+(** Appendix C: the count process of i.i.d. Pareto interarrivals and its
+    burst/lull structure.
+
+    A renewal process with Pareto(a, beta) interarrivals, binned into
+    bins of width b, alternates between "bursts" (runs of occupied bins)
+    and "lulls" (runs of empty bins). The appendix shows the expected
+    burst length in bins grows like b/a for beta = 2, like log (b/a) for
+    beta = 1, and is constant for beta = 1/2 — while the lull length
+    distribution (in bins) is invariant in b. This module measures all of
+    that, and generates the count processes behind Figs. 14 and 15. *)
+
+type run_stats = {
+  n_bursts : int;
+  n_lulls : int;
+  mean_burst : float;  (** Mean burst length in bins (nan if none). *)
+  mean_lull : float;  (** Mean lull length in bins (nan if none). *)
+  occupancy : float;  (** Fraction of occupied bins. *)
+}
+
+val arrival_times :
+  beta:float -> a:float -> n:int -> Prng.Rng.t -> float array
+(** [n] arrival times as the cumulative sum of i.i.d. Pareto(a, beta)
+    interarrivals. *)
+
+val count_process :
+  beta:float -> a:float -> bin:float -> bins:int -> Prng.Rng.t -> float array
+(** Counts in [bins] consecutive bins of width [bin], generating arrivals
+    lazily until the horizon is covered (memory O(bins), not O(arrivals)). *)
+
+val run_stats : float array -> run_stats
+(** Burst/lull statistics of a count process. *)
+
+val burst_lengths : float array -> int array
+val lull_lengths : float array -> int array
+
+val expected_burst_bins : beta:float -> a:float -> b:float -> float
+(** The appendix's analytic approximation for the expected number of bins
+    spanned by a burst: b/a for beta = 2 (when b >> a), ln (b/a) for
+    beta = 1, and 1/(1 - 2^(-1/2)) ~ 3.41 for beta = 1/2. Other shapes
+    fall back to the geometric bound with p_t = 1 - (a/b)^beta. *)

@@ -1,0 +1,59 @@
+type octave = { j : int; n_coeffs : int; log2_energy : float }
+
+let decompose xs =
+  assert (Array.length xs >= 16);
+  let n =
+    let p = ref 1 in
+    while !p * 2 <= Array.length xs do
+      p := !p * 2
+    done;
+    !p
+  in
+  let approx = ref (Array.sub xs 0 n) in
+  let out = ref [] in
+  let j = ref 1 in
+  let inv_sqrt2 = 1. /. sqrt 2. in
+  while Array.length !approx >= 2 do
+    let half = Array.length !approx / 2 in
+    let a = Array.make half 0. and d = Array.make half 0. in
+    for k = 0 to half - 1 do
+      let x = !approx.(2 * k) and y = !approx.((2 * k) + 1) in
+      a.(k) <- (x +. y) *. inv_sqrt2;
+      d.(k) <- (x -. y) *. inv_sqrt2
+    done;
+    let energy =
+      Array.fold_left (fun acc v -> acc +. (v *. v)) 0. d /. float_of_int half
+    in
+    out :=
+      { j = !j; n_coeffs = half; log2_energy = log (Float.max energy 1e-300) /. log 2. }
+      :: !out;
+    approx := a;
+    incr j
+  done;
+  List.rev !out
+
+let estimate ?(j_lo = 2) ?j_hi xs =
+  let octaves = decompose xs in
+  let j_hi =
+    match j_hi with
+    | Some j -> j
+    | None ->
+      List.fold_left
+        (fun acc o -> if o.n_coeffs >= 8 then Int.max acc o.j else acc)
+        j_lo octaves
+  in
+  let points =
+    List.filter_map
+      (fun o ->
+        if o.j >= j_lo && o.j <= j_hi then
+          Some (float_of_int o.j, o.log2_energy)
+        else None)
+      octaves
+  in
+  assert (List.length points >= 2);
+  let fit = Stats.Regression.ols (Array.of_list points) in
+  {
+    Hurst.h = (fit.Stats.Regression.slope +. 1.) /. 2.;
+    slope = fit.slope;
+    r2 = fit.r2;
+  }

@@ -1,0 +1,17 @@
+(** Abry-Veitch wavelet (Haar) estimator of the Hurst parameter.
+
+    The Haar detail-coefficient energy at octave j of an LRD process
+    scales like 2^(j (2H - 1)); regressing log2 (mean d_j^2) on j over
+    the mid octaves estimates H. A robust modern complement to the
+    paper's variance-time and Whittle toolbox. *)
+
+type octave = { j : int; n_coeffs : int; log2_energy : float }
+
+val decompose : float array -> octave list
+(** Haar detail energies per octave. The series is truncated to the
+    largest power of two. Requires at least 16 observations. *)
+
+val estimate : ?j_lo:int -> ?j_hi:int -> float array -> Hurst.estimate
+(** OLS of log2 energy on octave over [j_lo, j_hi] (defaults: 2 to the
+    largest octave with at least 8 coefficients), weighted equally.
+    H = (slope + 1) / 2. *)

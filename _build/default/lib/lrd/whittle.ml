@@ -1,0 +1,64 @@
+type result = { h : float; stderr : float; objective : float }
+
+let objective_with ~density pgram theta =
+  let freqs = pgram.Timeseries.Periodogram.freqs in
+  let power = pgram.Timeseries.Periodogram.power in
+  let n = Array.length freqs in
+  let ratio_sum = ref 0. and logf_sum = ref 0. in
+  for j = 0 to n - 1 do
+    let f = density ~theta freqs.(j) in
+    ratio_sum := !ratio_sum +. (power.(j) /. f);
+    logf_sum := !logf_sum +. log f
+  done;
+  let nf = float_of_int n in
+  log (!ratio_sum /. nf) +. (!logf_sum /. nf)
+
+let fgn_density ~theta lambda = Fgn.spectral_density ~h:theta lambda
+
+let objective pgram h = objective_with ~density:fgn_density pgram h
+
+(* Golden-section search with memoised interior points. *)
+let golden_section f lo hi =
+  let phi = (sqrt 5. -. 1.) /. 2. in
+  let a = ref lo and b = ref hi in
+  let c = ref (!b -. (phi *. (!b -. !a))) in
+  let d = ref (!a +. (phi *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  let iters = ref 80 in
+  while Float.abs (!b -. !a) > 1e-6 && !iters > 0 do
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (phi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (phi *. (!b -. !a));
+      fd := f !d
+    end;
+    decr iters
+  done;
+  (!a +. !b) /. 2.
+
+let estimate_with ~density ~lo ~hi xs =
+  assert (Array.length xs >= 16);
+  let pgram = Timeseries.Periodogram.compute xs in
+  let f = objective_with ~density pgram in
+  let h = golden_section f lo hi in
+  (* Curvature-based standard error: R is (2/n) x the profiled negative
+     log-likelihood, so Var(theta) ~ 2 / (n R''). *)
+  let eps = 1e-3 in
+  let h_m = Float.max lo (h -. eps) and h_p = Float.min hi (h +. eps) in
+  let second =
+    (f h_p -. (2. *. f h) +. f h_m) /. ((h_p -. h) *. (h -. h_m))
+  in
+  let n = float_of_int (Array.length pgram.Timeseries.Periodogram.freqs) in
+  let stderr = if second > 0. then sqrt (2. /. (n *. second)) else nan in
+  { h; stderr; objective = f h }
+
+let estimate ?(h_lo = 0.01) ?(h_hi = 0.99) xs =
+  estimate_with ~density:fgn_density ~lo:h_lo ~hi:h_hi xs

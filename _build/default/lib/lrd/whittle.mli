@@ -1,0 +1,41 @@
+(** Whittle's approximate maximum-likelihood estimator of the Hurst
+    parameter of fractional Gaussian noise (the procedure the paper uses,
+    citing Garrett & Willinger [21] and Leland et al. [28]).
+
+    The scale of the series is profiled out, so only H is estimated:
+    minimise  R(H) = log (mean_j I_j / f(lambda_j; H))
+                     + mean_j log f(lambda_j; H)
+    over H in (0, 1), where I is the periodogram and f the fGn spectral
+    density shape. *)
+
+type result = {
+  h : float;
+  stderr : float;
+      (** Approximate asymptotic standard error from the curvature of the
+          profiled Whittle objective. *)
+  objective : float;  (** R(H) at the minimum. *)
+}
+
+val estimate : ?h_lo:float -> ?h_hi:float -> float array -> result
+(** Golden-section minimisation over [[h_lo, h_hi]] (defaults 0.01/0.99).
+    Requires at least 16 observations. *)
+
+val objective : Timeseries.Periodogram.t -> float -> float
+(** The profiled Whittle objective R(H) for a precomputed periodogram. *)
+
+val estimate_with :
+  density:(theta:float -> float -> float) ->
+  lo:float ->
+  hi:float ->
+  float array ->
+  result
+(** Whittle estimation against an arbitrary one-parameter spectral shape:
+    [density ~theta lambda] up to a constant scale (profiled out). Used
+    by {!Farima} with the fARIMA(0,d,0) density. The [h] field of the
+    result holds the estimated theta. *)
+
+val objective_with :
+  density:(theta:float -> float -> float) ->
+  Timeseries.Periodogram.t ->
+  float ->
+  float

@@ -1,0 +1,84 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64: used only to expand the user seed into the 256-bit xoshiro
+   state, per Vigna's recommendation. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ step. *)
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let u = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 u;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Derive a child state by hashing fresh output through SplitMix64;
+     keeps parent and child streams decorrelated. *)
+  let state = ref (bits64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let float t =
+  (* Top 53 bits -> [0,1). *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let rec float_pos t =
+  let x = float t in
+  if x > 0. then x else float_pos t
+
+let float_range t lo hi =
+  assert (lo < hi);
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec go () =
+    let x = Int64.shift_right_logical (bits64 t) 1 in
+    let r = Int64.rem x n64 in
+    (* Reject draws from the final incomplete block of size n; detected by
+       signed overflow of x - r + (n - 1) above 2^63 - 1. *)
+    if Int64.add (Int64.sub x r) (Int64.sub n64 1L) >= 0L then Int64.to_int r
+    else go ()
+  in
+  go ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

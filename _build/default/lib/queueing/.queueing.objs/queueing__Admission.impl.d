@@ -1,0 +1,1 @@
+lib/queueing/admission.ml: Array Float Heap Int List

@@ -1,0 +1,1 @@
+lib/queueing/fifo.ml: Array Float Int Prng Queue Stats

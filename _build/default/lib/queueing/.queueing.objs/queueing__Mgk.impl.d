@@ -1,0 +1,1 @@
+lib/queueing/mgk.ml: Array Float Heap Int Option Traffic

@@ -1,0 +1,92 @@
+type result = {
+  offered : int;
+  admitted : int;
+  overload_fraction : float;
+  mean_utilisation : float;
+  peak_utilisation : float;
+  longest_overload : float;
+  mean_overload_episode : float;
+}
+
+let simulate ~capacity ~window ~flow_rate ~requests ~duration ?background
+    ~horizon ?(dt = 1.) rng =
+  assert (capacity > 0. && window > 0. && flow_rate > 0. && dt > 0.);
+  let n_steps = int_of_float (horizon /. dt) in
+  let bg_at =
+    match background with
+    | None -> fun _ -> 0.
+    | Some b ->
+      assert (Array.length b >= n_steps);
+      fun step -> b.(step)
+  in
+  let window_steps = Int.max 1 (int_of_float (window /. dt)) in
+  (* Trailing-average over a circular buffer of total-rate samples. *)
+  let history = Array.make window_steps 0. in
+  let hist_sum = ref 0. in
+  let ends : unit Heap.t = Heap.create () in
+  let reserved = ref 0. in
+  let offered = ref 0 and admitted = ref 0 in
+  let overload_steps = ref 0 in
+  let episode = ref 0 in
+  let episodes = ref [] in
+  let rate_sum = ref 0. and rate_peak = ref 0. in
+  let req_idx = ref 0 in
+  let n_requests = Array.length requests in
+  for step = 0 to n_steps - 1 do
+    let t = float_of_int step *. dt in
+    (* Expire finished reservations. *)
+    let continue = ref true in
+    while !continue do
+      match Heap.peek_min ends with
+      | Some (e, ()) when e <= t ->
+        ignore (Heap.pop_min ends);
+        reserved := !reserved -. flow_rate
+      | _ -> continue := false
+    done;
+    (* Process reservation requests due in this step: the controller only
+       knows the trailing measurement of the total rate. *)
+    while !req_idx < n_requests && requests.(!req_idx) < t +. dt do
+      incr offered;
+      let measured = !hist_sum /. float_of_int window_steps in
+      if measured +. flow_rate <= capacity then begin
+        incr admitted;
+        let d = duration rng in
+        assert (d > 0.);
+        Heap.push ends (t +. d) ();
+        reserved := !reserved +. flow_rate
+      end;
+      incr req_idx
+    done;
+    (* True total rate this step: background plus reservations. *)
+    let total = bg_at step +. !reserved in
+    let slot = step mod window_steps in
+    hist_sum := !hist_sum -. history.(slot) +. total;
+    history.(slot) <- total;
+    rate_sum := !rate_sum +. total;
+    if total > !rate_peak then rate_peak := total;
+    if total > capacity then begin
+      incr overload_steps;
+      incr episode
+    end
+    else if !episode > 0 then begin
+      episodes := !episode :: !episodes;
+      episode := 0
+    end
+  done;
+  if !episode > 0 then episodes := !episode :: !episodes;
+  let episode_secs = List.map (fun e -> float_of_int e *. dt) !episodes in
+  let longest = List.fold_left Float.max 0. episode_secs in
+  let mean_episode =
+    match episode_secs with
+    | [] -> 0.
+    | es -> List.fold_left ( +. ) 0. es /. float_of_int (List.length es)
+  in
+  {
+    offered = !offered;
+    admitted = !admitted;
+    overload_fraction = float_of_int !overload_steps /. float_of_int n_steps;
+    mean_utilisation = !rate_sum /. float_of_int n_steps /. capacity;
+    peak_utilisation = !rate_peak /. capacity;
+    longest_overload = longest;
+    mean_overload_episode = mean_episode;
+  }

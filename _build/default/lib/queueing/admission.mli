@@ -1,0 +1,47 @@
+(** Measurement-based admission control under long-range dependent load
+    (Section VIII).
+
+    Flows request a fixed rate and hold it for a random duration. The
+    controller admits a flow iff the aggregate rate it has *measured*
+    over a recent window stays within capacity — the scheme the paper
+    warns "could be easily misled following a long period of fairly low
+    traffic rates" when the load is long-range dependent (the California
+    earthquake analogy). With heavy-tailed flow durations the admitted
+    load overshoots capacity far more often than with exponential
+    durations at the same offered load. *)
+
+type result = {
+  offered : int;  (** Flow requests seen. *)
+  admitted : int;
+  overload_fraction : float;
+      (** Fraction of time the true aggregate rate exceeds capacity. *)
+  mean_utilisation : float;  (** Mean true rate / capacity. *)
+  peak_utilisation : float;
+  longest_overload : float;
+      (** Longest contiguous overload episode (s) — the paper's danger
+          is persistence, not frequency. *)
+  mean_overload_episode : float;  (** Mean overload episode length (s). *)
+}
+
+val simulate :
+  capacity:float ->
+  window:float ->
+  flow_rate:float ->
+  requests:float array ->
+  duration:(Prng.Rng.t -> float) ->
+  ?background:float array ->
+  horizon:float ->
+  ?dt:float ->
+  Prng.Rng.t ->
+  result
+(** [simulate ~capacity ~window ~flow_rate ~requests ~duration
+    ~background ~horizon rng]: reservation requests arrive at the
+    (sorted) times in [requests], each asking [flow_rate] for
+    [duration rng] seconds, on top of an uncontrolled [background] rate
+    series (one entry per [dt] step, default zero). The controller
+    admits iff the trailing [window]-average of the *total* rate
+    (background + reservations) plus [flow_rate] stays within
+    [capacity]; overload is counted on the true total. A long-range
+    dependent background is the paper's failure scenario: the controller
+    over-admits during a persistent lull, and the following swell rides
+    on top of the standing reservations. *)

@@ -1,0 +1,72 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable values : 'a array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 16 0.; values = [||]; size = 0 }
+let size t = t.size
+let is_empty t = t.size = 0
+
+let ensure_capacity t v =
+  if t.size = 0 && Array.length t.values = 0 then begin
+    t.keys <- Array.make 16 0.;
+    t.values <- Array.make 16 v
+  end
+  else if t.size = Array.length t.keys then begin
+    let n = 2 * t.size in
+    let keys = Array.make n 0. and values = Array.make n t.values.(0) in
+    Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.values 0 values 0 t.size;
+    t.keys <- keys;
+    t.values <- values
+  end
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let v = t.values.(i) in
+  t.values.(i) <- t.values.(j);
+  t.values.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(i) < t.keys.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+  if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key v =
+  ensure_capacity t v;
+  t.keys.(t.size) <- key;
+  t.values.(t.size) <- v;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_min t = if t.size = 0 then None else Some (t.keys.(0), t.values.(0))
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let out = (t.keys.(0), t.values.(0)) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.keys.(0) <- t.keys.(t.size);
+      t.values.(0) <- t.values.(t.size);
+      sift_down t 0
+    end;
+    Some out
+  end

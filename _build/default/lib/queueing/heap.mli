@@ -1,0 +1,12 @@
+(** Binary min-heap keyed by float (event times). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+val peek_min : 'a t -> (float * 'a) option
+val pop_min : 'a t -> (float * 'a) option
+(** Smallest key first; ties in arbitrary order. *)

@@ -1,0 +1,59 @@
+type class_stats = { served : int; mean_wait : float; max_wait : float }
+
+type stats = {
+  high : class_stats;
+  low : class_stats;
+  longest_low_gap : float;
+}
+
+let simulate ~high ~low ~service_high ~service_low =
+  assert (Array.length high > 0 && Array.length low > 0);
+  assert (service_high > 0. && service_low > 0.);
+  let nh = Array.length high and nl = Array.length low in
+  let ih = ref 0 and il = ref 0 in
+  let t = ref (Float.min high.(0) low.(0)) in
+  let sum_h = ref 0. and max_h = ref 0. and served_h = ref 0 in
+  let sum_l = ref 0. and max_l = ref 0. and served_l = ref 0 in
+  let last_low_departure = ref nan in
+  let longest_low_gap = ref 0. in
+  while !ih < nh || !il < nl do
+    let next_h = if !ih < nh then high.(!ih) else infinity in
+    let next_l = if !il < nl then low.(!il) else infinity in
+    (* If the server is idle, jump to the next arrival. *)
+    if !t < Float.min next_h next_l then t := Float.min next_h next_l;
+    if next_h <= !t then begin
+      let wait = !t -. next_h in
+      sum_h := !sum_h +. wait;
+      if wait > !max_h then max_h := wait;
+      incr served_h;
+      incr ih;
+      t := !t +. service_high
+    end
+    else begin
+      let wait = !t -. next_l in
+      sum_l := !sum_l +. wait;
+      if wait > !max_l then max_l := wait;
+      incr served_l;
+      incr il;
+      t := !t +. service_low;
+      (* Track the longest stretch between low-priority departures while
+         low packets were backlogged. *)
+      (if not (Float.is_nan !last_low_departure) then
+         let gap = !t -. !last_low_departure in
+         if gap > !longest_low_gap && next_l < !last_low_departure then
+           longest_low_gap := gap);
+      last_low_departure := !t
+    end
+  done;
+  let mk served sum max_w =
+    {
+      served;
+      mean_wait = (if served = 0 then 0. else sum /. float_of_int served);
+      max_wait = max_w;
+    }
+  in
+  {
+    high = mk !served_h !sum_h !max_h;
+    low = mk !served_l !sum_l !max_l;
+    longest_low_gap = !longest_low_gap;
+  }

@@ -1,0 +1,32 @@
+(** Two-class, non-preemptive strict-priority link (Section VIII).
+
+    The paper: "if the higher priority class has long-range dependence
+    and a high degree of variability over long time scales, then the
+    bursts from the higher priority traffic could starve the lower
+    priority traffic for long periods of time." This simulator measures
+    exactly that: per-class delays and the longest low-priority
+    starvation stretch. *)
+
+type class_stats = {
+  served : int;
+  mean_wait : float;
+  max_wait : float;
+}
+
+type stats = {
+  high : class_stats;
+  low : class_stats;
+  longest_low_gap : float;
+      (** Longest stretch with no low-priority departure while low
+          traffic was waiting. *)
+}
+
+val simulate :
+  high:float array ->
+  low:float array ->
+  service_high:float ->
+  service_low:float ->
+  stats
+(** Arrival arrays must be sorted. The server always takes the oldest
+    waiting high-priority packet first; service is never preempted.
+    Requires at least one packet in each class. *)

@@ -1,0 +1,28 @@
+type interval = { estimate : float; lo : float; hi : float }
+
+let resample ~block rng xs =
+  let n = Array.length xs in
+  assert (block >= 1 && block <= n);
+  let out = Array.make n 0. in
+  let pos = ref 0 in
+  while !pos < n do
+    let start = Prng.Rng.int rng (n - block + 1) in
+    let len = Int.min block (n - !pos) in
+    Array.blit xs start out !pos len;
+    pos := !pos + len
+  done;
+  out
+
+let confidence_interval ?(replicates = 200) ?(level = 0.95) ~block stat xs rng
+    =
+  assert (replicates >= 10 && level > 0. && level < 1.);
+  let estimate = stat xs in
+  let stats =
+    Array.init replicates (fun _ -> stat (resample ~block rng xs))
+  in
+  let alpha = (1. -. level) /. 2. in
+  {
+    estimate;
+    lo = Descriptive.quantile stats alpha;
+    hi = Descriptive.quantile stats (1. -. alpha);
+  }

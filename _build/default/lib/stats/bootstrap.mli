@@ -1,0 +1,25 @@
+(** Moving-block bootstrap for dependent data.
+
+    Resampling i.i.d.-style destroys the serial dependence that the
+    whole repository is about; block resampling preserves it within
+    blocks. Used to put confidence intervals on Hurst estimates and
+    other statistics of correlated series. *)
+
+type interval = { estimate : float; lo : float; hi : float }
+
+val resample :
+  block:int -> Prng.Rng.t -> float array -> float array
+(** One moving-block bootstrap replicate of the same length. Requires
+    [1 <= block <= length]. *)
+
+val confidence_interval :
+  ?replicates:int ->
+  ?level:float ->
+  block:int ->
+  (float array -> float) ->
+  float array ->
+  Prng.Rng.t ->
+  interval
+(** [confidence_interval ~block stat xs rng]: percentile bootstrap CI for
+    [stat] (default 200 replicates, 95% level). The [estimate] field is
+    [stat xs] on the original series. *)

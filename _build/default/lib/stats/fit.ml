@@ -1,0 +1,91 @@
+let exponential_mle xs = Dist.Exponential.create ~mean:(Descriptive.mean xs)
+
+let pareto_mle ?location xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  let a = match location with Some a -> a | None -> Descriptive.minimum xs in
+  assert (a > 0.);
+  let acc = ref 0. in
+  Array.iter
+    (fun x ->
+      assert (x >= a);
+      acc := !acc +. log (x /. a))
+    xs;
+  (* Degenerate all-equal sample: return a very light tail rather than
+     dividing by zero. *)
+  let shape = if !acc <= 0. then infinity else float_of_int n /. !acc in
+  let shape = Float.min shape 1e6 in
+  Dist.Pareto.create ~location:a ~shape
+
+let hill xs ~k =
+  let n = Array.length xs in
+  assert (k >= 1 && k < n);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let x_k = sorted.(n - 1 - k) in
+  assert (x_k > 0.);
+  let acc = ref 0. in
+  for i = n - k to n - 1 do
+    acc := !acc +. log (sorted.(i) /. x_k)
+  done;
+  float_of_int k /. !acc
+
+let lognormal_mle xs =
+  let logs = Array.map (fun x ->
+    assert (x > 0.);
+    log x) xs
+  in
+  let mu = Descriptive.mean logs and sigma = Descriptive.std logs in
+  assert (sigma > 0.);
+  Dist.Lognormal.create ~mu ~sigma
+
+let normal_mle xs =
+  Dist.Normal.create ~mu:(Descriptive.mean xs) ~sigma:(Descriptive.std xs)
+
+let euler_gamma = 0.57721566490153286
+
+let log_extreme_moments xs =
+  let log2 x = log x /. log 2. in
+  let ys = Array.map (fun x ->
+    assert (x > 0.);
+    log2 x) xs
+  in
+  let sd = Descriptive.std ys in
+  assert (sd > 0.);
+  let beta = sqrt 6. *. sd /. Float.pi in
+  let alpha = Descriptive.mean ys -. (euler_gamma *. beta) in
+  Dist.Log_extreme.create ~alpha ~beta
+
+let cmex xs x =
+  let sum = ref 0. and count = ref 0 in
+  Array.iter
+    (fun v ->
+      if v >= x then begin
+        sum := !sum +. (v -. x);
+        incr count
+      end)
+    xs;
+  if !count = 0 then nan else !sum /. float_of_int !count
+
+let tail_mass xs ~top_fraction =
+  assert (top_fraction > 0. && top_fraction <= 1.);
+  let n = Array.length xs in
+  assert (n > 0);
+  let sorted = Array.copy xs in
+  Array.sort (fun a b -> compare b a) sorted;
+  let k = Int.max 1 (int_of_float (Float.round (top_fraction *. float_of_int n))) in
+  let total = Array.fold_left ( +. ) 0. sorted in
+  if total <= 0. then 0.
+  else begin
+    let top = ref 0. in
+    for i = 0 to k - 1 do
+      top := !top +. sorted.(i)
+    done;
+    !top /. total
+  end
+
+let concentration_curve xs ~points =
+  assert (points >= 2);
+  Array.init points (fun i ->
+      let pct = 10. *. float_of_int (i + 1) /. float_of_int points in
+      (pct, 100. *. tail_mass xs ~top_fraction:(pct /. 100.)))

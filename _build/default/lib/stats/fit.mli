@@ -1,0 +1,39 @@
+(** Parameter estimation for the distributions used in the paper. *)
+
+val exponential_mle : float array -> Dist.Exponential.t
+(** MLE: mean = sample mean. Requires positive data. *)
+
+val pareto_mle : ?location:float -> float array -> Dist.Pareto.t
+(** MLE for the classical Pareto: location defaults to the sample minimum;
+    shape = n / sum (ln (x_i / location)). Requires data >= location > 0. *)
+
+val hill : float array -> k:int -> float
+(** Hill estimator of the tail index alpha (the Pareto shape) from the
+    upper [k] order statistics. Requires [1 <= k < length], positive
+    data. Returns the estimated shape (1 / mean of log excesses). *)
+
+val lognormal_mle : float array -> Dist.Lognormal.t
+(** mu and sigma are the mean and (population) std of ln x. Requires
+    strictly positive data with non-zero spread. *)
+
+val normal_mle : float array -> Dist.Normal.t
+
+val log_extreme_moments : float array -> Dist.Log_extreme.t
+(** Method-of-moments Gumbel fit on the log2 scale: scale =
+    sqrt(6) * std / pi, location = mean - gamma * scale (on log2 data). *)
+
+val cmex : float array -> float -> float
+(** [cmex xs x]: empirical conditional mean exceedance
+    E[X - x | X >= x]. Returns [nan] if no sample reaches [x]. *)
+
+val tail_mass : float array -> top_fraction:float -> float
+(** [tail_mass xs ~top_fraction]: the share of the total sum contributed
+    by the largest [top_fraction] of the samples (e.g. the paper's
+    "upper 0.5% of FTPDATA bursts holds 30-60% of the bytes"). At least
+    one sample is always counted. Requires non-negative data,
+    [0 < top_fraction <= 1]. *)
+
+val concentration_curve : float array -> points:int -> (float * float) array
+(** Fig. 9-style curve: for fractions f in (0, top 10%], the share of the
+    total sum held by the largest f of samples; returns
+    (percent of bursts, percent of bytes) pairs with x up to 10. *)

@@ -1,0 +1,85 @@
+type scale = Linear | Log10
+
+type t = {
+  lo : float;
+  hi : float;
+  bins : int;
+  scale : scale;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let create ~lo ~hi ~bins =
+  assert (lo < hi && bins > 0);
+  { lo; hi; bins; scale = Linear; counts = Array.make bins 0; underflow = 0;
+    overflow = 0 }
+
+let create_log ~lo ~hi ~bins =
+  assert (0. < lo && lo < hi && bins > 0);
+  { lo; hi; bins; scale = Log10; counts = Array.make bins 0; underflow = 0;
+    overflow = 0 }
+
+let position t x =
+  match t.scale with
+  | Linear -> (x -. t.lo) /. (t.hi -. t.lo)
+  | Log10 ->
+    if x <= 0. then -1.
+    else log10 (x /. t.lo) /. log10 (t.hi /. t.lo)
+
+let add t x =
+  let pos = position t x in
+  if pos < 0. then t.underflow <- t.underflow + 1
+  else if pos >= 1. then t.overflow <- t.overflow + 1
+  else
+    let i = int_of_float (pos *. float_of_int t.bins) in
+    let i = Int.min i (t.bins - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+
+let add_all t xs = Array.iter (add t) xs
+let count t i = t.counts.(i)
+let counts t = Array.copy t.counts
+
+let total t =
+  Array.fold_left ( + ) 0 t.counts + t.underflow + t.overflow
+
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let edge t i =
+  let f = float_of_int i /. float_of_int t.bins in
+  match t.scale with
+  | Linear -> t.lo +. (f *. (t.hi -. t.lo))
+  | Log10 -> t.lo *. ((t.hi /. t.lo) ** f)
+
+let bin_lo t i = edge t i
+let bin_hi t i = edge t (i + 1)
+
+let bin_mid t i =
+  match t.scale with
+  | Linear -> (bin_lo t i +. bin_hi t i) /. 2.
+  | Log10 -> sqrt (bin_lo t i *. bin_hi t i)
+
+let density t i =
+  let n = total t in
+  if n = 0 then 0.
+  else
+    float_of_int t.counts.(i)
+    /. (float_of_int n *. (bin_hi t i -. bin_lo t i))
+
+let ecdf_grid xs grid =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let count_le x =
+    (* Binary search: number of samples <= x. *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  Array.map
+    (fun g -> (g, float_of_int (count_le g) /. float_of_int (Int.max 1 n)))
+    grid

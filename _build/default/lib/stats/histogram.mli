@@ -1,0 +1,34 @@
+(** Fixed-width and logarithmic histograms, plus empirical CDF sampling
+    grids used when printing the paper's distribution figures. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Linear bins over [[lo, hi)]. Requires [lo < hi] and [bins > 0]. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** Bins equally spaced in log10(x) over [[lo, hi)]. Requires
+    [0 < lo < hi]. *)
+
+val add : t -> float -> unit
+(** Values outside the range are counted in the under/overflow slots. *)
+
+val add_all : t -> float array -> unit
+val count : t -> int -> int
+val counts : t -> int array
+val total : t -> int
+(** Total including under/overflow. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_lo : t -> int -> float
+val bin_hi : t -> int -> float
+val bin_mid : t -> int -> float
+
+val density : t -> int -> float
+(** count / (total * bin width): estimated pdf at the bin. *)
+
+val ecdf_grid : float array -> float array -> (float * float) array
+(** [ecdf_grid xs grid] evaluates the empirical CDF of samples [xs] at
+    each point of [grid], returning (grid point, fraction <= point). *)

@@ -1,0 +1,35 @@
+type fit = { slope : float; intercept : float; r2 : float; stderr_slope : float }
+
+let ols points =
+  let n = Array.length points in
+  assert (n >= 2);
+  let nf = float_of_int n in
+  let sx = ref 0. and sy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y)
+    points;
+  let mx = !sx /. nf and my = !sy /. nf in
+  let sxx = ref 0. and sxy = ref 0. and syy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx and dy = y -. my in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    points;
+  assert (!sxx > 0.);
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res = !syy -. (slope *. !sxy) in
+  let r2 = if !syy = 0. then 1. else 1. -. (ss_res /. !syy) in
+  let stderr_slope =
+    if n <= 2 then 0.
+    else sqrt (Float.max 0. ss_res /. (nf -. 2.) /. !sxx)
+  in
+  { slope; intercept; r2; stderr_slope }
+
+let ols_arrays xs ys =
+  assert (Array.length xs = Array.length ys);
+  ols (Array.init (Array.length xs) (fun i -> (xs.(i), ys.(i))))

@@ -1,0 +1,15 @@
+(** Ordinary least squares on (x, y) pairs; used for variance-time plot
+    slopes and periodogram-based Hurst estimation. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** Coefficient of determination. *)
+  stderr_slope : float;  (** Standard error of the slope estimate. *)
+}
+
+val ols : (float * float) array -> fit
+(** Requires at least two points with non-constant x. *)
+
+val ols_arrays : float array -> float array -> fit
+(** Same, from parallel arrays of equal length. *)

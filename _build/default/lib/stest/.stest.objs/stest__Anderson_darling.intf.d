@@ -1,0 +1,1 @@
+lib/stest/anderson_darling.mli:

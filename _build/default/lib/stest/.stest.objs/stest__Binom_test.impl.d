@@ -1,0 +1,1 @@
+lib/stest/binom_test.ml: Dist

@@ -1,0 +1,1 @@
+lib/stest/chi_square.ml: Array Dist Float Int

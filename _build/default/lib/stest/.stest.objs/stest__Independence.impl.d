@@ -1,0 +1,1 @@
+lib/stest/independence.ml: Array Float Stats

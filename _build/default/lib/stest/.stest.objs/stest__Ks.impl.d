@@ -1,0 +1,1 @@
+lib/stest/ks.ml: Array Float

@@ -1,0 +1,1 @@
+lib/stest/ljung_box.mli:

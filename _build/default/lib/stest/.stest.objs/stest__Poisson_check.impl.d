@@ -1,0 +1,1 @@
+lib/stest/poisson_check.ml: Anderson_darling Array Binom_test Float Format Independence Int

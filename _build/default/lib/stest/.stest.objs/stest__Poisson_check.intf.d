@@ -1,0 +1,1 @@
+lib/stest/poisson_check.mli: Binom_test Format

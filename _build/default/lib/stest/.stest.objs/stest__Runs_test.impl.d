@@ -1,0 +1,1 @@
+lib/stest/runs_test.ml: Array Dist Float Fun List Stats

@@ -1,0 +1,53 @@
+(** Anderson-Darling A2 empirical-distribution test.
+
+    Appendix A of the paper tests interarrivals for exponentiality with
+    the A2 test, "recommended by Stephens ... because it is generally much
+    more powerful than either of the better-known Kolmogorov-Smirnov or
+    chi-square tests" and "particularly good for detecting deviations in
+    the tails". Two details matter (both handled here): estimating the
+    mean from the data changes the critical values, and so does the sample
+    size — Stephens' modification [A2 * (1 + 0.6/n)] absorbs the latter
+    for the exponential case. *)
+
+type verdict = { a2 : float; a2_modified : float; pass : bool }
+
+val statistic : (float -> float) -> float array -> float
+(** [statistic cdf xs]: the raw A2 statistic of samples [xs] against the
+    fully specified continuous [cdf]. Requires a non-empty sample; CDF
+    values are clamped away from 0 and 1 before taking logs. *)
+
+val test_exponential : ?level:float -> float array -> verdict
+(** Test the sample for exponentiality with the mean estimated from the
+    data (the paper's "case"), at significance [level] (default 0.05;
+    supported levels: 0.25, 0.15, 0.10, 0.05, 0.025, 0.01 — others raise
+    [Invalid_argument]). Requires at least 2 positive samples. *)
+
+val test_uniform : ?level:float -> float array -> verdict
+(** Test that samples are U(0,1) (fully specified null) — useful after a
+    probability-integral transform. Same supported levels. *)
+
+val test_normal : ?level:float -> float array -> verdict
+(** Test for normality with mean and variance estimated from the data
+    (Stephens' case 3, modification A2 (1 + 0.75/n + 2.25/n^2)).
+    Section VII-C needs this: fractional Gaussian noise has a normal
+    marginal, so a count process whose marginal piles up at zero (FTP
+    lulls) cannot be fGn. Requires at least 8 samples with non-zero
+    spread. *)
+
+val critical_normal : float -> float
+(** Critical values for the estimated-parameters normal case. *)
+
+val test_pareto : ?level:float -> location:float -> float array -> verdict
+(** Goodness-of-fit for a Pareto tail with known [location] and shape
+    estimated from the data: if X ~ Pareto(a, beta) then ln (X / a) is
+    exponential with mean 1/beta, so this reduces exactly to
+    {!test_exponential} on the log-transformed excesses. Used to verify
+    the FTPDATA burst-size tail fits of Section VI formally. Requires
+    all samples >= location > 0 and at least one sample > location. *)
+
+val critical_exponential : float -> float
+(** Critical value of the modified statistic for the
+    estimated-mean exponential case at the given significance level. *)
+
+val critical_case0 : float -> float
+(** Critical value for a fully specified null. *)

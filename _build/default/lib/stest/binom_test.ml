@@ -1,0 +1,15 @@
+let prob_at_most ~n ~p k = Dist.Binomial.cdf (Dist.Binomial.create ~n ~p) k
+
+let prob_at_least ~n ~p k =
+  Dist.Binomial.survival_ge (Dist.Binomial.create ~n ~p) k
+
+let consistent_pass_count ?(level = 0.05) ~n ~passes ~pass_rate () =
+  if n = 0 then true else prob_at_most ~n ~p:pass_rate passes >= level
+
+type sign = Positive | Negative | Neutral
+
+let correlation_sign ?(level = 0.025) ~n ~positive () =
+  if n = 0 then Neutral
+  else if prob_at_least ~n ~p:0.5 positive < level then Positive
+  else if prob_at_most ~n ~p:0.5 positive < level then Negative
+  else Neutral

@@ -1,0 +1,28 @@
+(** Binomial aggregation tests from Appendix A.
+
+    After testing N intervals at the 5% significance level, the number of
+    passes under the null is Binomial(N, 0.95): the arrival process is
+    declared inconsistent only if the observed pass count would arise with
+    probability < 5%. Similarly, the number of intervals with positive
+    lag-1 autocorrelation should be Binomial(N, 0.5). *)
+
+val prob_at_most : n:int -> p:float -> int -> float
+(** P[Binomial(n, p) <= k]. *)
+
+val prob_at_least : n:int -> p:float -> int -> float
+(** P[Binomial(n, p) >= k]. *)
+
+val consistent_pass_count : ?level:float -> n:int -> passes:int ->
+  pass_rate:float -> unit -> bool
+(** [consistent_pass_count ~n ~passes ~pass_rate ()]: true unless
+    observing at most [passes] successes in [n] trials with per-trial
+    probability [pass_rate] has probability below [level] (default 0.05).
+    With [n = 0] the test is vacuously consistent. *)
+
+type sign = Positive | Negative | Neutral
+
+val correlation_sign : ?level:float -> n:int -> positive:int -> unit -> sign
+(** The paper's sign test: with [n] tested intervals of which [positive]
+    had positive lag-1 autocorrelation, declare consistent positive
+    correlation if P[Binomial(n, 1/2) >= positive] < [level] (default
+    0.025), negative if P[<= positive] < [level], else neutral. *)

@@ -1,0 +1,26 @@
+type result = { statistic : float; df : int; p_value : float; pass : bool }
+
+let test ?(level = 0.05) ?bins cdf xs =
+  let n = Array.length xs in
+  assert (n >= 10);
+  let bins =
+    match bins with Some b -> b | None -> Int.max 5 (Int.min 50 (n / 10))
+  in
+  assert (bins >= 2);
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let u = Float.max 0. (Float.min (1. -. 1e-12) (cdf x)) in
+      let i = int_of_float (u *. float_of_int bins) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  let expected = float_of_int n /. float_of_int bins in
+  let stat = ref 0. in
+  Array.iter
+    (fun c ->
+      let d = float_of_int c -. expected in
+      stat := !stat +. (d *. d /. expected))
+    counts;
+  let df = bins - 1 in
+  let p_value = Dist.Special.gamma_q (float_of_int df /. 2.) (!stat /. 2.) in
+  { statistic = !stat; df; p_value; pass = p_value >= level }

@@ -1,0 +1,18 @@
+(** Chi-square goodness-of-fit test over equiprobable bins — the test
+    Appendix A declines in favour of A2 ("generally much more powerful"),
+    included for completeness and for the power comparison in the bench
+    ablations. *)
+
+type result = {
+  statistic : float;
+  df : int;
+  p_value : float;
+  pass : bool;
+}
+
+val test :
+  ?level:float -> ?bins:int -> (float -> float) -> float array -> result
+(** [test cdf xs]: bins the probability-integral transform of [xs] into
+    [bins] equiprobable cells (default: max(5, n/10) capped at 50) and
+    compares to the uniform expectation; df = bins - 1. Requires at
+    least 10 observations. *)

@@ -1,0 +1,17 @@
+type result = { r1 : float; threshold : float; pass : bool; positive : bool }
+
+let test_lag1 xs =
+  let n = Array.length xs in
+  assert (n >= 3);
+  let r1 = Stats.Descriptive.autocorrelation xs 1 in
+  let threshold = 1.96 /. sqrt (float_of_int n) in
+  (* The sample lag-1 autocorrelation of i.i.d. data has expectation
+     -1/(n-1); without correcting for it the sign test would flag every
+     Poisson process as "consistently negative" at small n. *)
+  let bias = -1. /. float_of_int (n - 1) in
+  {
+    r1;
+    threshold;
+    pass = Float.abs r1 <= threshold;
+    positive = r1 > bias;
+  }

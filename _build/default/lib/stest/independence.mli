@@ -1,0 +1,18 @@
+(** Lag-1 autocorrelation independence test from Appendix A.
+
+    For n samples from an uncorrelated white-noise process, the lag-1
+    autocorrelation exceeds 1.96 / sqrt n in magnitude with probability
+    5%; the paper restricts the test to lag one because non-Poisson
+    interarrival correlation peaks there. *)
+
+type result = {
+  r1 : float;  (** Sample lag-1 autocorrelation. *)
+  threshold : float;  (** 1.96 / sqrt n. *)
+  pass : bool;  (** |r1| <= threshold. *)
+  positive : bool;
+      (** r1 above its i.i.d. expectation of -1/(n-1) (bias-corrected
+          sign, so a Poisson process is positive half the time). *)
+}
+
+val test_lag1 : float array -> result
+(** Requires at least 3 samples. *)

@@ -1,0 +1,41 @@
+type result = { d : float; p_value : float }
+
+let statistic cdf xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let nf = float_of_int n in
+  let d = ref 0. in
+  for i = 0 to n - 1 do
+    let f = cdf sorted.(i) in
+    let lo = float_of_int i /. nf in
+    let hi = float_of_int (i + 1) /. nf in
+    d := Float.max !d (Float.max (Float.abs (f -. lo)) (Float.abs (hi -. f)))
+  done;
+  !d
+
+(* Q_KS(lambda) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2). *)
+let q_ks lambda =
+  if lambda <= 0. then 1.
+  else begin
+    let sum = ref 0. in
+    let term = ref infinity in
+    let j = ref 1 in
+    while Float.abs !term > 1e-12 && !j < 200 do
+      let jf = float_of_int !j in
+      term :=
+        2. *. (if !j mod 2 = 1 then 1. else -1.)
+        *. exp (-2. *. jf *. jf *. lambda *. lambda);
+      sum := !sum +. !term;
+      incr j
+    done;
+    Float.max 0. (Float.min 1. !sum)
+  end
+
+let test cdf xs =
+  let n = float_of_int (Array.length xs) in
+  let d = statistic cdf xs in
+  let ne = sqrt n in
+  let lambda = (ne +. 0.12 +. (0.11 /. ne)) *. d in
+  { d; p_value = q_ks lambda }

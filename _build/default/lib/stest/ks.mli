@@ -1,0 +1,13 @@
+(** One-sample Kolmogorov-Smirnov test (secondary to A2 in the paper, but
+    handy for validating the synthetic generators against their target
+    distributions). *)
+
+type result = { d : float; p_value : float }
+
+val statistic : (float -> float) -> float array -> float
+(** Supremum distance between the empirical CDF of the sample and the
+    given continuous CDF. *)
+
+val test : (float -> float) -> float array -> result
+(** Asymptotic p-value via the Kolmogorov distribution series with the
+    usual small-sample effective-n correction. *)

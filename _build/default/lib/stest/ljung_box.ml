@@ -1,0 +1,17 @@
+type result = { q : float; df : int; p_value : float; pass : bool }
+
+let test ?(level = 0.05) ?lags xs =
+  let n = Array.length xs in
+  assert (n >= 8);
+  let m = match lags with Some m -> m | None -> Int.min 10 (n / 5) in
+  assert (m >= 1 && m < n);
+  let nf = float_of_int n in
+  let acf = Stats.Descriptive.autocorrelations xs m in
+  let q = ref 0. in
+  for k = 1 to m do
+    q := !q +. (acf.(k) *. acf.(k) /. (nf -. float_of_int k))
+  done;
+  let q = nf *. (nf +. 2.) *. !q in
+  (* Chi-square survival via the regularized incomplete gamma. *)
+  let p_value = Dist.Special.gamma_q (float_of_int m /. 2.) (q /. 2.) in
+  { q; df = m; p_value; pass = p_value >= level }

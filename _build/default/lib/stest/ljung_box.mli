@@ -1,0 +1,19 @@
+(** Ljung-Box portmanteau test for independence.
+
+    Appendix A restricts its independence check to the lag-1
+    autocorrelation "to keep our test tractable"; Ljung-Box aggregates
+    the first m lags into a single chi-square statistic and is the
+    natural extension:
+
+      Q = n (n+2) sum_{k=1..m} r_k^2 / (n - k)  ~  chi2(m)  under H0. *)
+
+type result = {
+  q : float;
+  df : int;
+  p_value : float;
+  pass : bool;  (** p >= level. *)
+}
+
+val test : ?level:float -> ?lags:int -> float array -> result
+(** [test xs] with default level 0.05 and [lags] = min(10, n/5).
+    Requires at least 8 observations and [1 <= lags < n]. *)

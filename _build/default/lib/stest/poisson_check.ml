@@ -1,0 +1,93 @@
+type verdict = {
+  intervals_total : int;
+  intervals_tested : int;
+  exp_passed : int;
+  indep_passed : int;
+  positive_r1 : int;
+  exp_pass_rate : float;
+  indep_pass_rate : float;
+  exp_consistent : bool;
+  indep_consistent : bool;
+  poisson : bool;
+  correlation : Binom_test.sign;
+}
+
+let check ?(level = 0.05) ?(min_interarrivals = 5) ~interval ~duration arrivals =
+  assert (interval > 0. && duration > 0.);
+  let times = Array.copy arrivals in
+  Array.sort compare times;
+  let n_intervals =
+    Int.max 1 (int_of_float (Float.floor (duration /. interval)))
+  in
+  let tested = ref 0
+  and exp_passed = ref 0
+  and indep_passed = ref 0
+  and positive_r1 = ref 0 in
+  let n = Array.length times in
+  let idx = ref 0 in
+  for k = 0 to n_intervals - 1 do
+    let hi = float_of_int (k + 1) *. interval in
+    (* Collect arrivals of interval k: [times] is sorted, so advance a
+       single cursor across the whole trace. *)
+    let start = !idx in
+    while !idx < n && times.(!idx) < hi do
+      incr idx
+    done;
+    let count = !idx - start in
+    if count - 1 >= min_interarrivals then begin
+      let inter =
+        Array.init (count - 1) (fun i ->
+            times.(start + i + 1) -. times.(start + i))
+      in
+      incr tested;
+      let ad = Anderson_darling.test_exponential ~level inter in
+      if ad.pass then incr exp_passed;
+      let ind = Independence.test_lag1 inter in
+      if ind.pass then incr indep_passed;
+      if ind.positive then incr positive_r1
+    end
+  done;
+  let pct x =
+    if !tested = 0 then 0. else 100. *. float_of_int x /. float_of_int !tested
+  in
+  let pass_rate = 1. -. level in
+  let exp_consistent =
+    Binom_test.consistent_pass_count ~n:!tested ~passes:!exp_passed ~pass_rate ()
+  in
+  let indep_consistent =
+    Binom_test.consistent_pass_count ~n:!tested ~passes:!indep_passed
+      ~pass_rate ()
+  in
+  {
+    intervals_total = n_intervals;
+    intervals_tested = !tested;
+    exp_passed = !exp_passed;
+    indep_passed = !indep_passed;
+    positive_r1 = !positive_r1;
+    exp_pass_rate = pct !exp_passed;
+    indep_pass_rate = pct !indep_passed;
+    exp_consistent;
+    indep_consistent;
+    (* With fewer than 3 testable intervals the binomial meta-test has
+       essentially no power (P[Bin(1, .95) <= 0] = 5% exactly), so no
+       positive verdict is issued. *)
+    poisson = exp_consistent && indep_consistent && !tested >= 3;
+    correlation =
+      Binom_test.correlation_sign ~n:!tested ~positive:!positive_r1 ();
+  }
+
+let pp fmt v =
+  let sign =
+    match v.correlation with
+    | Binom_test.Positive -> "+"
+    | Binom_test.Negative -> "-"
+    | Binom_test.Neutral -> ""
+  in
+  Format.fprintf fmt
+    "intervals=%d/%d exp=%.0f%%%s indep=%.0f%%%s%s%s"
+    v.intervals_tested v.intervals_total v.exp_pass_rate
+    (if v.exp_consistent then "(ok)" else "(FAIL)")
+    v.indep_pass_rate
+    (if v.indep_consistent then "(ok)" else "(FAIL)")
+    (if v.poisson then " POISSON" else "")
+    (if sign = "" then "" else " corr" ^ sign)

@@ -1,0 +1,47 @@
+(** The complete Appendix-A methodology for testing whether a trace of
+    arrivals is consistent with a (piecewise-) homogeneous Poisson
+    process.
+
+    The trace is split into fixed-length intervals (1 hour or 10 minutes
+    in the paper); each interval with enough arrivals is tested both for
+    exponentially distributed interarrivals (Anderson-Darling with
+    estimated mean) and for independent interarrivals (lag-1
+    autocorrelation). The per-interval pass counts are then aggregated
+    with binomial consistency tests: a truly Poisson process passes each
+    5%-level test in ~95% of intervals. *)
+
+type verdict = {
+  intervals_total : int;  (** Number of intervals the trace was cut into. *)
+  intervals_tested : int;  (** Intervals with enough arrivals to test. *)
+  exp_passed : int;
+  indep_passed : int;
+  positive_r1 : int;  (** Tested intervals with positive lag-1 correlation. *)
+  exp_pass_rate : float;  (** In percent of tested intervals. *)
+  indep_pass_rate : float;
+  exp_consistent : bool;
+      (** Pass count statistically consistent with Binomial(n, 0.95). *)
+  indep_consistent : bool;
+  poisson : bool;
+      (** Both consistencies hold over at least 3 tested intervals
+          (below that the binomial meta-test has no power): printed bold
+          in Fig. 2. *)
+  correlation : Binom_test.sign;
+      (** The paper's [+]/[-] marker: consistent sign of lag-1
+          autocorrelation across intervals. *)
+}
+
+val check :
+  ?level:float ->
+  ?min_interarrivals:int ->
+  interval:float ->
+  duration:float ->
+  float array ->
+  verdict
+(** [check ~interval ~duration arrivals] runs the methodology on arrival
+    times in [[0, duration)] cut into intervals of length [interval]
+    (seconds). [level] is the per-interval significance level (default
+    0.05); intervals with fewer than [min_interarrivals] interarrivals
+    (default 5) are skipped, mirroring the need for a minimal sample in
+    the A2 test. The arrival array need not be sorted; it is copied. *)
+
+val pp : Format.formatter -> verdict -> unit

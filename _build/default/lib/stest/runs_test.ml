@@ -1,0 +1,47 @@
+type result = {
+  runs : int;
+  expected : float;
+  z : float;
+  p_value : float;
+  pass : bool;
+}
+
+let test ?(level = 0.05) xs =
+  assert (Array.length xs >= 10);
+  let median = Stats.Descriptive.median xs in
+  let signs =
+    Array.to_list xs
+    |> List.filter_map (fun x ->
+           if x > median then Some true
+           else if x < median then Some false
+           else None)
+  in
+  let n_plus = List.length (List.filter Fun.id signs) in
+  let n_minus = List.length signs - n_plus in
+  assert (n_plus > 0 && n_minus > 0);
+  let runs =
+    match signs with
+    | [] -> 0
+    | first :: rest ->
+      let r = ref 1 and prev = ref first in
+      List.iter
+        (fun s ->
+          if s <> !prev then begin
+            incr r;
+            prev := s
+          end)
+        rest;
+      !r
+  in
+  let np = float_of_int n_plus and nm = float_of_int n_minus in
+  let n = np +. nm in
+  let expected = (2. *. np *. nm /. n) +. 1. in
+  let variance =
+    2. *. np *. nm *. ((2. *. np *. nm) -. n) /. (n *. n *. (n -. 1.))
+  in
+  let z =
+    if variance <= 0. then 0.
+    else (float_of_int runs -. expected) /. sqrt variance
+  in
+  let p_value = 2. *. (1. -. Dist.Special.normal_cdf (Float.abs z)) in
+  { runs; expected; z; p_value; pass = p_value >= level }

@@ -1,0 +1,17 @@
+(** Wald-Wolfowitz runs test for randomness around the median.
+
+    A cheap, distribution-free complement to the autocorrelation checks:
+    too few runs above/below the median means positive serial dependence
+    (bursts), too many means oscillation. *)
+
+type result = {
+  runs : int;
+  expected : float;
+  z : float;
+  p_value : float;  (** Two-sided, normal approximation. *)
+  pass : bool;
+}
+
+val test : ?level:float -> float array -> result
+(** Requires at least 10 observations with both sides of the median
+    occupied. Values equal to the median are dropped. *)

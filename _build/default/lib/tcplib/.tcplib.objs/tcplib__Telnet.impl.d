@@ -1,0 +1,1 @@
+lib/tcplib/telnet.ml: Array Dist Float Int List

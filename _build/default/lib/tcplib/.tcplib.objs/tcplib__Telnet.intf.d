@@ -1,0 +1,1 @@
+lib/tcplib/telnet.mli: Dist Prng

@@ -1,0 +1,75 @@
+let body_shape = 0.9
+let tail_shape = 0.95
+
+(* Calibration targets (see the interface comment). *)
+let p_lower = 0.10 (* mass of the sub-0.14 s "network dynamics" piece *)
+let p_below_8ms = 0.02 (* the paper: "under 2% were less than 8 ms apart" *)
+let p_tail = 0.03 (* mass of the beta = 0.95 upper tail *)
+let frac_above_1s = 0.15
+let x_min = 0.001
+let x_8ms = 0.008
+let target_mean = 1.1
+
+(* Anchor of the Pareto body: S(x) = (1 - p_lower) (x05 / x)^0.9 must give
+   S(1 s) = 0.15, so x05 = (0.15 / 0.95)^(1/0.9). *)
+let x05 = (frac_above_1s /. (1. -. p_lower)) ** (1. /. body_shape)
+
+(* Body quantile at cumulative probability p in [p_lower, 1 - p_tail]:
+   invert S(x) = (1 - p_lower) (x05/x)^beta. *)
+let body_quantile p = x05 *. (((1. -. p) /. (1. -. p_lower)) ** (-1. /. body_shape))
+
+(* Start of the upper tail. *)
+let x97 = body_quantile (1. -. p_tail)
+
+(* Tail quantile, Pareto (x97, 0.95) scaled to mass p_tail, truncated at
+   [cap]: for p in [1 - p_tail, 1). *)
+let tail_quantile p = x97 *. (((1. -. p) /. p_tail) ** (-1. /. tail_shape))
+
+let build_knots cap =
+  let knots = ref [ (0., x_min) ] in
+  let push p x = knots := (p, x) :: !knots in
+  (* Pin the sub-8 ms mass exactly; the rest of the lower piece spans
+     8 ms up to the body anchor, log-interpolated. *)
+  push p_below_8ms x_8ms;
+  (* Body: 48 evenly spaced probability knots of the exact Pareto. *)
+  let body_steps = 48 in
+  for k = 0 to body_steps do
+    let p =
+      p_lower +. (float_of_int k /. float_of_int body_steps
+                  *. (1. -. p_lower -. p_tail))
+    in
+    push p (body_quantile p)
+  done;
+  (* Tail: geometrically refined toward p = 1, capped values. *)
+  let tail_steps = 16 in
+  for k = 1 to tail_steps do
+    let p = 1. -. (p_tail *. (0.6 ** float_of_int k)) in
+    push p (Float.min cap (tail_quantile p))
+  done;
+  push 1. cap;
+  Array.of_list (List.rev !knots)
+
+let table_mean cap = Dist.Empirical.mean (Dist.Empirical.of_quantile_table ~log_interp:true (build_knots cap))
+
+(* Solve for the truncation point giving the target 1.1 s mean. *)
+let cap =
+  let lo = ref (x97 +. 1.) and hi = ref 10000. in
+  assert (table_mean !lo < target_mean && table_mean !hi > target_mean);
+  for _ = 1 to 60 do
+    let mid = sqrt (!lo *. !hi) in
+    if table_mean mid < target_mean then lo := mid else hi := mid
+  done;
+  sqrt (!lo *. !hi)
+
+let interarrival = Dist.Empirical.of_quantile_table ~log_interp:true (build_knots cap)
+let sample_interarrival rng = Dist.Empirical.sample interarrival rng
+let mean_interarrival = Dist.Empirical.mean interarrival
+
+let log2 x = log x /. log 2.
+let connection_packets = Dist.Lognormal.of_log2 ~mean_log2:(log2 100.) ~sd_log2:2.24
+
+let sample_connection_packets rng =
+  let x = Dist.Lognormal.sample connection_packets rng in
+  Int.max 1 (int_of_float (Float.round x))
+
+let connection_bytes = Dist.Log_extreme.telnet_bytes

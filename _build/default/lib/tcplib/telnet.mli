@@ -1,0 +1,43 @@
+(** Synthetic stand-in for the Tcplib empirical TELNET distributions
+    (Danzig & Jamin [11], [12]).
+
+    The original Tcplib tables are measurement data we do not have; this
+    module reconstructs an empirical quantile table calibrated to every
+    quantitative property the paper reports about it (see DESIGN.md):
+
+    - the body fits a Pareto distribution with shape beta = 0.9 and the
+      upper 3% tail a Pareto with beta ~ 0.95 (Section IV);
+    - ~2% of interarrivals are below 8 ms and ~15% exceed 1 s;
+    - interarrivals below 0.1 s are "dominated by network dynamics"
+      (modelled as a log-uniform 5% lower piece);
+    - the mean is ~1.1 s, the value the paper uses for its matched
+      exponential comparisons;
+    - the table is bounded (empirical tables always are): the upper
+      truncation point is solved numerically so the mean lands on 1.1 s.
+
+    Connection sizes use the paper's Section V fits: log2-normal packets
+    (log2-mean = log2 100, log2-sd = 2.24) and log-extreme bytes
+    (alpha = log2 100, beta = log2 3.5, from Paxson [34]). *)
+
+val interarrival : Dist.Empirical.t
+(** The TELNET originator packet-interarrival distribution (seconds). *)
+
+val sample_interarrival : Prng.Rng.t -> float
+
+val mean_interarrival : float
+(** Mean of {!interarrival}; ~1.1 s by construction. *)
+
+val connection_packets : Dist.Lognormal.t
+(** TELNET connection size in originator packets. *)
+
+val sample_connection_packets : Prng.Rng.t -> int
+(** A draw from {!connection_packets}, rounded, at least 1. *)
+
+val connection_bytes : Dist.Log_extreme.t
+(** TELNET connection size in originator bytes. *)
+
+val body_shape : float
+(** Pareto shape of the body used for calibration (0.9). *)
+
+val tail_shape : float
+(** Pareto shape of the upper 3% tail (0.95). *)

@@ -1,0 +1,1 @@
+lib/tcpsim/bottleneck.ml: Array Float Int List Queue Queueing

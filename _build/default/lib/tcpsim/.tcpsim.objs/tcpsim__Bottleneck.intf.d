@@ -1,0 +1,1 @@
+lib/tcpsim/bottleneck.mli:

@@ -1,0 +1,179 @@
+type flow_spec = { flow_start : float; flow_packets : int; flow_rtt : float }
+
+type config = {
+  link_rate : float;
+  buffer : int;
+  horizon : float;
+  initial_ssthresh : float;
+}
+
+let default_config =
+  { link_rate = 1000.; buffer = 50; horizon = 3600.; initial_ssthresh = 64. }
+
+type flow_result = {
+  spec : flow_spec;
+  delivered : int;
+  dropped : int;
+  finished_at : float option;
+  final_cwnd : float;
+  cwnd_samples : (float * float) array;
+}
+
+type result = {
+  departures : float array;
+  flows : flow_result list;
+  total_drops : int;
+}
+
+type flow_state = {
+  spec_ : flow_spec;
+  mutable remaining : int;  (* segments not yet sent (incl. retransmits) *)
+  mutable inflight : int;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable in_recovery : bool;
+  mutable lost_in_window : int;
+  mutable delivered_ : int;
+  mutable dropped_ : int;
+  mutable finished : float option;
+  mutable cwnd_log : (float * float) list;
+}
+
+type event = Start of int | Ack of int | Recover of int
+
+let run ?(config = default_config) specs =
+  assert (config.link_rate > 0. && config.buffer >= 0);
+  let flows =
+    Array.of_list
+      (List.map
+         (fun spec ->
+           assert (spec.flow_packets >= 1 && spec.flow_rtt > 0.);
+           {
+             spec_ = spec;
+             remaining = spec.flow_packets;
+             inflight = 0;
+             cwnd = 2.;
+             ssthresh = config.initial_ssthresh;
+             in_recovery = false;
+             lost_in_window = 0;
+             delivered_ = 0;
+             dropped_ = 0;
+             finished = None;
+             cwnd_log = [];
+           })
+         specs)
+  in
+  let events : event Queueing.Heap.t = Queueing.Heap.create () in
+  Array.iteri
+    (fun i f -> Queueing.Heap.push events f.spec_.flow_start (Start i))
+    flows;
+  (* Droptail link: departure times of packets still in the link system;
+     service is deterministic FIFO at link_rate. *)
+  let service = 1. /. config.link_rate in
+  let in_link : float Queue.t = Queue.create () in
+  let last_departure = ref neg_infinity in
+  let departures = ref [] in
+  let total_drops = ref 0 in
+
+  (* Try to put one packet of flow i on the link at time t. *)
+  let send i t =
+    let f = flows.(i) in
+    while
+      (not (Queue.is_empty in_link)) && Queue.peek in_link <= t
+    do
+      ignore (Queue.pop in_link)
+    done;
+    if Queue.length in_link > config.buffer then begin
+      (* Droptail loss: the sender finds out roughly one RTT later. *)
+      f.dropped_ <- f.dropped_ + 1;
+      f.lost_in_window <- f.lost_in_window + 1;
+      incr total_drops;
+      if not f.in_recovery then begin
+        f.in_recovery <- true;
+        Queueing.Heap.push events (t +. f.spec_.flow_rtt) (Recover i)
+      end
+    end
+    else begin
+      let dep = Float.max t !last_departure +. service in
+      last_departure := dep;
+      Queue.push dep in_link;
+      departures := dep :: !departures;
+      Queueing.Heap.push events
+        (dep +. f.spec_.flow_rtt)
+        (Ack i)
+    end
+  in
+  (* Send as long as the window allows. *)
+  let pump i t =
+    let f = flows.(i) in
+    let budget = int_of_float f.cwnd - f.inflight in
+    let to_send = Int.min budget f.remaining in
+    if to_send > 0 then begin
+      f.remaining <- f.remaining - to_send;
+      f.inflight <- f.inflight + to_send;
+      for _ = 1 to to_send do
+        send i t
+      done
+    end
+  in
+  let finished = ref 0 in
+  let n_flows = Array.length flows in
+  let continue = ref true in
+  while !continue && !finished < n_flows do
+    match Queueing.Heap.pop_min events with
+    | None -> continue := false
+    | Some (t, _) when t > config.horizon -> continue := false
+    | Some (t, ev) -> (
+      match ev with
+      | Start i -> pump i t
+      | Ack i ->
+        let f = flows.(i) in
+        f.inflight <- f.inflight - 1;
+        f.delivered_ <- f.delivered_ + 1;
+        (* Window growth: slow start doubles per RTT, congestion
+           avoidance adds one segment per RTT. *)
+        if not f.in_recovery then
+          if f.cwnd < f.ssthresh then f.cwnd <- f.cwnd +. 1.
+          else f.cwnd <- f.cwnd +. (1. /. f.cwnd);
+        f.cwnd_log <- (t, f.cwnd) :: f.cwnd_log;
+        if f.delivered_ >= f.spec_.flow_packets && f.finished = None then begin
+          f.finished <- Some t;
+          incr finished
+        end
+        else pump i t
+      | Recover i ->
+        let f = flows.(i) in
+        (* Multiplicative decrease; retransmit everything lost in the
+           affected window. *)
+        f.ssthresh <- Float.max 2. (f.cwnd /. 2.);
+        f.cwnd <- f.ssthresh;
+        f.cwnd_log <- (t, f.cwnd) :: f.cwnd_log;
+        f.remaining <- f.remaining + f.lost_in_window;
+        f.inflight <- f.inflight - f.lost_in_window;
+        f.lost_in_window <- 0;
+        f.in_recovery <- false;
+        pump i t)
+  done;
+  let deps = Array.of_list !departures in
+  Array.sort compare deps;
+  {
+    departures = deps;
+    flows =
+      Array.to_list
+        (Array.map
+           (fun f ->
+             {
+               spec = f.spec_;
+               delivered = f.delivered_;
+               dropped = f.dropped_;
+               finished_at = f.finished;
+               final_cwnd = f.cwnd;
+               cwnd_samples = Array.of_list (List.rev f.cwnd_log);
+             })
+           flows);
+    total_drops = !total_drops;
+  }
+
+let utilisation result config =
+  float_of_int (Array.length result.departures)
+  /. (config.link_rate *. config.horizon)

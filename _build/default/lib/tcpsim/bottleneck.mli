@@ -1,0 +1,56 @@
+(** A single droptail bottleneck shared by window-controlled (TCP-like)
+    flows.
+
+    Section VII-C argues that FTPDATA packet timing "is intimately
+    related to the dynamics of TCP's congestion control algorithms": the
+    window is ack-clocked below a round-trip time, the congestion window
+    oscillates over longer intervals, and different connections see
+    different rates. This module implements exactly that mechanism set —
+    slow start, congestion avoidance, multiplicative decrease one RTT
+    after a drop — over a deterministic-service droptail link, and emits
+    the packet departure process a link tracer would record.
+
+    The model is deliberately compact (no SACK, no delayed acks, no
+    header details); what it preserves is the timing structure the paper
+    reasons about. *)
+
+type flow_spec = {
+  flow_start : float;  (** Seconds. *)
+  flow_packets : int;  (** Segments to deliver; must be >= 1. *)
+  flow_rtt : float;  (** Two-way propagation delay, excluding queueing. *)
+}
+
+type config = {
+  link_rate : float;  (** Packets per second. *)
+  buffer : int;  (** Droptail queue capacity beyond the one in service. *)
+  horizon : float;  (** Simulation stop time. *)
+  initial_ssthresh : float;  (** Slow-start threshold at flow start. *)
+}
+
+val default_config : config
+(** 1000 pkt/s, buffer 50, horizon 3600 s, ssthresh 64. *)
+
+type flow_result = {
+  spec : flow_spec;
+  delivered : int;
+  dropped : int;
+  finished_at : float option;  (** None if still active at the horizon. *)
+  final_cwnd : float;
+  cwnd_samples : (float * float) array;
+      (** (time, cwnd) sampled at every acknowledgment and at every
+          multiplicative decrease — the "long-term oscillations ... as
+          the TCP congestion window changes over the lifetime of the
+          connection" of Section VII-D. *)
+}
+
+type result = {
+  departures : float array;  (** Bottleneck egress times, sorted. *)
+  flows : flow_result list;
+  total_drops : int;
+}
+
+val run : ?config:config -> flow_spec list -> result
+(** Deterministic: no randomness beyond the inputs. *)
+
+val utilisation : result -> config -> float
+(** Delivered packets / (link_rate x horizon). *)

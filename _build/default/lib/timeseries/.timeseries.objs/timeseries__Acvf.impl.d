@@ -1,0 +1,1 @@
+lib/timeseries/acvf.ml: Array Fft Stats

@@ -1,0 +1,1 @@
+lib/timeseries/counts.ml: Array Float Int List

@@ -1,0 +1,1 @@
+lib/timeseries/counts.mli:

@@ -1,0 +1,1 @@
+lib/timeseries/fft.ml: Array Float

@@ -1,0 +1,1 @@
+lib/timeseries/periodogram.ml: Array Fft Float Int List Stats

@@ -1,0 +1,1 @@
+lib/timeseries/variance_time.ml: Array Counts Format List Stats

@@ -1,0 +1,1 @@
+lib/timeseries/variance_time.mli: Format Stats

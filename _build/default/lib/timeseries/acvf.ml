@@ -1,0 +1,22 @@
+let autocovariances xs kmax =
+  let n = Array.length xs in
+  assert (n >= 2 && kmax >= 0 && kmax < n);
+  let mean = Stats.Descriptive.mean xs in
+  (* Zero-pad to at least 2n so the circular convolution becomes linear. *)
+  let m = Fft.next_pow2 (2 * n) in
+  let re = Array.make m 0. and im = Array.make m 0. in
+  for i = 0 to n - 1 do
+    re.(i) <- xs.(i) -. mean
+  done;
+  Fft.fft_pow2 re im;
+  for k = 0 to m - 1 do
+    re.(k) <- (re.(k) *. re.(k)) +. (im.(k) *. im.(k));
+    im.(k) <- 0.
+  done;
+  Fft.ifft_pow2 re im;
+  Array.init (kmax + 1) (fun k -> re.(k) /. float_of_int n)
+
+let autocorrelations xs kmax =
+  let acvf = autocovariances xs kmax in
+  if acvf.(0) = 0. then Array.make (kmax + 1) 0.
+  else Array.map (fun c -> c /. acvf.(0)) acvf

@@ -1,0 +1,12 @@
+(** Autocovariance/autocorrelation of a whole series in O(n log n) via
+    the FFT (Wiener-Khinchin), for the long count processes where the
+    direct O(n k) sum is too slow. *)
+
+val autocovariances : float array -> int -> float array
+(** [autocovariances xs kmax]: biased sample autocovariances at lags
+    0..kmax (divide-by-n convention, matching
+    {!Stats.Descriptive.autocorrelation}). Requires
+    [0 <= kmax < length xs] and at least 2 observations. *)
+
+val autocorrelations : float array -> int -> float array
+(** Normalised by lag 0; lag 0 entry is 1 (or 0 for a constant series). *)

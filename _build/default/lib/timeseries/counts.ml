@@ -1,0 +1,42 @@
+let of_events ?(t_start = 0.) ~bin ~t_end events =
+  assert (bin > 0. && t_end > t_start);
+  let n_bins = int_of_float (Float.floor ((t_end -. t_start) /. bin)) in
+  let counts = Array.make n_bins 0. in
+  Array.iter
+    (fun t ->
+      if t >= t_start && t < t_start +. (float_of_int n_bins *. bin) then begin
+        let i = int_of_float ((t -. t_start) /. bin) in
+        let i = Int.min i (n_bins - 1) in
+        counts.(i) <- counts.(i) +. 1.
+      end)
+    events;
+  counts
+
+let aggregate xs m =
+  assert (m >= 1);
+  let n_blocks = Array.length xs / m in
+  Array.init n_blocks (fun b ->
+      let acc = ref 0. in
+      for i = b * m to ((b + 1) * m) - 1 do
+        acc := !acc +. xs.(i)
+      done;
+      !acc /. float_of_int m)
+
+let aggregate_sum xs m =
+  Array.map (fun x -> x *. float_of_int m) (aggregate xs m)
+
+let default_levels n =
+  (* Quarter-decade spacing: M = round (10^(k/4)), deduplicated, with at
+     least 10 blocks remaining at the coarsest level. *)
+  let max_m = Int.max 1 (n / 10) in
+  let rec go k acc =
+    let m = int_of_float (Float.round (10. ** (float_of_int k /. 4.))) in
+    if m > max_m then List.rev acc
+    else
+      let acc = match acc with
+        | prev :: _ when prev = m -> acc
+        | _ -> m :: acc
+      in
+      go (k + 1) acc
+  in
+  go 0 []

@@ -1,0 +1,23 @@
+(** Count processes: turning event (arrival) times into the per-bin count
+    series the paper analyses, and aggregating them to coarser time
+    scales (the "smoothing" of Section IV's variance-time discussion). *)
+
+val of_events :
+  ?t_start:float -> bin:float -> t_end:float -> float array -> float array
+(** [of_events ~bin ~t_end events] counts events in consecutive bins of
+    width [bin] covering [[t_start, t_end)] (default [t_start] = 0).
+    Events outside the range are ignored. The number of bins is
+    [floor ((t_end - t_start) / bin)]. *)
+
+val aggregate : float array -> int -> float array
+(** [aggregate xs m]: means of consecutive non-overlapping blocks of [m]
+    observations (the process X^(M) of the paper); a trailing partial
+    block is dropped. Requires [m >= 1]. *)
+
+val aggregate_sum : float array -> int -> float array
+(** Block sums instead of means. *)
+
+val default_levels : int -> int list
+(** Log-spaced aggregation levels for a series of the given length,
+    keeping at least 10 blocks per level; suitable x-values for a
+    variance-time plot. *)

@@ -1,0 +1,124 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  assert (n >= 1);
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Iterative in-place radix-2 decimation-in-time FFT. *)
+let fft_pow2 re im =
+  let n = Array.length re in
+  assert (Array.length im = n && is_pow2 n);
+  if n > 1 then begin
+    (* Bit-reversal permutation. *)
+    let j = ref 0 in
+    for i = 0 to n - 2 do
+      if i < !j then begin
+        let tr = re.(i) in
+        re.(i) <- re.(!j);
+        re.(!j) <- tr;
+        let ti = im.(i) in
+        im.(i) <- im.(!j);
+        im.(!j) <- ti
+      end;
+      let m = ref (n lsr 1) in
+      while !m >= 1 && !j land !m <> 0 do
+        j := !j lxor !m;
+        m := !m lsr 1
+      done;
+      j := !j lor !m
+    done;
+    (* Butterflies. *)
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let ang = -2. *. Float.pi /. float_of_int !len in
+      let wr = cos ang and wi = sin ang in
+      let i = ref 0 in
+      while !i < n do
+        let cr = ref 1. and ci = ref 0. in
+        for k = 0 to half - 1 do
+          let a = !i + k and b = !i + k + half in
+          let tr = (re.(b) *. !cr) -. (im.(b) *. !ci) in
+          let ti = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+          re.(b) <- re.(a) -. tr;
+          im.(b) <- im.(a) -. ti;
+          re.(a) <- re.(a) +. tr;
+          im.(a) <- im.(a) +. ti;
+          let nr = (!cr *. wr) -. (!ci *. wi) in
+          ci := (!cr *. wi) +. (!ci *. wr);
+          cr := nr
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+  end
+
+let ifft_pow2 re im =
+  let n = Array.length re in
+  (* Conjugate trick: IFFT(x) = conj (FFT (conj x)) / n. *)
+  for i = 0 to n - 1 do
+    im.(i) <- -.im.(i)
+  done;
+  fft_pow2 re im;
+  let nf = float_of_int n in
+  for i = 0 to n - 1 do
+    re.(i) <- re.(i) /. nf;
+    im.(i) <- -.im.(i) /. nf
+  done
+
+(* Bluestein's chirp-z: express the DFT as a convolution of chirped
+   sequences, evaluated with a power-of-two FFT. *)
+let dft_bluestein re im =
+  let n = Array.length re in
+  let m = next_pow2 ((2 * n) - 1) in
+  (* Chirp c_k = exp (-i pi k^2 / n); compute k^2 mod 2n to avoid float
+     blow-up for large k. *)
+  let cr = Array.make n 0. and ci = Array.make n 0. in
+  for k = 0 to n - 1 do
+    let k2 = k * k mod (2 * n) in
+    let ang = -.Float.pi *. float_of_int k2 /. float_of_int n in
+    cr.(k) <- cos ang;
+    ci.(k) <- sin ang
+  done;
+  let ar = Array.make m 0. and ai = Array.make m 0. in
+  for k = 0 to n - 1 do
+    ar.(k) <- (re.(k) *. cr.(k)) -. (im.(k) *. ci.(k));
+    ai.(k) <- (re.(k) *. ci.(k)) +. (im.(k) *. cr.(k))
+  done;
+  let br = Array.make m 0. and bi = Array.make m 0. in
+  br.(0) <- cr.(0);
+  bi.(0) <- -.ci.(0);
+  for k = 1 to n - 1 do
+    br.(k) <- cr.(k);
+    bi.(k) <- -.ci.(k);
+    br.(m - k) <- cr.(k);
+    bi.(m - k) <- -.ci.(k)
+  done;
+  fft_pow2 ar ai;
+  fft_pow2 br bi;
+  for k = 0 to m - 1 do
+    let tr = (ar.(k) *. br.(k)) -. (ai.(k) *. bi.(k)) in
+    ai.(k) <- (ar.(k) *. bi.(k)) +. (ai.(k) *. br.(k));
+    ar.(k) <- tr
+  done;
+  ifft_pow2 ar ai;
+  let out_re = Array.make n 0. and out_im = Array.make n 0. in
+  for k = 0 to n - 1 do
+    out_re.(k) <- (ar.(k) *. cr.(k)) -. (ai.(k) *. ci.(k));
+    out_im.(k) <- (ar.(k) *. ci.(k)) +. (ai.(k) *. cr.(k))
+  done;
+  (out_re, out_im)
+
+let dft re im =
+  let n = Array.length re in
+  assert (Array.length im = n && n > 0);
+  if is_pow2 n then begin
+    let r = Array.copy re and i = Array.copy im in
+    fft_pow2 r i;
+    (r, i)
+  end
+  else dft_bluestein re im
+
+let dft_real re = dft re (Array.make (Array.length re) 0.)

@@ -1,0 +1,25 @@
+(** Fast Fourier transforms, hand-built (no external dependency).
+
+    Power-of-two sizes use an in-place iterative radix-2 Cooley-Tukey;
+    arbitrary sizes go through Bluestein's chirp-z algorithm on top of it.
+    Transforms follow the unnormalised engineering convention
+    X_k = sum_t x_t exp (-2 pi i t k / n); the inverse divides by n. *)
+
+val next_pow2 : int -> int
+(** Smallest power of two >= n (n >= 1). *)
+
+val is_pow2 : int -> bool
+
+val fft_pow2 : float array -> float array -> unit
+(** [fft_pow2 re im]: in-place forward transform. Requires both arrays to
+    have the same power-of-two length. *)
+
+val ifft_pow2 : float array -> float array -> unit
+(** In-place inverse transform (includes the 1/n scaling). *)
+
+val dft : float array -> float array -> float array * float array
+(** [dft re im]: forward transform of arbitrary length (Bluestein when the
+    length is not a power of two). Returns fresh arrays. *)
+
+val dft_real : float array -> float array * float array
+(** Forward transform of a real signal. *)

@@ -1,0 +1,45 @@
+type point = { m : int; variance : float; normalised : float }
+type curve = point array
+
+let curve ?levels counts =
+  assert (Array.length counts > 0);
+  let levels =
+    match levels with
+    | Some ls -> ls
+    | None -> Counts.default_levels (Array.length counts)
+  in
+  let mean = Stats.Descriptive.mean counts in
+  assert (mean <> 0.);
+  let mean_sq = mean *. mean in
+  let points =
+    List.filter_map
+      (fun m ->
+        if m < 1 || Array.length counts / m < 2 then None
+        else
+          let agg = Counts.aggregate counts m in
+          let v = Stats.Descriptive.variance agg in
+          Some { m; variance = v; normalised = v /. mean_sq })
+      levels
+  in
+  Array.of_list points
+
+let slope ?(min_m = 1) ?(max_m = max_int) curve =
+  let points =
+    Array.to_list curve
+    |> List.filter_map (fun p ->
+           if p.m < min_m || p.m > max_m || p.normalised <= 0. then None
+           else Some (log10 (float_of_int p.m), log10 p.normalised))
+  in
+  Stats.Regression.ols (Array.of_list points)
+
+let hurst_of_slope s = 1. +. (s /. 2.)
+
+let pp fmt curve =
+  Format.fprintf fmt "@[<v>%8s %10s %14s@," "M" "log10(M)" "log10(var/m^2)";
+  Array.iter
+    (fun p ->
+      Format.fprintf fmt "%8d %10.3f %14.4f@," p.m
+        (log10 (float_of_int p.m))
+        (if p.normalised > 0. then log10 p.normalised else nan))
+    curve;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,28 @@
+(** Variance-time plots (Section IV of the paper, after Leland et al.).
+
+    For a count process, plot log10 (normalised variance of the
+    M-aggregated process) against log10 M. A Poisson-like process with
+    summable autocorrelations gives slope -1; long-range dependent
+    processes decay more slowly, with asymptotic slope 2H - 2 for Hurst
+    parameter H. *)
+
+type point = { m : int; variance : float; normalised : float }
+
+type curve = point array
+
+val curve : ?levels:int list -> float array -> curve
+(** [curve counts] computes the variance of the aggregated series at each
+    level (default {!Counts.default_levels}). [normalised] divides by the
+    squared mean of the unaggregated process, the paper's normalisation
+    that makes traces with different packet totals comparable. Requires a
+    non-empty, non-constant series. *)
+
+val slope : ?min_m:int -> ?max_m:int -> curve -> Stats.Regression.fit
+(** OLS slope of log10 normalised variance vs log10 M, optionally
+    restricted to [min_m <= M <= max_m]. *)
+
+val hurst_of_slope : float -> float
+(** H = 1 + slope / 2 (slope in log-log space, typically in [-1, 0]). *)
+
+val pp : Format.formatter -> curve -> unit
+(** Table of (M, log10 M, log10 normalised variance). *)

@@ -1,0 +1,1 @@
+lib/trace/bursts.ml: Array Float Hashtbl List Record

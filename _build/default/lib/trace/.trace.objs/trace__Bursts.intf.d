@@ -1,0 +1,1 @@
+lib/trace/bursts.mli: Record

@@ -1,0 +1,1 @@
+lib/trace/dataset.ml: Array Bursts Dist Diurnal Float List Printf Prng Record Tcplib Traffic

@@ -1,0 +1,1 @@
+lib/trace/io.ml: Array Fun List Printf Record String

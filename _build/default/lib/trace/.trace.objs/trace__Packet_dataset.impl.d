@@ -1,0 +1,1 @@
+lib/trace/packet_dataset.ml: Array Dist Float Int List Printf Prng Record Traffic

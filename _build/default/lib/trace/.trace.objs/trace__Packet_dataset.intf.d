@@ -1,0 +1,1 @@
+lib/trace/packet_dataset.mli: Prng Record Traffic

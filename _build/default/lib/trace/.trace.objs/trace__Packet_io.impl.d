@@ -1,0 +1,1 @@
+lib/trace/packet_io.ml: Array Fun List Packet_dataset Printf Record String

@@ -1,0 +1,1 @@
+lib/trace/packet_io.mli: Packet_dataset Record

@@ -1,0 +1,82 @@
+type burst = {
+  burst_start : float;
+  burst_end : float;
+  burst_bytes : float;
+  n_conns : int;
+  burst_session : int;
+}
+
+(* FTPDATA connections of one session, in start order. *)
+let sessions_of conns =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (c : Record.connection) ->
+      if c.protocol = Record.Ftpdata then begin
+        let existing = try Hashtbl.find tbl c.session_id with Not_found -> [] in
+        Hashtbl.replace tbl c.session_id (c :: existing)
+      end)
+    conns;
+  Hashtbl.fold
+    (fun _id cs acc ->
+      List.sort (fun (a : Record.connection) b -> compare a.start b.start) cs
+      :: acc)
+    tbl []
+
+let group ?(cutoff = 4.) conns =
+  let close_burst acc = function
+    | [] -> acc
+    | members ->
+      let members = List.rev members in
+      let first = List.hd members in
+      let burst_end, bytes, n =
+        List.fold_left
+          (fun (e, b, n) (c : Record.connection) ->
+            (Float.max e (c.start +. c.duration), b +. c.bytes, n + 1))
+          (neg_infinity, 0., 0)
+          members
+      in
+      {
+        burst_start = first.Record.start;
+        burst_end;
+        burst_bytes = bytes;
+        n_conns = n;
+        burst_session = first.Record.session_id;
+      }
+      :: acc
+  in
+  let bursts_of_session cs =
+    let rec go acc current last_end = function
+      | [] -> close_burst acc current
+      | (c : Record.connection) :: rest ->
+        let gap = c.start -. last_end in
+        if current = [] || gap <= cutoff then
+          go acc (c :: current)
+            (Float.max last_end (c.start +. c.duration))
+            rest
+        else
+          go (close_burst acc current) [ c ] (c.start +. c.duration) rest
+    in
+    go [] [] neg_infinity cs
+  in
+  let all =
+    List.concat_map bursts_of_session (sessions_of conns)
+  in
+  List.sort (fun a b -> compare a.burst_start b.burst_start) all
+
+let spacings conns =
+  let spac =
+    List.concat_map
+      (fun cs ->
+        let rec go acc = function
+          | (a : Record.connection) :: (b :: _ as rest) ->
+            let gap = b.Record.start -. (a.start +. a.duration) in
+            go (Float.max 0.001 gap :: acc) rest
+          | _ -> List.rev acc
+        in
+        go [] cs)
+      (sessions_of conns)
+  in
+  Array.of_list spac
+
+let sizes bursts = Array.of_list (List.map (fun b -> b.burst_bytes) bursts)
+let starts bursts = Array.of_list (List.map (fun b -> b.burst_start) bursts)

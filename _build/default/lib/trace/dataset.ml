@@ -1,0 +1,229 @@
+type spec = {
+  name : string;
+  paper_what : string;
+  paper_duration : string;
+  days : float;
+  telnet_per_day : float;
+  rlogin_per_day : float;
+  ftp_sessions_per_day : float;
+  smtp_per_day : float;
+  nntp_per_day : float;
+  www_per_day : float;
+  x11_per_day : float;
+  smtp_profile : Diurnal.t;
+  seed : int;
+}
+
+let base ~name ~paper_what ~paper_duration ~seed =
+  {
+    name;
+    paper_what;
+    paper_duration;
+    days = 2.;
+    telnet_per_day = 2400.;
+    rlogin_per_day = 600.;
+    ftp_sessions_per_day = 1200.;
+    smtp_per_day = 3000.;
+    nntp_per_day = 3000.;
+    www_per_day = 0.;
+    x11_per_day = 400.;
+    smtp_profile = Diurnal.smtp_west;
+    seed;
+  }
+
+let catalog =
+  let lbl n =
+    let b =
+      base
+        ~name:(Printf.sprintf "LBL-%d" n)
+        ~paper_what:"wide-area TCP SYN/FIN"
+        ~paper_duration:"30 days" ~seed:(100 + n)
+    in
+    (* WWW appears only in the most recent traces. *)
+    if n >= 7 then { b with www_per_day = 900. } else b
+  in
+  [
+    {
+      (base ~name:"BC" ~paper_what:"17K TCP conn." ~paper_duration:"13 days"
+         ~seed:1)
+      with
+      telnet_per_day = 500.;
+      ftp_sessions_per_day = 300.;
+      smtp_per_day = 600.;
+      nntp_per_day = 500.;
+      smtp_profile = Diurnal.smtp_east;
+    };
+    {
+      (base ~name:"UCB" ~paper_what:"38K TCP conn." ~paper_duration:"24 hours"
+         ~seed:2)
+      with
+      days = 1.;
+      telnet_per_day = 6000.;
+      ftp_sessions_per_day = 2500.;
+      smtp_per_day = 8000.;
+      nntp_per_day = 7000.;
+    };
+    {
+      (base ~name:"NC" ~paper_what:"NSFNET regional conn."
+         ~paper_duration:"1 day" ~seed:3)
+      with
+      days = 1.;
+      telnet_per_day = 3000.;
+      ftp_sessions_per_day = 2000.;
+    };
+    {
+      (base ~name:"UK" ~paper_what:"6K TCP conn."
+         ~paper_duration:"~17 hours" ~seed:4)
+      with
+      days = 0.7;
+      telnet_per_day = 1500.;
+      ftp_sessions_per_day = 900.;
+      smtp_per_day = 1500.;
+      nntp_per_day = 1200.;
+    };
+    base ~name:"DEC-1" ~paper_what:"wide-area TCP SYN/FIN"
+      ~paper_duration:"1 day" ~seed:5;
+    base ~name:"DEC-2" ~paper_what:"wide-area TCP SYN/FIN"
+      ~paper_duration:"1 day" ~seed:6;
+    base ~name:"DEC-3" ~paper_what:"wide-area TCP SYN/FIN"
+      ~paper_duration:"1 day" ~seed:7;
+    lbl 1; lbl 2; lbl 3; lbl 4; lbl 5; lbl 6; lbl 7; lbl 8;
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) catalog
+
+let lognormal_sample mu sigma rng =
+  Dist.Lognormal.sample (Dist.Lognormal.create ~mu ~sigma) rng
+
+(* Plain (non-FTP) connections from an arrival-time array. *)
+let simple_conns proto ~dur_mu ~dur_sigma ~bytes_mu ~bytes_sigma times rng =
+  Array.to_list times
+  |> List.map (fun start ->
+         {
+           Record.start;
+           duration = lognormal_sample dur_mu dur_sigma rng;
+           protocol = proto;
+           bytes = lognormal_sample bytes_mu bytes_sigma rng;
+           session_id = -1;
+         })
+
+let generate ?days spec =
+  let days = match days with Some d -> d | None -> spec.days in
+  let duration = days *. 86400. in
+  let rng = Prng.Rng.create spec.seed in
+  let rates profile per_day = Diurnal.rates_per_hour profile ~per_day in
+  let telnet_times =
+    Traffic.Protocol_models.telnet
+      ~rates_per_hour:(rates Diurnal.telnet spec.telnet_per_day)
+      ~duration (Prng.Rng.split rng)
+  in
+  let telnet =
+    Array.to_list telnet_times
+    |> List.map (fun start ->
+           let sub = Prng.Rng.split rng in
+           {
+             Record.start;
+             duration = lognormal_sample (log 240.) 1.4 sub;
+             protocol = Record.Telnet;
+             bytes =
+               Dist.Log_extreme.sample Tcplib.Telnet.connection_bytes sub;
+             session_id = -1;
+           })
+  in
+  let rlogin =
+    simple_conns Record.Rlogin ~dur_mu:(log 240.) ~dur_sigma:1.4
+      ~bytes_mu:(log 200.) ~bytes_sigma:1.5
+      (Traffic.Protocol_models.rlogin
+         ~rates_per_hour:(rates Diurnal.telnet spec.rlogin_per_day)
+         ~duration (Prng.Rng.split rng))
+      (Prng.Rng.split rng)
+  in
+  let smtp =
+    simple_conns Record.Smtp ~dur_mu:(log 5.) ~dur_sigma:1.0
+      ~bytes_mu:(log 3000.) ~bytes_sigma:1.2
+      (Traffic.Protocol_models.smtp
+         ~rates_per_hour:(rates spec.smtp_profile spec.smtp_per_day)
+         ~duration (Prng.Rng.split rng))
+      (Prng.Rng.split rng)
+  in
+  let nntp =
+    simple_conns Record.Nntp ~dur_mu:(log 20.) ~dur_sigma:1.3
+      ~bytes_mu:(log 8000.) ~bytes_sigma:1.3
+      (Traffic.Protocol_models.nntp
+         ~rates_per_hour:(rates Diurnal.nntp spec.nntp_per_day)
+         ~duration (Prng.Rng.split rng))
+      (Prng.Rng.split rng)
+  in
+  let www =
+    if spec.www_per_day <= 0. then []
+    else
+      simple_conns Record.Www ~dur_mu:(log 2.) ~dur_sigma:1.0
+        ~bytes_mu:(log 8000.) ~bytes_sigma:1.3
+        (Traffic.Protocol_models.www
+           ~rates_per_hour:(rates Diurnal.www spec.www_per_day)
+           ~duration (Prng.Rng.split rng))
+        (Prng.Rng.split rng)
+  in
+  let x11 =
+    if spec.x11_per_day <= 0. then []
+    else
+      simple_conns Record.X11 ~dur_mu:(log 1800.) ~dur_sigma:1.2
+        ~bytes_mu:(log 20000.) ~bytes_sigma:1.4
+        (Traffic.Protocol_models.x11
+           ~rates_per_hour:(rates Diurnal.telnet spec.x11_per_day)
+           ~duration (Prng.Rng.split rng))
+        (Prng.Rng.split rng)
+  in
+  (* FTP sessions and their FTPDATA children share a session id. *)
+  let ftp_rng = Prng.Rng.split rng in
+  let ftp_starts =
+    Traffic.Poisson_proc.hourly
+      ~rates_per_hour:(rates Diurnal.ftp spec.ftp_sessions_per_day)
+      ~duration ftp_rng
+  in
+  let ftp, ftpdata =
+    Array.to_list ftp_starts
+    |> List.mapi (fun id start ->
+           let session =
+             Traffic.Ftp_model.generate_session Traffic.Ftp_model.default_params
+               ~id ~start ftp_rng
+           in
+           let data =
+             List.map
+               (fun (c : Traffic.Ftp_model.data_conn) ->
+                 {
+                   Record.start = c.conn_start;
+                   duration = c.conn_end -. c.conn_start;
+                   protocol = Record.Ftpdata;
+                   bytes = c.conn_bytes;
+                   session_id = id;
+                 })
+               session.conns
+           in
+           let session_end =
+             List.fold_left
+               (fun acc (c : Record.connection) ->
+                 Float.max acc (c.start +. c.duration))
+               start data
+           in
+           ( {
+               Record.start;
+               duration = session_end -. start;
+               protocol = Record.Ftp;
+               bytes = 500.;
+               session_id = id;
+             },
+             data ))
+    |> List.split
+  in
+  Record.create ~name:spec.name ~span:duration
+    (List.concat
+       [ telnet; rlogin; smtp; nntp; www; x11; ftp; List.concat ftpdata ])
+
+let ftp_arrival_kinds trace kind =
+  match kind with
+  | `Sessions -> Record.starts (Record.filter_protocol trace Record.Ftp)
+  | `Data -> Record.starts (Record.filter_protocol trace Record.Ftpdata)
+  | `Bursts ->
+    let conns = Record.filter_protocol trace Record.Ftpdata in
+    Bursts.starts (Bursts.group conns)

@@ -1,0 +1,41 @@
+(** Synthetic stand-ins for the paper's Table I SYN/FIN connection traces.
+
+    Each catalog entry names one of the paper's datasets and carries the
+    per-protocol daily rates and a fixed seed; {!generate} synthesises the
+    full connection trace with the per-protocol arrival structure of
+    Section III (see DESIGN.md for the substitution argument). Spans are
+    scaled down from the paper's (up to 8 x 30 days) so the whole harness
+    runs in seconds; rates are per-day so scaling up is a field change. *)
+
+type spec = {
+  name : string;
+  paper_what : string;  (** The paper's Table I "What" column. *)
+  paper_duration : string;  (** The paper's Table I duration. *)
+  days : float;  (** Synthetic span in days. *)
+  telnet_per_day : float;
+  rlogin_per_day : float;
+  ftp_sessions_per_day : float;
+  smtp_per_day : float;
+  nntp_per_day : float;
+  www_per_day : float;
+  x11_per_day : float;
+  smtp_profile : Diurnal.t;
+  seed : int;
+}
+
+val catalog : spec list
+(** BC, UCB, NC, UK, DEC-1..3, LBL-1..8 (the paper's fifteen SYN/FIN
+    datasets; with the nine packet traces that makes the 24). WWW appears
+    only in the two most recent LBL traces, matching "only two of the
+    traces had significant WWW traffic". *)
+
+val find : string -> spec option
+
+val generate : ?days:float -> spec -> Record.t
+(** Synthesize the trace (optionally overriding the span). Deterministic
+    for a given spec. *)
+
+val ftp_arrival_kinds : Record.t -> [ `Sessions | `Data | `Bursts ] ->
+  float array
+(** Convenience: FTP session starts, FTPDATA connection starts, or
+    FTPDATA burst starts (4 s cutoff) of a generated trace. *)

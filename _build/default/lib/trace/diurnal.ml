@@ -1,0 +1,55 @@
+type t = float array
+
+let normalise weights =
+  assert (Array.length weights = 24);
+  let sum = Array.fold_left ( +. ) 0. weights in
+  assert (sum > 0.);
+  Array.iter (fun w -> assert (w >= 0.)) weights;
+  Array.map (fun w -> w /. sum) weights
+
+(* Hour-by-hour relative weights, midnight first. *)
+let telnet =
+  normalise
+    [| 1.0; 0.7; 0.5; 0.4; 0.4; 0.5; 1.0; 2.0; 4.5; 6.5; 7.5; 7.0; 5.5; 7.0;
+       7.5; 7.2; 6.5; 5.5; 3.5; 2.5; 2.2; 1.8; 1.5; 1.2 |]
+
+let ftp =
+  normalise
+    [| 1.5; 1.0; 0.8; 0.6; 0.6; 0.8; 1.2; 2.0; 4.0; 5.5; 6.5; 6.0; 5.0; 6.0;
+       6.5; 6.0; 5.5; 5.0; 4.0; 4.5; 5.0; 4.5; 3.5; 2.5 |]
+
+let nntp =
+  normalise
+    [| 4.0; 3.8; 3.5; 3.0; 2.8; 3.0; 3.5; 4.0; 4.3; 4.5; 4.6; 4.6; 4.5; 4.6;
+       4.6; 4.6; 4.5; 4.5; 4.4; 4.4; 4.3; 4.3; 4.2; 4.1 |]
+
+let smtp_west =
+  normalise
+    [| 1.5; 1.2; 1.0; 0.9; 1.0; 1.5; 3.0; 5.0; 7.0; 7.5; 7.0; 6.5; 5.5; 5.5;
+       5.5; 5.0; 4.5; 4.0; 3.5; 3.0; 2.5; 2.2; 2.0; 1.8 |]
+
+let smtp_east =
+  normalise
+    [| 1.5; 1.2; 1.0; 0.9; 1.0; 1.2; 2.0; 3.0; 4.0; 4.5; 5.0; 5.5; 6.0; 7.0;
+       7.5; 7.5; 7.0; 6.0; 5.0; 4.0; 3.0; 2.5; 2.2; 2.0 |]
+
+let www = telnet
+
+let flat = normalise (Array.make 24 1.)
+
+let rates_per_hour t ~per_day = Array.map (fun f -> f *. per_day) t
+
+let fraction t h = t.((h mod 24 + 24) mod 24)
+
+let hourly_fractions ~span arrivals =
+  assert (span > 0.);
+  let counts = Array.make 24 0. in
+  Array.iter
+    (fun t ->
+      if t >= 0. && t < span then begin
+        let hour_of_day = int_of_float (t /. 3600.) mod 24 in
+        counts.(hour_of_day) <- counts.(hour_of_day) +. 1.
+      end)
+    arrivals;
+  let total = Array.fold_left ( +. ) 0. counts in
+  if total = 0. then counts else Array.map (fun c -> c /. total) counts

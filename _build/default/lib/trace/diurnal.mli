@@ -1,0 +1,40 @@
+(** Diurnal (24-hour) connection-rate profiles — the pattern of Fig. 1.
+
+    A profile is a 24-element array of relative weights (normalised to
+    sum to 1): the fraction of a day's connections arriving in each
+    hour. *)
+
+type t = private float array
+
+val normalise : float array -> t
+(** Requires 24 non-negative entries with a positive sum. *)
+
+val telnet : t
+(** Office-hours peak with a lunch-related dip at noon. *)
+
+val ftp : t
+(** Office-hours profile with substantial renewal in the evening, "when
+    presumably users take advantage of lower networking delays". *)
+
+val nntp : t
+(** Fairly constant, dipping somewhat in the early morning. *)
+
+val smtp_west : t
+(** Morning bias (the paper's LBL, west-coast pattern). *)
+
+val smtp_east : t
+(** Afternoon bias (the Bellcore, east-coast pattern). *)
+
+val www : t
+val flat : t
+
+val rates_per_hour : t -> per_day:float -> float array
+(** Expected arrivals in each hour given a daily total. *)
+
+val fraction : t -> int -> float
+(** Weight of hour [h mod 24]. *)
+
+val hourly_fractions : span:float -> float array -> float array
+(** Fig. 1 measurement: from arrival times over a trace of [span]
+    seconds, the fraction of all arrivals falling in each hour-of-day
+    (24 entries summing to 1 when there are arrivals). *)

@@ -1,0 +1,55 @@
+let to_channel oc (t : Record.t) =
+  Printf.fprintf oc "# trace\t%s\n" t.name;
+  Printf.fprintf oc "# span\t%.6f\n" t.span;
+  Array.iter
+    (fun (c : Record.connection) ->
+      Printf.fprintf oc "%.6f\t%.6f\t%s\t%.1f\t%d\n" c.start c.duration
+        (Record.protocol_to_string c.protocol)
+        c.bytes c.session_id)
+    t.connections
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> to_channel oc t)
+
+let parse_line line_no line =
+  match String.split_on_char '\t' line with
+  | [ start; duration; proto; bytes; session ] -> (
+    match Record.protocol_of_string proto with
+    | None -> failwith (Printf.sprintf "line %d: unknown protocol %s" line_no proto)
+    | Some protocol ->
+      {
+        Record.start = float_of_string start;
+        duration = float_of_string duration;
+        protocol;
+        bytes = float_of_string bytes;
+        session_id = int_of_string session;
+      })
+  | _ -> failwith (Printf.sprintf "line %d: expected 5 fields" line_no)
+
+let of_channel ic =
+  let header_field expected line =
+    match String.split_on_char '\t' line with
+    | [ tag; value ] when tag = "# " ^ expected -> value
+    | _ -> failwith ("bad header, expected " ^ expected)
+  in
+  let name = header_field "trace" (input_line ic) in
+  let span = float_of_string (header_field "span" (input_line ic)) in
+  let conns = ref [] in
+  let line_no = ref 2 in
+  (try
+     while true do
+       incr line_no;
+       let line = input_line ic in
+       if line <> "" then conns := parse_line !line_no line :: !conns
+     done
+   with End_of_file -> ());
+  Record.create ~name ~span (List.rev !conns)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_channel ic)

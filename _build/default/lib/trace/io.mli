@@ -1,0 +1,13 @@
+(** Plain-text trace I/O: one connection per line,
+    [start duration protocol bytes session_id], tab-separated, with a
+    two-line header carrying the trace name and span. Lets generated
+    traces be saved, inspected with standard tools, and reloaded. *)
+
+val save : string -> Record.t -> unit
+(** [save path trace]: writes the trace; raises [Sys_error] on failure. *)
+
+val load : string -> Record.t
+(** Raises [Failure] on malformed input, [Sys_error] if unreadable. *)
+
+val to_channel : out_channel -> Record.t -> unit
+val of_channel : in_channel -> Record.t

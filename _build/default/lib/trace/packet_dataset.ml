@@ -1,0 +1,191 @@
+type spec = {
+  name : string;
+  paper_when : string;
+  paper_what : string;
+  duration : float;
+  telnet_conns_per_hour : float;
+  ftp_sessions_per_hour : float;
+  background_conns_per_sec : float;
+  seed : int;
+}
+
+type t = {
+  spec : spec;
+  telnet_connections : Traffic.Telnet_model.connection list;
+  telnet_packets : float array;
+  ftp_sessions : Traffic.Ftp_model.session list;
+  ftpdata_packets : float array;
+  other_packets : float array;
+  all_packets : float array;
+}
+
+(* PKT-1..3 span two hours (all TCP packets) and PKT-4..5 one hour (all
+   packets), as in Table II. *)
+let lbl ~n ~when_ ~what ~seed =
+  {
+    name = Printf.sprintf "LBL-PKT-%d" n;
+    paper_when = when_;
+    paper_what = what;
+    duration = (if n <= 3 then 7200. else 3600.);
+    telnet_conns_per_hour = 137.;
+    ftp_sessions_per_hour = 40.;
+    background_conns_per_sec = 0.5;
+    seed;
+  }
+
+let wrl ~n ~seed =
+  {
+    name = Printf.sprintf "DEC-WRL-%d" n;
+    paper_when = "Mar 1994";
+    paper_what = "all link-level pkts.";
+    duration = 3600.;
+    telnet_conns_per_hour = 60.;
+    ftp_sessions_per_hour = 80.;
+    background_conns_per_sec = 1.0;
+    seed;
+  }
+
+let catalog =
+  [
+    lbl ~n:1 ~when_:"Fri 17Dec93 2PM-4PM" ~what:"1.7M TCP pkts." ~seed:201;
+    lbl ~n:2 ~when_:"Wed 19Jan94 2PM-4PM" ~what:"2.4M TCP pkts." ~seed:202;
+    lbl ~n:3 ~when_:"Thu 20Jan94 2PM-4PM" ~what:"1.8M TCP pkts." ~seed:203;
+    lbl ~n:4 ~when_:"Fri 21Jan94 2PM-3PM" ~what:"1.3M pkts." ~seed:204;
+    lbl ~n:5 ~when_:"- " ~what:"1.3M pkts." ~seed:205;
+    wrl ~n:1 ~seed:301;
+    wrl ~n:2 ~seed:302;
+    wrl ~n:3 ~seed:303;
+    wrl ~n:4 ~seed:304;
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) catalog
+let lbl_pkt_2 = List.nth catalog 1
+
+let segment_bytes = 512.
+
+let packets_of_conn (c : Traffic.Ftp_model.data_conn) rng =
+  let n =
+    Int.max 1 (int_of_float (Float.ceil (c.conn_bytes /. segment_bytes)))
+  in
+  let dur = Float.max 1e-3 (c.conn_end -. c.conn_start) in
+  (* Scatter the segments uniformly over the connection lifetime (a
+     conditioned Poisson stream): ack-clocking and cross-traffic make
+     real spacing irregular, and exactly regular spacing would stamp an
+     artificial spectral signature on the aggregate. *)
+  let ts =
+    Array.init n (fun i ->
+        if i = 0 then c.conn_start
+        else c.conn_start +. Prng.Rng.float_range rng 0. dur)
+  in
+  Array.sort compare ts;
+  ts
+
+(* Background bulk connections: Poisson arrivals, Pareto lifetimes
+   (infinite variance), constant packet rate while alive — the M/G/inf
+   construction of Section VII-B. *)
+let background ~rate ~duration ~pkts_per_sec rng =
+  let life = Dist.Pareto.create ~location:1.0 ~shape:1.3 in
+  let starts = Traffic.Poisson_proc.homogeneous ~rate ~duration rng in
+  let chunks =
+    Array.to_list starts
+    |> List.map (fun s ->
+           let d =
+             Dist.Pareto.sample_truncated life ~upper:(duration /. 2.) rng
+           in
+           let stop = Float.min duration (s +. d) in
+           let n = int_of_float ((stop -. s) *. pkts_per_sec) in
+           let ts =
+             Array.init n (fun _ -> s +. Prng.Rng.float_range rng 0. (stop -. s))
+           in
+           Array.sort compare ts;
+           ts)
+  in
+  Traffic.Arrival.merge chunks
+
+let generate spec =
+  let rng = Prng.Rng.create spec.seed in
+  (* Every component is generated over a warmup period plus the trace
+     window and then shifted left, so the observed window sees the
+     system in steady state rather than ramping up from empty (a ramp is
+     pure low-frequency power and would masquerade as H ~ 1). *)
+  let warmup = Float.min 1800. spec.duration in
+  let horizon = spec.duration +. warmup in
+  let telnet_rng = Prng.Rng.split rng in
+  let telnet_connections =
+    Traffic.Telnet_model.full_tel ~rate_per_hour:spec.telnet_conns_per_hour
+      ~duration:horizon telnet_rng
+    |> List.map (fun (c : Traffic.Telnet_model.connection) ->
+           {
+             Traffic.Telnet_model.start = c.start -. warmup;
+             packets = Traffic.Arrival.shift (-.warmup) c.packets;
+           })
+    |> List.filter (fun (c : Traffic.Telnet_model.connection) ->
+           c.start >= 0. && c.start < spec.duration)
+  in
+  let telnet_packets =
+    Traffic.Arrival.clip ~lo:0. ~hi:spec.duration
+      (Traffic.Telnet_model.packet_times telnet_connections)
+  in
+  let ftp_rng = Prng.Rng.split rng in
+  let params =
+    { Traffic.Ftp_model.default_params with burst_bytes_cap = 5e7 }
+  in
+  let ftp_sessions =
+    Traffic.Ftp_model.sessions ~params
+      ~rate_per_hour:spec.ftp_sessions_per_hour ~duration:horizon ftp_rng
+    |> List.map (fun (s : Traffic.Ftp_model.session) ->
+           {
+             s with
+             Traffic.Ftp_model.session_start = s.session_start -. warmup;
+             conns =
+               List.map
+                 (fun (c : Traffic.Ftp_model.data_conn) ->
+                   {
+                     c with
+                     conn_start = c.conn_start -. warmup;
+                     conn_end = c.conn_end -. warmup;
+                   })
+                 s.conns;
+           })
+    |> List.filter (fun (s : Traffic.Ftp_model.session) ->
+           List.exists
+             (fun (c : Traffic.Ftp_model.data_conn) -> c.conn_end > 0.)
+             s.conns)
+  in
+  let ftpdata_packets =
+    Traffic.Arrival.clip ~lo:0. ~hi:spec.duration
+      (Traffic.Arrival.merge
+         (List.map
+            (fun c -> packets_of_conn c ftp_rng)
+            (Traffic.Ftp_model.all_conns ftp_sessions)))
+  in
+  let other_packets =
+    Traffic.Arrival.clip ~lo:0. ~hi:spec.duration
+      (Traffic.Arrival.shift (-.warmup)
+         (background ~rate:spec.background_conns_per_sec ~duration:horizon
+            ~pkts_per_sec:25. (Prng.Rng.split rng)))
+  in
+  let all_packets =
+    Traffic.Arrival.merge [ telnet_packets; ftpdata_packets; other_packets ]
+  in
+  {
+    spec;
+    telnet_connections;
+    telnet_packets;
+    ftp_sessions;
+    ftpdata_packets;
+    other_packets;
+    all_packets;
+  }
+
+let ftpdata_conns t =
+  Traffic.Ftp_model.all_conns t.ftp_sessions
+  |> List.map (fun (c : Traffic.Ftp_model.data_conn) ->
+         {
+           Record.start = c.conn_start;
+           duration = c.conn_end -. c.conn_start;
+           protocol = Record.Ftpdata;
+           bytes = c.conn_bytes;
+           session_id = c.session_id;
+         })
+  |> Array.of_list

@@ -1,0 +1,47 @@
+(** Synthetic stand-ins for the paper's Table II packet-level traces
+    (LBL PKT-1..5, DEC WRL-1..4).
+
+    Each trace is assembled from the paper's own source models: TELNET
+    originator packets from FULL-TEL-style connections, FTPDATA packets
+    emitted at the connection's bandwidth over heavy-tailed bursts, and a
+    background of smaller bulk connections (an M/G/inf superposition with
+    Pareto lifetimes — the mechanism Section VII credits for large-scale
+    correlation). *)
+
+type spec = {
+  name : string;
+  paper_when : string;
+  paper_what : string;
+  duration : float;  (** Seconds. *)
+  telnet_conns_per_hour : float;
+  ftp_sessions_per_hour : float;
+  background_conns_per_sec : float;
+  seed : int;
+}
+
+type t = {
+  spec : spec;
+  telnet_connections : Traffic.Telnet_model.connection list;
+  telnet_packets : float array;  (** Sorted. *)
+  ftp_sessions : Traffic.Ftp_model.session list;
+  ftpdata_packets : float array;
+  other_packets : float array;
+  all_packets : float array;
+}
+
+val catalog : spec list
+val find : string -> spec option
+
+val lbl_pkt_2 : spec
+(** The trace Sections IV-V centre on (273 TELNET connections / 2 h in
+    the paper). *)
+
+val generate : spec -> t
+(** Deterministic for a given spec. *)
+
+val ftpdata_conns : t -> Record.connection array
+(** The trace's FTPDATA connections as records (for burst analysis). *)
+
+val packets_of_conn : Traffic.Ftp_model.data_conn -> Prng.Rng.t -> float array
+(** Packet times of one FTPDATA connection: ~512-byte segments evenly
+    spaced over the connection lifetime with small jitter. *)

@@ -1,0 +1,80 @@
+type t = {
+  name : string;
+  span : float;
+  packets : (float * Record.protocol) array;
+}
+
+let of_packet_dataset (d : Packet_dataset.t) =
+  let tag proto times =
+    Array.to_list (Array.map (fun t -> (t, proto)) times)
+  in
+  let packets =
+    Array.of_list
+      (List.concat
+         [
+           tag Record.Telnet d.Packet_dataset.telnet_packets;
+           tag Record.Ftpdata d.Packet_dataset.ftpdata_packets;
+           tag Record.Nntp d.Packet_dataset.other_packets;
+         ])
+  in
+  Array.sort (fun (a, _) (b, _) -> compare a b) packets;
+  {
+    name = d.Packet_dataset.spec.name;
+    span = d.Packet_dataset.spec.duration;
+    packets;
+  }
+
+let times t ?protocol () =
+  match protocol with
+  | None -> Array.map fst t.packets
+  | Some p ->
+    Array.of_list
+      (List.filter_map
+         (fun (time, proto) -> if proto = p then Some time else None)
+         (Array.to_list t.packets))
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "# pkttrace\t%s\n" t.name;
+      Printf.fprintf oc "# span\t%.6f\n" t.span;
+      Array.iter
+        (fun (time, proto) ->
+          Printf.fprintf oc "%.6f\t%s\n" time (Record.protocol_to_string proto))
+        t.packets)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header_field expected line =
+        match String.split_on_char '\t' line with
+        | [ tag; value ] when tag = "# " ^ expected -> value
+        | _ -> failwith ("bad packet-trace header, expected " ^ expected)
+      in
+      let name = header_field "pkttrace" (input_line ic) in
+      let span = float_of_string (header_field "span" (input_line ic)) in
+      let packets = ref [] in
+      let line_no = ref 2 in
+      (try
+         while true do
+           incr line_no;
+           let line = input_line ic in
+           if line <> "" then
+             match String.split_on_char '\t' line with
+             | [ time; proto ] -> (
+               match Record.protocol_of_string proto with
+               | Some p -> packets := (float_of_string time, p) :: !packets
+               | None ->
+                 failwith
+                   (Printf.sprintf "line %d: unknown protocol %s" !line_no
+                      proto))
+             | _ -> failwith (Printf.sprintf "line %d: expected 2 fields" !line_no)
+         done
+       with End_of_file -> ());
+      let packets = Array.of_list (List.rev !packets) in
+      Array.sort (fun (a, _) (b, _) -> compare a b) packets;
+      { name; span; packets })

@@ -1,0 +1,48 @@
+type protocol = Telnet | Ftp | Ftpdata | Smtp | Nntp | Www | Rlogin | X11
+
+let protocol_to_string = function
+  | Telnet -> "telnet"
+  | Ftp -> "ftp"
+  | Ftpdata -> "ftpdata"
+  | Smtp -> "smtp"
+  | Nntp -> "nntp"
+  | Www -> "www"
+  | Rlogin -> "rlogin"
+  | X11 -> "x11"
+
+let protocol_of_string = function
+  | "telnet" -> Some Telnet
+  | "ftp" -> Some Ftp
+  | "ftpdata" -> Some Ftpdata
+  | "smtp" -> Some Smtp
+  | "nntp" -> Some Nntp
+  | "www" -> Some Www
+  | "rlogin" -> Some Rlogin
+  | "x11" -> Some X11
+  | _ -> None
+
+let all_protocols = [ Telnet; Ftp; Ftpdata; Smtp; Nntp; Www; Rlogin; X11 ]
+
+type connection = {
+  start : float;
+  duration : float;
+  protocol : protocol;
+  bytes : float;
+  session_id : int;
+}
+
+type t = { name : string; span : float; connections : connection array }
+
+let create ~name ~span conns =
+  let connections = Array.of_list conns in
+  Array.sort (fun a b -> compare a.start b.start) connections;
+  { name; span; connections }
+
+let filter_protocol t proto =
+  Array.of_list
+    (List.filter
+       (fun c -> c.protocol = proto)
+       (Array.to_list t.connections))
+
+let starts conns = Array.map (fun c -> c.start) conns
+let count t proto = Array.length (filter_protocol t proto)

@@ -1,0 +1,39 @@
+(** Connection-level trace records: what a TCP SYN/FIN trace captures
+    (Section II) — start time, duration, protocol, participating session,
+    and bytes transferred. *)
+
+type protocol =
+  | Telnet
+  | Ftp  (** FTP session, i.e. the control connection. *)
+  | Ftpdata
+  | Smtp
+  | Nntp
+  | Www
+  | Rlogin
+  | X11
+
+val protocol_to_string : protocol -> string
+val protocol_of_string : string -> protocol option
+val all_protocols : protocol list
+
+type connection = {
+  start : float;  (** Seconds from trace start. *)
+  duration : float;
+  protocol : protocol;
+  bytes : float;  (** Data bytes (originator side for TELNET). *)
+  session_id : int;  (** Groups FTPDATA connections under one session;
+                         -1 when not applicable. *)
+}
+
+type t = {
+  name : string;
+  span : float;  (** Trace length in seconds. *)
+  connections : connection array;  (** Sorted by start time. *)
+}
+
+val create : name:string -> span:float -> connection list -> t
+(** Sorts the connections by start time. *)
+
+val filter_protocol : t -> protocol -> connection array
+val starts : connection array -> float array
+val count : t -> protocol -> int

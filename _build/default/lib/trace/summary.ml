@@ -1,0 +1,50 @@
+type row = {
+  protocol : Record.protocol;
+  connections : int;
+  total_bytes : float;
+  mean_duration : float;
+  byte_share : float;
+}
+
+let compute (t : Record.t) =
+  let total_bytes =
+    Array.fold_left
+      (fun acc (c : Record.connection) -> acc +. c.bytes)
+      0. t.connections
+  in
+  Record.all_protocols
+  |> List.filter_map (fun proto ->
+         let conns = Record.filter_protocol t proto in
+         let n = Array.length conns in
+         if n = 0 then None
+         else begin
+           let bytes =
+             Array.fold_left
+               (fun acc (c : Record.connection) -> acc +. c.bytes)
+               0. conns
+           in
+           let durations =
+             Array.fold_left
+               (fun acc (c : Record.connection) -> acc +. c.duration)
+               0. conns
+           in
+           Some
+             {
+               protocol = proto;
+               connections = n;
+               total_bytes = bytes;
+               mean_duration = durations /. float_of_int n;
+               byte_share = (if total_bytes > 0. then bytes /. total_bytes else 0.);
+             }
+         end)
+  |> List.sort (fun a b -> compare b.byte_share a.byte_share)
+
+let pp fmt t =
+  Format.fprintf fmt "%-10s %10s %14s %12s %8s@." "protocol" "conns" "bytes"
+    "mean dur." "share";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-10s %10d %14.0f %11.1fs %7.1f%%@."
+        (Record.protocol_to_string r.protocol)
+        r.connections r.total_bytes r.mean_duration (100. *. r.byte_share))
+    (compute t)

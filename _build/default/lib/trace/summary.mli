@@ -1,0 +1,16 @@
+(** Per-protocol summaries of a connection trace — the "number of
+    connections and bytes due to each TCP protocol" breakdown the paper
+    refers its readers to. *)
+
+type row = {
+  protocol : Record.protocol;
+  connections : int;
+  total_bytes : float;
+  mean_duration : float;  (** 0 when there are no connections. *)
+  byte_share : float;  (** Fraction of the trace's bytes. *)
+}
+
+val compute : Record.t -> row list
+(** One row per protocol present, ordered by descending byte share. *)
+
+val pp : Format.formatter -> Record.t -> unit

@@ -1,0 +1,1 @@
+lib/traffic/cascade.ml: Array Arrival Prng

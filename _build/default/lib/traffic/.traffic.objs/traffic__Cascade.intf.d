@@ -1,0 +1,1 @@
+lib/traffic/cascade.mli: Prng

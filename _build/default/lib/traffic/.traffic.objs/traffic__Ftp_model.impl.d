@@ -1,0 +1,1 @@
+lib/traffic/ftp_model.ml: Array Dist Float Int List Poisson_proc Prng

@@ -1,0 +1,1 @@
+lib/traffic/ftp_model.mli: Dist Prng

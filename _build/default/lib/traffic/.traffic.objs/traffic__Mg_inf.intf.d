@@ -1,0 +1,1 @@
+lib/traffic/mg_inf.mli: Prng

@@ -1,0 +1,1 @@
+lib/traffic/onoff.ml: Array Dist Float List Prng

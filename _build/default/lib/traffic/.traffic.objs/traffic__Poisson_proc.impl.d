@@ -1,0 +1,1 @@
+lib/traffic/poisson_proc.ml: Array Arrival Float List Prng

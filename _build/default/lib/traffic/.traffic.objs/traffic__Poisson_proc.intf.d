@@ -1,0 +1,1 @@
+lib/traffic/poisson_proc.mli: Prng

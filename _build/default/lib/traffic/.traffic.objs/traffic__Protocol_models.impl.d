@@ -1,0 +1,1 @@
+lib/traffic/protocol_models.ml: Array Arrival Cascade Dist Float List Poisson_proc Prng Stats

@@ -1,0 +1,1 @@
+lib/traffic/protocol_models.mli: Prng

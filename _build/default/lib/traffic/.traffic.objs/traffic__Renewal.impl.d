@@ -1,0 +1,1 @@
+lib/traffic/renewal.ml: Array List

@@ -1,0 +1,1 @@
+lib/traffic/renewal.mli: Prng

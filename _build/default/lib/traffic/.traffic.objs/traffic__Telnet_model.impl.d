@@ -1,0 +1,1 @@
+lib/traffic/telnet_model.ml: Array Arrival Dist List Poisson_proc Prng Renewal Tcplib

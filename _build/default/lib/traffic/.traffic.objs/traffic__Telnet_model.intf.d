@@ -1,0 +1,1 @@
+lib/traffic/telnet_model.mli: Prng

@@ -1,0 +1,1 @@
+lib/traffic/telnet_responder.ml: Array Dist Float Int Prng Telnet_model

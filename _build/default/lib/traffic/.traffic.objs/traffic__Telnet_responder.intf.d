@@ -1,0 +1,1 @@
+lib/traffic/telnet_responder.mli: Dist Prng Telnet_model

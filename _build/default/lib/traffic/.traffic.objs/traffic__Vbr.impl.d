@@ -1,0 +1,1 @@
+lib/traffic/vbr.ml: Array Float Lrd

@@ -1,0 +1,1 @@
+lib/traffic/vbr.mli: Prng

@@ -1,0 +1,32 @@
+let is_sorted xs =
+  let ok = ref true in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) < xs.(i - 1) then ok := false
+  done;
+  !ok
+
+let merge lists =
+  let total = List.fold_left (fun acc a -> acc + Array.length a) 0 lists in
+  let out = Array.make total 0. in
+  let pos = ref 0 in
+  List.iter
+    (fun a ->
+      Array.blit a 0 out !pos (Array.length a);
+      pos := !pos + Array.length a)
+    lists;
+  Array.sort compare out;
+  out
+
+let shift dt xs = Array.map (fun t -> t +. dt) xs
+
+let clip ~lo ~hi xs =
+  Array.of_list (List.filter (fun t -> t >= lo && t < hi) (Array.to_list xs))
+
+let thin ~keep rng xs =
+  assert (keep >= 0. && keep <= 1.);
+  Array.of_list
+    (List.filter (fun _ -> Prng.Rng.float rng < keep) (Array.to_list xs))
+
+let interarrivals xs =
+  assert (Array.length xs >= 2);
+  Array.init (Array.length xs - 1) (fun i -> xs.(i + 1) -. xs.(i))

@@ -1,0 +1,31 @@
+let spawn ~base ~n_children ~gap rng =
+  let children = ref [] in
+  Array.iter
+    (fun t0 ->
+      let n = n_children rng in
+      let t = ref t0 in
+      for _ = 1 to n do
+        let g = gap rng in
+        assert (g > 0.);
+        t := !t +. g;
+        children := !t :: !children
+      done)
+    base;
+  Arrival.merge [ base; Array.of_list !children ]
+
+let periodic ~period ~jitter ~duration rng =
+  assert (period > 0. && jitter >= 0. && duration > 0.);
+  let out = ref [] in
+  let k = ref 0 in
+  while float_of_int !k *. period < duration do
+    let t = float_of_int !k *. period in
+    let t =
+      if jitter > 0. then t +. Prng.Rng.float_range rng (-.jitter) jitter
+      else t
+    in
+    if t >= 0. && t < duration then out := t :: !out;
+    incr k
+  done;
+  let a = Array.of_list !out in
+  Array.sort compare a;
+  a

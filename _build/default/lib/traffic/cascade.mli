@@ -1,0 +1,23 @@
+(** Cascading arrivals: each primary event spawns a train of secondary
+    events. This is the structural reason machine-generated protocols
+    (SMTP mailing-list explosions, NNTP flooding, WWW page fetches, X11
+    in-session connections) fail the Poisson tests: secondaries are
+    correlated with their primaries, so arrivals are neither independent
+    nor exponentially spaced. *)
+
+val spawn :
+  base:float array ->
+  n_children:(Prng.Rng.t -> int) ->
+  gap:(Prng.Rng.t -> float) ->
+  Prng.Rng.t ->
+  float array
+(** For each base event, draw a child count and emit children at
+    cumulative positive gaps after it; result is base plus all children,
+    sorted. *)
+
+val periodic :
+  period:float -> jitter:float -> duration:float -> Prng.Rng.t -> float array
+(** Timer-driven arrivals: events every [period] seconds, each displaced
+    by U(-jitter, jitter), clipped to [[0, duration)]. The paper notes
+    timer-driven traffic can even synchronise network-wide — the polar
+    opposite of Poisson. *)

@@ -1,0 +1,147 @@
+type data_conn = {
+  conn_start : float;
+  conn_end : float;
+  conn_bytes : float;
+  session_id : int;
+}
+
+type session = {
+  session_id : int;
+  session_start : float;
+  conns : data_conn list;
+}
+
+type params = {
+  extra_bursts_p : float;
+  conns_per_burst_cap : int;
+  burst_bytes : Dist.Pareto.t;
+  burst_bytes_cap : float;
+  session_volume_sigma : float;
+  burst_repeat_p : float;
+  intra_spacing : Dist.Lognormal.t;
+  inter_spacing : Dist.Lognormal.t;
+  median_bandwidth : float;
+  bandwidth_sigma : float;
+}
+
+let default_params =
+  {
+    extra_bursts_p = 0.45;
+    conns_per_burst_cap = 2000;
+    burst_bytes = Dist.Pareto.create ~location:8000. ~shape:1.05;
+    burst_bytes_cap = 2e9;
+    session_volume_sigma = 1.5;
+    burst_repeat_p = 0.35;
+    intra_spacing = Dist.Lognormal.create ~mu:(log 0.5) ~sigma:0.8;
+    inter_spacing = Dist.Lognormal.create ~mu:(log 30.) ~sigma:1.0;
+    median_bandwidth = 50_000.;
+    bandwidth_sigma = 1.0;
+  }
+
+(* Connections per burst: 1 + a capped discrete-Pareto draw, so most
+   bursts are a single transfer but the tail is heavy (cf. the 979-
+   connection burst in LBL-7). *)
+let sample_conns_per_burst params rng =
+  let z = Dist.Zipf.sample (Dist.Zipf.create ()) rng in
+  1 + Int.min z (params.conns_per_burst_cap - 1)
+
+let sample_bandwidth params rng =
+  let d =
+    Dist.Lognormal.create
+      ~mu:(log params.median_bandwidth)
+      ~sigma:params.bandwidth_sigma
+  in
+  Float.max 1000. (Dist.Lognormal.sample d rng)
+
+(* Split [total] bytes across [n] connections with random exponential
+   weights (a flat Dirichlet would do the same job). *)
+let split_bytes total n rng =
+  assert (n >= 1);
+  let weights = Array.init n (fun _ -> -.log (Prng.Rng.float_pos rng)) in
+  let sum = Array.fold_left ( +. ) 0. weights in
+  Array.map (fun w -> Float.max 1. (total *. w /. sum)) weights
+
+let generate_session params ~id ~start rng =
+  let n_bursts =
+    1
+    + Dist.Geometric.sample (Dist.Geometric.create ~p:params.extra_bursts_p) rng
+  in
+  (* A per-session volume factor: users moving big data tend to move big
+     data repeatedly, so the largest bursts cluster within sessions
+     (which is why the paper finds huge-burst arrivals non-Poisson). *)
+  let volume_factor =
+    if params.session_volume_sigma <= 0. then 1.
+    else
+      Dist.Lognormal.sample
+        (Dist.Lognormal.create
+           ~mu:(-.(params.session_volume_sigma ** 2.) /. 2.)
+           ~sigma:params.session_volume_sigma)
+        rng
+  in
+  let t = ref start in
+  let conns = ref [] in
+  let prev_bytes = ref None in
+  for b = 0 to n_bursts - 1 do
+    if b > 0 then
+      (* Inter-burst think time; resample until it clears the intra
+         range so the bimodality of Fig. 8 is clean. *)
+      t := !t +. Float.max 6. (Dist.Lognormal.sample params.inter_spacing rng);
+    let n_conns = sample_conns_per_burst params rng in
+    let fresh_bytes () =
+      volume_factor
+      *. Dist.Pareto.sample_truncated params.burst_bytes
+           ~upper:params.burst_bytes_cap rng
+    in
+    (* With probability [burst_repeat_p] a later burst repeats the scale
+       of the previous one (a user fetching a set of similar files): this
+       makes the very largest bursts arrive in runs, which is why their
+       arrivals fail the exponential test (Section VI). *)
+    let total_bytes =
+      Float.min params.burst_bytes_cap
+        (match !prev_bytes with
+        | Some prev when Prng.Rng.float rng < params.burst_repeat_p ->
+          let jitter =
+            Dist.Lognormal.sample
+              (Dist.Lognormal.create ~mu:0. ~sigma:0.3)
+              rng
+          in
+          prev *. jitter
+        | _ -> fresh_bytes ())
+    in
+    prev_bytes := Some total_bytes;
+    let bytes = split_bytes total_bytes n_conns rng in
+    for c = 0 to n_conns - 1 do
+      if c > 0 then
+        t :=
+          !t
+          +. Float.min 3.9
+               (Float.max 0.05 (Dist.Lognormal.sample params.intra_spacing rng));
+      let bw = sample_bandwidth params rng in
+      let dur = Float.max 0.1 (bytes.(c) /. bw) in
+      conns :=
+        {
+          conn_start = !t;
+          conn_end = !t +. dur;
+          conn_bytes = bytes.(c);
+          session_id = id;
+        }
+        :: !conns;
+      t := !t +. dur
+    done
+  done;
+  { session_id = id; session_start = start; conns = List.rev !conns }
+
+let sessions ?(params = default_params) ~rate_per_hour ~duration rng =
+  let starts =
+    Poisson_proc.homogeneous ~rate:(rate_per_hour /. 3600.) ~duration rng
+  in
+  List.mapi
+    (fun id start -> generate_session params ~id ~start rng)
+    (Array.to_list starts)
+
+let all_conns sessions =
+  List.concat_map (fun s -> s.conns) sessions
+  |> List.sort (fun a b -> compare a.conn_start b.conn_start)
+
+let conn_starts sessions =
+  Array.of_list (List.map (fun c -> c.conn_start) (all_conns sessions))

@@ -1,0 +1,74 @@
+(** FTP traffic structure (Section VI).
+
+    FTP session (control-connection) arrivals are Poisson; within a
+    session, FTPDATA connections arrive clustered into bursts ("mget"
+    sequences and list-then-get patterns). Spacings within a burst sit
+    well below the paper's 4 s cutoff, spacings between bursts well
+    above, producing the bimodal spacing distribution of Fig. 8. Burst
+    sizes in bytes are Pareto with shape in [0.9, 1.4], so a handful of
+    bursts dominates all FTPDATA bytes (Figs. 9-11). The number of
+    FTPDATA connections per burst is itself heavy-tailed (discrete
+    Pareto), allowing the occasional 979-connection burst the paper
+    observed. *)
+
+type data_conn = {
+  conn_start : float;
+  conn_end : float;
+  conn_bytes : float;
+  session_id : int;
+}
+
+type session = {
+  session_id : int;
+  session_start : float;
+  conns : data_conn list;  (** In start order. *)
+}
+
+type params = {
+  extra_bursts_p : float;
+      (** Geometric parameter: a session has 1 + Geom(p) bursts. *)
+  conns_per_burst_cap : int;
+      (** Upper cap on the discrete-Pareto connections-per-burst draw. *)
+  burst_bytes : Dist.Pareto.t;  (** Bytes per burst. *)
+  burst_bytes_cap : float;
+      (** Truncation of the burst-size draw; keeps packet-level synthesis
+          bounded (set it large for connection-level traces). *)
+  session_volume_sigma : float;
+      (** Log-normal spread of a per-session volume factor multiplying
+          every burst in the session (mean 1). Makes huge bursts cluster
+          within sessions — the reason Section VI finds that upper-tail
+          burst arrivals fail the exponential test. 0 disables it. *)
+  burst_repeat_p : float;
+      (** Probability that a burst repeats the previous burst's byte
+          scale (with mild jitter) instead of drawing fresh: users
+          fetching sets of similar files. Reinforces upper-tail
+          clustering. *)
+  intra_spacing : Dist.Lognormal.t;
+      (** End-to-start gap between connections of one burst (s). *)
+  inter_spacing : Dist.Lognormal.t;  (** Gap between bursts (s). *)
+  median_bandwidth : float;  (** Bytes/s used to derive durations. *)
+  bandwidth_sigma : float;  (** Log-normal spread of per-conn bandwidth. *)
+}
+
+val default_params : params
+(** extra_bursts_p = 0.45, burst bytes Pareto(8 kB, 1.05) — heavy enough
+    that FTPDATA carries the bulk of a trace's bytes, as the paper's [6]
+    reports — intra spacing LogN(ln 0.5, 0.8), inter spacing
+    LogN(ln 30, 1.0), median bandwidth 50 kB/s with sigma 1.0. *)
+
+val generate_session :
+  params -> id:int -> start:float -> Prng.Rng.t -> session
+
+val sessions :
+  ?params:params ->
+  rate_per_hour:float ->
+  duration:float ->
+  Prng.Rng.t ->
+  session list
+(** Poisson session arrivals at a fixed hourly rate; sessions are
+    generated whole even if their tail crosses the window edge. *)
+
+val all_conns : session list -> data_conn list
+(** Every FTPDATA connection of every session, sorted by start time. *)
+
+val conn_starts : session list -> float array

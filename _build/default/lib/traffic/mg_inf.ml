@@ -1,0 +1,46 @@
+let count_process ~rate ~service ~dt ~n ?warmup rng =
+  assert (rate > 0. && dt > 0. && n > 0);
+  let span = float_of_int n *. dt in
+  let warmup = match warmup with Some w -> w | None -> span in
+  let horizon = warmup +. span in
+  (* Difference array over sample points: +1 at the first sample at or
+     after arrival, -1 at the first sample at or after departure. The
+     count at sample k is then a prefix sum: customers with
+     arrival <= t_k < departure. *)
+  let diff = Array.make (n + 1) 0 in
+  let index_of time =
+    (* First sample index k with warmup + k dt >= time; negative times
+       clamp to 0. *)
+    let k = Float.ceil ((time -. warmup) /. dt) in
+    int_of_float (Float.max 0. k)
+  in
+  let t = ref 0. in
+  let continue = ref true in
+  while !continue do
+    t := !t -. (log (Prng.Rng.float_pos rng) /. rate);
+    if !t >= horizon then continue := false
+    else begin
+      let s = service rng in
+      assert (s > 0.);
+      let dep = !t +. s in
+      if dep > warmup then begin
+        let i0 = Int.min n (index_of !t) in
+        let i1 = Int.min n (index_of dep) in
+        if i1 > i0 then begin
+          diff.(i0) <- diff.(i0) + 1;
+          diff.(i1) <- diff.(i1) - 1
+        end
+      end
+    end
+  done;
+  let out = Array.make n 0. in
+  let acc = ref 0 in
+  for k = 0 to n - 1 do
+    acc := !acc + diff.(k);
+    out.(k) <- float_of_int !acc
+  done;
+  out
+
+let hurst_pareto ~beta =
+  assert (beta > 1. && beta < 2.);
+  (3. -. beta) /. 2.

@@ -1,0 +1,26 @@
+(** The M/G/infinity count process (Section VII-B and Appendices D/E).
+
+    Customers arrive Poisson at rate [rate]; each stays for an i.i.d.
+    service time. X_t counts customers in the system. With Pareto
+    (1 < beta < 2) service times the count process is asymptotically
+    self-similar with H = (3 - beta) / 2; with log-normal service times
+    it is long-tailed but NOT long-range dependent (Appendix E) — the
+    contrast behind the paper's "over what finite time scales does the
+    difference matter?" question. *)
+
+val count_process :
+  rate:float ->
+  service:(Prng.Rng.t -> float) ->
+  dt:float ->
+  n:int ->
+  ?warmup:float ->
+  Prng.Rng.t ->
+  float array
+(** [count_process ~rate ~service ~dt ~n rng]: X sampled at times
+    k dt for k = 0 .. n-1, after discarding a warmup period (default:
+    long enough for the system to load, 10 mean service times capped at
+    the observation span). Memory is O(n). *)
+
+val hurst_pareto : beta:float -> float
+(** The theoretical Hurst parameter (3 - beta) / 2 of the M/G/inf count
+    process with Pareto(beta) service times, 1 < beta < 2. *)

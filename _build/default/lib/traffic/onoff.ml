@@ -1,0 +1,44 @@
+type source = {
+  on_dist : Prng.Rng.t -> float;
+  off_dist : Prng.Rng.t -> float;
+  on_rate : float;
+}
+
+let pareto_source ~beta ~mean_period ~on_rate =
+  assert (beta > 1.);
+  let location = mean_period *. (beta -. 1.) /. beta in
+  let d = Dist.Pareto.create ~location ~shape:beta in
+  {
+    on_dist = Dist.Pareto.sample d;
+    off_dist = Dist.Pareto.sample d;
+    on_rate;
+  }
+
+let add_source counts ~dt ~horizon source rng =
+  let t = ref 0. in
+  let on = ref (Prng.Rng.bool rng) in
+  let n = Array.length counts in
+  while !t < horizon do
+    if !on then begin
+      let len = source.on_dist rng in
+      let stop = Float.min horizon (!t +. len) in
+      (* Deterministic emissions every 1/on_rate seconds while ON. *)
+      let gap = 1. /. source.on_rate in
+      let e = ref (!t +. (gap /. 2.)) in
+      while !e < stop do
+        let i = int_of_float (!e /. dt) in
+        if i >= 0 && i < n then counts.(i) <- counts.(i) +. 1.;
+        e := !e +. gap
+      done;
+      t := !t +. len
+    end
+    else t := !t +. source.off_dist rng;
+    on := not !on
+  done
+
+let count_process ~sources ~dt ~n rng =
+  assert (dt > 0. && n > 0);
+  let counts = Array.make n 0. in
+  let horizon = float_of_int n *. dt in
+  List.iter (fun s -> add_source counts ~dt ~horizon s rng) sources;
+  counts

@@ -1,0 +1,22 @@
+(** Multiplexed ON/OFF sources (Section VII-B, after Willinger et al.):
+    each source alternates between ON periods, during which it emits at a
+    fixed rate, and silent OFF periods. With heavy-tailed (e.g. Pareto)
+    period lengths, the superposition of many sources converges to a
+    self-similar process. *)
+
+type source = {
+  on_dist : Prng.Rng.t -> float;  (** ON period length sampler (s). *)
+  off_dist : Prng.Rng.t -> float;  (** OFF period length sampler (s). *)
+  on_rate : float;  (** Events per second while ON. *)
+}
+
+val pareto_source : beta:float -> mean_period:float -> on_rate:float -> source
+(** Symmetric Pareto ON/OFF periods with the given shape; [mean_period]
+    sets the Pareto location so a beta > 1 source has that mean period. *)
+
+val count_process :
+  sources:source list -> dt:float -> n:int -> Prng.Rng.t -> float array
+(** Superpose the sources and count events per bin of width [dt] over
+    [n] bins. Each source starts in a uniformly random phase type (ON or
+    OFF with equal probability). Deterministic event spacing within ON
+    periods. *)

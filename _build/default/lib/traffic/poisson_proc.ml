@@ -1,0 +1,56 @@
+let homogeneous ~rate ~duration rng =
+  assert (rate >= 0. && duration > 0.);
+  if rate = 0. then [||]
+  else begin
+    let out = ref [] in
+    let t = ref 0. in
+    let continue = ref true in
+    while !continue do
+      t := !t -. (log (Prng.Rng.float_pos rng) /. rate);
+      if !t < duration then out := !t :: !out else continue := false
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+let nonhomogeneous ~rate ~rate_max ~duration rng =
+  assert (rate_max > 0.);
+  let candidates = homogeneous ~rate:rate_max ~duration rng in
+  let kept =
+    List.filter
+      (fun t ->
+        let r = rate t in
+        assert (r <= rate_max +. 1e-9);
+        Prng.Rng.float rng < r /. rate_max)
+      (Array.to_list candidates)
+  in
+  Array.of_list kept
+
+let hourly ~rates_per_hour ~duration rng =
+  let n_profile = Array.length rates_per_hour in
+  assert (n_profile > 0);
+  let pieces = ref [] in
+  let hour = ref 0 in
+  while float_of_int !hour *. 3600. < duration do
+    let lo = float_of_int !hour *. 3600. in
+    let hi = Float.min duration (lo +. 3600.) in
+    let per_hour = rates_per_hour.(!hour mod n_profile) in
+    let rate = per_hour /. 3600. in
+    if rate > 0. then begin
+      let events = homogeneous ~rate ~duration:(hi -. lo) rng in
+      pieces := Arrival.shift lo events :: !pieces
+    end;
+    incr hour
+  done;
+  Arrival.merge (List.rev !pieces)
+
+let count_in xs ~lo ~hi =
+  (* Binary search for first index >= bound. *)
+  let lower bound =
+    let a = ref 0 and b = ref (Array.length xs) in
+    while !a < !b do
+      let mid = (!a + !b) / 2 in
+      if xs.(mid) < bound then a := mid + 1 else b := mid
+    done;
+    !a
+  in
+  lower hi - lower lo

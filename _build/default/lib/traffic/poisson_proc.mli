@@ -1,0 +1,26 @@
+(** Poisson arrival processes: homogeneous, piecewise-hourly, and general
+    nonhomogeneous (thinning). Times are seconds from 0; rates are in
+    events per second unless stated otherwise. *)
+
+val homogeneous : rate:float -> duration:float -> Prng.Rng.t -> float array
+(** Exponential gaps with the given constant rate over [[0, duration)].
+    [rate = 0] yields an empty process. *)
+
+val nonhomogeneous :
+  rate:(float -> float) ->
+  rate_max:float ->
+  duration:float ->
+  Prng.Rng.t ->
+  float array
+(** Lewis-Shedler thinning of a homogeneous process at [rate_max];
+    requires [rate t <= rate_max] for all t in range. *)
+
+val hourly :
+  rates_per_hour:float array -> duration:float -> Prng.Rng.t -> float array
+(** The paper's Section III model: a fixed arrival rate within each hour.
+    [rates_per_hour.(h)] is the expected number of arrivals during hour
+    [h mod Array.length rates_per_hour] (so a 24-element array describes
+    a repeating diurnal cycle). *)
+
+val count_in : float array -> lo:float -> hi:float -> int
+(** Number of events with lo <= t < hi (binary search on sorted input). *)

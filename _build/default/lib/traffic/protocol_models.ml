@@ -1,0 +1,93 @@
+let telnet ~rates_per_hour ~duration rng =
+  Poisson_proc.hourly ~rates_per_hour ~duration rng
+
+let rlogin = telnet
+
+let geometric p rng = Dist.Geometric.sample (Dist.Geometric.create ~p) rng
+
+let lognormal mu sigma =
+  let d = Dist.Lognormal.create ~mu ~sigma in
+  fun rng -> Dist.Lognormal.sample d rng
+
+let smtp ~rates_per_hour ~duration rng =
+  (* Two-thirds of the nominal rate arrives as a Poisson base; mailing
+     list explosions then chain extra connections onto ~20% of arrivals,
+     and a jittered timer adds periodic queue flushes. *)
+  let base_rates = Array.map (fun r -> r *. 0.67) rates_per_hour in
+  let base = Poisson_proc.hourly ~rates_per_hour:base_rates ~duration rng in
+  let cascaded =
+    Cascade.spawn ~base
+      ~n_children:(fun rng ->
+        if Prng.Rng.float rng < 0.2 then 1 + geometric 0.4 rng else 0)
+      ~gap:(lognormal (log 2.) 0.7)
+      rng
+  in
+  let timer = Cascade.periodic ~period:600. ~jitter:30. ~duration rng in
+  Arrival.merge [ cascaded; timer ]
+
+let nntp ~rates_per_hour ~duration rng =
+  (* Peers poll on timers; each received article batch is immediately
+     offered onward (flooding), spawning secondary connections. *)
+  let mean_rate =
+    Stats.Descriptive.mean rates_per_hour /. 3600.
+  in
+  let n_peers = 4 in
+  let timers =
+    List.init n_peers (fun i ->
+        Cascade.periodic
+          ~period:(300. +. (60. *. float_of_int i))
+          ~jitter:20. ~duration rng)
+  in
+  let base_timer = Arrival.merge timers in
+  (* Top up with a small Poisson component so the total rate tracks the
+     nominal diurnal profile. *)
+  let leftover = Float.max 0. (mean_rate -. (float_of_int n_peers /. 330.)) in
+  let extra = Poisson_proc.homogeneous ~rate:leftover ~duration rng in
+  Cascade.spawn
+    ~base:(Arrival.merge [ base_timer; extra ])
+    ~n_children:(fun rng ->
+      if Prng.Rng.float rng < 0.5 then 1 + geometric 0.5 rng else 0)
+    ~gap:(lognormal (log 5.) 0.8)
+    rng
+
+type www_session = { www_start : float; www_conns : float array }
+
+let www_sessions ~rates_per_hour ~duration rng =
+  let starts = Poisson_proc.hourly ~rates_per_hour ~duration rng in
+  Array.to_list starts
+  |> List.map (fun s ->
+         let n_pages = 1 + geometric 0.25 rng in
+         let t = ref s in
+         let conns = ref [] in
+         for p = 0 to n_pages - 1 do
+           if p > 0 then t := !t +. lognormal (log 15.) 1.0 rng;
+           let n_conns = 1 + geometric 0.35 rng in
+           for c = 0 to n_conns - 1 do
+             if c > 0 then t := !t +. lognormal (log 0.3) 0.6 rng;
+             conns := !t :: !conns
+           done
+         done;
+         { www_start = s; www_conns = Array.of_list (List.rev !conns) })
+
+let www ~rates_per_hour ~duration rng =
+  let sessions = www_sessions ~rates_per_hour ~duration rng in
+  Arrival.merge (List.map (fun s -> s.www_conns) sessions)
+
+type x11_session = { x11_start : float; x11_conns : float array }
+
+let x11_sessions ~rates_per_hour ~duration rng =
+  let starts = Poisson_proc.hourly ~rates_per_hour ~duration rng in
+  Array.to_list starts
+  |> List.map (fun s ->
+         let n_conns = 1 + geometric 0.3 rng in
+         let t = ref s in
+         let conns = ref [] in
+         for c = 0 to n_conns - 1 do
+           if c > 0 then t := !t +. lognormal (log 60.) 1.2 rng;
+           conns := !t :: !conns
+         done;
+         { x11_start = s; x11_conns = Array.of_list (List.rev !conns) })
+
+let x11 ~rates_per_hour ~duration rng =
+  let sessions = x11_sessions ~rates_per_hour ~duration rng in
+  Arrival.merge (List.map (fun s -> s.x11_conns) sessions)

@@ -1,0 +1,51 @@
+(** Connection-arrival models for the protocols of Section III.
+
+    User-initiated session protocols (TELNET, RLOGIN, FTP sessions) are
+    nonhomogeneous Poisson with fixed hourly rates; machine-driven or
+    session-spawned protocols are not. Each generator returns connection
+    start times in seconds over [[0, duration)]. *)
+
+val telnet :
+  rates_per_hour:float array -> duration:float -> Prng.Rng.t -> float array
+(** One TCP connection per user session: Poisson with hourly rates. *)
+
+val rlogin :
+  rates_per_hour:float array -> duration:float -> Prng.Rng.t -> float array
+(** Same structure as TELNET (the paper finds RLOGIN Poisson too). *)
+
+val smtp :
+  rates_per_hour:float array -> duration:float -> Prng.Rng.t -> float array
+(** Poisson base plus mailing-list explosions (one connection immediately
+    following another) and a timer-driven queue-flush component —
+    consistently positively correlated interarrivals, close to but not
+    statistically Poisson over 10-minute intervals. *)
+
+val nntp :
+  rates_per_hour:float array -> duration:float -> Prng.Rng.t -> float array
+(** Flooding-propagated network news: per-peer timers plus immediate
+    secondary offers — decidedly not Poisson. *)
+
+type www_session = { www_start : float; www_conns : float array }
+
+val www_sessions :
+  rates_per_hour:float array -> duration:float -> Prng.Rng.t ->
+  www_session list
+(** WWW sessions arrive Poisson, but each page fetch spawns several
+    connections back-to-back, and a session fetches several pages. *)
+
+val www :
+  rates_per_hour:float array -> duration:float -> Prng.Rng.t -> float array
+(** All WWW connection arrivals (flattened sessions). *)
+
+type x11_session = { x11_start : float; x11_conns : float array }
+
+val x11_sessions :
+  rates_per_hour:float array -> duration:float -> Prng.Rng.t ->
+  x11_session list
+(** X11 sessions (e.g. one xterm) arrive Poisson; connections within a
+    session are the user "deciding to do something new" — correlated,
+    hence not Poisson. The paper conjectures session arrivals would pass;
+    [x11_sessions] exposes both levels so the conjecture is testable. *)
+
+val x11 :
+  rates_per_hour:float array -> duration:float -> Prng.Rng.t -> float array

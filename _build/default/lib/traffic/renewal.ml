@@ -1,0 +1,33 @@
+let generate ~sample ~duration rng =
+  assert (duration > 0.);
+  let out = ref [] in
+  let t = ref 0. in
+  let continue = ref true in
+  while !continue do
+    let gap = sample rng in
+    assert (gap > 0.);
+    t := !t +. gap;
+    if !t < duration then out := !t :: !out else continue := false
+  done;
+  Array.of_list (List.rev !out)
+
+let generate_n ~sample ~n rng =
+  assert (n >= 0);
+  let t = ref 0. in
+  Array.init n (fun _ ->
+      let gap = sample rng in
+      assert (gap > 0.);
+      t := !t +. gap;
+      !t)
+
+let from_start ~sample ~start ~n rng =
+  assert (n >= 0);
+  let t = ref start in
+  Array.init n (fun i ->
+      if i = 0 then !t
+      else begin
+        let gap = sample rng in
+        assert (gap > 0.);
+        t := !t +. gap;
+        !t
+      end)

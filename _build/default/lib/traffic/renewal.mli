@@ -1,0 +1,20 @@
+(** Renewal processes: i.i.d. interarrivals from an arbitrary sampler.
+    With Pareto interarrivals this is the paper's pseudo-self-similar
+    source (Appendix C); with Tcplib interarrivals it is the packet
+    process inside a TELNET connection. *)
+
+val generate :
+  sample:(Prng.Rng.t -> float) -> duration:float -> Prng.Rng.t -> float array
+(** Event times in [[0, duration)], first event one interarrival after 0.
+    The sampler must return positive values. *)
+
+val generate_n :
+  sample:(Prng.Rng.t -> float) -> n:int -> Prng.Rng.t -> float array
+(** Exactly [n] events (cumulative sums of n draws). *)
+
+val from_start :
+  sample:(Prng.Rng.t -> float) -> start:float -> n:int -> Prng.Rng.t ->
+  float array
+(** [n] events: the first exactly at [start], the rest separated by
+    sampled gaps — the shape of a connection whose first packet arrives
+    with the connection itself. *)

@@ -1,0 +1,46 @@
+type scheme = Tcplib_scheme | Exp_scheme of float | Var_exp_scheme
+
+type connection = { start : float; packets : float array }
+type conn_spec = { spec_start : float; spec_size : int; spec_duration : float }
+
+let synthesize scheme spec rng =
+  let { spec_start = start; spec_size = size; spec_duration = dur } = spec in
+  assert (size >= 1);
+  let packets =
+    match scheme with
+    | Tcplib_scheme ->
+      Renewal.from_start ~sample:Tcplib.Telnet.sample_interarrival ~start
+        ~n:size rng
+    | Exp_scheme mean ->
+      let d = Dist.Exponential.create ~mean in
+      Renewal.from_start ~sample:(Dist.Exponential.sample d) ~start ~n:size rng
+    | Var_exp_scheme ->
+      (* Scatter the connection's packets uniformly over its observed
+         lifetime: the rate-matched Poisson null. *)
+      if size = 1 || dur <= 0. then [| start |]
+      else begin
+        let ts =
+          Array.init size (fun i ->
+              if i = 0 then start
+              else start +. Prng.Rng.float_range rng 0. dur)
+        in
+        Array.sort compare ts;
+        ts
+      end
+  in
+  { start; packets }
+
+let synthesize_all scheme specs rng =
+  List.map (fun spec -> synthesize scheme spec rng) specs
+
+let full_tel ~rate_per_hour ~duration rng =
+  let rate = rate_per_hour /. 3600. in
+  let starts = Poisson_proc.homogeneous ~rate ~duration rng in
+  Array.to_list starts
+  |> List.map (fun start ->
+         let size = Tcplib.Telnet.sample_connection_packets rng in
+         synthesize Tcplib_scheme
+           { spec_start = start; spec_size = size; spec_duration = 0. }
+           rng)
+
+let packet_times conns = Arrival.merge (List.map (fun c -> c.packets) conns)

@@ -1,0 +1,42 @@
+(** TELNET originator traffic models (Sections IV and V).
+
+    FULL-TEL, the paper's complete model, is parameterised only by the
+    connection arrival rate: Poisson connection arrivals, log2-normal
+    connection sizes in packets, and i.i.d. Tcplib packet interarrivals
+    within each connection.
+
+    For the Fig. 5 comparison, a trace's connections (start time, size,
+    duration) can be re-synthesised under three schemes: TCPLIB (Tcplib
+    interarrivals), EXP (exponential interarrivals with a fixed 1.1 s
+    mean), and VAR-EXP (each connection's packets scattered uniformly
+    over its measured lifetime — exponential with the mean matched to the
+    connection's actual rate). *)
+
+type scheme =
+  | Tcplib_scheme
+  | Exp_scheme of float  (** Fixed-mean exponential interarrivals. *)
+  | Var_exp_scheme
+      (** Uniform over the connection's observed duration (rate-matched
+          exponential in the paper's terms). *)
+
+type connection = {
+  start : float;
+  packets : float array;  (** Packet times, first at [start]. *)
+}
+
+type conn_spec = { spec_start : float; spec_size : int; spec_duration : float }
+(** What the trace records about a connection: start, packet count, and
+    observed duration (used only by VAR-EXP). *)
+
+val synthesize : scheme -> conn_spec -> Prng.Rng.t -> connection
+(** Generate one connection's packet times under the scheme. *)
+
+val synthesize_all : scheme -> conn_spec list -> Prng.Rng.t -> connection list
+
+val full_tel :
+  rate_per_hour:float -> duration:float -> Prng.Rng.t -> connection list
+(** The FULL-TEL model over [[0, duration)] seconds. Connections whose
+    packet trains outlive the window are kept whole; clip when binning. *)
+
+val packet_times : connection list -> float array
+(** All packets of all connections, merged and sorted. *)

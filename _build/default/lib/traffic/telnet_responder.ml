@@ -1,0 +1,51 @@
+type params = {
+  echo_delay : Dist.Lognormal.t;
+  command_p : float;
+  response_bytes : Dist.Pareto.t;
+  response_cap : float;
+  line_rate : float;
+  segment : float;
+}
+
+let default_params =
+  {
+    echo_delay = Dist.Lognormal.create ~mu:(log 0.15) ~sigma:0.5;
+    command_p = 0.12;
+    response_bytes = Dist.Pareto.create ~location:200. ~shape:1.1;
+    response_cap = 2e6;
+    line_rate = 8000.;
+    segment = 512.;
+  }
+
+let responder_packets ?(params = default_params) ~originator rng =
+  let out = ref [] in
+  Array.iter
+    (fun t ->
+      (* Echo of the keystroke. *)
+      let delay = Dist.Lognormal.sample params.echo_delay rng in
+      out := (t +. delay) :: !out;
+      (* Occasional command output burst, drained at line rate. *)
+      if Prng.Rng.float rng < params.command_p then begin
+        let bytes =
+          Dist.Pareto.sample_truncated params.response_bytes
+            ~upper:params.response_cap rng
+        in
+        let n_pkts =
+          Int.max 1 (int_of_float (Float.ceil (bytes /. params.segment)))
+        in
+        let gap = params.segment /. params.line_rate in
+        let start = t +. delay +. (0.5 *. gap) in
+        for i = 0 to n_pkts - 1 do
+          out := (start +. (float_of_int i *. gap)) :: !out
+        done
+      end)
+    originator;
+  let a = Array.of_list !out in
+  Array.sort compare a;
+  a
+
+let connection ?params (c : Telnet_model.connection) rng =
+  {
+    Telnet_model.start = c.start;
+    packets = responder_packets ?params ~originator:c.packets rng;
+  }

@@ -1,0 +1,39 @@
+type params = {
+  h : float;
+  frame_rate : float;
+  mean_frame_bytes : float;
+  sigma_log : float;
+}
+
+let default_params =
+  { h = 0.85; frame_rate = 24.; mean_frame_bytes = 4000.; sigma_log = 0.5 }
+
+let frame_sizes ?(params = default_params) ~n rng =
+  assert (n >= 1);
+  let pow2 =
+    let p = ref 1 in
+    while !p < n do
+      p := !p * 2
+    done;
+    !p
+  in
+  let noise = Lrd.Fgn.generate ~h:params.h ~n:pow2 rng in
+  (* Lognormal marginal with the requested mean:
+     E[exp(mu + sigma Z)] = exp (mu + sigma^2/2). *)
+  let mu =
+    log params.mean_frame_bytes -. (params.sigma_log *. params.sigma_log /. 2.)
+  in
+  Array.init n (fun i -> exp (mu +. (params.sigma_log *. noise.(i))))
+
+let byte_rate_process ?(params = default_params) ~dt ~n rng =
+  assert (dt >= 1. /. params.frame_rate);
+  let frames_per_bin = dt *. params.frame_rate in
+  let total_frames = int_of_float (Float.ceil (float_of_int n *. frames_per_bin)) in
+  let sizes = frame_sizes ~params ~n:total_frames rng in
+  let out = Array.make n 0. in
+  Array.iteri
+    (fun i s ->
+      let bin = int_of_float (float_of_int i /. frames_per_bin) in
+      if bin < n then out.(bin) <- out.(bin) +. s)
+    sizes;
+  out

@@ -1,0 +1,31 @@
+(** Variable-bit-rate video source (Section VIII, after Garrett &
+    Willinger [21]).
+
+    The paper notes that measured VBR video shows strong long-range
+    dependence, and that once VBR becomes a substantial share of wide
+    area traffic, the aggregate will be self-similar "simply due to the
+    source characteristics of its individual connections". We model a
+    VBR source as fGn-driven frame sizes: a lognormal marginal riding on
+    fractional Gaussian noise, emitted at a fixed frame rate. *)
+
+type params = {
+  h : float;  (** Hurst parameter of the frame-size process. *)
+  frame_rate : float;  (** Frames per second. *)
+  mean_frame_bytes : float;
+  sigma_log : float;  (** Log-scale spread of the frame-size marginal. *)
+}
+
+val default_params : params
+(** H = 0.85, 24 frames/s, 4 kB mean frames, sigma 0.5 — the ballpark of
+    the paper's [21] measurements. *)
+
+val frame_sizes : ?params:params -> n:int -> Prng.Rng.t -> float array
+(** [n] consecutive frame sizes in bytes ([n] rounded up to a power of
+    two internally; the first [n] values are returned). The series is
+    lognormal-marginal with fGn dependence, so its log has Hurst
+    parameter [h]. *)
+
+val byte_rate_process :
+  ?params:params -> dt:float -> n:int -> Prng.Rng.t -> float array
+(** Bytes per [dt]-second bin over [n] bins (frames assigned to bins at
+    the frame rate). Requires [dt >= 1 / frame_rate]. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Prng QCheck QCheck_alcotest Stats

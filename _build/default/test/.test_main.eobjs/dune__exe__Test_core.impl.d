@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Float Format Helpers List Lrd Option Prng Queueing Stats Stest String Traffic

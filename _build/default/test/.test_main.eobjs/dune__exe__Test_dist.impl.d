@@ -1,0 +1,1 @@
+test/test_dist.ml: Array Binomial Dist Empirical Exponential Float Gamma_d Geometric Helpers List Log_extreme Lognormal Normal Pareto Poisson_d Printf QCheck Stats Uniform Weibull Zipf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Array Core Float Helpers List Printf Traffic

@@ -1,0 +1,1 @@
+test/test_figures.ml: Array Core Float Format Helpers List Lrd Printf Stest String Timeseries

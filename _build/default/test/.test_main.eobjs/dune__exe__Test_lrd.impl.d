@@ -1,0 +1,1 @@
+test/test_lrd.ml: Alcotest Array Beran Fgn Float Helpers Hurst List Lrd Pareto_count Printf Prng Stats Timeseries Whittle

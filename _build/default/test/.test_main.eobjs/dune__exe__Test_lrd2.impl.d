@@ -1,0 +1,1 @@
+test/test_lrd2.ml: Alcotest Array Beran Dist Farima Fgn Float Gaussian_process Helpers Hurst List Lrd Printf Prng Stats Wavelet Whittle

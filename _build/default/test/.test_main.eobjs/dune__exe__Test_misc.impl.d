@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Core Dist Filename Format Helpers List Lrd Printf Prng Stats String Sys Trace

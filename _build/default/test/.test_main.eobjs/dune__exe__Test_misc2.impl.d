@@ -1,0 +1,1 @@
+test/test_misc2.ml: Alcotest Array Core Dist Float Helpers List Lrd Printf Prng Stats Stest Timeseries Traffic

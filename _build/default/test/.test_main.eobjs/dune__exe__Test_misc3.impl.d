@@ -1,0 +1,1 @@
+test/test_misc3.ml: Alcotest Array Core Dist Filename Float Format Helpers Lazy List Option Printf Prng Stats String Sys Tcplib Tcpsim Timeseries Trace

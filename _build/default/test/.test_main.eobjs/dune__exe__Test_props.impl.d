@@ -1,0 +1,1 @@
+test/test_props.ml: Array Dist Filename Float Gen Helpers List Prng QCheck Queueing Stats Sys Timeseries Trace Traffic

@@ -1,0 +1,1 @@
+test/test_queueing.ml: Array Dist Fifo Helpers Priority Queueing Traffic

@@ -1,0 +1,1 @@
+test/test_queueing2.ml: Admission Alcotest Array Dist Fifo Heap Helpers List Mgk QCheck Queueing Traffic

@@ -1,0 +1,1 @@
+test/test_special.ml: Dist Float Helpers List Printf QCheck Special

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Descriptive Dist Fit Float Helpers Histogram Printf Prng Regression Stats String

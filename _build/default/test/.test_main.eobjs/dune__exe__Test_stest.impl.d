@@ -1,0 +1,1 @@
+test/test_stest.ml: Alcotest Array Dist Format Helpers Printf Prng Stest String Traffic

@@ -1,0 +1,1 @@
+test/test_stest2.ml: Array Core Dist Helpers Printf Prng Stats Stest Trace

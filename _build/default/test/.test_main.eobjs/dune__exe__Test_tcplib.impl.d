@@ -1,0 +1,1 @@
+test/test_tcplib.ml: Array Dist Helpers List Printf Stats Tcplib

@@ -1,0 +1,1 @@
+test/test_tcpsim.ml: Alcotest Array Bottleneck Helpers List Tcpsim Traffic

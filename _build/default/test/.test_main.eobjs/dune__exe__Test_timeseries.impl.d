@@ -1,0 +1,1 @@
+test/test_timeseries.ml: Alcotest Array Counts Dist Fft Float Format Helpers List Lrd Periodogram Printf Prng QCheck Stats String Timeseries Variance_time

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Bursts Dataset Diurnal Filename Helpers Io Lazy List Option Packet_dataset Record Sys Trace Traffic

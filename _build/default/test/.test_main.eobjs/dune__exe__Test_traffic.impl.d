@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Arrival Cascade Ftp_model Helpers List Mg_inf Onoff Poisson_proc Protocol_models Renewal Telnet_model Trace Traffic

@@ -1,0 +1,25 @@
+(* Shared test utilities. *)
+
+let rng ?(seed = 12345) () = Prng.Rng.create seed
+
+let check_float_eps name eps expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+let check_close name ?(eps = 1e-9) expected actual =
+  check_float_eps name eps expected actual
+
+let check_true name cond = Alcotest.(check bool) name true cond
+let check_false name cond = Alcotest.(check bool) name false cond
+let check_int name expected actual = Alcotest.(check int) name expected actual
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let prop ?(count = 200) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen law)
+
+(* Deterministic sample arrays for distribution checks. *)
+let samples n f =
+  let r = rng () in
+  Array.init n (fun _ -> f r)
+
+let mean xs = Stats.Descriptive.mean xs

@@ -1,0 +1,214 @@
+open Helpers
+
+(* ---------------- Report ---------------- *)
+
+let render f = Format.asprintf "%a" (fun fmt () -> f fmt) ()
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_report_table () =
+  let s =
+    render (fun fmt ->
+        Core.Report.table fmt ~headers:[ "a"; "bb" ]
+          [ [ "1"; "2" ]; [ "333"; "4" ] ])
+  in
+  check_true "has header" (contains s "bb");
+  check_true "has separator" (contains s "---");
+  check_true "has cell" (contains s "333")
+
+let test_report_kv () =
+  let s = render (fun fmt -> Core.Report.kv fmt "label" "%d" 42) in
+  check_true "label" (contains s "label");
+  check_true "value" (contains s "42")
+
+let test_report_chart () =
+  let s =
+    render (fun fmt ->
+        Core.Report.chart fmt
+          ~series:[ ('x', "legend", [| (0., 0.); (1., 1.) |]) ])
+  in
+  check_true "glyph plotted" (contains s "x");
+  check_true "legend" (contains s "legend")
+
+let test_report_chart_empty () =
+  let s = render (fun fmt -> Core.Report.chart fmt ~series:[]) in
+  check_true "handles empty" (contains s "empty")
+
+let test_float_cell () =
+  Alcotest.(check string) "compact" "1.235" (Core.Report.float_cell 1.23456)
+
+let test_heading () =
+  let s = render (fun fmt -> Core.Report.heading fmt "Title") in
+  check_true "underline" (contains s "-----")
+
+(* ---------------- Registry ---------------- *)
+
+let test_registry_ids_unique () =
+  let ids = Core.Registry.ids () in
+  let sorted = List.sort_uniq compare ids in
+  check_int "no duplicate ids" (List.length ids) (List.length sorted)
+
+let test_registry_covers_paper () =
+  let ids = Core.Registry.ids () in
+  List.iter
+    (fun id -> check_true (id ^ " present") (List.mem id ids))
+    [
+      "table1"; "table2"; "fig1"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6";
+      "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14";
+      "fig15";
+    ]
+
+let test_registry_find () =
+  check_true "finds fig5" (Core.Registry.find "fig5" <> None);
+  check_true "unknown is None" (Core.Registry.find "fig99" = None)
+
+(* ---------------- Cache ---------------- *)
+
+let test_cache_identity () =
+  let a = Core.Cache.connection_trace "UK" in
+  let b = Core.Cache.connection_trace "UK" in
+  check_true "memoised (physical equality)" (a == b)
+
+let test_cache_unknown () =
+  Alcotest.check_raises "unknown dataset" Not_found (fun () ->
+      ignore (Core.Cache.connection_trace "nope"))
+
+(* ---------------- Figure data (light ones) ---------------- *)
+
+let test_fig4_data () =
+  let tcp, ex = Core.Fig_packet.fig4_data () in
+  check_true "tcplib arrivals plausible"
+    (Array.length tcp > 1000 && Array.length tcp < 4000);
+  check_true "exp arrivals plausible"
+    (Array.length ex > 1200 && Array.length ex < 2500);
+  Array.iter (fun t -> check_true "within window" (t < 2000.)) tcp
+
+let test_fig14_panel () =
+  let p = Core.Fig_selfsim.fig14_data () in
+  check_int "nine seeds" 9 (List.length p.Core.Fig_selfsim.stats);
+  check_int "1000 bins" 1000 (Array.length p.Core.Fig_selfsim.sample_counts);
+  List.iter
+    (fun (s : Lrd.Pareto_count.run_stats) ->
+      check_true "occupancy in (0,1)"
+        (s.occupancy > 0. && s.occupancy < 1.))
+    p.Core.Fig_selfsim.stats
+
+let test_expfit_rows () =
+  let rows = Core.Experiments.exp_fit_errors_data () in
+  check_int "three rows" 3 (List.length rows);
+  let tcplib = List.hd rows in
+  check_close "tcplib 8ms" ~eps:0.005 0.02 tcplib.Core.Experiments.below_8ms;
+  let heavy_tail_wins =
+    List.for_all
+      (fun r ->
+        r.Core.Experiments.label = "tcplib"
+        || r.Core.Experiments.above_10s < tcplib.Core.Experiments.above_10s)
+      rows
+  in
+  check_true "no exponential fit carries the 10s tail" heavy_tail_wins
+
+let test_burst_lull_rows () =
+  let rows = Core.Experiments.burst_lull_data () in
+  check_int "nine rows" 9 (List.length rows);
+  (* beta = 0.5 rows: burst length roughly constant across b. *)
+  let b05 =
+    List.filter (fun r -> r.Core.Experiments.beta = 0.5) rows
+  in
+  let bursts = List.map (fun r -> r.Core.Experiments.mean_burst_bins) b05 in
+  let mn = List.fold_left Float.min infinity bursts in
+  let mx = List.fold_left Float.max neg_infinity bursts in
+  check_true "beta=0.5 bursts constant within 2x" (mx < 2.5 *. mn)
+
+let test_multiplex_result () =
+  let r = Core.Experiments.multiplex100_data () in
+  check_close "means match" ~eps:5. r.Core.Experiments.tcplib_mean
+    r.Core.Experiments.exp_mean;
+  check_true "tcplib at least 2x burstier"
+    (r.Core.Experiments.tcplib_variance
+    > 2. *. r.Core.Experiments.exp_variance)
+
+let test_mg_inf_rows () =
+  let rows = Core.Experiments.mg_inf_data () in
+  check_int "two services" 2 (List.length rows);
+  let pareto = List.hd rows in
+  check_close "pareto near theory" ~eps:0.12
+    (Option.get pareto.Core.Experiments.theoretical_h)
+    pareto.Core.Experiments.vt_h;
+  let logn = List.nth rows 1 in
+  check_true "lognormal H below pareto H"
+    (logn.Core.Experiments.vt_h < pareto.Core.Experiments.vt_h)
+
+let test_rlogin_x11 () =
+  let t = Core.Experiments.rlogin_x11_data () in
+  check_true "rlogin Poisson" t.Core.Experiments.rlogin.Stest.Poisson_check.poisson;
+  check_false "x11 connections not Poisson"
+    t.Core.Experiments.x11_connections.Stest.Poisson_check.poisson;
+  check_true "x11 sessions Poisson"
+    t.Core.Experiments.x11_sessions.Stest.Poisson_check.poisson
+
+let test_queueing_result () =
+  let q = Core.Experiments.queueing_delay_data () in
+  check_true "tcplib delay dominates"
+    (q.Core.Experiments.tcplib_stats.Queueing.Fifo.mean_wait
+    > 3. *. q.Core.Experiments.exp_stats.Queueing.Fifo.mean_wait)
+
+let test_priority_rows () =
+  let rows = Core.Experiments.priority_starvation_data () in
+  check_int "two scenarios" 2 (List.length rows);
+  let lrd = List.hd rows and poisson = List.nth rows 1 in
+  check_true "LRD high class starves low for longer"
+    (lrd.Core.Experiments.low_max_wait
+    > poisson.Core.Experiments.low_max_wait)
+
+let test_analyze_report () =
+  let rng = Prng.Rng.create 31337 in
+  let span = 4. *. 3600. in
+  let conns =
+    Traffic.Telnet_model.full_tel ~rate_per_hour:250. ~duration:span rng
+  in
+  let packets =
+    Traffic.Arrival.clip ~lo:0. ~hi:span
+      (Traffic.Telnet_model.packet_times conns)
+  in
+  let r = Core.Analyze.arrivals ~bin:1. ~span packets in
+  check_int "arrival count" (Array.length packets) r.Core.Analyze.n_arrivals;
+  check_false "packet arrivals are not Poisson"
+    r.Core.Analyze.poisson_10min.Stest.Poisson_check.poisson;
+  check_true "LRD detected" r.Core.Analyze.lo.Lrd.Lo_rs.reject_srd;
+  check_true "H in range"
+    (r.Core.Analyze.h_variance_time.Lrd.Hurst.h > 0.6
+    && r.Core.Analyze.h_variance_time.Lrd.Hurst.h < 1.05);
+  check_true "bootstrap CI ordered"
+    (r.Core.Analyze.h_vt_ci.Stats.Bootstrap.lo
+    <= r.Core.Analyze.h_vt_ci.Stats.Bootstrap.hi);
+  let s = Format.asprintf "%a" Core.Analyze.pp r in
+  check_true "report renders" (String.length s > 300)
+
+let suite =
+  ( "core",
+    [
+      tc "analyze report" test_analyze_report;
+      tc "report table" test_report_table;
+      tc "report kv" test_report_kv;
+      tc "report chart" test_report_chart;
+      tc "report chart empty" test_report_chart_empty;
+      tc "float cell" test_float_cell;
+      tc "heading" test_heading;
+      tc "registry ids unique" test_registry_ids_unique;
+      tc "registry covers all figures" test_registry_covers_paper;
+      tc "registry find" test_registry_find;
+      tc "cache memoises" test_cache_identity;
+      tc "cache unknown raises" test_cache_unknown;
+      tc "fig4 data" test_fig4_data;
+      tc "fig14 panel" test_fig14_panel;
+      tc "exp-fit rows" test_expfit_rows;
+      tc "burst/lull rows" test_burst_lull_rows;
+      tc "multiplex100" test_multiplex_result;
+      tc "mg-inf rows" test_mg_inf_rows;
+      tc "rlogin vs x11" test_rlogin_x11;
+      tc "queueing delay" test_queueing_result;
+      tc "priority starvation" test_priority_rows;
+    ] )

@@ -1,0 +1,134 @@
+(* Tests for the extension experiments and the responder model. *)
+open Helpers
+
+let test_responder_packets_structure () =
+  let r = rng () in
+  let originator = [| 0.; 1.; 2.; 3. |] in
+  let pkts = Traffic.Telnet_responder.responder_packets ~originator r in
+  check_true "at least one echo per keystroke"
+    (Array.length pkts >= Array.length originator);
+  check_true "sorted" (Traffic.Arrival.is_sorted pkts);
+  Array.iter (fun t -> check_true "after first keystroke" (t > 0.)) pkts
+
+let test_responder_no_commands () =
+  let params =
+    { Traffic.Telnet_responder.default_params with command_p = 0. }
+  in
+  let r = rng () in
+  let originator = Array.init 50 float_of_int in
+  let pkts =
+    Traffic.Telnet_responder.responder_packets ~params ~originator r
+  in
+  check_int "echoes only" 50 (Array.length pkts)
+
+let test_responder_commands_amplify () =
+  let params =
+    { Traffic.Telnet_responder.default_params with command_p = 1. }
+  in
+  let r = rng () in
+  let originator = Array.init 20 float_of_int in
+  let pkts =
+    Traffic.Telnet_responder.responder_packets ~params ~originator r
+  in
+  check_true "bulk output added" (Array.length pkts > 20)
+
+let test_responder_connection_keeps_start () =
+  let r = rng () in
+  let conn = { Traffic.Telnet_model.start = 5.; packets = [| 5.; 6. |] } in
+  let resp = Traffic.Telnet_responder.connection conn r in
+  check_close "start preserved" 5. resp.Traffic.Telnet_model.start
+
+let test_responder_experiment () =
+  let r = Core.Extensions.responder_data () in
+  check_true "responder carries more packets"
+    (r.Core.Extensions.responder_packets > r.Core.Extensions.originator_packets);
+  check_true "responder burstier at 1 s"
+    (r.Core.Extensions.responder_var_1s > r.Core.Extensions.originator_var_1s);
+  check_true "both streams LRD"
+    (r.Core.Extensions.originator_vt_h > 0.6
+    && r.Core.Extensions.responder_vt_h > 0.6)
+
+let test_onoff_experiment () =
+  let rows = Core.Extensions.onoff_data () in
+  check_int "three shapes" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      check_true
+        (Printf.sprintf "beta=%.1f H above 0.5" r.Core.Extensions.beta)
+        (r.Core.Extensions.vt_h > 0.55))
+    rows;
+  (* Heavier tail => higher H, at least between the extremes. *)
+  let h_of b =
+    (List.find (fun r -> r.Core.Extensions.beta = b) rows).Core.Extensions.vt_h
+  in
+  check_true "ordering" (h_of 1.2 > h_of 1.8)
+
+let test_mgk_experiment () =
+  let rows = Core.Extensions.mgk_data () in
+  check_int "four capacities" 4 (List.length rows);
+  List.iter
+    (fun r ->
+      check_true
+        (r.Core.Extensions.servers ^ " correlations persist")
+        (r.Core.Extensions.vt_h > 0.6))
+    rows;
+  let tightest = List.nth rows 3 in
+  check_true "tight capacity queues" (tightest.Core.Extensions.mean_wait > 0.1)
+
+let test_sync_experiment () =
+  let r = Core.Extensions.sync_data () in
+  check_true "timer periodicity visible"
+    (r.Core.Extensions.timer_acf_peak > 0.3);
+  check_true "poisson has none"
+    (Float.abs r.Core.Extensions.poisson_acf_peak < 0.05)
+
+let test_admission_experiment () =
+  let rows = Core.Extensions.admission_data () in
+  check_int "two scenarios" 2 (List.length rows);
+  let lrd = List.hd rows and shuffled = List.nth rows 1 in
+  check_true "LRD episodes persist far longer"
+    (lrd.Core.Extensions.longest_overload
+    > 5. *. shuffled.Core.Extensions.longest_overload)
+
+let test_tcp_experiment () =
+  let r = Core.Extensions.tcp_data () in
+  check_true "egress not exponential" (not r.Core.Extensions.egress_ad_pass);
+  check_true "drops happened" (r.Core.Extensions.drops > 0);
+  check_true "correlations survive congestion control"
+    (r.Core.Extensions.egress_vt_h > 0.6)
+
+let test_wavelet_experiment () =
+  let rows = Core.Extensions.wavelet_data () in
+  List.iter
+    (fun r ->
+      match r.Core.Extensions.h_expected with
+      | Some h ->
+        check_close r.Core.Extensions.label ~eps:0.1 h
+          r.Core.Extensions.h_wavelet
+      | None ->
+        check_true "trace clearly LRD" (r.Core.Extensions.h_wavelet > 0.6))
+    rows
+
+let test_farima_experiment () =
+  let r = Core.Extensions.farima_data () in
+  check_close "d recovered" ~eps:0.05 r.Core.Extensions.d_true
+    r.Core.Extensions.d_whittle;
+  check_true "fARIMA gof accepts own data"
+    (r.Core.Extensions.beran_p_farima > 0.01)
+
+let suite =
+  ( "extensions",
+    [
+      tc "responder structure" test_responder_packets_structure;
+      tc "responder echoes only" test_responder_no_commands;
+      tc "responder amplification" test_responder_commands_amplify;
+      tc "responder keeps start" test_responder_connection_keeps_start;
+      tc "responder experiment" test_responder_experiment;
+      tc "on/off experiment" test_onoff_experiment;
+      tc "mgk experiment" test_mgk_experiment;
+      tc "sync experiment" test_sync_experiment;
+      tc "admission experiment" test_admission_experiment;
+      tc "tcp experiment" test_tcp_experiment;
+      tc "wavelet experiment" test_wavelet_experiment;
+      tc "farima experiment" test_farima_experiment;
+    ] )

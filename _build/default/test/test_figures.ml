@@ -1,0 +1,204 @@
+(* Integration tests over the figure pipeline: these exercise the full
+   synthetic-trace -> analysis stack and pin the paper's qualitative
+   conclusions so regressions in any layer surface here. *)
+open Helpers
+
+let sum = Array.fold_left ( +. ) 0.
+
+let test_fig1_profiles () =
+  let data = Core.Fig_connection.fig1_data () in
+  check_int "five curves" 5 (List.length data);
+  List.iter
+    (fun (label, fracs) ->
+      check_int (label ^ " has 24 hours") 24 (Array.length fracs);
+      check_close (label ^ " sums to 1") ~eps:1e-9 1. (sum fracs))
+    data;
+  let telnet = List.assoc "Telnet" data in
+  check_true "telnet office-hours peak" (telnet.(10) > 4. *. telnet.(4));
+  let nntp = List.assoc "NNTP" data in
+  check_true "nntp flat" (nntp.(10) < 2. *. nntp.(4))
+
+let test_fig2_battery () =
+  let data = Core.Fig_connection.fig2_data () in
+  check_true "substantial battery" (List.length data > 150);
+  let rows label interval =
+    List.filter
+      (fun (r : Core.Fig_connection.fig2_row) ->
+        r.arrivals = label && r.interval = interval)
+      data
+  in
+  let poisson_count rs =
+    List.length
+      (List.filter
+         (fun (r : Core.Fig_connection.fig2_row) ->
+           r.verdict.Stest.Poisson_check.poisson)
+         rs)
+  in
+  (* The paper's headline pattern. *)
+  let telnet_1h = rows "TELNET" 3600. in
+  check_true "TELNET mostly Poisson at 1h"
+    (poisson_count telnet_1h * 3 > List.length telnet_1h * 2);
+  let ftp_1h = rows "FTP" 3600. in
+  check_true "FTP sessions mostly Poisson at 1h"
+    (poisson_count ftp_1h * 3 > List.length ftp_1h * 2);
+  check_int "FTPDATA never Poisson" 0 (poisson_count (rows "FTPDATA" 3600.));
+  check_int "NNTP never Poisson" 0 (poisson_count (rows "NNTP" 3600.));
+  check_int "SMTP never Poisson at 1h" 0 (poisson_count (rows "SMTP" 3600.));
+  check_int "WWW never Poisson" 0 (poisson_count (rows "WWW" 3600.));
+  (* Bursts improve at 10 minutes but stay mostly inconsistent. *)
+  let bursts_10 = rows "FTPDATA-burst" 600. in
+  let k = poisson_count bursts_10 in
+  check_true "bursts intermediate at 10min"
+    (k > 0 && k < List.length bursts_10)
+
+let monotone xs =
+  let ok = ref true in
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) < xs.(i - 1) -. 1e-9 then ok := false
+  done;
+  !ok
+
+let test_fig3_cdfs () =
+  let d = Core.Fig_packet.fig3_data () in
+  check_true "trace cdf monotone" (monotone d.Core.Fig_packet.trace_cdf);
+  check_true "tcplib cdf monotone" (monotone d.Core.Fig_packet.tcplib_cdf);
+  (* Above 0.1 s the synthetic trace and the Tcplib table agree well. *)
+  let max_gap = ref 0. in
+  Array.iteri
+    (fun i g ->
+      if g >= 0.1 then
+        max_gap :=
+          Float.max !max_gap
+            (Float.abs
+               (d.Core.Fig_packet.trace_cdf.(i)
+               -. d.Core.Fig_packet.tcplib_cdf.(i))))
+    d.Core.Fig_packet.grid;
+  check_true
+    (Printf.sprintf "agreement above 0.1 s (sup gap %.3f)" !max_gap)
+    (!max_gap < 0.05);
+  check_true "geometric mean below arithmetic"
+    (d.Core.Fig_packet.geometric_mean < d.Core.Fig_packet.arithmetic_mean)
+
+let vt_value curve m =
+  let p =
+    Array.to_list curve
+    |> List.find (fun (p : Timeseries.Variance_time.point) -> p.m = m)
+  in
+  log10 p.Timeseries.Variance_time.normalised
+
+let test_fig5_ordering () =
+  let data = Core.Fig_packet.fig5_data () in
+  check_int "four schemes" 4 (List.length data);
+  let curve name = List.assoc name data in
+  (* At intermediate aggregation the heavy-tailed schemes hold variance
+     the Poisson ones lose. *)
+  List.iter
+    (fun m ->
+      check_true
+        (Printf.sprintf "TCPLIB above EXP at M=%d" m)
+        (vt_value (curve "TCPLIB") m > vt_value (curve "EXP") m);
+      check_true
+        (Printf.sprintf "TRACE above VAR-EXP at M=%d" m)
+        (vt_value (curve "TRACE") m > vt_value (curve "VAR-EXP") m))
+    [ 10; 32; 100 ];
+  (* TCPLIB tracks TRACE closely. *)
+  let gap = Float.abs (vt_value (curve "TCPLIB") 32 -. vt_value (curve "TRACE") 32) in
+  check_true (Printf.sprintf "TCPLIB ~ TRACE (gap %.3f)" gap) (gap < 0.08)
+
+let test_fig6_variance_gap () =
+  let d = Core.Fig_packet.fig6_data () in
+  check_close "means agree" ~eps:3. d.Core.Fig_packet.trace_mean
+    d.Core.Fig_packet.exp_mean;
+  check_true "trace at least 1.4x burstier"
+    (d.Core.Fig_packet.trace_variance > 1.4 *. d.Core.Fig_packet.exp_variance)
+
+let test_fig8_spacings () =
+  let data = Core.Fig_connection.fig8_data () in
+  check_int "six datasets" 6 (List.length data);
+  List.iter
+    (fun (name, cdf) ->
+      check_true (name ^ " cdf monotone") (monotone (Array.map snd cdf));
+      (* Most intra-session spacings sit below the 4 s cutoff. *)
+      let at4 =
+        Array.fold_left
+          (fun acc (g, v) -> if g <= 4. then Float.max acc v else acc)
+          0. cdf
+      in
+      check_true
+        (Printf.sprintf "%s bulk below 4s (%.2f)" name at4)
+        (at4 > 0.7 && at4 < 1.))
+    data
+
+let test_fig9_concentration () =
+  let data = Core.Fig_connection.fig9_data () in
+  List.iter
+    (fun (name, n_bursts, curve) ->
+      check_true (name ^ " has bursts") (n_bursts > 100);
+      check_true (name ^ " curve monotone") (monotone (Array.map snd curve));
+      let _, top10 = curve.(Array.length curve - 1) in
+      check_true
+        (Printf.sprintf "%s top 10%% holds > 50%% (%.0f%%)" name top10)
+        (top10 > 50.))
+    data
+
+let test_fig10_dominance_bounds () =
+  let data = Core.Fig_packet.fig10_data () in
+  List.iter
+    (fun (d : Core.Fig_packet.burst_dominance) ->
+      check_true "shares ordered"
+        (d.share_top05 <= d.share_top2 +. 1e-9 && d.share_top2 <= 1.);
+      Array.iteri
+        (fun i total ->
+          check_true "per-minute rates nest"
+            (d.top05_rate.(i) <= d.top2_rate.(i) +. 1e-6
+            && d.top2_rate.(i) <= total +. 1e-6))
+        d.total_rate)
+    data
+
+let test_fig12_lrd () =
+  let data = Core.Fig_selfsim.fig12_data () in
+  check_int "five traces" 5 (List.length data);
+  List.iter
+    (fun (d : Core.Fig_selfsim.trace_selfsim) ->
+      check_true
+        (Printf.sprintf "%s clearly LRD (H=%.2f)" d.trace_name d.vt_hurst)
+        (d.vt_hurst > 0.65 && d.vt_hurst < 1.05);
+      check_true "whittle stderr small" (d.whittle.Lrd.Whittle.stderr < 0.02))
+    data
+
+let test_fig14_15_scaling () =
+  let p14 = Core.Fig_selfsim.fig14_data () in
+  let p15 = Core.Fig_selfsim.fig15_data () in
+  let mean_burst p =
+    mean
+      (Array.of_list
+         (List.map
+            (fun (s : Lrd.Pareto_count.run_stats) -> s.mean_burst)
+            p.Core.Fig_selfsim.stats))
+  in
+  let b14 = mean_burst p14 and b15 = mean_burst p15 in
+  check_true
+    (Printf.sprintf "bursts grow slowly with bin (%.1f -> %.1f)" b14 b15)
+    (b15 > b14 && b15 < 5. *. b14)
+
+let test_tables_render () =
+  let s1 = Format.asprintf "%a" (fun fmt () -> Core.Fig_connection.table1 fmt) () in
+  let s2 = Format.asprintf "%a" (fun fmt () -> Core.Fig_packet.table2 fmt) () in
+  check_true "table1 lists LBL-8" (String.length s1 > 500);
+  check_true "table2 lists WRL" (String.length s2 > 300)
+
+let suite =
+  ( "figures-integration",
+    [
+      tc "fig1 profiles" test_fig1_profiles;
+      tc "fig2 battery pattern" test_fig2_battery;
+      tc "fig3 cdf agreement" test_fig3_cdfs;
+      tc "fig5 scheme ordering" test_fig5_ordering;
+      tc "fig6 variance gap" test_fig6_variance_gap;
+      tc "fig8 spacing cdfs" test_fig8_spacings;
+      tc "fig9 concentration" test_fig9_concentration;
+      tc "fig10 dominance bounds" test_fig10_dominance_bounds;
+      tc "fig12 LRD" test_fig12_lrd;
+      tc "fig14/15 scaling" test_fig14_15_scaling;
+      tc "tables render" test_tables_render;
+    ] )

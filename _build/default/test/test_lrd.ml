@@ -1,0 +1,245 @@
+open Helpers
+open Lrd
+
+(* ---------------- fGn ---------------- *)
+
+let test_autocovariance_known () =
+  check_close "lag 0 is sigma2" 2. (Fgn.autocovariance ~h:0.7 ~sigma2:2. 0);
+  (* H = 0.5 is white noise: zero covariance at all positive lags. *)
+  List.iter
+    (fun k ->
+      check_close
+        (Printf.sprintf "white noise lag %d" k)
+        ~eps:1e-12 0.
+        (Fgn.autocovariance ~h:0.5 ~sigma2:1. k))
+    [ 1; 2; 10 ];
+  check_true "H>0.5 positive lag-1"
+    (Fgn.autocovariance ~h:0.8 ~sigma2:1. 1 > 0.);
+  check_true "H<0.5 negative lag-1"
+    (Fgn.autocovariance ~h:0.3 ~sigma2:1. 1 < 0.)
+
+let test_autocovariance_symmetry () =
+  check_close "gamma(-k) = gamma(k)"
+    (Fgn.autocovariance ~h:0.8 ~sigma2:1. 5)
+    (Fgn.autocovariance ~h:0.8 ~sigma2:1. (-5))
+
+let test_fgn_length_and_moments () =
+  let r = rng () in
+  let xs = Fgn.generate ~h:0.75 ~n:4096 r in
+  check_int "length" 4096 (Array.length xs);
+  check_close "zero mean" ~eps:0.1 0. (mean xs);
+  check_close "unit variance" ~eps:0.12 1. (Stats.Descriptive.variance xs)
+
+let test_fgn_sigma2 () =
+  let r = rng () in
+  let xs = Fgn.generate ~sigma2:4. ~h:0.6 ~n:4096 r in
+  check_close "variance scales" ~eps:0.5 4. (Stats.Descriptive.variance xs)
+
+let test_fgn_white_when_h_half () =
+  let r = rng () in
+  let xs = Fgn.generate ~h:0.5 ~n:8192 r in
+  let acf = Stats.Descriptive.autocorrelation xs 1 in
+  check_true "uncorrelated at H=0.5" (Float.abs acf < 0.05)
+
+let test_fgn_empirical_acf_matches () =
+  let r = rng () in
+  let h = 0.85 in
+  let xs = Fgn.generate ~h ~n:32768 r in
+  let sample_acf = Stats.Descriptive.autocorrelation xs 1 in
+  let theory = Fgn.autocovariance ~h ~sigma2:1. 1 in
+  check_close "lag-1 acf matches theory" ~eps:0.05 theory sample_acf
+
+let test_fbm_cumsum () =
+  let path = Fgn.fbm_of_fgn [| 1.; -2.; 3. |] in
+  Alcotest.(check (array (float 1e-12))) "cumsum" [| 1.; -1.; 2. |] path
+
+let test_spectral_density_shape () =
+  (* LRD: density diverges at 0; decreasing in lambda near 0. *)
+  let f = Fgn.spectral_density ~h:0.8 in
+  check_true "more power at lower frequency" (f 0.01 > f 0.1);
+  check_true "positive at pi" (f Float.pi > 0.);
+  (* H = 0.5 should be roughly flat (white noise). *)
+  let g = Fgn.spectral_density ~h:0.5 in
+  check_close "flat for white noise" ~eps:0.05 1. (g 0.1 /. g 2.)
+
+(* ---------------- Hurst estimators ---------------- *)
+
+let test_estimators_on_fgn () =
+  let r = rng () in
+  let xs = Fgn.generate ~h:0.8 ~n:16384 r in
+  let vt = Hurst.variance_time xs in
+  let rs = Hurst.rescaled_range xs in
+  let pg = Hurst.periodogram_regression xs in
+  check_close "variance-time" ~eps:0.1 0.8 vt.Hurst.h;
+  check_close "R/S" ~eps:0.12 0.8 rs.Hurst.h;
+  check_close "periodogram" ~eps:0.12 0.8 pg.Hurst.h
+
+let test_estimators_on_white_noise () =
+  let r = rng () in
+  let xs = Array.init 16384 (fun _ -> Prng.Rng.float r) in
+  let vt = Hurst.variance_time xs in
+  check_close "white noise H=0.5 (vt)" ~eps:0.08 0.5 vt.Hurst.h;
+  let pg = Hurst.periodogram_regression xs in
+  check_close "white noise H=0.5 (pgram)" ~eps:0.12 0.5 pg.Hurst.h
+
+let test_rs_r2 () =
+  let r = rng () in
+  let xs = Fgn.generate ~h:0.7 ~n:8192 r in
+  let rs = Hurst.rescaled_range xs in
+  check_true "R/S regression is tight" (rs.Hurst.r2 > 0.9)
+
+(* ---------------- Whittle ---------------- *)
+
+let test_whittle_recovers_h () =
+  List.iter
+    (fun h ->
+      let r = rng ~seed:(int_of_float (1000. *. h)) () in
+      let xs = Fgn.generate ~h ~n:8192 r in
+      let est = Whittle.estimate xs in
+      check_close (Printf.sprintf "H=%.2f" h) ~eps:0.05 h est.Whittle.h)
+    [ 0.55; 0.7; 0.85; 0.95 ]
+
+let test_whittle_stderr () =
+  let r = rng () in
+  let xs = Fgn.generate ~h:0.8 ~n:8192 r in
+  let est = Whittle.estimate xs in
+  check_true "stderr positive and small"
+    (est.Whittle.stderr > 0. && est.Whittle.stderr < 0.05)
+
+let test_whittle_objective_minimum () =
+  let r = rng () in
+  let xs = Fgn.generate ~h:0.8 ~n:4096 r in
+  let pgram = Timeseries.Periodogram.compute xs in
+  let at = Whittle.objective pgram in
+  let est = Whittle.estimate xs in
+  check_true "objective at estimate below neighbours"
+    (at est.Whittle.h <= at (est.Whittle.h +. 0.1)
+    && at est.Whittle.h <= at (est.Whittle.h -. 0.1))
+
+(* ---------------- Beran ---------------- *)
+
+let test_beran_accepts_fgn () =
+  let accepted = ref 0 in
+  for seed = 1 to 20 do
+    let r = rng ~seed () in
+    let xs = Fgn.generate ~h:0.8 ~n:8192 r in
+    let est = Whittle.estimate xs in
+    let b = Beran.test ~h:est.Whittle.h xs in
+    if b.Beran.consistent then incr accepted
+  done;
+  check_true
+    (Printf.sprintf "accepts true fGn %d/20" !accepted)
+    (!accepted >= 16)
+
+let test_beran_rejects_wrong_h () =
+  (* Test a strongly LRD series against the white-noise (H=0.5) shape. *)
+  let r = rng () in
+  let xs = Fgn.generate ~h:0.9 ~n:8192 r in
+  let b = Beran.test ~h:0.5 xs in
+  check_false "rejects H=0.5 for H=0.9 data" b.Beran.consistent
+
+let test_beran_scale_invariance () =
+  let r = rng () in
+  let xs = Fgn.generate ~h:0.7 ~n:4096 r in
+  let scaled = Array.map (fun x -> 17. *. x) xs in
+  let b1 = Beran.test ~h:0.7 xs in
+  let b2 = Beran.test ~h:0.7 scaled in
+  check_close "T invariant under scaling" ~eps:1e-9 b1.Beran.t_stat
+    b2.Beran.t_stat
+
+(* ---------------- Pareto count process (Appendix C) ---------------- *)
+
+let test_arrival_times_increasing () =
+  let r = rng () in
+  let ts = Pareto_count.arrival_times ~beta:1. ~a:1. ~n:1000 r in
+  check_int "count" 1000 (Array.length ts);
+  for i = 1 to 999 do
+    check_true "strictly increasing" (ts.(i) > ts.(i - 1))
+  done;
+  check_true "gaps at least a" (ts.(0) >= 1.)
+
+let test_count_process_total () =
+  let r = rng () in
+  let counts = Pareto_count.count_process ~beta:1. ~a:1. ~bin:10. ~bins:100 r in
+  check_int "bins" 100 (Array.length counts);
+  let total = Array.fold_left ( +. ) 0. counts in
+  check_true "some arrivals" (total > 0.);
+  (* All interarrivals >= a = 1, so at most bin/a arrivals per bin. *)
+  Array.iter (fun c -> check_true "per-bin bound" (c <= 10.)) counts
+
+let test_run_stats_handcrafted () =
+  let counts = [| 0.; 1.; 2.; 0.; 0.; 3.; 0. |] in
+  let s = Pareto_count.run_stats counts in
+  check_int "bursts" 2 s.Pareto_count.n_bursts;
+  check_int "lulls" 3 s.Pareto_count.n_lulls;
+  check_close "mean burst" 1.5 s.Pareto_count.mean_burst;
+  check_close "mean lull" (4. /. 3.) s.Pareto_count.mean_lull;
+  check_close "occupancy" (3. /. 7.) s.Pareto_count.occupancy
+
+let test_run_lengths () =
+  let counts = [| 1.; 1.; 0.; 1. |] in
+  Alcotest.(check (array int)) "bursts" [| 2; 1 |]
+    (Pareto_count.burst_lengths counts);
+  Alcotest.(check (array int)) "lulls" [| 1 |]
+    (Pareto_count.lull_lengths counts)
+
+let test_run_stats_empty_cases () =
+  let all_empty = Pareto_count.run_stats [| 0.; 0. |] in
+  check_int "no bursts" 0 all_empty.Pareto_count.n_bursts;
+  check_true "mean burst nan" (Float.is_nan all_empty.Pareto_count.mean_burst);
+  let all_full = Pareto_count.run_stats [| 1.; 1. |] in
+  check_int "single burst" 1 all_full.Pareto_count.n_bursts;
+  check_close "occupancy 1" 1. all_full.Pareto_count.occupancy
+
+let test_expected_burst_bins () =
+  check_close "beta=2 linear" 100. (Pareto_count.expected_burst_bins ~beta:2. ~a:1. ~b:100.);
+  check_close "beta=1 log" (log 100.)
+    (Pareto_count.expected_burst_bins ~beta:1. ~a:1. ~b:100.);
+  check_close "beta=0.5 constant"
+    (1. /. (1. -. (2. ** -0.5)))
+    (Pareto_count.expected_burst_bins ~beta:0.5 ~a:1. ~b:100.)
+
+let test_burst_scaling_beta1 () =
+  (* Appendix C: for beta = 1 mean burst grows ~ log b while lulls stay
+     invariant. *)
+  let stats_at bin seed =
+    Pareto_count.run_stats
+      (Pareto_count.count_process ~beta:1. ~a:1. ~bin ~bins:800 (rng ~seed ()))
+  in
+  let s3 = stats_at 1e3 1 and s5 = stats_at 1e5 2 in
+  check_true "bursts grow with b"
+    (s5.Pareto_count.mean_burst > s3.Pareto_count.mean_burst);
+  check_true "burst growth is modest (log, not linear)"
+    (s5.Pareto_count.mean_burst < 5. *. s3.Pareto_count.mean_burst);
+  check_true "lull scale roughly invariant"
+    (s5.Pareto_count.mean_lull < 10. *. s3.Pareto_count.mean_lull
+    && s3.Pareto_count.mean_lull < 10. *. s5.Pareto_count.mean_lull)
+
+let suite =
+  ( "lrd",
+    [
+      tc "fGn autocovariance known" test_autocovariance_known;
+      tc "fGn autocovariance symmetric" test_autocovariance_symmetry;
+      tc "fGn length and moments" test_fgn_length_and_moments;
+      tc "fGn sigma2" test_fgn_sigma2;
+      tc "fGn H=0.5 white" test_fgn_white_when_h_half;
+      tc "fGn empirical acf" test_fgn_empirical_acf_matches;
+      tc "fbm cumsum" test_fbm_cumsum;
+      tc "spectral density shape" test_spectral_density_shape;
+      tc "estimators on fGn" test_estimators_on_fgn;
+      tc "estimators on white noise" test_estimators_on_white_noise;
+      tc "R/S regression quality" test_rs_r2;
+      tc "whittle recovers H" test_whittle_recovers_h;
+      tc "whittle stderr" test_whittle_stderr;
+      tc "whittle objective minimum" test_whittle_objective_minimum;
+      tc "beran accepts fGn" test_beran_accepts_fgn;
+      tc "beran rejects wrong H" test_beran_rejects_wrong_h;
+      tc "beran scale invariance" test_beran_scale_invariance;
+      tc "pareto arrivals increasing" test_arrival_times_increasing;
+      tc "pareto count process" test_count_process_total;
+      tc "run stats handcrafted" test_run_stats_handcrafted;
+      tc "run lengths" test_run_lengths;
+      tc "run stats empty cases" test_run_stats_empty_cases;
+      tc "expected burst bins" test_expected_burst_bins;
+      tc "burst scaling beta=1" test_burst_scaling_beta1;
+    ] )

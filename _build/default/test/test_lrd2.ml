@@ -1,0 +1,139 @@
+(* Tests for the LRD extensions: fARIMA, wavelet estimator, the shared
+   circulant-embedding generator. *)
+open Helpers
+open Lrd
+
+(* ---------------- Gaussian process generator ---------------- *)
+
+let test_gp_white_noise () =
+  let acvf k = if k = 0 then 1. else 0. in
+  let r = rng () in
+  let xs = Gaussian_process.generate ~acvf ~n:4096 r in
+  check_close "unit variance" ~eps:0.1 1. (Stats.Descriptive.variance xs);
+  check_true "uncorrelated"
+    (Float.abs (Stats.Descriptive.autocorrelation xs 1) < 0.05)
+
+let test_gp_matches_fgn () =
+  (* Fgn.generate is a thin wrapper; same acvf + same rng stream must
+     give the same samples. *)
+  let h = 0.8 in
+  let a = Fgn.generate ~h ~n:1024 (rng ()) in
+  let b =
+    Gaussian_process.generate
+      ~acvf:(Fgn.autocovariance ~h ~sigma2:1.)
+      ~n:1024 (rng ())
+  in
+  Alcotest.(check (array (float 1e-12))) "identical" a b
+
+let test_gp_rejects_bad_embedding () =
+  (* A strongly oscillating "covariance" that is not nonneg definite. *)
+  let acvf k = if k = 0 then 1. else -0.9 in
+  Alcotest.check_raises "invalid embedding"
+    (Invalid_argument "Gaussian_process.generate: embedding not nonneg definite")
+    (fun () -> ignore (Gaussian_process.generate ~acvf ~n:64 (rng ())))
+
+(* ---------------- fARIMA ---------------- *)
+
+let test_farima_acvf_k0 () =
+  (* gamma(0) = Gamma(1-2d) / Gamma(1-d)^2. *)
+  let d = 0.3 in
+  let lg = Dist.Special.log_gamma in
+  let expected = exp (lg (1. -. (2. *. d)) -. (2. *. lg (1. -. d))) in
+  check_close "variance" ~eps:1e-9 expected (Farima.autocovariance ~d ~sigma2:1. 0)
+
+let test_farima_acvf_decay () =
+  let d = 0.25 in
+  let g k = Farima.autocovariance ~d ~sigma2:1. k in
+  check_true "positive correlations" (g 1 > 0. && g 10 > 0.);
+  check_true "decreasing" (g 1 > g 2 && g 2 > g 10);
+  (* Hyperbolic decay: gamma(k) ~ k^(2d-1), so gamma(2k)/gamma(k) ->
+     2^(2d-1). *)
+  let ratio = g 512 /. g 256 in
+  check_close "hyperbolic tail" ~eps:0.01 (2. ** ((2. *. d) -. 1.)) ratio
+
+let test_farima_generate_moments () =
+  let d = 0.3 in
+  let xs = Farima.generate ~d ~n:8192 (rng ()) in
+  check_close "mean" ~eps:0.15 0. (mean xs);
+  check_close "variance matches gamma(0)" ~eps:0.15
+    (Farima.autocovariance ~d ~sigma2:1. 0)
+    (Stats.Descriptive.variance xs)
+
+let test_farima_whittle_recovers_d () =
+  List.iter
+    (fun d ->
+      let xs =
+        Farima.generate ~d ~n:8192 (rng ~seed:(int_of_float (d *. 1e4)) ())
+      in
+      let est = Farima.whittle_d xs in
+      check_close (Printf.sprintf "d=%.2f" d) ~eps:0.04 d est.Whittle.h)
+    [ 0.1; 0.25; 0.4 ]
+
+let test_farima_hurst_of_d () =
+  check_close "H = d + 1/2" 0.8 (Farima.hurst_of_d 0.3)
+
+let test_farima_beran_accepts () =
+  let accepted = ref 0 in
+  for seed = 1 to 20 do
+    let xs = Farima.generate ~d:0.3 ~n:8192 (rng ~seed ()) in
+    let est = Farima.whittle_d xs in
+    if (Farima.beran ~d:est.Whittle.h xs).Beran.consistent then incr accepted
+  done;
+  check_true (Printf.sprintf "accepts %d/20" !accepted) (!accepted >= 16)
+
+let test_farima_spectral_pole () =
+  let f = Farima.spectral_density ~d:0.3 in
+  check_true "diverges toward 0" (f 0.001 > f 0.01 && f 0.01 > f 0.1);
+  check_close "flat when d -> 0" ~eps:0.02 1.
+    (Farima.spectral_density ~d:0.001 0.3
+    /. Farima.spectral_density ~d:0.001 2.)
+
+(* ---------------- Wavelet ---------------- *)
+
+let test_wavelet_decompose_structure () =
+  let xs = Array.init 256 (fun i -> float_of_int i) in
+  let octs = Wavelet.decompose xs in
+  check_int "eight octaves" 8 (List.length octs);
+  let first = List.hd octs in
+  check_int "first octave" 1 first.Wavelet.j;
+  check_int "half the coefficients" 128 first.Wavelet.n_coeffs
+
+let test_wavelet_white_noise_flat () =
+  let r = rng () in
+  let xs = Array.init 8192 (fun _ -> Prng.Rng.float r -. 0.5) in
+  let est = Wavelet.estimate xs in
+  check_close "H = 0.5 for white noise" ~eps:0.08 0.5 est.Hurst.h
+
+let test_wavelet_recovers_fgn () =
+  List.iter
+    (fun h ->
+      let xs = Fgn.generate ~h ~n:16384 (rng ~seed:(int_of_float (h *. 1e4)) ()) in
+      let est = Wavelet.estimate xs in
+      check_close (Printf.sprintf "H=%.2f" h) ~eps:0.08 h est.Hurst.h)
+    [ 0.6; 0.75; 0.9 ]
+
+let test_wavelet_truncates_to_pow2 () =
+  let r = rng () in
+  let xs = Array.init 1000 (fun _ -> Prng.Rng.float r) in
+  let octs = Wavelet.decompose xs in
+  (* 1000 -> 512 = 2^9. *)
+  check_int "nine octaves" 9 (List.length octs)
+
+let suite =
+  ( "lrd-extensions",
+    [
+      tc "gp white noise" test_gp_white_noise;
+      tc "gp matches fgn" test_gp_matches_fgn;
+      tc "gp rejects bad embedding" test_gp_rejects_bad_embedding;
+      tc "farima acvf at 0" test_farima_acvf_k0;
+      tc "farima acvf decay" test_farima_acvf_decay;
+      tc "farima generation moments" test_farima_generate_moments;
+      tc "farima whittle d" test_farima_whittle_recovers_d;
+      tc "farima hurst" test_farima_hurst_of_d;
+      tc "farima beran accepts" test_farima_beran_accepts;
+      tc "farima spectral pole" test_farima_spectral_pole;
+      tc "wavelet structure" test_wavelet_decompose_structure;
+      tc "wavelet white noise" test_wavelet_white_noise_flat;
+      tc "wavelet recovers fGn" test_wavelet_recovers_fgn;
+      tc "wavelet pow2 truncation" test_wavelet_truncates_to_pow2;
+    ] )

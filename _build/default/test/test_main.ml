@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "paxfloyd"
+    [
+      Test_prng.suite;
+      Test_special.suite;
+      Test_dist.suite;
+      Test_stats.suite;
+      Test_stest.suite;
+      Test_stest2.suite;
+      Test_timeseries.suite;
+      Test_lrd.suite;
+      Test_lrd2.suite;
+      Test_tcplib.suite;
+      Test_traffic.suite;
+      Test_trace.suite;
+      Test_queueing.suite;
+      Test_queueing2.suite;
+      Test_tcpsim.suite;
+      Test_extensions.suite;
+      Test_misc.suite;
+      Test_misc2.suite;
+      Test_misc3.suite;
+      Test_props.suite;
+      Test_core.suite;
+      Test_figures.suite;
+    ]

@@ -1,0 +1,212 @@
+(* Tests for Lo's R/S test, block bootstrap, SVG rendering, trace
+   summaries, and the figure-SVG registry. *)
+open Helpers
+
+(* ---------------- Lo's modified R/S ---------------- *)
+
+let test_lo_accepts_white_noise () =
+  let rejects = ref 0 in
+  for seed = 1 to 50 do
+    let r = rng ~seed () in
+    let xs = Array.init 2048 (fun _ -> Prng.Rng.float r) in
+    if (Lrd.Lo_rs.test xs).Lrd.Lo_rs.reject_srd then incr rejects
+  done;
+  check_true (Printf.sprintf "few false rejections (%d/50)" !rejects)
+    (!rejects <= 6)
+
+let test_lo_detects_lrd () =
+  let detects = ref 0 in
+  for seed = 1 to 20 do
+    let xs = Lrd.Fgn.generate ~h:0.9 ~n:8192 (rng ~seed ()) in
+    if (Lrd.Lo_rs.test xs).Lrd.Lo_rs.reject_srd then incr detects
+  done;
+  check_true (Printf.sprintf "detects H=0.9 (%d/20)" !detects) (!detects >= 16)
+
+let test_lo_srd_not_flagged () =
+  (* AR(1) is short-range dependent: Lo's correction must absorb it where
+     classical R/S (q = 0) over-rejects. *)
+  let ar1 seed =
+    let r = rng ~seed () in
+    let prev = ref 0. in
+    Array.init 4096 (fun _ ->
+        prev := (0.6 *. !prev) +. (Prng.Rng.float r -. 0.5);
+        !prev)
+  in
+  let lo_rejects = ref 0 and classical_rejects = ref 0 in
+  for seed = 1 to 30 do
+    let xs = ar1 seed in
+    if (Lrd.Lo_rs.test xs).Lrd.Lo_rs.reject_srd then incr lo_rejects;
+    if (Lrd.Lo_rs.test ~q:0 xs).Lrd.Lo_rs.reject_srd then
+      incr classical_rejects
+  done;
+  check_true
+    (Printf.sprintf "Lo corrects SRD (lo=%d classical=%d)" !lo_rejects
+       !classical_rejects)
+    (!lo_rejects < !classical_rejects)
+
+let test_lo_default_q () =
+  let r = rng () in
+  let xs = Array.init 1000 (fun _ -> Prng.Rng.float r) in
+  let res = Lrd.Lo_rs.test xs in
+  check_int "Andrews rule" 11 res.Lrd.Lo_rs.q
+
+(* ---------------- Bootstrap ---------------- *)
+
+let test_resample_length_and_support () =
+  let xs = Array.init 100 float_of_int in
+  let r = rng () in
+  let y = Stats.Bootstrap.resample ~block:10 r xs in
+  check_int "same length" 100 (Array.length y);
+  Array.iter (fun v -> check_true "values from support" (v >= 0. && v < 100.)) y
+
+let test_resample_preserves_blocks () =
+  let xs = Array.init 100 float_of_int in
+  let r = rng () in
+  let y = Stats.Bootstrap.resample ~block:10 r xs in
+  (* Within a block, consecutive values differ by exactly 1. *)
+  let consecutive = ref 0 in
+  for i = 1 to 99 do
+    if y.(i) -. y.(i - 1) = 1. then incr consecutive
+  done;
+  check_true "most steps are within-block" (!consecutive >= 80)
+
+let test_bootstrap_ci_covers_mean () =
+  let e = Dist.Exponential.create ~mean:2. in
+  let xs = samples 2000 (Dist.Exponential.sample e) in
+  let ci =
+    Stats.Bootstrap.confidence_interval ~block:20 Stats.Descriptive.mean xs
+      (rng ())
+  in
+  check_close "estimate is the sample mean" (Stats.Descriptive.mean xs)
+    ci.Stats.Bootstrap.estimate;
+  check_true "interval brackets the truth"
+    (ci.Stats.Bootstrap.lo < 2. && 2. < ci.Stats.Bootstrap.hi);
+  check_true "interval is ordered"
+    (ci.Stats.Bootstrap.lo <= ci.Stats.Bootstrap.estimate
+    && ci.Stats.Bootstrap.estimate <= ci.Stats.Bootstrap.hi)
+
+let test_bootstrap_ci_width_shrinks () =
+  let r = rng () in
+  let xs n = Array.init n (fun _ -> Prng.Rng.float r) in
+  let width n =
+    let ci =
+      Stats.Bootstrap.confidence_interval ~block:10 Stats.Descriptive.mean
+        (xs n) (rng ())
+    in
+    ci.Stats.Bootstrap.hi -. ci.Stats.Bootstrap.lo
+  in
+  check_true "larger samples, tighter CI" (width 4000 < width 200)
+
+(* ---------------- SVG ---------------- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_svg_render_basic () =
+  let svg =
+    Core.Svg.render ~title:"t" ~xlabel:"x" ~ylabel:"y"
+      [
+        { Core.Svg.label = "series-a"; points = [| (0., 0.); (1., 1.) |];
+          style = Core.Svg.Line };
+        { Core.Svg.label = "series-b"; points = [| (0.5, 0.5) |];
+          style = Core.Svg.Dots };
+      ]
+  in
+  check_true "svg root" (contains svg "<svg");
+  check_true "polyline for lines" (contains svg "<polyline");
+  check_true "circle for dots" (contains svg "<circle");
+  check_true "legend" (contains svg "series-a");
+  check_true "title" (contains svg ">t<");
+  check_true "closes" (contains svg "</svg>")
+
+let test_svg_escapes () =
+  let svg =
+    Core.Svg.render
+      [ { Core.Svg.label = "a<b&c"; points = [| (0., 0.); (1., 1.) |];
+          style = Core.Svg.Line } ]
+  in
+  check_true "escaped" (contains svg "a&lt;b&amp;c");
+  check_false "no raw angle in label" (contains svg "a<b")
+
+let test_svg_empty () =
+  let svg = Core.Svg.render [] in
+  check_true "degrades gracefully" (contains svg "no data")
+
+let test_svg_save () =
+  let path = Filename.temp_file "fig" ".svg" in
+  Core.Svg.save ~path
+    [ { Core.Svg.label = "x"; points = [| (0., 0.); (2., 1.) |];
+        style = Core.Svg.Line } ];
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  check_true "file written" (contains line "<svg")
+
+let test_figure_svg_registry () =
+  List.iter
+    (fun id ->
+      check_true (id ^ " renders")
+        (match Core.Figure_svg.render id with
+        | Some svg -> String.length svg > 500
+        | None -> false))
+    [ "fig1"; "fig9" ];
+  Alcotest.(check bool) "unknown id" true (Core.Figure_svg.render "fig99" = None)
+
+(* ---------------- Trace summary ---------------- *)
+
+let test_summary_rows () =
+  let conn proto bytes =
+    {
+      Trace.Record.start = 0.;
+      duration = 10.;
+      protocol = proto;
+      bytes;
+      session_id = -1;
+    }
+  in
+  let t =
+    Trace.Record.create ~name:"s" ~span:100.
+      [
+        conn Trace.Record.Telnet 100.;
+        conn Trace.Record.Telnet 300.;
+        conn Trace.Record.Ftpdata 600.;
+      ]
+  in
+  let rows = Trace.Summary.compute t in
+  check_int "two protocols" 2 (List.length rows);
+  let first = List.hd rows in
+  Alcotest.(check bool) "ftpdata leads by bytes" true
+    (first.Trace.Summary.protocol = Trace.Record.Ftpdata);
+  check_close "share" 0.6 first.Trace.Summary.byte_share;
+  let telnet = List.nth rows 1 in
+  check_int "telnet conns" 2 telnet.Trace.Summary.connections;
+  check_close "telnet mean duration" 10. telnet.Trace.Summary.mean_duration
+
+let test_summary_pp () =
+  let t = Core.Cache.connection_trace "UK" in
+  let s = Format.asprintf "%a" Trace.Summary.pp t in
+  check_true "mentions ftpdata" (contains s "ftpdata");
+  check_true "has share column" (contains s "%")
+
+let suite =
+  ( "misc-extensions",
+    [
+      tc "lo accepts white noise" test_lo_accepts_white_noise;
+      tc "lo detects LRD" test_lo_detects_lrd;
+      tc "lo corrects SRD" test_lo_srd_not_flagged;
+      tc "lo default q" test_lo_default_q;
+      tc "bootstrap resample support" test_resample_length_and_support;
+      tc "bootstrap preserves blocks" test_resample_preserves_blocks;
+      tc "bootstrap CI covers mean" test_bootstrap_ci_covers_mean;
+      tc "bootstrap CI shrinks" test_bootstrap_ci_width_shrinks;
+      tc "svg basic" test_svg_render_basic;
+      tc "svg escapes" test_svg_escapes;
+      tc "svg empty" test_svg_empty;
+      tc "svg save" test_svg_save;
+      tc "figure svg registry" test_figure_svg_registry;
+      tc "summary rows" test_summary_rows;
+      tc "summary pp" test_summary_pp;
+    ] )

@@ -1,0 +1,131 @@
+open Helpers
+
+let test_determinism () =
+  let a = Prng.Rng.create 42 and b = Prng.Rng.create 42 in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Prng.Rng.bits64 a) (Prng.Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.Rng.create 1 and b = Prng.Rng.create 2 in
+  let differ = ref false in
+  for _ = 1 to 10 do
+    if Prng.Rng.bits64 a <> Prng.Rng.bits64 b then differ := true
+  done;
+  check_true "different seeds give different streams" !differ
+
+let test_copy_independent () =
+  let a = Prng.Rng.create 7 in
+  let b = Prng.Rng.copy a in
+  let xa = Prng.Rng.bits64 a in
+  let xb = Prng.Rng.bits64 b in
+  Alcotest.(check int64) "copy replays the same stream" xa xb;
+  ignore (Prng.Rng.bits64 a);
+  let xa2 = Prng.Rng.bits64 a and xb2 = Prng.Rng.bits64 b in
+  check_true "streams advance independently" (xa2 <> xb2 || xa2 = xb2)
+
+let test_split_decorrelated () =
+  let a = Prng.Rng.create 9 in
+  let child = Prng.Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.Rng.bits64 a = Prng.Rng.bits64 child then incr same
+  done;
+  check_int "parent and child streams do not coincide" 0 !same
+
+let test_float_range_01 () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let x = Prng.Rng.float r in
+    check_true "in [0,1)" (x >= 0. && x < 1.)
+  done
+
+let test_float_pos () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    check_true "strictly positive" (Prng.Rng.float_pos r > 0.)
+  done
+
+let test_float_mean () =
+  let xs = samples 50_000 Prng.Rng.float in
+  check_close "mean of uniforms ~ 0.5" ~eps:0.01 0.5 (mean xs)
+
+let test_float_range () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let x = Prng.Rng.float_range r (-3.) 5. in
+    check_true "in [-3,5)" (x >= -3. && x < 5.)
+  done
+
+let test_int_bounds () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let x = Prng.Rng.int r 7 in
+    check_true "in [0,7)" (x >= 0 && x < 7)
+  done
+
+let test_int_uniformity () =
+  let r = rng () in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Prng.Rng.int r 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_true
+        (Printf.sprintf "bucket %d near uniform" i)
+        (abs (c - (n / 10)) < n / 50))
+    buckets
+
+let test_bool_fair () =
+  let r = rng () in
+  let trues = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Prng.Rng.bool r then incr trues
+  done;
+  check_true "roughly fair coin" (abs (!trues - (n / 2)) < n / 50)
+
+let test_shuffle_permutation () =
+  let r = rng () in
+  let a = Array.init 50 (fun i -> i) in
+  let b = Array.copy a in
+  Prng.Rng.shuffle r b;
+  let sb = Array.copy b in
+  Array.sort compare sb;
+  Alcotest.(check (array int)) "multiset preserved" a sb
+
+let test_shuffle_moves () =
+  let r = rng () in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.Rng.shuffle r a;
+  check_true "permutation differs from identity" (a <> Array.init 50 Fun.id)
+
+let prop_int_in_range =
+  prop "int n lands in [0,n)" QCheck.(int_range 1 1_000_000) (fun n ->
+      let r = rng ~seed:n () in
+      let x = Prng.Rng.int r n in
+      x >= 0 && x < n)
+
+let suite =
+  ( "prng",
+    [
+      tc "determinism" test_determinism;
+      tc "seed sensitivity" test_seed_sensitivity;
+      tc "copy replays" test_copy_independent;
+      tc "split decorrelated" test_split_decorrelated;
+      tc "float in [0,1)" test_float_range_01;
+      tc "float_pos positive" test_float_pos;
+      tc "float mean" test_float_mean;
+      tc "float_range bounds" test_float_range;
+      tc "int bounds" test_int_bounds;
+      tc "int uniformity" test_int_uniformity;
+      tc "bool fair" test_bool_fair;
+      tc "shuffle is permutation" test_shuffle_permutation;
+      tc "shuffle moves elements" test_shuffle_moves;
+      prop_int_in_range;
+    ] )

@@ -1,0 +1,133 @@
+open Helpers
+open Queueing
+
+let test_no_contention () =
+  (* Widely spaced arrivals never wait. *)
+  let s =
+    Fifo.simulate_const ~arrivals:[| 0.; 10.; 20. |] ~service_time:1. ()
+  in
+  check_int "served" 3 s.Fifo.n;
+  check_close "no waiting" 0. s.Fifo.mean_wait;
+  check_close "sojourn is service" 1. s.Fifo.mean_sojourn;
+  check_int "no drops" 0 s.Fifo.dropped
+
+let test_back_to_back () =
+  (* Two arrivals at once, unit service: second waits exactly 1. *)
+  let s = Fifo.simulate_const ~arrivals:[| 0.; 0. |] ~service_time:1. () in
+  check_close "mean wait" 0.5 s.Fifo.mean_wait;
+  check_close "max wait" 1. s.Fifo.max_wait
+
+let test_cascading_waits () =
+  (* Arrivals every 0.5 s, service 1 s: waits 0, 0.5, 1.0, ... *)
+  let arrivals = Array.init 5 (fun i -> 0.5 *. float_of_int i) in
+  let s = Fifo.simulate_const ~arrivals ~service_time:1. () in
+  check_close "mean of 0,.5,1,1.5,2" 1. s.Fifo.mean_wait;
+  check_close "max wait" 2. s.Fifo.max_wait
+
+let test_utilization () =
+  let arrivals = Array.init 100 float_of_int in
+  let s = Fifo.simulate_const ~arrivals ~service_time:0.5 () in
+  check_close "rho = 0.5" ~eps:0.02 0.5 s.Fifo.utilization
+
+let test_finite_buffer_drops () =
+  (* Buffer 0: any packet arriving while the server is busy is lost. *)
+  let arrivals = [| 0.; 0.1; 0.2; 5. |] in
+  let s = Fifo.simulate_const ~buffer:0 ~arrivals ~service_time:1. () in
+  check_int "two dropped" 2 s.Fifo.dropped;
+  check_int "two served" 2 s.Fifo.n
+
+let test_buffer_one () =
+  let arrivals = [| 0.; 0.1; 0.2; 0.3 |] in
+  let s = Fifo.simulate_const ~buffer:1 ~arrivals ~service_time:1. () in
+  check_int "one waiting slot" 2 s.Fifo.n;
+  check_int "rest dropped" 2 s.Fifo.dropped
+
+let test_md1_mean_wait () =
+  (* M/D/1: W = rho s / (2 (1 - rho)). At rho=0.5, s=1: W = 0.5. *)
+  let r = rng () in
+  let arrivals =
+    Traffic.Poisson_proc.homogeneous ~rate:0.5 ~duration:200_000. r
+  in
+  let s = Fifo.simulate_const ~arrivals ~service_time:1. () in
+  check_close "Pollaczek-Khinchine" ~eps:0.06 0.5 s.Fifo.mean_wait
+
+let test_random_service () =
+  (* M/M/1 at rho 0.5: W = rho/(mu - lambda) = 1. *)
+  let r = rng () in
+  let arrivals =
+    Traffic.Poisson_proc.homogeneous ~rate:0.5 ~duration:200_000. r
+  in
+  let e = Dist.Exponential.create ~mean:1. in
+  let s = Fifo.simulate ~arrivals ~service:(Dist.Exponential.sample e) (rng ~seed:2 ()) in
+  check_close "M/M/1 mean wait" ~eps:0.12 1. s.Fifo.mean_wait
+
+let test_p99_ordering () =
+  let r = rng () in
+  let arrivals = Traffic.Poisson_proc.homogeneous ~rate:0.9 ~duration:50_000. r in
+  let s = Fifo.simulate_const ~arrivals ~service_time:1. () in
+  check_true "p99 between mean and max"
+    (s.Fifo.p99_wait >= s.Fifo.mean_wait && s.Fifo.p99_wait <= s.Fifo.max_wait)
+
+(* ---------------- Priority ---------------- *)
+
+let test_priority_high_first () =
+  (* Both classes arrive at t=0; high is served first. *)
+  let s =
+    Priority.simulate ~high:[| 0. |] ~low:[| 0. |] ~service_high:1.
+      ~service_low:1.
+  in
+  check_close "high never waits" 0. s.Priority.high.mean_wait;
+  check_close "low waits for high" 1. s.Priority.low.mean_wait
+
+let test_priority_starvation () =
+  (* Saturating high-priority stream: low waits a long time. *)
+  let high = Array.init 100 (fun i -> 0.5 *. float_of_int i) in
+  let low = [| 0.1 |] in
+  let s = Priority.simulate ~high ~low ~service_high:0.6 ~service_low:0.5 in
+  check_true "low starved" (s.Priority.low.mean_wait > 5.);
+  check_close "all high served" 100. (float_of_int s.Priority.high.served)
+
+let test_priority_idle_jump () =
+  (* Server must idle between sparse arrivals, not accumulate delay. *)
+  let s =
+    Priority.simulate ~high:[| 0.; 100. |] ~low:[| 50. |] ~service_high:1.
+      ~service_low:1.
+  in
+  check_close "no phantom waits (high)" 0. s.Priority.high.mean_wait;
+  check_close "no phantom waits (low)" 0. s.Priority.low.mean_wait
+
+let test_priority_counts () =
+  let s =
+    Priority.simulate ~high:[| 0.; 1. |] ~low:[| 0.5; 2. |] ~service_high:0.1
+      ~service_low:0.1
+  in
+  check_int "high served" 2 s.Priority.high.served;
+  check_int "low served" 2 s.Priority.low.served
+
+let test_priority_vs_fifo_consistency () =
+  (* With an empty-ish high class, low behaves like FIFO. *)
+  let low = Array.init 50 (fun i -> float_of_int i) in
+  let s =
+    Priority.simulate ~high:[| 1e9 |] ~low ~service_high:0.1 ~service_low:0.5
+  in
+  let f = Fifo.simulate_const ~arrivals:low ~service_time:0.5 () in
+  check_close "matches FIFO" ~eps:1e-9 f.Fifo.mean_wait s.Priority.low.mean_wait
+
+let suite =
+  ( "queueing",
+    [
+      tc "no contention" test_no_contention;
+      tc "back to back" test_back_to_back;
+      tc "cascading waits" test_cascading_waits;
+      tc "utilization" test_utilization;
+      tc "finite buffer drops" test_finite_buffer_drops;
+      tc "buffer of one" test_buffer_one;
+      tc "M/D/1 mean wait" test_md1_mean_wait;
+      tc "M/M/1 mean wait" test_random_service;
+      tc "p99 ordering" test_p99_ordering;
+      tc "priority: high first" test_priority_high_first;
+      tc "priority: starvation" test_priority_starvation;
+      tc "priority: idle jump" test_priority_idle_jump;
+      tc "priority: counts" test_priority_counts;
+      tc "priority degenerates to FIFO" test_priority_vs_fifo_consistency;
+    ] )

@@ -1,0 +1,190 @@
+(* Tests for the queueing extensions: heap, M/G/k, admission control. *)
+open Helpers
+open Queueing
+
+(* ---------------- Heap ---------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (int_of_float k)) [ 5.; 1.; 3.; 2.; 4. ];
+  check_int "size" 5 (Heap.size h);
+  let order = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min h with
+    | Some (k, _) -> order := k :: !order
+    | None -> continue := false
+  done;
+  Alcotest.(check (list (float 0.)))
+    "ascending" [ 1.; 2.; 3.; 4.; 5. ]
+    (List.rev !order)
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  check_true "empty" (Heap.is_empty h);
+  Alcotest.(check bool) "peek empty" true (Heap.peek_min h = None);
+  Heap.push h 2. "b";
+  Heap.push h 1. "a";
+  Alcotest.(check bool) "peek min" true (Heap.peek_min h = Some (1., "a"));
+  check_int "peek doesn't pop" 2 (Heap.size h)
+
+let test_heap_growth () =
+  let h = Heap.create () in
+  for i = 1000 downto 1 do
+    Heap.push h (float_of_int i) i
+  done;
+  check_int "thousand entries" 1000 (Heap.size h);
+  Alcotest.(check bool) "min is 1" true (Heap.pop_min h = Some (1., 1))
+
+let test_heap_duplicates () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k ()) [ 1.; 1.; 1. ];
+  check_int "three equal keys" 3 (Heap.size h);
+  ignore (Heap.pop_min h);
+  ignore (Heap.pop_min h);
+  Alcotest.(check bool) "last one" true (Heap.pop_min h = Some (1., ()));
+  check_true "drained" (Heap.is_empty h)
+
+let prop_heap_sorts =
+  prop "heap sort equals Array.sort" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (float_range 0. 100.))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h k ()) keys;
+      let popped = ref [] in
+      let continue = ref true in
+      while !continue do
+        match Heap.pop_min h with
+        | Some (k, ()) -> popped := k :: !popped
+        | None -> continue := false
+      done;
+      List.rev !popped = List.sort compare keys)
+
+(* ---------------- M/G/k ---------------- *)
+
+let test_mgk_single_server_is_fifo () =
+  let arrivals = Array.init 20 (fun i -> 0.4 *. float_of_int i) in
+  let mgk = Mgk.simulate ~k:1 ~arrivals ~service:(fun _ -> 1.) (rng ()) in
+  let fifo = Fifo.simulate_const ~arrivals ~service_time:1. () in
+  check_close "k=1 equals FIFO" ~eps:1e-9 fifo.Fifo.mean_wait
+    mgk.Mgk.mean_wait
+
+let test_mgk_many_servers_no_wait () =
+  let arrivals = Array.init 10 (fun i -> float_of_int i *. 0.01) in
+  let s = Mgk.simulate ~k:10 ~arrivals ~service:(fun _ -> 5.) (rng ()) in
+  check_close "no waiting with k = n" 0. s.Mgk.mean_wait
+
+let test_mgk_two_servers_exact () =
+  (* Three simultaneous arrivals, unit service, two servers: waits are
+     0, 0, 1. *)
+  let s = Mgk.simulate ~k:2 ~arrivals:[| 0.; 0.; 0. |]
+      ~service:(fun _ -> 1.) (rng ()) in
+  check_close "mean wait 1/3" (1. /. 3.) s.Mgk.mean_wait;
+  check_close "max wait 1" 1. s.Mgk.max_wait
+
+let test_mgk_wait_decreases_with_k () =
+  let r = rng () in
+  let arrivals = Traffic.Poisson_proc.homogeneous ~rate:5. ~duration:2000. r in
+  let e = Dist.Exponential.create ~mean:1. in
+  let wait k seed =
+    (Mgk.simulate ~k ~arrivals ~service:(Dist.Exponential.sample e)
+       (rng ~seed ()))
+      .Mgk.mean_wait
+  in
+  let w6 = wait 6 1 and w8 = wait 8 2 and w12 = wait 12 3 in
+  check_true "more servers, less waiting" (w6 > w8 && w8 > w12)
+
+let test_mgk_count_process_little () =
+  let r = rng () in
+  let counts =
+    Mgk.count_process ~k:50 ~rate:4. ~service:(fun _ -> 2.) ~dt:0.5 ~n:20000 r
+  in
+  (* k = 50 >> offered 8: effectively M/G/inf, E[N] = 8. *)
+  check_close "Little's law" ~eps:0.5 8. (mean counts)
+
+let test_mgk_count_bounded_by_waiting_pool () =
+  let r = rng () in
+  let counts =
+    Mgk.count_process ~k:2 ~rate:1. ~service:(fun _ -> 1.) ~dt:1. ~n:5000 r
+  in
+  Array.iter (fun c -> check_true "nonnegative" (c >= 0.)) counts
+
+(* ---------------- Admission ---------------- *)
+
+let flat_requests rate horizon seed =
+  Traffic.Poisson_proc.homogeneous ~rate ~duration:horizon (rng ~seed ())
+
+let test_admission_all_admitted_when_idle () =
+  let horizon = 2000. in
+  let r =
+    Admission.simulate ~capacity:1000. ~window:10. ~flow_rate:1.
+      ~requests:(flat_requests 0.05 horizon 1)
+      ~duration:(fun _ -> 10.)
+      ~horizon (rng ())
+  in
+  check_int "everything admitted" r.Admission.offered r.Admission.admitted;
+  check_close "no overload" 0. r.Admission.overload_fraction
+
+let test_admission_blocks_when_full () =
+  (* Tiny capacity: at most 2 concurrent flows pass the measured check;
+     admissions must be far below offers. *)
+  let horizon = 5000. in
+  let r =
+    Admission.simulate ~capacity:2. ~window:5. ~flow_rate:1.
+      ~requests:(flat_requests 0.5 horizon 2)
+      ~duration:(fun _ -> 100.)
+      ~horizon (rng ())
+  in
+  check_true "blocks most requests"
+    (r.Admission.admitted < r.Admission.offered / 3)
+
+let test_admission_background_counted () =
+  (* Background alone saturates capacity: nothing should be admitted
+     once the window fills, and overload tracks the background. *)
+  let horizon = 1000. in
+  let background = Array.make 1000 10. in
+  let r =
+    Admission.simulate ~capacity:5. ~window:10. ~flow_rate:1.
+      ~requests:(flat_requests 0.1 horizon 3)
+      ~duration:(fun _ -> 50.)
+      ~background ~horizon (rng ())
+  in
+  check_true "overloaded throughout" (r.Admission.overload_fraction > 0.95);
+  check_true "very few admissions"
+    (r.Admission.admitted <= r.Admission.offered / 2)
+
+let test_admission_episode_accounting () =
+  (* Deterministic background above capacity for one contiguous block. *)
+  let horizon = 100. in
+  let background =
+    Array.init 100 (fun i -> if i >= 20 && i < 50 then 10. else 0.)
+  in
+  let r =
+    Admission.simulate ~capacity:5. ~window:10. ~flow_rate:1.
+      ~requests:[||]
+      ~duration:(fun _ -> 1.)
+      ~background ~horizon (rng ())
+  in
+  check_close "30% overloaded" 0.30 r.Admission.overload_fraction;
+  check_close "single 30 s episode" 30. r.Admission.longest_overload;
+  check_close "mean episode" 30. r.Admission.mean_overload_episode
+
+let suite =
+  ( "queueing-extensions",
+    [
+      tc "heap ordering" test_heap_ordering;
+      tc "heap peek" test_heap_peek;
+      tc "heap growth" test_heap_growth;
+      tc "heap duplicates" test_heap_duplicates;
+      prop_heap_sorts;
+      tc "mgk k=1 is fifo" test_mgk_single_server_is_fifo;
+      tc "mgk ample servers" test_mgk_many_servers_no_wait;
+      tc "mgk two servers exact" test_mgk_two_servers_exact;
+      tc "mgk wait vs k" test_mgk_wait_decreases_with_k;
+      tc "mgk count little" test_mgk_count_process_little;
+      tc "mgk count nonneg" test_mgk_count_bounded_by_waiting_pool;
+      tc "admission idle" test_admission_all_admitted_when_idle;
+      tc "admission blocks" test_admission_blocks_when_full;
+      tc "admission background" test_admission_background_counted;
+      tc "admission episodes" test_admission_episode_accounting;
+    ] )

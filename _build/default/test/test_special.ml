@@ -1,0 +1,115 @@
+open Helpers
+open Dist
+
+let test_log_gamma_known () =
+  check_close "Gamma(1) = 1" 0. (Special.log_gamma 1.);
+  check_close "Gamma(2) = 1" 0. (Special.log_gamma 2.);
+  check_close "Gamma(5) = 24" ~eps:1e-10 (log 24.) (Special.log_gamma 5.);
+  check_close "Gamma(0.5) = sqrt pi" ~eps:1e-10
+    (0.5 *. log Float.pi)
+    (Special.log_gamma 0.5)
+
+let prop_gamma_recurrence =
+  prop "Gamma(x+1) = x Gamma(x)"
+    QCheck.(float_range 0.1 20.)
+    (fun x ->
+      let lhs = Special.log_gamma (x +. 1.) in
+      let rhs = log x +. Special.log_gamma x in
+      Float.abs (lhs -. rhs) < 1e-9 *. (1. +. Float.abs rhs))
+
+let test_log_factorial () =
+  check_close "0! = 1" 0. (Special.log_factorial 0);
+  check_close "5! = 120" ~eps:1e-10 (log 120.) (Special.log_factorial 5);
+  check_close "consistency with log_gamma at 200" ~eps:1e-8
+    (Special.log_gamma 201.)
+    (Special.log_factorial 200)
+
+let test_gamma_pq_complement () =
+  List.iter
+    (fun (a, x) ->
+      check_close
+        (Printf.sprintf "P + Q = 1 at a=%g x=%g" a x)
+        ~eps:1e-12 1.
+        (Special.gamma_p a x +. Special.gamma_q a x))
+    [ (0.5, 0.2); (1., 1.); (3., 10.); (10., 3.); (25., 25.) ]
+
+let test_gamma_p_exponential () =
+  (* P(1, x) = 1 - exp(-x). *)
+  List.iter
+    (fun x ->
+      check_close
+        (Printf.sprintf "P(1,%g)" x)
+        ~eps:1e-12
+        (1. -. exp (-.x))
+        (Special.gamma_p 1. x))
+    [ 0.1; 1.; 2.5; 10. ]
+
+let test_gamma_p_monotone () =
+  let prev = ref (-1.) in
+  for i = 0 to 50 do
+    let x = float_of_int i /. 5. in
+    let p = Special.gamma_p 2.5 x in
+    check_true "monotone nondecreasing" (p >= !prev);
+    prev := p
+  done
+
+let test_beta_i_uniform () =
+  (* I_x(1,1) = x. *)
+  List.iter
+    (fun x -> check_close (Printf.sprintf "I_%g(1,1)" x) ~eps:1e-12 x
+        (Special.beta_i 1. 1. x))
+    [ 0.; 0.25; 0.5; 0.9; 1. ]
+
+let prop_beta_symmetry =
+  prop "I_x(a,b) = 1 - I_(1-x)(b,a)"
+    QCheck.(triple (float_range 0.2 5.) (float_range 0.2 5.) (float_range 0.01 0.99))
+    (fun (a, b, x) ->
+      let lhs = Special.beta_i a b x in
+      let rhs = 1. -. Special.beta_i b a (1. -. x) in
+      Float.abs (lhs -. rhs) < 1e-9)
+
+let test_erf_known () =
+  check_close "erf(0)" 0. (Special.erf 0.);
+  check_close "erf(1)" ~eps:1e-9 0.842700792949715 (Special.erf 1.);
+  check_close "erf(2)" ~eps:1e-9 0.995322265018953 (Special.erf 2.);
+  check_close "erf(-1) odd" ~eps:1e-9 (-0.842700792949715) (Special.erf (-1.))
+
+let test_erfc_tail () =
+  check_close "erfc(3)" ~eps:1e-11 2.20904969985854e-05 (Special.erfc 3.);
+  check_close "erf + erfc = 1" ~eps:1e-12 1.
+    (Special.erf 1.3 +. Special.erfc 1.3)
+
+let test_normal_cdf_known () =
+  check_close "Phi(0)" ~eps:1e-12 0.5 (Special.normal_cdf 0.);
+  check_close "Phi(1.959964)" ~eps:1e-6 0.975 (Special.normal_cdf 1.959964);
+  check_close "Phi(-1) + Phi(1) = 1" ~eps:1e-12 1.
+    (Special.normal_cdf (-1.) +. Special.normal_cdf 1.)
+
+let prop_normal_quantile_roundtrip =
+  prop "Phi(Phi^-1(p)) = p"
+    QCheck.(float_range 0.0001 0.9999)
+    (fun p ->
+      let x = Special.normal_quantile p in
+      Float.abs (Special.normal_cdf x -. p) < 1e-8)
+
+let test_normal_quantile_known () =
+  check_close "median" ~eps:1e-9 0. (Special.normal_quantile 0.5);
+  check_close "97.5th" ~eps:1e-6 1.959964 (Special.normal_quantile 0.975)
+
+let suite =
+  ( "special-functions",
+    [
+      tc "log_gamma known values" test_log_gamma_known;
+      prop_gamma_recurrence;
+      tc "log_factorial" test_log_factorial;
+      tc "gamma P+Q=1" test_gamma_pq_complement;
+      tc "gamma_p exponential case" test_gamma_p_exponential;
+      tc "gamma_p monotone" test_gamma_p_monotone;
+      tc "beta_i uniform case" test_beta_i_uniform;
+      prop_beta_symmetry;
+      tc "erf known values" test_erf_known;
+      tc "erfc tail" test_erfc_tail;
+      tc "normal cdf known" test_normal_cdf_known;
+      prop_normal_quantile_roundtrip;
+      tc "normal quantile known" test_normal_quantile_known;
+    ] )

@@ -1,0 +1,257 @@
+open Helpers
+
+(* ---------------- Anderson-Darling ---------------- *)
+
+let exp_samples ?(mean = 1.) n seed =
+  let e = Dist.Exponential.create ~mean in
+  let r = rng ~seed () in
+  Array.init n (fun _ -> Dist.Exponential.sample e r)
+
+let test_ad_accepts_exponential () =
+  (* At the 5% level ~95% of true-null samples must pass. *)
+  let passes = ref 0 in
+  for seed = 1 to 100 do
+    let v = Stest.Anderson_darling.test_exponential (exp_samples 100 seed) in
+    if v.Stest.Anderson_darling.pass then incr passes
+  done;
+  check_true
+    (Printf.sprintf "pass rate %d/100" !passes)
+    (!passes >= 88)
+
+let test_ad_rejects_pareto () =
+  let p = Dist.Pareto.create ~location:1. ~shape:1. in
+  let rejects = ref 0 in
+  for seed = 1 to 50 do
+    let r = rng ~seed () in
+    let xs = Array.init 200 (fun _ -> Dist.Pareto.sample p r) in
+    let v = Stest.Anderson_darling.test_exponential xs in
+    if not v.Stest.Anderson_darling.pass then incr rejects
+  done;
+  check_true
+    (Printf.sprintf "rejects %d/50" !rejects)
+    (!rejects >= 45)
+
+let test_ad_rejects_uniform_as_exponential () =
+  let r = rng () in
+  let xs = Array.init 500 (fun _ -> Prng.Rng.float r) in
+  let v = Stest.Anderson_darling.test_exponential xs in
+  check_false "uniform is not exponential" v.Stest.Anderson_darling.pass
+
+let test_ad_statistic_positive () =
+  let v = Stest.Anderson_darling.test_exponential (exp_samples 50 7) in
+  check_true "A2 positive" (v.Stest.Anderson_darling.a2 > 0.);
+  check_true "modification increases statistic"
+    (v.Stest.Anderson_darling.a2_modified > v.Stest.Anderson_darling.a2)
+
+let test_ad_critical_values () =
+  check_close "5% exp" 1.321 (Stest.Anderson_darling.critical_exponential 0.05);
+  check_close "1% exp" 1.959 (Stest.Anderson_darling.critical_exponential 0.01);
+  check_close "5% case0" 2.492 (Stest.Anderson_darling.critical_case0 0.05);
+  Alcotest.check_raises "unsupported level"
+    (Invalid_argument
+       "Anderson_darling.critical_exponential: unsupported level")
+    (fun () -> ignore (Stest.Anderson_darling.critical_exponential 0.07))
+
+let test_ad_uniform_case0 () =
+  let r = rng () in
+  let xs = Array.init 500 (fun _ -> Prng.Rng.float r) in
+  let v = Stest.Anderson_darling.test_uniform xs in
+  check_true "U(0,1) accepted as uniform" v.Stest.Anderson_darling.pass
+
+let test_ad_level_ordering () =
+  (* A stricter (smaller) level has a larger critical value, so anything
+     passing at 5% passes at 1%. *)
+  let xs = exp_samples 80 11 in
+  let at5 = Stest.Anderson_darling.test_exponential ~level:0.05 xs in
+  let at1 = Stest.Anderson_darling.test_exponential ~level:0.01 xs in
+  check_true "5% pass implies 1% pass"
+    ((not at5.Stest.Anderson_darling.pass) || at1.Stest.Anderson_darling.pass)
+
+(* ---------------- Kolmogorov-Smirnov ---------------- *)
+
+let test_ks_accepts_correct_null () =
+  let e = Dist.Exponential.create ~mean:2. in
+  let xs = exp_samples ~mean:2. 500 3 in
+  let res = Stest.Ks.test (Dist.Exponential.cdf e) xs in
+  check_true "p not tiny" (res.Stest.Ks.p_value > 0.01)
+
+let test_ks_rejects_wrong_null () =
+  let e = Dist.Exponential.create ~mean:10. in
+  let xs = exp_samples ~mean:2. 500 3 in
+  let res = Stest.Ks.test (Dist.Exponential.cdf e) xs in
+  check_true "p tiny for wrong mean" (res.Stest.Ks.p_value < 1e-6)
+
+let test_ks_statistic_bounds () =
+  let xs = [| 0.1; 0.2; 0.9 |] in
+  let d = Stest.Ks.statistic (fun x -> x) xs in
+  check_true "0 <= D <= 1" (d >= 0. && d <= 1.)
+
+let test_ks_exact_small () =
+  (* One point at the median of U(0,1): D = 0.5. *)
+  let d = Stest.Ks.statistic (fun x -> x) [| 0.5 |] in
+  check_close "single midpoint" 0.5 d
+
+(* ---------------- Binomial tests ---------------- *)
+
+let test_prob_at_most () =
+  check_close "P[Bin(2,0.5) <= 0]" 0.25 (Stest.Binom_test.prob_at_most ~n:2 ~p:0.5 0);
+  check_close "P[Bin(2,0.5) <= 1]" 0.75 (Stest.Binom_test.prob_at_most ~n:2 ~p:0.5 1);
+  check_close "P[Bin(2,0.5) <= 2]" 1. (Stest.Binom_test.prob_at_most ~n:2 ~p:0.5 2)
+
+let test_prob_at_least () =
+  check_close "P[Bin(2,0.5) >= 1]" 0.75
+    (Stest.Binom_test.prob_at_least ~n:2 ~p:0.5 1);
+  check_close "P >= 0 is 1" 1. (Stest.Binom_test.prob_at_least ~n:2 ~p:0.5 0)
+
+let test_consistency_pass_count () =
+  (* 95 of 100 at pass-rate 0.95 is perfectly consistent. *)
+  check_true "95/100 consistent"
+    (Stest.Binom_test.consistent_pass_count ~n:100 ~passes:95 ~pass_rate:0.95 ());
+  (* 70 of 100 is wildly inconsistent. *)
+  check_false "70/100 inconsistent"
+    (Stest.Binom_test.consistent_pass_count ~n:100 ~passes:70 ~pass_rate:0.95 ());
+  check_true "n=0 vacuous"
+    (Stest.Binom_test.consistent_pass_count ~n:0 ~passes:0 ~pass_rate:0.95 ())
+
+let test_correlation_sign () =
+  let open Stest.Binom_test in
+  Alcotest.(check bool) "balanced neutral" true
+    (correlation_sign ~n:100 ~positive:50 () = Neutral);
+  Alcotest.(check bool) "all positive flagged" true
+    (correlation_sign ~n:100 ~positive:95 () = Positive);
+  Alcotest.(check bool) "all negative flagged" true
+    (correlation_sign ~n:100 ~positive:5 () = Negative);
+  Alcotest.(check bool) "n=0 neutral" true
+    (correlation_sign ~n:0 ~positive:0 () = Neutral)
+
+(* ---------------- Independence ---------------- *)
+
+let test_independence_iid_passes () =
+  let passes = ref 0 in
+  for seed = 1 to 100 do
+    let r = rng ~seed () in
+    let xs = Array.init 200 (fun _ -> Prng.Rng.float r) in
+    if (Stest.Independence.test_lag1 xs).Stest.Independence.pass then
+      incr passes
+  done;
+  check_true (Printf.sprintf "iid pass rate %d/100" !passes) (!passes >= 88)
+
+let test_independence_ar1_fails () =
+  let r = rng () in
+  let prev = ref 0. in
+  let xs =
+    Array.init 500 (fun _ ->
+        prev := (0.8 *. !prev) +. Prng.Rng.float r;
+        !prev)
+  in
+  let res = Stest.Independence.test_lag1 xs in
+  check_false "AR(1) rejected" res.Stest.Independence.pass;
+  check_true "positive correlation detected" res.Stest.Independence.positive
+
+let test_independence_threshold () =
+  let r = rng () in
+  let xs = Array.init 400 (fun _ -> Prng.Rng.float r) in
+  let res = Stest.Independence.test_lag1 xs in
+  check_close "threshold formula" (1.96 /. 20.) res.Stest.Independence.threshold
+
+(* ---------------- Poisson check (Appendix A) ---------------- *)
+
+let test_poisson_check_accepts_poisson () =
+  let r = rng () in
+  let arrivals =
+    Traffic.Poisson_proc.homogeneous ~rate:0.1 ~duration:(48. *. 3600.) r
+  in
+  let v =
+    Stest.Poisson_check.check ~interval:3600. ~duration:(48. *. 3600.) arrivals
+  in
+  check_true "judged Poisson" v.Stest.Poisson_check.poisson;
+  check_int "48 intervals" 48 v.Stest.Poisson_check.intervals_total;
+  check_true "most intervals testable"
+    (v.Stest.Poisson_check.intervals_tested >= 40)
+
+let test_poisson_check_rejects_pareto_renewal () =
+  let r = rng () in
+  let p = Dist.Pareto.create ~location:1. ~shape:1. in
+  let arrivals =
+    Traffic.Renewal.generate ~sample:(Dist.Pareto.sample p)
+      ~duration:(48. *. 3600.) r
+  in
+  let v =
+    Stest.Poisson_check.check ~interval:3600. ~duration:(48. *. 3600.) arrivals
+  in
+  check_false "pareto renewal not Poisson" v.Stest.Poisson_check.poisson
+
+let test_poisson_check_rejects_periodic () =
+  let arrivals = Array.init 5000 (fun i -> float_of_int i *. 30.) in
+  let duration = 5000. *. 30. in
+  let v = Stest.Poisson_check.check ~interval:3600. ~duration arrivals in
+  check_false "deterministic timer not Poisson" v.Stest.Poisson_check.poisson;
+  check_close "0% exponential passes" 0. v.Stest.Poisson_check.exp_pass_rate
+
+let test_poisson_check_skips_sparse () =
+  (* 3 arrivals in 10 hours: nothing is testable. *)
+  let v =
+    Stest.Poisson_check.check ~interval:3600. ~duration:36000.
+      [| 100.; 20000.; 30000. |]
+  in
+  check_int "no testable intervals" 0 v.Stest.Poisson_check.intervals_tested;
+  check_false "not declared Poisson" v.Stest.Poisson_check.poisson
+
+let test_poisson_check_unsorted_input () =
+  let r = rng () in
+  let arrivals =
+    Traffic.Poisson_proc.homogeneous ~rate:0.1 ~duration:(24. *. 3600.) r
+  in
+  let shuffled = Array.copy arrivals in
+  Prng.Rng.shuffle r shuffled;
+  let a =
+    Stest.Poisson_check.check ~interval:3600. ~duration:(24. *. 3600.) arrivals
+  in
+  let b =
+    Stest.Poisson_check.check ~interval:3600. ~duration:(24. *. 3600.) shuffled
+  in
+  check_int "same tested count" a.Stest.Poisson_check.intervals_tested
+    b.Stest.Poisson_check.intervals_tested;
+  check_int "same passes" a.Stest.Poisson_check.exp_passed
+    b.Stest.Poisson_check.exp_passed
+
+let test_poisson_check_pp () =
+  let r = rng () in
+  let arrivals =
+    Traffic.Poisson_proc.homogeneous ~rate:0.1 ~duration:(24. *. 3600.) r
+  in
+  let v =
+    Stest.Poisson_check.check ~interval:3600. ~duration:(24. *. 3600.) arrivals
+  in
+  let s = Format.asprintf "%a" Stest.Poisson_check.pp v in
+  check_true "pp output nonempty" (String.length s > 10)
+
+let suite =
+  ( "stest",
+    [
+      tc "AD accepts exponential" test_ad_accepts_exponential;
+      tc "AD rejects pareto" test_ad_rejects_pareto;
+      tc "AD rejects uniform" test_ad_rejects_uniform_as_exponential;
+      tc "AD statistic sanity" test_ad_statistic_positive;
+      tc "AD critical values" test_ad_critical_values;
+      tc "AD case-0 uniform" test_ad_uniform_case0;
+      tc "AD level ordering" test_ad_level_ordering;
+      tc "KS accepts correct null" test_ks_accepts_correct_null;
+      tc "KS rejects wrong null" test_ks_rejects_wrong_null;
+      tc "KS statistic bounds" test_ks_statistic_bounds;
+      tc "KS exact small case" test_ks_exact_small;
+      tc "binomial prob_at_most" test_prob_at_most;
+      tc "binomial prob_at_least" test_prob_at_least;
+      tc "consistency of pass counts" test_consistency_pass_count;
+      tc "correlation sign test" test_correlation_sign;
+      tc "independence iid passes" test_independence_iid_passes;
+      tc "independence AR(1) fails" test_independence_ar1_fails;
+      tc "independence threshold" test_independence_threshold;
+      tc "poisson check accepts Poisson" test_poisson_check_accepts_poisson;
+      tc "poisson check rejects Pareto renewal"
+        test_poisson_check_rejects_pareto_renewal;
+      tc "poisson check rejects periodic" test_poisson_check_rejects_periodic;
+      tc "poisson check skips sparse" test_poisson_check_skips_sparse;
+      tc "poisson check order-invariant" test_poisson_check_unsorted_input;
+      tc "poisson check pretty printer" test_poisson_check_pp;
+    ] )

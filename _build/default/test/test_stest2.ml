@@ -1,0 +1,165 @@
+(* Tests for the second wave of hypothesis tests: Ljung-Box, runs,
+   chi-square. *)
+open Helpers
+
+let iid n seed =
+  let r = rng ~seed () in
+  Array.init n (fun _ -> Prng.Rng.float r)
+
+let ar1 n phi seed =
+  let r = rng ~seed () in
+  let prev = ref 0. in
+  Array.init n (fun _ ->
+      prev := (phi *. !prev) +. Prng.Rng.float r -. 0.5;
+      !prev)
+
+(* ---------------- Ljung-Box ---------------- *)
+
+let test_lb_accepts_iid () =
+  let passes = ref 0 in
+  for seed = 1 to 100 do
+    if (Stest.Ljung_box.test (iid 300 seed)).Stest.Ljung_box.pass then
+      incr passes
+  done;
+  check_true (Printf.sprintf "pass rate %d/100" !passes) (!passes >= 88)
+
+let test_lb_rejects_ar1 () =
+  let res = Stest.Ljung_box.test (ar1 500 0.5 3) in
+  check_false "AR(1) rejected" res.Stest.Ljung_box.pass;
+  check_true "tiny p" (res.Stest.Ljung_box.p_value < 1e-6)
+
+let test_lb_df () =
+  let res = Stest.Ljung_box.test ~lags:7 (iid 200 5) in
+  check_int "df equals lags" 7 res.Stest.Ljung_box.df;
+  check_true "Q nonnegative" (res.Stest.Ljung_box.q >= 0.)
+
+let test_lb_default_lags () =
+  let res = Stest.Ljung_box.test (iid 40 5) in
+  check_int "min(10, n/5)" 8 res.Stest.Ljung_box.df
+
+(* ---------------- Runs test ---------------- *)
+
+let test_runs_accepts_iid () =
+  let passes = ref 0 in
+  for seed = 1 to 100 do
+    if (Stest.Runs_test.test (iid 200 seed)).Stest.Runs_test.pass then
+      incr passes
+  done;
+  check_true (Printf.sprintf "pass rate %d/100" !passes) (!passes >= 88)
+
+let test_runs_rejects_blocks () =
+  (* 100 lows then 100 highs: exactly 2 runs. *)
+  let xs = Array.init 200 (fun i -> if i < 100 then 0. else 1.) in
+  let res = Stest.Runs_test.test xs in
+  check_int "two runs" 2 res.Stest.Runs_test.runs;
+  check_false "rejected" res.Stest.Runs_test.pass;
+  check_true "z strongly negative" (res.Stest.Runs_test.z < -5.)
+
+let test_runs_rejects_alternating () =
+  let xs = Array.init 200 (fun i -> if i mod 2 = 0 then 0. else 1.) in
+  let res = Stest.Runs_test.test xs in
+  check_int "maximal runs" 200 res.Stest.Runs_test.runs;
+  check_false "rejected" res.Stest.Runs_test.pass;
+  check_true "z strongly positive" (res.Stest.Runs_test.z > 5.)
+
+let test_runs_expected_value () =
+  let xs = Array.init 100 (fun i -> if i mod 2 = 0 then 0. else 1.) in
+  let res = Stest.Runs_test.test xs in
+  check_close "expected runs 2 n+ n- / n + 1" 51. res.Stest.Runs_test.expected
+
+(* ---------------- Chi-square ---------------- *)
+
+let test_chi2_accepts_exponential () =
+  let e = Dist.Exponential.create ~mean:1. in
+  let passes = ref 0 in
+  for seed = 1 to 100 do
+    let r = rng ~seed () in
+    let xs = Array.init 300 (fun _ -> Dist.Exponential.sample e r) in
+    let fitted = Stats.Fit.exponential_mle xs in
+    if
+      (Stest.Chi_square.test (Dist.Exponential.cdf fitted) xs)
+        .Stest.Chi_square.pass
+    then incr passes
+  done;
+  check_true (Printf.sprintf "pass rate %d/100" !passes) (!passes >= 85)
+
+let test_chi2_rejects_wrong_dist () =
+  let p = Dist.Pareto.create ~location:1. ~shape:1. in
+  let e = Dist.Exponential.create ~mean:2. in
+  let r = rng () in
+  let xs = Array.init 500 (fun _ -> Dist.Pareto.sample p r) in
+  let res = Stest.Chi_square.test (Dist.Exponential.cdf e) xs in
+  check_false "pareto vs exponential rejected" res.Stest.Chi_square.pass
+
+let test_chi2_bins () =
+  let r = rng () in
+  let xs = Array.init 100 (fun _ -> Prng.Rng.float r) in
+  let res = Stest.Chi_square.test ~bins:4 (fun x -> x) xs in
+  check_int "df = bins - 1" 3 res.Stest.Chi_square.df
+
+let test_chi2_uniform_exact () =
+  (* Perfectly balanced data gives statistic 0 and p = 1. *)
+  let xs = Array.init 100 (fun i -> (float_of_int i +. 0.5) /. 100.) in
+  let res = Stest.Chi_square.test ~bins:10 (fun x -> x) xs in
+  check_close "statistic 0" 0. res.Stest.Chi_square.statistic;
+  check_close "p = 1" 1. res.Stest.Chi_square.p_value
+
+(* ---------------- Pareto goodness-of-fit ---------------- *)
+
+let test_pareto_gof_accepts () =
+  let p = Dist.Pareto.create ~location:2. ~shape:1.2 in
+  let passes = ref 0 in
+  for seed = 1 to 100 do
+    let r = rng ~seed () in
+    let xs = Array.init 200 (fun _ -> Dist.Pareto.sample p r) in
+    if
+      (Stest.Anderson_darling.test_pareto ~location:2. xs)
+        .Stest.Anderson_darling.pass
+    then incr passes
+  done;
+  check_true (Printf.sprintf "pass rate %d/100" !passes) (!passes >= 88)
+
+let test_pareto_gof_rejects_lognormal () =
+  let ln = Dist.Lognormal.create ~mu:2. ~sigma:0.5 in
+  let r = rng () in
+  let xs =
+    Array.init 500 (fun _ -> 1. +. Dist.Lognormal.sample ln r)
+  in
+  check_false "lognormal body is not Pareto"
+    (Stest.Anderson_darling.test_pareto ~location:1. xs)
+      .Stest.Anderson_darling.pass
+
+let test_pareto_gof_on_burst_tail () =
+  (* The Section VI workflow: take the upper 5% of burst sizes and test
+     the Pareto tail fit formally. *)
+  let trace = Core.Cache.connection_trace "LBL-6" in
+  let conns = Trace.Record.filter_protocol trace Trace.Record.Ftpdata in
+  let sizes = Trace.Bursts.sizes (Trace.Bursts.group conns) in
+  let sorted = Array.copy sizes in
+  Array.sort (fun a b -> compare b a) sorted;
+  let k = Array.length sorted / 20 in
+  let tail = Array.sub sorted 0 k in
+  let location = tail.(k - 1) in
+  let v = Stest.Anderson_darling.test_pareto ~location tail in
+  check_true "upper tail consistent with Pareto"
+    v.Stest.Anderson_darling.pass
+
+let suite =
+  ( "stest-extensions",
+    [
+      tc "pareto gof accepts" test_pareto_gof_accepts;
+      tc "pareto gof rejects lognormal" test_pareto_gof_rejects_lognormal;
+      tc "pareto gof on burst tail" test_pareto_gof_on_burst_tail;
+      tc "ljung-box accepts iid" test_lb_accepts_iid;
+      tc "ljung-box rejects AR(1)" test_lb_rejects_ar1;
+      tc "ljung-box df" test_lb_df;
+      tc "ljung-box default lags" test_lb_default_lags;
+      tc "runs accepts iid" test_runs_accepts_iid;
+      tc "runs rejects blocks" test_runs_rejects_blocks;
+      tc "runs rejects alternating" test_runs_rejects_alternating;
+      tc "runs expected value" test_runs_expected_value;
+      tc "chi2 accepts exponential" test_chi2_accepts_exponential;
+      tc "chi2 rejects wrong dist" test_chi2_rejects_wrong_dist;
+      tc "chi2 bins" test_chi2_bins;
+      tc "chi2 exact uniform" test_chi2_uniform_exact;
+    ] )

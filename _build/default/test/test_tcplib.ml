@@ -1,0 +1,93 @@
+open Helpers
+
+let d = Tcplib.Telnet.interarrival
+
+let test_mean_calibration () =
+  check_close "mean is 1.1 s" ~eps:0.005 1.1 (Dist.Empirical.mean d);
+  check_close "module constant agrees" (Dist.Empirical.mean d)
+    Tcplib.Telnet.mean_interarrival
+
+let test_paper_quantiles () =
+  check_close "~2% below 8 ms" ~eps:0.003 0.02 (Dist.Empirical.cdf d 0.008);
+  check_close "~15% above 1 s" ~eps:0.01 0.15 (1. -. Dist.Empirical.cdf d 1.0)
+
+let test_support () =
+  check_true "min at 1 ms" (Dist.Empirical.min_value d = 0.001);
+  check_true "bounded table" (Dist.Empirical.max_value d < 10_000.);
+  check_true "upper truncation beyond tail start"
+    (Dist.Empirical.max_value d > 5.)
+
+let test_quantiles_monotone () =
+  let prev = ref 0. in
+  for i = 1 to 99 do
+    let q = Dist.Empirical.quantile d (float_of_int i /. 100.) in
+    check_true "monotone quantiles" (q >= !prev);
+    prev := q
+  done
+
+let test_heavier_than_exponential () =
+  (* Same arithmetic mean, far heavier tail. *)
+  let e = Dist.Exponential.create ~mean:(Dist.Empirical.mean d) in
+  check_true "heavier at 5 s"
+    (1. -. Dist.Empirical.cdf d 5. > Dist.Exponential.survival e 5.);
+  check_true "heavier at 10 s"
+    (1. -. Dist.Empirical.cdf d 10. > 10. *. Dist.Exponential.survival e 10.)
+
+let test_tail_shape () =
+  (* Hill on the sampled upper tail should land near the paper's 0.95
+     (the table is truncated, so allow generous tolerance). *)
+  let xs = samples 200_000 Tcplib.Telnet.sample_interarrival in
+  let h = Stats.Fit.hill xs ~k:4000 in
+  check_true (Printf.sprintf "tail index %.3f near 1" h) (h > 0.7 && h < 1.4)
+
+let test_body_shape () =
+  (* Between the 20th and 90th percentile the survival function should
+     decay like a Pareto with beta ~ 0.9: check the log-log slope. *)
+  let q20 = Dist.Empirical.quantile d 0.2 in
+  let q90 = Dist.Empirical.quantile d 0.9 in
+  let slope =
+    (log (1. -. 0.9) -. log (1. -. 0.2)) /. (log q90 -. log q20)
+  in
+  check_close "body log-log slope ~ -0.9" ~eps:0.02 (-0.9) slope
+
+let test_sampling_matches_cdf () =
+  let xs = samples 100_000 Tcplib.Telnet.sample_interarrival in
+  let frac_above_1s =
+    float_of_int (Array.length (Array.of_list (List.filter (fun x -> x > 1.) (Array.to_list xs))))
+    /. 100_000.
+  in
+  check_close "sampled tail fraction" ~eps:0.01 0.15 frac_above_1s
+
+let test_connection_packets () =
+  let ln = Tcplib.Telnet.connection_packets in
+  check_close "median is 100 packets" ~eps:1e-6 100. (Dist.Lognormal.median ln);
+  let r = rng () in
+  for _ = 1 to 1000 do
+    check_true "at least one packet"
+      (Tcplib.Telnet.sample_connection_packets r >= 1)
+  done
+
+let test_connection_bytes () =
+  let le = Tcplib.Telnet.connection_bytes in
+  check_close "alpha = log2 100" (log 100. /. log 2.) (Dist.Log_extreme.alpha le);
+  check_close "beta = log2 3.5" (log 3.5 /. log 2.) (Dist.Log_extreme.beta le)
+
+let test_shapes_exported () =
+  check_close "body shape" 0.9 Tcplib.Telnet.body_shape;
+  check_close "tail shape" 0.95 Tcplib.Telnet.tail_shape
+
+let suite =
+  ( "tcplib",
+    [
+      tc "mean calibration" test_mean_calibration;
+      tc "paper quantiles" test_paper_quantiles;
+      tc "support" test_support;
+      tc "quantiles monotone" test_quantiles_monotone;
+      tc "heavier than exponential" test_heavier_than_exponential;
+      tc "upper tail index" test_tail_shape;
+      tc "body Pareto slope" test_body_shape;
+      tc "sampling matches cdf" test_sampling_matches_cdf;
+      tc "connection packets" test_connection_packets;
+      tc "connection bytes" test_connection_bytes;
+      tc "shape constants" test_shapes_exported;
+    ] )

@@ -1,0 +1,122 @@
+open Helpers
+open Tcpsim
+
+let config ?(link_rate = 100.) ?(buffer = 20) ?(horizon = 1000.) () =
+  { Bottleneck.link_rate; buffer; horizon; initial_ssthresh = 64. }
+
+let flow ?(start = 0.) ?(packets = 100) ?(rtt = 0.1) () =
+  { Bottleneck.flow_start = start; flow_packets = packets; flow_rtt = rtt }
+
+let test_single_flow_completes () =
+  (* Buffer larger than the flow: slow start can never overflow it. *)
+  let r = Bottleneck.run ~config:(config ~buffer:128 ()) [ flow () ] in
+  let f = List.hd r.Bottleneck.flows in
+  check_int "all delivered" 100 f.Bottleneck.delivered;
+  check_true "finished" (f.Bottleneck.finished_at <> None);
+  check_int "no drops with ample buffer" 0 r.Bottleneck.total_drops;
+  check_int "egress count" 100 (Array.length r.Bottleneck.departures)
+
+let test_slow_start_overshoot_drops () =
+  (* The classic slow-start overshoot: a small buffer forces drops even
+     for a single flow. *)
+  let r = Bottleneck.run ~config:(config ~buffer:8 ())
+      [ flow ~packets:2000 () ] in
+  check_true "overshoot drops" (r.Bottleneck.total_drops > 0);
+  let f = List.hd r.Bottleneck.flows in
+  check_int "still delivers everything" 2000 f.Bottleneck.delivered
+
+let test_departures_sorted_and_spaced () =
+  let r = Bottleneck.run ~config:(config ()) [ flow ~packets:50 () ] in
+  let deps = r.Bottleneck.departures in
+  check_true "sorted" (Traffic.Arrival.is_sorted deps);
+  (* Deterministic service: consecutive departures at least 1/C apart. *)
+  for i = 1 to Array.length deps - 1 do
+    check_true "service spacing" (deps.(i) -. deps.(i - 1) >= 0.01 -. 1e-9)
+  done
+
+let test_slow_start_growth () =
+  (* With no loss, cwnd doubles per RTT: departures accelerate. *)
+  let r = Bottleneck.run ~config:(config ~link_rate:10_000. ())
+      [ flow ~packets:500 ~rtt:1.0 () ] in
+  let deps = r.Bottleneck.departures in
+  let count_in lo hi =
+    Array.fold_left (fun a t -> if t >= lo && t < hi then a + 1 else a) 0 deps
+  in
+  let first_rtt = count_in 0. 1. in
+  let third_rtt = count_in 2. 3. in
+  check_true "exponential opening" (third_rtt >= 3 * first_rtt);
+  check_int "initial window is 2" 2 first_rtt
+
+let test_congestion_drops_and_recovery () =
+  (* Two aggressive flows into a slow link: must drop, and must still
+     deliver everything eventually. *)
+  let cfg = config ~link_rate:50. ~buffer:5 ~horizon:10_000. () in
+  let flows = [ flow ~packets:2000 (); flow ~packets:2000 ~rtt:0.15 () ] in
+  let r = Bottleneck.run ~config:cfg flows in
+  check_true "drops occurred" (r.Bottleneck.total_drops > 0);
+  List.iter
+    (fun (f : Bottleneck.flow_result) ->
+      check_int "all delivered despite drops" 2000 f.Bottleneck.delivered;
+      check_true "finished" (f.Bottleneck.finished_at <> None))
+    r.Bottleneck.flows
+
+let test_link_capacity_respected () =
+  let cfg = config ~link_rate:100. ~buffer:10 ~horizon:100. () in
+  let r = Bottleneck.run ~config:cfg [ flow ~packets:100_000 () ] in
+  let deps = r.Bottleneck.departures in
+  check_true "cannot exceed capacity"
+    (float_of_int (Array.length deps) <= (100. *. 100.) +. 1.)
+
+let test_horizon_stops () =
+  (* A flow too large to finish: the run must terminate at the horizon
+     with partial delivery. *)
+  let cfg = config ~link_rate:10. ~horizon:10. () in
+  let r = Bottleneck.run ~config:cfg [ flow ~packets:100_000 () ] in
+  let f = List.hd r.Bottleneck.flows in
+  check_true "not finished" (f.Bottleneck.finished_at = None);
+  check_true "partial delivery" (f.Bottleneck.delivered > 0);
+  (* Sends stop at the horizon; at most a queueful can drain later. *)
+  check_true "bounded by horizon capacity plus queue"
+    (Array.length r.Bottleneck.departures <= 100 + 21 + 2)
+
+let test_utilisation () =
+  let cfg = config ~link_rate:100. ~buffer:10 ~horizon:50. () in
+  let r = Bottleneck.run ~config:cfg [ flow ~packets:2000 () ] in
+  let u = Bottleneck.utilisation r cfg in
+  check_true "utilisation in (0, 1]" (u > 0. && u <= 1.)
+
+let test_deterministic () =
+  let cfg = config () in
+  let flows = [ flow ~packets:500 (); flow ~start:1. ~packets:300 ~rtt:0.2 () ] in
+  let a = Bottleneck.run ~config:cfg flows in
+  let b = Bottleneck.run ~config:cfg flows in
+  Alcotest.(check (array (float 0.)))
+    "identical departures" a.Bottleneck.departures b.Bottleneck.departures
+
+let test_fairness_rough () =
+  (* Two identical long flows should split the link within a factor 3. *)
+  let cfg = config ~link_rate:100. ~buffer:10 ~horizon:200. () in
+  let flows = [ flow ~packets:100_000 (); flow ~packets:100_000 () ] in
+  let r = Bottleneck.run ~config:cfg flows in
+  match r.Bottleneck.flows with
+  | [ f1; f2 ] ->
+    let d1 = float_of_int f1.Bottleneck.delivered in
+    let d2 = float_of_int f2.Bottleneck.delivered in
+    check_true "both progress" (d1 > 100. && d2 > 100.);
+    check_true "rough fairness" (d1 /. d2 < 3. && d2 /. d1 < 3.)
+  | _ -> Alcotest.fail "expected two flows"
+
+let suite =
+  ( "tcpsim",
+    [
+      tc "single flow completes" test_single_flow_completes;
+      tc "slow-start overshoot" test_slow_start_overshoot_drops;
+      tc "departures sorted/spaced" test_departures_sorted_and_spaced;
+      tc "slow start growth" test_slow_start_growth;
+      tc "drops and recovery" test_congestion_drops_and_recovery;
+      tc "link capacity" test_link_capacity_respected;
+      tc "horizon stops" test_horizon_stops;
+      tc "utilisation" test_utilisation;
+      tc "deterministic" test_deterministic;
+      tc "rough fairness" test_fairness_rough;
+    ] )

@@ -1,0 +1,250 @@
+open Helpers
+open Timeseries
+
+(* ---------------- FFT ---------------- *)
+
+let naive_dft re im =
+  let n = Array.length re in
+  let out_re = Array.make n 0. and out_im = Array.make n 0. in
+  for k = 0 to n - 1 do
+    for t = 0 to n - 1 do
+      let ang = -2. *. Float.pi *. float_of_int (t * k) /. float_of_int n in
+      out_re.(k) <- out_re.(k) +. (re.(t) *. cos ang) -. (im.(t) *. sin ang);
+      out_im.(k) <- out_im.(k) +. (re.(t) *. sin ang) +. (im.(t) *. cos ang)
+    done
+  done;
+  (out_re, out_im)
+
+let check_arrays_close name a b =
+  Array.iteri
+    (fun i x ->
+      check_close (Printf.sprintf "%s[%d]" name i) ~eps:1e-8 x b.(i))
+    a
+
+let test_next_pow2 () =
+  check_int "1" 1 (Fft.next_pow2 1);
+  check_int "2" 2 (Fft.next_pow2 2);
+  check_int "3->4" 4 (Fft.next_pow2 3);
+  check_int "1000->1024" 1024 (Fft.next_pow2 1000)
+
+let test_is_pow2 () =
+  check_true "1" (Fft.is_pow2 1);
+  check_true "64" (Fft.is_pow2 64);
+  check_false "0" (Fft.is_pow2 0);
+  check_false "12" (Fft.is_pow2 12)
+
+let test_fft_impulse () =
+  let re = Array.make 8 0. and im = Array.make 8 0. in
+  re.(0) <- 1.;
+  Fft.fft_pow2 re im;
+  Array.iter (fun x -> check_close "flat spectrum re" 1. x) re;
+  Array.iter (fun x -> check_close "flat spectrum im" 0. x) im
+
+let test_fft_constant () =
+  let re = Array.make 8 1. and im = Array.make 8 0. in
+  Fft.fft_pow2 re im;
+  check_close "dc bin" 8. re.(0);
+  for k = 1 to 7 do
+    check_close (Printf.sprintf "zero bin %d" k) ~eps:1e-12 0. re.(k)
+  done
+
+let test_fft_matches_naive_pow2 () =
+  let r = rng () in
+  let re = Array.init 16 (fun _ -> Prng.Rng.float r) in
+  let im = Array.init 16 (fun _ -> Prng.Rng.float r) in
+  let nr, ni = naive_dft re im in
+  let fr, fi = Fft.dft re im in
+  check_arrays_close "re" nr fr;
+  check_arrays_close "im" ni fi
+
+let test_bluestein_matches_naive () =
+  List.iter
+    (fun n ->
+      let r = rng ~seed:n () in
+      let re = Array.init n (fun _ -> Prng.Rng.float r) in
+      let im = Array.init n (fun _ -> Prng.Rng.float r) in
+      let nr, ni = naive_dft re im in
+      let fr, fi = Fft.dft re im in
+      check_arrays_close (Printf.sprintf "re n=%d" n) nr fr;
+      check_arrays_close (Printf.sprintf "im n=%d" n) ni fi)
+    [ 3; 12; 17; 100 ]
+
+let test_fft_roundtrip () =
+  let r = rng () in
+  let re = Array.init 64 (fun _ -> Prng.Rng.float r) in
+  let im = Array.init 64 (fun _ -> Prng.Rng.float r) in
+  let orig_re = Array.copy re and orig_im = Array.copy im in
+  Fft.fft_pow2 re im;
+  Fft.ifft_pow2 re im;
+  check_arrays_close "roundtrip re" orig_re re;
+  check_arrays_close "roundtrip im" orig_im im
+
+let test_parseval () =
+  let r = rng () in
+  let x = Array.init 128 (fun _ -> Prng.Rng.float r -. 0.5) in
+  let fr, fi = Fft.dft_real x in
+  let time_energy = Array.fold_left (fun a v -> a +. (v *. v)) 0. x in
+  let freq_energy =
+    ref 0.
+  in
+  Array.iteri (fun k v -> freq_energy := !freq_energy +. (v *. v) +. (fi.(k) *. fi.(k))) fr;
+  check_close "Parseval" ~eps:1e-6 time_energy (!freq_energy /. 128.)
+
+let prop_fft_linearity =
+  prop "fft is linear" ~count:30
+    QCheck.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (a, b) ->
+      let r = rng () in
+      let x = Array.init 32 (fun _ -> Prng.Rng.float r) in
+      let y = Array.init 32 (fun _ -> Prng.Rng.float r) in
+      let z = Array.init 32 (fun i -> (a *. x.(i)) +. (b *. y.(i))) in
+      let zr, _ = Fft.dft_real z in
+      let xr, _ = Fft.dft_real x in
+      let yr, _ = Fft.dft_real y in
+      let ok = ref true in
+      Array.iteri
+        (fun k v ->
+          if Float.abs (v -. ((a *. xr.(k)) +. (b *. yr.(k)))) > 1e-7 then
+            ok := false)
+        zr;
+      !ok)
+
+(* ---------------- Counts ---------------- *)
+
+let test_of_events () =
+  let counts = Counts.of_events ~bin:1. ~t_end:5. [| 0.5; 0.6; 2.1; 4.9; 5.1 |] in
+  Alcotest.(check (array (float 0.)))
+    "binned" [| 2.; 0.; 1.; 0.; 1. |] counts
+
+let test_of_events_offset () =
+  let counts =
+    Counts.of_events ~t_start:10. ~bin:2. ~t_end:16. [| 9.; 10.; 11.; 15.9; 16. |]
+  in
+  Alcotest.(check (array (float 0.))) "offset binning" [| 2.; 0.; 1. |] counts
+
+let test_aggregate () =
+  let agg = Counts.aggregate [| 1.; 3.; 5.; 7.; 100. |] 2 in
+  Alcotest.(check (array (float 0.))) "block means drop remainder"
+    [| 2.; 6. |] agg
+
+let test_aggregate_sum () =
+  let agg = Counts.aggregate_sum [| 1.; 3.; 5.; 7. |] 2 in
+  Alcotest.(check (array (float 0.))) "block sums" [| 4.; 12. |] agg
+
+let test_aggregate_identity () =
+  let xs = [| 1.; 2.; 3. |] in
+  Alcotest.(check (array (float 0.))) "m=1 identity" xs (Counts.aggregate xs 1)
+
+let test_default_levels () =
+  let levels = Counts.default_levels 10000 in
+  check_true "starts at 1" (List.hd levels = 1);
+  check_true "sorted strictly"
+    (List.for_all2 ( < )
+       (List.filteri (fun i _ -> i < List.length levels - 1) levels)
+       (List.tl levels));
+  check_true "respects 10-block floor"
+    (List.for_all (fun m -> m <= 1000) levels)
+
+(* ---------------- Variance-time ---------------- *)
+
+let test_vt_poisson_slope () =
+  (* i.i.d. counts: variance of the mean of M terms is var/M, slope -1. *)
+  let r = rng () in
+  let p = Dist.Poisson_d.create ~mean:5. in
+  let counts =
+    Array.init 100_000 (fun _ -> float_of_int (Dist.Poisson_d.sample p r))
+  in
+  let curve = Variance_time.curve counts in
+  let fit = Variance_time.slope curve in
+  check_close "slope -1" ~eps:0.05 (-1.) fit.Stats.Regression.slope;
+  check_close "H = 0.5" ~eps:0.05 0.5
+    (Variance_time.hurst_of_slope fit.Stats.Regression.slope)
+
+let test_vt_normalisation () =
+  let counts = [| 2.; 4.; 2.; 4.; 2.; 4.; 2.; 4. |] in
+  let curve = Variance_time.curve ~levels:[ 1 ] counts in
+  check_close "raw variance" 1. curve.(0).Variance_time.variance;
+  check_close "normalised by squared mean" (1. /. 9.)
+    curve.(0).Variance_time.normalised
+
+let test_vt_lrd_slope_shallow () =
+  let r = rng () in
+  let fgn = Lrd.Fgn.generate ~h:0.9 ~n:32768 r in
+  let counts = Array.map (fun x -> x +. 10.) fgn in
+  let fit = Variance_time.slope (Variance_time.curve counts) in
+  check_close "slope 2H-2 = -0.2" ~eps:0.1 (-0.2) fit.Stats.Regression.slope
+
+let test_vt_pp () =
+  let counts = Array.init 100 (fun i -> float_of_int (i mod 3)) in
+  let s = Format.asprintf "%a" Variance_time.pp (Variance_time.curve counts) in
+  check_true "pp nonempty" (String.length s > 20)
+
+(* ---------------- Periodogram ---------------- *)
+
+let test_periodogram_length () =
+  let xs = Array.init 100 float_of_int in
+  let p = Periodogram.compute xs in
+  check_int "floor((n-1)/2) ordinates" 49 (Array.length p.Periodogram.freqs);
+  check_int "powers match freqs" 49 (Array.length p.Periodogram.power)
+
+let test_periodogram_sine_peak () =
+  let n = 256 in
+  let k0 = 32 in
+  let xs =
+    Array.init n (fun t ->
+        sin (2. *. Float.pi *. float_of_int (k0 * t) /. float_of_int n))
+  in
+  let p = Periodogram.compute xs in
+  let best = ref 0 in
+  Array.iteri
+    (fun j v -> if v > p.Periodogram.power.(!best) then best := j)
+    p.Periodogram.power;
+  (* Frequency index k0 corresponds to ordinate k0 - 1. *)
+  check_int "peak at the sine frequency" (k0 - 1) !best
+
+let test_periodogram_mean_invariance () =
+  let r = rng () in
+  let xs = Array.init 128 (fun _ -> Prng.Rng.float r) in
+  let shifted = Array.map (fun x -> x +. 100.) xs in
+  let p1 = Periodogram.compute xs in
+  let p2 = Periodogram.compute shifted in
+  Array.iteri
+    (fun j v ->
+      check_close (Printf.sprintf "ordinate %d" j) ~eps:1e-6 v
+        p2.Periodogram.power.(j))
+    p1.Periodogram.power
+
+let test_low_frequency () =
+  let xs = Array.init 1000 (fun i -> float_of_int (i mod 7)) in
+  let p = Periodogram.compute xs in
+  let low = Periodogram.low_frequency p ~fraction:0.1 in
+  check_int "keeps 10%" 49 (Array.length low.Periodogram.freqs);
+  check_close "keeps lowest" p.Periodogram.freqs.(0) low.Periodogram.freqs.(0)
+
+let suite =
+  ( "timeseries",
+    [
+      tc "next_pow2" test_next_pow2;
+      tc "is_pow2" test_is_pow2;
+      tc "fft impulse" test_fft_impulse;
+      tc "fft constant" test_fft_constant;
+      tc "fft matches naive (pow2)" test_fft_matches_naive_pow2;
+      tc "bluestein matches naive" test_bluestein_matches_naive;
+      tc "fft roundtrip" test_fft_roundtrip;
+      tc "parseval" test_parseval;
+      prop_fft_linearity;
+      tc "counts of_events" test_of_events;
+      tc "counts with offset" test_of_events_offset;
+      tc "aggregate" test_aggregate;
+      tc "aggregate_sum" test_aggregate_sum;
+      tc "aggregate identity" test_aggregate_identity;
+      tc "default levels" test_default_levels;
+      tc "variance-time Poisson slope" test_vt_poisson_slope;
+      tc "variance-time normalisation" test_vt_normalisation;
+      tc "variance-time LRD slope" test_vt_lrd_slope_shallow;
+      tc "variance-time pp" test_vt_pp;
+      tc "periodogram length" test_periodogram_length;
+      tc "periodogram sine peak" test_periodogram_sine_peak;
+      tc "periodogram mean invariance" test_periodogram_mean_invariance;
+      tc "periodogram low frequency" test_low_frequency;
+    ] )

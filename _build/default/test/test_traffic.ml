@@ -1,0 +1,354 @@
+open Helpers
+open Traffic
+
+(* ---------------- Arrival combinators ---------------- *)
+
+let test_merge () =
+  let m = Arrival.merge [ [| 1.; 4. |]; [| 2. |]; [||] ] in
+  Alcotest.(check (array (float 0.))) "merged sorted" [| 1.; 2.; 4. |] m
+
+let test_shift_clip () =
+  let xs = Arrival.shift 10. [| 0.; 5. |] in
+  Alcotest.(check (array (float 0.))) "shifted" [| 10.; 15. |] xs;
+  let c = Arrival.clip ~lo:2. ~hi:11. [| 1.; 2.; 10.9; 11. |] in
+  Alcotest.(check (array (float 0.))) "clipped half-open" [| 2.; 10.9 |] c
+
+let test_thin () =
+  let r = rng () in
+  let xs = Array.init 1000 float_of_int in
+  Alcotest.(check int) "keep all" 1000 (Array.length (Arrival.thin ~keep:1. r xs));
+  Alcotest.(check int) "keep none" 0 (Array.length (Arrival.thin ~keep:0. r xs));
+  let half = Arrival.thin ~keep:0.5 r xs in
+  check_true "roughly half" (abs (Array.length half - 500) < 80)
+
+let test_interarrivals_sorted () =
+  Alcotest.(check (array (float 0.))) "gaps" [| 1.; 2. |]
+    (Arrival.interarrivals [| 1.; 2.; 4. |]);
+  check_true "is_sorted" (Arrival.is_sorted [| 1.; 2.; 2.; 3. |]);
+  check_false "unsorted detected" (Arrival.is_sorted [| 2.; 1. |])
+
+(* ---------------- Poisson processes ---------------- *)
+
+let test_homogeneous_rate () =
+  let r = rng () in
+  let xs = Poisson_proc.homogeneous ~rate:2. ~duration:10_000. r in
+  check_close "count ~ rate x T" ~eps:500. 20_000.
+    (float_of_int (Array.length xs));
+  check_true "sorted" (Arrival.is_sorted xs);
+  Array.iter (fun t -> check_true "in window" (t >= 0. && t < 10_000.)) xs
+
+let test_homogeneous_zero_rate () =
+  let r = rng () in
+  Alcotest.(check int) "empty" 0
+    (Array.length (Poisson_proc.homogeneous ~rate:0. ~duration:100. r))
+
+let test_homogeneous_interarrival_mean () =
+  let r = rng () in
+  let xs = Poisson_proc.homogeneous ~rate:0.5 ~duration:100_000. r in
+  let gaps = Arrival.interarrivals xs in
+  check_close "mean gap 2s" ~eps:0.1 2. (mean gaps)
+
+let test_nonhomogeneous_thinning () =
+  let r = rng () in
+  (* Rate ramps linearly; verify totals and that no events land where
+     rate is zero. *)
+  let rate t = if t < 500. then 0. else 4. in
+  let xs = Poisson_proc.nonhomogeneous ~rate ~rate_max:4. ~duration:1000. r in
+  Array.iter (fun t -> check_true "no events in silent half" (t >= 500.)) xs;
+  check_close "expected count" ~eps:200. 2000. (float_of_int (Array.length xs))
+
+let test_hourly_rates () =
+  let r = rng () in
+  let rates = [| 3600.; 0. |] in
+  let xs = Poisson_proc.hourly ~rates_per_hour:rates ~duration:7200. r in
+  let in_first = Poisson_proc.count_in xs ~lo:0. ~hi:3600. in
+  let in_second = Poisson_proc.count_in xs ~lo:3600. ~hi:7200. in
+  check_true "first hour busy" (abs (in_first - 3600) < 300);
+  check_int "second hour silent" 0 in_second
+
+let test_hourly_profile_wraps () =
+  let r = rng () in
+  let xs =
+    Poisson_proc.hourly ~rates_per_hour:[| 100. |] ~duration:(5. *. 3600.) r
+  in
+  check_close "wrapping single-entry profile" ~eps:120. 500.
+    (float_of_int (Array.length xs))
+
+let test_count_in () =
+  let xs = [| 1.; 2.; 3.; 10. |] in
+  check_int "inclusive lo exclusive hi" 2 (Poisson_proc.count_in xs ~lo:2. ~hi:10.);
+  check_int "empty range" 0 (Poisson_proc.count_in xs ~lo:4. ~hi:9.)
+
+(* ---------------- Renewal ---------------- *)
+
+let test_renewal_duration () =
+  let r = rng () in
+  let xs = Renewal.generate ~sample:(fun _ -> 1.5) ~duration:10. r in
+  Alcotest.(check (array (float 1e-9)))
+    "deterministic renewal" [| 1.5; 3.0; 4.5; 6.0; 7.5; 9.0 |] xs
+
+let test_renewal_n () =
+  let r = rng () in
+  let xs = Renewal.generate_n ~sample:(fun _ -> 2.) ~n:4 r in
+  Alcotest.(check (array (float 1e-9))) "n gaps" [| 2.; 4.; 6.; 8. |] xs
+
+let test_renewal_from_start () =
+  let r = rng () in
+  let xs = Renewal.from_start ~sample:(fun _ -> 1.) ~start:5. ~n:3 r in
+  Alcotest.(check (array (float 1e-9))) "first at start" [| 5.; 6.; 7. |] xs;
+  Alcotest.(check int) "n=0 empty" 0
+    (Array.length (Renewal.from_start ~sample:(fun _ -> 1.) ~start:0. ~n:0 r))
+
+(* ---------------- Cascade ---------------- *)
+
+let test_cascade_spawn_counts () =
+  let r = rng () in
+  let out =
+    Cascade.spawn ~base:[| 0.; 10. |]
+      ~n_children:(fun _ -> 2)
+      ~gap:(fun _ -> 1.)
+      r
+  in
+  Alcotest.(check (array (float 1e-9)))
+    "base plus chained children"
+    [| 0.; 1.; 2.; 10.; 11.; 12. |]
+    out
+
+let test_cascade_no_children () =
+  let r = rng () in
+  let out =
+    Cascade.spawn ~base:[| 3.; 1. |] ~n_children:(fun _ -> 0)
+      ~gap:(fun _ -> 1.) r
+  in
+  Alcotest.(check (array (float 1e-9))) "just sorted base" [| 1.; 3. |] out
+
+let test_periodic () =
+  let r = rng () in
+  let xs = Cascade.periodic ~period:10. ~jitter:0. ~duration:35. r in
+  Alcotest.(check (array (float 1e-9))) "ticks" [| 0.; 10.; 20.; 30. |] xs;
+  let j = Cascade.periodic ~period:10. ~jitter:1. ~duration:1000. r in
+  check_true "jittered count close" (abs (Array.length j - 100) <= 2);
+  check_true "sorted output" (Arrival.is_sorted j)
+
+(* ---------------- TELNET model ---------------- *)
+
+let test_synthesize_sizes () =
+  let r = rng () in
+  let spec =
+    { Telnet_model.spec_start = 7.; spec_size = 20; spec_duration = 60. }
+  in
+  List.iter
+    (fun scheme ->
+      let c = Telnet_model.synthesize scheme spec r in
+      check_int "packet count honoured" 20 (Array.length c.Telnet_model.packets);
+      check_close "first packet at start" 7. c.Telnet_model.packets.(0);
+      check_true "sorted" (Arrival.is_sorted c.Telnet_model.packets))
+    [
+      Telnet_model.Tcplib_scheme;
+      Telnet_model.Exp_scheme 1.1;
+      Telnet_model.Var_exp_scheme;
+    ]
+
+let test_var_exp_within_duration () =
+  let r = rng () in
+  let spec =
+    { Telnet_model.spec_start = 100.; spec_size = 50; spec_duration = 30. }
+  in
+  let c = Telnet_model.synthesize Telnet_model.Var_exp_scheme spec r in
+  Array.iter
+    (fun t -> check_true "inside lifetime" (t >= 100. && t <= 130.))
+    c.Telnet_model.packets
+
+let test_full_tel_counts () =
+  let r = rng () in
+  let conns = Telnet_model.full_tel ~rate_per_hour:200. ~duration:7200. r in
+  check_true "connection count plausible"
+    (abs (List.length conns - 400) < 100);
+  List.iter
+    (fun c -> check_true "every conn has packets"
+        (Array.length c.Telnet_model.packets >= 1))
+    conns
+
+let test_packet_times_merged () =
+  let conns =
+    [
+      { Telnet_model.start = 0.; packets = [| 0.; 2. |] };
+      { Telnet_model.start = 1.; packets = [| 1. |] };
+    ]
+  in
+  Alcotest.(check (array (float 1e-9)))
+    "merged" [| 0.; 1.; 2. |]
+    (Telnet_model.packet_times conns)
+
+(* ---------------- FTP model ---------------- *)
+
+let test_ftp_session_structure () =
+  let r = rng () in
+  let s =
+    Ftp_model.generate_session Ftp_model.default_params ~id:3 ~start:100. r
+  in
+  check_int "session id" 3 s.Ftp_model.session_id;
+  check_true "at least one conn" (List.length s.Ftp_model.conns >= 1);
+  List.iter
+    (fun (c : Ftp_model.data_conn) ->
+      check_true "bytes positive" (c.conn_bytes >= 1.);
+      check_true "duration positive" (c.conn_end > c.conn_start);
+      check_int "conn carries session id" 3 c.session_id;
+      check_true "starts after session" (c.conn_start >= 100.))
+    s.Ftp_model.conns
+
+let test_ftp_conns_ordered () =
+  let r = rng () in
+  let s =
+    Ftp_model.generate_session Ftp_model.default_params ~id:0 ~start:0. r
+  in
+  let rec ordered = function
+    | (a : Ftp_model.data_conn) :: (b :: _ as rest) ->
+      a.conn_start <= b.conn_start && ordered rest
+    | _ -> true
+  in
+  check_true "conns in start order" (ordered s.Ftp_model.conns)
+
+let test_ftp_sessions_rate () =
+  let r = rng () in
+  let ss = Ftp_model.sessions ~rate_per_hour:60. ~duration:3600. r in
+  check_true "session count plausible" (abs (List.length ss - 60) < 30)
+
+let test_ftp_all_conns_sorted () =
+  let r = rng () in
+  let ss = Ftp_model.sessions ~rate_per_hour:120. ~duration:3600. r in
+  let starts = Ftp_model.conn_starts ss in
+  check_true "sorted conn starts" (Arrival.is_sorted starts)
+
+let test_ftp_bytes_cap () =
+  let r = rng () in
+  let params = { Ftp_model.default_params with burst_bytes_cap = 10_000. } in
+  for id = 0 to 50 do
+    let s = Ftp_model.generate_session params ~id ~start:0. r in
+    List.iter
+      (fun (c : Ftp_model.data_conn) ->
+        check_true "cap respected" (c.conn_bytes <= 10_000.))
+      s.Ftp_model.conns
+  done
+
+(* ---------------- Protocol models ---------------- *)
+
+let flat_rates per_day =
+  Trace.Diurnal.rates_per_hour Trace.Diurnal.flat ~per_day
+
+let test_smtp_shape () =
+  let r = rng () in
+  let xs = Protocol_models.smtp ~rates_per_hour:(flat_rates 2400.) ~duration:86400. r in
+  check_true "sorted" (Arrival.is_sorted xs);
+  check_true "rate order of magnitude"
+    (Array.length xs > 1200 && Array.length xs < 6000)
+
+let test_nntp_shape () =
+  let r = rng () in
+  let xs = Protocol_models.nntp ~rates_per_hour:(flat_rates 2400.) ~duration:86400. r in
+  check_true "sorted" (Arrival.is_sorted xs);
+  check_true "nonempty" (Array.length xs > 500)
+
+let test_www_sessions_spawn_connections () =
+  let r = rng () in
+  let ss = Protocol_models.www_sessions ~rates_per_hour:(flat_rates 500.)
+      ~duration:86400. r in
+  check_true "sessions exist" (List.length ss > 100);
+  List.iter
+    (fun s ->
+      check_true "conns per session >= 1"
+        (Array.length s.Protocol_models.www_conns >= 1);
+      check_close "first conn at session start" s.Protocol_models.www_start
+        s.Protocol_models.www_conns.(0))
+    ss;
+  let total =
+    List.fold_left (fun a s -> a + Array.length s.Protocol_models.www_conns) 0 ss
+  in
+  check_true "connections amplified over sessions"
+    (total > 2 * List.length ss)
+
+let test_x11_sessions () =
+  let r = rng () in
+  let ss =
+    Protocol_models.x11_sessions ~rates_per_hour:(flat_rates 400.)
+      ~duration:86400. r
+  in
+  check_true "sessions exist" (List.length ss > 50);
+  List.iter
+    (fun s ->
+      check_true ">= 1 conn" (Array.length s.Protocol_models.x11_conns >= 1))
+    ss
+
+(* ---------------- M/G/inf ---------------- *)
+
+let test_mg_inf_mean_occupancy () =
+  (* Little's law: E[X] = rate x E[service]. *)
+  let r = rng () in
+  let counts =
+    Mg_inf.count_process ~rate:4. ~service:(fun _ -> 2.) ~dt:0.5 ~n:20_000 r
+  in
+  check_close "mean occupancy 8" ~eps:0.4 8. (mean counts);
+  Array.iter (fun c -> check_true "nonnegative" (c >= 0.)) counts
+
+let test_mg_inf_hurst_theory () =
+  check_close "H for beta 1.2" 0.9 (Mg_inf.hurst_pareto ~beta:1.2);
+  check_close "H for beta 1.8" 0.6 (Mg_inf.hurst_pareto ~beta:1.8)
+
+(* ---------------- ON/OFF ---------------- *)
+
+let test_onoff_counts () =
+  let r = rng () in
+  let sources =
+    List.init 20 (fun _ ->
+        Onoff.pareto_source ~beta:1.5 ~mean_period:10. ~on_rate:5.)
+  in
+  let counts = Onoff.count_process ~sources ~dt:1. ~n:2000 r in
+  check_int "bins" 2000 (Array.length counts);
+  let m = mean counts in
+  (* 20 sources, ON half the time, 5 events/s -> ~50 events per 1 s bin. *)
+  check_true "plausible mean" (m > 20. && m < 80.)
+
+let test_onoff_pareto_source_mean () =
+  let s = Onoff.pareto_source ~beta:2. ~mean_period:10. ~on_rate:1. in
+  let r = rng () in
+  let xs = Array.init 50_000 (fun _ -> s.Onoff.on_dist r) in
+  check_close "mean period" ~eps:1.5 10. (mean xs)
+
+let suite =
+  ( "traffic",
+    [
+      tc "merge" test_merge;
+      tc "shift and clip" test_shift_clip;
+      tc "thin" test_thin;
+      tc "interarrivals / is_sorted" test_interarrivals_sorted;
+      tc "homogeneous rate" test_homogeneous_rate;
+      tc "zero rate" test_homogeneous_zero_rate;
+      tc "interarrival mean" test_homogeneous_interarrival_mean;
+      tc "nonhomogeneous thinning" test_nonhomogeneous_thinning;
+      tc "hourly rates" test_hourly_rates;
+      tc "hourly profile wraps" test_hourly_profile_wraps;
+      tc "count_in" test_count_in;
+      tc "renewal duration" test_renewal_duration;
+      tc "renewal n" test_renewal_n;
+      tc "renewal from_start" test_renewal_from_start;
+      tc "cascade spawn" test_cascade_spawn_counts;
+      tc "cascade no children" test_cascade_no_children;
+      tc "periodic timer" test_periodic;
+      tc "telnet synthesize sizes" test_synthesize_sizes;
+      tc "var-exp within lifetime" test_var_exp_within_duration;
+      tc "full-tel counts" test_full_tel_counts;
+      tc "packet times merged" test_packet_times_merged;
+      tc "ftp session structure" test_ftp_session_structure;
+      tc "ftp conns ordered" test_ftp_conns_ordered;
+      tc "ftp session rate" test_ftp_sessions_rate;
+      tc "ftp conn starts sorted" test_ftp_all_conns_sorted;
+      tc "ftp byte cap" test_ftp_bytes_cap;
+      tc "smtp model" test_smtp_shape;
+      tc "nntp model" test_nntp_shape;
+      tc "www sessions" test_www_sessions_spawn_connections;
+      tc "x11 sessions" test_x11_sessions;
+      tc "mg-inf Little's law" test_mg_inf_mean_occupancy;
+      tc "mg-inf theoretical H" test_mg_inf_hurst_theory;
+      tc "on/off counts" test_onoff_counts;
+      tc "on/off source mean" test_onoff_pareto_source_mean;
+    ] )
