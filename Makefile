@@ -1,0 +1,18 @@
+# Tier-1 gate: build, full test suite, and a 2-domain smoke run of the
+# engine-backed harness.
+.PHONY: check build test smoke bench
+
+check: build test smoke
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+smoke:
+	dune exec bench/main.exe -- --jobs 2 --only table1
+
+# Full registry, timing each experiment (default --jobs: one per core).
+bench:
+	dune exec bench/main.exe

@@ -1,25 +1,82 @@
-(* Benchmark / reproduction harness.
+(* Benchmark / reproduction harness on top of the execution engine.
 
    Default: regenerate every table, figure, and in-text experiment of the
    paper (the ids of DESIGN.md's per-experiment index), timing each.
+   Experiments run on a domain pool and render into private buffers, so
+   output is printed in registry order and is byte-identical for a given
+   --seed whatever --jobs is.
 
-     dune exec bench/main.exe                 # everything
-     dune exec bench/main.exe -- --list       # list experiment ids
-     dune exec bench/main.exe -- --only fig5  # a single experiment
-     dune exec bench/main.exe -- --perf       # Bechamel micro-benchmarks *)
+     dune exec bench/main.exe                    # everything, one domain/core
+     dune exec bench/main.exe -- --list          # list experiment ids
+     dune exec bench/main.exe -- --jobs 4        # four worker domains
+     dune exec bench/main.exe -- --only fig5     # a single experiment
+     dune exec bench/main.exe -- --out artifacts # also write per-id files
+     dune exec bench/main.exe -- --perf          # Bechamel micro-benchmarks *)
 
 let fmt = Format.std_formatter
 
-let run_entry (e : Core.Registry.entry) =
-  let t0 = Unix.gettimeofday () in
-  e.run fmt;
-  let dt = Unix.gettimeofday () -. t0 in
-  Format.fprintf fmt "[%s done in %.2fs]@." e.id dt
+let list_ids () =
+  List.iter
+    (fun (e : Core.Registry.entry) ->
+      Format.fprintf fmt "%-14s %s@." e.id e.title)
+    Core.Registry.all
 
-let run_all () =
-  Format.fprintf fmt
-    "Reproduction harness: Paxson & Floyd, \"Wide-Area Traffic: The Failure of Poisson Modeling\"@.";
-  List.iter run_entry Core.Registry.all
+let select_entries only =
+  match only with
+  | [] -> Ok Core.Registry.all
+  | ids ->
+    let unknown = List.filter (fun id -> Core.Registry.find id = None) ids in
+    if unknown <> [] then
+      Error
+        (Printf.sprintf "unknown id%s %s; try --list"
+           (if List.length unknown > 1 then "s" else "")
+           (String.concat ", " unknown))
+    else
+      Ok
+        (List.filter_map Core.Registry.find ids)
+
+let run_experiments (c : Engine.Cli.config) =
+  match select_entries c.only with
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+  | Ok entries ->
+    Format.fprintf fmt
+      "Reproduction harness: Paxson & Floyd, \"Wide-Area Traffic: The \
+       Failure of Poisson Modeling\"@.";
+    Format.fprintf fmt "(%d experiments, %d worker domain%s, seed %d)@."
+      (List.length entries) c.jobs
+      (if c.jobs = 1 then "" else "s")
+      c.seed;
+    let tasks = List.map Core.Registry.task entries in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Engine.Pool.run ~jobs:c.jobs ~seed:c.seed
+        ~figures:(c.out <> None) tasks
+    in
+    let failed = ref 0 in
+    List.iter2
+      (fun (e : Core.Registry.entry) result ->
+        match result with
+        | Ok (a : Engine.Artifact.t) ->
+          Format.pp_print_string fmt a.text;
+          Format.fprintf fmt "[%s done in %.2fs]@." a.id a.duration_s;
+          Option.iter
+            (fun dir -> ignore (Engine.Artifact.save ~dir a))
+            c.out
+        | Error exn ->
+          incr failed;
+          Format.fprintf fmt "[%s FAILED: %s]@." e.id
+            (Printexc.to_string exn))
+      entries results;
+    let total = Unix.gettimeofday () -. t0 in
+    Format.fprintf fmt "[total %.2fs, jobs=%d%s]@." total c.jobs
+      (if !failed = 0 then ""
+       else Printf.sprintf ", %d FAILED" !failed);
+    Option.iter
+      (fun dir -> Format.fprintf fmt "[artifacts written under %s/]@." dir)
+      c.out;
+    if !failed > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot primitives.                     *)
@@ -75,17 +132,13 @@ let perf () =
     tests
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "--list" :: _ ->
-    List.iter
-      (fun (e : Core.Registry.entry) ->
-        Format.fprintf fmt "%-14s %s@." e.id e.title)
-      Core.Registry.all
-  | _ :: "--only" :: id :: _ -> (
-    match Core.Registry.find id with
-    | Some e -> run_entry e
-    | None ->
-      Format.fprintf fmt "unknown id %s; try --list@." id;
-      exit 1)
-  | _ :: "--perf" :: _ -> perf ()
-  | _ -> run_all ()
+  match Engine.Cli.parse Sys.argv with
+  | Engine.Cli.Help msg -> print_string msg
+  | Engine.Cli.Error msg ->
+    prerr_endline msg;
+    exit 2
+  | Engine.Cli.Config c -> (
+    match c.action with
+    | Engine.Cli.List -> list_ids ()
+    | Engine.Cli.Perf -> perf ()
+    | Engine.Cli.Run -> run_experiments c)

@@ -38,26 +38,47 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
            ~doc:"Experiment id from $(b,list), or $(b,all)")
   in
-  let run id out =
-    let fmt = fmt_of_out out in
-    let res =
-      if id = "all" then begin
-        List.iter (fun (e : Core.Registry.entry) -> e.run fmt) Core.Registry.all;
-        `Ok ()
-      end
-      else
-        match Core.Registry.find id with
-        | Some e ->
-          e.run fmt;
-          `Ok ()
-        | None -> `Error (false, "unknown experiment id " ^ id)
-    in
-    Format.pp_print_flush fmt ();
-    res
+  let jobs_arg =
+    Arg.(value & opt int (Engine.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for batch runs (default: one per core)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
+           ~doc:"Root seed for per-experiment RNG streams")
+  in
+  let run id jobs seed out =
+    if jobs < 1 then `Error (false, "--jobs must be at least 1")
+    else
+      let tasks =
+        if id = "all" then Some (Core.Registry.tasks ())
+        else
+          Option.map
+            (fun e -> [ Core.Registry.task e ])
+            (Core.Registry.find id)
+      in
+      match tasks with
+      | None -> `Error (false, "unknown experiment id " ^ id)
+      | Some tasks ->
+        let fmt = fmt_of_out out in
+        let results = Engine.Pool.run ~jobs ~seed tasks in
+        let failed =
+          List.concat_map
+            (function
+              | Ok (a : Engine.Artifact.t) ->
+                Format.pp_print_string fmt a.text;
+                []
+              | Error exn -> [ Printexc.to_string exn ])
+            results
+        in
+        Format.pp_print_flush fmt ();
+        (match failed with
+         | [] -> `Ok ()
+         | msgs -> `Error (false, String.concat "; " msgs))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate a table, figure, or in-text experiment")
-    Term.(ret (const run $ id_arg $ out_arg))
+    Term.(ret (const run $ id_arg $ jobs_arg $ seed_arg $ out_arg))
 
 (* ---------------- gen ---------------- *)
 

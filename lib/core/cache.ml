@@ -1,32 +1,71 @@
-let conn_cache : (string, Trace.Record.t) Hashtbl.t = Hashtbl.create 16
-let pkt_cache : (string, Trace.Packet_dataset.t) Hashtbl.t = Hashtbl.create 16
+(* Domain-safe memoisation. A single mutex guards both tables; a key
+   being generated is marked In_flight so that a second domain asking
+   for the same trace waits on the condition variable instead of
+   generating it again. Generation itself runs outside the lock. *)
+
+type 'a slot = Ready of 'a | In_flight
+
+let mutex = Mutex.create ()
+let cond = Condition.create ()
+let generations = Atomic.make 0
+
+let conn_cache : (string, Trace.Record.t slot) Hashtbl.t = Hashtbl.create 16
+
+let pkt_cache : (string, Trace.Packet_dataset.t slot) Hashtbl.t =
+  Hashtbl.create 16
+
+let get cache generate name =
+  let rec await () =
+    match Hashtbl.find_opt cache name with
+    | Some (Ready v) ->
+      Mutex.unlock mutex;
+      v
+    | Some In_flight ->
+      Condition.wait cond mutex;
+      await ()
+    | None -> (
+      Hashtbl.replace cache name In_flight;
+      Mutex.unlock mutex;
+      match generate name with
+      | v ->
+        Atomic.incr generations;
+        Mutex.lock mutex;
+        Hashtbl.replace cache name (Ready v);
+        Condition.broadcast cond;
+        Mutex.unlock mutex;
+        v
+      | exception e ->
+        (* Leave no stale In_flight behind: waiters retry (and one of
+           them becomes the new generator). *)
+        Mutex.lock mutex;
+        Hashtbl.remove cache name;
+        Condition.broadcast cond;
+        Mutex.unlock mutex;
+        raise e)
+  in
+  Mutex.lock mutex;
+  await ()
 
 let connection_trace name =
-  match Hashtbl.find_opt conn_cache name with
-  | Some t -> t
-  | None ->
-    let spec =
-      match Trace.Dataset.find name with
-      | Some s -> s
-      | None -> raise Not_found
-    in
-    let t = Trace.Dataset.generate spec in
-    Hashtbl.replace conn_cache name t;
-    t
+  get conn_cache
+    (fun n ->
+      match Trace.Dataset.find n with
+      | Some spec -> Trace.Dataset.generate spec
+      | None -> raise Not_found)
+    name
 
 let packet_trace name =
-  match Hashtbl.find_opt pkt_cache name with
-  | Some t -> t
-  | None ->
-    let spec =
-      match Trace.Packet_dataset.find name with
-      | Some s -> s
-      | None -> raise Not_found
-    in
-    let t = Trace.Packet_dataset.generate spec in
-    Hashtbl.replace pkt_cache name t;
-    t
+  get pkt_cache
+    (fun n ->
+      match Trace.Packet_dataset.find n with
+      | Some spec -> Trace.Packet_dataset.generate spec
+      | None -> raise Not_found)
+    name
+
+let generation_count () = Atomic.get generations
 
 let clear () =
+  Mutex.lock mutex;
   Hashtbl.reset conn_cache;
-  Hashtbl.reset pkt_cache
+  Hashtbl.reset pkt_cache;
+  Mutex.unlock mutex

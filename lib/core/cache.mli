@@ -1,6 +1,10 @@
 (** Memoised synthetic datasets: several figures read the same trace, so
     each catalog entry is generated at most once per process. Generation
-    is deterministic (seeded), so caching cannot change any result. *)
+    is deterministic (seeded), so caching cannot change any result.
+
+    Domain-safe: a mutex guards the tables, and a per-key in-flight
+    marker means two domains asking for the same trace concurrently
+    still generate it exactly once (the second waits for the first). *)
 
 val connection_trace : string -> Trace.Record.t
 (** By catalog name (e.g. "LBL-1"); raises [Not_found] for unknown
@@ -9,4 +13,10 @@ val connection_trace : string -> Trace.Record.t
 val packet_trace : string -> Trace.Packet_dataset.t
 (** By catalog name (e.g. "LBL-PKT-2"). *)
 
+val generation_count : unit -> int
+(** Number of actual dataset generations so far in this process
+    (monotonic; cache hits and waiters do not count). For tests. *)
+
 val clear : unit -> unit
+(** Drop every cached dataset. Concurrent in-flight generations still
+    complete and re-insert their own result. *)

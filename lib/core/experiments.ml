@@ -35,7 +35,8 @@ let rlogin_x11_data () =
     x11_sessions = check x11_starts;
   }
 
-let rlogin_x11 fmt =
+let rlogin_x11 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "In text (S3): RLOGIN is Poisson; X11 connections are not";
   let d = rlogin_x11_data () in
   let row label (v : Stest.Poisson_check.verdict) =
@@ -99,7 +100,8 @@ let exp_fit_errors_data () =
     };
   ]
 
-let exp_fit_errors fmt =
+let exp_fit_errors ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "In text (S4): exponential fits mangle the quantiles";
   let rows =
     List.map
@@ -149,7 +151,8 @@ let multiplex100_data () =
     exp_variance = Stats.Descriptive.variance ec;
   }
 
-let multiplex100 fmt =
+let multiplex100 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "In text (S4): 100 multiplexed TELNET connections, 1 s counts";
   let d = multiplex100_data () in
@@ -193,7 +196,8 @@ let queueing_delay_data () =
     exp_stats = run (Dist.Exponential.sample e) 9102;
   }
 
-let queueing_delay fmt =
+let queueing_delay ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "In text (S4): FIFO queueing delay, Tcplib vs exponential arrivals";
   let d = queueing_delay_data () in
@@ -247,7 +251,8 @@ let burst_tail_data () =
       })
     [ 4.0; 2.0 ]
 
-let burst_tail fmt =
+let burst_tail ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "In text (S6): FTPDATA burst-size tail (LBL-6)";
   let rows =
     List.map
@@ -300,7 +305,8 @@ let huge_burst_data () =
   let gaps = Stats.Descriptive.diffs idx in
   Stest.Anderson_darling.test_exponential ~level:0.05 gaps
 
-let huge_burst_arrivals fmt =
+let huge_burst_arrivals ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "In text (S6): upper-0.5%-tail burst arrivals vs exponential";
   let v = huge_burst_data () in
@@ -354,7 +360,8 @@ let mg_inf_data () =
     run "log-normal (same mean)" None (Dist.Lognormal.sample logn) 9302;
   ]
 
-let mg_inf fmt =
+let mg_inf ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Appendix D/E: M/G/inf count process";
   let rows =
     List.map
@@ -377,7 +384,8 @@ let mg_inf fmt =
 (* ------------------------------------------------------------------ *)
 (* Pareto properties (Appendix B)                                       *)
 
-let pareto_properties fmt =
+let pareto_properties ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Appendix B: Pareto distribution properties";
   let p = Dist.Pareto.create ~location:1.0 ~shape:1.5 in
   (* Truncation invariance: P[X > y | X > x0] = survival of
@@ -453,7 +461,8 @@ let burst_lull_data () =
         bins)
     cases
 
-let burst_lull fmt =
+let burst_lull ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Appendix C: burst/lull scaling of the Pareto count process";
   let rows =
     List.map
@@ -511,7 +520,8 @@ let priority_starvation_data () =
   in
   [ run "LRD FTPDATA" high_lrd; run "Poisson (same rate)" high_poisson ]
 
-let priority_starvation fmt =
+let priority_starvation ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Section VIII: priority starvation of low class";
   let rows =
     List.map
@@ -574,7 +584,8 @@ let fgn_validate_data () =
       })
     [ 0.5; 0.6; 0.75; 0.9 ]
 
-let fgn_validate fmt =
+let fgn_validate ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Toolkit validation: Hurst estimators on exact fGn";
   let rows =
     List.map

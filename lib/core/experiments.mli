@@ -12,7 +12,7 @@ val rlogin_x11_data : unit -> poisson_triple
     X11 connection arrivals do not, X11 *session* arrivals do (the
     paper's conjecture). *)
 
-val rlogin_x11 : Format.formatter -> unit
+val rlogin_x11 : Engine.Task.ctx -> unit
 
 type expfit_row = {
   label : string;
@@ -30,7 +30,7 @@ val exp_fit_errors_data : unit -> expfit_row list
     1 s" statements — so the failure shows here at different quantiles
     (see EXPERIMENTS.md). *)
 
-val exp_fit_errors : Format.formatter -> unit
+val exp_fit_errors : Engine.Task.ctx -> unit
 
 type multiplex_result = {
   tcplib_mean : float;
@@ -44,7 +44,7 @@ val multiplex100_data : unit -> multiplex_result
     1 s counts have roughly equal means but the Tcplib variance stays
     ~2.5x the exponential variance (paper: 240 vs 97 at mean 92). *)
 
-val multiplex100 : Format.formatter -> unit
+val multiplex100 : Engine.Task.ctx -> unit
 
 type queueing_result = {
   utilization : float;
@@ -57,7 +57,7 @@ val queueing_delay_data : unit -> queueing_result
     interarrivals sees substantially larger delays than one fed by
     exponential interarrivals. *)
 
-val queueing_delay : Format.formatter -> unit
+val queueing_delay : Engine.Task.ctx -> unit
 
 type burst_tail_result = {
   cutoff : float;
@@ -74,13 +74,13 @@ val burst_tail_data : unit -> burst_tail_result list
     bytes. Computed for both the 4 s and the 2 s cutoffs (the paper says
     the choice barely matters). *)
 
-val burst_tail : Format.formatter -> unit
+val burst_tail : Engine.Task.ctx -> unit
 
 val huge_burst_data : unit -> Stest.Anderson_darling.verdict
 (** Section VI: interarrivals (in intervening-burst counts) of the
     upper-0.5%-tail bursts fail the exponentiality test. *)
 
-val huge_burst_arrivals : Format.formatter -> unit
+val huge_burst_arrivals : Engine.Task.ctx -> unit
 
 type mg_inf_result = {
   service : string;
@@ -95,9 +95,9 @@ val mg_inf_data : unit -> mg_inf_result list
     self-similar (H = (3-beta)/2); with log-normal service times it is
     not long-range dependent. *)
 
-val mg_inf : Format.formatter -> unit
+val mg_inf : Engine.Task.ctx -> unit
 
-val pareto_properties : Format.formatter -> unit
+val pareto_properties : Engine.Task.ctx -> unit
 (** Appendix B: truncation invariance and linear conditional mean
     exceedance, checked numerically. *)
 
@@ -114,7 +114,7 @@ val burst_lull_data : unit -> scaling_row list
     beta = 1, constant for beta = 1/2 — while lull lengths (in bins) stay
     put. *)
 
-val burst_lull : Format.formatter -> unit
+val burst_lull : Engine.Task.ctx -> unit
 
 type priority_result = {
   high_kind : string;
@@ -128,7 +128,7 @@ val priority_starvation_data : unit -> priority_result list
     its bursts starve low-priority traffic far longer than a Poisson
     high-priority class of the same rate would. *)
 
-val priority_starvation : Format.formatter -> unit
+val priority_starvation : Engine.Task.ctx -> unit
 
 type fgn_row = {
   h_true : float;
@@ -143,4 +143,4 @@ val fgn_validate_data : unit -> fgn_row list
 (** Toolkit validation on exact fGn: all estimators should recover H and
     Beran's test should accept. *)
 
-val fgn_validate : Format.formatter -> unit
+val fgn_validate : Engine.Task.ctx -> unit

@@ -49,7 +49,8 @@ let mgk_data () =
   in
   [ infinite; finite 40 7002; finite 24 7004; finite 20 7006 ]
 
-let mgk fmt =
+let mgk ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Extension (S7-C): M/G/k — capacity limits vs correlations";
   let rows =
     List.map
@@ -88,7 +89,8 @@ let onoff_data () =
       { beta; theory_h = (3. -. beta) /. 2.; vt_h = vt.Lrd.Hurst.h })
     [ 1.2; 1.5; 1.8 ]
 
-let onoff fmt =
+let onoff ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Extension (S7-B): ON/OFF superposition self-similarity";
   let rows =
     List.map
@@ -141,7 +143,8 @@ let farima_data () =
     trace_beran_fgn = fgn_gof.Lrd.Beran.p_value;
   }
 
-let farima fmt =
+let farima ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Extension (S7-D): fractional ARIMA(0,d,0)";
   let r = farima_data () in
   Report.kv fmt "true d" "%.2f (H = %.2f)" r.d_true
@@ -182,7 +185,8 @@ let wavelet_data () =
   in
   [ fgn 0.6 7301; fgn 0.9 7302; trace ]
 
-let wavelet fmt =
+let wavelet ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Extension: Abry-Veitch wavelet Hurst estimator";
   let rows =
     List.map
@@ -246,7 +250,8 @@ let responder_data () =
     responder_var_1s = var1s resp;
   }
 
-let responder fmt =
+let responder ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Extension (S1/S8): modeling the TELNET responder";
   let r = responder_data () in
   Report.table fmt
@@ -341,7 +346,8 @@ let tcp_data () =
       List.fold_left ( +. ) 0. others /. float_of_int (List.length others);
   }
 
-let tcp fmt =
+let tcp ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Extension (S7-C): TCP congestion control over a droptail bottleneck";
   let r = tcp_data () in
@@ -417,7 +423,8 @@ let admission_data () =
     run "same marginal, shuffled (no LRD)" shuffled_background 7602;
   ]
 
-let admission fmt =
+let admission ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Extension (S8): measurement-based admission control under LRD load";
   let rows =
@@ -471,7 +478,8 @@ let sync_data () =
   in
   { timer_acf_peak = acf_at timers; poisson_acf_peak = acf_at poisson }
 
-let sync fmt =
+let sync ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Extension (S1): timer-driven periodicity (routing-update scenario)";
   let r = sync_data () in
@@ -483,7 +491,8 @@ let sync fmt =
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md section 6)                                      *)
 
-let ablations fmt =
+let ablations ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Ablations";
   (* 1. A2 vs chi-square power: Appendix A prefers A2 because it is
      "generally much more powerful". Use a subtle alternative (Weibull

@@ -15,7 +15,7 @@ val mgk_data : unit -> mgk_row list
     weakens the self-similar fit but does "not eliminate the underlying
     large-scale correlations" — H stays far above 0.5 at every k. *)
 
-val mgk : Format.formatter -> unit
+val mgk : Engine.Task.ctx -> unit
 
 type onoff_row = { beta : float; theory_h : float; vt_h : float }
 
@@ -24,7 +24,7 @@ val onoff_data : unit -> onoff_row list
     al.): multiplexed sources with Pareto(beta) period lengths give
     H = (3 - beta) / 2. *)
 
-val onoff : Format.formatter -> unit
+val onoff : Engine.Task.ctx -> unit
 
 type farima_result = {
   d_true : float;
@@ -38,7 +38,7 @@ type farima_result = {
 
 val farima_data : unit -> farima_result
 
-val farima : Format.formatter -> unit
+val farima : Engine.Task.ctx -> unit
 (** Section VII-D names fractional ARIMA as a candidate when fGn is
     rejected; this validates the fARIMA generator/estimator and compares
     fGn vs fARIMA goodness-of-fit on an aggregate trace. *)
@@ -46,7 +46,7 @@ val farima : Format.formatter -> unit
 type wavelet_row = { label : string; h_expected : float option; h_wavelet : float }
 
 val wavelet_data : unit -> wavelet_row list
-val wavelet : Format.formatter -> unit
+val wavelet : Engine.Task.ctx -> unit
 
 type responder_result = {
   originator_packets : int;
@@ -59,7 +59,7 @@ type responder_result = {
 
 val responder_data : unit -> responder_result
 
-val responder : Format.formatter -> unit
+val responder : Engine.Task.ctx -> unit
 (** The open modeling task of Sections I/VIII: the responder stream
     (echoes + heavy-tailed command output) is burstier than the
     originator stream it answers. *)
@@ -77,7 +77,7 @@ type tcp_result = {
 
 val tcp_data : unit -> tcp_result
 
-val tcp : Format.formatter -> unit
+val tcp : Engine.Task.ctx -> unit
 (** Section VII-C mechanics, made concrete: heavy-tailed TCP transfers
     through a droptail bottleneck produce packet departures that are not
     Poisson, carry RTT-scale periodicity (ack clocking), and stay
@@ -94,7 +94,7 @@ type admission_row = {
 
 val admission_data : unit -> admission_row list
 
-val admission : Format.formatter -> unit
+val admission : Engine.Task.ctx -> unit
 (** Section VIII: a measurement-based admission controller is "easily
     misled following a long period of fairly low traffic rates" when
     flow durations are heavy-tailed. *)
@@ -106,11 +106,11 @@ type sync_result = {
 
 val sync_data : unit -> sync_result
 
-val sync : Format.formatter -> unit
+val sync : Engine.Task.ctx -> unit
 (** Timer-driven traffic carries periodic structure "impossible with
     Poisson models" (Section I, citing Floyd & Jacobson). *)
 
-val ablations : Format.formatter -> unit
+val ablations : Engine.Task.ctx -> unit
 (** The DESIGN.md section-6 ablations: A2 significance level, A2 vs
     chi-square power (the Appendix-A justification), variance-time bin
     width, burst cutoff, and the minimum-interarrivals threshold. *)

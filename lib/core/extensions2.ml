@@ -35,7 +35,8 @@ let marginal_data () =
       (counts_of t.Trace.Packet_dataset.ftpdata_packets);
   ]
 
-let marginal fmt =
+let marginal ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Extension (S7-C): marginal distributions vs the Gaussian assumption";
   let rows =
@@ -89,7 +90,8 @@ let phase_data () =
       | _ -> assert false)
     [ 1.0; 1.1; 1.3; 1.6; 2.0; 3.0 ]
 
-let phase fmt =
+let phase ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Extension (S7-C): TCP traffic phase effects";
   let rows =
     List.map
@@ -149,7 +151,8 @@ let cwnd_data () =
   in
   (List.hd r.Tcpsim.Bottleneck.flows).Tcpsim.Bottleneck.cwnd_samples
 
-let cwnd fmt =
+let cwnd ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Extension (S7-D): the congestion-window sawtooth";
   let samples = cwnd_data () in
@@ -175,7 +178,8 @@ let cwnd fmt =
 (* ------------------------------------------------------------------ *)
 (* Per-protocol dataset summaries                                       *)
 
-let summary fmt =
+let summary ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Per-protocol breakdown of the synthetic catalog";
   List.iter
     (fun (spec : Trace.Dataset.spec) ->
@@ -187,7 +191,8 @@ let summary fmt =
     "@.(first four datasets shown; every dataset is available via the\n\
     \ wanpoisson summary subcommand)@."
 
-let vbr fmt =
+let vbr ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Extension (S8): VBR video sources";
   let r = vbr_data () in
   Report.kv fmt "VBR byte-rate H (variance-time)" "%.3f (source built at 0.85)"

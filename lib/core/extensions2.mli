@@ -16,7 +16,7 @@ val marginal_data : unit -> marginal_row list
     counts flunk normality with a large zero-spike; fGn passes; dense
     aggregate traffic sits in between. *)
 
-val marginal : Format.formatter -> unit
+val marginal : Engine.Task.ctx -> unit
 
 type phase_row = {
   rtt_ratio : float;
@@ -29,7 +29,7 @@ val phase_data : unit -> phase_row list
     split swings far from fair — deterministic structure, again nothing
     a Poisson model could produce. *)
 
-val phase : Format.formatter -> unit
+val phase : Engine.Task.ctx -> unit
 
 type vbr_result = {
   vbr_h_vt : float;
@@ -43,15 +43,15 @@ val vbr_data : unit -> vbr_result
     source, and keeps the aggregate long-range dependent after
     multiplexing with short-range traffic. *)
 
-val vbr : Format.formatter -> unit
+val vbr : Engine.Task.ctx -> unit
 
 val cwnd_data : unit -> (float * float) array
 (** One long TCP flow's congestion-window trajectory through repeated
     loss cycles — Section VII-D's "long-term oscillations ... as the TCP
     congestion window changes over the lifetime of the connection". *)
 
-val cwnd : Format.formatter -> unit
+val cwnd : Engine.Task.ctx -> unit
 
-val summary : Format.formatter -> unit
+val summary : Engine.Task.ctx -> unit
 (** Per-protocol connection/byte breakdown of every catalog dataset (the
     companion-paper tables the paper refers its readers to). *)

@@ -1,7 +1,8 @@
 let all_dataset_names =
   List.map (fun (s : Trace.Dataset.spec) -> s.name) Trace.Dataset.catalog
 
-let table1 fmt =
+let table1 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Table I: SYN/FIN connection traces (synthetic catalog)";
   let rows =
     List.map
@@ -50,7 +51,8 @@ let fig1_data () =
     ("BC SMTP", hourly_fractions_of (Cache.connection_trace "BC") Trace.Record.Smtp);
   ]
 
-let fig1 fmt =
+let fig1 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Fig. 1: mean relative hourly connection arrival rate (LBL-1..4)";
   let data = fig1_data () in
@@ -123,7 +125,8 @@ let fig2_data () =
         (arrival_kinds trace))
     all_dataset_names
 
-let fig2 fmt =
+let fig2 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Fig. 2: testing for Poisson arrivals (Appendix A)";
   let data = fig2_data () in
   let print_for interval title =
@@ -199,7 +202,8 @@ let fig8_data () =
       (name, Stats.Histogram.ecdf_grid spacings (log_grid 0.01 3000. 40)))
     fig8_datasets
 
-let fig8 fmt =
+let fig8 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Fig. 8: FTPDATA intra-session connection spacing (CDF)";
   let data = fig8_data () in
   List.iter
@@ -247,7 +251,8 @@ let fig9_data () =
       (name, List.length bursts, Stats.Fit.concentration_curve sizes ~points:20))
     fig9_datasets
 
-let fig9 fmt =
+let fig9 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Fig. 9: % of FTPDATA bytes due to the largest bursts";
   let data = fig9_data () in

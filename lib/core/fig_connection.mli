@@ -6,14 +6,14 @@
     tests and downstream use) and a printer that renders the
     paper-comparable report. *)
 
-val table1 : Format.formatter -> unit
+val table1 : Engine.Task.ctx -> unit
 
 val fig1_data : unit -> (string * float array) list
 (** (curve label, 24 hourly fractions of the day's connections). Curves:
     TELNET, FTP (sessions), NNTP, SMTP (averaged over LBL-1..4) and
     BC SMTP (east-coast shift). *)
 
-val fig1 : Format.formatter -> unit
+val fig1 : Engine.Task.ctx -> unit
 
 type fig2_row = {
   dataset : string;
@@ -26,16 +26,16 @@ type fig2_row = {
 val fig2_data : unit -> fig2_row list
 (** The full battery over every SYN/FIN dataset, both interval lengths. *)
 
-val fig2 : Format.formatter -> unit
+val fig2 : Engine.Task.ctx -> unit
 
 val fig8_data : unit -> (string * (float * float) array) list
 (** Per dataset: CDF of intra-session FTPDATA connection spacings,
     sampled at log-spaced points — (spacing seconds, fraction <=). *)
 
-val fig8 : Format.formatter -> unit
+val fig8 : Engine.Task.ctx -> unit
 
 val fig9_data : unit -> (string * int * (float * float) array) list
 (** Per dataset: (name, number of bursts, concentration curve of
     (% largest bursts, % of FTPDATA bytes)). *)
 
-val fig9 : Format.formatter -> unit
+val fig9 : Engine.Task.ctx -> unit

@@ -3,7 +3,8 @@ let lbl_pkt_names =
 
 let wrl_names = [ "DEC-WRL-1"; "DEC-WRL-2"; "DEC-WRL-3"; "DEC-WRL-4" ]
 
-let table2 fmt =
+let table2 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Table II: packet traces (synthetic catalog)";
   let rows =
     List.map
@@ -70,7 +71,8 @@ let fig3_data () =
     arithmetic_mean;
   }
 
-let fig3 fmt =
+let fig3 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Fig. 3: TELNET packet interarrival distributions";
   let d = fig3_data () in
   Report.kv fmt "geometric mean (trace)" "%.4f s" d.geometric_mean;
@@ -137,7 +139,8 @@ let dot_row fmt label times ~lo ~hi ~width =
     times;
   Format.fprintf fmt "%-8s|%s|@." label (Bytes.to_string cells)
 
-let fig4 fmt =
+let fig4 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Fig. 4: Tcplib vs exponential interpacket times";
   let tcp, ex = fig4_data () in
   Report.kv fmt "tcplib arrivals (2000s)" "%d" (Array.length tcp);
@@ -252,7 +255,8 @@ let print_vt fmt named_curves =
         fit.Stats.Regression.r2)
     named_curves
 
-let fig5 fmt =
+let fig5 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Fig. 5: variance-time plot, TELNET packet arrivals (0.1 s bins)";
   print_vt fmt (fig5_data ())
@@ -289,7 +293,8 @@ let fig6_data () =
     exp_variance = Stats.Descriptive.variance exp_counts;
   }
 
-let fig6 fmt =
+let fig6 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Fig. 6: TELNET packets per 5 s interval";
   let d = fig6_data () in
   Report.table fmt
@@ -338,7 +343,8 @@ let fig7_data () =
        (fun seed -> (Printf.sprintf "FULL-TEL-%d" seed, vt (model seed)))
        [ 71; 72; 73 ]
 
-let fig7 fmt =
+let fig7 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt "Fig. 7: variance-time plot, trace vs FULL-TEL model";
   print_vt fmt (fig7_data ())
 
@@ -446,12 +452,14 @@ let print_dominance fmt data =
           ])
     data
 
-let fig10 fmt =
+let fig10 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Fig. 10: LBL PKT FTPDATA traffic due to largest bursts";
   print_dominance fmt (fig10_data ())
 
-let fig11 fmt =
+let fig11 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Fig. 11: DEC WRL FTPDATA traffic due to largest bursts";
   print_dominance fmt (fig11_data ())

@@ -5,7 +5,7 @@
 val lbl_pkt_names : string list
 val wrl_names : string list
 
-val table2 : Format.formatter -> unit
+val table2 : Engine.Task.ctx -> unit
 
 type fig3_curves = {
   grid : float array;  (** Interarrival values (s), log-spaced. *)
@@ -18,20 +18,20 @@ type fig3_curves = {
 }
 
 val fig3_data : unit -> fig3_curves
-val fig3 : Format.formatter -> unit
+val fig3 : Engine.Task.ctx -> unit
 
 val fig4_data : unit -> float array * float array
 (** Packet times of two simulated 2000 s connections: (Tcplib
     interarrivals, exponential mean-1.1 interarrivals). *)
 
-val fig4 : Format.formatter -> unit
+val fig4 : Engine.Task.ctx -> unit
 
 val fig5_data : unit -> (string * Timeseries.Variance_time.curve) list
 (** Variance-time curves for TRACE / TCPLIB / EXP / VAR-EXP, built from
     the LBL-PKT-2 stand-in's TELNET connections re-synthesised under each
     scheme (0.1 s bins). *)
 
-val fig5 : Format.formatter -> unit
+val fig5 : Engine.Task.ctx -> unit
 
 type fig6_result = {
   trace_counts : float array;  (** TELNET packets per 5 s interval. *)
@@ -43,12 +43,12 @@ type fig6_result = {
 }
 
 val fig6_data : unit -> fig6_result
-val fig6 : Format.formatter -> unit
+val fig6 : Engine.Task.ctx -> unit
 
 val fig7_data : unit -> (string * Timeseries.Variance_time.curve) list
 (** Trace vs three FULL-TEL model runs (second hour of two-hour runs). *)
 
-val fig7 : Format.formatter -> unit
+val fig7 : Engine.Task.ctx -> unit
 
 type burst_dominance = {
   trace_name : string;
@@ -64,9 +64,9 @@ type burst_dominance = {
 val fig10_data : unit -> burst_dominance list
 (** LBL PKT traces. *)
 
-val fig10 : Format.formatter -> unit
+val fig10 : Engine.Task.ctx -> unit
 
 val fig11_data : unit -> burst_dominance list
 (** DEC WRL traces. *)
 
-val fig11 : Format.formatter -> unit
+val fig11 : Engine.Task.ctx -> unit

@@ -76,12 +76,14 @@ let print_selfsim fmt data =
   Format.fprintf fmt
     "(x: log10 M over 0.01 s bins; y: log10 normalised variance; slope -1 = Poisson)@."
 
-let fig12 fmt =
+let fig12 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Fig. 12: variance-time, all packets, LBL PKT traces";
   print_selfsim fmt (fig12_data ())
 
-let fig13 fmt =
+let fig13 ctx =
+  let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Fig. 13: variance-time, all packets, DEC WRL traces";
   print_selfsim fmt (fig13_data ())
@@ -140,12 +142,14 @@ let print_panel fmt title p =
           Array.mapi (fun i c -> (float_of_int i, c)) p.sample_counts );
       ]
 
-let fig14 fmt =
+let fig14 ctx =
+  let fmt = Engine.Task.formatter ctx in
   print_panel fmt
     "Fig. 14: i.i.d. Pareto (beta=1) count process, bin = 10^3"
     (fig14_data ())
 
-let fig15 fmt =
+let fig15 ctx =
+  let fmt = Engine.Task.formatter ctx in
   print_panel fmt
     "Fig. 15: i.i.d. Pareto (beta=1) count process, large bins"
     (fig15_data ())

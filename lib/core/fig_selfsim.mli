@@ -19,12 +19,12 @@ val fig12_data : unit -> trace_selfsim list
 (** LBL PKT traces, all packets, 0.01 s bins (Whittle/Beran computed on
     the 0.1 s aggregation). *)
 
-val fig12 : Format.formatter -> unit
+val fig12 : Engine.Task.ctx -> unit
 
 val fig13_data : unit -> trace_selfsim list
 (** DEC WRL traces. *)
 
-val fig13 : Format.formatter -> unit
+val fig13 : Engine.Task.ctx -> unit
 
 type pareto_panel = {
   bin : float;
@@ -37,11 +37,11 @@ val fig14_data : ?bin:float -> unit -> pareto_panel
 (** Default bin 10^3 (the paper's Fig. 14): 9 seeds, 1000 bins,
     beta = 1, a = 1. *)
 
-val fig14 : Format.formatter -> unit
+val fig14 : Engine.Task.ctx -> unit
 
 val fig15_data : ?bin:float -> unit -> pareto_panel
 (** Default bin 10^6 — scaled down from the paper's 10^7 to keep the
     default run fast (see EXPERIMENTS.md); pass [~bin:1e7] for the
     paper-exact panel. *)
 
-val fig15 : Format.formatter -> unit
+val fig15 : Engine.Task.ctx -> unit

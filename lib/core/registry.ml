@@ -1,4 +1,4 @@
-type entry = { id : string; title : string; run : Format.formatter -> unit }
+type entry = { id : string; title : string; run : Engine.Task.ctx -> unit }
 
 let all =
   [
@@ -88,5 +88,33 @@ let all =
       run = Extensions2.summary };
   ]
 
-let find id = List.find_opt (fun e -> e.id = id) all
+(* Lazily built id index; building it fails fast on a duplicate id so a
+   registry mistake surfaces on the first lookup (and in the tests), not
+   as one experiment silently shadowing another. *)
+let index =
+  lazy
+    (let tbl = Hashtbl.create (2 * List.length all) in
+     List.iter
+       (fun e ->
+         if Hashtbl.mem tbl e.id then
+           invalid_arg ("Registry: duplicate experiment id " ^ e.id);
+         Hashtbl.add tbl e.id e)
+       all;
+     tbl)
+
+let find id = Hashtbl.find_opt (Lazy.force index) id
 let ids () = List.map (fun e -> e.id) all
+
+let task e =
+  let figures =
+    if List.mem e.id Figure_svg.supported then
+      Some
+        (fun () ->
+          match Figure_svg.render e.id with
+          | Some svg -> [ (e.id ^ ".svg", svg) ]
+          | None -> [])
+    else None
+  in
+  Engine.Task.make ?figures ~id:e.id ~title:e.title e.run
+
+let tasks () = List.map task all

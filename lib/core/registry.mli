@@ -5,9 +5,23 @@
 type entry = {
   id : string;  (** e.g. "fig5", "table1", "x-mux100". *)
   title : string;
-  run : Format.formatter -> unit;
+  run : Engine.Task.ctx -> unit;
+      (** Renders the report into the task's private context — never a
+          shared formatter — so entries can run on parallel domains. *)
 }
 
 val all : entry list
+
 val find : string -> entry option
+(** Hashtable-backed (O(1)); building the index raises
+    [Invalid_argument] if two entries share an id. *)
+
 val ids : unit -> string list
+
+val task : entry -> Engine.Task.t
+(** The engine task for an entry. Figure-bearing entries (see
+    {!Figure_svg.supported}) carry a lazy SVG thunk, rendered only when
+    the engine is asked for figures. *)
+
+val tasks : unit -> Engine.Task.t list
+(** [task] over {!all}, in registry order. *)

@@ -1,0 +1,33 @@
+type t = {
+  id : string;
+  title : string;
+  text : string;
+  figures : (string * string) list;
+  duration_s : float;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ())
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let save ~dir a =
+  mkdir_p dir;
+  let txt = Filename.concat dir (a.id ^ ".txt") in
+  write_file txt a.text;
+  let figs =
+    List.map
+      (fun (name, contents) ->
+        let path = Filename.concat dir name in
+        write_file path contents;
+        path)
+      a.figures
+  in
+  txt :: figs

@@ -1,0 +1,17 @@
+(** The result of running one experiment: everything it produced,
+    self-contained, so experiments can execute on any domain in any
+    order and be rendered / written / compared afterwards. *)
+
+type t = {
+  id : string;  (** Registry id, e.g. "fig5". *)
+  title : string;
+  text : string;  (** The full plain-text report. *)
+  figures : (string * string) list;
+      (** (file name, file contents) — SVG renderings where the
+          experiment has them. *)
+  duration_s : float;  (** Wall-clock time of the body alone. *)
+}
+
+val save : dir:string -> t -> string list
+(** Write [dir]/<id>.txt plus one file per figure, creating [dir] (and
+    parents) if needed. Returns the paths written. *)

@@ -1,0 +1,59 @@
+type action = Run | List | Perf
+
+type config = {
+  action : action;
+  jobs : int;
+  seed : int;
+  only : string list;
+  out : string option;
+}
+
+type outcome = Config of config | Help of string | Error of string
+
+let usage_msg prog =
+  Printf.sprintf
+    "usage: %s [--jobs N] [--seed S] [--only ID[,ID...]] [--out DIR] \
+     [--list] [--perf]"
+    prog
+
+let parse ?jobs_default argv =
+  let prog = if Array.length argv > 0 then argv.(0) else "bench" in
+  let action = ref Run in
+  let jobs =
+    ref (match jobs_default with Some j -> j | None -> Pool.default_jobs ())
+  in
+  let seed = ref 0 in
+  let only = ref [] in
+  let out = ref None in
+  let add_only s =
+    only :=
+      !only
+      @ List.filter (fun id -> id <> "") (String.split_on_char ',' s)
+  in
+  let specs =
+    Arg.align
+      [
+        ("--jobs", Arg.Set_int jobs,
+         "N Worker domains (default: one per core)");
+        ("--seed", Arg.Set_int seed,
+         "S Root seed for per-experiment RNG streams (default 0)");
+        ("--only", Arg.String add_only,
+         "IDS Comma-separated experiment ids (repeatable)");
+        ("--out", Arg.String (fun d -> out := Some d),
+         "DIR Write per-experiment artifacts (report + SVG) under DIR");
+        ("--list", Arg.Unit (fun () -> action := List),
+         " List experiment ids and exit");
+        ("--perf", Arg.Unit (fun () -> action := Perf),
+         " Run Bechamel micro-benchmarks of the hot primitives");
+      ]
+  in
+  let anon a = raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)) in
+  match Arg.parse_argv ~current:(ref 0) argv specs anon (usage_msg prog) with
+  | () ->
+    if !jobs < 1 then Error "--jobs must be at least 1"
+    else
+      Config
+        { action = !action; jobs = !jobs; seed = !seed; only = !only;
+          out = !out }
+  | exception Arg.Bad msg -> Error msg
+  | exception Arg.Help msg -> Help msg

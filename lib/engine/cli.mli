@@ -1,0 +1,26 @@
+(** Argument parsing for the bench harness, factored out of the
+    executable so malformed command lines are unit-testable. Unknown
+    flags and stray positional arguments are errors (they used to fall
+    through to "run everything"). *)
+
+type action =
+  | Run  (** Run experiments (the default). *)
+  | List  (** Print the experiment ids and exit. *)
+  | Perf  (** Bechamel micro-benchmarks. *)
+
+type config = {
+  action : action;
+  jobs : int;  (** Worker domains; >= 1. *)
+  seed : int;  (** Root seed for per-experiment RNG streams. *)
+  only : string list;  (** Empty = the whole registry, in order. *)
+  out : string option;  (** Directory for per-experiment artifacts. *)
+}
+
+type outcome =
+  | Config of config
+  | Help of string  (** --help: the usage text to print, exit 0. *)
+  | Error of string  (** Bad command line: message + usage, exit 2. *)
+
+val parse : ?jobs_default:int -> string array -> outcome
+(** [parse argv] (argv.(0) is the program name). [jobs_default]
+    defaults to {!Pool.default_jobs}. *)

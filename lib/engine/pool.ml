@@ -1,0 +1,35 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let exec i =
+    results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e)
+  in
+  if jobs <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      exec i
+    done
+  else begin
+    (* Self-scheduling work queue: the atomic counter hands each worker
+       the next unclaimed index, so long tasks never serialise behind a
+       static partition. Each slot is written by exactly one worker;
+       Domain.join publishes the writes before we read them back. *)
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        exec i;
+        worker ()
+      end
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains
+  end;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) results)
+
+let run ?jobs ?(seed = 0) ?(figures = false) tasks =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  map ~jobs (fun t -> Task.run ~render_figures:figures ~seed t) tasks

@@ -1,0 +1,24 @@
+(** Domain pool: run independent tasks on [jobs] OCaml 5 domains with
+    self-scheduling (each worker repeatedly claims the next unclaimed
+    index), returning results in submission order.
+
+    Exceptions are captured per task: one failing task never wedges the
+    pool or hides the other results. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [map ~jobs f items] applies [f] to every item, on the calling domain
+    when [jobs <= 1], on a pool of [min jobs (length items)] domains
+    otherwise. The result list matches [items] in order and length. *)
+
+val run :
+  ?jobs:int ->
+  ?seed:int ->
+  ?figures:bool ->
+  Task.t list ->
+  (Artifact.t, exn) result list
+(** Run experiment tasks (default [jobs] = {!default_jobs}, [seed] = 0,
+    [figures] = false), preserving submission order. Byte-identical
+    artifacts for a given seed regardless of [jobs]. *)

@@ -1,0 +1,48 @@
+type ctx = {
+  fmt : Format.formatter;
+  ctx_rng : Prng.Rng.t;
+  mutable figs : (string * string) list;  (* reversed *)
+}
+
+let formatter c = c.fmt
+let rng c = c.ctx_rng
+let add_figure c ~name contents = c.figs <- (name, contents) :: c.figs
+
+type t = {
+  id : string;
+  title : string;
+  body : ctx -> unit;
+  figures : (unit -> (string * string) list) option;
+}
+
+let make ?figures ~id ~title body = { id; title; body; figures }
+
+let of_formatter ?figures ~id ~title pr =
+  make ?figures ~id ~title (fun ctx -> pr ctx.fmt)
+
+(* Keyed by (seed, id) only — never by spawn order — so a task sees the
+   same stream under any jobs count. Hashtbl.hash is a deterministic
+   string hash; the extra split decorrelates nearby seeds. *)
+let derive_rng ~seed id =
+  Prng.Rng.split (Prng.Rng.create (seed lxor Hashtbl.hash id))
+
+let run ?(render_figures = false) ?(seed = 0) t =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  let ctx = { fmt; ctx_rng = derive_rng ~seed t.id; figs = [] } in
+  let t0 = Unix.gettimeofday () in
+  t.body ctx;
+  Format.pp_print_flush fmt ();
+  let extra =
+    if render_figures then
+      match t.figures with Some f -> f () | None -> []
+    else []
+  in
+  let duration_s = Unix.gettimeofday () -. t0 in
+  {
+    Artifact.id = t.id;
+    title = t.title;
+    text = Buffer.contents buf;
+    figures = List.rev ctx.figs @ extra;
+    duration_s;
+  }

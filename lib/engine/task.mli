@@ -1,0 +1,50 @@
+(** The unit of work: an experiment body that renders into its own
+    buffer (never a shared formatter) and returns an {!Artifact.t}.
+
+    Each task gets a deterministic RNG stream derived from a root seed
+    and its id alone — not from spawn order — so output is byte-identical
+    whether tasks run sequentially or on parallel domains. *)
+
+type ctx
+(** Per-run execution context handed to the body. *)
+
+val formatter : ctx -> Format.formatter
+(** The task-private formatter; everything printed here becomes
+    [Artifact.text]. *)
+
+val rng : ctx -> Prng.Rng.t
+(** This task's private RNG stream (derived from the root seed and the
+    task id; independent of scheduling). Experiments that predate the
+    engine keep their own fixed seeds and may ignore it. *)
+
+val add_figure : ctx -> name:string -> string -> unit
+(** [add_figure ctx ~name contents] attaches a figure file to the
+    artifact. *)
+
+type t = {
+  id : string;
+  title : string;
+  body : ctx -> unit;
+  figures : (unit -> (string * string) list) option;
+      (** Optional extra renderings, only evaluated when the caller asks
+          for figures (they can be as expensive as the body itself). *)
+}
+
+val make :
+  ?figures:(unit -> (string * string) list) ->
+  id:string -> title:string -> (ctx -> unit) -> t
+
+val of_formatter :
+  ?figures:(unit -> (string * string) list) ->
+  id:string -> title:string -> (Format.formatter -> unit) -> t
+(** Compat shim for bodies still written against a bare formatter. *)
+
+val derive_rng : seed:int -> string -> Prng.Rng.t
+(** [derive_rng ~seed id]: the stream a task with this id receives under
+    this root seed. Keyed by (seed, id) only, so it is stable under any
+    execution order. *)
+
+val run : ?render_figures:bool -> ?seed:int -> t -> Artifact.t
+(** Execute the body in a fresh buffer, timing it. [render_figures]
+    (default false) also evaluates the [figures] thunk. May raise
+    whatever the body raises. *)

@@ -1,0 +1,226 @@
+(* The execution engine: pool ordering and exception isolation, RNG
+   stream derivation, CLI parsing, registry indexing, the domain-safe
+   cache, and the headline guarantee — parallel runs produce artifacts
+   byte-identical to sequential runs. *)
+
+open Helpers
+
+(* ---------------- Pool ---------------- *)
+
+let test_pool_ordering () =
+  let items = List.init 100 Fun.id in
+  let results = Engine.Pool.map ~jobs:4 (fun i -> i * i) items in
+  check_int "length preserved" 100 (List.length results);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> check_int (Printf.sprintf "slot %d" i) (i * i) v
+      | Error _ -> Alcotest.fail "unexpected error")
+    results
+
+let test_pool_sequential_matches_parallel () =
+  let items = List.init 33 Fun.id in
+  let f i = (7 * i) + 1 in
+  let oks rs =
+    List.map (function Ok v -> v | Error _ -> Alcotest.fail "error") rs
+  in
+  Alcotest.(check (list int))
+    "jobs:1 = jobs:8"
+    (oks (Engine.Pool.map ~jobs:1 f items))
+    (oks (Engine.Pool.map ~jobs:8 f items))
+
+let test_pool_exception_isolation () =
+  let items = List.init 10 Fun.id in
+  let f i = if i = 3 then failwith "boom" else 2 * i in
+  let results = Engine.Pool.map ~jobs:4 f items in
+  check_int "length preserved" 10 (List.length results);
+  List.iteri
+    (fun i r ->
+      match (i, r) with
+      | 3, Error (Failure msg) -> check_true "failure captured" (msg = "boom")
+      | 3, _ -> Alcotest.fail "slot 3 should be the failure"
+      | i, Ok v -> check_int (Printf.sprintf "slot %d" i) (2 * i) v
+      | _, Error _ -> Alcotest.fail "only slot 3 may fail")
+    results
+
+(* ---------------- RNG streams ---------------- *)
+
+let test_rng_derivation () =
+  let draws rng = Array.init 8 (fun _ -> Prng.Rng.float rng) in
+  let a = draws (Engine.Task.derive_rng ~seed:1 "fig5") in
+  let b = draws (Engine.Task.derive_rng ~seed:1 "fig5") in
+  let c = draws (Engine.Task.derive_rng ~seed:1 "fig6") in
+  let d = draws (Engine.Task.derive_rng ~seed:2 "fig5") in
+  check_true "same (seed, id) = same stream" (a = b);
+  check_true "different id = different stream" (a <> c);
+  check_true "different seed = different stream" (a <> d)
+
+(* ---------------- Task ---------------- *)
+
+let test_task_buffers_and_figures () =
+  let task =
+    Engine.Task.make ~id:"t" ~title:"T"
+      ~figures:(fun () -> [ ("t-extra.svg", "<svg/>") ])
+      (fun ctx ->
+        Format.fprintf (Engine.Task.formatter ctx) "hello %d@." 42;
+        Engine.Task.add_figure ctx ~name:"t-inline.txt" "inline")
+  in
+  let plain = Engine.Task.run task in
+  check_true "text captured" (plain.Engine.Artifact.text = "hello 42\n");
+  Alcotest.(check (list (pair string string)))
+    "figures off by default"
+    [ ("t-inline.txt", "inline") ]
+    plain.Engine.Artifact.figures;
+  let full = Engine.Task.run ~render_figures:true task in
+  Alcotest.(check (list (pair string string)))
+    "figures thunk appended"
+    [ ("t-inline.txt", "inline"); ("t-extra.svg", "<svg/>") ]
+    full.Engine.Artifact.figures
+
+(* ---------------- Cli ---------------- *)
+
+let parse argv = Engine.Cli.parse ~jobs_default:1 (Array.of_list ("bench" :: argv))
+
+let test_cli_defaults () =
+  match parse [] with
+  | Engine.Cli.Config c ->
+    check_true "default action" (c.action = Engine.Cli.Run);
+    check_int "default jobs" 1 c.jobs;
+    check_int "default seed" 0 c.seed;
+    check_true "no filter" (c.only = []);
+    check_true "no out" (c.out = None)
+  | _ -> Alcotest.fail "empty argv must parse"
+
+let test_cli_flags () =
+  match parse [ "--jobs"; "4"; "--seed"; "7"; "--only"; "fig5,table1";
+                "--only"; "fig6"; "--out"; "artifacts" ] with
+  | Engine.Cli.Config c ->
+    check_int "jobs" 4 c.jobs;
+    check_int "seed" 7 c.seed;
+    Alcotest.(check (list string)) "only accumulates"
+      [ "fig5"; "table1"; "fig6" ] c.only;
+    check_true "out" (c.out = Some "artifacts")
+  | _ -> Alcotest.fail "flags must parse"
+
+let test_cli_rejects_garbage () =
+  let is_error = function Engine.Cli.Error _ -> true | _ -> false in
+  check_true "unknown flag" (is_error (parse [ "--frobnicate" ]));
+  check_true "trailing arg after --only id"
+    (is_error (parse [ "--only"; "fig5"; "extra" ]));
+  check_true "bare positional" (is_error (parse [ "fig5" ]));
+  check_true "jobs 0" (is_error (parse [ "--jobs"; "0" ]));
+  check_true "help is not an error"
+    (match parse [ "--help" ] with Engine.Cli.Help _ -> true | _ -> false)
+
+(* ---------------- Registry ---------------- *)
+
+let test_registry_index () =
+  let ids = Core.Registry.ids () in
+  check_int "no duplicate ids"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      match Core.Registry.find id with
+      | Some e -> check_true ("find " ^ id) (e.Core.Registry.id = id)
+      | None -> Alcotest.fail ("find must resolve " ^ id))
+    ids;
+  check_true "unknown id is None" (Core.Registry.find "fig99" = None);
+  check_int "tasks cover the registry"
+    (List.length ids)
+    (List.length (Core.Registry.tasks ()))
+
+(* ---------------- Cache ---------------- *)
+
+let test_cache_concurrent_hits () =
+  Core.Cache.clear ();
+  let before = Core.Cache.generation_count () in
+  let fetch () = Core.Cache.connection_trace "LBL-1" in
+  let domains = List.init 4 (fun _ -> Domain.spawn fetch) in
+  let traces = List.map Domain.join domains in
+  check_int "generated exactly once"
+    (before + 1)
+    (Core.Cache.generation_count ());
+  match traces with
+  | first :: rest ->
+    List.iter
+      (fun t -> check_true "all domains share one value" (t == first))
+      rest
+  | [] -> assert false
+
+let test_cache_unknown_key () =
+  check_true "unknown raises Not_found"
+    (match Core.Cache.connection_trace "NO-SUCH-TRACE" with
+     | _ -> false
+     | exception Not_found -> true);
+  (* The failed generation must not wedge the key for later callers. *)
+  check_true "still raises on retry"
+    (match Core.Cache.connection_trace "NO-SUCH-TRACE" with
+     | _ -> false
+     | exception Not_found -> true)
+
+(* ---------------- Determinism ---------------- *)
+
+let strip_durations (a : Engine.Artifact.t) =
+  (a.id, a.title, a.text, a.figures)
+
+let test_parallel_determinism () =
+  (* The headline guarantee: the full registry under --jobs 4 yields
+     byte-identical artifacts to --jobs 1 at the same seed. *)
+  let tasks = Core.Registry.tasks () in
+  let run jobs =
+    Engine.Pool.run ~jobs ~seed:0 tasks
+    |> List.map (function
+         | Ok a -> strip_durations a
+         | Error e -> Alcotest.fail (Printexc.to_string e))
+  in
+  let seq = run 1 in
+  let par = run 4 in
+  check_int "same artifact count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (id, title, text, figs) (id', title', text', figs') ->
+      check_true ("order " ^ id) (id = id');
+      check_true ("title " ^ id) (title = title');
+      check_true ("text bytes " ^ id) (text = text');
+      check_true ("figures " ^ id) (figs = figs'))
+    seq par
+
+let test_figure_determinism () =
+  (* Figure thunks render identically across jobs counts too. *)
+  let entries =
+    List.filter_map Core.Registry.find [ "fig9"; "fig14" ]
+  in
+  let tasks = List.map Core.Registry.task entries in
+  let run jobs = Engine.Pool.run ~jobs ~seed:0 ~figures:true tasks in
+  let figs results =
+    List.map
+      (function
+        | Ok (a : Engine.Artifact.t) -> a.figures
+        | Error e -> Alcotest.fail (Printexc.to_string e))
+      results
+  in
+  let seq = figs (run 1) in
+  let par = figs (run 2) in
+  check_true "figure bytes identical" (seq = par);
+  List.iter
+    (fun fl -> check_true "figure rendered" (List.length fl = 1))
+    seq
+
+let suite =
+  ( "engine",
+    [
+      tc "pool ordering" test_pool_ordering;
+      tc "pool seq = par" test_pool_sequential_matches_parallel;
+      tc "pool exception isolation" test_pool_exception_isolation;
+      tc "rng stream derivation" test_rng_derivation;
+      tc "task buffers + figures" test_task_buffers_and_figures;
+      tc "cli defaults" test_cli_defaults;
+      tc "cli flags" test_cli_flags;
+      tc "cli rejects garbage" test_cli_rejects_garbage;
+      tc "registry index" test_registry_index;
+      tc "cache concurrent hits" test_cache_concurrent_hits;
+      tc "cache unknown key" test_cache_unknown_key;
+      tc "figure determinism across jobs" test_figure_determinism;
+      Alcotest.test_case "full-registry determinism jobs 4 = jobs 1" `Slow
+        test_parallel_determinism;
+    ] )

@@ -182,8 +182,11 @@ let test_fig14_15_scaling () =
     (b15 > b14 && b15 < 5. *. b14)
 
 let test_tables_render () =
-  let s1 = Format.asprintf "%a" (fun fmt () -> Core.Fig_connection.table1 fmt) () in
-  let s2 = Format.asprintf "%a" (fun fmt () -> Core.Fig_packet.table2 fmt) () in
+  let render id body =
+    (Engine.Task.run (Engine.Task.make ~id ~title:"" body)).Engine.Artifact.text
+  in
+  let s1 = render "table1" Core.Fig_connection.table1 in
+  let s2 = render "table2" Core.Fig_packet.table2 in
   check_true "table1 lists LBL-8" (String.length s1 > 500);
   check_true "table2 lists WRL" (String.length s2 > 300)
 

@@ -23,4 +23,5 @@ let () =
       Test_props.suite;
       Test_core.suite;
       Test_figures.suite;
+      Test_engine.suite;
     ]
