@@ -1,8 +1,8 @@
 # Tier-1 gate: build, full test suite, and a 2-domain smoke run of the
 # engine-backed harness.
-.PHONY: check build test smoke bench
+.PHONY: check build test smoke bench bench-smoke
 
-check: build test smoke
+check: build test smoke bench-smoke
 
 build:
 	dune build
@@ -12,6 +12,17 @@ test:
 
 smoke:
 	dune exec bench/main.exe -- --jobs 2 --only table1
+
+# The hot-path experiment under intra-experiment parallelism: fig15's
+# nine Pareto count-process seeds shard over Par.map, and the output
+# must be byte-identical to the sequential run (timing lines aside).
+bench-smoke:
+	dune exec bench/main.exe -- --only fig15 --jobs 2 \
+	  | grep -v ' done in \|^(1 experiments\|^[[]total' > _build/bench_smoke_j2.txt
+	dune exec bench/main.exe -- --only fig15 --jobs 1 \
+	  | grep -v ' done in \|^(1 experiments\|^[[]total' > _build/bench_smoke_j1.txt
+	diff _build/bench_smoke_j1.txt _build/bench_smoke_j2.txt
+	@echo "bench-smoke: fig15 byte-identical at --jobs 1 and 2"
 
 # Full registry, timing each experiment (default --jobs: one per core).
 bench:

@@ -109,6 +109,25 @@ let perf () =
              for _ = 1 to 1000 do
                ignore (Tcplib.Telnet.sample_interarrival rng)
              done));
+      (* The PR-2 hot-path kernels. pareto-count-1e6-bin is one fig15
+         seed at 1/1000 scale (bin 1e3 instead of 1e6, same per-arrival
+         loop); whittle-objective-eval is one golden-section step on the
+         precomputed tables; par-map-overhead is Par.map's bookkeeping
+         with a zero budget (the jobs=1 fast path). *)
+      Test.make ~name:"pareto-count-1e6-bin"
+        (Staged.stage (fun () ->
+             ignore
+               (Lrd.Pareto_count.count_process ~beta:1.0 ~a:1.0 ~bin:1e3
+                  ~bins:1000 (Prng.Rng.create 1000))));
+      (let pgram = Timeseries.Periodogram.compute fgn_input in
+       let f = Lrd.Whittle.fgn_objective_fn pgram in
+       Test.make ~name:"whittle-objective-eval"
+         (Staged.stage (fun () -> ignore (f 0.795))));
+      (let items = List.init 100 Fun.id in
+       Engine.Par.set_extra_domains 0;
+       Test.make ~name:"par-map-overhead"
+         (Staged.stage (fun () ->
+              ignore (Engine.Par.map (fun i -> i + 1) items))));
     ]
   in
   let benchmark test =

@@ -18,7 +18,14 @@ let arrivals ?(bin = 1.0) ~span times =
   assert (Array.length times >= 100);
   let counts = Timeseries.Counts.of_events ~bin ~t_end:span times in
   assert (Array.length counts >= 512);
-  let whittle = Lrd.Whittle.estimate counts in
+  (* One periodogram serves both the Whittle fit and the Beran test. *)
+  let pgram = Timeseries.Periodogram.compute counts in
+  let whittle = Lrd.Whittle.estimate_pgram pgram in
+  let beran =
+    Lrd.Beran.test_periodogram
+      (fun lambda -> Lrd.Fgn.spectral_density ~h:whittle.Lrd.Whittle.h lambda)
+      pgram
+  in
   let vt_stat xs =
     try (Lrd.Hurst.variance_time xs).Lrd.Hurst.h with _ -> nan
   in
@@ -41,7 +48,7 @@ let arrivals ?(bin = 1.0) ~span times =
     h_rs = Lrd.Hurst.rescaled_range counts;
     h_wavelet = Lrd.Wavelet.estimate counts;
     whittle;
-    beran = Lrd.Beran.test ~h:whittle.Lrd.Whittle.h counts;
+    beran;
     lo = Lrd.Lo_rs.test counts;
     marginal_normal = Stest.Anderson_darling.test_normal counts;
     zero_fraction = float_of_int zeros /. float_of_int (Array.length counts);

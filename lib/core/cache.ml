@@ -1,6 +1,6 @@
-(* Domain-safe memoisation. A single mutex guards both tables; a key
+(* Domain-safe memoisation. A single mutex guards all tables; a key
    being generated is marked In_flight so that a second domain asking
-   for the same trace waits on the condition variable instead of
+   for the same product waits on the condition variable instead of
    generating it again. Generation itself runs outside the lock. *)
 
 type 'a slot = Ready of 'a | In_flight
@@ -9,12 +9,18 @@ let mutex = Mutex.create ()
 let cond = Condition.create ()
 let generations = Atomic.make 0
 
+(* Per-key generation counts, keyed by the namespaced name ("conn:LBL-1",
+   "pkt:LBL-PKT-2", "memo:fig15_data:1e+06"). Guarded by [mutex]. *)
+let gen_counts : (string, int) Hashtbl.t = Hashtbl.create 64
+
 let conn_cache : (string, Trace.Record.t slot) Hashtbl.t = Hashtbl.create 16
 
 let pkt_cache : (string, Trace.Packet_dataset.t slot) Hashtbl.t =
   Hashtbl.create 16
 
-let get cache generate name =
+let memo_cache : (string, Obj.t slot) Hashtbl.t = Hashtbl.create 16
+
+let get cache ~ns generate name =
   let rec await () =
     match Hashtbl.find_opt cache name with
     | Some (Ready v) ->
@@ -30,6 +36,9 @@ let get cache generate name =
       | v ->
         Atomic.incr generations;
         Mutex.lock mutex;
+        let key = ns ^ ":" ^ name in
+        Hashtbl.replace gen_counts key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt gen_counts key));
         Hashtbl.replace cache name (Ready v);
         Condition.broadcast cond;
         Mutex.unlock mutex;
@@ -47,7 +56,7 @@ let get cache generate name =
   await ()
 
 let connection_trace name =
-  get conn_cache
+  get conn_cache ~ns:"conn"
     (fun n ->
       match Trace.Dataset.find n with
       | Some spec -> Trace.Dataset.generate spec
@@ -55,17 +64,31 @@ let connection_trace name =
     name
 
 let packet_trace name =
-  get pkt_cache
+  get pkt_cache ~ns:"pkt"
     (fun n ->
       match Trace.Packet_dataset.find n with
       | Some spec -> Trace.Packet_dataset.generate spec
       | None -> raise Not_found)
     name
 
+(* The [Obj.repr]/[Obj.obj] pair is safe under the documented contract
+   that a given key is always used at a single result type: the value
+   stored under a key was produced by the thunk of the first caller of
+   that key, and every caller of that key expects that thunk's type. *)
+let memo name thunk =
+  Obj.obj (get memo_cache ~ns:"memo" (fun _ -> Obj.repr (thunk ())) name)
+
 let generation_count () = Atomic.get generations
+
+let generation_count_of key =
+  Mutex.lock mutex;
+  let n = Option.value ~default:0 (Hashtbl.find_opt gen_counts key) in
+  Mutex.unlock mutex;
+  n
 
 let clear () =
   Mutex.lock mutex;
   Hashtbl.reset conn_cache;
   Hashtbl.reset pkt_cache;
+  Hashtbl.reset memo_cache;
   Mutex.unlock mutex

@@ -1,9 +1,10 @@
-(** Memoised synthetic datasets: several figures read the same trace, so
-    each catalog entry is generated at most once per process. Generation
-    is deterministic (seeded), so caching cannot change any result.
+(** Memoised shared analysis products: several figures read the same
+    trace (or the same derived dataset), so each is generated at most
+    once per process. Generation is deterministic (seeded), so caching
+    cannot change any result.
 
     Domain-safe: a mutex guards the tables, and a per-key in-flight
-    marker means two domains asking for the same trace concurrently
+    marker means two domains asking for the same product concurrently
     still generate it exactly once (the second waits for the first). *)
 
 val connection_trace : string -> Trace.Record.t
@@ -13,10 +14,27 @@ val connection_trace : string -> Trace.Record.t
 val packet_trace : string -> Trace.Packet_dataset.t
 (** By catalog name (e.g. "LBL-PKT-2"). *)
 
+val memo : string -> (unit -> 'a) -> 'a
+(** [memo key thunk] returns the cached value for [key], running [thunk]
+    at most once per process to produce it (concurrent callers wait; if
+    the thunk raises, the slot is released and a later caller retries).
+
+    The table is untyped inside, so a given [key] must always be used at
+    a single result type — namespace keys by the call site that owns
+    them (e.g. ["fig15_data:1e+06"]) and never share a key between
+    thunks of different types. *)
+
 val generation_count : unit -> int
-(** Number of actual dataset generations so far in this process
-    (monotonic; cache hits and waiters do not count). For tests. *)
+(** Number of actual generations so far in this process, over all
+    tables (monotonic; cache hits and waiters do not count). For
+    tests. *)
+
+val generation_count_of : string -> int
+(** Generations for one namespaced key: ["conn:" ^ name],
+    ["pkt:" ^ name] or ["memo:" ^ key]. Monotonic across {!clear}, so
+    tests can assert "exactly one generation" via deltas. *)
 
 val clear : unit -> unit
-(** Drop every cached dataset. Concurrent in-flight generations still
-    complete and re-insert their own result. *)
+(** Drop every cached product. Concurrent in-flight generations still
+    complete and re-insert their own result. Generation counters are
+    not reset. *)

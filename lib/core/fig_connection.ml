@@ -104,7 +104,10 @@ let arrival_kinds trace =
   if Array.length www > 0 then base @ [ ("WWW", www) ] else base
 
 let fig2_data () =
-  List.concat_map
+  (* One item per dataset: generation + six Poisson checks, independent
+     across datasets, so they shard across the leftover domain budget. *)
+  List.concat
+  @@ Engine.Par.map
     (fun name ->
       let trace = Cache.connection_trace name in
       let span = trace.Trace.Record.span in

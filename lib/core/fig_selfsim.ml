@@ -18,13 +18,22 @@ let selfsim_of name =
   let curve = Timeseries.Variance_time.curve counts in
   let fit = Timeseries.Variance_time.slope ~min_m:10 curve in
   (* Whittle and Beran on the 0.1 s aggregation: the paper's formal tests
-     target time scales of 0.1 s and larger. *)
-  let coarse = Timeseries.Counts.aggregate counts 10 in
-  let whittle = Lrd.Whittle.estimate coarse in
-  let beran = Lrd.Beran.test ~h:whittle.Lrd.Whittle.h coarse in
-  let second = Timeseries.Counts.aggregate counts 100 in
-  let whittle_1s = Lrd.Whittle.estimate second in
-  let beran_1s = Lrd.Beran.test ~h:whittle_1s.Lrd.Whittle.h second in
+     target time scales of 0.1 s and larger. Both read the same
+     periodogram, so compute it once per aggregation level. *)
+  let test_level xs =
+    let pgram = Timeseries.Periodogram.compute xs in
+    let whittle = Lrd.Whittle.estimate_pgram pgram in
+    let beran =
+      Lrd.Beran.test_periodogram
+        (fun lambda -> Lrd.Fgn.spectral_density ~h:whittle.Lrd.Whittle.h lambda)
+        pgram
+    in
+    (whittle, beran)
+  in
+  let whittle, beran = test_level (Timeseries.Counts.aggregate counts 10) in
+  let whittle_1s, beran_1s =
+    test_level (Timeseries.Counts.aggregate counts 100)
+  in
   {
     trace_name = name;
     curve;
@@ -36,8 +45,17 @@ let selfsim_of name =
     beran_1s;
   }
 
-let fig12_data () = List.map selfsim_of Fig_packet.lbl_pkt_names
-let fig13_data () = List.map selfsim_of Fig_packet.wrl_names
+(* Each trace's analysis is independent and (via [Cache.packet_trace])
+   deterministic per name, so the traces shard across whatever domain
+   budget the pool left over; the memo key makes the report and the SVG
+   renderer share one computation per process. *)
+let fig12_data () =
+  Cache.memo "fig12_data" (fun () ->
+      Engine.Par.map selfsim_of Fig_packet.lbl_pkt_names)
+
+let fig13_data () =
+  Cache.memo "fig13_data" (fun () ->
+      Engine.Par.map selfsim_of Fig_packet.wrl_names)
 
 let print_selfsim fmt data =
   let rows =
@@ -104,7 +122,9 @@ let panel ~bin =
     Lrd.Pareto_count.count_process ~beta:1.0 ~a:1.0 ~bin ~bins:1000
       (Prng.Rng.create seed)
   in
-  let all = List.map counts_of seeds in
+  (* Each seed owns its RNG, so the nine runs are independent and shard
+     across the leftover domain budget without changing any byte. *)
+  let all = Engine.Par.map counts_of seeds in
   {
     bin;
     seeds;
@@ -112,8 +132,11 @@ let panel ~bin =
     sample_counts = List.hd all;
   }
 
-let fig14_data ?(bin = 1e3) () = panel ~bin
-let fig15_data ?(bin = 1e6) () = panel ~bin
+let fig14_data ?(bin = 1e3) () =
+  Cache.memo (Printf.sprintf "fig14_data:%g" bin) (fun () -> panel ~bin)
+
+let fig15_data ?(bin = 1e6) () =
+  Cache.memo (Printf.sprintf "fig15_data:%g" bin) (fun () -> panel ~bin)
 
 let print_panel fmt title p =
   Report.heading fmt title;

@@ -8,7 +8,7 @@ let of_samples samples =
   let n = Array.length samples in
   assert (n > 0);
   let xs = Array.copy samples in
-  Array.sort compare xs;
+  Array.sort Float.compare xs;
   let ps =
     if n = 1 then [| 0.; 1. |]
     else Array.init n (fun i -> float_of_int i /. float_of_int (n - 1))

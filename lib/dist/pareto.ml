@@ -15,9 +15,10 @@ let cdf t x = 1. -. survival t x
 
 let quantile t u =
   assert (u >= 0. && u < 1.);
-  (* beta = 1 fast path: avoids [Float.pow] in the hot renewal loops of
-     Appendix C's count processes. *)
+  (* beta = 1 and beta = 2 fast paths: avoid [Float.pow] in the hot
+     renewal loops of Appendix C's count processes. *)
   if t.beta = 1. then t.a /. (1. -. u)
+  else if t.beta = 2. then t.a /. sqrt (1. -. u)
   else t.a *. ((1. -. u) ** (-1. /. t.beta))
 
 let mean t =

@@ -1,0 +1,96 @@
+(* Intra-experiment parallelism against a process-wide domain budget.
+
+   The PR-1 pool parallelises across experiments, but the registry's
+   critical path is a handful of experiments that are internally a map
+   over independent items (fig15's nine seeds, fig12/fig13's traces,
+   table2's rows). [map] shards those items over however many domains the
+   [--jobs] budget has left unclaimed, so `--only fig15 --jobs 4` uses the
+   idle domains the outer pool cannot.
+
+   Determinism: [map f items] must be given an [f] whose result depends
+   only on the item (any per-item randomness derived from a seed and the
+   item, never from shared mutable state or arrival order); then the
+   result list is identical for every budget, including zero. [map_rng]
+   packages the seed-derivation convention for callers that need fresh
+   randomness per item. *)
+
+let available = Atomic.make 0
+
+let set_extra_domains n = Atomic.set available (Int.max 0 n)
+let extra_domains () = Atomic.get available
+
+(* Claim up to [k] domains from the budget; the caller must [release]
+   exactly what it got. *)
+let take k =
+  if k <= 0 then 0
+  else begin
+    let rec go () =
+      let cur = Atomic.get available in
+      if cur = 0 then 0
+      else begin
+        let got = Int.min cur k in
+        if Atomic.compare_and_set available cur (cur - got) then got
+        else go ()
+      end
+    in
+    go ()
+  end
+
+let release n = if n > 0 then ignore (Atomic.fetch_and_add available n)
+
+let map ?(chunk = 1) f items =
+  assert (chunk >= 1);
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let results = Array.make n None in
+  let exec i = results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e) in
+  let chunks = (n + chunk - 1) / chunk in
+  (* The caller is one worker; claim at most enough extras that every
+     worker could own a chunk. *)
+  let extra = if chunks <= 1 then 0 else take (chunks - 1) in
+  if extra = 0 then
+    for i = 0 to n - 1 do
+      exec i
+    done
+  else begin
+    (* Self-scheduling: each worker claims the next unclaimed chunk, so
+       uneven item costs never serialise behind a static partition. Every
+       slot is written by exactly one worker; Domain.join publishes the
+       writes before the caller reads them back. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let c = Atomic.fetch_and_add next 1 in
+        let lo = c * chunk in
+        if lo < n then begin
+          let hi = Int.min n (lo + chunk) - 1 in
+          for i = lo to hi do
+            exec i
+          done;
+          go ()
+        end
+      in
+      go ()
+    in
+    Fun.protect
+      ~finally:(fun () -> release extra)
+      (fun () ->
+        let domains = List.init extra (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join domains)
+  end;
+  let out =
+    Array.map (function Some r -> r | None -> assert false) results
+  in
+  (* Sequential semantics for failures: re-raise the first (in item
+     order) exception. Later items may already have run — callers' item
+     functions are pure per the contract above, so that is unobservable. *)
+  Array.iter (function Error e -> raise e | Ok _ -> ()) out;
+  Array.to_list (Array.map (function Ok v -> v | Error _ -> assert false) out)
+
+let map_rng ~seed ~key f items =
+  let tagged = List.mapi (fun i x -> (i, x)) items in
+  map
+    (fun (i, x) ->
+      f (Task.derive_rng ~seed (Printf.sprintf "%s#%d" key i)) x)
+    tagged

@@ -1,0 +1,36 @@
+(** Deterministic intra-experiment parallel map over a process-wide
+    domain budget.
+
+    {!Pool} parallelises across experiments; [Par.map] parallelises the
+    independent items {e inside} one experiment (fig15's nine seeds,
+    fig12/fig13's per-trace analyses, table2's rows) over whatever part of
+    the [--jobs] budget the outer pool left unclaimed. The two layers
+    share one budget, so total concurrency never exceeds [--jobs].
+
+    Contract: the item function's result must depend only on the item —
+    derive any per-item randomness from a seed and the item (or use
+    {!map_rng}), never from shared mutable state. Under that contract the
+    result list is identical for every budget, including zero. *)
+
+val set_extra_domains : int -> unit
+(** Install the number of extra domains [map] may spawn process-wide
+    (clamped below at 0). Called by {!Pool} with whatever [--jobs] leaves
+    over; tests and standalone callers may set it directly. *)
+
+val extra_domains : unit -> int
+(** Currently unclaimed budget. *)
+
+val map : ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f items] applies [f] to every item, sharding self-scheduled
+    chunks of [chunk] items (default 1) across the caller plus however
+    many budget domains it can claim (possibly none). Results preserve
+    item order and are independent of the budget. If any item raised, the
+    first such exception (in item order) is re-raised after all items
+    settle, so one failure cannot wedge spawned domains. *)
+
+val map_rng :
+  seed:int -> key:string -> (Prng.Rng.t -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_rng ~seed ~key f items] is {!map} where item [i] additionally
+    receives the RNG stream [Task.derive_rng ~seed "key#i"] — keyed by
+    seed, caller identity, and item index only, so streams are stable
+    under any budget and any scheduling. *)

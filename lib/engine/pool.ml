@@ -7,10 +7,14 @@ let map ~jobs f items =
   let exec i =
     results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e)
   in
-  if jobs <= 1 || n <= 1 then
+  if jobs <= 1 || n <= 1 then begin
+    (* Whatever --jobs grants beyond this (caller) domain is handed to
+       Par.map call sites inside the experiments. *)
+    Par.set_extra_domains (jobs - 1);
     for i = 0 to n - 1 do
       exec i
     done
+  end
   else begin
     (* Self-scheduling work queue: the atomic counter hands each worker
        the next unclaimed index, so long tasks never serialise behind a
@@ -24,7 +28,9 @@ let map ~jobs f items =
         worker ()
       end
     in
-    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    let w = min jobs n in
+    Par.set_extra_domains (jobs - w);
+    let domains = List.init w (fun _ -> Domain.spawn worker) in
     List.iter Domain.join domains
   end;
   Array.to_list

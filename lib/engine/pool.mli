@@ -11,7 +11,10 @@ val default_jobs : unit -> int
 val map : jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** [map ~jobs f items] applies [f] to every item, on the calling domain
     when [jobs <= 1], on a pool of [min jobs (length items)] domains
-    otherwise. The result list matches [items] in order and length. *)
+    otherwise. The result list matches [items] in order and length.
+    Whatever [jobs] grants beyond the domains the pool itself uses is
+    installed as the {!Par} budget, so intra-experiment [Par.map] sites
+    can use it without the two layers ever exceeding [jobs] domains. *)
 
 val run :
   ?jobs:int ->

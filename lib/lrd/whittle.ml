@@ -1,4 +1,9 @@
-type result = { h : float; stderr : float; objective : float }
+type result = {
+  h : float;
+  stderr : float;
+  objective : float;
+  at_boundary : bool;
+}
 
 let objective_with ~density pgram theta =
   let freqs = pgram.Timeseries.Periodogram.freqs in
@@ -16,6 +21,90 @@ let objective_with ~density pgram theta =
 let fgn_density ~theta lambda = Fgn.spectral_density ~h:theta lambda
 
 let objective pgram h = objective_with ~density:fgn_density pgram h
+
+(* Fast fGn objective: the density factors as f(l; h) = C(l) * S(l; h)
+   with C(l) = 1 - cos l independent of h and
+     S(l; h) = l^d + sum_{j=1..3} (a_j^d + b_j^d)
+               + (a_3^d' + b_3^d' + a_4^d' + b_4^d') / (8 h pi)
+   for a_j = 2 pi j + l, b_j = 2 pi j - l, d = -2h - 1, d' = d + 1
+   (Paxson's three-term + trapezoidal-tail approximation, as in
+   [Fgn.spectral_density]). All bases depend only on the frequency grid,
+   so we hoist their logarithms out of the golden-section loop: each
+   evaluation then costs exp (d * log x) on cached log x instead of [**]
+   (which must recompute log x every call), the j = 3 tail terms reuse
+   x^d' = x * x^d, and the h-independent parts of the objective
+     R = log (mean_j (I_j / C_j) / S_j) + mean_j log S_j + mean_j log C_j
+   (the scaled periodogram I_j / C_j and mean_j log C_j) are computed once
+   per periodogram. *)
+let fgn_objective_fn pgram =
+  let freqs = pgram.Timeseries.Periodogram.freqs in
+  let power = pgram.Timeseries.Periodogram.power in
+  let n = Array.length freqs in
+  let two_pi = 2. *. Float.pi in
+  (* Layout: 9 logs per frequency —
+     log l, log a1, log b1, log a2, log b2, log a3, log b3, log a4, log b4. *)
+  let logs = Array.make (9 * n) 0. in
+  let a3v = Array.make n 0. and b3v = Array.make n 0. in
+  let scaled_power = Array.make n 0. in
+  let log_c_sum = ref 0. in
+  for j = 0 to n - 1 do
+    let l = freqs.(j) in
+    let base = 9 * j in
+    logs.(base) <- log (Float.abs l);
+    logs.(base + 1) <- log (two_pi +. l);
+    logs.(base + 2) <- log (two_pi -. l);
+    logs.(base + 3) <- log ((2. *. two_pi) +. l);
+    logs.(base + 4) <- log ((2. *. two_pi) -. l);
+    let a3 = (3. *. two_pi) +. l and b3 = (3. *. two_pi) -. l in
+    logs.(base + 5) <- log a3;
+    logs.(base + 6) <- log b3;
+    logs.(base + 7) <- log ((4. *. two_pi) +. l);
+    logs.(base + 8) <- log ((4. *. two_pi) -. l);
+    a3v.(j) <- a3;
+    b3v.(j) <- b3;
+    let c = 1. -. cos l in
+    scaled_power.(j) <- power.(j) /. c;
+    log_c_sum := !log_c_sum +. log c
+  done;
+  let nf = float_of_int n in
+  let log_c_mean = !log_c_sum /. nf in
+  fun h ->
+    let d = (-2. *. h) -. 1. in
+    let dp = -2. *. h in
+    let inv_tail = 1. /. (8. *. h *. Float.pi) in
+    let ratio_sum = ref 0. and logs_sum = ref 0. in
+    for j = 0 to n - 1 do
+      let base = 9 * j in
+      let pa3 = exp (d *. logs.(base + 5)) in
+      let pb3 = exp (d *. logs.(base + 6)) in
+      let s =
+        exp (d *. logs.(base))
+        +. exp (d *. logs.(base + 1))
+        +. exp (d *. logs.(base + 2))
+        +. exp (d *. logs.(base + 3))
+        +. exp (d *. logs.(base + 4))
+        +. pa3 +. pb3
+        +. (((a3v.(j) *. pa3) +. (b3v.(j) *. pb3)
+             +. exp (dp *. logs.(base + 7))
+             +. exp (dp *. logs.(base + 8)))
+            *. inv_tail)
+      in
+      ratio_sum := !ratio_sum +. (scaled_power.(j) /. s);
+      logs_sum := !logs_sum +. log s
+    done;
+    log (!ratio_sum /. nf) +. (!logs_sum /. nf) +. log_c_mean
+
+(* Memoise objective evaluations: the golden-section bracket endpoints and
+   the curvature stencil around the optimum revisit the same theta. *)
+let memoised f =
+  let cache = Hashtbl.create 64 in
+  fun theta ->
+    match Hashtbl.find_opt cache theta with
+    | Some v -> v
+    | None ->
+      let v = f theta in
+      Hashtbl.add cache theta v;
+      v
 
 (* Golden-section search with memoised interior points. *)
 let golden_section f lo hi =
@@ -44,21 +133,41 @@ let golden_section f lo hi =
   done;
   (!a +. !b) /. 2.
 
+(* Minimise [f] over [lo, hi] and attach the curvature-based standard
+   error: R is (2/n) x the profiled negative log-likelihood, so
+   Var(theta) ~ 2 / (n R''). When the minimiser lands on the search
+   boundary the one-sided stencil degenerates (h_p - h or h - h_m is 0 and
+   the curvature is undefined), so report a nan stderr with the boundary
+   flagged rather than letting an inf/nan ratio propagate. *)
+let search f ~lo ~hi ~n_freqs =
+  let f = memoised f in
+  let h = golden_section f lo hi in
+  let eps = 1e-3 in
+  let at_boundary = h -. lo < eps /. 2. || hi -. h < eps /. 2. in
+  let fh = f h in
+  let stderr =
+    if at_boundary then nan
+    else begin
+      let h_m = h -. eps and h_p = h +. eps in
+      let second =
+        (f h_p -. (2. *. fh) +. f h_m) /. ((h_p -. h) *. (h -. h_m))
+      in
+      let n = float_of_int n_freqs in
+      if second > 0. then sqrt (2. /. (n *. second)) else nan
+    end
+  in
+  { h; stderr; objective = fh; at_boundary }
+
 let estimate_with ~density ~lo ~hi xs =
   assert (Array.length xs >= 16);
   let pgram = Timeseries.Periodogram.compute xs in
-  let f = objective_with ~density pgram in
-  let h = golden_section f lo hi in
-  (* Curvature-based standard error: R is (2/n) x the profiled negative
-     log-likelihood, so Var(theta) ~ 2 / (n R''). *)
-  let eps = 1e-3 in
-  let h_m = Float.max lo (h -. eps) and h_p = Float.min hi (h +. eps) in
-  let second =
-    (f h_p -. (2. *. f h) +. f h_m) /. ((h_p -. h) *. (h -. h_m))
-  in
-  let n = float_of_int (Array.length pgram.Timeseries.Periodogram.freqs) in
-  let stderr = if second > 0. then sqrt (2. /. (n *. second)) else nan in
-  { h; stderr; objective = f h }
+  search (objective_with ~density pgram) ~lo ~hi
+    ~n_freqs:(Array.length pgram.Timeseries.Periodogram.freqs)
 
-let estimate ?(h_lo = 0.01) ?(h_hi = 0.99) xs =
-  estimate_with ~density:fgn_density ~lo:h_lo ~hi:h_hi xs
+let estimate_pgram ?(h_lo = 0.01) ?(h_hi = 0.99) pgram =
+  search (fgn_objective_fn pgram) ~lo:h_lo ~hi:h_hi
+    ~n_freqs:(Array.length pgram.Timeseries.Periodogram.freqs)
+
+let estimate ?h_lo ?h_hi xs =
+  assert (Array.length xs >= 16);
+  estimate_pgram ?h_lo ?h_hi (Timeseries.Periodogram.compute xs)

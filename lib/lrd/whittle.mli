@@ -12,16 +12,35 @@ type result = {
   h : float;
   stderr : float;
       (** Approximate asymptotic standard error from the curvature of the
-          profiled Whittle objective. *)
+          profiled Whittle objective; [nan] when the minimiser landed on
+          the search boundary (see {!field-at_boundary}). *)
   objective : float;  (** R(H) at the minimum. *)
+  at_boundary : bool;
+      (** The minimiser hit the [lo]/[hi] search boundary, where the
+          curvature stencil degenerates: treat [h] as a bound, not an
+          estimate, and expect [stderr = nan]. *)
 }
 
 val estimate : ?h_lo:float -> ?h_hi:float -> float array -> result
 (** Golden-section minimisation over [[h_lo, h_hi]] (defaults 0.01/0.99).
     Requires at least 16 observations. *)
 
+val estimate_pgram :
+  ?h_lo:float -> ?h_hi:float -> Timeseries.Periodogram.t -> result
+(** As {!estimate}, but on a periodogram the caller already computed —
+    lets Whittle and Beran share one FFT of the same series. *)
+
 val objective : Timeseries.Periodogram.t -> float -> float
-(** The profiled Whittle objective R(H) for a precomputed periodogram. *)
+(** The profiled Whittle objective R(H) for a precomputed periodogram.
+    (Reference implementation; see {!fgn_objective_fn} for the hot path.) *)
+
+val fgn_objective_fn : Timeseries.Periodogram.t -> float -> float
+(** [fgn_objective_fn pgram] precomputes the theta-independent base
+    logarithms and scaled periodogram once, returning an evaluator
+    equivalent to [objective pgram] (up to floating-point reassociation)
+    in which each density evaluation is [exp (d *. log x)] on cached
+    [log x] rather than [( ** )]. Partially applying it amortises the
+    tables across a whole golden-section search. *)
 
 val estimate_with :
   density:(theta:float -> float -> float) ->

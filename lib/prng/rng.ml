@@ -1,4 +1,26 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* xoshiro256++, with the four 64-bit state words stored as pairs of
+   32-bit halves in immediate (untagged-boxing-free) native ints.
+
+   Without flambda, every [Int64] operation heap-allocates its result, and
+   profiling shows [float] draws dominating the renewal/trace hot loops
+   (~24 ns/draw, almost all of it boxed-Int64 churn in the xoshiro step).
+   Doing the step on native-int halves keeps the whole draw allocation-free
+   and roughly halves its cost, while remaining bit-for-bit identical to
+   the Int64 formulation: every half is masked back to 32 bits after each
+   carry/shift, so the 64-bit wrap-around semantics are preserved exactly.
+
+   [Int64] is kept on the cold paths (seeding, [split], [bits64], [int])
+   where exact 64-bit modular arithmetic is clearer than the half-word
+   derivation and the call frequency is negligible. *)
+
+type t = {
+  mutable s0h : int; mutable s0l : int;
+  mutable s1h : int; mutable s1l : int;
+  mutable s2h : int; mutable s2l : int;
+  mutable s3h : int; mutable s3l : int;
+}
+
+let mask32 = 0xFFFFFFFF
 
 (* SplitMix64: used only to expand the user seed into the 256-bit xoshiro
    state, per Vigna's recommendation. *)
@@ -10,31 +32,70 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+let hi64 v = Int64.to_int (Int64.shift_right_logical v 32)
+let lo64 v = Int64.to_int (Int64.logand v 0xFFFFFFFFL)
+
+let of_words s0 s1 s2 s3 =
+  {
+    s0h = hi64 s0; s0l = lo64 s0;
+    s1h = hi64 s1; s1l = lo64 s1;
+    s2h = hi64 s2; s2l = lo64 s2;
+    s3h = hi64 s3; s3l = lo64 s3;
+  }
+
 let create seed =
   let state = ref (Int64.of_int seed) in
   let s0 = splitmix64 state in
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+  of_words s0 s1 s2 s3
 
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy t =
+  {
+    s0h = t.s0h; s0l = t.s0l;
+    s1h = t.s1h; s1l = t.s1l;
+    s2h = t.s2h; s2l = t.s2l;
+    s3h = t.s3h; s3l = t.s3l;
+  }
 
-let rotl x k =
-  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+(* One xoshiro256++ step on half-words. Returns the 64-bit result as
+   (hi, lo) through the two out-parameters of the caller; since returning
+   a tuple would allocate, the step is duplicated in [float] (hot, result
+   folded straight into a mantissa) and [bits64] (cold, result reboxed).
+   Keep the two copies in sync. *)
 
-(* xoshiro256++ step. *)
+(* xoshiro256++ step, cold path: result as a boxed Int64. *)
 let bits64 t =
-  let open Int64 in
-  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
-  let u = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 u;
-  t.s3 <- rotl t.s3 45;
-  result
+  (* result = rotl (s0 + s3, 23) + s0 *)
+  let l = t.s0l + t.s3l in
+  let h = (t.s0h + t.s3h + (l lsr 32)) land mask32 in
+  let l = l land mask32 in
+  let rh = ((h lsl 23) lor (l lsr 9)) land mask32 in
+  let rl = ((l lsl 23) lor (h lsr 9)) land mask32 in
+  let l = rl + t.s0l in
+  let rh = (rh + t.s0h + (l lsr 32)) land mask32 in
+  let rl = l land mask32 in
+  (* u = s1 << 17 *)
+  let uh = ((t.s1h lsl 17) lor (t.s1l lsr 15)) land mask32 in
+  let ul = (t.s1l lsl 17) land mask32 in
+  t.s2h <- t.s2h lxor t.s0h;
+  t.s2l <- t.s2l lxor t.s0l;
+  t.s3h <- t.s3h lxor t.s1h;
+  t.s3l <- t.s3l lxor t.s1l;
+  t.s1h <- t.s1h lxor t.s2h;
+  t.s1l <- t.s1l lxor t.s2l;
+  t.s0h <- t.s0h lxor t.s3h;
+  t.s0l <- t.s0l lxor t.s3l;
+  t.s2h <- t.s2h lxor uh;
+  t.s2l <- t.s2l lxor ul;
+  (* s3 = rotl (s3, 45) = rotl (swapped halves, 13) *)
+  let h3 = t.s3h and l3 = t.s3l in
+  t.s3h <- ((l3 lsl 13) lor (h3 lsr 19)) land mask32;
+  t.s3l <- ((h3 lsl 13) lor (l3 lsr 19)) land mask32;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int rh) 32)
+    (Int64.of_int rl)
 
 let split t =
   (* Derive a child state by hashing fresh output through SplitMix64;
@@ -44,12 +105,36 @@ let split t =
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+  of_words s0 s1 s2 s3
 
+(* xoshiro256++ step, hot path: top 53 result bits -> [0,1) without any
+   intermediate boxing (the duplicate of the step in [bits64]). *)
 let float t =
-  (* Top 53 bits -> [0,1). *)
-  let x = Int64.shift_right_logical (bits64 t) 11 in
-  Int64.to_float x *. 0x1.0p-53
+  let l = t.s0l + t.s3l in
+  let h = (t.s0h + t.s3h + (l lsr 32)) land mask32 in
+  let l = l land mask32 in
+  let rh = ((h lsl 23) lor (l lsr 9)) land mask32 in
+  let rl = ((l lsl 23) lor (h lsr 9)) land mask32 in
+  let l = rl + t.s0l in
+  let rh = (rh + t.s0h + (l lsr 32)) land mask32 in
+  let rl = l land mask32 in
+  let uh = ((t.s1h lsl 17) lor (t.s1l lsr 15)) land mask32 in
+  let ul = (t.s1l lsl 17) land mask32 in
+  t.s2h <- t.s2h lxor t.s0h;
+  t.s2l <- t.s2l lxor t.s0l;
+  t.s3h <- t.s3h lxor t.s1h;
+  t.s3l <- t.s3l lxor t.s1l;
+  t.s1h <- t.s1h lxor t.s2h;
+  t.s1l <- t.s1l lxor t.s2l;
+  t.s0h <- t.s0h lxor t.s3h;
+  t.s0l <- t.s0l lxor t.s3l;
+  t.s2h <- t.s2h lxor uh;
+  t.s2l <- t.s2l lxor ul;
+  let h3 = t.s3h and l3 = t.s3l in
+  t.s3h <- ((l3 lsl 13) lor (h3 lsr 19)) land mask32;
+  t.s3l <- ((h3 lsl 13) lor (l3 lsr 19)) land mask32;
+  (* Top 53 bits (rh:32 above rl's top 21) -> [0,1). *)
+  float_of_int ((rh lsl 21) lor (rl lsr 11)) *. 0x1.0p-53
 
 let rec float_pos t =
   let x = float t in

@@ -44,7 +44,7 @@ let quantile xs p =
   check_nonempty xs;
   assert (p >= 0. && p <= 1.);
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else

@@ -21,7 +21,7 @@ let hill xs ~k =
   let n = Array.length xs in
   assert (k >= 1 && k < n);
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let x_k = sorted.(n - 1 - k) in
   assert (x_k > 0.);
   let acc = ref 0. in

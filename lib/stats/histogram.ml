@@ -69,7 +69,7 @@ let density t i =
 
 let ecdf_grid xs grid =
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let count_le x =
     (* Binary search: number of samples <= x. *)

@@ -8,7 +8,7 @@ let statistic cdf xs =
   let n = Array.length xs in
   assert (n > 0);
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let z = Array.map (fun x -> clamp (cdf x)) sorted in
   let nf = float_of_int n in
   let acc = ref 0. in

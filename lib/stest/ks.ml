@@ -4,7 +4,7 @@ let statistic cdf xs =
   let n = Array.length xs in
   assert (n > 0);
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let nf = float_of_int n in
   let d = ref 0. in
   for i = 0 to n - 1 do

@@ -15,7 +15,7 @@ type verdict = {
 let check ?(level = 0.05) ?(min_interarrivals = 5) ~interval ~duration arrivals =
   assert (interval > 0. && duration > 0.);
   let times = Array.copy arrivals in
-  Array.sort compare times;
+  Array.sort Float.compare times;
   let n_intervals =
     Int.max 1 (int_of_float (Float.floor (duration /. interval)))
   in

@@ -155,7 +155,7 @@ let run ?(config = default_config) specs =
         pump i t)
   done;
   let deps = Array.of_list !departures in
-  Array.sort compare deps;
+  Array.sort Float.compare deps;
   {
     departures = deps;
     flows =

@@ -77,7 +77,7 @@ let packets_of_conn (c : Traffic.Ftp_model.data_conn) rng =
         if i = 0 then c.conn_start
         else c.conn_start +. Prng.Rng.float_range rng 0. dur)
   in
-  Array.sort compare ts;
+  Array.sort Float.compare ts;
   ts
 
 (* Background bulk connections: Poisson arrivals, Pareto lifetimes
@@ -97,7 +97,7 @@ let background ~rate ~duration ~pkts_per_sec rng =
            let ts =
              Array.init n (fun _ -> s +. Prng.Rng.float_range rng 0. (stop -. s))
            in
-           Array.sort compare ts;
+           Array.sort Float.compare ts;
            ts)
   in
   Traffic.Arrival.merge chunks

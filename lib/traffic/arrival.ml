@@ -5,27 +5,127 @@ let is_sorted xs =
   done;
   !ok
 
-let merge lists =
-  let total = List.fold_left (fun acc a -> acc + Array.length a) 0 lists in
-  let out = Array.make total 0. in
+(* K-way merge of individually sorted sources into [out] via a binary
+   min-heap keyed on each source's current head. O(N log k) instead of the
+   O(N log N) concat-and-sort, and the traces merge hundreds of sorted
+   per-connection arrays. Equal elements are floats, so any tie order
+   yields the same output array. *)
+let kway arrays out =
+  let k = Array.length arrays in
+  let idx = Array.make k 0 in
+  let hv = Array.make k 0. in
+  let hs = Array.make k 0 in
+  let size = ref 0 in
+  let swap i j =
+    let v = hv.(i) and s = hs.(i) in
+    hv.(i) <- hv.(j);
+    hs.(i) <- hs.(j);
+    hv.(j) <- v;
+    hs.(j) <- s
+  in
+  let rec up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if hv.(i) < hv.(p) then begin
+        swap i p;
+        up p
+      end
+    end
+  in
+  let rec down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = ref i in
+    if l < !size && hv.(l) < hv.(!m) then m := l;
+    if r < !size && hv.(r) < hv.(!m) then m := r;
+    if !m <> i then begin
+      swap i !m;
+      down !m
+    end
+  in
+  Array.iteri
+    (fun s a ->
+      if Array.length a > 0 then begin
+        hv.(!size) <- a.(0);
+        hs.(!size) <- s;
+        incr size;
+        up (!size - 1)
+      end)
+    arrays;
   let pos = ref 0 in
-  List.iter
-    (fun a ->
-      Array.blit a 0 out !pos (Array.length a);
-      pos := !pos + Array.length a)
-    lists;
-  Array.sort compare out;
-  out
+  while !size > 0 do
+    let s = hs.(0) in
+    out.(!pos) <- hv.(0);
+    incr pos;
+    let i = idx.(s) + 1 in
+    idx.(s) <- i;
+    let a = arrays.(s) in
+    if i < Array.length a then begin
+      hv.(0) <- a.(i);
+      down 0
+    end
+    else begin
+      decr size;
+      hv.(0) <- hv.(!size);
+      hs.(0) <- hs.(!size);
+      if !size > 0 then down 0
+    end
+  done
+
+let merge lists =
+  (* Callers normally hand over sorted arrival streams; tolerate unsorted
+     input (property tests, ad-hoc callers) by sorting a copy of just
+     those sources. Either way the result is the sorted multiset union. *)
+  let arrays =
+    List.map
+      (fun a ->
+        if is_sorted a then a
+        else begin
+          let c = Array.copy a in
+          Array.sort Float.compare c;
+          c
+        end)
+      lists
+  in
+  let total = List.fold_left (fun acc a -> acc + Array.length a) 0 arrays in
+  let out = Array.make total 0. in
+  match List.filter (fun a -> Array.length a > 0) arrays with
+  | [] -> out
+  | [ a ] ->
+    Array.blit a 0 out 0 total;
+    out
+  | arrays ->
+    kway (Array.of_list arrays) out;
+    out
 
 let shift dt xs = Array.map (fun t -> t +. dt) xs
 
 let clip ~lo ~hi xs =
-  Array.of_list (List.filter (fun t -> t >= lo && t < hi) (Array.to_list xs))
+  let n = ref 0 in
+  Array.iter (fun t -> if t >= lo && t < hi then incr n) xs;
+  let out = Array.make !n 0. in
+  let i = ref 0 in
+  Array.iter
+    (fun t ->
+      if t >= lo && t < hi then begin
+        out.(!i) <- t;
+        incr i
+      end)
+    xs;
+  out
 
 let thin ~keep rng xs =
   assert (keep >= 0. && keep <= 1.);
-  Array.of_list
-    (List.filter (fun _ -> Prng.Rng.float rng < keep) (Array.to_list xs))
+  (* Single pass: exactly one RNG draw per event, in order. *)
+  let tmp = Array.make (Array.length xs) 0. in
+  let n = ref 0 in
+  Array.iter
+    (fun t ->
+      if Prng.Rng.float rng < keep then begin
+        tmp.(!n) <- t;
+        incr n
+      end)
+    xs;
+  Array.sub tmp 0 !n
 
 let interarrivals xs =
   assert (Array.length xs >= 2);

@@ -27,5 +27,5 @@ let periodic ~period ~jitter ~duration rng =
     incr k
   done;
   let a = Array.of_list !out in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   a

@@ -24,7 +24,7 @@ let synthesize scheme spec rng =
               if i = 0 then start
               else start +. Prng.Rng.float_range rng 0. dur)
         in
-        Array.sort compare ts;
+        Array.sort Float.compare ts;
         ts
       end
   in

@@ -41,7 +41,7 @@ let responder_packets ?(params = default_params) ~originator rng =
       end)
     originator;
   let a = Array.of_list !out in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   a
 
 let connection ?params (c : Telnet_model.connection) rng =

@@ -159,6 +159,90 @@ let test_cache_unknown_key () =
      | _ -> false
      | exception Not_found -> true)
 
+let test_memo_single_generation () =
+  (* Concurrent domains asking for the same memo key run the thunk
+     exactly once and share the value physically. *)
+  Core.Cache.clear ();
+  let key = "test-engine-memo" in
+  let before = Core.Cache.generation_count_of ("memo:" ^ key) in
+  let fetch () = Core.Cache.memo key (fun () -> Array.init 64 float_of_int) in
+  let domains = List.init 4 (fun _ -> Domain.spawn fetch) in
+  let values = fetch () :: List.map Domain.join domains in
+  check_int "generated exactly once"
+    (before + 1)
+    (Core.Cache.generation_count_of ("memo:" ^ key));
+  match values with
+  | first :: rest ->
+    List.iter
+      (fun v -> check_true "all callers share one value" (v == first))
+      rest
+  | [] -> assert false
+
+let test_memo_failed_thunk_retries () =
+  Core.Cache.clear ();
+  let key = "test-engine-memo-fail" in
+  let attempts = ref 0 in
+  let thunk () =
+    incr attempts;
+    if !attempts = 1 then failwith "flaky" else !attempts
+  in
+  check_true "first call raises"
+    (match Core.Cache.memo key thunk with
+     | _ -> false
+     | exception Failure _ -> true);
+  check_int "second call regenerates" 2 (Core.Cache.memo key thunk);
+  check_int "third call is a hit" 2 (Core.Cache.memo key thunk)
+
+(* ---------------- Par ---------------- *)
+
+let test_par_determinism () =
+  (* Same results, in order, for any domain budget — including zero —
+     and the budget is restored after each map. *)
+  let items = List.init 37 Fun.id in
+  let f i = float_of_int (i * i) +. (1. /. float_of_int (i + 1)) in
+  let expected = List.map f items in
+  List.iter
+    (fun budget ->
+      Engine.Par.set_extra_domains budget;
+      List.iter
+        (fun chunk ->
+          check_true
+            (Printf.sprintf "budget %d chunk %d" budget chunk)
+            (Engine.Par.map ~chunk f items = expected))
+        [ 1; 4 ];
+      check_int
+        (Printf.sprintf "budget %d restored" budget)
+        budget
+        (Engine.Par.extra_domains ()))
+    [ 0; 1; 3 ];
+  Engine.Par.set_extra_domains 0
+
+let test_par_rng_streams () =
+  (* map_rng item streams depend only on (seed, key, index), never on
+     the budget. *)
+  let items = List.init 9 Fun.id in
+  let f rng _i = Array.init 4 (fun _ -> Prng.Rng.float rng) in
+  let run budget =
+    Engine.Par.set_extra_domains budget;
+    let r = Engine.Par.map_rng ~seed:5 ~key:"t" f items in
+    Engine.Par.set_extra_domains 0;
+    r
+  in
+  let seq = run 0 and par = run 3 in
+  check_true "streams identical across budgets" (seq = par);
+  check_true "streams differ per item"
+    (List.length (List.sort_uniq compare seq) = List.length seq)
+
+let test_par_first_exception () =
+  Engine.Par.set_extra_domains 3;
+  let f i = if i mod 5 = 3 then failwith (string_of_int i) else i in
+  check_true "first item-order failure is re-raised"
+    (match Engine.Par.map f (List.init 20 Fun.id) with
+     | _ -> false
+     | exception Failure msg -> msg = "3");
+  Engine.Par.set_extra_domains 0;
+  check_int "budget restored after failure" 0 (Engine.Par.extra_domains ())
+
 (* ---------------- Determinism ---------------- *)
 
 let strip_durations (a : Engine.Artifact.t) =
@@ -206,6 +290,21 @@ let test_figure_determinism () =
     (fun fl -> check_true "figure rendered" (List.length fl = 1))
     seq
 
+let test_fig_data_generated_once () =
+  (* An --out style run (report + SVG figure in one task) computes the
+     underlying fig data once: both renderers hit the same memo key. *)
+  Core.Cache.clear ();
+  let key = "memo:fig14_data:1000" in
+  let before = Core.Cache.generation_count_of key in
+  let entry = Option.get (Core.Registry.find "fig14") in
+  (match Engine.Pool.run ~jobs:1 ~seed:0 ~figures:true [ Core.Registry.task entry ] with
+   | [ Ok (a : Engine.Artifact.t) ] ->
+     check_true "figure rendered" (List.length a.figures = 1)
+   | _ -> Alcotest.fail "fig14 failed");
+  check_int "fig14 data generated exactly once"
+    (before + 1)
+    (Core.Cache.generation_count_of key)
+
 let suite =
   ( "engine",
     [
@@ -220,7 +319,13 @@ let suite =
       tc "registry index" test_registry_index;
       tc "cache concurrent hits" test_cache_concurrent_hits;
       tc "cache unknown key" test_cache_unknown_key;
+      tc "memo single generation" test_memo_single_generation;
+      tc "memo failed thunk retries" test_memo_failed_thunk_retries;
+      tc "par determinism across budgets" test_par_determinism;
+      tc "par rng streams" test_par_rng_streams;
+      tc "par first exception" test_par_first_exception;
       tc "figure determinism across jobs" test_figure_determinism;
+      tc "fig data generated once per run" test_fig_data_generated_once;
       Alcotest.test_case "full-registry determinism jobs 4 = jobs 1" `Slow
         test_parallel_determinism;
     ] )

@@ -1,0 +1,111 @@
+(* Golden-value regression tests for the hot-path kernels.
+
+   These pin the estimator outputs for fixed seeds to 1e-6 (captured
+   from the reference implementations before the PR-2 kernel rewrites:
+   table-driven Whittle objective, half-word xoshiro step, Pareto
+   sampler fast paths, k-way arrival merge). Any rewrite of those
+   kernels must keep reproducing these numbers — the registry's
+   byte-identity guarantee depends on it. *)
+
+open Helpers
+
+let tol = 1e-6
+
+(* One fGn draw shared by the estimator tests: h = 0.8, n = 2048,
+   seed 11. *)
+let xs = lazy (Lrd.Fgn.generate ~h:0.8 ~n:2048 (Prng.Rng.create 11))
+
+let test_whittle_golden () =
+  let w = Lrd.Whittle.estimate (Lazy.force xs) in
+  check_float_eps "whittle h" tol 0.795401368021 w.Lrd.Whittle.h;
+  check_float_eps "whittle stderr" tol 0.020655219950 w.Lrd.Whittle.stderr;
+  check_float_eps "whittle objective" tol (-2.222587370650) w.Lrd.Whittle.objective;
+  check_false "interior minimum" w.Lrd.Whittle.at_boundary
+
+let test_whittle_objective_agrees () =
+  (* The table-driven evaluator must match the reference objective at
+     interior and near-boundary thetas. *)
+  let pgram = Timeseries.Periodogram.compute (Lazy.force xs) in
+  let fast = Lrd.Whittle.fgn_objective_fn pgram in
+  List.iter
+    (fun h ->
+      check_float_eps
+        (Printf.sprintf "objective at h=%g" h)
+        1e-9 (Lrd.Whittle.objective pgram h) (fast h))
+    [ 0.02; 0.3; 0.5; 0.795; 0.98 ]
+
+let test_beran_golden () =
+  let b = Lrd.Beran.test ~h:0.795401368021 (Lazy.force xs) in
+  check_float_eps "beran t" tol 1.890917346867 b.Lrd.Beran.t_stat;
+  check_float_eps "beran p" tol 0.081077162294 b.Lrd.Beran.p_value
+
+let test_variance_time_golden () =
+  let counts = Array.map (fun x -> x +. 10.) (Lazy.force xs) in
+  let fit =
+    Timeseries.Variance_time.slope ~min_m:1
+      (Timeseries.Variance_time.curve counts)
+  in
+  check_float_eps "variance-time H" tol 0.765777725655
+    (Timeseries.Variance_time.hurst_of_slope fit.Stats.Regression.slope)
+
+let test_farima_golden () =
+  let fa = Lrd.Farima.whittle_d (Lazy.force xs) in
+  check_float_eps "farima d" tol 0.356481681034 fa.Lrd.Whittle.h
+
+let test_pareto_count_golden () =
+  (* Exact integers: the count process must be bit-identical, not just
+     close — fig14/fig15 bytes depend on it. *)
+  let cp =
+    Lrd.Pareto_count.count_process ~beta:1.0 ~a:1.0 ~bin:1e3 ~bins:1000
+      (Prng.Rng.create 1000)
+  in
+  check_int "total arrivals" 54675
+    (int_of_float (Array.fold_left ( +. ) 0. cp));
+  Alcotest.(check (list int))
+    "first ten bins"
+    [ 133; 129; 114; 106; 181; 125; 84; 156; 14; 128 ]
+    (List.init 10 (fun i -> int_of_float cp.(i)))
+
+let test_pareto_count_clamp () =
+  (* Arrivals landing exactly on (or, through float rounding, past) the
+     end of the observation window must fold into the last bin instead
+     of writing out of bounds: with bin = 1 every interarrival >= 1
+     jumps many bins at once, which used to overrun. *)
+  let bins = 8 in
+  List.iter
+    (fun beta ->
+      let cp =
+        Lrd.Pareto_count.count_process ~beta ~a:1.0 ~bin:1.0 ~bins
+          (Prng.Rng.create 7)
+      in
+      check_int (Printf.sprintf "beta=%g length" beta) bins (Array.length cp);
+      Array.iter (fun c -> check_true "non-negative count" (c >= 0.)) cp)
+    [ 1.0; 1.2; 2.0 ]
+
+let test_pareto_fast_paths () =
+  (* The beta = 1 and beta = 2 closed forms must sample the same values
+     as the generic quantile path (same u, same float expression). *)
+  List.iter
+    (fun beta ->
+      let d = Dist.Pareto.create ~location:1.0 ~shape:beta in
+      for i = 0 to 199 do
+        let u = float_of_int i /. 200. in
+        let generic = 1.0 *. ((1. -. u) ** (-1. /. beta)) in
+        check_float_eps
+          (Printf.sprintf "beta=%g quantile(%g)" beta u)
+          1e-9 generic (Dist.Pareto.quantile d u)
+      done)
+    [ 1.0; 2.0 ]
+
+let suite =
+  ( "golden",
+    [
+      tc "whittle h/stderr/objective" test_whittle_golden;
+      tc "whittle fast objective = reference" test_whittle_objective_agrees;
+      tc "beran t/p" test_beran_golden;
+      tc "variance-time H" test_variance_time_golden;
+      tc "farima d" test_farima_golden;
+      tc "pareto count process" test_pareto_count_golden;
+      tc "pareto count clamp" test_pareto_count_clamp;
+      tc "pareto fast paths" test_pareto_fast_paths;
+    ] )

@@ -21,6 +21,7 @@ let () =
       Test_misc2.suite;
       Test_misc3.suite;
       Test_props.suite;
+      Test_golden.suite;
       Test_core.suite;
       Test_figures.suite;
       Test_engine.suite;
