@@ -1,14 +1,26 @@
-# Tier-1 gate: build, full test suite, and a 2-domain smoke run of the
-# engine-backed harness.
-.PHONY: check build test smoke bench bench-smoke
+# Tier-1 gate: build, full test suite (which includes the telemetry
+# non-perturbation regression), the distribution goodness-of-fit
+# battery, and a 2-domain smoke run of the engine-backed harness.
+.PHONY: check build test test-gof test-telemetry smoke bench bench-smoke
 
-check: build test smoke bench-smoke
+check: build test test-gof test-telemetry smoke bench-smoke
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Statistical self-tests: every lib/dist sampler against its own
+# CDF/pmf (KS for continuous, pooled chi-square for discrete), fixed
+# seeds so the pass thresholds are deterministic.
+test-gof:
+	dune exec test/test_main.exe -- test dist-gof -q
+
+# The determinism x telemetry regression on its own: artifacts must be
+# byte-identical across jobs counts and telemetry on/off.
+test-telemetry:
+	dune exec test/test_main.exe -- test engine -q
 
 smoke:
 	dune exec bench/main.exe -- --jobs 2 --only table1

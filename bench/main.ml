@@ -41,6 +41,13 @@ let run_experiments (c : Engine.Cli.config) =
     prerr_endline msg;
     exit 1
   | Ok entries ->
+    (* Telemetry is opt-in; flip it on before the pool starts so every
+       span/counter of the run is recorded from a clean slate. *)
+    let telemetry = c.metrics || c.trace <> None in
+    if telemetry then begin
+      Engine.Telemetry.set_enabled true;
+      Engine.Telemetry.reset ()
+    end;
     Format.fprintf fmt
       "Reproduction harness: Paxson & Floyd, \"Wide-Area Traffic: The \
        Failure of Poisson Modeling\"@.";
@@ -76,6 +83,16 @@ let run_experiments (c : Engine.Cli.config) =
     Option.iter
       (fun dir -> Format.fprintf fmt "[artifacts written under %s/]@." dir)
       c.out;
+    if c.metrics then Engine.Telemetry.pp_summary Format.err_formatter;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Engine.Telemetry.to_chrome_trace ()));
+        Format.fprintf fmt "[chrome trace written to %s]@." path)
+      c.trace;
+    if telemetry then Engine.Telemetry.set_enabled false;
     if !failed > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -128,6 +145,21 @@ let perf () =
        Test.make ~name:"par-map-overhead"
          (Staged.stage (fun () ->
               ignore (Engine.Par.map (fun i -> i + 1) items))));
+      (* The telemetry non-cost claim: a span site with telemetry off is
+         one atomic load + branch on top of calling the thunk. DESIGN.md
+         section 8 requires that increment to stay under 5 ns/site:
+         subtract the paired baseline (same thunk, no span) from the
+         span entry to read it off. *)
+      (let sink = ref 0 in
+       let work () = !sink + 1 in
+       Test.make ~name:"telemetry-span-baseline"
+         (Staged.stage (fun () -> sink := work ())));
+      (Engine.Telemetry.set_enabled false;
+       let sink = ref 0 in
+       let work () = !sink + 1 in
+       Test.make ~name:"telemetry-span-overhead"
+         (Staged.stage (fun () ->
+              sink := Engine.Telemetry.span ~name:"off" work)));
     ]
   in
   let benchmark test =

@@ -47,7 +47,16 @@ let run_cmd =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
            ~doc:"Root seed for per-experiment RNG streams")
   in
-  let run id jobs seed out =
+  let metrics_arg =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Record telemetry; print the span/counter summary to stderr")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record telemetry; write Chrome trace-event JSON to $(docv) \
+                 (load in chrome://tracing or Perfetto)")
+  in
+  let run id jobs seed out metrics trace =
     if jobs < 1 then `Error (false, "--jobs must be at least 1")
     else
       let tasks =
@@ -60,6 +69,11 @@ let run_cmd =
       match tasks with
       | None -> `Error (false, "unknown experiment id " ^ id)
       | Some tasks ->
+        let telemetry = metrics || trace <> None in
+        if telemetry then begin
+          Engine.Telemetry.set_enabled true;
+          Engine.Telemetry.reset ()
+        end;
         let fmt = fmt_of_out out in
         let results = Engine.Pool.run ~jobs ~seed tasks in
         let failed =
@@ -72,13 +86,27 @@ let run_cmd =
             results
         in
         Format.pp_print_flush fmt ();
+        if metrics then Engine.Telemetry.pp_summary Format.err_formatter;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc (Engine.Telemetry.to_chrome_trace ()));
+            Printf.eprintf "chrome trace written to %s\n%!" path)
+          trace;
+        if telemetry then Engine.Telemetry.set_enabled false;
         (match failed with
          | [] -> `Ok ()
          | msgs -> `Error (false, String.concat "; " msgs))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate a table, figure, or in-text experiment")
-    Term.(ret (const run $ id_arg $ jobs_arg $ seed_arg $ out_arg))
+    Term.(
+      ret
+        (const run $ id_arg $ jobs_arg $ seed_arg $ out_arg $ metrics_arg
+       $ trace_arg))
 
 (* ---------------- gen ---------------- *)
 

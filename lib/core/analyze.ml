@@ -19,30 +19,40 @@ let arrivals ?(bin = 1.0) ~span times =
   let counts = Timeseries.Counts.of_events ~bin ~t_end:span times in
   assert (Array.length counts >= 512);
   (* One periodogram serves both the Whittle fit and the Beran test. *)
-  let pgram = Timeseries.Periodogram.compute counts in
-  let whittle = Lrd.Whittle.estimate_pgram pgram in
-  let beran =
-    Lrd.Beran.test_periodogram
-      (fun lambda -> Lrd.Fgn.spectral_density ~h:whittle.Lrd.Whittle.h lambda)
-      pgram
+  let whittle, beran =
+    Engine.Telemetry.span ~name:"estimator:whittle+beran" (fun () ->
+        let pgram = Timeseries.Periodogram.compute counts in
+        let whittle = Lrd.Whittle.estimate_pgram pgram in
+        let beran =
+          Lrd.Beran.test_periodogram
+            (fun lambda ->
+              Lrd.Fgn.spectral_density ~h:whittle.Lrd.Whittle.h lambda)
+            pgram
+        in
+        (whittle, beran))
   in
   let vt_stat xs =
     try (Lrd.Hurst.variance_time xs).Lrd.Hurst.h with _ -> nan
   in
   let h_vt_ci =
-    Stats.Bootstrap.confidence_interval ~replicates:100
-      ~block:(Int.max 32 (Array.length counts / 32))
-      vt_stat counts (Prng.Rng.create 4242)
+    Engine.Telemetry.span ~name:"estimator:bootstrap-ci" (fun () ->
+        Stats.Bootstrap.confidence_interval ~replicates:100
+          ~block:(Int.max 32 (Array.length counts / 32))
+          vt_stat counts (Prng.Rng.create 4242))
   in
   let zeros =
     Array.fold_left (fun a c -> if c = 0. then a + 1 else a) 0 counts
   in
+  let poisson_1h, poisson_10min =
+    Engine.Telemetry.span ~name:"poisson-battery" (fun () ->
+        ( Stest.Poisson_check.check ~interval:3600. ~duration:span times,
+          Stest.Poisson_check.check ~interval:600. ~duration:span times ))
+  in
   {
     n_arrivals = Array.length times;
     span;
-    poisson_1h = Stest.Poisson_check.check ~interval:3600. ~duration:span times;
-    poisson_10min =
-      Stest.Poisson_check.check ~interval:600. ~duration:span times;
+    poisson_1h;
+    poisson_10min;
     h_variance_time = Lrd.Hurst.variance_time counts;
     h_vt_ci;
     h_rs = Lrd.Hurst.rescaled_range counts;

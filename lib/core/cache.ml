@@ -9,6 +9,17 @@ let mutex = Mutex.create ()
 let cond = Condition.create ()
 let generations = Atomic.make 0
 
+(* Telemetry (no-ops unless enabled). Every lookup ends as a hit or a
+   miss; waits count condition-variable sleeps behind an in-flight
+   generation (the woken waiter re-checks and then counts as a hit).
+   Generations is scheduling-independent for a fixed workload — the
+   in-flight marker dedups concurrent generation — while the hit/wait
+   split depends on timing. *)
+let c_hits = Engine.Telemetry.counter "cache.hits"
+let c_misses = Engine.Telemetry.counter "cache.misses"
+let c_waits = Engine.Telemetry.counter "cache.waits"
+let c_generations = Engine.Telemetry.counter "cache.generations"
+
 (* Per-key generation counts, keyed by the namespaced name ("conn:LBL-1",
    "pkt:LBL-PKT-2", "memo:fig15_data:1e+06"). Guarded by [mutex]. *)
 let gen_counts : (string, int) Hashtbl.t = Hashtbl.create 64
@@ -25,16 +36,23 @@ let get cache ~ns generate name =
     match Hashtbl.find_opt cache name with
     | Some (Ready v) ->
       Mutex.unlock mutex;
+      Engine.Telemetry.bump c_hits;
       v
     | Some In_flight ->
+      Engine.Telemetry.bump c_waits;
       Condition.wait cond mutex;
       await ()
     | None -> (
       Hashtbl.replace cache name In_flight;
       Mutex.unlock mutex;
-      match generate name with
+      Engine.Telemetry.bump c_misses;
+      match
+        Engine.Telemetry.span ~name:("cache-gen:" ^ ns ^ ":" ^ name)
+          (fun () -> generate name)
+      with
       | v ->
         Atomic.incr generations;
+        Engine.Telemetry.bump c_generations;
         Mutex.lock mutex;
         let key = ns ^ ":" ^ name in
         Hashtbl.replace gen_counts key

@@ -7,7 +7,10 @@ let table1 ctx =
   let rows =
     List.map
       (fun (spec : Trace.Dataset.spec) ->
-        let trace = Cache.connection_trace spec.name in
+        let trace =
+          Engine.Telemetry.span ~name:"trace-gen" (fun () ->
+              Cache.connection_trace spec.name)
+        in
         [
           spec.name;
           spec.paper_duration;
@@ -39,7 +42,10 @@ let average_curves curves =
 
 let fig1_data () =
   let lbl_names = [ "LBL-1"; "LBL-2"; "LBL-3"; "LBL-4" ] in
-  let traces = List.map Cache.connection_trace lbl_names in
+  let traces =
+    Engine.Telemetry.span ~name:"trace-gen" (fun () ->
+        List.map Cache.connection_trace lbl_names)
+  in
   let avg proto =
     average_curves (List.map (fun t -> hourly_fractions_of t proto) traces)
   in
@@ -109,8 +115,12 @@ let fig2_data () =
   List.concat
   @@ Engine.Par.map
     (fun name ->
-      let trace = Cache.connection_trace name in
+      let trace =
+        Engine.Telemetry.span ~name:"trace-gen" (fun () ->
+            Cache.connection_trace name)
+      in
       let span = trace.Trace.Record.span in
+      Engine.Telemetry.span ~name:("poisson-battery:" ^ name) @@ fun () ->
       List.concat_map
         (fun (label, times) ->
           if Array.length times < 10 then []

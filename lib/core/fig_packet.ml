@@ -12,7 +12,10 @@ let table2 ctx =
   let rows =
     Engine.Par.map
       (fun (spec : Trace.Packet_dataset.spec) ->
-        let t = Cache.packet_trace spec.name in
+        let t =
+          Engine.Telemetry.span ~name:"trace-gen" (fun () ->
+              Cache.packet_trace spec.name)
+        in
         [
           spec.name;
           spec.paper_when;
@@ -56,7 +59,10 @@ let log_grid lo hi n =
       lo *. ((hi /. lo) ** (float_of_int i /. float_of_int (n - 1))))
 
 let fig3_data () =
-  let trace = Cache.packet_trace "LBL-PKT-1" in
+  let trace =
+    Engine.Telemetry.span ~name:"trace-gen" (fun () ->
+        Cache.packet_trace "LBL-PKT-1")
+  in
   let gaps = telnet_interarrivals trace in
   let geometric_mean = Stats.Descriptive.geometric_mean gaps in
   let arithmetic_mean = Stats.Descriptive.mean gaps in
@@ -197,18 +203,25 @@ let kept_packets trace =
 let counts_of_scheme trace scheme seed =
   let spec_list = conn_specs trace in
   let rng = Prng.Rng.create seed in
-  let conns = Traffic.Telnet_model.synthesize_all scheme spec_list rng in
+  let conns =
+    Engine.Telemetry.span ~name:"model:synthesize" (fun () ->
+        Traffic.Telnet_model.synthesize_all scheme spec_list rng)
+  in
   let duration = trace.Trace.Packet_dataset.spec.duration in
   Traffic.Arrival.clip ~lo:0. ~hi:duration
     (Traffic.Telnet_model.packet_times conns)
 
 let fig5_data () =
-  let trace = Cache.packet_trace "LBL-PKT-2" in
+  let trace =
+    Engine.Telemetry.span ~name:"trace-gen" (fun () ->
+        Cache.packet_trace "LBL-PKT-2")
+  in
   let duration = trace.Trace.Packet_dataset.spec.duration in
   let bin = 0.1 in
   let vt times =
-    Timeseries.Variance_time.curve
-      (Timeseries.Counts.of_events ~bin ~t_end:duration times)
+    Engine.Telemetry.span ~name:"estimator:variance-time" (fun () ->
+        Timeseries.Variance_time.curve
+          (Timeseries.Counts.of_events ~bin ~t_end:duration times))
   in
   [
     ("TRACE", vt (kept_packets trace));
@@ -320,12 +333,16 @@ let fig6 ctx =
 (* Fig. 7                                                              *)
 
 let fig7_data () =
-  let trace = Cache.packet_trace "LBL-PKT-2" in
+  let trace =
+    Engine.Telemetry.span ~name:"trace-gen" (fun () ->
+        Cache.packet_trace "LBL-PKT-2")
+  in
   let duration = trace.Trace.Packet_dataset.spec.duration in
   let bin = 0.1 in
   let vt times =
-    Timeseries.Variance_time.curve
-      (Timeseries.Counts.of_events ~bin ~t_end:duration times)
+    Engine.Telemetry.span ~name:"estimator:variance-time" (fun () ->
+        Timeseries.Variance_time.curve
+          (Timeseries.Counts.of_events ~bin ~t_end:duration times))
   in
   let rate = trace.Trace.Packet_dataset.spec.telnet_conns_per_hour in
   let model seed =
@@ -334,8 +351,9 @@ let fig7_data () =
        hour. *)
     let rng = Prng.Rng.create seed in
     let conns =
-      Traffic.Telnet_model.full_tel ~rate_per_hour:rate
-        ~duration:(2. *. duration) rng
+      Engine.Telemetry.span ~name:"model:full-tel" (fun () ->
+          Traffic.Telnet_model.full_tel ~rate_per_hour:rate
+            ~duration:(2. *. duration) rng)
     in
     let pkts = Traffic.Telnet_model.packet_times conns in
     Traffic.Arrival.shift (-.duration)
@@ -384,9 +402,14 @@ let rate_series bursts ~n_minutes =
   out
 
 let dominance_of name =
-  let t = Cache.packet_trace name in
+  let t =
+    Engine.Telemetry.span ~name:"trace-gen" (fun () -> Cache.packet_trace name)
+  in
   let conns = Trace.Packet_dataset.ftpdata_conns t in
-  let bursts = Trace.Bursts.group conns in
+  let bursts =
+    Engine.Telemetry.span ~name:"bursts:group" (fun () ->
+        Trace.Bursts.group conns)
+  in
   let n = List.length bursts in
   let sorted =
     List.sort

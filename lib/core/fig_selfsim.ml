@@ -9,26 +9,33 @@ type trace_selfsim = {
 }
 
 let selfsim_of name =
-  let t = Cache.packet_trace name in
+  let t =
+    Engine.Telemetry.span ~name:"trace-gen" (fun () -> Cache.packet_trace name)
+  in
   let duration = t.Trace.Packet_dataset.spec.duration in
   let counts =
     Timeseries.Counts.of_events ~bin:0.01 ~t_end:duration
       t.Trace.Packet_dataset.all_packets
   in
-  let curve = Timeseries.Variance_time.curve counts in
+  let curve =
+    Engine.Telemetry.span ~name:"estimator:variance-time" (fun () ->
+        Timeseries.Variance_time.curve counts)
+  in
   let fit = Timeseries.Variance_time.slope ~min_m:10 curve in
   (* Whittle and Beran on the 0.1 s aggregation: the paper's formal tests
      target time scales of 0.1 s and larger. Both read the same
      periodogram, so compute it once per aggregation level. *)
   let test_level xs =
-    let pgram = Timeseries.Periodogram.compute xs in
-    let whittle = Lrd.Whittle.estimate_pgram pgram in
-    let beran =
-      Lrd.Beran.test_periodogram
-        (fun lambda -> Lrd.Fgn.spectral_density ~h:whittle.Lrd.Whittle.h lambda)
-        pgram
-    in
-    (whittle, beran)
+    Engine.Telemetry.span ~name:"estimator:whittle+beran" (fun () ->
+        let pgram = Timeseries.Periodogram.compute xs in
+        let whittle = Lrd.Whittle.estimate_pgram pgram in
+        let beran =
+          Lrd.Beran.test_periodogram
+            (fun lambda ->
+              Lrd.Fgn.spectral_density ~h:whittle.Lrd.Whittle.h lambda)
+            pgram
+        in
+        (whittle, beran))
   in
   let whittle, beran = test_level (Timeseries.Counts.aggregate counts 10) in
   let whittle_1s, beran_1s =
@@ -98,13 +105,15 @@ let fig12 ctx =
   let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Fig. 12: variance-time, all packets, LBL PKT traces";
-  print_selfsim fmt (fig12_data ())
+  let data = fig12_data () in
+  Engine.Telemetry.span ~name:"render" (fun () -> print_selfsim fmt data)
 
 let fig13 ctx =
   let fmt = Engine.Task.formatter ctx in
   Report.heading fmt
     "Fig. 13: variance-time, all packets, DEC WRL traces";
-  print_selfsim fmt (fig13_data ())
+  let data = fig13_data () in
+  Engine.Telemetry.span ~name:"render" (fun () -> print_selfsim fmt data)
 
 (* ------------------------------------------------------------------ *)
 (* Figs. 14 and 15                                                     *)
@@ -119,8 +128,9 @@ type pareto_panel = {
 let panel ~bin =
   let seeds = List.init 9 (fun i -> 1000 + i) in
   let counts_of seed =
-    Lrd.Pareto_count.count_process ~beta:1.0 ~a:1.0 ~bin ~bins:1000
-      (Prng.Rng.create seed)
+    Engine.Telemetry.span ~name:"trace-gen:pareto-count" (fun () ->
+        Lrd.Pareto_count.count_process ~beta:1.0 ~a:1.0 ~bin ~bins:1000
+          (Prng.Rng.create seed))
   in
   (* Each seed owns its RNG, so the nine runs are independent and shard
      across the leftover domain budget without changing any byte. *)
@@ -167,12 +177,14 @@ let print_panel fmt title p =
 
 let fig14 ctx =
   let fmt = Engine.Task.formatter ctx in
-  print_panel fmt
-    "Fig. 14: i.i.d. Pareto (beta=1) count process, bin = 10^3"
-    (fig14_data ())
+  let data = fig14_data () in
+  Engine.Telemetry.span ~name:"render" (fun () ->
+      print_panel fmt
+        "Fig. 14: i.i.d. Pareto (beta=1) count process, bin = 10^3" data)
 
 let fig15 ctx =
   let fmt = Engine.Task.formatter ctx in
-  print_panel fmt
-    "Fig. 15: i.i.d. Pareto (beta=1) count process, large bins"
-    (fig15_data ())
+  let data = fig15_data () in
+  Engine.Telemetry.span ~name:"render" (fun () ->
+      print_panel fmt
+        "Fig. 15: i.i.d. Pareto (beta=1) count process, large bins" data)

@@ -4,6 +4,7 @@ type t = {
   text : string;
   figures : (string * string) list;
   duration_s : float;
+  metrics : (string * float) list;
 }
 
 let rec mkdir_p dir =
@@ -18,6 +19,18 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
+let metrics_json a =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"id\": \"%s\",\n" a.id);
+  Buffer.add_string buf (Printf.sprintf "  \"duration_s\": %.6f" a.duration_s);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf ",\n  \"%s\": %.6f" k v))
+    a.metrics;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
 let save ~dir a =
   mkdir_p dir;
   let txt = Filename.concat dir (a.id ^ ".txt") in
@@ -30,4 +43,14 @@ let save ~dir a =
         path)
       a.figures
   in
-  txt :: figs
+  (* Telemetry rides along without touching the report bytes: metrics go
+     to a sibling JSON file, and only when the run recorded any. *)
+  let extra =
+    if a.metrics = [] then []
+    else begin
+      let path = Filename.concat dir (a.id ^ ".metrics.json") in
+      write_file path (metrics_json a);
+      [ path ]
+    end
+  in
+  (txt :: figs) @ extra

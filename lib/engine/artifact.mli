@@ -10,8 +10,17 @@ type t = {
       (** (file name, file contents) — SVG renderings where the
           experiment has them. *)
   duration_s : float;  (** Wall-clock time of the body alone. *)
+  metrics : (string * float) list;
+      (** Per-task telemetry ([[]] unless telemetry was enabled):
+          [("span:" ^ name, seconds)] per phase recorded under this
+          task, plus RNG draw counts. Timing-valued, so determinism
+          comparisons project it away like [duration_s]. *)
 }
 
+val metrics_json : t -> string
+(** [duration_s] and the metrics as a flat JSON object. *)
+
 val save : dir:string -> t -> string list
-(** Write [dir]/<id>.txt plus one file per figure, creating [dir] (and
-    parents) if needed. Returns the paths written. *)
+(** Write [dir]/<id>.txt plus one file per figure — and, when [metrics]
+    is non-empty, [dir]/<id>.metrics.json — creating [dir] (and parents)
+    if needed. Returns the paths written. *)

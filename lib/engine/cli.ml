@@ -6,6 +6,8 @@ type config = {
   seed : int;
   only : string list;
   out : string option;
+  metrics : bool;
+  trace : string option;
 }
 
 type outcome = Config of config | Help of string | Error of string
@@ -13,7 +15,7 @@ type outcome = Config of config | Help of string | Error of string
 let usage_msg prog =
   Printf.sprintf
     "usage: %s [--jobs N] [--seed S] [--only ID[,ID...]] [--out DIR] \
-     [--list] [--perf]"
+     [--metrics] [--trace FILE] [--list] [--perf]"
     prog
 
 let parse ?jobs_default argv =
@@ -25,6 +27,8 @@ let parse ?jobs_default argv =
   let seed = ref 0 in
   let only = ref [] in
   let out = ref None in
+  let metrics = ref false in
+  let trace = ref None in
   let add_only s =
     only :=
       !only
@@ -41,6 +45,10 @@ let parse ?jobs_default argv =
          "IDS Comma-separated experiment ids (repeatable)");
         ("--out", Arg.String (fun d -> out := Some d),
          "DIR Write per-experiment artifacts (report + SVG) under DIR");
+        ("--metrics", Arg.Set metrics,
+         " Record telemetry; print the span/counter summary to stderr");
+        ("--trace", Arg.String (fun f -> trace := Some f),
+         "FILE Record telemetry; write Chrome trace-event JSON to FILE");
         ("--list", Arg.Unit (fun () -> action := List),
          " List experiment ids and exit");
         ("--perf", Arg.Unit (fun () -> action := Perf),
@@ -54,6 +62,6 @@ let parse ?jobs_default argv =
     else
       Config
         { action = !action; jobs = !jobs; seed = !seed; only = !only;
-          out = !out }
+          out = !out; metrics = !metrics; trace = !trace }
   | exception Arg.Bad msg -> Error msg
   | exception Arg.Help msg -> Help msg

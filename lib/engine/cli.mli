@@ -14,6 +14,10 @@ type config = {
   seed : int;  (** Root seed for per-experiment RNG streams. *)
   only : string list;  (** Empty = the whole registry, in order. *)
   out : string option;  (** Directory for per-experiment artifacts. *)
+  metrics : bool;
+      (** Enable {!Telemetry} and print its summary table to stderr. *)
+  trace : string option;
+      (** Enable {!Telemetry} and write Chrome trace-event JSON here. *)
 }
 
 type outcome =

@@ -16,7 +16,20 @@
 
 let available = Atomic.make 0
 
-let set_extra_domains n = Atomic.set available (Int.max 0 n)
+(* Telemetry (no-ops unless enabled): items mapped, maps run, extra
+   domains actually claimed (claimed / grants = occupancy of the
+   budget), and budget installs. *)
+let c_items = Telemetry.counter "par.items"
+let c_maps = Telemetry.counter "par.maps"
+let c_claimed = Telemetry.counter "par.extra_claimed"
+let c_grants = Telemetry.counter "par.grants"
+let c_rng_draws = Telemetry.counter "rng.par_draws"
+
+let set_extra_domains n =
+  let n = Int.max 0 n in
+  Telemetry.add c_grants n;
+  Atomic.set available n
+
 let extra_domains () = Atomic.get available
 
 (* Claim up to [k] domains from the budget; the caller must [release]
@@ -45,9 +58,12 @@ let map ?(chunk = 1) f items =
   let results = Array.make n None in
   let exec i = results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e) in
   let chunks = (n + chunk - 1) / chunk in
+  Telemetry.bump c_maps;
+  Telemetry.add c_items n;
   (* The caller is one worker; claim at most enough extras that every
      worker could own a chunk. *)
   let extra = if chunks <= 1 then 0 else take (chunks - 1) in
+  Telemetry.add c_claimed extra;
   if extra = 0 then
     for i = 0 to n - 1 do
       exec i
@@ -90,7 +106,16 @@ let map ?(chunk = 1) f items =
 
 let map_rng ~seed ~key f items =
   let tagged = List.mapi (fun i x -> (i, x)) items in
-  map
-    (fun (i, x) ->
-      f (Task.derive_rng ~seed (Printf.sprintf "%s#%d" key i)) x)
-    tagged
+  let results =
+    map
+      (fun (i, x) ->
+        let rng = Task.derive_rng ~seed (Printf.sprintf "%s#%d" key i) in
+        let r = f rng x in
+        (Prng.Rng.draw_count rng, r))
+      tagged
+  in
+  (* Per-item streams are keyed by (seed, key, index), so the draw total
+     is scheduling-independent. *)
+  Telemetry.add c_rng_draws
+    (List.fold_left (fun a (d, _) -> a + d) 0 results);
+  List.map snd results

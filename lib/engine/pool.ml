@@ -7,31 +7,44 @@ let map ~jobs f items =
   let exec i =
     results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e)
   in
-  if jobs <= 1 || n <= 1 then begin
+  (* The Par budget is a loan for the duration of this map: clamped at 0
+     (jobs = 0 must not install a negative grant) and restored on exit,
+     so a later bare Par.map cannot spend a budget sized for a run that
+     already finished. *)
+  let lend extra body =
+    Par.set_extra_domains (Int.max 0 extra);
+    Fun.protect ~finally:(fun () -> Par.set_extra_domains 0) body
+  in
+  if jobs <= 1 || n <= 1 then
     (* Whatever --jobs grants beyond this (caller) domain is handed to
        Par.map call sites inside the experiments. *)
-    Par.set_extra_domains (jobs - 1);
-    for i = 0 to n - 1 do
-      exec i
-    done
-  end
+    lend (jobs - 1) (fun () ->
+        for i = 0 to n - 1 do
+          exec i
+        done)
   else begin
     (* Self-scheduling work queue: the atomic counter hands each worker
        the next unclaimed index, so long tasks never serialise behind a
        static partition. Each slot is written by exactly one worker;
        Domain.join publishes the writes before we read them back. *)
     let next = Atomic.make 0 in
-    let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        exec i;
-        worker ()
-      end
+    let worker w =
+      let tasks = Telemetry.counter (Printf.sprintf "pool.worker%d.tasks" w) in
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          Telemetry.mark (Printf.sprintf "pool.claim#%d" i);
+          Telemetry.bump tasks;
+          exec i;
+          go ()
+        end
+      in
+      go ()
     in
     let w = min jobs n in
-    Par.set_extra_domains (jobs - w);
-    let domains = List.init w (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join domains
+    lend (jobs - w) (fun () ->
+        let domains = List.init w (fun k -> Domain.spawn (fun () -> worker k)) in
+        List.iter Domain.join domains)
   end;
   Array.to_list
     (Array.map (function Some r -> r | None -> assert false) results)

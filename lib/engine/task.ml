@@ -30,19 +30,31 @@ let run ?(render_figures = false) ?(seed = 0) t =
   let buf = Buffer.create 4096 in
   let fmt = Format.formatter_of_buffer buf in
   let ctx = { fmt; ctx_rng = derive_rng ~seed t.id; figs = [] } in
+  let since = if Telemetry.enabled () then Telemetry.cursor () else 0 in
   let t0 = Unix.gettimeofday () in
-  t.body ctx;
-  Format.pp_print_flush fmt ();
-  let extra =
-    if render_figures then
-      match t.figures with Some f -> f () | None -> []
+  (* [with_task] labels this domain (and any domain Par spawns inside
+     the body) with the task id, so spans land on the right artifact. *)
+  Telemetry.with_task t.id (fun () ->
+      t.body ctx;
+      Format.pp_print_flush fmt ();
+      if render_figures then
+        match t.figures with
+        | Some f ->
+          let extra = Telemetry.span ~name:"render-figures" f in
+          ctx.figs <- List.rev_append extra ctx.figs
+        | None -> ());
+  let duration_s = Unix.gettimeofday () -. t0 in
+  let metrics =
+    if Telemetry.enabled () then
+      ("rng.ctx_draws", float_of_int (Prng.Rng.draw_count ctx.ctx_rng))
+      :: Telemetry.task_metrics ~since t.id
     else []
   in
-  let duration_s = Unix.gettimeofday () -. t0 in
   {
     Artifact.id = t.id;
     title = t.title;
     text = Buffer.contents buf;
-    figures = List.rev ctx.figs @ extra;
+    figures = List.rev ctx.figs;
     duration_s;
+    metrics;
   }

@@ -47,4 +47,9 @@ val derive_rng : seed:int -> string -> Prng.Rng.t
 val run : ?render_figures:bool -> ?seed:int -> t -> Artifact.t
 (** Execute the body in a fresh buffer, timing it. [render_figures]
     (default false) also evaluates the [figures] thunk. May raise
-    whatever the body raises. *)
+    whatever the body raises. When {!Telemetry} is enabled the body runs
+    under [Telemetry.with_task id] (so spans recorded inside — including
+    by [Par] workers — are attributed to this task) and the artifact's
+    [metrics] field carries the per-phase span totals plus the ctx RNG
+    draw count; when disabled, [metrics] is [[]] and the byte content is
+    identical. *)

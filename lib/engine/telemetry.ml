@@ -1,0 +1,283 @@
+(* Span/counter telemetry. Recording is gated on one atomic flag so the
+   disabled path is a load + branch; the enabled path appends to a
+   mutex-guarded event list (span volume is O(tasks x phases), so lock
+   contention is negligible next to the work being measured). Nothing
+   here touches RNG streams or task output — the non-perturbation
+   invariant the engine tests enforce. *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+
+type event = {
+  ev_name : string;
+  ev_task : string option;
+  ev_domain : int;
+  ev_start_us : float;
+  ev_dur_us : float;
+}
+
+(* Event store: reverse-chronological-by-insertion list plus its length
+   (the cursor), both guarded by [lock]. The epoch [t0] anchors
+   timestamps so traces start near 0. *)
+let lock = Mutex.create ()
+let events_rev : event list ref = ref []
+let n_events = ref 0
+let t0 = ref (Unix.gettimeofday ())
+
+let now_us () = (Unix.gettimeofday () -. !t0) *. 1e6
+
+let record ev =
+  Mutex.lock lock;
+  events_rev := ev :: !events_rev;
+  incr n_events;
+  Mutex.unlock lock
+
+(* ------------------------------------------------------------------ *)
+(* Current task: per-domain, inherited at spawn so Par workers running
+   inside an experiment attribute their spans to it. *)
+
+let task_key : string option Domain.DLS.key =
+  Domain.DLS.new_key ~split_from_parent:Fun.id (fun () -> None)
+
+let current_task () = Domain.DLS.get task_key
+
+let domain_id () = (Domain.self () :> int)
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+type counter = { cname : string; cell : int Atomic.t }
+
+(* Registration is cold; the registry is only read for reporting. *)
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  Mutex.lock lock;
+  let c =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { cname = name; cell = Atomic.make 0 } in
+      Hashtbl.add registry name c;
+      c
+  in
+  Mutex.unlock lock;
+  c
+
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.cell n)
+let bump c = add c 1
+let value c = Atomic.get c.cell
+
+let counters () =
+  Mutex.lock lock;
+  let all = Hashtbl.fold (fun _ c acc -> c :: acc) registry [] in
+  Mutex.unlock lock;
+  all
+  |> List.filter_map (fun c ->
+         let v = Atomic.get c.cell in
+         if v = 0 then None else Some (c.cname, v))
+  |> List.sort compare
+
+let reset () =
+  Mutex.lock lock;
+  events_rev := [];
+  n_events := 0;
+  t0 := Unix.gettimeofday ();
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry;
+  Mutex.unlock lock
+
+(* ------------------------------------------------------------------ *)
+(* Spans and marks *)
+
+let mark name =
+  if Atomic.get on then
+    record
+      {
+        ev_name = name;
+        ev_task = current_task ();
+        ev_domain = domain_id ();
+        ev_start_us = now_us ();
+        ev_dur_us = 0.;
+      }
+
+let span ~name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let start = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        record
+          {
+            ev_name = name;
+            ev_task = current_task ();
+            ev_domain = domain_id ();
+            ev_start_us = start;
+            (* Clock granularity can round a fast span to 0, which would
+               make it look like a mark; floor at 1 ns to keep the
+               span/mark distinction structural. *)
+            ev_dur_us = Float.max (now_us () -. start) 1e-3;
+          })
+      f
+  end
+
+let with_task id f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let prev = Domain.DLS.get task_key in
+    Domain.DLS.set task_key (Some id);
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set task_key prev)
+      (fun () -> span ~name:("task:" ^ id) f)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let snapshot () =
+  Mutex.lock lock;
+  let evs = !events_rev and n = !n_events in
+  Mutex.unlock lock;
+  (evs, n)
+
+let events () =
+  let evs, _ = snapshot () in
+  List.sort
+    (fun a b -> compare a.ev_start_us b.ev_start_us)
+    (List.rev evs)
+
+let cursor () =
+  let _, n = snapshot () in
+  n
+
+let task_metrics ?(since = 0) id =
+  let evs, n = snapshot () in
+  (* [evs] is newest-first: the first [n - since] entries postdate the
+     cursor. *)
+  let rec keep acc k = function
+    | ev :: rest when k > 0 ->
+      let acc =
+        if ev.ev_task = Some id && ev.ev_dur_us > 0. then ev :: acc else acc
+      in
+      keep acc (k - 1) rest
+    | _ -> acc
+  in
+  let mine = keep [] (n - since) evs in
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let cur = Option.value ~default:0. (Hashtbl.find_opt totals ev.ev_name) in
+      Hashtbl.replace totals ev.ev_name (cur +. ev.ev_dur_us))
+    mine;
+  Hashtbl.fold (fun name us acc -> ("span:" ^ name, us /. 1e6) :: acc) totals []
+  |> List.sort compare
+
+(* Chrome trace-event strings are JSON: escape the control range plus
+   quote and backslash. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_trace () =
+  let evs = events () in
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let emit fmt =
+    if !first then first := false else Buffer.add_string buf ",\n  ";
+    Printf.ksprintf (Buffer.add_string buf) fmt
+  in
+  Buffer.add_string buf "{\"traceEvents\": [\n  ";
+  (* One pid per domain, named so Perfetto's process list is readable. *)
+  let domains =
+    List.sort_uniq compare (List.map (fun ev -> ev.ev_domain) evs)
+  in
+  List.iter
+    (fun d ->
+      emit
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \
+         \"tid\": %d, \"args\": {\"name\": \"domain %d\"}}"
+        d d d)
+    domains;
+  List.iter
+    (fun ev ->
+      let args =
+        match ev.ev_task with
+        | None -> ""
+        | Some t -> Printf.sprintf ", \"args\": {\"task\": \"%s\"}" (json_escape t)
+      in
+      if ev.ev_dur_us > 0. then
+        emit
+          "{\"name\": \"%s\", \"cat\": \"span\", \"ph\": \"X\", \
+           \"ts\": %.1f, \"dur\": %.1f, \"pid\": %d, \"tid\": %d%s}"
+          (json_escape ev.ev_name) ev.ev_start_us ev.ev_dur_us ev.ev_domain
+          ev.ev_domain args
+      else
+        emit
+          "{\"name\": \"%s\", \"cat\": \"mark\", \"ph\": \"i\", \
+           \"ts\": %.1f, \"pid\": %d, \"tid\": %d, \"s\": \"t\"%s}"
+          (json_escape ev.ev_name) ev.ev_start_us ev.ev_domain ev.ev_domain
+          args)
+    evs;
+  let t_end =
+    List.fold_left
+      (fun a ev -> Float.max a (ev.ev_start_us +. ev.ev_dur_us))
+      0. evs
+  in
+  List.iter
+    (fun (name, v) ->
+      emit
+        "{\"name\": \"%s\", \"ph\": \"C\", \"ts\": %.1f, \"pid\": 0, \
+         \"args\": {\"value\": %d}}"
+        (json_escape name) t_end v)
+    (counters ());
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents buf
+
+let pp_summary fmt =
+  let evs = events () in
+  let spans = List.filter (fun ev -> ev.ev_dur_us > 0.) evs in
+  (* Aggregate per span name: calls and total time. *)
+  let agg = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let calls, total =
+        Option.value ~default:(0, 0.) (Hashtbl.find_opt agg ev.ev_name)
+      in
+      Hashtbl.replace agg ev.ev_name (calls + 1, total +. ev.ev_dur_us))
+    spans;
+  let rows =
+    Hashtbl.fold (fun name (calls, us) acc -> (name, calls, us) :: acc) agg []
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  in
+  let cs = counters () in
+  let width =
+    List.fold_left
+      (fun w s -> Int.max w (String.length s))
+      12
+      (List.map (fun (n, _, _) -> n) rows @ List.map fst cs)
+  in
+  Format.fprintf fmt "telemetry: spans@.";
+  Format.fprintf fmt "  %-*s %7s %10s %10s@." width "name" "calls" "total s"
+    "mean ms";
+  List.iter
+    (fun (name, calls, us) ->
+      Format.fprintf fmt "  %-*s %7d %10.3f %10.3f@." width name calls
+        (us /. 1e6)
+        (us /. 1e3 /. float_of_int calls))
+    rows;
+  Format.fprintf fmt "telemetry: counters@.";
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "  %-*s %10d@." width name v)
+    cs

@@ -1,0 +1,117 @@
+(** Domain-safe span/counter telemetry for the execution engine.
+
+    The registry runs on a domain pool ({!Pool}) with intra-experiment
+    sharding ({!Par}); the only per-experiment signal the engine used to
+    record was a single wall-clock duration. This module adds:
+
+    - {e spans} ([span ~name f]): nested wall-time intervals, tagged with
+      the domain that ran them and the current task id (installed by
+      {!Task.run} and inherited by domains spawned inside the task, so
+      [Par.map] workers attribute their work to the right experiment);
+    - {e marks}: instant events (e.g. the pool's queue-drain order);
+    - {e counters}: named monotonic integers ({!Core.Cache} hits, misses
+      and generations; [Par] items, claims and grants; per-worker pool
+      task counts; RNG draw totals).
+
+    Everything is exported two ways: an aligned summary table
+    ([pp_summary], the [--metrics] flag) and Chrome trace-event JSON
+    ([to_chrome_trace], the [--trace FILE] flag — loadable in
+    [chrome://tracing] or Perfetto, one pid per domain).
+
+    {b Non-perturbation invariant.} Telemetry must never change what an
+    experiment computes: it only reads clocks and bumps private state, so
+    artifacts are byte-identical for a fixed seed at any jobs count,
+    telemetry on or off (enforced by
+    ["determinism x telemetry"] in [test/test_engine.ml]).
+
+    {b Zero-cost-when-off.} Every instrumented site first reads one
+    atomic flag; when disabled a span site costs a few nanoseconds (the
+    [--perf] entry [telemetry-span-overhead] measures it — well under
+    5 ns/site). Counter bumps are a single predictable branch. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Enable/disable recording, process-wide. Flip it before a run starts
+    (it is read by concurrently running domains mid-run, which is safe
+    but attributes partial data). *)
+
+val reset : unit -> unit
+(** Drop all recorded events, zero every counter, and restart the trace
+    clock. Counter handles created by {!counter} stay valid. *)
+
+(** {1 Spans and marks} *)
+
+val span : name:string -> (unit -> 'a) -> 'a
+(** [span ~name f] runs [f ()]; when telemetry is enabled it records the
+    wall-time interval, tagged with the running domain and the current
+    task. The event is recorded even if [f] raises. Spans nest freely
+    (nesting is reconstructed from containment, per Chrome's complete
+    events). *)
+
+val mark : string -> unit
+(** Record an instant event (zero duration). *)
+
+val with_task : string -> (unit -> 'a) -> 'a
+(** [with_task id f]: set the per-domain current-task label to [id] for
+    the extent of [f] (restoring the previous label after) and wrap [f]
+    in a span named ["task:" ^ id]. Domains spawned while the label is
+    set inherit it, so [Par] workers report the right task. When
+    telemetry is disabled this is just [f ()]. *)
+
+val current_task : unit -> string option
+(** The label installed by the innermost enclosing {!with_task} on this
+    domain (inherited at spawn time by child domains). *)
+
+(** {1 Counters} *)
+
+type counter
+(** A named monotonic counter. Creation is cold (mutex-guarded registry);
+    bumping is an atomic increment behind the enabled check. *)
+
+val counter : string -> counter
+(** Idempotent by name: two calls with the same name share the cell. *)
+
+val bump : counter -> unit
+(** [add c 1]. *)
+
+val add : counter -> int -> unit
+(** No-op when telemetry is disabled (so a disabled run reports all
+    zeros and pays only the branch). *)
+
+val value : counter -> int
+
+val counters : unit -> (string * int) list
+(** All registered counters with non-zero values, sorted by name. *)
+
+(** {1 Export} *)
+
+type event = {
+  ev_name : string;
+  ev_task : string option;  (** Enclosing {!with_task} label, if any. *)
+  ev_domain : int;  (** Numeric id of the domain that recorded it. *)
+  ev_start_us : float;  (** Microseconds since the last {!reset}. *)
+  ev_dur_us : float;  (** 0 for marks. *)
+}
+
+val events : unit -> event list
+(** Snapshot of recorded events, sorted by start time. *)
+
+val task_metrics : ?since:int -> string -> (string * float) list
+(** [task_metrics ~since id]: total seconds per span name over the
+    events tagged with task [id] recorded after cursor [since] (from
+    {!cursor}; default 0 = all), as [("span:" ^ name, seconds)] pairs
+    sorted by name. Used by {!Task.run} to attach per-artifact metrics. *)
+
+val cursor : unit -> int
+(** Number of events recorded so far; pass to [task_metrics ~since] to
+    restrict aggregation to events newer than the cursor. *)
+
+val to_chrome_trace : unit -> string
+(** The recorded events and counters as Chrome trace-event JSON (object
+    format, ["traceEvents"] array): one ["X"] (complete) event per span,
+    ["i"] per mark, ["C"] per counter, plus ["process_name"] metadata
+    naming each domain. Timestamps are microseconds. *)
+
+val pp_summary : Format.formatter -> unit
+(** Aligned human-readable table: per-span-name call counts / total /
+    mean wall time, then all non-zero counters. *)

@@ -18,6 +18,11 @@ type t = {
   mutable s1h : int; mutable s1l : int;
   mutable s2h : int; mutable s2l : int;
   mutable s3h : int; mutable s3l : int;
+  mutable draws : int;
+      (* xoshiro steps taken ([float] + [bits64]); telemetry only, never
+         read by the generator itself. A plain increment on a field the
+         step already has in cache costs well under a nanosecond, so the
+         count stays on even when telemetry is off. *)
 }
 
 let mask32 = 0xFFFFFFFF
@@ -41,6 +46,7 @@ let of_words s0 s1 s2 s3 =
     s1h = hi64 s1; s1l = lo64 s1;
     s2h = hi64 s2; s2l = lo64 s2;
     s3h = hi64 s3; s3l = lo64 s3;
+    draws = 0;
   }
 
 let create seed =
@@ -57,7 +63,10 @@ let copy t =
     s1h = t.s1h; s1l = t.s1l;
     s2h = t.s2h; s2l = t.s2l;
     s3h = t.s3h; s3l = t.s3l;
+    draws = t.draws;
   }
+
+let draw_count t = t.draws
 
 (* One xoshiro256++ step on half-words. Returns the 64-bit result as
    (hi, lo) through the two out-parameters of the caller; since returning
@@ -67,6 +76,7 @@ let copy t =
 
 (* xoshiro256++ step, cold path: result as a boxed Int64. *)
 let bits64 t =
+  t.draws <- t.draws + 1;
   (* result = rotl (s0 + s3, 23) + s0 *)
   let l = t.s0l + t.s3l in
   let h = (t.s0h + t.s3h + (l lsr 32)) land mask32 in
@@ -110,6 +120,7 @@ let split t =
 (* xoshiro256++ step, hot path: top 53 result bits -> [0,1) without any
    intermediate boxing (the duplicate of the step in [bits64]). *)
 let float t =
+  t.draws <- t.draws + 1;
   let l = t.s0l + t.s3l in
   let h = (t.s0h + t.s3h + (l lsr 32)) land mask32 in
   let l = l land mask32 in

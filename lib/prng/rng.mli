@@ -42,3 +42,10 @@ val bool : t -> bool
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)
+
+val draw_count : t -> int
+(** Number of xoshiro steps taken on this generator ({!float} and
+    {!bits64}, and thus everything built on them; rejection retries in
+    {!int} count individually). Telemetry only: reading or carrying the
+    count never affects the stream. [copy] preserves the count; [split]
+    children start at 0. *)

@@ -88,18 +88,23 @@ let test_cli_defaults () =
     check_int "default jobs" 1 c.jobs;
     check_int "default seed" 0 c.seed;
     check_true "no filter" (c.only = []);
-    check_true "no out" (c.out = None)
+    check_true "no out" (c.out = None);
+    check_false "metrics off by default" c.metrics;
+    check_true "no trace by default" (c.trace = None)
   | _ -> Alcotest.fail "empty argv must parse"
 
 let test_cli_flags () =
   match parse [ "--jobs"; "4"; "--seed"; "7"; "--only"; "fig5,table1";
-                "--only"; "fig6"; "--out"; "artifacts" ] with
+                "--only"; "fig6"; "--out"; "artifacts"; "--metrics";
+                "--trace"; "t.json" ] with
   | Engine.Cli.Config c ->
     check_int "jobs" 4 c.jobs;
     check_int "seed" 7 c.seed;
     Alcotest.(check (list string)) "only accumulates"
       [ "fig5"; "table1"; "fig6" ] c.only;
-    check_true "out" (c.out = Some "artifacts")
+    check_true "out" (c.out = Some "artifacts");
+    check_true "metrics" c.metrics;
+    check_true "trace" (c.trace = Some "t.json")
   | _ -> Alcotest.fail "flags must parse"
 
 let test_cli_rejects_garbage () =
@@ -243,6 +248,273 @@ let test_par_first_exception () =
   Engine.Par.set_extra_domains 0;
   check_int "budget restored after failure" 0 (Engine.Par.extra_domains ())
 
+(* ---------------- Pool budget accounting ---------------- *)
+
+let test_pool_budget_restore () =
+  (* Pool.map lends the leftover jobs budget to Par for the duration of
+     the map only: workers observe it, and it is restored to zero on
+     exit instead of leaking into the next caller's Par.map. *)
+  Engine.Par.set_extra_domains 0;
+  let observed = Atomic.make (-1) in
+  let results =
+    Engine.Pool.map ~jobs:8
+      (fun i ->
+        Atomic.set observed (Engine.Par.extra_domains ());
+        i * 2)
+      [ 1; 2; 3 ]
+  in
+  check_int "3 results" 3 (List.length results);
+  (* 3 items cap the workers at 3, so 8 - 3 = 5 domains are on loan
+     while the map runs. *)
+  check_int "budget visible during map" 5 (Atomic.get observed);
+  check_int "budget restored after map" 0 (Engine.Par.extra_domains ());
+  (* The sequential branch lends jobs - 1 and restores too. *)
+  ignore
+    (Engine.Pool.map ~jobs:1
+       (fun i ->
+         Atomic.set observed (Engine.Par.extra_domains ());
+         i)
+       [ 1; 2; 3 ]);
+  check_int "jobs=1 lends nothing" 0 (Atomic.get observed);
+  check_int "budget still zero" 0 (Engine.Par.extra_domains ());
+  (* A failing body must not leak the loan either. *)
+  ignore (Engine.Pool.map ~jobs:8 (fun _ -> failwith "boom") [ 1; 2; 3 ]);
+  check_int "budget restored after failures" 0 (Engine.Par.extra_domains ())
+
+(* ---------------- Telemetry ---------------- *)
+
+let with_telemetry f =
+  Engine.Telemetry.set_enabled true;
+  Engine.Telemetry.reset ();
+  Fun.protect ~finally:(fun () -> Engine.Telemetry.set_enabled false) f
+
+let test_telemetry_off_is_inert () =
+  Engine.Telemetry.set_enabled false;
+  Engine.Telemetry.reset ();
+  let c = Engine.Telemetry.counter "test.inert" in
+  Engine.Telemetry.bump c;
+  Engine.Telemetry.add c 41;
+  check_int "counter stays zero when off" 0 (Engine.Telemetry.value c);
+  let v = Engine.Telemetry.span ~name:"off-span" (fun () -> 7 * 6) in
+  check_int "span is transparent" 42 v;
+  Engine.Telemetry.mark "off-mark";
+  check_int "no events recorded" 0 (Engine.Telemetry.cursor ());
+  check_true "task label unset" (Engine.Telemetry.current_task () = None)
+
+let test_telemetry_span_nesting () =
+  with_telemetry (fun () ->
+      let v =
+        Engine.Telemetry.with_task "t1" (fun () ->
+            Engine.Telemetry.span ~name:"outer" (fun () ->
+                Engine.Telemetry.span ~name:"inner" (fun () -> 3)))
+      in
+      check_int "value threaded through" 3 v;
+      let evs = Engine.Telemetry.events () in
+      let names =
+        List.map (fun e -> e.Engine.Telemetry.ev_name) evs
+        |> List.sort compare
+      in
+      Alcotest.(check (list string))
+        "one event per span" [ "inner"; "outer"; "task:t1" ] names;
+      List.iter
+        (fun e ->
+          check_true
+            ("attributed " ^ e.Engine.Telemetry.ev_name)
+            (e.Engine.Telemetry.ev_task = Some "t1");
+          check_true
+            ("has duration " ^ e.Engine.Telemetry.ev_name)
+            (e.Engine.Telemetry.ev_dur_us >= 0.))
+        evs;
+      (* Nesting: inner starts no earlier and ends no later than outer. *)
+      let find n =
+        List.find (fun e -> e.Engine.Telemetry.ev_name = n) evs
+      in
+      let inner = find "inner" and outer = find "outer" in
+      check_true "inner starts inside outer"
+        (inner.Engine.Telemetry.ev_start_us
+         >= outer.Engine.Telemetry.ev_start_us);
+      check_true "inner ends inside outer"
+        (inner.Engine.Telemetry.ev_start_us +. inner.Engine.Telemetry.ev_dur_us
+         <= outer.Engine.Telemetry.ev_start_us
+            +. outer.Engine.Telemetry.ev_dur_us
+            +. 1.0 (* clock granularity slack, microseconds *)))
+
+let test_telemetry_task_inherited_by_par () =
+  (* Par worker domains are spawned inside the task, so the DLS label
+     propagates and their spans attribute to the task. *)
+  with_telemetry (fun () ->
+      Engine.Par.set_extra_domains 2;
+      let r =
+        Engine.Telemetry.with_task "par-task" (fun () ->
+            Engine.Par.map ~chunk:1
+              (fun i ->
+                Engine.Telemetry.span ~name:"item" (fun () -> i + 1))
+              (List.init 8 Fun.id))
+      in
+      Engine.Par.set_extra_domains 0;
+      check_true "par results intact" (r = List.init 8 (fun i -> i + 1));
+      let items =
+        List.filter
+          (fun e -> e.Engine.Telemetry.ev_name = "item")
+          (Engine.Telemetry.events ())
+      in
+      check_int "all item spans recorded" 8 (List.length items);
+      List.iter
+        (fun e ->
+          check_true "worker span attributed to task"
+            (e.Engine.Telemetry.ev_task = Some "par-task"))
+        items)
+
+let test_telemetry_counters_and_reset () =
+  with_telemetry (fun () ->
+      let a = Engine.Telemetry.counter "test.alpha" in
+      let a' = Engine.Telemetry.counter "test.alpha" in
+      check_true "registration idempotent"
+        (Engine.Telemetry.bump a;
+         Engine.Telemetry.value a' = 1);
+      Engine.Telemetry.add a 9;
+      check_int "add accumulates" 10 (Engine.Telemetry.value a);
+      check_true "counters lists non-zero"
+        (List.mem ("test.alpha", 10) (Engine.Telemetry.counters ()));
+      Engine.Telemetry.reset ();
+      check_int "reset zeroes" 0 (Engine.Telemetry.value a);
+      check_true "zero counters hidden"
+        (not
+           (List.exists
+              (fun (n, _) -> n = "test.alpha")
+              (Engine.Telemetry.counters ()))))
+
+let test_telemetry_task_metrics_since () =
+  with_telemetry (fun () ->
+      Engine.Telemetry.with_task "early" (fun () ->
+          Engine.Telemetry.span ~name:"phase" (fun () -> ()));
+      let since = Engine.Telemetry.cursor () in
+      Engine.Telemetry.with_task "late" (fun () ->
+          Engine.Telemetry.span ~name:"phase" (fun () -> ()));
+      let late = Engine.Telemetry.task_metrics ~since "late" in
+      check_true "late task sees its span"
+        (List.mem_assoc "span:phase" late);
+      check_true "late task sees its own wrapper"
+        (List.mem_assoc "span:task:late" late);
+      check_true "early events filtered by cursor"
+        (Engine.Telemetry.task_metrics ~since "early" = []))
+
+(* A miniature JSON syntax checker: enough to certify the Chrome trace
+   export is well-formed without a JSON dependency. *)
+let check_json name s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.failf "%s: bad JSON at byte %d: %s" name !pos msg in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () = match peek () with
+    | Some c -> incr pos; c
+    | None -> fail "unexpected end" in
+  let rec ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> incr pos; ws ()
+    | _ -> ()
+  in
+  let expect c = if next () <> c then fail (Printf.sprintf "expected %c" c) in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match next () with
+      | '"' -> ()
+      | '\\' -> ignore (next ()); go ()
+      | c when Char.code c < 0x20 -> fail "raw control char in string"
+      | _ -> go ()
+    in
+    go ()
+  in
+  let number () =
+    let numchar = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let start = !pos in
+    while (match peek () with Some c -> numchar c | None -> false) do
+      incr pos
+    done;
+    if !pos = start then fail "expected number"
+  in
+  let rec value () =
+    ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> fail "expected a value"
+  and literal lit =
+    String.iter (fun c -> if next () <> c then fail ("expected " ^ lit)) lit
+  and obj () =
+    expect '{';
+    ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        ws (); string_lit (); ws (); expect ':'; value (); ws ();
+        match next () with
+        | ',' -> members ()
+        | '}' -> ()
+        | _ -> fail "expected , or } in object"
+      in
+      members ()
+  and arr () =
+    expect '[';
+    ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec elements () =
+        value (); ws ();
+        match next () with
+        | ',' -> elements ()
+        | ']' -> ()
+        | _ -> fail "expected , or ] in array"
+      in
+      elements ()
+  in
+  value ();
+  ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let count_substring hay needle =
+  let rec go acc from =
+    match String.index_from_opt hay from needle.[0] with
+    | None -> acc
+    | Some i ->
+      if i + String.length needle <= String.length hay
+         && String.sub hay i (String.length needle) = needle
+      then go (acc + 1) (i + 1)
+      else go acc (i + 1)
+  in
+  go 0 0
+
+let test_telemetry_chrome_trace () =
+  with_telemetry (fun () ->
+      Engine.Telemetry.with_task "trace\"me" (fun () ->
+          Engine.Telemetry.span ~name:"work" (fun () -> ());
+          Engine.Telemetry.mark "tick");
+      Engine.Telemetry.bump (Engine.Telemetry.counter "test.trace");
+      let json = Engine.Telemetry.to_chrome_trace () in
+      check_json "chrome trace" json;
+      check_true "has traceEvents array"
+        (count_substring json "\"traceEvents\"" = 1);
+      (* Complete spans, the instant mark, the counter sample, and the
+         per-domain process metadata are all present. *)
+      check_int "complete events (work + task wrapper)" 2
+        (count_substring json "\"ph\": \"X\"");
+      check_int "instant mark" 1 (count_substring json "\"ph\": \"i\"");
+      check_int "counter sample" 1 (count_substring json "\"ph\": \"C\"");
+      check_true "process metadata"
+        (count_substring json "\"ph\": \"M\"" >= 1);
+      (* The quote in the task id must arrive escaped. *)
+      check_true "task id escaped"
+        (count_substring json "trace\\\"me" >= 1))
+
 (* ---------------- Determinism ---------------- *)
 
 let strip_durations (a : Engine.Artifact.t) =
@@ -290,6 +562,102 @@ let test_figure_determinism () =
     (fun fl -> check_true "figure rendered" (List.length fl = 1))
     seq
 
+let test_telemetry_non_perturbation () =
+  (* The telemetry contract: artifacts (text and figures) are
+     byte-identical for a fixed seed across jobs counts AND across
+     telemetry on/off — recording must never touch an RNG stream or an
+     output buffer. Also: the scheduling-independent metrics totals
+     (cache generations, Par items) agree between the telemetry runs at
+     different jobs counts. *)
+  let entries =
+    List.filter_map Core.Registry.find [ "table1"; "fig14"; "x-pareto" ]
+  in
+  check_int "registry subset resolves" 3 (List.length entries);
+  let tasks = List.map Core.Registry.task entries in
+  let run ~jobs ~telemetry =
+    (* Clear the cache so each configuration regenerates from scratch
+       and the generation counters are comparable. *)
+    Core.Cache.clear ();
+    if telemetry then begin
+      Engine.Telemetry.set_enabled true;
+      Engine.Telemetry.reset ()
+    end;
+    let arts =
+      Engine.Pool.run ~jobs ~seed:0 ~figures:true tasks
+      |> List.map (function
+           | Ok a -> strip_durations a
+           | Error e -> Alcotest.fail (Printexc.to_string e))
+    in
+    let totals =
+      if telemetry then
+        ( Engine.Telemetry.value (Engine.Telemetry.counter "cache.generations"),
+          Engine.Telemetry.value (Engine.Telemetry.counter "par.items") )
+      else (0, 0)
+    in
+    Engine.Telemetry.set_enabled false;
+    (arts, totals)
+  in
+  let base, _ = run ~jobs:1 ~telemetry:false in
+  let configs =
+    [ ("jobs=4 plain", run ~jobs:4 ~telemetry:false);
+      ("jobs=1 telemetry", run ~jobs:1 ~telemetry:true);
+      ("jobs=4 telemetry", run ~jobs:4 ~telemetry:true) ]
+  in
+  List.iter
+    (fun (label, (arts, _)) ->
+      List.iter2
+        (fun (id, title, text, figs) (id', title', text', figs') ->
+          check_true (label ^ ": id " ^ id) (id = id');
+          check_true (label ^ ": title " ^ id) (title = title');
+          check_true (label ^ ": text bytes " ^ id) (text = text');
+          check_true (label ^ ": figure bytes " ^ id) (figs = figs'))
+        base arts)
+    configs;
+  let totals_of label = List.assoc label configs |> snd in
+  let g1, i1 = totals_of "jobs=1 telemetry" in
+  let g4, i4 = totals_of "jobs=4 telemetry" in
+  check_true "some cache generations counted" (g1 > 0);
+  check_true "some par items counted" (i1 > 0);
+  check_int "cache generations scheduling-independent" g1 g4;
+  check_int "par items scheduling-independent" i1 i4
+
+let test_artifact_metrics () =
+  (* With telemetry on, Task.run attaches per-task metrics to the
+     artifact; Artifact.save persists them next to the report. With
+     telemetry off the metrics list is empty and no file is written. *)
+  let entry = Option.get (Core.Registry.find "fig14") in
+  let task = Core.Registry.task entry in
+  Engine.Telemetry.set_enabled true;
+  Engine.Telemetry.reset ();
+  let a =
+    match Engine.Pool.run ~jobs:1 ~seed:0 [ task ] with
+    | [ Ok a ] -> a
+    | _ -> Alcotest.fail "fig14 failed"
+  in
+  Engine.Telemetry.set_enabled false;
+  check_true "metrics attached" (a.Engine.Artifact.metrics <> []);
+  check_true "rng draw count present"
+    (List.mem_assoc "rng.ctx_draws" a.Engine.Artifact.metrics);
+  check_true "task wrapper span present"
+    (List.mem_assoc "span:task:fig14" a.Engine.Artifact.metrics);
+  check_json "metrics json" (Engine.Artifact.metrics_json a);
+  let dir = Filename.temp_file "wanpoisson" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let written = Engine.Artifact.save ~dir a in
+  check_true "metrics file written"
+    (List.exists
+       (fun p -> Filename.check_suffix p ".metrics.json")
+       written);
+  let plain =
+    match Engine.Pool.run ~jobs:1 ~seed:0 [ task ] with
+    | [ Ok a ] -> a
+    | _ -> Alcotest.fail "fig14 failed (plain)"
+  in
+  check_true "no metrics when off" (plain.Engine.Artifact.metrics = []);
+  List.iter Sys.remove (Array.to_list (Sys.readdir dir) |> List.map (Filename.concat dir));
+  Sys.rmdir dir
+
 let test_fig_data_generated_once () =
   (* An --out style run (report + SVG figure in one task) computes the
      underlying fig data once: both renderers hit the same memo key. *)
@@ -324,6 +692,18 @@ let suite =
       tc "par determinism across budgets" test_par_determinism;
       tc "par rng streams" test_par_rng_streams;
       tc "par first exception" test_par_first_exception;
+      tc "pool lends and restores the par budget" test_pool_budget_restore;
+      tc "telemetry off is inert" test_telemetry_off_is_inert;
+      tc "telemetry span nesting + attribution" test_telemetry_span_nesting;
+      tc "telemetry task label crosses par domains"
+        test_telemetry_task_inherited_by_par;
+      tc "telemetry counters + reset" test_telemetry_counters_and_reset;
+      tc "telemetry task metrics honour the cursor"
+        test_telemetry_task_metrics_since;
+      tc "telemetry chrome trace is valid json" test_telemetry_chrome_trace;
+      tc "telemetry does not perturb artifacts"
+        test_telemetry_non_perturbation;
+      tc "artifact metrics attach and persist" test_artifact_metrics;
       tc "figure determinism across jobs" test_figure_determinism;
       tc "fig data generated once per run" test_fig_data_generated_once;
       Alcotest.test_case "full-registry determinism jobs 4 = jobs 1" `Slow
