@@ -1,9 +1,11 @@
 # Tier-1 gate: build, full test suite (which includes the telemetry
 # non-perturbation regression), the distribution goodness-of-fit
-# battery, and a 2-domain smoke run of the engine-backed harness.
-.PHONY: check build test test-gof test-telemetry smoke bench bench-smoke
+# battery, a 2-domain smoke run of the engine-backed harness, and the
+# statistically-gated perf-diff smoke.
+.PHONY: check build test test-gof test-telemetry smoke bench bench-smoke \
+  perf-smoke
 
-check: build test test-gof test-telemetry smoke bench-smoke
+check: build test test-gof test-telemetry smoke bench-smoke perf-smoke
 
 build:
 	dune build
@@ -26,15 +28,36 @@ smoke:
 	dune exec bench/main.exe -- --jobs 2 --only table1
 
 # The hot-path experiment under intra-experiment parallelism: fig15's
-# nine Pareto count-process seeds shard over Par.map, and the output
-# must be byte-identical to the sequential run (timing lines aside).
+# nine Pareto count-process seeds shard over Par.map. Timing and
+# progress lines go to stderr, so raw stdout must be byte-identical
+# between the sequential and the 2-domain run — no filtering.
 bench-smoke:
 	dune exec bench/main.exe -- --only fig15 --jobs 2 \
-	  | grep -v ' done in \|^(1 experiments\|^[[]total' > _build/bench_smoke_j2.txt
+	  2>/dev/null > _build/bench_smoke_j2.txt
 	dune exec bench/main.exe -- --only fig15 --jobs 1 \
-	  | grep -v ' done in \|^(1 experiments\|^[[]total' > _build/bench_smoke_j1.txt
+	  2>/dev/null > _build/bench_smoke_j1.txt
 	diff _build/bench_smoke_j1.txt _build/bench_smoke_j2.txt
-	@echo "bench-smoke: fig15 byte-identical at --jobs 1 and 2"
+	@echo "bench-smoke: fig15 stdout byte-identical at --jobs 1 and 2"
+
+# The perf gate end to end. One real bench --perf --record run proves
+# the schema round-trips (a self-diff of identical samples must be
+# quiet); two printf-built histories then pin the statistical gate
+# itself — perf-diff (Welch t + bootstrap CI from lib/stats) must stay
+# quiet on resampled noise and exit nonzero on a 3x slowdown.
+perf-smoke:
+	rm -f _build/perf_real.jsonl
+	dune exec bench/main.exe -- --perf --only par-map-overhead \
+	  --record _build/perf_real.jsonl 2>/dev/null >/dev/null
+	dune exec bin/wanpoisson.exe -- perf-diff \
+	  _build/perf_real.jsonl _build/perf_real.jsonl
+	printf '%s\n' '{"schema":1,"ts":1,"label":"a","entries":[{"name":"k","ns":[100,101,99,100.5,99.5,100.2]}]}' > _build/perf_a.jsonl
+	printf '%s\n' '{"schema":1,"ts":2,"label":"b","entries":[{"name":"k","ns":[99.8,100.3,100.9,99.1,100.4,99.7]}]}' > _build/perf_b.jsonl
+	printf '%s\n' '{"schema":1,"ts":3,"label":"c","entries":[{"name":"k","ns":[300,303,297,301.5,298.5,300.6]}]}' > _build/perf_slow.jsonl
+	dune exec bin/wanpoisson.exe -- perf-diff \
+	  _build/perf_a.jsonl _build/perf_b.jsonl
+	! dune exec bin/wanpoisson.exe -- perf-diff \
+	  _build/perf_a.jsonl _build/perf_slow.jsonl
+	@echo "perf-smoke: noise quiet, 3x slowdown flagged"
 
 # Full registry, timing each experiment (default --jobs: one per core).
 bench:

@@ -3,17 +3,21 @@
    Default: regenerate every table, figure, and in-text experiment of the
    paper (the ids of DESIGN.md's per-experiment index), timing each.
    Experiments run on a domain pool and render into private buffers, so
-   output is printed in registry order and is byte-identical for a given
-   --seed whatever --jobs is.
+   stdout carries only the experiment reports — byte-identical for a
+   given --seed whatever --jobs is — while timing and progress lines go
+   to stderr.
 
      dune exec bench/main.exe                    # everything, one domain/core
      dune exec bench/main.exe -- --list          # list experiment ids
      dune exec bench/main.exe -- --jobs 4        # four worker domains
      dune exec bench/main.exe -- --only fig5     # a single experiment
-     dune exec bench/main.exe -- --out artifacts # also write per-id files
-     dune exec bench/main.exe -- --perf          # Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- --out artifacts # files + run.json manifest
+     dune exec bench/main.exe -- --log run.jsonl # structured event log
+     dune exec bench/main.exe -- --report-html report.html
+     dune exec bench/main.exe -- --perf --record BENCH_history.jsonl *)
 
 let fmt = Format.std_formatter
+let efmt = Format.err_formatter
 
 let list_ids () =
   List.iter
@@ -35,71 +39,260 @@ let select_entries only =
       Ok
         (List.filter_map Core.Registry.find ids)
 
+(* ------------------------------------------------------------------ *)
+(* Target preflight: every sink named on the command line must be
+   checked before any experiment runs, so a typo'd path fails in
+   milliseconds with the offending path, not after the whole run. *)
+
+let rec mkdirs d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+  end
+
+let check_writable_file path =
+  (* Open without truncating: the probe must not destroy an existing
+     file when a later step fails. *)
+  match open_out_gen [ Open_wronly; Open_creat ] 0o644 path with
+  | oc ->
+    close_out_noerr oc;
+    Ok ()
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot write %s" msg)
+
+let check_writable_dir dir =
+  mkdirs dir;
+  let probe = Filename.concat dir ".write-probe" in
+  match open_out probe with
+  | oc ->
+    close_out_noerr oc;
+    (try Sys.remove probe with Sys_error _ -> ());
+    Ok ()
+  | exception Sys_error _ ->
+    Error (Printf.sprintf "cannot write %s: not a writable directory" dir)
+
+let preflight (c : Engine.Cli.config) =
+  let targets =
+    (match c.out with
+     | Some d -> [ check_writable_dir d ]
+     | None -> [])
+    @ List.filter_map
+        (Option.map check_writable_file)
+        [ c.trace; c.log; c.report_html; c.record ]
+  in
+  match List.find_opt Result.is_error targets with
+  | Some (Error msg) ->
+    prerr_endline msg;
+    exit 2
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Perf-trajectory sparkline for the HTML report: one normalised line
+   per benchmark (mean ns of each record / mean ns of its first), so
+   wildly different absolute scales share one chart. *)
+
+let perf_sparkline path =
+  match Engine.Perf_history.load path with
+  | Error e ->
+    Format.fprintf efmt "[note: no perf trajectory: %s]@." e;
+    []
+  | Ok records ->
+    let mean ns =
+      List.fold_left ( +. ) 0. ns /. float_of_int (Int.max 1 (List.length ns))
+    in
+    let names =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun (r : Engine.Perf_history.record) ->
+             List.map
+               (fun (e : Engine.Perf_history.entry) -> e.bench)
+               r.entries)
+           records)
+    in
+    let series =
+      List.filter_map
+        (fun name ->
+          let points =
+            List.filteri (fun _ _ -> true) records
+            |> List.mapi (fun i (r : Engine.Perf_history.record) ->
+                   ( i,
+                     List.find_opt
+                       (fun (e : Engine.Perf_history.entry) ->
+                         e.bench = name)
+                       r.entries ))
+            |> List.filter_map (fun (i, e) ->
+                   Option.map
+                     (fun (e : Engine.Perf_history.entry) ->
+                       (float_of_int i, mean e.ns))
+                     e)
+          in
+          match points with
+          | [] | [ _ ] -> None
+          | (_, first) :: _ when first > 0. ->
+            Some
+              {
+                Core.Svg.label = name;
+                style = Core.Svg.Line;
+                points =
+                  Array.of_list
+                    (List.map (fun (i, v) -> (i, v /. first)) points);
+              }
+          | _ -> None)
+        names
+    in
+    if series = [] then []
+    else
+      [
+        ( Printf.sprintf "Perf trajectory (%s)" path,
+          Core.Svg.render ~width:760 ~height:240
+            ~title:"mean ns per record, normalised to first record"
+            ~xlabel:"record" ~ylabel:"ratio" series );
+      ]
+
+(* ------------------------------------------------------------------ *)
+
 let run_experiments (c : Engine.Cli.config) =
   match select_entries c.only with
   | Error msg ->
     prerr_endline msg;
     exit 1
   | Ok entries ->
-    (* Telemetry is opt-in; flip it on before the pool starts so every
-       span/counter of the run is recorded from a clean slate. *)
-    let telemetry = c.metrics || c.trace <> None in
+    preflight c;
+    (* Telemetry and logging are opt-in; flip them on before the pool
+       starts so every span / counter / event of the run is recorded
+       from a clean slate. *)
+    let telemetry = c.metrics || c.trace <> None || c.report_html <> None in
     if telemetry then begin
       Engine.Telemetry.set_enabled true;
       Engine.Telemetry.reset ()
     end;
+    let logging =
+      c.log <> None || c.metrics || c.report_html <> None || c.out <> None
+    in
+    if logging then begin
+      Engine.Log.set_enabled true;
+      Engine.Log.reset ();
+      Engine.Log.set_level c.log_level;
+      Option.iter
+        (fun path ->
+          match Engine.Log.open_file path with
+          | Ok () -> ()
+          | Error msg ->
+            prerr_endline ("cannot write " ^ msg);
+            exit 2)
+        c.log
+    end;
     Format.fprintf fmt
       "Reproduction harness: Paxson & Floyd, \"Wide-Area Traffic: The \
        Failure of Poisson Modeling\"@.";
-    Format.fprintf fmt "(%d experiments, %d worker domain%s, seed %d)@."
+    Format.fprintf efmt "(%d experiments, %d worker domain%s, seed %d)@."
       (List.length entries) c.jobs
       (if c.jobs = 1 then "" else "s")
       c.seed;
+    Engine.Log.info "run.start"
+      [
+        ("experiments", Engine.Log.I (List.length entries));
+        ("jobs", Engine.Log.I c.jobs);
+        ("seed", Engine.Log.I c.seed);
+      ];
     let tasks = List.map Core.Registry.task entries in
     let t0 = Unix.gettimeofday () in
-    let results =
-      Engine.Pool.run ~jobs:c.jobs ~seed:c.seed
-        ~figures:(c.out <> None) tasks
-    in
+    let figures = c.out <> None || c.report_html <> None in
+    let results = Engine.Pool.run ~jobs:c.jobs ~seed:c.seed ~figures tasks in
     let failed = ref 0 in
+    let artifacts = ref [] in
     List.iter2
       (fun (e : Core.Registry.entry) result ->
         match result with
         | Ok (a : Engine.Artifact.t) ->
+          artifacts := a :: !artifacts;
           Format.pp_print_string fmt a.text;
-          Format.fprintf fmt "[%s done in %.2fs]@." a.id a.duration_s;
+          Format.fprintf efmt "[%s done in %.2fs]@." a.id a.duration_s;
           Option.iter
             (fun dir -> ignore (Engine.Artifact.save ~dir a))
             c.out
         | Error exn ->
           incr failed;
-          Format.fprintf fmt "[%s FAILED: %s]@." e.id
+          Format.fprintf efmt "[%s FAILED: %s]@." e.id
             (Printexc.to_string exn))
       entries results;
+    let artifacts = List.rev !artifacts in
     let total = Unix.gettimeofday () -. t0 in
-    Format.fprintf fmt "[total %.2fs, jobs=%d%s]@." total c.jobs
+    Format.fprintf efmt "[total %.2fs, jobs=%d%s]@." total c.jobs
       (if !failed = 0 then ""
        else Printf.sprintf ", %d FAILED" !failed);
+    Engine.Log.info "run.done"
+      [
+        ("total_s", Engine.Log.F total);
+        ("failed", Engine.Log.I !failed);
+      ];
+    (* Provenance manifest: content hashes of everything the run
+       produced, for cross-run verification (verify-manifest). *)
+    let manifest =
+      if c.out <> None || c.report_html <> None then
+        Some
+          (Engine.Manifest.of_run ~created_at:(Unix.gettimeofday ())
+             ~seed:c.seed ~jobs:c.jobs ~total_s:total artifacts)
+      else None
+    in
     Option.iter
-      (fun dir -> Format.fprintf fmt "[artifacts written under %s/]@." dir)
+      (fun dir ->
+        Option.iter
+          (fun m ->
+            let path = Filename.concat dir "run.json" in
+            Engine.Manifest.write ~path m;
+            Format.fprintf efmt "[manifest written to %s]@." path)
+          manifest;
+        Format.fprintf efmt "[artifacts written under %s/]@." dir)
       c.out;
-    if c.metrics then Engine.Telemetry.pp_summary Format.err_formatter;
+    if c.metrics then begin
+      Engine.Telemetry.pp_summary Format.err_formatter;
+      List.iter
+        (fun ev -> Format.fprintf efmt "%a@." Engine.Log.pp_event ev)
+        (Engine.Log.warnings ())
+    end;
     Option.iter
       (fun path ->
         let oc = open_out path in
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () -> output_string oc (Engine.Telemetry.to_chrome_trace ()));
-        Format.fprintf fmt "[chrome trace written to %s]@." path)
+        Format.fprintf efmt "[chrome trace written to %s]@." path)
       c.trace;
+    Option.iter
+      (fun path ->
+        let sparklines =
+          match c.record with
+          | Some hist when Sys.file_exists hist -> perf_sparkline hist
+          | _ -> []
+        in
+        let html =
+          Engine.Report_html.render ?manifest
+            ~log_events:(Engine.Log.events ()) ~sparklines
+            ~title:"wanpoisson run report"
+            ~build:(Engine.Build_info.describe ()) ~seed:c.seed ~jobs:c.jobs
+            ~total_s:total ~artifacts
+            ~events:(Engine.Telemetry.events ())
+            ~counters:(Engine.Telemetry.counters ()) ()
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc html);
+        Format.fprintf efmt "[HTML report written to %s]@." path)
+      c.report_html;
+    if logging then begin
+      Engine.Log.close_file ();
+      Engine.Log.set_enabled false
+    end;
     if telemetry then Engine.Telemetry.set_enabled false;
     if !failed > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot primitives.                     *)
 
-let perf () =
+let perf (c : Engine.Cli.config) =
   let open Bechamel in
+  preflight c;
   let rng = Prng.Rng.create 42 in
   let fgn_input = Lrd.Fgn.generate ~h:0.8 ~n:4096 (Prng.Rng.create 1) in
   let counts = Array.map (fun x -> (x *. 3.) +. 10.) fgn_input in
@@ -162,6 +355,21 @@ let perf () =
               sink := Engine.Telemetry.span ~name:"off" work)));
     ]
   in
+  let names = List.map Test.name tests in
+  let tests =
+    match c.only with
+    | [] -> tests
+    | wanted ->
+      let unknown = List.filter (fun n -> not (List.mem n names)) wanted in
+      if unknown <> [] then begin
+        Printf.eprintf "unknown benchmark%s %s; known: %s\n"
+          (if List.length unknown > 1 then "s" else "")
+          (String.concat ", " unknown)
+          (String.concat ", " names);
+        exit 1
+      end;
+      List.filter (fun t -> List.mem (Test.name t) wanted) tests
+  in
   let benchmark test =
     let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
     Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
@@ -171,16 +379,52 @@ let perf () =
       (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
       Toolkit.Instance.monotonic_clock results
   in
-  List.iter
-    (fun test ->
-      let results = analyze (benchmark test) in
-      Hashtbl.iter
-        (fun name ols ->
-          match Bechamel.Analyze.OLS.estimates ols with
-          | Some [ est ] -> Format.fprintf fmt "%-24s %12.1f ns/run@." name est
-          | _ -> Format.fprintf fmt "%-24s (no estimate)@." name)
-        results)
-    tests
+  (* One OLS estimate per repetition: --record keeps every repetition
+     (Perf_history entries carry sample lists, not collapsed means), so
+     perf-diff later has real per-side variance to test against. *)
+  let reps = if c.record = None then 1 else 3 in
+  let entries =
+    List.map
+      (fun test ->
+        let estimates =
+          List.init reps (fun _ ->
+              let results = analyze (benchmark test) in
+              Hashtbl.fold
+                (fun _ ols acc ->
+                  match Bechamel.Analyze.OLS.estimates ols with
+                  | Some [ est ] -> Some est
+                  | _ -> acc)
+                results None)
+          |> List.filter_map Fun.id
+        in
+        (match estimates with
+         | [] -> Format.fprintf fmt "%-24s (no estimate)@." (Test.name test)
+         | ns ->
+           let mean =
+             List.fold_left ( +. ) 0. ns /. float_of_int (List.length ns)
+           in
+           Format.fprintf fmt "%-24s %12.1f ns/run@." (Test.name test) mean);
+        { Engine.Perf_history.bench = Test.name test; ns = estimates })
+      tests
+  in
+  Option.iter
+    (fun path ->
+      let record =
+        {
+          Engine.Perf_history.ts = Unix.gettimeofday ();
+          label = Engine.Build_info.describe ();
+          entries;
+        }
+      in
+      match Engine.Perf_history.append ~path record with
+      | Ok () ->
+        Format.fprintf efmt "[perf record (%d benchmarks x %d reps) \
+                             appended to %s]@."
+          (List.length entries) reps path
+      | Error msg ->
+        prerr_endline ("cannot write " ^ msg);
+        exit 2)
+    c.record
 
 let () =
   match Engine.Cli.parse Sys.argv with
@@ -191,5 +435,6 @@ let () =
   | Engine.Cli.Config c -> (
     match c.action with
     | Engine.Cli.List -> list_ids ()
-    | Engine.Cli.Perf -> perf ()
+    | Engine.Cli.Version -> print_endline (Engine.Build_info.describe ())
+    | Engine.Cli.Perf -> perf c
     | Engine.Cli.Run -> run_experiments c)

@@ -5,9 +5,19 @@
      run ID [--out FILE]      -- run one experiment (or "all")
      gen DATASET -o FILE      -- synthesize a SYN/FIN trace to a TSV file
      check FILE [-p PROTO]    -- Appendix-A Poisson battery on a saved trace
-     hurst FILE [-p PROTO]    -- LRD analysis of a saved trace's arrivals *)
+     hurst FILE [-p PROTO]    -- LRD analysis of a saved trace's arrivals
+     perf-diff OLD NEW        -- statistically-gated perf comparison
+     verify-manifest A B      -- diff two run.json provenance manifests *)
 
 open Cmdliner
+
+(* Fail fast, and with the offending path, before any work runs. *)
+let check_writable_file path =
+  match open_out_gen [ Open_wronly; Open_creat ] 0o644 path with
+  | oc ->
+    close_out_noerr oc;
+    Ok ()
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot write %s" msg)
 
 let fmt_of_out = function
   | None -> Format.std_formatter
@@ -56,57 +66,143 @@ let run_cmd =
            ~doc:"Record telemetry; write Chrome trace-event JSON to $(docv) \
                  (load in chrome://tracing or Perfetto)")
   in
-  let run id jobs seed out metrics trace =
+  let log_arg =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"Record structured events; stream JSONL to $(docv)")
+  in
+  let log_level_arg =
+    Arg.(value & opt string "info" & info [ "log-level" ] ~docv:"LVL"
+           ~doc:"Minimum level recorded: debug, info, warn, error")
+  in
+  let report_html_arg =
+    Arg.(value & opt (some string) None & info [ "report-html" ] ~docv:"FILE"
+           ~doc:"Write a self-contained HTML run report to $(docv)")
+  in
+  let run id jobs seed out metrics trace log log_level report_html =
     if jobs < 1 then `Error (false, "--jobs must be at least 1")
     else
-      let tasks =
-        if id = "all" then Some (Core.Registry.tasks ())
-        else
-          Option.map
-            (fun e -> [ Core.Registry.task e ])
-            (Core.Registry.find id)
-      in
-      match tasks with
-      | None -> `Error (false, "unknown experiment id " ^ id)
-      | Some tasks ->
-        let telemetry = metrics || trace <> None in
-        if telemetry then begin
-          Engine.Telemetry.set_enabled true;
-          Engine.Telemetry.reset ()
-        end;
-        let fmt = fmt_of_out out in
-        let results = Engine.Pool.run ~jobs ~seed tasks in
-        let failed =
-          List.concat_map
-            (function
-              | Ok (a : Engine.Artifact.t) ->
-                Format.pp_print_string fmt a.text;
-                []
-              | Error exn -> [ Printexc.to_string exn ])
-            results
+      match Engine.Log.level_of_string log_level with
+      | None ->
+        `Error
+          ( false,
+            Printf.sprintf
+              "unknown log level %S (want debug, info, warn or error)"
+              log_level )
+      | Some level -> (
+        let tasks =
+          if id = "all" then Some (Core.Registry.tasks ())
+          else
+            Option.map
+              (fun e -> [ Core.Registry.task e ])
+              (Core.Registry.find id)
         in
-        Format.pp_print_flush fmt ();
-        if metrics then Engine.Telemetry.pp_summary Format.err_formatter;
-        Option.iter
-          (fun path ->
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out_noerr oc)
-              (fun () ->
-                output_string oc (Engine.Telemetry.to_chrome_trace ()));
-            Printf.eprintf "chrome trace written to %s\n%!" path)
-          trace;
-        if telemetry then Engine.Telemetry.set_enabled false;
-        (match failed with
-         | [] -> `Ok ()
-         | msgs -> `Error (false, String.concat "; " msgs))
+        match tasks with
+        | None -> `Error (false, "unknown experiment id " ^ id)
+        | Some tasks -> (
+          let preflight =
+            List.fold_left
+              (fun acc p ->
+                match (acc, p) with
+                | Error _, _ -> acc
+                | Ok (), Some path -> check_writable_file path
+                | Ok (), None -> acc)
+              (Ok ())
+              [ trace; log; report_html ]
+          in
+          match preflight with
+          | Error msg -> `Error (false, msg)
+          | Ok () ->
+            let telemetry = metrics || trace <> None || report_html <> None in
+            if telemetry then begin
+              Engine.Telemetry.set_enabled true;
+              Engine.Telemetry.reset ()
+            end;
+            let logging = log <> None || metrics || report_html <> None in
+            if logging then begin
+              Engine.Log.set_enabled true;
+              Engine.Log.reset ();
+              Engine.Log.set_level level;
+              Option.iter
+                (fun path ->
+                  match Engine.Log.open_file path with
+                  | Ok () -> ()
+                  | Error msg ->
+                    prerr_endline ("cannot write " ^ msg);
+                    exit 2)
+                log
+            end;
+            let fmt = fmt_of_out out in
+            let t0 = Unix.gettimeofday () in
+            let results =
+              Engine.Pool.run ~jobs ~seed ~figures:(report_html <> None) tasks
+            in
+            let total = Unix.gettimeofday () -. t0 in
+            let artifacts = ref [] in
+            let failed =
+              List.concat_map
+                (function
+                  | Ok (a : Engine.Artifact.t) ->
+                    artifacts := a :: !artifacts;
+                    Format.pp_print_string fmt a.text;
+                    []
+                  | Error exn -> [ Printexc.to_string exn ])
+                results
+            in
+            let artifacts = List.rev !artifacts in
+            Format.pp_print_flush fmt ();
+            if metrics then begin
+              Engine.Telemetry.pp_summary Format.err_formatter;
+              List.iter
+                (fun ev ->
+                  Format.eprintf "%a@." Engine.Log.pp_event ev)
+                (Engine.Log.warnings ())
+            end;
+            Option.iter
+              (fun path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () ->
+                    output_string oc (Engine.Telemetry.to_chrome_trace ()));
+                Printf.eprintf "chrome trace written to %s\n%!" path)
+              trace;
+            Option.iter
+              (fun path ->
+                let manifest =
+                  Engine.Manifest.of_run
+                    ~created_at:(Unix.gettimeofday ()) ~seed ~jobs
+                    ~total_s:total artifacts
+                in
+                let html =
+                  Engine.Report_html.render ~manifest
+                    ~log_events:(Engine.Log.events ())
+                    ~title:("wanpoisson run " ^ id)
+                    ~build:(Engine.Build_info.describe ()) ~seed ~jobs
+                    ~total_s:total ~artifacts
+                    ~events:(Engine.Telemetry.events ())
+                    ~counters:(Engine.Telemetry.counters ()) ()
+                in
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () -> output_string oc html);
+                Printf.eprintf "HTML report written to %s\n%!" path)
+              report_html;
+            if logging then begin
+              Engine.Log.close_file ();
+              Engine.Log.set_enabled false
+            end;
+            if telemetry then Engine.Telemetry.set_enabled false;
+            (match failed with
+             | [] -> `Ok ()
+             | msgs -> `Error (false, String.concat "; " msgs))))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate a table, figure, or in-text experiment")
     Term.(
       ret
         (const run $ id_arg $ jobs_arg $ seed_arg $ out_arg $ metrics_arg
-       $ trace_arg))
+       $ trace_arg $ log_arg $ log_level_arg $ report_html_arg))
 
 (* ---------------- gen ---------------- *)
 
@@ -358,9 +454,94 @@ let hurst_cmd =
     (Cmd.info "hurst" ~doc:"Long-range dependence analysis of a trace")
     Term.(ret (const run $ file_arg $ proto_arg $ bin_arg))
 
+(* ---------------- perf-diff ---------------- *)
+
+let perf_diff_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD"
+           ~doc:"Baseline perf history (JSONL written by bench --record)")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW"
+           ~doc:"Candidate perf history to compare against $(b,OLD)")
+  in
+  let alpha_arg =
+    Arg.(value & opt float 0.01 & info [ "alpha" ] ~docv:"A"
+           ~doc:"Significance level for the Welch t gate (default 0.01)")
+  in
+  let min_effect_arg =
+    Arg.(value & opt float 0.05 & info [ "min-effect" ] ~docv:"R"
+           ~doc:"Practical floor on |ratio - 1|: slowdowns smaller than \
+                 this never fail, however significant (default 0.05)")
+  in
+  let run old_path new_path alpha min_effect =
+    match (Engine.Perf_history.load old_path, Engine.Perf_history.load new_path)
+    with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok old_, Ok new_ ->
+      let verdicts, unmatched =
+        Engine.Perf_history.diff ~alpha ~min_effect old_ new_
+      in
+      Engine.Perf_history.pp_verdicts Format.std_formatter
+        (verdicts, unmatched);
+      Format.pp_print_flush Format.std_formatter ();
+      if Engine.Perf_history.any_regression verdicts then begin
+        let worst =
+          List.filter (fun v -> v.Engine.Perf_history.regression) verdicts
+        in
+        Printf.eprintf
+          "perf regression: %s (Welch t, alpha %g, min effect %g)\n"
+          (String.concat ", "
+             (List.map
+                (fun v ->
+                  Printf.sprintf "%s %.2fx slower (%.1f%% confidence)"
+                    v.Engine.Perf_history.bench v.Engine.Perf_history.ratio
+                    (100. *. v.Engine.Perf_history.confidence))
+                worst))
+          alpha min_effect;
+        exit 1
+      end;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "perf-diff"
+       ~doc:
+         "Compare two perf histories; exit 1 on a statistically significant \
+          slowdown (Welch's t plus a bootstrap CI of the mean ratio, both \
+          computed by the repo's own statistics library)")
+    Term.(ret (const run $ old_arg $ new_arg $ alpha_arg $ min_effect_arg))
+
+(* ---------------- verify-manifest ---------------- *)
+
+let verify_manifest_cmd =
+  let a_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A"
+           ~doc:"First run.json manifest (written by bench --out)")
+  in
+  let b_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B"
+           ~doc:"Second run.json manifest")
+  in
+  let run a_path b_path =
+    match (Engine.Manifest.load a_path, Engine.Manifest.load b_path) with
+    | Error e, _ -> `Error (false, a_path ^ ": " ^ e)
+    | _, Error e -> `Error (false, b_path ^ ": " ^ e)
+    | Ok a, Ok b ->
+      let d = Engine.Manifest.compare_manifests a b in
+      Engine.Manifest.pp_diff Format.std_formatter d;
+      Format.pp_print_flush Format.std_formatter ();
+      if d.Engine.Manifest.identical then `Ok () else exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify-manifest"
+       ~doc:
+         "Diff two run provenance manifests by artifact content hash; exit \
+          1 if any artifact diverged")
+    Term.(ret (const run $ a_arg $ b_arg))
+
 let () =
   let info =
-    Cmd.info "wanpoisson" ~version:"1.0.0"
+    Cmd.info "wanpoisson" ~version:(Engine.Build_info.describe ())
       ~doc:
         "Reproduction toolkit for Paxson & Floyd, \"Wide-Area Traffic: The \
          Failure of Poisson Modeling\""
@@ -369,4 +550,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; gen_cmd; genpkt_cmd; check_cmd; hurst_cmd;
-            analyze_cmd; render_cmd; summary_cmd ]))
+            analyze_cmd; render_cmd; summary_cmd; perf_diff_cmd;
+            verify_manifest_cmd ]))

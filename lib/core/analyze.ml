@@ -31,6 +31,12 @@ let arrivals ?(bin = 1.0) ~span times =
         in
         (whittle, beran))
   in
+  Engine.Log.info "gof.beran"
+    [
+      ("p_value", Engine.Log.F beran.Lrd.Beran.p_value);
+      ("consistent", Engine.Log.B beran.Lrd.Beran.consistent);
+      ("h_whittle", Engine.Log.F whittle.Lrd.Whittle.h);
+    ];
   let vt_stat xs =
     try (Lrd.Hurst.variance_time xs).Lrd.Hurst.h with _ -> nan
   in

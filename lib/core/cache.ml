@@ -55,11 +55,15 @@ let get cache ~ns generate name =
         Engine.Telemetry.bump c_generations;
         Mutex.lock mutex;
         let key = ns ^ ":" ^ name in
-        Hashtbl.replace gen_counts key
-          (1 + Option.value ~default:0 (Hashtbl.find_opt gen_counts key));
+        let n_gen =
+          1 + Option.value ~default:0 (Hashtbl.find_opt gen_counts key)
+        in
+        Hashtbl.replace gen_counts key n_gen;
         Hashtbl.replace cache name (Ready v);
         Condition.broadcast cond;
         Mutex.unlock mutex;
+        Engine.Log.debug "cache.generation"
+          [ ("key", Engine.Log.S key); ("count", Engine.Log.I n_gen) ];
         v
       | exception e ->
         (* Leave no stale In_flight behind: waiters retry (and one of

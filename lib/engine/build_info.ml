@@ -1,0 +1,17 @@
+let name = "paxfloyd"
+let version = "1.1.0"
+let ocaml = Sys.ocaml_version
+
+let describe () =
+  Printf.sprintf "%s %s (ocaml %s, %s, %d-bit)" name version ocaml Sys.os_type
+    Sys.word_size
+
+let to_json () =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("version", Json.Str version);
+      ("ocaml", Json.Str ocaml);
+      ("os", Json.Str Sys.os_type);
+      ("word_size", Json.Int Sys.word_size);
+    ]

@@ -1,0 +1,22 @@
+(** Build identity embedded in run manifests, perf-history records, and
+    the [--version] output of both binaries — so a recorded run can be
+    traced back to the toolchain that produced it, and so two manifests
+    compared across machines surface environment differences as notes
+    rather than silent context. *)
+
+val name : string
+(** ["paxfloyd"]. *)
+
+val version : string
+(** The repository version string (kept in lockstep with the CLI). *)
+
+val ocaml : string
+(** [Sys.ocaml_version]. *)
+
+val describe : unit -> string
+(** One line: name, version, OCaml version, OS type, word size — what
+    [--version] prints and what the manifest embeds. *)
+
+val to_json : unit -> Json.t
+(** The same facts as a JSON object (keys [name], [version], [ocaml],
+    [os], [word_size]). *)

@@ -7,17 +7,28 @@ type action =
   | Run  (** Run experiments (the default). *)
   | List  (** Print the experiment ids and exit. *)
   | Perf  (** Bechamel micro-benchmarks. *)
+  | Version  (** Print {!Build_info.describe} and exit. *)
 
 type config = {
   action : action;
   jobs : int;  (** Worker domains; >= 1. *)
   seed : int;  (** Root seed for per-experiment RNG streams. *)
-  only : string list;  (** Empty = the whole registry, in order. *)
-  out : string option;  (** Directory for per-experiment artifacts. *)
+  only : string list;
+      (** Empty = everything. Experiment ids under [Run]; benchmark
+          names under [Perf]. *)
+  out : string option;
+      (** Directory for per-experiment artifacts plus the [run.json]
+          provenance manifest. *)
   metrics : bool;
       (** Enable {!Telemetry} and print its summary table to stderr. *)
   trace : string option;
       (** Enable {!Telemetry} and write Chrome trace-event JSON here. *)
+  log : string option;
+      (** Enable {!Log} and stream JSONL events to this file. *)
+  log_level : Log.level;  (** Minimum level recorded (default Info). *)
+  record : string option;
+      (** Under [Perf]: append a {!Perf_history} record here. *)
+  report_html : string option;  (** Write the HTML run report here. *)
 }
 
 type outcome =

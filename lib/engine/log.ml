@@ -1,0 +1,170 @@
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type field = S of string | I of int | F of float | B of bool
+
+type event = {
+  seq : int;
+  t_us : float;
+  ev_level : level;
+  ev_name : string;
+  ev_task : string option;
+  ev_domain : int;
+  fields : (string * field) list;
+}
+
+(* One atomic gates the hot path (a disabled site is a load + branch);
+   the minimum level is a plain Atomic too so [set_level] needs no lock.
+   The store itself — reversed event list, sequence counter, optional
+   file sink — is mutex-guarded: appends are serialised, which is what
+   gives the sequence numbers their total order. *)
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+
+let min_rank = Atomic.make (level_rank Info)
+let set_level l = Atomic.set min_rank (level_rank l)
+
+let min_level () =
+  match Atomic.get min_rank with
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+let lock = Mutex.create ()
+let events_rev : event list ref = ref []
+let next_seq = ref 0
+let sink : out_channel option ref = ref None
+
+let json_of_field = function
+  | S s -> Json.Str s
+  | I i -> Json.Int i
+  | F f -> Json.Float f
+  | B b -> Json.Bool b
+
+let line ev =
+  let base =
+    [
+      ("seq", Json.Int ev.seq);
+      ("t_us", Json.Float ev.t_us);
+      ("level", Json.Str (level_name ev.ev_level));
+      ("event", Json.Str ev.ev_name);
+    ]
+  in
+  let task =
+    match ev.ev_task with None -> [] | Some t -> [ ("task", Json.Str t) ]
+  in
+  let tail =
+    [
+      ("domain", Json.Int ev.ev_domain);
+      ("fields", Json.Obj (List.map (fun (k, v) -> (k, json_of_field v)) ev.fields));
+    ]
+  in
+  Json.to_string (Json.Obj (base @ task @ tail))
+
+let event lvl name fields =
+  if Atomic.get on && level_rank lvl >= Atomic.get min_rank then begin
+    let task = Telemetry.current_task () in
+    let domain = (Domain.self () :> int) in
+    let t_us = Telemetry.now_us () in
+    Mutex.lock lock;
+    let ev =
+      {
+        seq = !next_seq;
+        t_us;
+        ev_level = lvl;
+        ev_name = name;
+        ev_task = task;
+        ev_domain = domain;
+        fields;
+      }
+    in
+    incr next_seq;
+    events_rev := ev :: !events_rev;
+    (match !sink with
+     | None -> ()
+     | Some oc ->
+       output_string oc (line ev);
+       output_char oc '\n';
+       flush oc);
+    Mutex.unlock lock
+  end
+
+let debug name fields = event Debug name fields
+let info name fields = event Info name fields
+let warn name fields = event Warn name fields
+let error name fields = event Error name fields
+
+let reset () =
+  Mutex.lock lock;
+  events_rev := [];
+  next_seq := 0;
+  Mutex.unlock lock
+
+let close_file () =
+  Mutex.lock lock;
+  (match !sink with
+   | Some oc ->
+     (try flush oc with Sys_error _ -> ());
+     close_out_noerr oc;
+     sink := None
+   | None -> ());
+  Mutex.unlock lock
+
+let open_file path =
+  close_file ();
+  match open_out path with
+  | oc ->
+    Mutex.lock lock;
+    sink := Some oc;
+    Mutex.unlock lock;
+    Ok ()
+  | exception Sys_error msg -> Error msg
+
+let events () =
+  Mutex.lock lock;
+  let evs = !events_rev in
+  Mutex.unlock lock;
+  List.rev evs
+
+let warnings () =
+  List.filter (fun ev -> level_rank ev.ev_level >= level_rank Warn) (events ())
+
+let pp_event fmt ev =
+  Format.fprintf fmt "[%s] %s" (level_name ev.ev_level) ev.ev_name;
+  (match ev.ev_task with
+   | Some t -> Format.fprintf fmt " task=%s" t
+   | None -> ());
+  List.iter
+    (fun (k, v) ->
+      Format.fprintf fmt " %s=%s" k
+        (match v with
+         | S s -> s
+         | I i -> string_of_int i
+         | F f -> Printf.sprintf "%g" f
+         | B b -> string_of_bool b))
+    ev.fields
+
+let to_jsonl () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (line ev);
+      Buffer.add_char buf '\n')
+    (events ());
+  Buffer.contents buf

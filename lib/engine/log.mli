@@ -1,0 +1,103 @@
+(** Domain-safe, leveled, structured event log for the engine.
+
+    Telemetry ({!Telemetry}) answers "where did the time go"; this
+    module answers "what happened": run/task lifecycle, cache
+    generations, [Par] budget grants, estimator warnings (a Whittle fit
+    pinned to its search boundary), goodness-of-fit p-values. Events are
+    structured — a name plus typed fields — never printf strings, so
+    they can be filtered, exported as JSONL ([--log FILE]), surfaced on
+    stderr ([--metrics] prints the warnings), and embedded in the HTML
+    run report.
+
+    {b Gating.} Like telemetry, recording is off by default and gated on
+    one atomic: a disabled call site costs a load + branch, and enabling
+    the log must never change what an experiment computes (events touch
+    no RNG stream and no artifact buffer — the engine determinism suite
+    runs with logging on and off and diffs the artifacts).
+
+    {b Ordering.} A mutex serialises appends; every event gets a
+    process-wide strictly increasing sequence number, so the JSONL
+    stream has a total order even when [--jobs 4] domains emit
+    concurrently.
+
+    {b Attribution.} Events record the emitting domain and the current
+    task label ({!Telemetry.current_task}, installed by [Task.run] and
+    inherited by [Par] workers), so a warning emitted deep inside an
+    estimator lands on the experiment that triggered it. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_of_string : string -> level option
+(** ["debug" | "info" | "warn" | "error"] (case-insensitive). *)
+
+val level_name : level -> string
+
+type field =
+  | S of string
+  | I of int
+  | F of float
+  | B of bool
+
+type event = {
+  seq : int;  (** Process-wide, strictly increasing. *)
+  t_us : float;  (** {!Telemetry.now_us} at emission. *)
+  ev_level : level;
+  ev_name : string;  (** e.g. ["task.done"], ["whittle.at_boundary"]. *)
+  ev_task : string option;
+  ev_domain : int;
+  fields : (string * field) list;
+}
+
+(** {1 Control} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val set_level : level -> unit
+(** Minimum level recorded (default [Info]; [Debug] admits everything).
+    Filtering happens at emission — suppressed events get no sequence
+    number. *)
+
+val min_level : unit -> level
+
+val reset : unit -> unit
+(** Drop recorded events and restart the sequence counter. Does not
+    touch the file sink. *)
+
+val open_file : string -> (unit, string) result
+(** Open (truncate) a JSONL sink: every subsequently recorded event is
+    also written — and flushed — as one JSON line. Returns [Error] with
+    the offending path and reason if the path is unwritable. Closes any
+    previously open sink. *)
+
+val close_file : unit -> unit
+(** Flush and close the sink, if any (idempotent). *)
+
+(** {1 Emission} *)
+
+val event : level -> string -> (string * field) list -> unit
+
+val debug : string -> (string * field) list -> unit
+val info : string -> (string * field) list -> unit
+val warn : string -> (string * field) list -> unit
+val error : string -> (string * field) list -> unit
+
+(** {1 Inspection / export} *)
+
+val events : unit -> event list
+(** Recorded events in sequence order. *)
+
+val warnings : unit -> event list
+(** The [Warn]-and-above subset, in sequence order — what [--metrics]
+    prints to stderr and the HTML report lists. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** Human-readable one-liner: [[warn] whittle.at_boundary task=fig15
+    h=0.99 ...] — what [--metrics] prints to stderr. *)
+
+val line : event -> string
+(** One JSONL line (no trailing newline): [{"seq":..,"t_us":..,
+    "level":..,"event":..,"task":..,"domain":..,"fields":{...}}]. *)
+
+val to_jsonl : unit -> string
+(** All recorded events, one line each, newline-terminated. *)

@@ -1,0 +1,225 @@
+type file_entry = { fname : string; sha256 : string; bytes : int }
+
+type artifact_entry = {
+  art_id : string;
+  art_title : string;
+  art_duration_s : float;
+  art_files : file_entry list;
+}
+
+type t = {
+  schema : int;
+  created_at : float;
+  seed : int;
+  jobs : int;
+  build : Json.t;
+  total_s : float;
+  artifacts : artifact_entry list;
+  counters : (string * int) list;
+  n_warnings : int;
+}
+
+let schema_version = 1
+
+let file_of_content fname content =
+  { fname; sha256 = Sha256.hex content; bytes = String.length content }
+
+let of_run ~created_at ~seed ~jobs ~total_s artifacts =
+  let entry (a : Artifact.t) =
+    {
+      art_id = a.id;
+      art_title = a.title;
+      art_duration_s = a.duration_s;
+      art_files =
+        file_of_content (a.id ^ ".txt") a.text
+        :: List.map (fun (name, content) -> file_of_content name content)
+             a.figures;
+    }
+  in
+  {
+    schema = schema_version;
+    created_at;
+    seed;
+    jobs;
+    build = Build_info.to_json ();
+    total_s;
+    artifacts = List.map entry artifacts;
+    counters = (if Telemetry.enabled () then Telemetry.counters () else []);
+    n_warnings =
+      (if Log.enabled () then List.length (Log.warnings ()) else 0);
+  }
+
+let to_json m =
+  let file_json f =
+    Json.Obj
+      [
+        ("file", Json.Str f.fname);
+        ("sha256", Json.Str f.sha256);
+        ("bytes", Json.Int f.bytes);
+      ]
+  in
+  let artifact_json a =
+    Json.Obj
+      [
+        ("id", Json.Str a.art_id);
+        ("title", Json.Str a.art_title);
+        ("duration_s", Json.Float a.art_duration_s);
+        ("files", Json.List (List.map file_json a.art_files));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Int m.schema);
+      ("created_at", Json.Float m.created_at);
+      ("seed", Json.Int m.seed);
+      ("jobs", Json.Int m.jobs);
+      ("build", m.build);
+      ("total_s", Json.Float m.total_s);
+      ("artifacts", Json.List (List.map artifact_json m.artifacts));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) m.counters) );
+      ("warnings", Json.Int m.n_warnings);
+    ]
+
+let to_string m = Json.to_string ~indent:true (to_json m) ^ "\n"
+
+(* Field-at-a-time readers returning Result, so a malformed manifest
+   reports which field broke instead of raising. *)
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "manifest: missing or bad %S" name)
+
+let parse_file j =
+  let* fname = field "file" Json.to_str_opt j in
+  let* sha256 = field "sha256" Json.to_str_opt j in
+  let* bytes = field "bytes" Json.to_int_opt j in
+  Ok { fname; sha256; bytes }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let parse_artifact j =
+  let* art_id = field "id" Json.to_str_opt j in
+  let* art_title = field "title" Json.to_str_opt j in
+  let* art_duration_s = field "duration_s" Json.to_float_opt j in
+  let* files = field "files" Json.to_list_opt j in
+  let* art_files = map_result parse_file files in
+  Ok { art_id; art_title; art_duration_s; art_files }
+
+let parse s =
+  let* j = Json.parse s in
+  let* schema = field "schema" Json.to_int_opt j in
+  if schema <> schema_version then
+    Error (Printf.sprintf "manifest: unsupported schema %d (want %d)" schema
+             schema_version)
+  else
+    let* created_at = field "created_at" Json.to_float_opt j in
+    let* seed = field "seed" Json.to_int_opt j in
+    let* jobs = field "jobs" Json.to_int_opt j in
+    let build = Option.value ~default:Json.Null (Json.member "build" j) in
+    let* total_s = field "total_s" Json.to_float_opt j in
+    let* artifacts = field "artifacts" Json.to_list_opt j in
+    let* artifacts = map_result parse_artifact artifacts in
+    let counters =
+      match Json.member "counters" j with
+      | Some (Json.Obj members) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int_opt v))
+          members
+      | _ -> []
+    in
+    let n_warnings =
+      Option.value ~default:0
+        (Option.bind (Json.member "warnings" j) Json.to_int_opt)
+    in
+    Ok
+      {
+        schema; created_at; seed; jobs; build; total_s; artifacts; counters;
+        n_warnings;
+      }
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> parse s
+  | exception Sys_error msg -> Error msg
+
+let write ~path m =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string m))
+
+(* ------------------------------------------------------------------ *)
+
+type diff = {
+  identical : bool;
+  divergent : (string * string list) list;
+  only_a : string list;
+  only_b : string list;
+  notes : string list;
+}
+
+let compare_manifests a b =
+  let ids m = List.map (fun e -> e.art_id) m.artifacts in
+  let find m id = List.find_opt (fun e -> e.art_id = id) m.artifacts in
+  let only_a = List.filter (fun id -> find b id = None) (ids a) in
+  let only_b = List.filter (fun id -> find a id = None) (ids b) in
+  let divergent =
+    List.filter_map
+      (fun ea ->
+        match find b ea.art_id with
+        | None -> None
+        | Some eb ->
+          let fnames e = List.map (fun f -> f.fname) e.art_files in
+          let all_names =
+            List.sort_uniq compare (fnames ea @ fnames eb)
+          in
+          let hash e name =
+            Option.map
+              (fun f -> f.sha256)
+              (List.find_opt (fun f -> f.fname = name) e.art_files)
+          in
+          let bad =
+            List.filter (fun name -> hash ea name <> hash eb name) all_names
+          in
+          if bad = [] then None else Some (ea.art_id, bad))
+      a.artifacts
+  in
+  let notes = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  if a.seed <> b.seed then note "seeds differ: %d vs %d" a.seed b.seed;
+  if a.jobs <> b.jobs then note "jobs differ: %d vs %d (benign)" a.jobs b.jobs;
+  if a.build <> b.build then
+    note "builds differ: %s vs %s" (Json.to_string a.build)
+      (Json.to_string b.build);
+  {
+    identical = divergent = [] && only_a = [] && only_b = [];
+    divergent;
+    only_a;
+    only_b;
+    notes = List.rev !notes;
+  }
+
+let pp_diff fmt d =
+  List.iter (fun n -> Format.fprintf fmt "note: %s@." n) d.notes;
+  if d.identical then
+    Format.fprintf fmt "manifests agree: all artifact hashes identical@."
+  else begin
+    List.iter
+      (fun (id, files) ->
+        Format.fprintf fmt "DIVERGED %-12s %s@." id (String.concat ", " files))
+      d.divergent;
+    List.iter
+      (fun id -> Format.fprintf fmt "ONLY-A   %s@." id)
+      d.only_a;
+    List.iter
+      (fun id -> Format.fprintf fmt "ONLY-B   %s@." id)
+      d.only_b
+  end

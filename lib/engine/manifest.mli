@@ -1,0 +1,85 @@
+(** Run provenance manifest ([run.json]).
+
+    The engine's determinism guarantee — byte-identical artifacts for a
+    fixed seed at any jobs count — was until now enforced only inside
+    one test process. The manifest makes it auditable {e across} runs
+    and machines: every [--out] run records its seed, jobs, build
+    identity, per-artifact SHA-256 content hashes, durations, and
+    telemetry rollups. [wanpoisson verify-manifest A B] then diffs two
+    manifests and reports exactly which artifacts diverged.
+
+    Hashes cover the deterministic content only: the report text and
+    each figure's bytes. Durations, counters, timestamps, build and jobs
+    are provenance — recorded, surfaced in the diff as notes, but never
+    grounds for declaring divergence. *)
+
+type file_entry = {
+  fname : string;  (** e.g. ["fig15.txt"], ["fig15.svg"]. *)
+  sha256 : string;  (** Lowercase hex of the file's content. *)
+  bytes : int;
+}
+
+type artifact_entry = {
+  art_id : string;
+  art_title : string;
+  art_duration_s : float;
+  art_files : file_entry list;
+}
+
+type t = {
+  schema : int;  (** Currently {!schema_version}. *)
+  created_at : float;  (** Unix seconds; provenance only. *)
+  seed : int;
+  jobs : int;
+  build : Json.t;  (** {!Build_info.to_json} of the producing binary. *)
+  total_s : float;
+  artifacts : artifact_entry list;
+  counters : (string * int) list;  (** Telemetry rollup (may be empty). *)
+  n_warnings : int;  (** [Warn]-and-above log events during the run. *)
+}
+
+val schema_version : int
+
+val of_run :
+  created_at:float ->
+  seed:int ->
+  jobs:int ->
+  total_s:float ->
+  Artifact.t list ->
+  t
+(** Hash every artifact's text and figures (from the in-memory strings —
+    no filesystem round-trip) and capture the current telemetry counters
+    and log warning count. *)
+
+val to_json : t -> Json.t
+val to_string : t -> string
+(** Indented JSON, newline-terminated — the [run.json] bytes. *)
+
+val parse : string -> (t, string) result
+(** Inverse of {!to_string}; rejects unknown schema versions. *)
+
+val load : string -> (t, string) result
+(** Read and {!parse} a manifest file. *)
+
+val write : path:string -> t -> unit
+
+(** {1 Comparison} *)
+
+type diff = {
+  identical : bool;
+      (** True iff the same artifact ids with the same file names and
+          hashes on both sides. *)
+  divergent : (string * string list) list;
+      (** Per artifact id present on both sides: the file names whose
+          hash (or presence) differs. *)
+  only_a : string list;  (** Artifact ids only in the first manifest. *)
+  only_b : string list;
+  notes : string list;
+      (** Provenance differences (seed, jobs, build) — context for a
+          divergence, not divergence itself. *)
+}
+
+val compare_manifests : t -> t -> diff
+
+val pp_diff : Format.formatter -> diff -> unit
+(** Human-readable report: "manifests agree" or the divergence list. *)

@@ -28,6 +28,7 @@ let c_rng_draws = Telemetry.counter "rng.par_draws"
 let set_extra_domains n =
   let n = Int.max 0 n in
   Telemetry.add c_grants n;
+  Log.debug "par.grant" [ ("extra_domains", Log.I n) ];
   Atomic.set available n
 
 let extra_domains () = Atomic.get available

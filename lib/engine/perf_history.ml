@@ -1,0 +1,229 @@
+type entry = { bench : string; ns : float list }
+type record = { ts : float; label : string; entries : entry list }
+
+let schema_version = 1
+
+let record_line r =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Int schema_version);
+         ("ts", Json.Float r.ts);
+         ("label", Json.Str r.label);
+         ( "entries",
+           Json.List
+             (List.map
+                (fun e ->
+                  Json.Obj
+                    [
+                      ("name", Json.Str e.bench);
+                      ("ns", Json.List (List.map (fun v -> Json.Float v) e.ns));
+                    ])
+                r.entries) );
+       ])
+
+let append ~path r =
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (record_line r);
+        output_char oc '\n');
+    Ok ()
+  | exception Sys_error msg -> Error msg
+
+let ( let* ) = Result.bind
+
+let parse_entry j =
+  match
+    ( Option.bind (Json.member "name" j) Json.to_str_opt,
+      Option.bind (Json.member "ns" j) Json.to_list_opt )
+  with
+  | Some bench, Some ns_json ->
+    let ns = List.filter_map Json.to_float_opt ns_json in
+    if List.length ns <> List.length ns_json then
+      Error ("non-numeric sample under " ^ bench)
+    else Ok { bench; ns }
+  | _ -> Error "entry needs \"name\" and \"ns\""
+
+let parse_record line =
+  let* j = Json.parse line in
+  match Option.bind (Json.member "schema" j) Json.to_int_opt with
+  | Some v when v = schema_version ->
+    let ts =
+      Option.value ~default:0.
+        (Option.bind (Json.member "ts" j) Json.to_float_opt)
+    in
+    let label =
+      Option.value ~default:""
+        (Option.bind (Json.member "label" j) Json.to_str_opt)
+    in
+    let* entries_json =
+      Option.to_result ~none:"record needs \"entries\""
+        (Option.bind (Json.member "entries" j) Json.to_list_opt)
+    in
+    let rec go = function
+      | [] -> Ok []
+      | x :: rest ->
+        let* e = parse_entry x in
+        let* es = go rest in
+        Ok (e :: es)
+    in
+    let* entries = go entries_json in
+    Ok { ts; label; entries }
+  | Some v ->
+    Error (Printf.sprintf "unsupported perf schema %d (want %d)" v
+             schema_version)
+  | None -> Error "record needs an integer \"schema\""
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+    let lines =
+      String.split_on_char '\n' contents
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    if lines = [] then Error (path ^ ": empty perf history")
+    else begin
+      let rec go i = function
+        | [] -> Ok []
+        | l :: rest -> (
+          match parse_record l with
+          | Error e -> Error (Printf.sprintf "%s:%d: %s" path i e)
+          | Ok r ->
+            let* rs = go (i + 1) rest in
+            Ok (r :: rs))
+      in
+      go 1 lines
+    end
+
+let pooled records =
+  let tbl : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun e ->
+          match Hashtbl.find_opt tbl e.bench with
+          | Some cell -> cell := !cell @ e.ns
+          | None -> Hashtbl.add tbl e.bench (ref e.ns))
+        r.entries)
+    records;
+  Hashtbl.fold (fun name cell acc -> (name, Array.of_list !cell) :: acc) tbl []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+
+type verdict = {
+  bench : string;
+  n_old : int;
+  n_new : int;
+  mean_old : float;
+  mean_new : float;
+  ratio : float;
+  ci_lo : float;
+  ci_hi : float;
+  welch : Stats.Welch.result;
+  confidence : float;
+  regression : bool;
+  improvement : bool;
+}
+
+(* Percentile bootstrap on the ratio of means: resample each side
+   independently (block 1 — perf repetitions are exchangeable), take the
+   ratio of resampled means. Fixed seed: the diff of fixed inputs is a
+   pure function. *)
+let ratio_ci old_ns new_ns =
+  let replicates = 1000 in
+  let rng = Prng.Rng.create 0x9e3779b9 in
+  let ratios =
+    Array.init replicates (fun _ ->
+        let o = Stats.Bootstrap.resample ~block:1 rng old_ns in
+        let n = Stats.Bootstrap.resample ~block:1 rng new_ns in
+        Stats.Descriptive.mean n /. Stats.Descriptive.mean o)
+  in
+  ( Stats.Descriptive.quantile ratios 0.025,
+    Stats.Descriptive.quantile ratios 0.975 )
+
+let diff_impl ~alpha ~min_effect ~old_ ~new_ =
+  let po = pooled old_ and pn = pooled new_ in
+  let names side = List.map fst side in
+  let unmatched =
+    List.filter (fun n -> not (List.mem_assoc n pn)) (names po)
+    @ List.filter (fun n -> not (List.mem_assoc n po)) (names pn)
+  in
+  let verdicts =
+    List.filter_map
+      (fun (bench, old_ns) ->
+        match List.assoc_opt bench pn with
+        | None -> None
+        | Some new_ns ->
+          let mean_old = Stats.Descriptive.mean old_ns in
+          let mean_new = Stats.Descriptive.mean new_ns in
+          let ratio = mean_new /. mean_old in
+          let ci_lo, ci_hi =
+            if Array.length old_ns >= 2 && Array.length new_ns >= 2 then
+              ratio_ci old_ns new_ns
+            else (nan, nan)
+          in
+          let welch = Stats.Welch.t_test old_ns new_ns in
+          let significant =
+            (not (Float.is_nan welch.Stats.Welch.p_value))
+            && welch.Stats.Welch.p_value < alpha
+          in
+          let confidence =
+            if Float.is_nan welch.Stats.Welch.p_value then nan
+            else 1. -. welch.Stats.Welch.p_value
+          in
+          Some
+            {
+              bench;
+              n_old = Array.length old_ns;
+              n_new = Array.length new_ns;
+              mean_old;
+              mean_new;
+              ratio;
+              ci_lo;
+              ci_hi;
+              welch;
+              confidence;
+              regression = significant && ratio > 1. +. min_effect;
+              improvement = significant && ratio < 1. -. min_effect;
+            })
+      po
+  in
+  (verdicts, unmatched)
+
+let diff ?(alpha = 0.01) ?(min_effect = 0.05) old_ new_ =
+  diff_impl ~alpha ~min_effect ~old_ ~new_
+
+let any_regression = List.exists (fun v -> v.regression)
+
+let pp_verdicts fmt (verdicts, unmatched) =
+  let width =
+    List.fold_left (fun w v -> Int.max w (String.length v.bench)) 10 verdicts
+  in
+  Format.fprintf fmt "%-*s %10s %10s %7s %17s %9s  %s@." width "benchmark"
+    "old ns" "new ns" "ratio" "95% CI" "conf" "verdict";
+  List.iter
+    (fun v ->
+      let verdict =
+        if v.regression then "REGRESSION"
+        else if v.improvement then "improvement"
+        else "ok"
+      in
+      let ci =
+        if Float.is_nan v.ci_lo then "        --       "
+        else Printf.sprintf "[%6.3f, %6.3f]" v.ci_lo v.ci_hi
+      in
+      let conf =
+        if Float.is_nan v.confidence then "--"
+        else Printf.sprintf "%.2f%%" (100. *. v.confidence)
+      in
+      Format.fprintf fmt "%-*s %10.1f %10.1f %7.3f %17s %9s  %s@." width
+        v.bench v.mean_old v.mean_new v.ratio ci conf verdict)
+    verdicts;
+  List.iter
+    (fun name -> Format.fprintf fmt "%-*s %s@." width name "(one side only)")
+    unmatched

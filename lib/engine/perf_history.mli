@@ -1,0 +1,82 @@
+(** Unified perf-sample schema and the statistically-gated diff.
+
+    [BENCH_engine.json] and [BENCH_hotpath.json] were two hand-written,
+    schema-incompatible snapshots, and "is this a regression?" was
+    answered by eyeballing one ratio. This module replaces both: one
+    JSONL schema for [--perf] samples ([--record FILE] appends a
+    timestamped record whose entries carry {e all} repetitions, not a
+    collapsed mean), and a diff that pools each side's samples per
+    benchmark and gates "regression" on Welch's t ({!Stats.Welch}) plus
+    a moving-block-degenerate ([block = 1]) bootstrap CI of the mean
+    ratio ({!Stats.Bootstrap.resample}) — a confidence level, never a
+    raw threshold on a ratio of two single numbers.
+
+    The LRD-criticism literature's complaint about estimator results
+    published without confidence reporting (Clegg et al.) is exactly the
+    failure mode this prevents in our own perf gate. *)
+
+type entry = {
+  bench : string;  (** Benchmark name, e.g. ["fft-4096"]. *)
+  ns : float list;  (** One wall-time estimate (ns/run) per repetition. *)
+}
+
+type record = {
+  ts : float;  (** Unix seconds at recording. *)
+  label : string;  (** Free-form provenance, e.g. {!Build_info.describe}. *)
+  entries : entry list;
+}
+
+val schema_version : int
+
+val record_line : record -> string
+(** One JSONL line (no trailing newline). *)
+
+val append : path:string -> record -> (unit, string) result
+(** Append one record line to [path], creating the file if needed. *)
+
+val load : string -> (record list, string) result
+(** Parse a history file (one record per non-blank line); rejects
+    unknown schema versions, reporting the first bad line. *)
+
+val pooled : record list -> (string * float array) list
+(** All samples per benchmark name, pooled across records, in
+    name-sorted order. *)
+
+(** {1 Diff} *)
+
+type verdict = {
+  bench : string;
+  n_old : int;
+  n_new : int;
+  mean_old : float;  (** ns/run. *)
+  mean_new : float;
+  ratio : float;  (** [mean_new / mean_old]; > 1 is slower. *)
+  ci_lo : float;  (** Bootstrap 95% CI of the ratio. *)
+  ci_hi : float;
+  welch : Stats.Welch.result;
+  confidence : float;
+      (** [1 - p], as a fraction — what the report prints as "99.9%". *)
+  regression : bool;
+      (** Slower, statistically significant at [alpha], and past the
+          practical floor [min_effect]. *)
+  improvement : bool;  (** Same gate, other direction. *)
+}
+
+val diff :
+  ?alpha:float ->
+  ?min_effect:float ->
+  record list ->
+  record list ->
+  verdict list * string list
+(** [diff old new]: one verdict per benchmark present on both sides
+    (name-sorted); the string list names benchmarks present on only one
+    side. [alpha] defaults to 0.01; [min_effect] (default 0.05) is a
+    practical-significance floor on |ratio - 1| so a statistically
+    resolvable 0.3% drift doesn't fail a build — the statistical gate
+    itself is always Welch's t, never the ratio alone. Bootstrap uses a
+    fixed seed, so the diff of fixed inputs is reproducible. *)
+
+val pp_verdicts : Format.formatter -> verdict list * string list -> unit
+(** Aligned table; regressions flagged with their confidence level. *)
+
+val any_regression : verdict list -> bool

@@ -1,0 +1,274 @@
+let html_escape s =
+  let buf = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Deterministic pastel per task id, so a task keeps its colour across
+   lanes and reports. *)
+let task_colour = function
+  | None -> "#c8c8c8"
+  | Some id ->
+    let h = Hashtbl.hash id in
+    Printf.sprintf "hsl(%d, 55%%, 72%%)" (h mod 360)
+
+let flame_svg events =
+  let spans =
+    List.filter (fun ev -> ev.Telemetry.ev_dur_us > 0.) events
+    |> List.sort (fun a b ->
+           compare
+             (a.Telemetry.ev_domain, a.Telemetry.ev_start_us, -. a.Telemetry.ev_dur_us)
+             (b.Telemetry.ev_domain, b.Telemetry.ev_start_us, -. b.Telemetry.ev_dur_us))
+  in
+  if spans = [] then "<svg width=\"600\" height=\"20\"></svg>"
+  else begin
+    let t_end =
+      List.fold_left
+        (fun a ev -> Float.max a (ev.Telemetry.ev_start_us +. ev.Telemetry.ev_dur_us))
+        0. spans
+    in
+    let width = 960. in
+    let scale = width /. Float.max t_end 1. in
+    let row_h = 16 in
+    let lane_gap = 8 in
+    let buf = Buffer.create 4096 in
+    (* Assign depths per domain with an end-time stack; remember each
+       rect, then lay lanes out vertically. *)
+    let domains =
+      List.sort_uniq compare (List.map (fun ev -> ev.Telemetry.ev_domain) spans)
+    in
+    let lanes =
+      List.map
+        (fun d ->
+          let mine =
+            List.filter (fun ev -> ev.Telemetry.ev_domain = d) spans
+          in
+          let stack = ref [] in
+          let max_depth = ref 0 in
+          let rects =
+            List.map
+              (fun ev ->
+                let s = ev.Telemetry.ev_start_us in
+                stack := List.filter (fun e -> e > s +. 1e-9) !stack;
+                let depth = List.length !stack in
+                stack := (s +. ev.Telemetry.ev_dur_us) :: !stack;
+                max_depth := Int.max !max_depth depth;
+                (ev, depth))
+              mine
+          in
+          (d, rects, !max_depth + 1))
+        domains
+    in
+    let total_rows =
+      List.fold_left (fun a (_, _, rows) -> a + rows) 0 lanes
+    in
+    let height =
+      (total_rows * row_h) + (List.length lanes * (lane_gap + 14)) + 4
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<svg width=\"%.0f\" height=\"%d\" font-family=\"monospace\" \
+          font-size=\"10\">"
+         (width +. 4.) height);
+    let y = ref 0 in
+    List.iter
+      (fun (d, rects, rows) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"0\" y=\"%d\" font-weight=\"bold\">domain %d</text>"
+             (!y + 11) d);
+        y := !y + 14;
+        let lane_y = !y in
+        List.iter
+          (fun (ev, depth) ->
+            let x = ev.Telemetry.ev_start_us *. scale in
+            let w = Float.max (ev.Telemetry.ev_dur_us *. scale) 0.5 in
+            let ry = lane_y + (depth * row_h) in
+            let label =
+              Printf.sprintf "%s (%.2f ms%s)" ev.Telemetry.ev_name
+                (ev.Telemetry.ev_dur_us /. 1e3)
+                (match ev.Telemetry.ev_task with
+                 | None -> ""
+                 | Some t -> ", task " ^ t)
+            in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" \
+                  fill=\"%s\" stroke=\"#666\" stroke-width=\"0.3\"><title>%s\
+                  </title></rect>"
+                 x ry w (row_h - 2)
+                 (task_colour ev.Telemetry.ev_task)
+                 (html_escape label));
+            if w > 60. then
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "<text x=\"%.1f\" y=\"%d\" clip-path=\"none\">%s</text>"
+                   (x +. 2.) (ry + 11)
+                   (html_escape ev.Telemetry.ev_name)))
+          rects;
+        y := !y + (rows * row_h) + lane_gap)
+      lanes;
+    Buffer.add_string buf "</svg>";
+    Buffer.contents buf
+  end
+
+let style =
+  "body { font-family: sans-serif; margin: 2em auto; max-width: 1040px; \
+   color: #222; }\n\
+   table { border-collapse: collapse; margin: 0.5em 0; }\n\
+   th, td { border: 1px solid #bbb; padding: 3px 8px; text-align: left; \
+   font-size: 13px; }\n\
+   th { background: #eee; }\n\
+   td.num { text-align: right; font-variant-numeric: tabular-nums; }\n\
+   code { background: #f4f4f4; padding: 0 3px; }\n\
+   .warn { color: #a33; }\n\
+   details pre { background: #f8f8f8; padding: 8px; overflow-x: auto; \
+   font-size: 12px; }\n\
+   h2 { border-bottom: 1px solid #ddd; padding-bottom: 2px; }"
+
+let render ?manifest ?(log_events = []) ?(sparklines = []) ~title ~build ~seed
+    ~jobs ~total_s ~artifacts ~events ~counters () =
+  let buf = Buffer.create 65536 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\"/>";
+  out "<title>%s</title>" (html_escape title);
+  out "<style>%s</style>" style;
+  out "</head><body>";
+  out "<h1>%s</h1>" (html_escape title);
+  out "<p><code>%s</code> &#183; seed %d &#183; jobs %d &#183; %.2f s \
+       &#183; %d artifacts</p>"
+    (html_escape build) seed jobs total_s (List.length artifacts);
+
+  (* Artifacts: id, title, duration, sizes, hash (when manifest given). *)
+  out "<h2>Artifacts</h2><table><tr><th>id</th><th>title</th>\
+       <th>duration s</th><th>text bytes</th><th>figures</th>%s</tr>"
+    (if manifest <> None then "<th>sha256 (report)</th>" else "");
+  let hash_of id =
+    Option.bind manifest (fun (m : Manifest.t) ->
+        Option.bind
+          (List.find_opt (fun e -> e.Manifest.art_id = id) m.Manifest.artifacts)
+          (fun e ->
+            Option.map
+              (fun f -> f.Manifest.sha256)
+              (List.find_opt
+                 (fun f -> f.Manifest.fname = id ^ ".txt")
+                 e.Manifest.art_files)))
+  in
+  List.iter
+    (fun (a : Artifact.t) ->
+      out "<tr><td><code>%s</code></td><td>%s</td><td class=\"num\">%.2f</td>\
+           <td class=\"num\">%d</td><td class=\"num\">%d</td>%s</tr>"
+        (html_escape a.id) (html_escape a.title) a.duration_s
+        (String.length a.text) (List.length a.figures)
+        (match hash_of a.id with
+         | None -> if manifest <> None then "<td>--</td>" else ""
+         | Some h ->
+           Printf.sprintf "<td><code>%s&#8230;</code></td>"
+             (String.sub h 0 16)))
+    artifacts;
+  out "</table>";
+
+  (* Full artifact hash table from the manifest, every file. *)
+  (match manifest with
+   | None -> ()
+   | Some m ->
+     out "<h2>Content hashes</h2><table><tr><th>artifact</th><th>file</th>\
+          <th>bytes</th><th>sha256</th></tr>";
+     List.iter
+       (fun (e : Manifest.artifact_entry) ->
+         List.iter
+           (fun (f : Manifest.file_entry) ->
+             out "<tr><td><code>%s</code></td><td><code>%s</code></td>\
+                  <td class=\"num\">%d</td><td><code>%s</code></td></tr>"
+               (html_escape e.Manifest.art_id) (html_escape f.Manifest.fname)
+               f.Manifest.bytes (html_escape f.Manifest.sha256))
+           e.Manifest.art_files)
+       m.Manifest.artifacts;
+     out "</table>");
+
+  (* Flame view. *)
+  let spans = List.filter (fun ev -> ev.Telemetry.ev_dur_us > 0.) events in
+  out "<h2>Span flame view</h2>";
+  if spans = [] then
+    out "<p>No telemetry recorded (run with <code>--metrics</code> or \
+         <code>--trace</code>).</p>"
+  else begin
+    out "<p>%d spans; hover a block for name, duration and task.</p>"
+      (List.length spans);
+    Buffer.add_string buf (flame_svg events)
+  end;
+
+  (* Counters. *)
+  out "<h2>Counters</h2>";
+  if counters = [] then out "<p>No non-zero counters.</p>"
+  else begin
+    out "<table><tr><th>counter</th><th>value</th></tr>";
+    List.iter
+      (fun (name, v) ->
+        out "<tr><td><code>%s</code></td><td class=\"num\">%d</td></tr>"
+          (html_escape name) v)
+      counters;
+    out "</table>"
+  end;
+
+  (* Warnings from the structured log. *)
+  let warns =
+    List.filter
+      (fun (ev : Log.event) ->
+        match ev.Log.ev_level with Log.Warn | Log.Error -> true | _ -> false)
+      log_events
+  in
+  out "<h2>Warnings</h2>";
+  if warns = [] then out "<p>None.</p>"
+  else begin
+    out "<table><tr><th>seq</th><th>level</th><th>event</th><th>task</th>\
+         <th>fields</th></tr>";
+    List.iter
+      (fun (ev : Log.event) ->
+        let fields =
+          String.concat ", "
+            (List.map
+               (fun (k, f) ->
+                 k ^ "="
+                 ^ (match f with
+                    | Log.S s -> s
+                    | Log.I i -> string_of_int i
+                    | Log.F x -> Printf.sprintf "%g" x
+                    | Log.B b -> string_of_bool b))
+               ev.Log.fields)
+        in
+        out "<tr class=\"warn\"><td class=\"num\">%d</td><td>%s</td>\
+             <td><code>%s</code></td><td><code>%s</code></td><td>%s</td></tr>"
+          ev.Log.seq
+          (Log.level_name ev.Log.ev_level)
+          (html_escape ev.Log.ev_name)
+          (html_escape (Option.value ~default:"-" ev.Log.ev_task))
+          (html_escape fields))
+      warns;
+    out "</table>"
+  end;
+
+  (* Injected perf-trajectory sparklines. *)
+  List.iter
+    (fun (section, svg) ->
+      out "<h2>%s</h2>" (html_escape section);
+      Buffer.add_string buf svg)
+    sparklines;
+
+  (* Full report text per artifact, collapsed. *)
+  out "<h2>Reports</h2>";
+  List.iter
+    (fun (a : Artifact.t) ->
+      out "<details><summary><code>%s</code> %s</summary><pre>%s</pre>\
+           </details>"
+        (html_escape a.id) (html_escape a.title) (html_escape a.text))
+    artifacts;
+  out "</body></html>\n";
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** Self-contained HTML run report ([--report-html FILE]).
+
+    One file, no external assets or scripts: run header (build, seed,
+    jobs, wall time), the artifact table (with SHA-256 content hashes
+    when a manifest is supplied), a span flame view per domain rendered
+    as inline SVG from the telemetry events, the counter table, the
+    warning list from the structured log, and any injected perf
+    sparkline sections (the callers render those with [Core.Svg] from a
+    perf-history file — this module stays below [lib/core] in the
+    dependency order, so pre-rendered SVG is passed in rather than
+    drawn here).
+
+    Every artifact id appears in the document (the observability test
+    suite checks this, along with tag balance). All interpolated text is
+    HTML-escaped; embedded SVG is included verbatim. *)
+
+val html_escape : string -> string
+
+val flame_svg : Telemetry.event list -> string
+(** The span flame view: one lane block per domain, nesting depth
+    computed from span containment, width proportional to duration,
+    a [<title>] tooltip per span. Empty-event input yields a note-sized
+    empty SVG. *)
+
+val render :
+  ?manifest:Manifest.t ->
+  ?log_events:Log.event list ->
+  ?sparklines:(string * string) list ->
+  title:string ->
+  build:string ->
+  seed:int ->
+  jobs:int ->
+  total_s:float ->
+  artifacts:Artifact.t list ->
+  events:Telemetry.event list ->
+  counters:(string * int) list ->
+  unit ->
+  string
+(** The full HTML document. [sparklines] is a list of
+    [(section title, svg)] pairs appended as perf-trajectory sections. *)

@@ -1,0 +1,18 @@
+(** SHA-256 (FIPS 180-4), pure OCaml, no dependencies. The run manifest
+    hashes every artifact's content so determinism can be audited across
+    runs and machines; MD5 ([Digest]) was rejected for provenance use,
+    and the container carries no crypto library, so the 64-round
+    compression is implemented here directly (on native [int]s with
+    32-bit masking — exact on any 64-bit platform).
+
+    Throughput is irrelevant at our scale (tens of artifacts, KBs each);
+    correctness is pinned to the FIPS test vectors in the observability
+    test suite. *)
+
+val digest : string -> string
+(** Raw 32-byte digest. *)
+
+val hex : string -> string
+(** Lowercase hex digest (64 characters), e.g.
+    [hex "" =
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"]. *)

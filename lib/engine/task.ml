@@ -35,6 +35,7 @@ let run ?(render_figures = false) ?(seed = 0) t =
   (* [with_task] labels this domain (and any domain Par spawns inside
      the body) with the task id, so spans land on the right artifact. *)
   Telemetry.with_task t.id (fun () ->
+      Log.info "task.start" [ ("id", Log.S t.id); ("seed", Log.I seed) ];
       t.body ctx;
       Format.pp_print_flush fmt ();
       if render_figures then
@@ -44,6 +45,13 @@ let run ?(render_figures = false) ?(seed = 0) t =
           ctx.figs <- List.rev_append extra ctx.figs
         | None -> ());
   let duration_s = Unix.gettimeofday () -. t0 in
+  Telemetry.with_task t.id (fun () ->
+      Log.info "task.done"
+        [
+          ("id", Log.S t.id);
+          ("duration_s", Log.F duration_s);
+          ("text_bytes", Log.I (Buffer.length buf));
+        ]);
   let metrics =
     if Telemetry.enabled () then
       ("rng.ctx_draws", float_of_int (Prng.Rng.draw_count ctx.ctx_rng))

@@ -121,15 +121,18 @@ let span ~name f =
       f
   end
 
+(* The label is installed whether or not telemetry records: the
+   structured log ({!Log}) reads it for event attribution and can be
+   enabled independently of spans. Setting domain-local storage touches
+   no RNG stream or output buffer, so non-perturbation holds; the span
+   wrapper itself stays gated. *)
 let with_task id f =
-  if not (Atomic.get on) then f ()
-  else begin
-    let prev = Domain.DLS.get task_key in
-    Domain.DLS.set task_key (Some id);
-    Fun.protect
-      ~finally:(fun () -> Domain.DLS.set task_key prev)
-      (fun () -> span ~name:("task:" ^ id) f)
-  end
+  let prev = Domain.DLS.get task_key in
+  Domain.DLS.set task_key (Some id);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set task_key prev)
+    (fun () ->
+      if Atomic.get on then span ~name:("task:" ^ id) f else f ())
 
 (* ------------------------------------------------------------------ *)
 (* Export *)

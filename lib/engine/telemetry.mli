@@ -55,8 +55,9 @@ val with_task : string -> (unit -> 'a) -> 'a
 (** [with_task id f]: set the per-domain current-task label to [id] for
     the extent of [f] (restoring the previous label after) and wrap [f]
     in a span named ["task:" ^ id]. Domains spawned while the label is
-    set inherit it, so [Par] workers report the right task. When
-    telemetry is disabled this is just [f ()]. *)
+    set inherit it, so [Par] workers report the right task. The label is
+    installed even when telemetry is disabled (the structured {!Log}
+    reads it independently); only the span is gated. *)
 
 val current_task : unit -> string option
 (** The label installed by the innermost enclosing {!with_task} on this
@@ -105,6 +106,11 @@ val task_metrics : ?since:int -> string -> (string * float) list
 val cursor : unit -> int
 (** Number of events recorded so far; pass to [task_metrics ~since] to
     restrict aggregation to events newer than the cursor. *)
+
+val now_us : unit -> float
+(** Microseconds since the last {!reset} — the clock every span
+    timestamp uses. Exposed so the structured {!Log} stamps its events
+    on the same epoch and log lines correlate with trace spans. *)
 
 val to_chrome_trace : unit -> string
 (** The recorded events and counters as Chrome trace-event JSON (object

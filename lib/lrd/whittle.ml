@@ -156,6 +156,14 @@ let search f ~lo ~hi ~n_freqs =
       if second > 0. then sqrt (2. /. (n *. second)) else nan
     end
   in
+  if at_boundary then
+    Engine.Log.warn "whittle.at_boundary"
+      [
+        ("h", Engine.Log.F h);
+        ("lo", Engine.Log.F lo);
+        ("hi", Engine.Log.F hi);
+        ("n_freqs", Engine.Log.I n_freqs);
+      ];
   { h; stderr; objective = fh; at_boundary }
 
 let estimate_with ~density ~lo ~hi xs =

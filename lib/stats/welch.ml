@@ -1,0 +1,39 @@
+type result = { t : float; df : float; p_value : float }
+
+(* P(T <= t) for Student's t: for t >= 0,
+   P = 1 - I_x(df/2, 1/2) / 2 with x = df / (df + t^2); symmetric. *)
+let student_cdf ~df t =
+  if Float.is_nan t || Float.is_nan df || df <= 0. then nan
+  else if t = infinity then 1.
+  else if t = neg_infinity then 0.
+  else begin
+    let x = df /. (df +. (t *. t)) in
+    let tail = 0.5 *. Dist.Special.beta_i (df /. 2.) 0.5 x in
+    if t >= 0. then 1. -. tail else tail
+  end
+
+let t_test a b =
+  let na = Array.length a and nb = Array.length b in
+  if na < 2 || nb < 2 then { t = nan; df = nan; p_value = nan }
+  else begin
+    let ma = Descriptive.mean a and mb = Descriptive.mean b in
+    let va = Descriptive.variance_unbiased a in
+    let vb = Descriptive.variance_unbiased b in
+    let sa = va /. float_of_int na and sb = vb /. float_of_int nb in
+    let se2 = sa +. sb in
+    if se2 = 0. then
+      if ma = mb then { t = 0.; df = infinity; p_value = 1. }
+      else
+        { t = (if mb > ma then infinity else neg_infinity);
+          df = infinity; p_value = 0. }
+    else begin
+      let t = (mb -. ma) /. sqrt se2 in
+      let df =
+        se2 *. se2
+        /. ((sa *. sa /. float_of_int (na - 1))
+            +. (sb *. sb /. float_of_int (nb - 1)))
+      in
+      let p = 2. *. (1. -. student_cdf ~df (Float.abs t)) in
+      { t; df; p_value = Float.min 1. (Float.max 0. p) }
+    end
+  end

@@ -1,0 +1,25 @@
+(** Welch's unequal-variance two-sample t-test.
+
+    The paper's methodological thesis — test distributional claims
+    instead of assuming them (Appendix A) — applies to our own perf
+    gate: "1.08x slower" means nothing without knowing the run-to-run
+    noise. [t_test a b] asks whether the two sample means differ beyond
+    what their variances explain, with Welch–Satterthwaite degrees of
+    freedom, so the perf-history diff can report a confidence level
+    rather than a raw ratio. *)
+
+type result = {
+  t : float;  (** The Welch statistic, [mean b - mean a] over its SE. *)
+  df : float;  (** Welch–Satterthwaite effective degrees of freedom. *)
+  p_value : float;
+      (** Two-sided. [nan] when either sample has fewer than two
+          points (no variance estimate — never treated as significant);
+          1 when both variances are zero and the means agree, 0 when
+          they are zero and the means differ. *)
+}
+
+val t_test : float array -> float array -> result
+
+val student_cdf : df:float -> float -> float
+(** CDF of Student's t with [df] degrees of freedom (via the regularized
+    incomplete beta function). Exposed for tests. *)

@@ -1,0 +1,594 @@
+(* Observability layer: SHA-256 and JSON primitives, the structured
+   event log (ordering under parallel emission, level filtering,
+   non-perturbation), run provenance manifests (round-trip, cross-run
+   determinism in fresh processes, seed divergence), the statistically
+   gated perf-diff, and the HTML run report (tag balance, artifact
+   coverage). *)
+
+open Helpers
+
+(* Plain substring search, so the suite needs no regex library. *)
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub hay i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+(* ---------------- Sha256 ---------------- *)
+
+let test_sha256_vectors () =
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Engine.Sha256.hex "");
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Engine.Sha256.hex "abc");
+  Alcotest.(check string) "two-block message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Engine.Sha256.hex
+       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Engine.Sha256.hex (String.make 1_000_000 'a'));
+  (* Length padding straddles the block boundary at 55/56/63/64 bytes;
+     the digests must all differ. *)
+  let h n = Engine.Sha256.hex (String.make n 'x') in
+  let ds = List.map h [ 55; 56; 63; 64; 65 ] in
+  check_int "boundary digests distinct" 5
+    (List.length (List.sort_uniq compare ds))
+
+(* ---------------- Json ---------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      {|{"a":[1,2.5,"x"],"b":null,"c":true,"d":false}|};
+      {|[]|};
+      {|{"nested":{"deep":[[1],[2,3]]},"s":"\"quoted\" \\ slash"}|};
+      {|"A\n\t"|};
+      {|-17|};
+      {|3.25|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Engine.Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok v -> (
+        let printed = Engine.Json.to_string v in
+        match Engine.Json.parse printed with
+        | Error e -> Alcotest.failf "reparse %s: %s" printed e
+        | Ok v' ->
+          check_true ("round-trip " ^ s) (v = v')))
+    cases;
+  (* Ints and floats stay distinct through print/parse. *)
+  check_true "int stays int"
+    (Engine.Json.parse (Engine.Json.to_string (Engine.Json.Int 3))
+     = Ok (Engine.Json.Int 3));
+  check_true "float stays float"
+    (Engine.Json.parse (Engine.Json.to_string (Engine.Json.Float 3.))
+     = Ok (Engine.Json.Float 3.));
+  List.iter
+    (fun bad ->
+      check_true ("rejects " ^ bad)
+        (Result.is_error (Engine.Json.parse bad)))
+    [ "{"; "[1,]"; "tru"; {|{"a":}|}; ""; {|{"a":1} trailing|} ]
+
+(* ---------------- Welch ---------------- *)
+
+let test_welch () =
+  let a = [| 10.; 11.; 9.; 10.5; 9.5; 10.2 |] in
+  let same = Stats.Welch.t_test a a in
+  check_true "identical samples: p = 1"
+    (Float.abs (same.Stats.Welch.p_value -. 1.) < 1e-9);
+  let b = Array.map (fun x -> x +. 20.) a in
+  let far = Stats.Welch.t_test a b in
+  check_true "separated means: p tiny" (far.Stats.Welch.p_value < 1e-6);
+  check_true "separated means: t large" (Float.abs far.Stats.Welch.t > 10.);
+  let tiny = Stats.Welch.t_test [| 1. |] a in
+  check_true "n < 2: p is nan" (Float.is_nan tiny.Stats.Welch.p_value);
+  (* Symmetric: swapping sides flips t, keeps p. *)
+  let fwd = Stats.Welch.t_test a b and bwd = Stats.Welch.t_test b a in
+  check_true "p symmetric"
+    (Float.abs (fwd.Stats.Welch.p_value -. bwd.Stats.Welch.p_value) < 1e-12);
+  check_true "t antisymmetric"
+    (Float.abs (fwd.Stats.Welch.t +. bwd.Stats.Welch.t) < 1e-9)
+
+(* ---------------- Log ---------------- *)
+
+let with_log ?(level = Engine.Log.Debug) f =
+  Engine.Log.set_enabled true;
+  Engine.Log.reset ();
+  Engine.Log.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.Log.set_enabled false;
+      Engine.Log.set_level Engine.Log.Info;
+      Engine.Log.reset ())
+    f
+
+let test_log_ordering_under_jobs () =
+  with_log (fun () ->
+      let mk i =
+        let id = Printf.sprintf "logtask%d" i in
+        Engine.Task.make ~id ~title:id (fun _ctx ->
+            for k = 0 to 9 do
+              Engine.Log.info "tick" [ ("k", Engine.Log.I k) ]
+            done)
+      in
+      let tasks = List.init 8 mk in
+      let results = Engine.Pool.run ~jobs:4 ~seed:0 tasks in
+      check_int "all tasks ran" 8 (List.length results);
+      let evs = Engine.Log.events () in
+      (* Total order: sequence numbers strictly increasing. *)
+      let rec mono = function
+        | a :: (b :: _ as rest) ->
+          (a.Engine.Log.seq < b.Engine.Log.seq) && mono rest
+        | _ -> true
+      in
+      check_true "seq strictly increasing" (mono evs);
+      (* Every task's 10 ticks arrived, attributed to that task. *)
+      List.iteri
+        (fun i _ ->
+          let id = Printf.sprintf "logtask%d" i in
+          let mine =
+            List.filter
+              (fun ev ->
+                ev.Engine.Log.ev_name = "tick"
+                && ev.Engine.Log.ev_task = Some id)
+              evs
+          in
+          check_int ("ticks of " ^ id) 10 (List.length mine))
+        tasks;
+      (* task.start / task.done bracket each task. *)
+      check_int "task.start events" 8
+        (List.length
+           (List.filter (fun ev -> ev.Engine.Log.ev_name = "task.start") evs));
+      check_int "task.done events" 8
+        (List.length
+           (List.filter (fun ev -> ev.Engine.Log.ev_name = "task.done") evs)))
+
+let test_log_level_filtering () =
+  with_log ~level:Engine.Log.Warn (fun () ->
+      Engine.Log.debug "drop.debug" [];
+      Engine.Log.info "drop.info" [];
+      Engine.Log.warn "keep.warn" [];
+      Engine.Log.error "keep.error" [];
+      let names = List.map (fun ev -> ev.Engine.Log.ev_name) (Engine.Log.events ()) in
+      Alcotest.(check (list string)) "only warn and above"
+        [ "keep.warn"; "keep.error" ] names;
+      (* Suppressed events consume no sequence numbers. *)
+      check_int "seqs dense" 1
+        (List.fold_left (fun _ ev -> ev.Engine.Log.seq) 0
+           (Engine.Log.events ())));
+  Engine.Log.set_enabled false;
+  Engine.Log.reset ();
+  Engine.Log.info "off" [];
+  check_int "disabled log records nothing" 0
+    (List.length (Engine.Log.events ()))
+
+let test_log_jsonl_and_file () =
+  with_log (fun () ->
+      let path = Filename.temp_file "wanpoisson" ".jsonl" in
+      (match Engine.Log.open_file path with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail e);
+      Engine.Log.info "ev.one" [ ("x", Engine.Log.I 1) ];
+      Engine.Log.warn "ev.two"
+        [ ("why", Engine.Log.S "because"); ("ok", Engine.Log.B false) ];
+      Engine.Log.close_file ();
+      let contents = In_channel.with_open_bin path In_channel.input_all in
+      Sys.remove path;
+      let lines =
+        String.split_on_char '\n' contents
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      check_int "one line per event" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          match Engine.Json.parse l with
+          | Error e -> Alcotest.failf "sink line not JSON: %s (%s)" l e
+          | Ok j ->
+            check_true "line has seq"
+              (Engine.Json.member "seq" j <> None))
+        lines;
+      check_true "in-memory export matches sink"
+        (String.concat "" (List.map (fun l -> l ^ "\n") lines)
+         = Engine.Log.to_jsonl ());
+      check_true "unwritable path reports the path"
+        (match Engine.Log.open_file "/nonexistent-dir/x.jsonl" with
+         | Error msg ->
+           (* The message must carry the offending path. *)
+           contains_sub msg "/nonexistent-dir/x.jsonl"
+         | Ok () -> false))
+
+let test_log_non_perturbation () =
+  (* Running with logging on (debug level, hooks firing) must leave
+     artifact bytes identical to a plain run. *)
+  let entry = Option.get (Core.Registry.find "fig14") in
+  let task = Core.Registry.task entry in
+  let run () =
+    Core.Cache.clear ();
+    match Engine.Pool.run ~jobs:2 ~seed:0 ~figures:true [ task ] with
+    | [ Ok a ] -> (a.Engine.Artifact.text, a.Engine.Artifact.figures)
+    | _ -> Alcotest.fail "fig14 failed"
+  in
+  let plain = run () in
+  let logged = with_log run in
+  check_true "artifact bytes unchanged by logging" (plain = logged)
+
+(* ---------------- Manifest ---------------- *)
+
+let art ?(figs = []) id text =
+  {
+    Engine.Artifact.id;
+    title = "title of " ^ id;
+    text;
+    figures = figs;
+    duration_s = 0.25;
+    metrics = [];
+  }
+
+let test_manifest_roundtrip () =
+  let arts =
+    [
+      art "alpha" "report alpha\n" ~figs:[ ("alpha.svg", "<svg/>") ];
+      art "beta" "report beta\n";
+    ]
+  in
+  let m =
+    Engine.Manifest.of_run ~created_at:123.5 ~seed:9 ~jobs:3 ~total_s:1.5 arts
+  in
+  let s = Engine.Manifest.to_string m in
+  (match Engine.Manifest.parse s with
+   | Error e -> Alcotest.fail e
+   | Ok m' ->
+     check_true "round-trip equal" (m = m');
+     let d = Engine.Manifest.compare_manifests m m' in
+     check_true "self-compare identical" d.Engine.Manifest.identical);
+  (* A single changed byte in one artifact shows up as that artifact's
+     file diverging. *)
+  let arts' =
+    [
+      art "alpha" "report alpha!\n" ~figs:[ ("alpha.svg", "<svg/>") ];
+      art "beta" "report beta\n";
+    ]
+  in
+  let m2 =
+    Engine.Manifest.of_run ~created_at:124.0 ~seed:9 ~jobs:1 ~total_s:1.5 arts'
+  in
+  let d = Engine.Manifest.compare_manifests m m2 in
+  check_false "divergence detected" d.Engine.Manifest.identical;
+  (match d.Engine.Manifest.divergent with
+   | [ (id, files) ] ->
+     Alcotest.(check string) "right artifact" "alpha" id;
+     Alcotest.(check (list string)) "right file" [ "alpha.txt" ] files
+   | _ -> Alcotest.fail "expected exactly one divergent artifact");
+  check_true "jobs note marked benign"
+    (List.exists
+       (fun n -> contains_sub n "benign")
+       d.Engine.Manifest.notes);
+  check_true "rejects unknown schema"
+    (Result.is_error (Engine.Manifest.parse {|{"schema":99}|}))
+
+let test_manifest_seed_divergence () =
+  (* Tasks that actually draw from the per-task RNG stream: same seed
+     gives identical manifests, different seeds diverge. *)
+  let mk id =
+    Engine.Task.make ~id ~title:id (fun ctx ->
+        let rng = Engine.Task.rng ctx in
+        for _ = 1 to 5 do
+          Format.fprintf (Engine.Task.formatter ctx) "%.17g@."
+            (Prng.Rng.float rng)
+        done)
+  in
+  let tasks = [ mk "rng-a"; mk "rng-b" ] in
+  let manifest ~seed ~jobs =
+    let arts =
+      Engine.Pool.run ~jobs ~seed tasks
+      |> List.map (function
+           | Ok a -> a
+           | Error e -> Alcotest.fail (Printexc.to_string e))
+    in
+    Engine.Manifest.of_run ~created_at:0. ~seed ~jobs ~total_s:0. arts
+  in
+  let a = manifest ~seed:1 ~jobs:1 in
+  let b = manifest ~seed:1 ~jobs:4 in
+  let c = manifest ~seed:2 ~jobs:1 in
+  check_true "same seed, different jobs: identical"
+    (Engine.Manifest.compare_manifests a b).Engine.Manifest.identical;
+  let d = Engine.Manifest.compare_manifests a c in
+  check_false "different seed: diverges" d.Engine.Manifest.identical;
+  check_int "both rng tasks diverge" 2
+    (List.length d.Engine.Manifest.divergent)
+
+let test_manifest_cross_process () =
+  (* Two fresh bench processes, same seed: the manifests they write
+     must agree hash for hash. This is the real determinism claim — no
+     shared in-process state to hide behind. *)
+  let tmp = Filename.temp_file "wanpoisson" "" in
+  Sys.remove tmp;
+  let dir_a = tmp ^ ".a" and dir_b = tmp ^ ".b" in
+  let bench_exe =
+    (* Resolve relative to this test binary, so it works under both
+       `dune runtest` (cwd _build/default/test) and `dune exec` from
+       the project root. *)
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bench/main.exe"
+  in
+  let bench dir =
+    Printf.sprintf "%s --only fig14 --seed 11 --out %s >/dev/null 2>&1"
+      (Filename.quote bench_exe) (Filename.quote dir)
+  in
+  check_int "first run exits 0" 0 (Sys.command (bench dir_a));
+  check_int "second run exits 0" 0 (Sys.command (bench dir_b));
+  let load dir =
+    match Engine.Manifest.load (Filename.concat dir "run.json") with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let a = load dir_a and b = load dir_b in
+  check_true "fresh processes, same seed: manifests agree"
+    (Engine.Manifest.compare_manifests a b).Engine.Manifest.identical;
+  check_true "manifest names the figure"
+    (List.exists
+       (fun (e : Engine.Manifest.artifact_entry) ->
+         List.exists
+           (fun (f : Engine.Manifest.file_entry) ->
+             f.Engine.Manifest.fname = "fig14.svg")
+           e.Engine.Manifest.art_files)
+       a.Engine.Manifest.artifacts);
+  let rm dir =
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  in
+  rm dir_a;
+  rm dir_b
+
+(* ---------------- Perf history + diff ---------------- *)
+
+let mk_record ts entries =
+  {
+    Engine.Perf_history.ts;
+    label = "test";
+    entries =
+      List.map
+        (fun (bench, ns) -> { Engine.Perf_history.bench; ns })
+        entries;
+  }
+
+let test_perf_history_roundtrip () =
+  let path = Filename.temp_file "wanpoisson" ".jsonl" in
+  Sys.remove path;
+  let r1 = mk_record 1. [ ("fft", [ 100.; 101.; 99. ]) ] in
+  let r2 = mk_record 2. [ ("fft", [ 100.5; 99.5 ]); ("whittle", [ 7. ]) ] in
+  (match Engine.Perf_history.append ~path r1 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Engine.Perf_history.append ~path r2 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Engine.Perf_history.load path with
+   | Error e -> Alcotest.fail e
+   | Ok records ->
+     check_int "two records" 2 (List.length records);
+     check_true "records round-trip" (records = [ r1; r2 ]);
+     let pooled = Engine.Perf_history.pooled records in
+     check_true "pooled fft has all five samples"
+       (List.assoc "fft" pooled = [| 100.; 101.; 99.; 100.5; 99.5 |]));
+  Sys.remove path;
+  check_true "load of missing file is an error"
+    (Result.is_error (Engine.Perf_history.load path))
+
+let test_perf_diff_gates () =
+  let old_ = [ mk_record 1. [ ("k", [ 100.; 101.; 99.; 100.5; 99.5; 100.2 ]) ] ] in
+  let noise =
+    [ mk_record 2. [ ("k", [ 99.8; 100.3; 100.9; 99.1; 100.4; 99.7 ]) ] ]
+  in
+  let slow =
+    [ mk_record 3. [ ("k", [ 300.; 303.; 297.; 301.5; 298.5; 300.6 ]) ] ]
+  in
+  let verdicts, _ = Engine.Perf_history.diff old_ noise in
+  check_false "noise not flagged" (Engine.Perf_history.any_regression verdicts);
+  let verdicts, unmatched = Engine.Perf_history.diff old_ slow in
+  check_true "no unmatched benchmarks" (unmatched = []);
+  check_true "3x slowdown flagged" (Engine.Perf_history.any_regression verdicts);
+  (match verdicts with
+   | [ v ] ->
+     check_true "ratio near 3" (Float.abs (v.Engine.Perf_history.ratio -. 3.) < 0.05);
+     check_true "confidence > 99%" (v.Engine.Perf_history.confidence > 0.99);
+     check_true "CI excludes 1"
+       (v.Engine.Perf_history.ci_lo > 1. && v.Engine.Perf_history.ci_hi > 1.);
+     check_true "welch p below alpha"
+       (v.Engine.Perf_history.welch.Stats.Welch.p_value < 0.01)
+   | _ -> Alcotest.fail "expected one verdict");
+  (* Practical floor: a 2% drift, however statistically resolvable, is
+     not a regression at the default min_effect. *)
+  let drift =
+    [ mk_record 4. [ ("k", [ 102.; 103.; 101.; 102.5; 101.5; 102.2 ]) ] ]
+  in
+  let verdicts, _ = Engine.Perf_history.diff old_ drift in
+  check_false "2% drift below practical floor"
+    (Engine.Perf_history.any_regression verdicts);
+  (* The improvement direction is symmetric. *)
+  let verdicts, _ = Engine.Perf_history.diff slow old_ in
+  check_true "speedup reported as improvement"
+    (List.exists (fun v -> v.Engine.Perf_history.improvement) verdicts)
+
+(* ---------------- HTML report ---------------- *)
+
+(* Tag-balance scanner: quotes-aware, void elements skipped. *)
+let check_tag_balance name html =
+  let n = String.length html in
+  let voids = [ "meta"; "br"; "hr"; "img"; "input"; "link" ] in
+  let stack = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if html.[!i] = '<' then begin
+      if !i + 1 < n && html.[!i + 1] = '!' then begin
+        (* <!DOCTYPE ...> *)
+        while !i < n && html.[!i] <> '>' do incr i done
+      end
+      else begin
+        let closing = !i + 1 < n && html.[!i + 1] = '/' in
+        let start = !i + if closing then 2 else 1 in
+        let j = ref start in
+        while
+          !j < n
+          && (match html.[!j] with
+              | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+              | _ -> false)
+        do
+          incr j
+        done;
+        let tag = String.lowercase_ascii (String.sub html start (!j - start)) in
+        (* Scan to the tag end, skipping quoted attribute values. *)
+        let self_closing = ref false in
+        let k = ref !j in
+        let in_quote = ref None in
+        while
+          !k < n
+          && not (!in_quote = None && html.[!k] = '>')
+        do
+          (match (!in_quote, html.[!k]) with
+           | None, ('"' | '\'') -> in_quote := Some html.[!k]
+           | Some q, c when c = q -> in_quote := None
+           | _ -> ());
+          incr k
+        done;
+        if !k > !j && html.[!k - 1] = '/' then self_closing := true;
+        if tag <> "" && not (List.mem tag voids) && not !self_closing then begin
+          if closing then
+            match !stack with
+            | top :: rest when top = tag -> stack := rest
+            | top :: _ ->
+              Alcotest.failf "%s: </%s> closes <%s>" name tag top
+            | [] -> Alcotest.failf "%s: stray </%s>" name tag
+          else stack := tag :: !stack
+        end;
+        i := !k
+      end
+    end;
+    incr i
+  done;
+  if !stack <> [] then
+    Alcotest.failf "%s: unclosed tags %s" name (String.concat ", " !stack)
+
+let test_report_html () =
+  let arts =
+    [
+      art "alpha" "line with <angle> & \"quotes\"\n"
+        ~figs:[ ("alpha.svg", "<svg/>") ];
+      art "beta" "plain beta report\n";
+    ]
+  in
+  let manifest =
+    Engine.Manifest.of_run ~created_at:1. ~seed:5 ~jobs:2 ~total_s:0.5 arts
+  in
+  let log_events =
+    Engine.Log.set_enabled true;
+    Engine.Log.reset ();
+    Engine.Log.warn "whittle.at_boundary" [ ("h", Engine.Log.F 0.99) ];
+    let evs = Engine.Log.events () in
+    Engine.Log.set_enabled false;
+    Engine.Log.reset ();
+    evs
+  in
+  let html =
+    Engine.Report_html.render ~manifest ~log_events
+      ~sparklines:[ ("Perf trajectory", "<svg width=\"10\"></svg>") ]
+      ~title:"test report" ~build:"paxfloyd test" ~seed:5 ~jobs:2 ~total_s:0.5
+      ~artifacts:arts ~events:[] ~counters:[ ("cache.hits", 3) ] ()
+  in
+  check_tag_balance "report" html;
+  let contains needle = contains_sub html needle in
+  (* Every artifact id appears; raw text is escaped; hashes, warnings,
+     counters and sparklines all land in the document. *)
+  List.iter
+    (fun (a : Engine.Artifact.t) ->
+      check_true ("mentions " ^ a.Engine.Artifact.id)
+        (contains a.Engine.Artifact.id))
+    arts;
+  check_true "escapes angle brackets" (contains "&lt;angle&gt;");
+  check_true "no raw angle text" (not (contains "line with <angle>"));
+  check_true "embeds a content hash"
+    (contains (Engine.Sha256.hex "plain beta report\n"));
+  check_true "lists the warning" (contains "whittle.at_boundary");
+  check_true "lists the counter" (contains "cache.hits");
+  check_true "embeds the sparkline" (contains "Perf trajectory");
+  check_true "is a complete document"
+    (String.length html > 200
+     && String.sub html 0 15 = "<!DOCTYPE html>")
+
+let test_flame_svg () =
+  (* Spans nested on one domain stack into depths; the SVG stays
+     balanced and names every span. *)
+  Engine.Telemetry.set_enabled true;
+  Engine.Telemetry.reset ();
+  Engine.Telemetry.span ~name:"outer" (fun () ->
+      Engine.Telemetry.span ~name:"inner" (fun () -> ignore (Sys.opaque_identity 1)));
+  let events = Engine.Telemetry.events () in
+  Engine.Telemetry.set_enabled false;
+  let svg = Engine.Report_html.flame_svg events in
+  check_tag_balance "flame svg" svg;
+  let contains needle = contains_sub svg needle in
+  check_true "outer span drawn" (contains "outer");
+  check_true "inner span drawn" (contains "inner");
+  check_true "empty input yields empty svg"
+    (String.length (Engine.Report_html.flame_svg []) < 64)
+
+(* ---------------- Cli ---------------- *)
+
+let parse argv =
+  Engine.Cli.parse ~jobs_default:1 (Array.of_list ("bench" :: argv))
+
+let test_cli_observability_flags () =
+  (match
+     parse
+       [ "--log"; "run.jsonl"; "--log-level"; "debug"; "--record"; "h.jsonl";
+         "--report-html"; "r.html" ]
+   with
+   | Engine.Cli.Config c ->
+     check_true "log" (c.log = Some "run.jsonl");
+     check_true "log level" (c.log_level = Engine.Log.Debug);
+     check_true "record" (c.record = Some "h.jsonl");
+     check_true "report html" (c.report_html = Some "r.html")
+   | _ -> Alcotest.fail "observability flags must parse");
+  (match parse [ "--version" ] with
+   | Engine.Cli.Config c ->
+     check_true "version action" (c.action = Engine.Cli.Version)
+   | _ -> Alcotest.fail "--version must parse");
+  check_true "bad log level rejected"
+    (match parse [ "--log-level"; "loud" ] with
+     | Engine.Cli.Error _ -> true
+     | _ -> false);
+  check_true "build info describes itself"
+    (contains_sub (Engine.Build_info.describe ()) "paxfloyd")
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suite =
+  ( "obs",
+    [
+      tc "sha256 vectors" test_sha256_vectors;
+      tc "json round-trip" test_json_roundtrip;
+      tc "welch t-test" test_welch;
+      tc "log ordering under jobs 4" test_log_ordering_under_jobs;
+      tc "log level filtering" test_log_level_filtering;
+      tc "log jsonl + file sink" test_log_jsonl_and_file;
+      tc "log non-perturbation" test_log_non_perturbation;
+      tc "manifest round-trip" test_manifest_roundtrip;
+      tc "manifest seed divergence" test_manifest_seed_divergence;
+      tc "manifest cross-process determinism" test_manifest_cross_process;
+      tc "perf history round-trip" test_perf_history_roundtrip;
+      tc "perf-diff statistical gates" test_perf_diff_gates;
+      tc "html report" test_report_html;
+      tc "flame svg" test_flame_svg;
+      tc "cli observability flags" test_cli_observability_flags;
+    ] )
