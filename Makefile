@@ -1,11 +1,14 @@
 # Tier-1 gate: build, full test suite (which includes the telemetry
 # non-perturbation regression), the distribution goodness-of-fit
-# battery, a 2-domain smoke run of the engine-backed harness, and the
-# statistically-gated perf-diff smoke.
+# battery, a 2-domain smoke run of the engine-backed harness, the
+# statistically-gated perf-diff smoke, and the streaming-pipeline
+# smoke (sharding determinism + streamed-vs-materialized agreement +
+# the pyramid-vs-naive variance-time speedup under the perf gate).
 .PHONY: check build test test-gof test-telemetry smoke bench bench-smoke \
-  perf-smoke
+  perf-smoke stream-smoke
 
-check: build test test-gof test-telemetry smoke bench-smoke perf-smoke
+check: build test test-gof test-telemetry smoke bench-smoke perf-smoke \
+  stream-smoke
 
 build:
 	dune build
@@ -58,6 +61,45 @@ perf-smoke:
 	! dune exec bin/wanpoisson.exe -- perf-diff \
 	  _build/perf_a.jsonl _build/perf_slow.jsonl
 	@echo "perf-smoke: noise quiet, 3x slowdown flagged"
+
+# The streaming pipeline end to end. Chunk sharding must not change
+# the report (stream stdout byte-identical at --jobs 1 and 2); the
+# one-pass estimators must agree with the materialized array path
+# (equal totals, Hurst estimates within the 0.03 acceptance band —
+# compared field-wise because the materialized header/pyramid lines
+# differ by design, and the decomposed-subscriber sums are only
+# ulp-equal across chunkings). Finally the recorded vt-curve
+# histories drive the perf gate both ways: naive -> pyramid is a
+# quiet improvement, pyramid -> naive a flagged regression.
+stream-smoke:
+	dune exec bin/wanpoisson.exe -- stream --events 1e6 --jobs 2 \
+	  2>/dev/null > _build/stream_smoke_j2.txt
+	dune exec bin/wanpoisson.exe -- stream --events 1e6 --jobs 1 \
+	  2>/dev/null > _build/stream_smoke_j1.txt
+	diff _build/stream_smoke_j1.txt _build/stream_smoke_j2.txt
+	dune exec bin/wanpoisson.exe -- stream --events 1e6 --materialized \
+	  2>/dev/null > _build/stream_smoke_mat.txt
+	awk '$$1=="total-count" { if (FNR==NR) t1=$$2; else t2=$$2 } \
+	     $$1=="H(var-time)" { if (FNR==NR) h1=$$2; else h2=$$2 } \
+	     $$1=="H(R/S)"      { if (FNR==NR) r1=$$2; else r2=$$2 } \
+	     END { dh=h1-h2; if (dh<0) dh=-dh; dr=r1-r2; if (dr<0) dr=-dr; \
+	           if (t1!=t2 || dh>0.03 || dr>0.03) { \
+	             printf "streamed vs materialized diverged: totals %s/%s H %s/%s %s/%s\n", \
+	               t1, t2, h1, h2, r1, r2; exit 1 } }' \
+	  _build/stream_smoke_j1.txt _build/stream_smoke_mat.txt
+	rm -f _build/perf_vt.jsonl _build/perf_vt_naive_raw.jsonl
+	dune exec bench/main.exe -- --perf --only vt-curve-1e6 \
+	  --record _build/perf_vt.jsonl 2>/dev/null >/dev/null
+	dune exec bench/main.exe -- --perf --only vt-curve-1e6-naive \
+	  --record _build/perf_vt_naive_raw.jsonl 2>/dev/null >/dev/null
+	sed 's/vt-curve-1e6-naive/vt-curve-1e6/' _build/perf_vt_naive_raw.jsonl \
+	  > _build/perf_vt_naive.jsonl
+	dune exec bin/wanpoisson.exe -- perf-diff \
+	  _build/perf_vt_naive.jsonl _build/perf_vt.jsonl
+	! dune exec bin/wanpoisson.exe -- perf-diff \
+	  _build/perf_vt.jsonl _build/perf_vt_naive.jsonl
+	@echo "stream-smoke: jobs-determinism, materialized agreement, and"
+	@echo "stream-smoke: pyramid-vs-naive vt speedup all hold under the gate"
 
 # Full registry, timing each experiment (default --jobs: one per core).
 bench:

@@ -329,6 +329,53 @@ let perf (c : Engine.Cli.config) =
              ignore
                (Lrd.Pareto_count.count_process ~beta:1.0 ~a:1.0 ~bin:1e3
                   ~bins:1000 (Prng.Rng.create 1000))));
+      (* The PR-5 streaming benchmarks. vt-curve-1e6 is the pyramid's
+         one-pass variance-time curve on a million counts;
+         vt-curve-1e6-naive is the aggregate-per-level path it replaced
+         (same levels, same floats to ~1e-9) — the recorded pair behind
+         BENCH_stream.json's >= 5x claim. pyramid-push-1e6 isolates the
+         cascade's push rate, and stream-count-1e8 is the full streamed
+         analysis (sharded generation -> counting sink -> pyramid + R/S)
+         of 1e8 Poisson events in O(levels x chunk) memory. *)
+      (let vt_counts =
+         let r = Prng.Rng.create 2024 in
+         Array.init 1_000_000 (fun _ -> 5. +. Prng.Rng.float r)
+       in
+       Test.make ~name:"vt-curve-1e6"
+         (Staged.stage (fun () ->
+              ignore (Timeseries.Variance_time.curve vt_counts))));
+      (let vt_counts =
+         let r = Prng.Rng.create 2024 in
+         Array.init 1_000_000 (fun _ -> 5. +. Prng.Rng.float r)
+       in
+       Test.make ~name:"vt-curve-1e6-naive"
+         (Staged.stage (fun () ->
+              ignore (Timeseries.Variance_time.curve_naive vt_counts))));
+      (let vt_counts =
+         let r = Prng.Rng.create 2024 in
+         Array.init 1_000_000 (fun _ -> 5. +. Prng.Rng.float r)
+       in
+       Test.make ~name:"pyramid-push-1e6"
+         (Staged.stage (fun () ->
+              let pyr = Timeseries.Pyramid.create () in
+              let pos = ref 0 in
+              while !pos < Array.length vt_counts do
+                let len =
+                  Int.min 65536 (Array.length vt_counts - !pos)
+                in
+                Timeseries.Pyramid.push_slice pyr vt_counts !pos len;
+                pos := !pos + len
+              done)));
+      Test.make ~name:"stream-count-1e8"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Streaming.run
+                  {
+                    Core.Streaming.default with
+                    events = 1e8;
+                    rate = 1000.;
+                    bin = 0.01;
+                  })));
       (let pgram = Timeseries.Periodogram.compute fgn_input in
        let f = Lrd.Whittle.fgn_objective_fn pgram in
        Test.make ~name:"whittle-objective-eval"

@@ -454,6 +454,102 @@ let hurst_cmd =
     (Cmd.info "hurst" ~doc:"Long-range dependence analysis of a trace")
     Term.(ret (const run $ file_arg $ proto_arg $ bin_arg))
 
+(* ---------------- stream ---------------- *)
+
+let stream_cmd =
+  let model_arg =
+    Arg.(value & opt string "poisson" & info [ "model" ] ~docv:"MODEL"
+           ~doc:"Source model: poisson, pareto, mginf or onoff")
+  in
+  let events_arg =
+    Arg.(value & opt float 1e6 & info [ "events" ] ~docv:"N"
+           ~doc:"Expected events (poisson) or count bins (other models); \
+                 accepts scientific notation, e.g. 1e8")
+  in
+  let rate_arg =
+    Arg.(value & opt float 1000. & info [ "rate" ] ~docv:"R"
+           ~doc:"Arrival rate in events/s (poisson, mginf; default 1000)")
+  in
+  let bin_arg =
+    Arg.(value & opt float 1.0 & info [ "bin" ] ~docv:"SECONDS"
+           ~doc:"Count-process bin width (default 1 s)")
+  in
+  let beta_arg =
+    Arg.(value & opt float 1.5 & info [ "beta" ] ~docv:"B"
+           ~doc:"Pareto shape for pareto/mginf/onoff (default 1.5)")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 65536 & info [ "chunk" ] ~docv:"N"
+           ~doc:"Streaming chunk size in bins/events (default 65536)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Root RNG seed (default 42)")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for sharded generation (default 1); the \
+                 report is byte-identical at any value")
+  in
+  let materialized_arg =
+    Arg.(value & flag & info [ "materialized" ]
+           ~doc:"Analyse through the array entry points (O(bins) memory) \
+                 instead of the streaming sinks; the smoke test's baseline")
+  in
+  let peak_rss_kb () =
+    (* VmHWM from /proc/self/status (Linux); absent elsewhere. *)
+    try
+      let ic = open_in "/proc/self/status" in
+      let rec scan () =
+        match input_line ic with
+        | line ->
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+            close_in ic;
+            Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
+              (fun kb -> Some kb)
+          end
+          else scan ()
+        | exception End_of_file ->
+          close_in ic;
+          None
+      in
+      scan ()
+    with Sys_error _ -> None
+  in
+  let run model events rate bin beta chunk seed jobs materialized =
+    if jobs < 1 then `Error (false, "--jobs must be at least 1")
+    else if events < 1. then `Error (false, "--events must be at least 1")
+    else if rate <= 0. || bin <= 0. || chunk < 1 then
+      `Error (false, "--rate, --bin and --chunk must be positive")
+    else begin
+      Engine.Par.set_extra_domains (jobs - 1);
+      let spec =
+        { Core.Streaming.model; events; rate; bin; beta; chunk; seed;
+          materialized }
+      in
+      let t0 = Unix.gettimeofday () in
+      match Core.Streaming.run spec with
+      | exception Invalid_argument e -> `Error (false, e)
+      | result ->
+        Core.Streaming.pp Format.std_formatter spec result;
+        Format.pp_print_flush Format.std_formatter ();
+        let wall = Unix.gettimeofday () -. t0 in
+        (match peak_rss_kb () with
+         | Some kb -> Printf.eprintf "wall %.2f s, peak RSS %d kB\n" wall kb
+         | None -> Printf.eprintf "wall %.2f s\n" wall);
+        `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "One-pass LRD analysis of a streamed trace: generate a source \
+          model chunk by chunk and fold it through the aggregation \
+          pyramid and R/S sinks in O(levels x chunk) memory")
+    Term.(ret
+            (const run $ model_arg $ events_arg $ rate_arg $ bin_arg
+             $ beta_arg $ chunk_arg $ seed_arg $ jobs_arg $ materialized_arg))
+
 (* ---------------- perf-diff ---------------- *)
 
 let perf_diff_cmd =
@@ -550,5 +646,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; gen_cmd; genpkt_cmd; check_cmd; hurst_cmd;
-            analyze_cmd; render_cmd; summary_cmd; perf_diff_cmd;
+            analyze_cmd; render_cmd; summary_cmd; stream_cmd; perf_diff_cmd;
             verify_manifest_cmd ]))

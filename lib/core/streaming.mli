@@ -1,0 +1,61 @@
+(** The [wanpoisson stream] driver: one-pass LRD analysis of traces that
+    never materialise.
+
+    A model generates its count series in chunks ({!Traffic.Poisson_proc},
+    {!Lrd.Pareto_count}, {!Traffic.Mg_inf}, {!Traffic.Onoff}); the chunks
+    flow through one {!Timeseries.Sink} tee into the aggregation pyramid
+    (variance-time curve), the R/S sink and a running total — so a
+    10^8-event Poisson trace is analysed in O(levels x chunk) memory.
+
+    Poisson generation is sharded: bin-aligned windows holding ~[chunk]
+    expected events each are generated [wave_width] at a time across the
+    {!Engine.Par} budget and folded into the sink in shard order. Shard
+    RNG streams come from [Task.derive_rng ~seed "stream#c"], and the
+    wave width is a constant, so stdout is byte-identical at any
+    [--jobs]. Because every {!Timeseries.Counts.default_levels} level is
+    registered in the pyramid up front, the streamed variance-time (and
+    R/S) estimates match the materialized ones on the same sample path
+    to rounding — the pyramid's decomposed subscribers sum block
+    boundary runs whose parenthesisation depends on the chunking, so
+    agreement is to ~1 ulp rather than bit-exact. [make stream-smoke]
+    checks equal event totals and Hurst agreement within the 0.03
+    acceptance band; the test suite pins the 1e-9 relative bound. *)
+
+type spec = {
+  model : string;  (** poisson | pareto | mginf | onoff *)
+  events : float;
+      (** poisson: expected event count (bins = events/rate/bin);
+          other models: the number of count bins to sample. *)
+  rate : float;  (** poisson / mginf arrival rate; onoff per-source ON rate *)
+  bin : float;  (** bin width (s) *)
+  beta : float;  (** Pareto shape for pareto / mginf / onoff *)
+  chunk : int;  (** chunk size (bins or events) for the streaming path *)
+  seed : int;
+  materialized : bool;
+      (** analyse the same sample path through the array entry points
+          (O(bins) memory) instead of the sinks — the baseline the smoke
+          test diffs against *)
+}
+
+val default : spec
+
+type result = {
+  bins : int;
+  total : float;  (** events actually counted *)
+  mean : float;
+  h_vt : Lrd.Hurst.estimate;
+  h_rs : Lrd.Hurst.estimate;
+  chunks : int;  (** chunks pushed through the pyramid (0 if materialized) *)
+  levels : int;  (** dyadic cascade depth (0 if materialized) *)
+  resident : int;  (** peak floats resident in the pyramid *)
+}
+
+val run : spec -> result
+(** Raises [Invalid_argument] on an unknown [model]. The onoff model's
+    streaming and materialized paths are different (equally valid) sample
+    paths — the streaming path gives each source a split RNG sub-stream;
+    the other models agree bit for bit. *)
+
+val pp : Format.formatter -> spec -> result -> unit
+(** Deterministic fixed-precision report (what [wanpoisson stream]
+    prints). *)

@@ -9,6 +9,15 @@ let variance_time ?min_m ?max_m xs =
     r2 = fit.r2;
   }
 
+let variance_time_of_pyramid ?min_m ?max_m ?levels pyr =
+  let curve = Timeseries.Variance_time.curve_of_pyramid ?levels pyr in
+  let fit = Timeseries.Variance_time.slope ?min_m ?max_m curve in
+  {
+    h = Timeseries.Variance_time.hurst_of_slope fit.Stats.Regression.slope;
+    slope = fit.slope;
+    r2 = fit.r2;
+  }
+
 (* Rescaled adjusted range of one block. *)
 let rs_of_block xs lo len =
   let mean = ref 0. in
@@ -28,60 +37,109 @@ let rs_of_block xs lo len =
   let s = sqrt (!ss /. float_of_int len) in
   if s > 0. then Some (r /. s) else None
 
+(* Quarter-decade block-size ladder, deduplicated. *)
+let block_sizes ~min_block ~max_block =
+  let rec go k acc =
+    let s = int_of_float (Float.round (10. ** (float_of_int k /. 4.))) in
+    if s > max_block then List.rev acc
+    else
+      let acc =
+        if s >= min_block && (match acc with p :: _ -> p <> s | [] -> true)
+        then s :: acc
+        else acc
+      in
+      go (k + 1) acc
+  in
+  go 0 []
+
+let fit_of_points points =
+  if Array.length points < 2 then { h = nan; slope = nan; r2 = nan }
+  else
+    let fit = Stats.Regression.ols points in
+    { h = fit.Stats.Regression.slope; slope = fit.slope; r2 = fit.r2 }
+
+(* One block size's streaming state: a block-sized staging buffer plus
+   the running sum of completed blocks' R/S values. Memory per size is
+   one block, so the whole sink is O(sum of block sizes) ~ O(max_block)
+   for a quarter-decade ladder, independent of stream length. *)
+type rs_state = {
+  size : int;
+  buf : float array;
+  mutable fill : int;
+  mutable acc : float;
+  mutable cnt : int;
+}
+
+let rs_sink ?(min_block = 8) ?(max_block = 32768) () =
+  if max_block < 1 then
+    invalid_arg
+      (Printf.sprintf "Hurst.rs_sink: max_block = %d (want >= 1)" max_block);
+  let states =
+    block_sizes ~min_block ~max_block
+    |> List.map (fun size ->
+           { size; buf = Array.make size 0.; fill = 0; acc = 0.; cnt = 0 })
+    |> Array.of_list
+  in
+  let feed st chunk =
+    let len = Array.length chunk in
+    let pos = ref 0 in
+    while !pos < len do
+      let take = Int.min (st.size - st.fill) (len - !pos) in
+      Array.blit chunk !pos st.buf st.fill take;
+      st.fill <- st.fill + take;
+      pos := !pos + take;
+      if st.fill = st.size then begin
+        (match rs_of_block st.buf 0 st.size with
+        | Some rs ->
+          st.acc <- st.acc +. rs;
+          st.cnt <- st.cnt + 1
+        | None -> ());
+        st.fill <- 0
+      end
+    done
+  in
+  let push chunk = Array.iter (fun st -> feed st chunk) states in
+  let finish () =
+    (* A trailing partial block is dropped, matching the materialized
+       estimator's floor (n / size) block count. *)
+    let kept = ref 0 in
+    Array.iter (fun st -> if st.cnt > 0 then incr kept) states;
+    let points = Array.make (Int.max 1 !kept) (0., 0.) in
+    let filled = ref 0 in
+    Array.iter
+      (fun st ->
+        if st.cnt > 0 then begin
+          points.(!filled) <-
+            ( log10 (float_of_int st.size),
+              log10 (st.acc /. float_of_int st.cnt) );
+          incr filled
+        end)
+      states;
+    fit_of_points (Array.sub points 0 !filled)
+  in
+  Timeseries.Sink.make ~push ~finish
+
 let rescaled_range ?(min_block = 8) ?max_block xs =
   let n = Array.length xs in
-  assert (n >= 32);
+  if n < 32 then
+    invalid_arg
+      (Printf.sprintf "Hurst.rescaled_range: n = %d (want >= 32)" n);
   let max_block = match max_block with Some m -> m | None -> n / 4 in
-  (* Log-spaced block sizes, half-decade steps. *)
-  let sizes =
-    let rec go k acc =
-      let s = int_of_float (Float.round (10. ** (float_of_int k /. 4.))) in
-      if s > max_block then List.rev acc
-      else
-        let acc =
-          if s >= min_block && (match acc with p :: _ -> p <> s | [] -> true)
-          then s :: acc
-          else acc
-        in
-        go (k + 1) acc
-    in
-    go 0 []
-  in
-  let points =
-    List.filter_map
-      (fun size ->
-        let blocks = n / size in
-        if blocks < 1 then None
-        else begin
-          let acc = ref 0. and cnt = ref 0 in
-          for b = 0 to blocks - 1 do
-            match rs_of_block xs (b * size) size with
-            | Some rs ->
-              acc := !acc +. rs;
-              incr cnt
-            | None -> ()
-          done;
-          if !cnt = 0 then None
-          else
-            Some
-              ( log10 (float_of_int size),
-                log10 (!acc /. float_of_int !cnt) )
-        end)
-      sizes
-  in
-  let fit = Stats.Regression.ols (Array.of_list points) in
-  { h = fit.Stats.Regression.slope; slope = fit.slope; r2 = fit.r2 }
+  (* With max_block covering the whole series, the sink's per-size block
+     staging visits exactly the blocks the old in-place loop did, in the
+     same order, through the same [rs_of_block] -- identical floats. *)
+  Timeseries.Sink.iter_array xs (rs_sink ~min_block ~max_block ())
 
 let periodogram_regression ?(fraction = 0.1) xs =
   let pgram = Timeseries.Periodogram.compute xs in
   let low = Timeseries.Periodogram.low_frequency pgram ~fraction in
+  let freqs = low.Timeseries.Periodogram.freqs in
+  let power = low.Timeseries.Periodogram.power in
   let points =
-    Array.to_list
-      (Array.map2
-         (fun f p -> (log10 f, log10 (Float.max p 1e-300)))
-         low.Timeseries.Periodogram.freqs low.Timeseries.Periodogram.power)
+    Array.init (Array.length freqs) (fun i ->
+        (log10 freqs.(i), log10 (Float.max power.(i) 1e-300)))
   in
-  let fit = Stats.Regression.ols (Array.of_list points) in
+  let fit = Stats.Regression.ols points in
   {
     h = (1. -. fit.Stats.Regression.slope) /. 2.;
     slope = fit.slope;

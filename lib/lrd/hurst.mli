@@ -3,7 +3,11 @@
     Three classical estimators over a stationary series: the
     variance-time slope (the paper's main graphical tool), rescaled-range
     (R/S) analysis, and log-periodogram regression. {!Whittle} provides
-    the likelihood-based estimator the paper uses for its formal claims. *)
+    the likelihood-based estimator the paper uses for its formal claims.
+
+    Since PR 5 the variance-time path runs on the streaming aggregation
+    pyramid ({!Timeseries.Pyramid}) and R/S has a chunked-consumer form
+    ({!rs_sink}), so both work over traces that never materialise. *)
 
 type estimate = {
   h : float;
@@ -14,11 +18,29 @@ type estimate = {
 val variance_time : ?min_m:int -> ?max_m:int -> float array -> estimate
 (** H from the variance-time slope: H = 1 + slope/2. *)
 
+val variance_time_of_pyramid :
+  ?min_m:int -> ?max_m:int -> ?levels:int list -> Timeseries.Pyramid.t ->
+  estimate
+(** Same estimator read out of an already-fed pyramid (the streaming
+    path); see {!Timeseries.Variance_time.curve_of_pyramid} for how
+    unregistered levels are served. *)
+
 val rescaled_range :
   ?min_block:int -> ?max_block:int -> float array -> estimate
 (** Classic R/S: average rescaled adjusted range over non-overlapping
     blocks at log-spaced block sizes; H is the slope of
-    log E[R/S] vs log block size. Requires at least 32 observations. *)
+    log E[R/S] vs log block size. Raises [Invalid_argument] (naming the
+    length; effective under [-noassert]) on fewer than 32 observations. *)
+
+val rs_sink :
+  ?min_block:int -> ?max_block:int -> unit -> estimate Timeseries.Sink.t
+(** Chunked-consumer R/S. Each block size on the quarter-decade ladder
+    up to [max_block] (default 32768) stages one block at a time, so
+    memory is O(max_block), independent of stream length. Feeding a
+    whole series whose length is at least [4 * max_block] reproduces
+    {!rescaled_range} exactly (same blocks, same order, same
+    arithmetic); a trailing partial block is dropped. Raises
+    [Invalid_argument] when [max_block < 1]. *)
 
 val periodogram_regression : ?fraction:float -> float array -> estimate
 (** Regress log10 I(lambda) on log10 lambda over the lowest [fraction]

@@ -13,35 +13,68 @@ let arrival_times ~beta ~a ~n rng =
       t := !t +. Dist.Pareto.sample p rng;
       !t)
 
-let count_process ~beta ~a ~bin ~bins rng =
+let iter_count_chunks ?(chunk = 65536) ~beta ~a ~bin ~bins rng f =
   assert (bin > 0. && bins > 0);
-  let counts = Array.make bins 0. in
   let horizon = float_of_int bins *. bin in
   (* [t /. bin] can round up to exactly [bins] when [t] sits within an ulp
      of the horizon, so clamp the index rather than trust [t < horizon]. *)
   let last = bins - 1 in
-  if beta = 1. then begin
-    (* beta = 1 (Figs. 14/15) runs ~5e7 arrivals per seed; inlining the
-       quantile (a / (1-u), same floats as [Dist.Pareto.quantile]'s fast
-       path) keeps the loop free of calls and branches. *)
-    let t = ref (a /. (1. -. Prng.Rng.float rng)) in
-    while !t < horizon do
-      let i = int_of_float (!t /. bin) in
-      let i = if i > last then last else i in
-      counts.(i) <- counts.(i) +. 1.;
-      t := !t +. (a /. (1. -. Prng.Rng.float rng))
-    done
-  end
-  else begin
-    let p = Dist.Pareto.create ~location:a ~shape:beta in
-    let t = ref (Dist.Pareto.sample p rng) in
-    while !t < horizon do
-      let i = int_of_float (!t /. bin) in
-      let i = if i > last then last else i in
-      counts.(i) <- counts.(i) +. 1.;
-      t := !t +. Dist.Pareto.sample p rng
-    done
-  end;
+  let cap = Int.min (Int.max 1 chunk) bins in
+  let buf = Array.make cap 0. in
+  (* Bins [base, base + cap) live in [buf]; earlier bins were emitted.
+     Arrival times are non-decreasing, so bins complete left to right. *)
+  let base = ref 0 in
+  let record t =
+    let i = int_of_float (t /. bin) in
+    let i = if i > last then last else i in
+    while i - !base >= cap do
+      f buf;
+      Array.fill buf 0 cap 0.;
+      base := !base + cap
+    done;
+    buf.(i - !base) <- buf.(i - !base) +. 1.
+  in
+  (if beta = 1. then begin
+     (* beta = 1 (Figs. 14/15) runs ~5e7 arrivals per seed; inlining the
+        quantile (a / (1-u), same floats as [Dist.Pareto.quantile]'s fast
+        path) keeps the loop free of calls and branches. *)
+     let t = ref (a /. (1. -. Prng.Rng.float rng)) in
+     while !t < horizon do
+       record !t;
+       t := !t +. (a /. (1. -. Prng.Rng.float rng))
+     done
+   end
+   else begin
+     let p = Dist.Pareto.create ~location:a ~shape:beta in
+     let t = ref (Dist.Pareto.sample p rng) in
+     while !t < horizon do
+       record !t;
+       t := !t +. Dist.Pareto.sample p rng
+     done
+   end);
+  (* Emit the tail, including any all-zero bins past the last arrival. *)
+  let continue = ref true in
+  while !continue do
+    let remaining = bins - !base in
+    if remaining >= cap then begin
+      f buf;
+      Array.fill buf 0 cap 0.;
+      base := !base + cap;
+      if bins - !base = 0 then continue := false
+    end
+    else begin
+      if remaining > 0 then f (Array.sub buf 0 remaining);
+      continue := false
+    end
+  done
+
+let count_process ~beta ~a ~bin ~bins rng =
+  let counts = Array.make bins 0. in
+  let pos = ref 0 in
+  iter_count_chunks ~beta ~a ~bin ~bins rng (fun c ->
+      let len = Array.length c in
+      Array.blit c 0 counts !pos len;
+      pos := !pos + len);
   counts
 
 (* Collect maximal runs; [select] picks occupied (burst) or empty (lull)

@@ -22,10 +22,28 @@ val arrival_times :
 (** [n] arrival times as the cumulative sum of i.i.d. Pareto(a, beta)
     interarrivals. *)
 
+val iter_count_chunks :
+  ?chunk:int ->
+  beta:float ->
+  a:float ->
+  bin:float ->
+  bins:int ->
+  Prng.Rng.t ->
+  (float array -> unit) ->
+  unit
+(** Streaming form of {!count_process}: the count series is delivered to
+    the callback in order, in chunks of at most [chunk] bins (default
+    65536), so memory is O(chunk) rather than O(bins). Trailing empty
+    bins are emitted too (the concatenation of the chunks is exactly
+    {!count_process}'s array). The callback's argument is a reused
+    buffer — copy anything kept beyond the call. Same RNG draw order as
+    {!count_process}. *)
+
 val count_process :
   beta:float -> a:float -> bin:float -> bins:int -> Prng.Rng.t -> float array
 (** Counts in [bins] consecutive bins of width [bin], generating arrivals
-    lazily until the horizon is covered (memory O(bins), not O(arrivals)). *)
+    lazily until the horizon is covered (memory O(bins), not O(arrivals)).
+    Thin wrapper over {!iter_count_chunks}. *)
 
 val run_stats : float array -> run_stats
 (** Burst/lull statistics of a count process. *)

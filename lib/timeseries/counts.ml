@@ -1,5 +1,10 @@
 let of_events ?(t_start = 0.) ~bin ~t_end events =
-  assert (bin > 0. && t_end > t_start);
+  if bin <= 0. then
+    invalid_arg (Printf.sprintf "Counts.of_events: bin = %g (want > 0)" bin);
+  if t_end <= t_start then
+    invalid_arg
+      (Printf.sprintf "Counts.of_events: t_end = %g <= t_start = %g" t_end
+         t_start);
   let n_bins = int_of_float (Float.floor ((t_end -. t_start) /. bin)) in
   let counts = Array.make n_bins 0. in
   Array.iter
@@ -13,7 +18,8 @@ let of_events ?(t_start = 0.) ~bin ~t_end events =
   counts
 
 let aggregate xs m =
-  assert (m >= 1);
+  if m < 1 then
+    invalid_arg (Printf.sprintf "Counts.aggregate: m = %d (want >= 1)" m);
   let n_blocks = Array.length xs / m in
   Array.init n_blocks (fun b ->
       let acc = ref 0. in

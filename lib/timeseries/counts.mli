@@ -7,12 +7,15 @@ val of_events :
 (** [of_events ~bin ~t_end events] counts events in consecutive bins of
     width [bin] covering [[t_start, t_end)] (default [t_start] = 0).
     Events outside the range are ignored. The number of bins is
-    [floor ((t_end - t_start) / bin)]. *)
+    [floor ((t_end - t_start) / bin)]. Raises [Invalid_argument] (naming
+    the offending value; effective under [-noassert]) when [bin <= 0] or
+    [t_end <= t_start]. For sorted event streams that never fit in
+    memory, see {!Sink.counts}. *)
 
 val aggregate : float array -> int -> float array
 (** [aggregate xs m]: means of consecutive non-overlapping blocks of [m]
     observations (the process X^(M) of the paper); a trailing partial
-    block is dropped. Requires [m >= 1]. *)
+    block is dropped. Raises [Invalid_argument] when [m < 1]. *)
 
 val aggregate_sum : float array -> int -> float array
 (** Block sums instead of means. *)

@@ -1,0 +1,510 @@
+(* Cascade invariant: a "level-j value" is the sum of an aligned block of
+   2^j raw values. Level j keeps moments over its completed values plus at
+   most one pending value (the carry) waiting for its pair partner; two
+   consecutive level-j values sum to one level-(j+1) value. Pairing is by
+   absolute position, so block sums are bit-identical whatever chunk sizes
+   arrive — only the Chan-merge rounding of the moment accumulators
+   (~1 ulp) depends on the chunking.
+
+   Subscribers (exact non-dyadic levels) are fed one of two ways:
+
+   - direct, for small groups: [group] consecutive level-[src] values
+     are summed per block with a run-based loop (one branch per run
+     instead of one per element);
+   - decomposed, for [group >= 32]: the bulk of every block is assembled
+     from coarse level-[src+shift] cascade values (each worth
+     [G = 2^shift <= group/8] level-[src] values), leaving only the two
+     boundary runs — fewer than 2G values — to be summed at level
+     [src]. This turns the coarse odd levels of a quarter-decade ladder
+     (m = 5623, 17783, ...) from full rescans of the level-[src] stream
+     into a ~2G/group fraction of it. Raw boundary runs and interior
+     coarse values accumulate in separate per-block slots and are
+     combined once when the block completes, so block values do not
+     depend on how the input was chunked.
+
+   Completed block values are staged in a small buffer and Chan-merged
+   into the subscriber's moments in batches, amortising the per-value
+   Welford division. *)
+
+type level = {
+  moments : Moments.t;
+  mutable carry : float;
+  mutable have_carry : bool;
+}
+
+let stage_cap = 64
+
+type subscriber = {
+  sm : int;  (* requested aggregation level *)
+  src : int;  (* cascade level consumed: the 2-adic valuation of sm *)
+  group : int;  (* sm / 2^src level-[src] values per block *)
+  smoments : Moments.t;
+  stage : float array;  (* completed block values awaiting a batch merge *)
+  mutable nstage : int;
+  (* direct path *)
+  mutable ssum : float;
+  mutable scnt : int;
+  (* decomposed path *)
+  shift : int;  (* 0 = direct; else also consume level [src + shift] *)
+  mutable i_raw : int;  (* next level-[src] value index *)
+  mutable b_raw : int;  (* block the raw cursor is inside *)
+  mutable h1 : int;  (* end of b_raw's head raw run *)
+  mutable h2 : int;  (* start of b_raw's tail raw run *)
+  mutable q_aux : int;  (* next level-[src+shift] value index *)
+  mutable b_aux : int;  (* block the coarse cursor is inside *)
+  mutable q_lo : int;  (* b_aux's interior coarse values: [q_lo, q_hi) *)
+  mutable q_hi : int;
+  mutable pend_raw : float array;  (* ring, slot = block land (cap - 1) *)
+  mutable pend_aux : float array;
+  mutable pend_base : int;  (* oldest block not yet complete *)
+}
+
+type t = {
+  mutable levels : level array;
+  mutable nlevels : int;
+  subs : subscriber array;
+  mutable scratch_a : float array;
+  mutable scratch_b : float array;
+  mutable nchunks : int;
+  mutable peak : int;
+  c_chunks : Engine.Telemetry.counter;
+  c_levels : Engine.Telemetry.counter;
+  c_peak : Engine.Telemetry.counter;
+}
+
+let is_pow2 m = m land (m - 1) = 0
+
+let rec valuation m = if m land 1 = 1 then 0 else 1 + valuation (m lsr 1)
+
+let rec log2_floor m = if m <= 1 then 0 else 1 + log2_floor (m lsr 1)
+
+(* Deepest sensible cascade level: blocks of 2^62 values never complete. *)
+let max_depth = 62
+
+let fresh_level () =
+  { moments = Moments.create (); carry = 0.; have_carry = false }
+
+let create ?(levels = []) () =
+  let subs =
+    List.sort_uniq compare levels
+    |> List.filter (fun m -> m >= 1 && not (is_pow2 m))
+    |> List.map (fun sm ->
+           let src = valuation sm in
+           let group = sm lsr src in
+           let shift = if group >= 32 then log2_floor group - 3 else 0 in
+           let decomposed = shift > 0 in
+           {
+             sm;
+             src;
+             group;
+             smoments = Moments.create ();
+             stage = Array.make stage_cap 0.;
+             nstage = 0;
+             ssum = 0.;
+             scnt = 0;
+             shift;
+             i_raw = 0;
+             b_raw = 0;
+             h1 = 0;
+             h2 = (if decomposed then (group lsr shift) lsl shift else 0);
+             q_aux = 0;
+             b_aux = 0;
+             q_lo = 0;
+             q_hi = (if decomposed then group lsr shift else 0);
+             pend_raw = (if decomposed then Array.make 8 0. else [||]);
+             pend_aux = (if decomposed then Array.make 8 0. else [||]);
+             pend_base = 0;
+           })
+    |> Array.of_list
+  in
+  {
+    levels = [| fresh_level () |];
+    nlevels = 1;
+    subs;
+    scratch_a = [||];
+    scratch_b = [||];
+    nchunks = 0;
+    peak = 0;
+    c_chunks = Engine.Telemetry.counter "pyramid.chunks";
+    c_levels = Engine.Telemetry.counter "pyramid.levels";
+    c_peak = Engine.Telemetry.counter "pyramid.peak-resident-floats";
+  }
+
+let resident_floats t =
+  Array.length t.scratch_a
+  + Array.length t.scratch_b
+  + (2 * t.nlevels)
+  + Array.fold_left
+      (fun acc s ->
+        acc + 2 + Array.length s.stage + Array.length s.pend_raw
+        + Array.length s.pend_aux)
+      0 t.subs
+
+let note_peak t =
+  let r = resident_floats t in
+  if r > t.peak then begin
+    Engine.Telemetry.add t.c_peak (r - t.peak);
+    t.peak <- r
+  end
+
+let ensure_level t k =
+  if k >= t.nlevels then begin
+    if k >= Array.length t.levels then begin
+      let cap = Int.min (max_depth + 1) (Int.max 8 (2 * (k + 1))) in
+      let bigger = Array.init cap (fun _ -> fresh_level ()) in
+      Array.blit t.levels 0 bigger 0 t.nlevels;
+      t.levels <- bigger
+    end;
+    Engine.Telemetry.add t.c_levels (k + 1 - t.nlevels);
+    t.nlevels <- k + 1
+  end
+
+let ensure_scratch t need =
+  if Array.length t.scratch_a < need then begin
+    t.scratch_a <- Array.make need 0.;
+    t.scratch_b <- Array.make need 0.
+  end
+
+(* ---- subscriber feeding ---- *)
+
+let emit sub v =
+  sub.stage.(sub.nstage) <- v;
+  sub.nstage <- sub.nstage + 1;
+  if sub.nstage = stage_cap then begin
+    Moments.add_slice sub.smoments sub.stage 0 stage_cap;
+    sub.nstage <- 0
+  end
+
+let flush_stage sub =
+  if sub.nstage > 0 then begin
+    Moments.add_slice sub.smoments sub.stage 0 sub.nstage;
+    sub.nstage <- 0
+  end
+
+(* Sum [buf.(pos .. pos+len-1)] onto [init]; every caller has already
+   established that the range lies inside [buf]. *)
+let run_sum buf pos len init =
+  let s = ref init in
+  for j = pos to pos + len - 1 do
+    s := !s +. Array.unsafe_get buf j
+  done;
+  !s
+
+let feed_direct sub buf pos len =
+  let g = sub.group in
+  let stop = pos + len in
+  let i = ref pos in
+  (* finish the partial block carried over from the previous slice *)
+  if sub.scnt > 0 then begin
+    let take = Int.min (g - sub.scnt) len in
+    let s = run_sum buf !i take sub.ssum in
+    i := !i + take;
+    if sub.scnt + take = g then begin
+      let ns = sub.nstage in
+      Array.unsafe_set sub.stage ns s;
+      sub.nstage <- ns + 1;
+      if ns + 1 = stage_cap then flush_stage sub;
+      sub.ssum <- 0.;
+      sub.scnt <- 0
+    end
+    else begin
+      sub.ssum <- s;
+      sub.scnt <- sub.scnt + take
+    end
+  end;
+  (* full blocks wholly inside the slice; no run bookkeeping needed.
+     g = 3 (the ladder's m = 3 and m = 6) gets a two-block unroll: the
+     per-block cost there is all loop and staging overhead. *)
+  if g = 3 then
+    while !i + 6 <= stop do
+      let b0 =
+        Array.unsafe_get buf !i
+        +. Array.unsafe_get buf (!i + 1)
+        +. Array.unsafe_get buf (!i + 2)
+      and b1 =
+        Array.unsafe_get buf (!i + 3)
+        +. Array.unsafe_get buf (!i + 4)
+        +. Array.unsafe_get buf (!i + 5)
+      in
+      let ns = sub.nstage in
+      if ns + 2 <= stage_cap then begin
+        Array.unsafe_set sub.stage ns b0;
+        Array.unsafe_set sub.stage (ns + 1) b1;
+        sub.nstage <- ns + 2;
+        if ns + 2 = stage_cap then flush_stage sub
+      end
+      else begin
+        emit sub b0;
+        emit sub b1
+      end;
+      i := !i + 6
+    done;
+  while !i + g <= stop do
+    let e = !i + g in
+    let s = ref 0. in
+    for j = !i to e - 1 do
+      s := !s +. Array.unsafe_get buf j
+    done;
+    let ns = sub.nstage in
+    Array.unsafe_set sub.stage ns !s;
+    sub.nstage <- ns + 1;
+    if ns + 1 = stage_cap then flush_stage sub;
+    i := e
+  done;
+  (* trailing partial block *)
+  if !i < stop then begin
+    sub.ssum <- run_sum buf !i (stop - !i) 0.;
+    sub.scnt <- stop - !i
+  end
+
+let set_raw_block sub b =
+  sub.b_raw <- b;
+  let g = sub.group and sh = sub.shift in
+  sub.h1 <- (((b * g) + (1 lsl sh) - 1) lsr sh) lsl sh;
+  sub.h2 <- (((b + 1) * g) lsr sh) lsl sh
+
+let set_aux_block sub b =
+  sub.b_aux <- b;
+  let g = sub.group and sh = sub.shift in
+  sub.q_lo <- ((b * g) + (1 lsl sh) - 1) lsr sh;
+  sub.q_hi <- ((b + 1) * g) lsr sh
+
+(* Both cursors have moved past every block below [min b_raw b_aux]:
+   those blocks have all their pieces, in block order. *)
+let finalize_completed sub =
+  let upto = Int.min sub.b_raw sub.b_aux in
+  if sub.pend_base < upto then begin
+    let mask = Array.length sub.pend_raw - 1 in
+    while sub.pend_base < upto do
+      let s = sub.pend_base land mask in
+      emit sub (sub.pend_raw.(s) +. sub.pend_aux.(s));
+      sub.pend_raw.(s) <- 0.;
+      sub.pend_aux.(s) <- 0.;
+      sub.pend_base <- sub.pend_base + 1
+    done
+  end
+
+(* Grow the pending ring so block [b] has a slot. Slots are addressed by
+   block index modulo the (power-of-two) capacity, so re-inserting every
+   live slot under the new mask preserves addressing. *)
+let ensure_slot sub b =
+  let cap = Array.length sub.pend_raw in
+  if b - sub.pend_base >= cap then begin
+    let ncap = ref (cap * 2) in
+    while b - sub.pend_base >= !ncap do
+      ncap := !ncap * 2
+    done;
+    let nr = Array.make !ncap 0. and na = Array.make !ncap 0. in
+    for bb = sub.pend_base to sub.pend_base + cap - 1 do
+      let old = bb land (cap - 1) and nw = bb land (!ncap - 1) in
+      nr.(nw) <- sub.pend_raw.(old);
+      na.(nw) <- sub.pend_aux.(old)
+    done;
+    sub.pend_raw <- nr;
+    sub.pend_aux <- na
+  end
+
+let feed_decomp_raw sub buf pos len =
+  let stop = sub.i_raw + len in
+  let base = pos - sub.i_raw in
+  let g = sub.group in
+  while sub.i_raw < stop do
+    let i = sub.i_raw in
+    if i < sub.h1 then begin
+      let e = Int.min sub.h1 stop in
+      let s = run_sum buf (base + i) (e - i) 0. in
+      let slot = sub.b_raw land (Array.length sub.pend_raw - 1) in
+      sub.pend_raw.(slot) <- sub.pend_raw.(slot) +. s;
+      sub.i_raw <- e
+    end
+    else if i < sub.h2 then
+      (* interior values arrive pre-summed from level [src+shift] *)
+      sub.i_raw <- Int.min sub.h2 stop
+    else begin
+      let be = (sub.b_raw + 1) * g in
+      let e = Int.min be stop in
+      let s = run_sum buf (base + i) (e - i) 0. in
+      let slot = sub.b_raw land (Array.length sub.pend_raw - 1) in
+      sub.pend_raw.(slot) <- sub.pend_raw.(slot) +. s;
+      sub.i_raw <- e;
+      if e = be then begin
+        ensure_slot sub (sub.b_raw + 1);
+        set_raw_block sub (sub.b_raw + 1);
+        finalize_completed sub
+      end
+    end
+  done
+
+let feed_decomp_aux sub vals pos len =
+  let stop = sub.q_aux + len in
+  let base = pos - sub.q_aux in
+  while sub.q_aux < stop do
+    let q = sub.q_aux in
+    if q < sub.q_lo then
+      (* a value straddling two blocks; its span is covered by raw runs *)
+      sub.q_aux <- Int.min sub.q_lo stop
+    else begin
+      let e = Int.min sub.q_hi stop in
+      let s = run_sum vals (base + q) (e - q) 0. in
+      let slot = sub.b_aux land (Array.length sub.pend_raw - 1) in
+      sub.pend_aux.(slot) <- sub.pend_aux.(slot) +. s;
+      sub.q_aux <- e;
+      if e = sub.q_hi then begin
+        ensure_slot sub (sub.b_aux + 1);
+        set_aux_block sub (sub.b_aux + 1);
+        finalize_completed sub
+      end
+    end
+  done
+
+(* ---- the cascade ---- *)
+
+(* One pass for the slice sum, then a fused pass accumulating squared
+   deviations (same element order as [Moments.add_slice], so level
+   moments are unchanged) while building the level-(k+1) pair sums.
+   Combines [lev]'s pending carry with the first value; a trailing
+   unpaired value becomes the new carry. Returns the number of
+   level-(k+1) values produced. *)
+let absorb_and_pair lev cur pos len out =
+  let stop = pos + len in
+  let sum = ref 0. in
+  for j = pos to stop - 1 do
+    sum := !sum +. Array.unsafe_get cur j
+  done;
+  let mean = !sum /. float_of_int len in
+  let m2 = ref 0. in
+  let o = ref 0 and i = ref pos in
+  if lev.have_carry then begin
+    let x = Array.unsafe_get cur !i in
+    let d = x -. mean in
+    m2 := !m2 +. (d *. d);
+    out.(0) <- lev.carry +. x;
+    lev.have_carry <- false;
+    incr i;
+    o := 1
+  end;
+  while !i + 1 < stop do
+    let x0 = Array.unsafe_get cur !i
+    and x1 = Array.unsafe_get cur (!i + 1) in
+    let d0 = x0 -. mean and d1 = x1 -. mean in
+    m2 := !m2 +. (d0 *. d0);
+    m2 := !m2 +. (d1 *. d1);
+    Array.unsafe_set out !o (x0 +. x1);
+    i := !i + 2;
+    incr o
+  done;
+  if !i < stop then begin
+    let x = Array.unsafe_get cur !i in
+    let d = x -. mean in
+    m2 := !m2 +. (d *. d);
+    lev.carry <- x;
+    lev.have_carry <- true
+  end;
+  Moments.merge_counts lev.moments len mean !m2;
+  !o
+
+let push_slice t xs pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length xs then
+    invalid_arg
+      (Printf.sprintf "Pyramid.push_slice: slice [%d, %d) of %d" pos
+         (pos + len) (Array.length xs));
+  t.nchunks <- t.nchunks + 1;
+  Engine.Telemetry.bump t.c_chunks;
+  if len > 0 then begin
+    ensure_scratch t ((len + 2) / 2);
+    let cur = ref xs and cpos = ref pos and clen = ref len in
+    let k = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let lev = t.levels.(!k) in
+      Array.iter
+        (fun sub ->
+          if sub.src = !k then begin
+            if sub.shift = 0 then feed_direct sub !cur !cpos !clen
+            else feed_decomp_raw sub !cur !cpos !clen
+          end
+          else if sub.shift > 0 && sub.src + sub.shift = !k then
+            feed_decomp_aux sub !cur !cpos !clen)
+        t.subs;
+      if !k = max_depth then begin
+        Moments.add_slice lev.moments !cur !cpos !clen;
+        continue := false
+      end
+      else begin
+        let out = if !k land 1 = 0 then t.scratch_a else t.scratch_b in
+        let produced = absorb_and_pair lev !cur !cpos !clen out in
+        if produced = 0 then continue := false
+        else begin
+          ensure_level t (!k + 1);
+          cur := out;
+          cpos := 0;
+          clen := produced;
+          incr k
+        end
+      end
+    done;
+    note_peak t
+  end
+
+let push t xs = push_slice t xs 0 (Array.length xs)
+
+let count t = Moments.count t.levels.(0).moments
+let mean t = Moments.mean t.levels.(0).moments
+
+let depth t = t.nlevels
+let chunks t = t.nchunks
+
+type level_stat = {
+  requested : int;
+  served : int;
+  exact : bool;
+  blocks : int;
+  mean_sum : float;
+  var_sum : float;
+}
+
+let stat_of_moments ~requested ~served ~exact (m : Moments.t) =
+  if Moments.count m = 0 then None
+  else
+    Some
+      {
+        requested;
+        served;
+        exact;
+        blocks = Moments.count m;
+        mean_sum = Moments.mean m;
+        var_sum = Moments.variance m;
+      }
+
+let stat t m =
+  if m < 1 then None
+  else if is_pow2 m then begin
+    let k = valuation m in
+    if k < t.nlevels then
+      stat_of_moments ~requested:m ~served:m ~exact:true
+        t.levels.(k).moments
+    else None
+  end
+  else
+    match Array.find_opt (fun s -> s.sm = m) t.subs with
+    | Some s ->
+      flush_stage s;
+      stat_of_moments ~requested:m ~served:m ~exact:true s.smoments
+    | None ->
+      (* Resample: the dyadic level nearest in log space that has data. *)
+      let target = log (float_of_int m) /. log 2. in
+      let best = ref None in
+      for k = 0 to t.nlevels - 1 do
+        if Moments.count t.levels.(k).moments > 0 then begin
+          let d = Float.abs (float_of_int k -. target) in
+          match !best with
+          | Some (_, d') when d' <= d -> ()
+          | _ -> best := Some (k, d)
+        end
+      done;
+      Option.bind !best (fun (k, _) ->
+          stat_of_moments ~requested:m ~served:(1 lsl k) ~exact:false
+            t.levels.(k).moments)
+
+let registered t =
+  Array.to_list t.subs |> List.map (fun s -> s.sm) |> List.sort compare

@@ -1,0 +1,79 @@
+(** Single-pass dyadic aggregation pyramid.
+
+    The paper's variance-time analysis needs the variance of the
+    M-aggregated count process at ~K log-spaced levels M. Re-aggregating
+    an in-memory series once per level costs O(n*K) time and O(n)
+    resident floats; this module folds incoming chunks {e upward}
+    instead: level k holds Welford/Chan moment accumulators
+    ({!Moments.t}) over the sums of aligned blocks of [2^k] raw values,
+    built by pairwise combination of level [k-1], so the whole dyadic
+    ladder costs O(n) time and O(levels + chunk) space, independent of
+    how the input is chunked (block sums are bit-identical for every
+    chunking; only the moment-merge rounding, ~1 ulp, depends on it).
+
+    Non-dyadic levels (the paper's quarter-decade M) are served two
+    ways:
+
+    - {e exactly}, when registered up front via [create ~levels]: a
+      level [m] with 2-adic valuation [v] subscribes to the completed
+      block sums of cascade level [v], grouping [m / 2^v] of them per
+      block, so it sees exactly the blocks [Counts.aggregate] would
+      (trailing partial blocks dropped). Total extra cost is
+      [sum n / 2^v(m)] — still O(n) for quarter-decade ladders;
+    - {e resampled}, for unregistered levels: {!stat} falls back to the
+      nearest dyadic level (in log space) and flags the answer
+      [exact = false].
+
+    Telemetry: bumps [pyramid.chunks] per push, and grows
+    [pyramid.levels] / [pyramid.resident-floats.peak] as the cascade
+    deepens (no-ops unless {!Engine.Telemetry} is enabled). *)
+
+type t
+
+val create : ?levels:int list -> unit -> t
+(** [create ~levels ()]: a fresh pyramid; [levels] lists aggregation
+    levels to track exactly in addition to the dyadic ladder (powers of
+    two and levels < 1 are ignored — the former are always exact). *)
+
+val push : t -> float array -> unit
+(** Fold a chunk of consecutive raw values. The chunk is read, never
+    retained, so callers may reuse the buffer. *)
+
+val push_slice : t -> float array -> int -> int -> unit
+(** [push_slice t xs pos len]: fold [xs.(pos .. pos+len-1)]. *)
+
+val count : t -> int
+(** Raw values folded so far. *)
+
+val mean : t -> float
+(** Mean of all raw values ([nan] when empty). *)
+
+val depth : t -> int
+(** Dyadic levels with at least one completed block. *)
+
+val chunks : t -> int
+(** Number of [push]/[push_slice] calls so far. *)
+
+val resident_floats : t -> int
+(** Current float storage held by the pyramid: scratch buffers plus
+    per-level and per-subscriber state — O(levels + largest chunk), the
+    quantity the 10^8-event streaming path keeps constant. *)
+
+type level_stat = {
+  requested : int;  (** The level asked for. *)
+  served : int;  (** The level actually served (differs when resampled). *)
+  exact : bool;
+  blocks : int;  (** Completed blocks at [served]. *)
+  mean_sum : float;  (** Mean of block sums ([nan] if no blocks). *)
+  var_sum : float;  (** Population variance of block sums. *)
+}
+
+val stat : t -> int -> level_stat option
+(** [stat t m]: moment summary for aggregation level [m] — exact for
+    dyadic or registered levels, nearest-dyadic otherwise; [None] when
+    [m < 1] or no completed block is available. The variance of block
+    {e means} (what the variance-time plot wants) is
+    [var_sum /. (served^2)]. *)
+
+val registered : t -> int list
+(** The exact non-dyadic levels, ascending. *)

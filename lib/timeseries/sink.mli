@@ -1,0 +1,54 @@
+(** Chunked streaming consumers.
+
+    A sink receives a stream of float chunks ([push]) and produces a
+    final result ([finish]); generators expose [iter_chunks]-style
+    producers and never materialise the full series, so a 10^8-event
+    trace can be binned, pyramided, R/S-analysed and queued in
+    O(levels + chunk) memory.
+
+    Contract: [push] may be handed a buffer the producer reuses — sinks
+    must copy anything they keep. [finish] may be called exactly once;
+    pushes after [finish] are a programming error (not checked). *)
+
+type 'a t = {
+  push : float array -> unit;
+  finish : unit -> 'a;
+}
+
+val make : push:(float array -> unit) -> finish:(unit -> 'a) -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Post-compose on the result of [finish]. *)
+
+val tee : 'a t -> 'b t -> ('a * 'b) t
+(** Duplicate every chunk into both sinks. *)
+
+val fold : init:'acc -> f:('acc -> float array -> 'acc) -> 'acc t
+(** Plain chunk fold; [finish] returns the accumulated value. *)
+
+val to_array : unit -> float array t
+(** Collect every value into one array (O(n) memory — for tests and for
+    bridging to the legacy array APIs). *)
+
+val length : unit -> int t
+(** Count values, retaining nothing. *)
+
+val of_pyramid : Pyramid.t -> Pyramid.t t
+(** Feed chunks into the pyramid; [finish] hands the pyramid back. *)
+
+val counts :
+  ?t_start:float -> bin:float -> n_bins:int -> ?chunk:int -> 'a t -> 'a t
+(** Streaming twin of {!Counts.of_events}: consumes chunks of
+    {e non-decreasing event times} and pushes chunks of per-bin counts
+    (bins of width [bin] from [t_start], exactly [n_bins] of them — the
+    trailing bins are flushed as zeros by [finish]) into the inner sink.
+    Events outside [[t_start, t_start + n_bins * bin)] are ignored, and
+    the in-range bin index is clamped to [n_bins - 1] exactly as
+    [Counts.of_events] does. Raises [Invalid_argument] on a
+    non-monotone event time (it would need a bin already emitted), on
+    [bin <= 0], or on [n_bins < 0]. [chunk] (default 65536) is the
+    count-buffer size. *)
+
+val iter_array : ?chunk:int -> float array -> 'a t -> 'a
+(** Feed an existing array through a sink in chunks of [chunk] (default
+    65536) and finish it — the bridge from array producers to sinks. *)

@@ -1,20 +1,78 @@
 type point = { m : int; variance : float; normalised : float }
 type curve = point array
 
-let curve ?levels counts =
-  assert (Array.length counts > 0);
+(* Chunk size for folding an in-memory series through the pyramid: big
+   enough to amortise per-chunk overhead, small enough that the cascade's
+   scratch buffers stay in L2. *)
+let fold_chunk = 32768
+
+let points_of_pyramid ~require_exact levels pyr =
+  let mean = Pyramid.mean pyr in
+  if mean = 0. then
+    invalid_arg "Variance_time.curve: series mean is 0 (cannot normalise)";
+  let mean_sq = mean *. mean in
+  let n = List.length levels in
+  let out = Array.make (Int.max 1 n) { m = 0; variance = 0.; normalised = 0. } in
+  let filled = ref 0 in
+  List.iter
+    (fun m ->
+      if m >= 1 then
+        match Pyramid.stat pyr m with
+        | Some s when s.Pyramid.blocks >= 2 && (s.Pyramid.exact || not require_exact) ->
+          (* An unregistered level is resampled from the nearest dyadic
+             level, so plot it at the level actually served (deduped). *)
+          let m = s.Pyramid.served in
+          let seen = ref false in
+          for i = 0 to !filled - 1 do
+            if out.(i).m = m then seen := true
+          done;
+          if not !seen then begin
+            let mf = float_of_int m in
+            let v = s.Pyramid.var_sum /. (mf *. mf) in
+            out.(!filled) <- { m; variance = v; normalised = v /. mean_sq };
+            incr filled
+          end
+        | _ -> ())
+    levels;
+  Array.sub out 0 !filled
+
+let curve_of_pyramid ?levels pyr =
   let levels =
     match levels with
     | Some ls -> ls
-    | None -> Counts.default_levels (Array.length counts)
+    | None -> Counts.default_levels (Pyramid.count pyr)
+  in
+  points_of_pyramid ~require_exact:false levels pyr
+
+let curve ?levels counts =
+  let n = Array.length counts in
+  if n = 0 then invalid_arg "Variance_time.curve: empty series";
+  let levels =
+    match levels with Some ls -> ls | None -> Counts.default_levels n
+  in
+  let pyr = Pyramid.create ~levels () in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = Int.min fold_chunk (n - !pos) in
+    Pyramid.push_slice pyr counts !pos len;
+    pos := !pos + len
+  done;
+  points_of_pyramid ~require_exact:true levels pyr
+
+let curve_naive ?levels counts =
+  let n = Array.length counts in
+  if n = 0 then invalid_arg "Variance_time.curve: empty series";
+  let levels =
+    match levels with Some ls -> ls | None -> Counts.default_levels n
   in
   let mean = Stats.Descriptive.mean counts in
-  assert (mean <> 0.);
+  if mean = 0. then
+    invalid_arg "Variance_time.curve: series mean is 0 (cannot normalise)";
   let mean_sq = mean *. mean in
   let points =
     List.filter_map
       (fun m ->
-        if m < 1 || Array.length counts / m < 2 then None
+        if m < 1 || n / m < 2 then None
         else
           let agg = Counts.aggregate counts m in
           let v = Stats.Descriptive.variance agg in
@@ -24,13 +82,20 @@ let curve ?levels counts =
   Array.of_list points
 
 let slope ?(min_m = 1) ?(max_m = max_int) curve =
-  let points =
-    Array.to_list curve
-    |> List.filter_map (fun p ->
-           if p.m < min_m || p.m > max_m || p.normalised <= 0. then None
-           else Some (log10 (float_of_int p.m), log10 p.normalised))
-  in
-  Stats.Regression.ols (Array.of_list points)
+  let n = Array.length curve in
+  let keep p = p.m >= min_m && p.m <= max_m && p.normalised > 0. in
+  let count = ref 0 in
+  Array.iter (fun p -> if keep p then incr count) curve;
+  let points = Array.make (Int.max 1 !count) (0., 0.) in
+  let filled = ref 0 in
+  for i = 0 to n - 1 do
+    let p = curve.(i) in
+    if keep p then begin
+      points.(!filled) <- (log10 (float_of_int p.m), log10 p.normalised);
+      incr filled
+    end
+  done;
+  Stats.Regression.ols (Array.sub points 0 !filled)
 
 let hurst_of_slope s = 1. +. (s /. 2.)
 

@@ -4,7 +4,14 @@
     M-aggregated process) against log10 M. A Poisson-like process with
     summable autocorrelations gives slope -1; long-range dependent
     processes decay more slowly, with asymptotic slope 2H - 2 for Hurst
-    parameter H. *)
+    parameter H.
+
+    Since PR 5 the curve is computed by a single pass through the
+    streaming aggregation pyramid ({!Pyramid}): every requested level is
+    registered up front and accumulated exactly (same blocks, same
+    trailing-block policy as {!Counts.aggregate}), in O(n) total instead
+    of O(n * levels). {!curve_naive} keeps the aggregate-per-level
+    reference path for property tests and the before/after benchmark. *)
 
 type point = { m : int; variance : float; normalised : float }
 
@@ -14,8 +21,23 @@ val curve : ?levels:int list -> float array -> curve
 (** [curve counts] computes the variance of the aggregated series at each
     level (default {!Counts.default_levels}). [normalised] divides by the
     squared mean of the unaggregated process, the paper's normalisation
-    that makes traces with different packet totals comparable. Requires a
-    non-empty, non-constant series. *)
+    that makes traces with different packet totals comparable. Duplicate
+    levels are served once. Raises [Invalid_argument] on an empty series
+    or a zero-mean series (works under [-noassert], unlike the old
+    [assert] guards). *)
+
+val curve_naive : ?levels:int list -> float array -> curve
+(** The pre-pyramid reference implementation: one {!Counts.aggregate}
+    pass per level (O(n * levels) time, O(n) scratch). Agrees with
+    {!curve} to ~1 ulp of accumulated rounding; kept for property tests
+    and the [vt-curve-1e6-naive] benchmark. *)
+
+val curve_of_pyramid : ?levels:int list -> Pyramid.t -> curve
+(** Read a curve out of an already-fed pyramid (the streaming path;
+    default levels: {!Counts.default_levels} of the values seen so far).
+    Levels the pyramid does not track exactly are resampled from the
+    nearest dyadic level and reported at the level actually served,
+    deduplicated. *)
 
 val slope : ?min_m:int -> ?max_m:int -> curve -> Stats.Regression.fit
 (** OLS slope of log10 normalised variance vs log10 M, optionally

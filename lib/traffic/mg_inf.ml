@@ -1,44 +1,131 @@
-let count_process ~rate ~service ~dt ~n ?warmup rng =
+(* Min-heap of departure sample indices for customers still in the
+   system; size is the instantaneous count. O(active customers) memory,
+   i.e. ~ rate * mean service, independent of the trace length. *)
+module Heap = struct
+  type t = { mutable a : int array; mutable size : int }
+
+  let create () = { a = Array.make 256 0; size = 0 }
+
+  let push h v =
+    if h.size = Array.length h.a then begin
+      let bigger = Array.make (2 * h.size) 0 in
+      Array.blit h.a 0 bigger 0 h.size;
+      h.a <- bigger
+    end;
+    h.a.(h.size) <- v;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if h.a.(!i) < h.a.(p) then begin
+        let tmp = h.a.(!i) in
+        h.a.(!i) <- h.a.(p);
+        h.a.(p) <- tmp;
+        i := p
+      end
+      else continue := false
+    done
+
+  let min h = h.a.(0)
+
+  let pop h =
+    h.size <- h.size - 1;
+    h.a.(0) <- h.a.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.size && h.a.(l) < h.a.(!m) then m := l;
+      if r < h.size && h.a.(r) < h.a.(!m) then m := r;
+      if !m <> !i then begin
+        let tmp = h.a.(!i) in
+        h.a.(!i) <- h.a.(!m);
+        h.a.(!m) <- tmp;
+        i := !m
+      end
+      else continue := false
+    done
+end
+
+let iter_chunks ?(chunk = 65536) ~rate ~service ~dt ~n ?warmup rng f =
   assert (rate > 0. && dt > 0. && n > 0);
   let span = float_of_int n *. dt in
   let warmup = match warmup with Some w -> w | None -> span in
   let horizon = warmup +. span in
-  (* Difference array over sample points: +1 at the first sample at or
-     after arrival, -1 at the first sample at or after departure. The
-     count at sample k is then a prefix sum: customers with
-     arrival <= t_k < departure. *)
-  let diff = Array.make (n + 1) 0 in
   let index_of time =
     (* First sample index k with warmup + k dt >= time; negative times
        clamp to 0. *)
     let k = Float.ceil ((time -. warmup) /. dt) in
     int_of_float (Float.max 0. k)
   in
+  let departures = Heap.create () in
+  let active = ref 0 in
+  (* One arrival of lookahead: [pending] is the entry index of the next
+     arrival not yet counted in [active]; [exhausted] once the gap draw
+     crosses the horizon. Draw order (gap, then service iff the arrival
+     is in range) matches the materialized implementation exactly. *)
   let t = ref 0. in
-  let continue = ref true in
-  while !continue do
+  let pending = ref (-1) in
+  let exhausted = ref false in
+  let draw_next () =
     t := !t -. (log (Prng.Rng.float_pos rng) /. rate);
-    if !t >= horizon then continue := false
+    if !t >= horizon then exhausted := true
     else begin
       let s = service rng in
       assert (s > 0.);
       let dep = !t +. s in
-      if dep > warmup then begin
-        let i0 = Int.min n (index_of !t) in
-        let i1 = Int.min n (index_of dep) in
-        if i1 > i0 then begin
-          diff.(i0) <- diff.(i0) + 1;
-          diff.(i1) <- diff.(i1) - 1
-        end
+      let i0 = Int.min n (index_of !t) in
+      let i1 = Int.min n (index_of dep) in
+      if dep > warmup && i1 > i0 then begin
+        pending := i0;
+        Heap.push departures i1
+        (* The pending arrival's departure is already in the heap; it
+           cannot precede i0, so it is never popped before the arrival
+           is activated. *)
       end
+      else pending := -1 (* in-range arrival that spans no sample *)
+    end
+  in
+  let cap = Int.min (Int.max 1 chunk) n in
+  let buf = Array.make cap 0. in
+  let fill = ref 0 in
+  draw_next ();
+  for k = 0 to n - 1 do
+    (* Admit every arrival whose first covered sample is <= k. *)
+    while
+      (not !exhausted) && (!pending = -1 || !pending <= k)
+    do
+      if !pending >= 0 then incr active;
+      draw_next ()
+    done;
+    while departures.Heap.size > 0 && Heap.min departures <= k do
+      Heap.pop departures;
+      decr active
+    done;
+    buf.(!fill) <- float_of_int !active;
+    incr fill;
+    if !fill = cap then begin
+      f buf;
+      fill := 0
     end
   done;
+  if !fill > 0 then f (Array.sub buf 0 !fill);
+  (* Drain the remaining arrivals so the caller's RNG ends in the same
+     state as after the materialized run (which always generates to the
+     horizon). *)
+  while not !exhausted do
+    draw_next ()
+  done
+
+let count_process ~rate ~service ~dt ~n ?warmup rng =
   let out = Array.make n 0. in
-  let acc = ref 0 in
-  for k = 0 to n - 1 do
-    acc := !acc + diff.(k);
-    out.(k) <- float_of_int !acc
-  done;
+  let pos = ref 0 in
+  iter_chunks ~rate ~service ~dt ~n ?warmup rng (fun c ->
+      let len = Array.length c in
+      Array.blit c 0 out !pos len;
+      pos := !pos + len);
   out
 
 let hurst_pareto ~beta =

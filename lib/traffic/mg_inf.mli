@@ -8,6 +8,24 @@
     contrast behind the paper's "over what finite time scales does the
     difference matter?" question. *)
 
+val iter_chunks :
+  ?chunk:int ->
+  rate:float ->
+  service:(Prng.Rng.t -> float) ->
+  dt:float ->
+  n:int ->
+  ?warmup:float ->
+  Prng.Rng.t ->
+  (float array -> unit) ->
+  unit
+(** Streaming form of {!count_process}: samples are delivered in order
+    in chunks of at most [chunk] (default 65536). Memory is O(chunk)
+    plus a min-heap of in-system departures (~ rate x mean service),
+    independent of [n]. The callback's argument is a reused buffer —
+    copy anything kept beyond the call. Draws the RNG in exactly the
+    order {!count_process} does (including draining arrivals past the
+    last sample), so the caller's generator ends in the same state. *)
+
 val count_process :
   rate:float ->
   service:(Prng.Rng.t -> float) ->
@@ -19,7 +37,8 @@ val count_process :
 (** [count_process ~rate ~service ~dt ~n rng]: X sampled at times
     k dt for k = 0 .. n-1, after discarding a warmup period (default:
     long enough for the system to load, 10 mean service times capped at
-    the observation span). Memory is O(n). *)
+    the observation span). Memory is O(n). Thin wrapper over
+    {!iter_chunks} (same counts, same floats, same draws). *)
 
 val hurst_pareto : beta:float -> float
 (** The theoretical Hurst parameter (3 - beta) / 2 of the M/G/inf count

@@ -42,3 +42,94 @@ let count_process ~sources ~dt ~n rng =
   let horizon = float_of_int n *. dt in
   List.iter (fun s -> add_source counts ~dt ~horizon s rng) sources;
   counts
+
+(* Pausable per-source generator state for the streaming path: where the
+   source's clock stands, whether the next period is ON, and the cursor
+   of a partially emitted ON period. *)
+type src_state = {
+  src : source;
+  srng : Prng.Rng.t;
+  gap : float;
+  mutable t : float;
+  mutable on : bool;
+  mutable e : float;  (* next emission time; active while e < stop *)
+  mutable stop : float;
+}
+
+let iter_chunks ?(chunk = 65536) ~sources ~dt ~n rng f =
+  assert (dt > 0. && n > 0);
+  let horizon = float_of_int n *. dt in
+  (* Each source draws from its own split sub-stream so the superposition
+     can advance window by window; the aggregate is therefore a different
+     (equally valid) sample path than [count_process]'s shared-stream
+     draw order. Splitting happens in list order, so the stream is
+     deterministic in (seed, source list, n, dt) and independent of
+     [chunk]. *)
+  let states =
+    List.map
+      (fun src ->
+        let srng = Prng.Rng.split rng in
+        {
+          src;
+          srng;
+          gap = 1. /. src.on_rate;
+          t = 0.;
+          on = Prng.Rng.bool srng;
+          e = 0.;
+          stop = 0.;
+        })
+      sources
+  in
+  let cap = Int.min (Int.max 1 chunk) n in
+  let buf = Array.make cap 0. in
+  let base = ref 0 in
+  (* Advance one source until everything it emits lands at bin index
+     >= wend (or its clock passes the horizon). Window boundaries are
+     compared on bin indices, so the emitted multiset is identical for
+     any chunk size. *)
+  let advance st wend =
+    let continue = ref true in
+    while !continue do
+      (* Drain the current ON period's emissions into this window. *)
+      let emitting = ref (st.e < st.stop) in
+      while !emitting do
+        let i = int_of_float (st.e /. dt) in
+        if i >= wend then begin
+          emitting := false;
+          continue := false (* paused mid-period at the window edge *)
+        end
+        else begin
+          (* i >= base by construction (see the deferral note below). *)
+          if i < n then buf.(i - !base) <- buf.(i - !base) +. 1.;
+          st.e <- st.e +. st.gap;
+          if st.e >= st.stop then emitting := false
+        end
+      done;
+      if !continue then begin
+        (* Defer the next period once the source clock's bin reaches the
+           window end. Index-based like the emission pause above: float
+           division by [dt] is monotone, so everything a deferred period
+           emits lands at bin >= the bin of its start — never behind an
+           already-emitted window, whatever the chunking. *)
+        if st.t >= horizon || int_of_float (st.t /. dt) >= wend then
+          continue := false
+        else begin
+          if st.on then begin
+            let len = st.src.on_dist st.srng in
+            st.stop <- Float.min horizon (st.t +. len);
+            st.e <- st.t +. (st.gap /. 2.);
+            st.t <- st.t +. len
+          end
+          else st.t <- st.t +. st.src.off_dist st.srng;
+          st.on <- not st.on
+        end
+      end
+    done
+  in
+  while !base < n do
+    let wend = Int.min n (!base + cap) in
+    Array.fill buf 0 cap 0.;
+    List.iter (fun st -> advance st wend) states;
+    if wend - !base = cap then f buf else f (Array.sub buf 0 (wend - !base));
+    base := wend
+  done

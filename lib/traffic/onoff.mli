@@ -20,3 +20,21 @@ val count_process :
     [n] bins. Each source starts in a uniformly random phase type (ON or
     OFF with equal probability). Deterministic event spacing within ON
     periods. *)
+
+val iter_chunks :
+  ?chunk:int ->
+  sources:source list ->
+  dt:float ->
+  n:int ->
+  Prng.Rng.t ->
+  (float array -> unit) ->
+  unit
+(** Streaming superposition: the count series is delivered in order in
+    chunks of at most [chunk] bins (default 65536), advancing every
+    source window by window in O(chunk + sources) memory. Each source
+    draws from its own {!Prng.Rng.split} sub-stream (split in list
+    order), so the result is deterministic in (rng, sources, dt, n) and
+    independent of [chunk] — but it is a different sample path than
+    {!count_process}, whose sources share one sequential stream. The
+    callback's argument is a reused buffer — copy anything kept beyond
+    the call. *)

@@ -1,16 +1,35 @@
-let homogeneous ~rate ~duration rng =
+let iter_chunks ?(chunk = 65536) ~rate ~duration rng f =
   assert (rate >= 0. && duration > 0.);
-  if rate = 0. then [||]
-  else begin
-    let out = ref [] in
+  if rate > 0. then begin
+    (* The staging buffer caps at 4M floats however large [chunk] is:
+       callers only see chunk sizes, never fewer calls than events. *)
+    let chunk = Int.max 1 (Int.min chunk (1 lsl 22)) in
+    let buf = Array.make chunk 0. in
+    let fill = ref 0 in
     let t = ref 0. in
     let continue = ref true in
     while !continue do
       t := !t -. (log (Prng.Rng.float_pos rng) /. rate);
-      if !t < duration then out := !t :: !out else continue := false
+      if !t < duration then begin
+        buf.(!fill) <- !t;
+        incr fill;
+        if !fill = chunk then begin
+          f buf;
+          fill := 0
+        end
+      end
+      else continue := false
     done;
-    Array.of_list (List.rev !out)
+    if !fill > 0 then f (Array.sub buf 0 !fill)
   end
+
+let homogeneous ~rate ~duration rng =
+  (* Same draws in the same order as the pre-streaming implementation:
+     one exponential gap per event plus the final horizon-crossing draw. *)
+  let out = ref [] in
+  iter_chunks ~rate ~duration rng (fun c ->
+      out := Array.copy c :: !out);
+  Array.concat (List.rev !out)
 
 let nonhomogeneous ~rate ~rate_max ~duration rng =
   assert (rate_max > 0.);

@@ -2,9 +2,24 @@
     nonhomogeneous (thinning). Times are seconds from 0; rates are in
     events per second unless stated otherwise. *)
 
+val iter_chunks :
+  ?chunk:int ->
+  rate:float ->
+  duration:float ->
+  Prng.Rng.t ->
+  (float array -> unit) ->
+  unit
+(** Streaming form of {!homogeneous}: event times are delivered to the
+    callback in sorted chunks of at most [chunk] (default 65536) as they
+    are generated, so a 10^8-event trace needs O(chunk) memory. The
+    callback's argument is a reused buffer — copy anything kept beyond
+    the call (see {!Timeseries.Sink}). Draws the RNG in exactly the
+    order {!homogeneous} does. *)
+
 val homogeneous : rate:float -> duration:float -> Prng.Rng.t -> float array
 (** Exponential gaps with the given constant rate over [[0, duration)].
-    [rate = 0] yields an empty process. *)
+    [rate = 0] yields an empty process. Thin wrapper over {!iter_chunks}
+    (same draws, same floats). *)
 
 val nonhomogeneous :
   rate:(float -> float) ->

@@ -1,0 +1,564 @@
+(* PR 5: streaming one-pass LRD analysis — the aggregation pyramid,
+   chunked sinks, streaming producers, and the sharded stream driver. *)
+
+open Helpers
+
+let relative a b = Float.abs (a -. b) /. (Float.abs b +. 1e-300)
+
+(* ---------------- mergeable moments ---------------- *)
+
+let test_moments_welford () =
+  let r = rng () in
+  for _ = 1 to 50 do
+    let n = 1 + Prng.Rng.int r 500 in
+    let xs = Array.init n (fun _ -> Prng.Rng.float r -. 0.5) in
+    let m = Timeseries.Moments.create () in
+    Array.iter (fun x -> Timeseries.Moments.add m x) xs;
+    check_int "count" n (Timeseries.Moments.count m);
+    check_true "mean"
+      (relative (Timeseries.Moments.mean m) (Stats.Descriptive.mean xs)
+       < 1e-12);
+    if n >= 2 then
+      check_true "variance"
+        (Float.abs
+           (Timeseries.Moments.variance m -. Stats.Descriptive.variance xs)
+         < 1e-12)
+  done
+
+let test_moments_merge () =
+  let r = rng ~seed:7 () in
+  for _ = 1 to 50 do
+    let n = 2 + Prng.Rng.int r 400 in
+    let xs = Array.init n (fun _ -> (10. *. Prng.Rng.float r) -. 5.) in
+    let cut = 1 + Prng.Rng.int r (n - 1) in
+    let a = Timeseries.Moments.create () and b = Timeseries.Moments.create () in
+    Timeseries.Moments.add_slice a xs 0 cut;
+    Timeseries.Moments.add_slice b xs cut (n - cut);
+    Timeseries.Moments.merge_into a b;
+    check_int "merged count" n (Timeseries.Moments.count a);
+    check_true "merged mean"
+      (relative (Timeseries.Moments.mean a) (Stats.Descriptive.mean xs)
+       < 1e-12);
+    check_true "merged variance"
+      (relative
+         (Timeseries.Moments.variance a)
+         (Stats.Descriptive.variance xs)
+       < 1e-9)
+  done
+
+(* ---------------- pyramid vs naive variance-time ---------------- *)
+
+(* The tentpole property: for random series, random chunkings and random
+   level ladders (dyadic or not), the pyramid's exact levels agree with
+   the aggregate-per-level reference to 1e-9 relative. *)
+let test_pyramid_matches_naive () =
+  let r = rng ~seed:99 () in
+  for _trial = 1 to 220 do
+    let n = 2 + Prng.Rng.int r 2000 in
+    let xs = Array.init n (fun _ -> 5. +. Prng.Rng.float r) in
+    let levels =
+      List.init
+        (1 + Prng.Rng.int r 10)
+        (fun _ -> 1 + Prng.Rng.int r (Int.max 1 (n / 2)))
+      |> List.sort_uniq compare
+    in
+    let naive = Timeseries.Variance_time.curve_naive ~levels xs in
+    let chunk = 1 + Prng.Rng.int r (n + 4) in
+    let pyr = Timeseries.Pyramid.create ~levels () in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = Int.min chunk (n - !pos) in
+      Timeseries.Pyramid.push_slice pyr xs !pos len;
+      pos := !pos + len
+    done;
+    check_int "count" n (Timeseries.Pyramid.count pyr);
+    Array.iter
+      (fun (p : Timeseries.Variance_time.point) ->
+        match Timeseries.Pyramid.stat pyr p.m with
+        | None -> Alcotest.failf "level %d missing from pyramid" p.m
+        | Some s ->
+          check_true "exact" s.Timeseries.Pyramid.exact;
+          check_int "blocks" (Array.length xs / p.m)
+            s.Timeseries.Pyramid.blocks;
+          let v =
+            s.Timeseries.Pyramid.var_sum
+            /. (float_of_int p.m *. float_of_int p.m)
+          in
+          if relative v p.variance > 1e-9 then
+            Alcotest.failf "m=%d naive %.17g pyramid %.17g" p.m p.variance v)
+      naive
+  done
+
+let test_curve_equals_naive_default_levels () =
+  let r = rng ~seed:5 () in
+  for _ = 1 to 30 do
+    let n = 50 + Prng.Rng.int r 5000 in
+    let xs = Array.init n (fun _ -> 1. +. Prng.Rng.float r) in
+    let c = Timeseries.Variance_time.curve xs in
+    let naive = Timeseries.Variance_time.curve_naive xs in
+    check_int "points" (Array.length naive) (Array.length c);
+    Array.iteri
+      (fun i (p : Timeseries.Variance_time.point) ->
+        check_int "m" p.m c.(i).Timeseries.Variance_time.m;
+        check_true "normalised"
+          (relative c.(i).Timeseries.Variance_time.normalised p.normalised
+           < 1e-9))
+      naive
+  done
+
+(* Chunk boundary edge cases: chunk=1, chunk=n, n not a multiple. *)
+let test_pyramid_chunk_edges () =
+  let r = rng ~seed:3 () in
+  let n = 1037 in
+  let xs = Array.init n (fun _ -> 2. +. Prng.Rng.float r) in
+  let levels = [ 1; 2; 3; 7; 10; 32; 100 ] in
+  let run chunk =
+    let pyr = Timeseries.Pyramid.create ~levels () in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = Int.min chunk (n - !pos) in
+      Timeseries.Pyramid.push_slice pyr xs !pos len;
+      pos := !pos + len
+    done;
+    Timeseries.Variance_time.curve_of_pyramid ~levels pyr
+  in
+  let whole = run n in
+  List.iter
+    (fun chunk ->
+      let c = run chunk in
+      check_int (Printf.sprintf "points chunk=%d" chunk) (Array.length whole)
+        (Array.length c);
+      Array.iteri
+        (fun i (p : Timeseries.Variance_time.point) ->
+          check_true
+            (Printf.sprintf "chunk=%d m=%d" chunk p.m)
+            (relative p.normalised
+               whole.(i).Timeseries.Variance_time.normalised
+             < 1e-9))
+        c)
+    [ 1; 2; 64; 1000; 1036 ]
+
+(* Unregistered non-dyadic levels are resampled from the nearest dyadic
+   level and reported at the level actually served. *)
+let test_pyramid_resampled_levels () =
+  let r = rng ~seed:11 () in
+  let xs = Array.init 4096 (fun _ -> 1. +. Prng.Rng.float r) in
+  let pyr = Timeseries.Pyramid.create () in
+  Timeseries.Pyramid.push pyr xs;
+  (match Timeseries.Pyramid.stat pyr 100 with
+  | None -> Alcotest.fail "no stat for level 100"
+  | Some s ->
+    check_false "not exact" s.Timeseries.Pyramid.exact;
+    check_int "served nearest dyadic" 128 s.Timeseries.Pyramid.served);
+  match Timeseries.Pyramid.stat pyr 64 with
+  | None -> Alcotest.fail "no stat for level 64"
+  | Some s ->
+    check_true "dyadic exact" s.Timeseries.Pyramid.exact;
+    check_int "served" 64 s.Timeseries.Pyramid.served
+
+(* ---------------- sink combinators ---------------- *)
+
+let test_sink_combinators () =
+  let r = rng ~seed:21 () in
+  let xs = Array.init 1000 (fun _ -> Prng.Rng.float r) in
+  let round_trip =
+    Timeseries.Sink.iter_array ~chunk:37 xs (Timeseries.Sink.to_array ())
+  in
+  check_true "to_array round trip" (round_trip = xs);
+  check_int "length" 1000
+    (Timeseries.Sink.iter_array ~chunk:64 xs (Timeseries.Sink.length ()));
+  let total, n =
+    Timeseries.Sink.iter_array ~chunk:100 xs
+      (Timeseries.Sink.tee
+         (Timeseries.Sink.fold ~init:0. ~f:(fun acc c ->
+              Array.fold_left ( +. ) acc c))
+         (Timeseries.Sink.length ()))
+  in
+  check_int "tee length" 1000 n;
+  check_true "tee sum"
+    (relative total (Array.fold_left ( +. ) 0. xs) < 1e-12);
+  check_int "map" 2000
+    (Timeseries.Sink.iter_array xs
+       (Timeseries.Sink.map (fun n -> 2 * n) (Timeseries.Sink.length ())))
+
+(* Sink.counts must agree with Counts.of_events for any chunking of any
+   sorted event stream. *)
+let test_sink_counts_matches_of_events () =
+  let r = rng ~seed:31 () in
+  for _ = 1 to 60 do
+    let n_events = 1 + Prng.Rng.int r 3000 in
+    let span = 10. +. (90. *. Prng.Rng.float r) in
+    let events =
+      Array.init n_events (fun _ -> span *. Prng.Rng.float r)
+    in
+    Array.sort Float.compare events;
+    let bin = 0.05 +. Prng.Rng.float r in
+    let n_bins = int_of_float (Float.floor (span /. bin)) in
+    if n_bins > 0 then begin
+      let reference =
+        Timeseries.Counts.of_events ~bin ~t_end:span events
+      in
+      let chunk = 1 + Prng.Rng.int r (n_bins + 8) in
+      let got =
+        Timeseries.Sink.iter_array
+          ~chunk:(1 + Prng.Rng.int r (n_events + 8))
+          events
+          (Timeseries.Sink.counts ~bin ~n_bins ~chunk
+             (Timeseries.Sink.to_array ()))
+      in
+      check_int "bins" (Array.length reference) (Array.length got);
+      if got <> reference then Alcotest.fail "count series diverged"
+    end
+  done
+
+let test_sink_counts_rejects_unsorted () =
+  let sink =
+    Timeseries.Sink.counts ~bin:1. ~n_bins:10 (Timeseries.Sink.to_array ())
+  in
+  sink.Timeseries.Sink.push [| 1.; 2. |];
+  Alcotest.check_raises "regressing time"
+    (Invalid_argument
+       "Sink.counts: event times must be non-decreasing (1.5 after 2)")
+    (fun () -> sink.Timeseries.Sink.push [| 1.5 |])
+
+(* ---------------- streaming producers vs array wrappers ------------- *)
+
+(* Reference copy of the pre-streaming list-based Poisson generator. *)
+let reference_poisson ~rate ~duration rng =
+  if rate = 0. then [||]
+  else begin
+    let out = ref [] in
+    let t = ref 0. in
+    let continue = ref true in
+    while !continue do
+      t := !t -. (log (Prng.Rng.float_pos rng) /. rate);
+      if !t < duration then out := !t :: !out else continue := false
+    done;
+    Array.of_list (List.rev !out)
+  end
+
+let test_poisson_wrapper_identical () =
+  List.iter
+    (fun (rate, duration, seed) ->
+      let a =
+        Traffic.Poisson_proc.homogeneous ~rate ~duration
+          (Prng.Rng.create seed)
+      in
+      let r2 = Prng.Rng.create seed in
+      let b = reference_poisson ~rate ~duration r2 in
+      check_true "events identical" (a = b);
+      let r1 = Prng.Rng.create seed in
+      ignore (Traffic.Poisson_proc.homogeneous ~rate ~duration r1);
+      check_int "draw count" (Prng.Rng.draw_count r2) (Prng.Rng.draw_count r1))
+    [ (50., 100., 1); (1000., 10., 2); (0., 5., 3); (3., 0.01, 4) ]
+
+let test_poisson_chunking_invariant () =
+  let collect chunk =
+    let r = Prng.Rng.create 77 in
+    let out = ref [] in
+    Traffic.Poisson_proc.iter_chunks ~chunk ~rate:200. ~duration:50. r
+      (fun c -> out := Array.copy c :: !out);
+    Array.concat (List.rev !out)
+  in
+  let whole = collect max_int in
+  List.iter
+    (fun chunk -> check_true "chunked = whole" (collect chunk = whole))
+    [ 1; 7; 64; 10000 ]
+
+let test_pareto_wrapper_identical () =
+  List.iter
+    (fun (beta, bins, seed) ->
+      let r1 = Prng.Rng.create seed and r2 = Prng.Rng.create seed in
+      let a =
+        Lrd.Pareto_count.count_process ~beta ~a:1. ~bin:10. ~bins r1
+      in
+      (* chunked consumer with an adversarial chunk size *)
+      let out = ref [] in
+      Lrd.Pareto_count.iter_count_chunks ~chunk:17 ~beta ~a:1. ~bin:10. ~bins
+        r2 (fun c -> out := Array.copy c :: !out);
+      let b = Array.concat (List.rev !out) in
+      check_int "bins" bins (Array.length b);
+      check_true "counts identical" (a = b);
+      check_int "draw count" (Prng.Rng.draw_count r1) (Prng.Rng.draw_count r2))
+    [ (1., 500, 9); (1.5, 1000, 10); (0.5, 200, 11) ]
+
+(* Reference copy of the pre-streaming difference-array M/G/inf. *)
+let reference_mg_inf ~rate ~service ~dt ~n ?warmup rng =
+  let span = float_of_int n *. dt in
+  let warmup = match warmup with Some w -> w | None -> span in
+  let horizon = warmup +. span in
+  let diff = Array.make (n + 1) 0 in
+  let index_of time =
+    let k = Float.ceil ((time -. warmup) /. dt) in
+    int_of_float (Float.max 0. k)
+  in
+  let t = ref 0. in
+  let continue = ref true in
+  while !continue do
+    t := !t -. (log (Prng.Rng.float_pos rng) /. rate);
+    if !t >= horizon then continue := false
+    else begin
+      let s = service rng in
+      let dep = !t +. s in
+      if dep > warmup then begin
+        let i0 = Int.min n (index_of !t) in
+        let i1 = Int.min n (index_of dep) in
+        if i1 > i0 then begin
+          diff.(i0) <- diff.(i0) + 1;
+          diff.(i1) <- diff.(i1) - 1
+        end
+      end
+    end
+  done;
+  let out = Array.make n 0. in
+  let acc = ref 0 in
+  for k = 0 to n - 1 do
+    acc := !acc + diff.(k);
+    out.(k) <- float_of_int !acc
+  done;
+  out
+
+let test_mg_inf_wrapper_identical () =
+  List.iter
+    (fun (rate, beta, n, seed) ->
+      let service =
+        Dist.Pareto.sample (Dist.Pareto.create ~location:0.5 ~shape:beta)
+      in
+      let r1 = Prng.Rng.create seed and r2 = Prng.Rng.create seed in
+      let a = Traffic.Mg_inf.count_process ~rate ~service ~dt:1. ~n r1 in
+      let b = reference_mg_inf ~rate ~service ~dt:1. ~n r2 in
+      check_true "counts identical" (a = b);
+      check_int "rng end state" (Prng.Rng.draw_count r2)
+        (Prng.Rng.draw_count r1))
+    [ (5., 1.5, 400, 13); (0.5, 1.2, 1000, 14); (20., 1.9, 100, 15) ]
+
+let test_mg_inf_chunking_invariant () =
+  let collect chunk =
+    let service =
+      Dist.Pareto.sample (Dist.Pareto.create ~location:1. ~shape:1.4)
+    in
+    let r = Prng.Rng.create 55 in
+    let out = ref [] in
+    Traffic.Mg_inf.iter_chunks ~chunk ~rate:3. ~service ~dt:0.5 ~n:700 r
+      (fun c -> out := Array.copy c :: !out);
+    Array.concat (List.rev !out)
+  in
+  let whole = collect max_int in
+  List.iter
+    (fun chunk -> check_true "chunked = whole" (collect chunk = whole))
+    [ 1; 13; 700 ]
+
+let test_onoff_chunking_invariant () =
+  let sources =
+    List.init 5 (fun i ->
+        Traffic.Onoff.pareto_source ~beta:1.4
+          ~mean_period:(2. +. float_of_int i)
+          ~on_rate:20.)
+  in
+  let collect chunk =
+    let r = Prng.Rng.create 303 in
+    let out = ref [] in
+    Traffic.Onoff.iter_chunks ~chunk ~sources ~dt:0.25 ~n:2000 r (fun c ->
+        out := Array.copy c :: !out);
+    Array.concat (List.rev !out)
+  in
+  let whole = collect 2000 in
+  check_int "bins" 2000 (Array.length whole);
+  check_true "some events" (Array.exists (fun c -> c > 0.) whole);
+  List.iter
+    (fun chunk -> check_true "chunked = whole" (collect chunk = whole))
+    [ 1; 9; 512; 1999 ]
+
+(* ---------------- R/S sink ---------------- *)
+
+let test_rs_sink_matches_rescaled_range () =
+  let r = rng ~seed:41 () in
+  for _ = 1 to 10 do
+    let n = 300 + Prng.Rng.int r 3000 in
+    let xs = Array.init n (fun _ -> Prng.Rng.float r) in
+    let reference = Lrd.Hurst.rescaled_range xs in
+    let sink = Lrd.Hurst.rs_sink ~max_block:(n / 4) () in
+    let chunk = 1 + Prng.Rng.int r 200 in
+    let got = Timeseries.Sink.iter_array ~chunk xs sink in
+    (* same blocks, same order, same arithmetic: exactly equal *)
+    check_true "h" (got.Lrd.Hurst.h = reference.Lrd.Hurst.h);
+    check_true "r2" (got.Lrd.Hurst.r2 = reference.Lrd.Hurst.r2)
+  done
+
+let test_rs_sink_bounded_memory_estimate () =
+  (* On an i.i.d. series long enough that the bounded ladder still spans
+     three decades, the capped sink lands near H = 1/2 like the full
+     estimator. *)
+  let r = rng ~seed:43 () in
+  let xs = Array.init 60_000 (fun _ -> Prng.Rng.float r) in
+  let capped =
+    Timeseries.Sink.iter_array xs (Lrd.Hurst.rs_sink ~max_block:8192 ())
+  in
+  let full = Lrd.Hurst.rescaled_range xs in
+  check_true "both near 1/2"
+    (Float.abs (capped.Lrd.Hurst.h -. full.Lrd.Hurst.h) < 0.05)
+
+(* ---------------- FIFO sink ---------------- *)
+
+let test_fifo_sink_matches_simulate () =
+  let r = rng ~seed:51 () in
+  for _ = 1 to 8 do
+    let n = 200 + Prng.Rng.int r 2000 in
+    let t = ref 0. in
+    let arrivals =
+      Array.init n (fun _ ->
+          t := !t +. (0.9 *. Prng.Rng.float r);
+          !t)
+    in
+    let buffer = if Prng.Rng.bool r then Some 5 else None in
+    let service rng = 0.3 +. (0.5 *. Prng.Rng.float rng) in
+    let reference =
+      Queueing.Fifo.simulate ?buffer ~arrivals ~service (Prng.Rng.create 1)
+    in
+    let sink = Queueing.Fifo.sink ?buffer ~service (Prng.Rng.create 1) in
+    let got =
+      Timeseries.Sink.iter_array ~chunk:(1 + Prng.Rng.int r 100) arrivals sink
+    in
+    check_int "n" reference.Queueing.Fifo.n got.Queueing.Fifo.n;
+    check_int "dropped" reference.Queueing.Fifo.dropped
+      got.Queueing.Fifo.dropped;
+    check_true "mean wait"
+      (got.Queueing.Fifo.mean_wait = reference.Queueing.Fifo.mean_wait);
+    check_true "mean sojourn"
+      (got.Queueing.Fifo.mean_sojourn = reference.Queueing.Fifo.mean_sojourn);
+    check_true "max wait"
+      (got.Queueing.Fifo.max_wait = reference.Queueing.Fifo.max_wait);
+    check_true "utilization"
+      (got.Queueing.Fifo.utilization = reference.Queueing.Fifo.utilization);
+    (* histogram p99: within one log-bin (2.3%) of the exact quantile,
+       plus an absolute epsilon for near-zero waits *)
+    check_true "p99 approx"
+      (Float.abs (got.Queueing.Fifo.p99_wait -. reference.Queueing.Fifo.p99_wait)
+       <= (0.03 *. reference.Queueing.Fifo.p99_wait) +. 1e-6)
+  done
+
+(* ---------------- invalid-argument guards ---------------- *)
+
+let test_invalid_argument_guards () =
+  let raises name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument msg ->
+      check_true (name ^ " names value") (String.length msg > 0)
+  in
+  raises "of_events bin" (fun () ->
+      Timeseries.Counts.of_events ~bin:0. ~t_end:10. [| 1. |]);
+  raises "of_events range" (fun () ->
+      Timeseries.Counts.of_events ~bin:1. ~t_end:0. [| 1. |]);
+  raises "aggregate m" (fun () -> Timeseries.Counts.aggregate [| 1.; 2. |] 0);
+  raises "curve empty" (fun () -> Timeseries.Variance_time.curve [||]);
+  raises "curve zero mean" (fun () ->
+      Timeseries.Variance_time.curve (Array.make 100 0.));
+  raises "curve_naive zero mean" (fun () ->
+      Timeseries.Variance_time.curve_naive (Array.make 100 0.));
+  raises "rescaled_range short" (fun () ->
+      Lrd.Hurst.rescaled_range (Array.make 31 1.));
+  raises "rs_sink max_block" (fun () -> Lrd.Hurst.rs_sink ~max_block:0 ());
+  raises "fifo sink empty" (fun () ->
+      let sink =
+        Queueing.Fifo.sink ~service:(fun _ -> 1.) (Prng.Rng.create 0)
+      in
+      sink.Timeseries.Sink.finish ())
+
+(* ---------------- the stream driver ---------------- *)
+
+let run_stream spec =
+  let r = Core.Streaming.run spec in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Core.Streaming.pp fmt spec r;
+  Format.pp_print_flush fmt ();
+  (r, Buffer.contents buf)
+
+let test_stream_jobs_deterministic () =
+  let spec =
+    { Core.Streaming.default with events = 2e5; rate = 500.; seed = 4242 }
+  in
+  let saved = Engine.Par.extra_domains () in
+  Engine.Par.set_extra_domains 0;
+  let _, seq = run_stream spec in
+  Engine.Par.set_extra_domains 3;
+  let _, par = run_stream spec in
+  Engine.Par.set_extra_domains saved;
+  check_true "byte-identical at any jobs" (String.equal seq par)
+
+let test_stream_matches_materialized () =
+  let spec =
+    { Core.Streaming.default with events = 1e6; rate = 1000.; seed = 7 }
+  in
+  let streamed, _ = run_stream spec in
+  let materialized, _ =
+    run_stream { spec with Core.Streaming.materialized = true }
+  in
+  check_int "bins" materialized.Core.Streaming.bins
+    streamed.Core.Streaming.bins;
+  check_true "total"
+    (streamed.Core.Streaming.total = materialized.Core.Streaming.total);
+  (* same sample path + exact registered levels: equal, well inside the
+     +/- 0.03 acceptance band *)
+  check_true "H(vt) within 0.03"
+    (Float.abs
+       (streamed.Core.Streaming.h_vt.Lrd.Hurst.h
+       -. materialized.Core.Streaming.h_vt.Lrd.Hurst.h)
+     < 0.03);
+  check_true "H(rs) within 0.03"
+    (Float.abs
+       (streamed.Core.Streaming.h_rs.Lrd.Hurst.h
+       -. materialized.Core.Streaming.h_rs.Lrd.Hurst.h)
+     < 0.03);
+  check_true "pyramid chunked"
+    (streamed.Core.Streaming.chunks > 0
+    && streamed.Core.Streaming.resident < streamed.Core.Streaming.bins * 4)
+
+let test_stream_chunk_memory () =
+  (* Resident floats stay O(chunk + levels), far below the bin count. *)
+  let spec =
+    {
+      Core.Streaming.default with
+      events = 2e6;
+      rate = 2.;
+      bin = 0.1;
+      chunk = 4096;
+      seed = 12;
+    }
+  in
+  let r, _ = run_stream spec in
+  check_true "many bins" (r.Core.Streaming.bins >= 1_000_000);
+  check_true "small resident"
+    (r.Core.Streaming.resident < 12 * spec.Core.Streaming.chunk)
+
+let suite =
+  ( "stream",
+    [
+      tc "moments welford vs two-pass" test_moments_welford;
+      tc "moments merge" test_moments_merge;
+      tc "pyramid matches naive VT (220 random cases)"
+        test_pyramid_matches_naive;
+      tc "curve equals naive on default levels"
+        test_curve_equals_naive_default_levels;
+      tc "pyramid chunk edge cases" test_pyramid_chunk_edges;
+      tc "pyramid resampled levels" test_pyramid_resampled_levels;
+      tc "sink combinators" test_sink_combinators;
+      tc "sink counts = Counts.of_events" test_sink_counts_matches_of_events;
+      tc "sink counts rejects unsorted" test_sink_counts_rejects_unsorted;
+      tc "poisson wrapper identical" test_poisson_wrapper_identical;
+      tc "poisson chunking invariant" test_poisson_chunking_invariant;
+      tc "pareto wrapper identical" test_pareto_wrapper_identical;
+      tc "mg_inf wrapper identical" test_mg_inf_wrapper_identical;
+      tc "mg_inf chunking invariant" test_mg_inf_chunking_invariant;
+      tc "onoff chunking invariant" test_onoff_chunking_invariant;
+      tc "rs sink = rescaled_range" test_rs_sink_matches_rescaled_range;
+      tc "rs sink bounded-memory estimate"
+        test_rs_sink_bounded_memory_estimate;
+      tc "fifo sink = simulate" test_fifo_sink_matches_simulate;
+      tc "invalid-argument guards" test_invalid_argument_guards;
+      tc "stream driver byte-identical across jobs"
+        test_stream_jobs_deterministic;
+      tc "stream = materialized (1e6 events)" test_stream_matches_materialized;
+      tc "stream resident memory O(chunk)" test_stream_chunk_memory;
+    ] )
