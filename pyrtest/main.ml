@@ -1,0 +1,27 @@
+let () =
+  (* m = 33: src=0, group=33, shift = log2_floor 33 - 3 = 2, G = 4.
+     Feed exactly 132 = 4*33 values. Expected blocks = 4. *)
+  let m = 33 in
+  let n = 132 in
+  let xs = Array.init n (fun i -> float_of_int (i mod 7)) in
+  let pyr = Timeseries.Pyramid.create ~levels:[ m ] () in
+  Timeseries.Pyramid.push pyr xs;
+  (match Timeseries.Pyramid.stat pyr m with
+  | Some s ->
+    Printf.printf "pyramid m=%d blocks=%d mean=%g var=%g\n" m
+      s.Timeseries.Pyramid.blocks s.Timeseries.Pyramid.mean_sum
+      s.Timeseries.Pyramid.var_sum
+  | None -> print_endline "pyramid: no stat");
+  let agg = Timeseries.Counts.aggregate_sum xs m in
+  Printf.printf "naive  m=%d blocks=%d\n" m (Array.length agg);
+  (* also compare via chunked push *)
+  let pyr2 = Timeseries.Pyramid.create ~levels:[ m ] () in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min 7 (n - !pos) in
+    Timeseries.Pyramid.push_slice pyr2 xs !pos len;
+    pos := !pos + len
+  done;
+  (match Timeseries.Pyramid.stat pyr2 m with
+  | Some s -> Printf.printf "chunked m=%d blocks=%d\n" m s.Timeseries.Pyramid.blocks
+  | None -> print_endline "chunked: no stat")

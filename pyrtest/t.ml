@@ -1,0 +1,40 @@
+let () =
+  let rng = Prng.Rng.create 42 in
+  let worst = ref 0. in
+  for trial = 1 to 100 do
+    let n = 1 + Prng.Rng.int rng 3000 in
+    let xs = Array.init n (fun _ -> 10.0 +. Prng.Rng.float rng) in
+    let levels = List.init 12 (fun _ -> 1 + Prng.Rng.int rng (Int.max 1 (n/2))) |> List.sort_uniq compare in
+    let naive = Timeseries.Variance_time.curve_naive ~levels xs in
+    let chunked ch =
+      let pyr = Timeseries.Pyramid.create ~levels () in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min ch (n - !pos) in
+        Timeseries.Pyramid.push_slice pyr xs !pos len;
+        pos := !pos + len
+      done;
+      Timeseries.Variance_time.curve_of_pyramid ~levels pyr
+    in
+    List.iter (fun ch ->
+      let c = chunked ch in
+      (* compare only exact (registered) levels; curve_of_pyramid may resample *)
+      Array.iter (fun (p : Timeseries.Variance_time.point) ->
+        match Array.find_opt (fun (q : Timeseries.Variance_time.point) -> q.m = p.m) c with
+        | None -> Printf.printf "trial %d ch %d: missing m=%d\n" trial ch p.m
+        | Some q ->
+          let rel = abs_float (q.variance -. p.variance) /. (abs_float p.variance +. 1e-300) in
+          if rel > !worst then worst := rel;
+          if rel > 1e-9 then Printf.printf "trial %d ch %d m=%d: naive %.17g pyr %.17g rel %g\n" trial ch p.m p.variance q.variance rel) naive)
+      [1; 7; n; 64];
+    (* full curve via Variance_time.curve must match naive point-for-point *)
+    let cv = Timeseries.Variance_time.curve xs in
+    let nv = Timeseries.Variance_time.curve_naive xs in
+    if Array.length cv <> Array.length nv then Printf.printf "trial %d: default levels length %d vs %d\n" trial (Array.length cv) (Array.length nv)
+    else Array.iteri (fun i (p : Timeseries.Variance_time.point) ->
+      let q = cv.(i) in
+      if q.m <> p.m then Printf.printf "trial %d: m mismatch %d vs %d\n" trial q.m p.m;
+      let rel = abs_float (q.normalised -. p.normalised) /. (abs_float p.normalised +. 1e-300) in
+      if rel > 1e-9 then Printf.printf "trial %d m=%d normalised rel %g\n" trial p.m rel) nv
+  done;
+  Printf.printf "worst relative diff: %g\nOK\n" !worst
