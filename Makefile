@@ -3,12 +3,14 @@
 # battery, a 2-domain smoke run of the engine-backed harness, the
 # statistically-gated perf-diff smoke, and the streaming-pipeline
 # smoke (sharding determinism + streamed-vs-materialized agreement +
-# the pyramid-vs-naive variance-time speedup under the perf gate).
+# the pyramid-vs-naive variance-time speedup under the perf gate), and
+# the live-analysis serve smoke (deterministic rolling estimates +
+# exactly one drift event on an injected regime change).
 .PHONY: check build test test-gof test-telemetry smoke bench bench-smoke \
-  perf-smoke stream-smoke
+  perf-smoke stream-smoke serve-smoke
 
 check: build test test-gof test-telemetry smoke bench-smoke perf-smoke \
-  stream-smoke
+  stream-smoke serve-smoke
 
 build:
 	dune build
@@ -100,6 +102,30 @@ stream-smoke:
 	  _build/perf_vt.jsonl _build/perf_vt_naive.jsonl
 	@echo "stream-smoke: jobs-determinism, materialized agreement, and"
 	@echo "stream-smoke: pyramid-vs-naive vt speedup all hold under the gate"
+
+# The live-analysis service end to end. A short Poisson -> rate-matched
+# Pareto ON/OFF splice with a fixed seed must produce byte-identical
+# output across runs and flag the injected correlation shift exactly
+# once (the H monitor; the rate and tail monitors are parked at an
+# unreachable threshold so the count is sharp). A stationary Poisson
+# stream through the same monitor must stay quiet.
+SERVE_SMOKE_FLAGS = --events 2e5 --rate 100 --window 256 --cadence 64 \
+  --seed 42 --h-threshold 0.4 --rate-threshold 1e9 --alpha-threshold 1e9
+
+serve-smoke:
+	dune exec bin/wanpoisson.exe -- serve $(SERVE_SMOKE_FLAGS) \
+	  2>/dev/null > _build/serve_smoke_a.txt
+	dune exec bin/wanpoisson.exe -- serve $(SERVE_SMOKE_FLAGS) \
+	  2>/dev/null > _build/serve_smoke_b.txt
+	diff _build/serve_smoke_a.txt _build/serve_smoke_b.txt
+	test "$$(grep -c '"type":"drift"' _build/serve_smoke_a.txt)" = 1
+	grep -q '"type":"drift","metric":"h","side":"up"' \
+	  _build/serve_smoke_a.txt
+	dune exec bin/wanpoisson.exe -- serve --source poisson \
+	  $(SERVE_SMOKE_FLAGS) 2>/dev/null > _build/serve_smoke_stat.txt
+	! grep -q '"type":"drift"' _build/serve_smoke_stat.txt
+	@echo "serve-smoke: deterministic output, one drift on the splice,"
+	@echo "serve-smoke: quiet on the stationary stream"
 
 # Full registry, timing each experiment (default --jobs: one per core).
 bench:

@@ -456,6 +456,26 @@ let hurst_cmd =
 
 (* ---------------- stream ---------------- *)
 
+let peak_rss_kb () =
+  (* VmHWM from /proc/self/status (Linux); absent elsewhere. *)
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec scan () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+          close_in ic;
+          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
+            (fun kb -> Some kb)
+        end
+        else scan ()
+      | exception End_of_file ->
+        close_in ic;
+        None
+    in
+    scan ()
+  with Sys_error _ -> None
+
 let stream_cmd =
   let model_arg =
     Arg.(value & opt string "poisson" & info [ "model" ] ~docv:"MODEL"
@@ -496,26 +516,6 @@ let stream_cmd =
            ~doc:"Analyse through the array entry points (O(bins) memory) \
                  instead of the streaming sinks; the smoke test's baseline")
   in
-  let peak_rss_kb () =
-    (* VmHWM from /proc/self/status (Linux); absent elsewhere. *)
-    try
-      let ic = open_in "/proc/self/status" in
-      let rec scan () =
-        match input_line ic with
-        | line ->
-          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
-            close_in ic;
-            Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
-              (fun kb -> Some kb)
-          end
-          else scan ()
-        | exception End_of_file ->
-          close_in ic;
-          None
-      in
-      scan ()
-    with Sys_error _ -> None
-  in
   let run model events rate bin beta chunk seed jobs materialized =
     if jobs < 1 then `Error (false, "--jobs must be at least 1")
     else if events < 1. then `Error (false, "--events must be at least 1")
@@ -549,6 +549,146 @@ let stream_cmd =
     Term.(ret
             (const run $ model_arg $ events_arg $ rate_arg $ bin_arg
              $ beta_arg $ chunk_arg $ seed_arg $ jobs_arg $ materialized_arg))
+
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let source_arg =
+    Arg.(value & opt string "splice" & info [ "source" ] ~docv:"SRC"
+           ~doc:"Event source: splice (Poisson then rate-matched Pareto \
+                 ON/OFF), poisson, onoff, or stdin (newline-separated \
+                 non-decreasing event times)")
+  in
+  let events_arg =
+    Arg.(value & opt float 1e6 & info [ "events" ] ~docv:"N"
+           ~doc:"Expected events for generated sources (default 1e6)")
+  in
+  let rate_arg =
+    Arg.(value & opt float 100. & info [ "rate" ] ~docv:"R"
+           ~doc:"Marginal arrival rate in events/s (default 100)")
+  in
+  let bin_arg =
+    Arg.(value & opt float 1.0 & info [ "bin" ] ~docv:"SECONDS"
+           ~doc:"Count-process bin width (default 1 s)")
+  in
+  let beta_arg =
+    Arg.(value & opt float 1.2 & info [ "beta" ] ~docv:"B"
+           ~doc:"Pareto shape for the ON/OFF source (default 1.2)")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 65536 & info [ "chunk" ] ~docv:"N"
+           ~doc:"Count-buffer size in bins (default 65536)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Root RNG seed (default 42); output is byte-identical \
+                 for a fixed seed")
+  in
+  let window_arg =
+    Arg.(value & opt int 256 & info [ "window" ] ~docv:"BINS"
+           ~doc:"Rolling window size in bins, rounded up to a power of \
+                 two (default 256)")
+  in
+  let cadence_arg =
+    Arg.(value & opt int 64 & info [ "cadence" ] ~docv:"BINS"
+           ~doc:"Bins between rolling estimates (default 64)")
+  in
+  let tumbling_arg =
+    Arg.(value & flag & info [ "tumbling" ]
+           ~doc:"Tumbling windows (one estimate per completed window) \
+                 instead of sliding")
+  in
+  let emit_arg =
+    Arg.(value & opt string "jsonl" & info [ "emit" ] ~docv:"FMT"
+           ~doc:"Output format: jsonl (default) or text")
+  in
+  let log_arg =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"Also write the structured event log (drift warnings \
+                 included) as JSONL to $(docv)")
+  in
+  let h_drift_arg =
+    Arg.(value & opt float Core.Serve.default.Core.Serve.h_drift
+         & info [ "h-drift" ] ~docv:"D"
+             ~doc:"CUSUM slack for the Hurst monitor (default 0.05)")
+  in
+  let h_threshold_arg =
+    Arg.(value & opt float Core.Serve.default.Core.Serve.h_threshold
+         & info [ "h-threshold" ] ~docv:"H"
+             ~doc:"CUSUM decision interval for the Hurst monitor \
+                   (default 0.25)")
+  in
+  let rate_threshold_arg =
+    Arg.(value & opt float Core.Serve.default.Core.Serve.rate_threshold
+         & info [ "rate-threshold" ] ~docv:"H"
+             ~doc:"CUSUM decision interval for the rate monitor, on a \
+                   log2 scale (default 0.75)")
+  in
+  let alpha_threshold_arg =
+    Arg.(value & opt float Core.Serve.default.Core.Serve.alpha_threshold
+         & info [ "alpha-threshold" ] ~docv:"H"
+             ~doc:"CUSUM decision interval for the tail-index monitor \
+                   (default 2.5)")
+  in
+  let run source events rate bin beta chunk seed window cadence tumbling emit
+      log_file h_drift h_threshold rate_threshold alpha_threshold =
+    if events < 1. then `Error (false, "--events must be at least 1")
+    else if rate <= 0. || bin <= 0. || chunk < 1 then
+      `Error (false, "--rate, --bin and --chunk must be positive")
+    else if emit <> "jsonl" && emit <> "text" then
+      `Error (false, "--emit must be jsonl or text")
+    else if h_drift < 0. || h_threshold <= 0. || rate_threshold <= 0.
+            || alpha_threshold <= 0. then
+      `Error (false, "monitor drift must be >= 0 and thresholds > 0")
+    else begin
+      Engine.Log.set_enabled true;
+      Engine.Log.reset ();
+      let log_open =
+        match log_file with
+        | None -> Ok ()
+        | Some path -> Engine.Log.open_file path
+      in
+      match log_open with
+      | Error e -> `Error (false, e)
+      | Ok () ->
+        let spec =
+          { Core.Serve.default with
+            source; events; rate; bin; beta; chunk; seed; window; cadence;
+            sliding = not tumbling; emit; h_drift; h_threshold;
+            rate_threshold; alpha_threshold }
+        in
+        let t0 = Unix.gettimeofday () in
+        (match Core.Serve.run spec with
+        | exception Invalid_argument e ->
+          Engine.Log.close_file ();
+          `Error (false, e)
+        | summary ->
+          Format.pp_print_flush Format.std_formatter ();
+          List.iter
+            (fun ev -> Format.eprintf "%a@." Engine.Log.pp_event ev)
+            (Engine.Log.warnings ());
+          Engine.Log.close_file ();
+          Engine.Log.set_enabled false;
+          ignore summary;
+          let wall = Unix.gettimeofday () -. t0 in
+          (match peak_rss_kb () with
+           | Some kb -> Printf.eprintf "wall %.2f s, peak RSS %d kB\n" wall kb
+           | None -> Printf.eprintf "wall %.2f s\n" wall);
+          `Ok ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Live rolling LRD analysis: fold an event stream through \
+          windowed pyramids, republish Hurst / tail-index / rate \
+          estimates at a fixed cadence, and raise structured drift \
+          events when a CUSUM monitor detects a regime change")
+    Term.(ret
+            (const run $ source_arg $ events_arg $ rate_arg $ bin_arg
+             $ beta_arg $ chunk_arg $ seed_arg $ window_arg $ cadence_arg
+             $ tumbling_arg $ emit_arg $ log_arg $ h_drift_arg
+             $ h_threshold_arg $ rate_threshold_arg $ alpha_threshold_arg))
 
 (* ---------------- perf-diff ---------------- *)
 
@@ -646,5 +786,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; gen_cmd; genpkt_cmd; check_cmd; hurst_cmd;
-            analyze_cmd; render_cmd; summary_cmd; stream_cmd; perf_diff_cmd;
-            verify_manifest_cmd ]))
+            analyze_cmd; render_cmd; summary_cmd; stream_cmd; serve_cmd;
+            perf_diff_cmd; verify_manifest_cmd ]))

@@ -109,14 +109,14 @@ let run_poisson spec =
     Timeseries.Sink.counts ~bin:spec.bin ~n_bins ~chunk:spec.chunk analysis
   in
   poisson_waves ~seed:spec.seed ~rate:spec.rate ~bin:spec.bin ~chunk:spec.chunk
-    ~n_bins sink.Timeseries.Sink.push;
-  (n_bins, levels, sink.Timeseries.Sink.finish ())
+    ~n_bins (Timeseries.Sink.push sink);
+  (n_bins, levels, Timeseries.Sink.finish sink)
 
 let run_counts spec iter =
   let n_bins = Int.max 1 (int_of_float (Float.round spec.events)) in
   let levels, sink = analysis_sinks n_bins in
-  iter ~n_bins sink.Timeseries.Sink.push;
-  (n_bins, levels, sink.Timeseries.Sink.finish ())
+  iter ~n_bins (Timeseries.Sink.push sink);
+  (n_bins, levels, Timeseries.Sink.finish sink)
 
 let pareto_location ~beta = if beta > 1. then (beta -. 1.) /. beta else 1.
 
@@ -231,3 +231,233 @@ let pp fmt spec r =
   if not spec.materialized then
     Format.fprintf fmt "  pyramid       chunks=%d levels=%d resident-floats=%d@."
       r.chunks r.levels r.resident
+
+(* ------------------------- windowed estimation ---------------------- *)
+
+module Window = struct
+  type kind = Tumbling | Sliding
+
+  type estimate = {
+    seq : int;
+    upto : int;
+    covered : int;
+    h : Lrd.Hurst.estimate;
+    rate : float;
+    alpha : float;
+  }
+
+  (* One tumbling pane: a dyadic-ladder pyramid (no registered levels, so
+     every snapshot merge is alignment-legal and every variance-time
+     level exact) plus the pane's top-[k] bin counts for the Hill tail
+     read-out. *)
+  type pane = {
+    pyr : Timeseries.Pyramid.t;
+    top : float array;
+    mutable tn : int;  (* filled slots in [top] *)
+    mutable tmin : int;  (* index of the smallest filled slot *)
+  }
+
+  type t = {
+    kind : kind;
+    window : int;  (* pane size in bins; a power of two *)
+    cadence : int;  (* sliding emit period; divides [window] *)
+    bin : float;
+    emit : estimate -> unit;
+    mutable cur : pane;
+    mutable prev : Timeseries.Pyramid.snapshot option;
+    mutable prev_top : float array;  (* completed pane's top-k, sorted desc *)
+    mutable fill : int;  (* bins in [cur] *)
+    mutable since : int;  (* bins since the last sliding emit *)
+    mutable total : int;  (* bins consumed overall *)
+    mutable seq : int;  (* estimates emitted *)
+  }
+
+  let ceil_pow2 n =
+    let p = ref 1 in
+    while !p < n do
+      p := !p lsl 1
+    done;
+    !p
+
+  let fresh_pane k =
+    {
+      pyr = Timeseries.Pyramid.create ();
+      top = Array.make k neg_infinity;
+      tn = 0;
+      tmin = 0;
+    }
+
+  let create ~kind ~window ?cadence ?(top_k = 64) ~bin ~emit () =
+    if window < 16 then
+      invalid_arg
+        (Printf.sprintf "Streaming.Window.create: window = %d (want >= 16)"
+           window);
+    if bin <= 0. then
+      invalid_arg
+        (Printf.sprintf "Streaming.Window.create: bin = %g (want > 0)" bin);
+    if top_k < 2 then
+      invalid_arg
+        (Printf.sprintf "Streaming.Window.create: top_k = %d (want >= 2)" top_k);
+    (* Power-of-two panes make the pane merge unconditionally exact
+       (count of the full pane has maximal 2-adic valuation); a
+       power-of-two cadence then divides the pane, so emits and pane
+       rotations never straddle. *)
+    let window = ceil_pow2 window in
+    let cadence =
+      match cadence with
+      | None -> Int.max 1 (window / 4)
+      | Some c ->
+        if c < 1 then
+          invalid_arg
+            (Printf.sprintf "Streaming.Window.create: cadence = %d (want >= 1)"
+               c);
+        Int.min window (ceil_pow2 c)
+    in
+    {
+      kind;
+      window;
+      cadence;
+      bin;
+      emit;
+      cur = fresh_pane top_k;
+      prev = None;
+      prev_top = [||];
+      fill = 0;
+      since = 0;
+      total = 0;
+      seq = 0;
+    }
+
+  let window t = t.window
+  let cadence t = t.cadence
+  let bins t = t.total
+
+  let pane_offer p v =
+    if p.tn < Array.length p.top then begin
+      p.top.(p.tn) <- v;
+      if v < p.top.(p.tmin) then p.tmin <- p.tn;
+      p.tn <- p.tn + 1
+    end
+    else if v > p.top.(p.tmin) then begin
+      p.top.(p.tmin) <- v;
+      (* O(k) rescan only on replacement of the minimum. *)
+      for i = 0 to p.tn - 1 do
+        if p.top.(i) < p.top.(p.tmin) then p.tmin <- i
+      done
+    end
+
+  let sorted_desc_top p =
+    let a = Array.sub p.top 0 p.tn in
+    Array.sort (fun x y -> Float.compare y x) a;
+    a
+
+  (* Hill tail index over the window's largest bin counts: uses the top
+     [k] order statistics with the (k+1)-th as threshold, needing at
+     least 8 positive exceedances of a positive threshold to bother. *)
+  let hill_of_tops tops =
+    let k = Array.length tops - 1 in
+    if k < 8 || tops.(k) <= 0. then nan else Stats.Fit.hill tops ~k
+
+  let merge_desc a b keep =
+    let out = Array.make (Int.min keep (Array.length a + Array.length b)) 0. in
+    let i = ref 0 and j = ref 0 in
+    for o = 0 to Array.length out - 1 do
+      if
+        !j >= Array.length b
+        || (!i < Array.length a && a.(!i) >= b.(!j))
+      then begin
+        out.(o) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(o) <- b.(!j);
+        incr j
+      end
+    done;
+    out
+
+  (* Dyadic variance-time ladder for a window of [covered] bins: every
+     level is exact in the pane pyramids, and capping at [covered / 8]
+     keeps >= 8 blocks under the shallowest fitted point. *)
+  let vt_levels covered =
+    let rec go m acc = if m > covered / 8 then List.rev acc else go (2 * m) (m :: acc) in
+    go 1 []
+
+  let estimate_of t pyr tops covered =
+    let levels = vt_levels covered in
+    let h =
+      if List.length levels < 3 then { Lrd.Hurst.h = nan; slope = nan; r2 = nan }
+      else Lrd.Hurst.variance_time_of_pyramid ~levels pyr
+    in
+    t.seq <- t.seq + 1;
+    {
+      seq = t.seq;
+      upto = t.total;
+      covered;
+      h;
+      rate = Timeseries.Pyramid.mean pyr /. t.bin;
+      alpha = hill_of_tops tops;
+    }
+
+  let emit_sliding t =
+    let k = Array.length t.cur.top in
+    let cur_top = sorted_desc_top t.cur in
+    match t.prev with
+    | None ->
+      if t.fill >= 16 then
+        t.emit (estimate_of t t.cur.pyr cur_top t.fill)
+    | Some prev ->
+      (* Full previous pane + current partial pane: the rolling window
+         covers the last [window + fill] bins. The merge replays
+         concatenation exactly (see {!Timeseries.Pyramid.merge_into}). *)
+      let p = Timeseries.Pyramid.of_snapshot prev in
+      Timeseries.Pyramid.merge_into p (Timeseries.Pyramid.snapshot t.cur.pyr);
+      let tops = merge_desc t.prev_top cur_top k in
+      t.emit (estimate_of t p tops (t.window + t.fill))
+
+  let rotate t =
+    (match t.kind with
+    | Tumbling -> t.emit (estimate_of t t.cur.pyr (sorted_desc_top t.cur) t.window)
+    | Sliding ->
+      t.prev <- Some (Timeseries.Pyramid.snapshot t.cur.pyr);
+      t.prev_top <- sorted_desc_top t.cur);
+    t.cur <- fresh_pane (Array.length t.cur.top);
+    t.fill <- 0
+
+  let push_slice t xs pos len =
+    let pos = ref pos and len = ref len in
+    while !len > 0 do
+      let room = t.window - t.fill in
+      let take = Int.min !len room in
+      let take =
+        match t.kind with
+        | Sliding -> Int.min take (t.cadence - t.since)
+        | Tumbling -> take
+      in
+      Timeseries.Pyramid.push_slice t.cur.pyr xs !pos take;
+      for i = !pos to !pos + take - 1 do
+        pane_offer t.cur xs.(i)
+      done;
+      t.fill <- t.fill + take;
+      t.total <- t.total + take;
+      pos := !pos + take;
+      len := !len - take;
+      (match t.kind with
+      | Sliding ->
+        t.since <- t.since + take;
+        if t.since = t.cadence then begin
+          emit_sliding t;
+          t.since <- 0
+        end
+      | Tumbling -> ());
+      if t.fill = t.window then rotate t
+    done
+
+  let push t xs = push_slice t xs 0 (Array.length xs)
+
+  let sink t =
+    Timeseries.Sink.make ~name:"window"
+      ~push:(fun chunk -> push t chunk)
+      ~finish:(fun () -> t)
+      ()
+end

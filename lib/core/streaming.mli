@@ -59,3 +59,73 @@ val run : spec -> result
 val pp : Format.formatter -> spec -> result -> unit
 (** Deterministic fixed-precision report (what [wanpoisson stream]
     prints). *)
+
+(** Windowed rolling estimation over a stream of count bins.
+
+    A window manager consumes bin-count chunks and republishes rolling
+    estimates — variance-time Hurst, Hill tail index of the marginal,
+    event rate — without ever materialising the window. Both kinds are
+    built from {e tumbling panes}: power-of-two-sized pyramids with a
+    dyadic variance-time ladder, so reading a sliding window is one
+    exact snapshot merge (full previous pane + partial current pane; see
+    {!Timeseries.Pyramid.merge_into}) and never a moment subtraction.
+
+    - [Tumbling]: one estimate per completed pane, covering exactly
+      [window] bins.
+    - [Sliding]: one estimate every [cadence] bins, covering the last
+      [window + fill] bins (between [window] and [2 * window] once the
+      first pane completes; the opening partial pane is estimated alone
+      once it holds >= 16 bins).
+
+    Memory is O(log window + top_k) per pane — the window itself is
+    never stored. *)
+module Window : sig
+  type kind = Tumbling | Sliding
+
+  type estimate = {
+    seq : int;  (** 1-based estimate index. *)
+    upto : int;  (** Bins consumed when this estimate was emitted. *)
+    covered : int;  (** Bins the estimate covers (ending at [upto]). *)
+    h : Lrd.Hurst.estimate;
+        (** Variance-time Hurst over the window's dyadic ladder
+            ([nan] when the window is too shallow for 3 levels). *)
+    rate : float;  (** Events per time unit: mean bin count / bin width. *)
+    alpha : float;
+        (** Hill tail index over the window's top-[top_k] bin counts
+            ([nan] when fewer than 9 positive exceedances). *)
+  }
+
+  type t
+
+  val create :
+    kind:kind ->
+    window:int ->
+    ?cadence:int ->
+    ?top_k:int ->
+    bin:float ->
+    emit:(estimate -> unit) ->
+    unit ->
+    t
+  (** [window] (bins) is rounded up to a power of two; [cadence]
+      (sliding only; default [window / 4]) is rounded up to a power of
+      two and clamped to [window], so it always divides the pane.
+      [top_k] (default 64) bounds the tail read-out. Raises
+      [Invalid_argument] when [window < 16], [bin <= 0], [cadence < 1]
+      or [top_k < 2]. *)
+
+  val push : t -> float array -> unit
+  (** Feed bin counts; [emit] fires synchronously as boundaries pass. *)
+
+  val push_slice : t -> float array -> int -> int -> unit
+
+  val window : t -> int
+  (** The effective (rounded) pane size. *)
+
+  val cadence : t -> int
+
+  val bins : t -> int
+  (** Total bins consumed. *)
+
+  val sink : t -> t Timeseries.Sink.t
+  (** The manager as a chunked consumer ([finish] hands it back). *)
+end

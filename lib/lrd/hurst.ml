@@ -117,7 +117,7 @@ let rs_sink ?(min_block = 8) ?(max_block = 32768) () =
       states;
     fit_of_points (Array.sub points 0 !filled)
   in
-  Timeseries.Sink.make ~push ~finish
+  Timeseries.Sink.make ~name:"rs" ~push ~finish ()
 
 let rescaled_range ?(min_block = 8) ?max_block xs =
   let n = Array.length xs in

@@ -159,4 +159,4 @@ let sink ?buffer ~service rng =
     in
     finish_stats st ~p99_wait:p99
   in
-  Timeseries.Sink.make ~push ~finish
+  Timeseries.Sink.make ~name:"fifo" ~push ~finish ()

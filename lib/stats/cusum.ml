@@ -1,0 +1,86 @@
+type side = Up | Down
+
+type alarm = { side : side; stat : float; value : float; observed : int }
+
+type t = {
+  drift : float;
+  threshold : float;
+  warmup : int;
+  mutable target : float;
+  mutable have_target : bool;
+  mutable warm_n : int;
+  mutable warm_sum : float;
+  mutable s_up : float;
+  mutable s_dn : float;
+  mutable observed : int;
+}
+
+let create ?target ~drift ~threshold ?(warmup = 8) () =
+  if drift < 0. then
+    invalid_arg (Printf.sprintf "Cusum.create: drift = %g (want >= 0)" drift);
+  if threshold <= 0. then
+    invalid_arg
+      (Printf.sprintf "Cusum.create: threshold = %g (want > 0)" threshold);
+  if warmup < 1 then
+    invalid_arg (Printf.sprintf "Cusum.create: warmup = %d (want >= 1)" warmup);
+  let target, have_target =
+    match target with Some m -> (m, true) | None -> (0., false)
+  in
+  {
+    drift;
+    threshold;
+    warmup;
+    target;
+    have_target;
+    warm_n = 0;
+    warm_sum = 0.;
+    s_up = 0.;
+    s_dn = 0.;
+    observed = 0;
+  }
+
+let target t = if t.have_target then Some t.target else None
+
+let reset t =
+  t.s_up <- 0.;
+  t.s_dn <- 0.
+
+let recalibrate t =
+  reset t;
+  t.have_target <- false;
+  t.warm_n <- 0;
+  t.warm_sum <- 0.
+
+let observe t x =
+  if Float.is_nan x then None
+  else begin
+    t.observed <- t.observed + 1;
+    if not t.have_target then begin
+      (* Self-calibration: the first [warmup] finite observations set the
+         reference level; accumulation starts only afterwards, so the
+         baseline itself can never trip the detector. *)
+      t.warm_n <- t.warm_n + 1;
+      t.warm_sum <- t.warm_sum +. x;
+      if t.warm_n >= t.warmup then begin
+        t.target <- t.warm_sum /. float_of_int t.warm_n;
+        t.have_target <- true
+      end;
+      None
+    end
+    else begin
+      let d = x -. t.target in
+      t.s_up <- Float.max 0. (t.s_up +. d -. t.drift);
+      t.s_dn <- Float.max 0. (t.s_dn -. d -. t.drift);
+      if t.s_up > t.threshold then begin
+        let a = { side = Up; stat = t.s_up; value = x; observed = t.observed } in
+        reset t;
+        Some a
+      end
+      else if t.s_dn > t.threshold then begin
+        let a = { side = Down; stat = t.s_dn; value = x; observed = t.observed } in
+        reset t;
+        Some a
+      end
+      else None
+    end
+  end

@@ -1,0 +1,54 @@
+(** Tabular (Page) CUSUM change detector.
+
+    Watches a sequence of estimates — a rolling Hurst exponent, a
+    marginal rate — for a sustained shift away from a reference level.
+    Two one-sided sums accumulate standardized exceedances:
+
+    {v s+ <- max 0 (s+ + (x - target) - drift)
+       s- <- max 0 (s- - (x - target) - drift) v}
+
+    and an alarm fires when either passes [threshold]; both sums reset
+    after an alarm, re-arming the detector. [drift] (the slack [k]) sets
+    the smallest per-observation deviation that accumulates — shifts
+    smaller than [drift] are ignored no matter how long they last;
+    [threshold] (the decision interval [h]) trades detection delay
+    against false alarms.
+
+    When [target] is omitted the detector self-calibrates: the first
+    [warmup] finite observations are averaged into the reference level
+    and accumulation starts after them, so a drifting stream is judged
+    against its own opening regime. NaN observations are skipped. *)
+
+type side = Up | Down
+
+type alarm = {
+  side : side;
+  stat : float;  (** The accumulated sum that crossed [threshold]. *)
+  value : float;  (** The observation that tripped it. *)
+  observed : int;  (** 1-based index of that observation. *)
+}
+
+type t
+
+val create :
+  ?target:float -> drift:float -> threshold:float -> ?warmup:int -> unit -> t
+(** Raises [Invalid_argument] when [drift < 0], [threshold <= 0] or
+    [warmup < 1]. [warmup] (default 8) only matters when [target] is
+    omitted. *)
+
+val observe : t -> float -> alarm option
+(** Feed one observation; [Some alarm] when a shift is detected (the
+    detector resets and stays armed). *)
+
+val target : t -> float option
+(** The reference level — [None] until self-calibration completes. *)
+
+val reset : t -> unit
+(** Zero both accumulated sums, keeping the target. *)
+
+val recalibrate : t -> unit
+(** Zero the sums {e and} forget the target: the next [warmup]
+    observations set a new reference level. Call after acting on an
+    alarm to adopt the post-shift regime as the baseline — one alarm
+    per regime change instead of one per observation while the shift
+    persists. *)

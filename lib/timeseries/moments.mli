@@ -29,11 +29,30 @@ val add_slice : t -> float array -> int -> int -> unit
 val merge_into : t -> t -> unit
 (** [merge_into dst src]: Chan's pairwise combine; [src] is unchanged. *)
 
+val merge : t -> t -> t
+(** Pure Chan combine: a fresh accumulator equal to [merge_into (copy a) b].
+    Both operands are unchanged — the snapshot-friendly form of the
+    window/shard merge algebra. *)
+
 val merge_counts : t -> int -> float -> float -> unit
 (** [merge_counts t n mean m2]: Chan-merge a pre-summarised batch of [n]
     observations with the given mean and sum of squared deviations —
     the primitive behind [add_slice] and [merge_into], exposed for
     callers that compute the batch summary in a fused pass. *)
+
+val remove_counts : t -> int -> float -> float -> unit
+(** [remove_counts t n mean m2]: inverse of {!merge_counts} — subtract a
+    previously-merged batch of [n] observations summarised by [mean] and
+    [m2], leaving the moments of the remaining observations. Exact in
+    exact arithmetic; in floats it loses precision when the removed
+    batch dominates the accumulator (catastrophic cancellation), so the
+    windowed estimators keep it off the hot path (paired tumbling
+    pyramids) and use it only for bounded decrements. [m2] is clamped at
+    0. Raises [Invalid_argument] when [n < 0] or [n > count t]. *)
+
+val remove_into : t -> t -> unit
+(** [remove_into dst src]: {!remove_counts} with [src]'s summary;
+    [src] is unchanged. *)
 
 val count : t -> int
 

@@ -77,3 +77,49 @@ val stat : t -> int -> level_stat option
 
 val registered : t -> int list
 (** The exact non-dyadic levels, ascending. *)
+
+(** {1 Snapshot / merge algebra}
+
+    The lifecycle-managed contract behind windowed estimation and the
+    multi-process trace farm: [create] → [push]* → [snapshot] →
+    [merge] → read out. A snapshot is an immutable, self-contained copy
+    of the analysis state — O(levels + subscribers) floats, never the
+    data — and merging replays concatenation: if pyramid [a] consumed a
+    stream's first half and [b] its second half, then
+    [merge (snapshot a) (snapshot b)] equals the single-pass batch
+    pyramid on the whole stream, with every dyadic block sum and carry
+    {e bit-for-bit} identical and moment accumulators equal to
+    merge-order rounding (the property suite pins 1e-12 relative).
+
+    Exactness requires alignment of the {e left} operand, because the
+    right operand's block boundaries must land on the concatenated
+    stream's: with [a = count dst] and [b] the snapshot's count, the
+    contract is [b <= 2^v2(a)] (so equal power-of-two shards fold
+    exactly at any count), plus [m | a] — and [2^(src+shift) | a] for
+    decomposed subscribers — for each registered level [m] the snapshot
+    has touched. Violations raise [Invalid_argument]; the merged
+    pyramid remains open for further [push]es. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Immutable copy of the current analysis state. The pyramid is not
+    perturbed and stays open; snapshots may outlive it. *)
+
+val snapshot_count : snapshot -> int
+(** Raw values the snapshot has absorbed. *)
+
+val snapshot_registered : snapshot -> int list
+
+val merge_into : t -> snapshot -> unit
+(** [merge_into dst s]: append [s]'s stream after [dst]'s, in place.
+    Raises [Invalid_argument] if the operands track different
+    registered levels or the alignment contract above is violated.
+    Merging into an empty pyramid adopts the snapshot wholesale. *)
+
+val of_snapshot : snapshot -> t
+(** A live pyramid equal to the snapshotted state (same registered
+    levels), open for further pushes. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pure form: [snapshot] of [of_snapshot a] merged with [b]. *)

@@ -1,24 +1,54 @@
-type 'a t = { push : float array -> unit; finish : unit -> 'a }
+type 'a t = {
+  push_ : float array -> unit;
+  finish_ : unit -> 'a;
+  name : string;
+  mutable finished : bool;
+}
 
-let make ~push ~finish = { push; finish }
+let make ?(name = "sink") ~push ~finish () =
+  { push_ = push; finish_ = finish; name; finished = false }
 
-let map f s = { push = s.push; finish = (fun () -> f (s.finish ())) }
+let is_finished t = t.finished
+
+let push t chunk =
+  if t.finished then
+    invalid_arg
+      (Printf.sprintf "Sink.push: %S already finished (lifecycle violation)"
+         t.name);
+  t.push_ chunk
+
+let push_slice t xs pos len =
+  if len = Array.length xs && pos = 0 then push t xs
+  else if len > 0 then push t (Array.sub xs pos len)
+
+let finish t =
+  if t.finished then
+    invalid_arg
+      (Printf.sprintf "Sink.finish: %S already finished (lifecycle violation)"
+         t.name);
+  t.finished <- true;
+  t.finish_ ()
+
+let map f s =
+  make ~name:s.name ~push:(fun chunk -> push s chunk)
+    ~finish:(fun () -> f (finish s))
+    ()
 
 let tee a b =
-  {
-    push =
-      (fun chunk ->
-        a.push chunk;
-        b.push chunk);
-    finish = (fun () -> (a.finish (), b.finish ()));
-  }
+  make
+    ~name:(Printf.sprintf "tee(%s,%s)" a.name b.name)
+    ~push:(fun chunk ->
+      push a chunk;
+      push b chunk)
+    ~finish:(fun () -> (finish a, finish b))
+    ()
 
 let fold ~init ~f =
   let acc = ref init in
-  {
-    push = (fun chunk -> acc := f !acc chunk);
-    finish = (fun () -> !acc);
-  }
+  make ~name:"fold"
+    ~push:(fun chunk -> acc := f !acc chunk)
+    ~finish:(fun () -> !acc)
+    ()
 
 let to_array () =
   let buf = ref (Array.make 1024 0.) and n = ref 0 in
@@ -36,17 +66,20 @@ let to_array () =
     Array.blit chunk 0 !buf !n len;
     n := !n + len
   in
-  { push; finish = (fun () -> Array.sub !buf 0 !n) }
+  make ~name:"to_array" ~push ~finish:(fun () -> Array.sub !buf 0 !n) ()
 
 let length () =
   let n = ref 0 in
-  {
-    push = (fun chunk -> n := !n + Array.length chunk);
-    finish = (fun () -> !n);
-  }
+  make ~name:"length"
+    ~push:(fun chunk -> n := !n + Array.length chunk)
+    ~finish:(fun () -> !n)
+    ()
 
 let of_pyramid p =
-  { push = (fun chunk -> Pyramid.push p chunk); finish = (fun () -> p) }
+  make ~name:"pyramid"
+    ~push:(fun chunk -> Pyramid.push p chunk)
+    ~finish:(fun () -> p)
+    ()
 
 let counts ?(t_start = 0.) ~bin ~n_bins ?(chunk = 65536) inner =
   if bin <= 0. then
@@ -64,12 +97,12 @@ let counts ?(t_start = 0.) ~bin ~n_bins ?(chunk = 65536) inner =
   let flush upto =
     (* Emit whole-buffer chunks until [upto] (exclusive) fits. *)
     while upto - !base > cap do
-      inner.push buf;
+      push inner buf;
       Array.fill buf 0 cap 0.;
       base := !base + cap
     done
   in
-  let push events =
+  let push_events events =
     Array.iter
       (fun tm ->
         if tm < !last_t then
@@ -90,14 +123,14 @@ let counts ?(t_start = 0.) ~bin ~n_bins ?(chunk = 65536) inner =
         end)
       events
   in
-  let finish () =
+  let finish_counts () =
     let remaining = n_bins - !base in
     if remaining > 0 then
-      if remaining = cap then inner.push buf
-      else inner.push (Array.sub buf 0 remaining);
-    inner.finish ()
+      if remaining = cap then push inner buf
+      else push inner (Array.sub buf 0 remaining);
+    finish inner
   in
-  { push; finish }
+  make ~name:"counts" ~push:push_events ~finish:finish_counts ()
 
 let iter_array ?(chunk = 65536) xs sink =
   let chunk = Int.max 1 chunk in
@@ -105,7 +138,7 @@ let iter_array ?(chunk = 65536) xs sink =
   let pos = ref 0 in
   while !pos < n do
     let len = Int.min chunk (n - !pos) in
-    sink.push (if len = n then xs else Array.sub xs !pos len);
+    push sink (if len = n then xs else Array.sub xs !pos len);
     pos := !pos + len
   done;
-  sink.finish ()
+  finish sink

@@ -1,21 +1,47 @@
-(** Chunked streaming consumers.
+(** Chunked streaming consumers with a checked lifecycle.
 
-    A sink receives a stream of float chunks ([push]) and produces a
-    final result ([finish]); generators expose [iter_chunks]-style
+    A sink receives a stream of float chunks ({!push}) and produces a
+    final result ({!finish}); generators expose [iter_chunks]-style
     producers and never materialise the full series, so a 10^8-event
     trace can be binned, pyramided, R/S-analysed and queued in
     O(levels + chunk) memory.
 
+    Lifecycle: [make] → [push]* → [finish], exactly once. The type is
+    abstract and the transitions are checked — pushing after [finish],
+    or finishing twice, raises [Invalid_argument] naming the sink
+    instead of silently corrupting downstream state. Combinators
+    ([map], [tee], [counts]) finish their inner sinks through the same
+    checked path, so a lifecycle violation anywhere in a sink tree
+    surfaces at the offending node.
+
     Contract: [push] may be handed a buffer the producer reuses — sinks
-    must copy anything they keep. [finish] may be called exactly once;
-    pushes after [finish] are a programming error (not checked). *)
+    must copy anything they keep. *)
 
-type 'a t = {
-  push : float array -> unit;
-  finish : unit -> 'a;
-}
+type 'a t
 
-val make : push:(float array -> unit) -> finish:(unit -> 'a) -> 'a t
+val make :
+  ?name:string ->
+  push:(float array -> unit) ->
+  finish:(unit -> 'a) ->
+  unit ->
+  'a t
+(** [make ~name ~push ~finish ()]: wrap raw callbacks in a
+    lifecycle-checked sink. [name] (default ["sink"]) appears in
+    violation messages. *)
+
+val push : 'a t -> float array -> unit
+(** Feed one chunk. Raises [Invalid_argument] once the sink is
+    finished. *)
+
+val push_slice : 'a t -> float array -> int -> int -> unit
+(** [push_slice t xs pos len]: feed [xs.(pos .. pos+len-1)] (copies
+    unless the slice is the whole array). *)
+
+val finish : 'a t -> 'a
+(** Produce the final result and close the sink. Raises
+    [Invalid_argument] on a second call. *)
+
+val is_finished : 'a t -> bool
 
 val map : ('a -> 'b) -> 'a t -> 'b t
 (** Post-compose on the result of [finish]. *)

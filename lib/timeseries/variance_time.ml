@@ -20,7 +20,15 @@ let points_of_pyramid ~require_exact levels pyr =
         match Pyramid.stat pyr m with
         | Some s when s.Pyramid.blocks >= 2 && (s.Pyramid.exact || not require_exact) ->
           (* An unregistered level is resampled from the nearest dyadic
-             level, so plot it at the level actually served (deduped). *)
+             level, so plot it at the level actually served (deduped) —
+             and flagged in the structured log, because a resampled
+             point silently changes the fitted variance-time slope. *)
+          if not s.Pyramid.exact then
+            Engine.Log.warn "variance_time.resampled"
+              [
+                ("requested", Engine.Log.I s.Pyramid.requested);
+                ("served", Engine.Log.I s.Pyramid.served);
+              ];
           let m = s.Pyramid.served in
           let seen = ref false in
           for i = 0 to !filled - 1 do

@@ -196,6 +196,51 @@ let test_concentration_curve () =
     (100. *. 95050. /. 500500.)
     share
 
+let test_cusum_detects_shift () =
+  (* Fixed target: a level shift of 0.3 against drift 0.05 accumulates
+     0.25 per observation and must alarm on the 2nd post-shift point;
+     observations inside the slack never alarm. *)
+  let c = Stats.Cusum.create ~target:0.5 ~drift:0.05 ~threshold:0.4 () in
+  for _ = 1 to 50 do
+    match Stats.Cusum.observe c 0.52 with
+    | None -> ()
+    | Some _ -> Alcotest.fail "alarm inside the slack band"
+  done;
+  (match Stats.Cusum.observe c 0.8 with
+  | Some _ -> Alcotest.fail "alarm after one observation (threshold 0.4)"
+  | None -> ());
+  (match Stats.Cusum.observe c 0.8 with
+  | None -> Alcotest.fail "no alarm after sustained +0.3 shift"
+  | Some a ->
+    (match a.Stats.Cusum.side with
+    | Stats.Cusum.Up -> ()
+    | Stats.Cusum.Down -> Alcotest.fail "wrong side");
+    Alcotest.check (Alcotest.float 1e-9) "stat" 0.5 a.Stats.Cusum.stat);
+  (* Self-calibration: warmup mean becomes the target; NaN skipped;
+     recalibrate adopts the new regime. *)
+  let d = Stats.Cusum.create ~drift:0.05 ~threshold:0.4 ~warmup:4 () in
+  (match Stats.Cusum.observe d nan with
+  | None -> ()
+  | Some _ -> Alcotest.fail "alarm on nan");
+  List.iter (fun x -> ignore (Stats.Cusum.observe d x)) [ 0.4; 0.6; 0.5; 0.5 ];
+  (match Stats.Cusum.target d with
+  | Some t -> Alcotest.check (Alcotest.float 1e-9) "calibrated" 0.5 t
+  | None -> Alcotest.fail "no target after warmup");
+  ignore (Stats.Cusum.observe d 0.9);
+  (match Stats.Cusum.observe d 0.9 with
+  | None -> Alcotest.fail "no alarm after calibration"
+  | Some _ -> ());
+  Stats.Cusum.recalibrate d;
+  (match Stats.Cusum.target d with
+  | None -> ()
+  | Some _ -> Alcotest.fail "target survived recalibrate");
+  List.iter (fun x -> ignore (Stats.Cusum.observe d x)) [ 0.9; 0.9; 0.9; 0.9 ];
+  for _ = 1 to 20 do
+    match Stats.Cusum.observe d 0.9 with
+    | None -> ()
+    | Some _ -> Alcotest.fail "alarm in the adopted regime"
+  done
+
 let suite =
   ( "stats",
     [
@@ -224,4 +269,5 @@ let suite =
       tc "empirical cmex" test_cmex_empirical;
       tc "tail mass" test_tail_mass;
       tc "concentration curve" test_concentration_curve;
+      tc "cusum detects shift" test_cusum_detects_shift;
     ] )

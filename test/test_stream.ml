@@ -46,6 +46,161 @@ let test_moments_merge () =
        < 1e-9)
   done
 
+(* ---------------- snapshot / merge algebra ---------------- *)
+
+(* Push [xs.(pos .. pos+len-1)] in random chunks drawn from [r]. *)
+let push_randomly r pyr xs pos len =
+  let p = ref pos and stop = pos + len in
+  while !p < stop do
+    let take = Int.min (1 + Prng.Rng.int r 400) (stop - !p) in
+    Timeseries.Pyramid.push_slice pyr xs !p take;
+    p := !p + take
+  done
+
+let check_pyramids_agree ctx levels a b =
+  List.iter
+    (fun m ->
+      match (Timeseries.Pyramid.stat a m, Timeseries.Pyramid.stat b m) with
+      | None, None -> ()
+      | Some sa, Some sb ->
+        check_int (Printf.sprintf "%s m=%d blocks" ctx m)
+          sb.Timeseries.Pyramid.blocks sa.Timeseries.Pyramid.blocks;
+        check_true
+          (Printf.sprintf "%s m=%d mean" ctx m)
+          (relative sa.Timeseries.Pyramid.mean_sum
+             sb.Timeseries.Pyramid.mean_sum
+           < 1e-12);
+        check_true
+          (Printf.sprintf "%s m=%d var" ctx m)
+          (relative sa.Timeseries.Pyramid.var_sum sb.Timeseries.Pyramid.var_sum
+           < 1e-11)
+      | Some _, None | None, Some _ ->
+        Alcotest.failf "%s m=%d present in only one pyramid" ctx m)
+    (1 :: levels)
+
+(* Sharded snapshots Chan-merged equal the single-pass batch pyramid:
+   power-of-two shards (any count, partial tail) on the dyadic ladder.
+   Pushing a further tail into both pyramids afterwards proves the
+   carry chain — not just the moments — survived the merge. *)
+let test_pyramid_merge_matches_batch () =
+  let r = rng ~seed:61 () in
+  for _trial = 1 to 60 do
+    let shard = 1 lsl (3 + Prng.Rng.int r 6) in
+    let n_shards = 1 + Prng.Rng.int r 6 in
+    let tail_in = Prng.Rng.int r shard in
+    let n = (n_shards * shard) + tail_in in
+    let extra = 1 + Prng.Rng.int r 500 in
+    let xs = Array.init (n + extra) (fun _ -> 1. +. Prng.Rng.float r) in
+    let levels = [ 2; 8; 64 ] in
+    let batch = Timeseries.Pyramid.create ~levels () in
+    push_randomly r batch xs 0 n;
+    let merged = Timeseries.Pyramid.create ~levels () in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = Int.min shard (n - !pos) in
+      let piece = Timeseries.Pyramid.create ~levels () in
+      push_randomly r piece xs !pos len;
+      Timeseries.Pyramid.merge_into merged (Timeseries.Pyramid.snapshot piece);
+      pos := !pos + len
+    done;
+    check_int "merged count" n (Timeseries.Pyramid.count merged);
+    check_pyramids_agree "merged" levels merged batch;
+    (* carry state bit-for-bit: both continue identically *)
+    push_randomly r batch xs n extra;
+    Timeseries.Pyramid.push_slice merged xs n extra;
+    check_pyramids_agree "post-merge push" levels merged batch
+  done
+
+(* Non-dyadic registered levels merge exactly when the left count is a
+   multiple of the level (and of the decomposed subscriber's coarse
+   alignment): left shard m * 2^p, right shard <= 2^p. Levels 3 and 6
+   exercise the direct path, 33 and 132 the decomposed one. *)
+let test_pyramid_merge_registered_levels () =
+  let r = rng ~seed:67 () in
+  let levels = [ 3; 6; 33; 132 ] in
+  let lcm_levels = 132 in
+  for _trial = 1 to 40 do
+    let p = 3 + Prng.Rng.int r 4 in
+    let left = lcm_levels * (1 lsl p) in
+    let right = Prng.Rng.int r ((1 lsl p) + 1) in
+    let extra = 1 + Prng.Rng.int r 700 in
+    let n = left + right in
+    let xs = Array.init (n + extra) (fun _ -> 2. +. Prng.Rng.float r) in
+    let batch = Timeseries.Pyramid.create ~levels () in
+    push_randomly r batch xs 0 n;
+    let a = Timeseries.Pyramid.create ~levels () in
+    push_randomly r a xs 0 left;
+    let b = Timeseries.Pyramid.create ~levels () in
+    push_randomly r b xs left right;
+    let merged =
+      Timeseries.Pyramid.merge
+        (Timeseries.Pyramid.snapshot a)
+        (Timeseries.Pyramid.snapshot b)
+    in
+    let merged = Timeseries.Pyramid.of_snapshot merged in
+    check_int "merged count" n (Timeseries.Pyramid.count merged);
+    check_pyramids_agree "registered merge" levels merged batch;
+    push_randomly r batch xs n extra;
+    push_randomly r merged xs n extra;
+    check_pyramids_agree "registered post-push" levels merged batch
+  done
+
+let test_pyramid_merge_misaligned_raises () =
+  let xs = Array.init 100 (fun i -> float_of_int i) in
+  let mk lo len levels =
+    let p = Timeseries.Pyramid.create ~levels () in
+    Timeseries.Pyramid.push_slice p xs lo len;
+    p
+  in
+  (* 12 raw then 8 more: 8 > 2^v2(12) = 4 *)
+  let dst = mk 0 12 [] in
+  (match
+     Timeseries.Pyramid.merge_into dst
+       (Timeseries.Pyramid.snapshot (mk 12 8 []))
+   with
+  | () -> Alcotest.fail "expected Invalid_argument (dyadic misalignment)"
+  | exception Invalid_argument _ -> ());
+  (* registered level 3 does not divide the left count 8 *)
+  let dst = mk 0 8 [ 3 ] in
+  (match
+     Timeseries.Pyramid.merge_into dst
+       (Timeseries.Pyramid.snapshot (mk 8 4 [ 3 ]))
+   with
+  | () -> Alcotest.fail "expected Invalid_argument (registered misalignment)"
+  | exception Invalid_argument _ -> ());
+  (* different ladders never merge *)
+  let dst = mk 0 8 [ 3 ] in
+  match
+    Timeseries.Pyramid.merge_into dst
+      (Timeseries.Pyramid.snapshot (mk 8 4 [ 5 ]))
+  with
+  | () -> Alcotest.fail "expected Invalid_argument (different ladders)"
+  | exception Invalid_argument _ -> ()
+
+let test_moments_remove () =
+  let r = rng ~seed:71 () in
+  for _ = 1 to 50 do
+    let n = 2 + Prng.Rng.int r 500 in
+    let cut = 1 + Prng.Rng.int r (n - 1) in
+    let xs = Array.init n (fun _ -> (4. *. Prng.Rng.float r) -. 2.) in
+    let whole = Timeseries.Moments.create () in
+    Timeseries.Moments.add_slice whole xs 0 n;
+    let tail = Timeseries.Moments.create () in
+    Timeseries.Moments.add_slice tail xs cut (n - cut);
+    Timeseries.Moments.remove_into whole tail;
+    check_int "count after remove" cut (Timeseries.Moments.count whole);
+    let prefix = Array.sub xs 0 cut in
+    check_true "mean after remove"
+      (relative (Timeseries.Moments.mean whole) (Stats.Descriptive.mean prefix)
+       < 1e-9);
+    if cut >= 2 then
+      check_true "variance after remove"
+        (Float.abs
+           (Timeseries.Moments.variance whole
+           -. Stats.Descriptive.variance prefix)
+         < 1e-8)
+  done
+
 (* ---------------- pyramid vs naive variance-time ---------------- *)
 
 (* The tentpole property: for random series, random chunkings and random
@@ -106,6 +261,49 @@ let test_curve_equals_naive_default_levels () =
       naive
   done
 
+(* The old standalone pyrtest sweep, folded in: every chunking of the
+   same series — one value at a time, a prime stride, a typical buffer,
+   one shot, and a random size — must reproduce curve_naive at every
+   registered level. *)
+let test_pyramid_chunking_sweep () =
+  let r = rng ~seed:4242 () in
+  for _trial = 1 to 60 do
+    let n = 1 + Prng.Rng.int r 3000 in
+    let xs = Array.init n (fun _ -> 10. +. Prng.Rng.float r) in
+    let levels =
+      List.init 12 (fun _ -> 1 + Prng.Rng.int r (Int.max 1 (n / 2)))
+      |> List.sort_uniq compare
+    in
+    let naive = Timeseries.Variance_time.curve_naive ~levels xs in
+    let chunked ch =
+      let pyr = Timeseries.Pyramid.create ~levels () in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = Int.min ch (n - !pos) in
+        Timeseries.Pyramid.push_slice pyr xs !pos len;
+        pos := !pos + len
+      done;
+      Timeseries.Variance_time.curve_of_pyramid ~levels pyr
+    in
+    List.iter
+      (fun ch ->
+        let c = chunked ch in
+        Array.iter
+          (fun (p : Timeseries.Variance_time.point) ->
+            match
+              Array.find_opt
+                (fun (q : Timeseries.Variance_time.point) -> q.m = p.m)
+                c
+            with
+            | None -> Alcotest.failf "chunk %d: missing m=%d" ch p.m
+            | Some q ->
+              if relative q.variance p.variance > 1e-9 then
+                Alcotest.failf "chunk %d m=%d: naive %.17g pyramid %.17g" ch
+                  p.m p.variance q.variance)
+          naive)
+      [ 1; 7; 64; n; 1 + Prng.Rng.int r n ]
+  done
+
 (* Chunk boundary edge cases: chunk=1, chunk=n, n not a multiple. *)
 let test_pyramid_chunk_edges () =
   let r = rng ~seed:3 () in
@@ -150,11 +348,87 @@ let test_pyramid_resampled_levels () =
   | Some s ->
     check_false "not exact" s.Timeseries.Pyramid.exact;
     check_int "served nearest dyadic" 128 s.Timeseries.Pyramid.served);
-  match Timeseries.Pyramid.stat pyr 64 with
+  (match Timeseries.Pyramid.stat pyr 64 with
   | None -> Alcotest.fail "no stat for level 64"
   | Some s ->
     check_true "dyadic exact" s.Timeseries.Pyramid.exact;
-    check_int "served" 64 s.Timeseries.Pyramid.served
+    check_int "served" 64 s.Timeseries.Pyramid.served);
+  (* The nearest-dyadic fallback is flagged in the structured log,
+     naming the requested and served levels. *)
+  Engine.Log.set_enabled true;
+  Engine.Log.reset ();
+  ignore (Timeseries.Variance_time.curve_of_pyramid ~levels:[ 100; 64 ] pyr);
+  let resampled =
+    List.filter
+      (fun ev -> ev.Engine.Log.ev_name = "variance_time.resampled")
+      (Engine.Log.warnings ())
+  in
+  Engine.Log.set_enabled false;
+  check_int "one resample warning" 1 (List.length resampled);
+  match resampled with
+  | [ ev ] ->
+    check_true "names levels"
+      (ev.Engine.Log.fields = [ ("requested", Engine.Log.I 100);
+                                ("served", Engine.Log.I 128) ])
+  | _ -> Alcotest.fail "expected exactly one resample warning"
+
+(* ---------------- windowed estimation ---------------- *)
+
+(* Rolling estimates over a stationary trace must equal batch analysis
+   of exactly the covered suffix: the sliding read-out is a pane merge
+   (never a moment subtraction), so H and rate agree to rounding with a
+   pyramid fed the same bins in one slice. *)
+let test_window_sliding_matches_batch () =
+  let r = rng ~seed:77 () in
+  let n = 2348 in
+  let xs = Array.init n (fun _ -> 5. +. Prng.Rng.float r) in
+  let bin = 0.5 in
+  let vt_levels covered =
+    let rec go m acc =
+      if m > covered / 8 then List.rev acc else go (2 * m) (m :: acc)
+    in
+    go 1 []
+  in
+  let run kind window cadence =
+    let ests = ref [] in
+    let win =
+      Core.Streaming.Window.create ~kind ~window ~cadence ~bin
+        ~emit:(fun e -> ests := e :: !ests)
+        ()
+    in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = Int.min (1 + Prng.Rng.int r 200) (n - !pos) in
+      Core.Streaming.Window.push_slice win xs !pos len;
+      pos := !pos + len
+    done;
+    List.rev !ests
+  in
+  List.iter
+    (fun (kind, window, cadence) ->
+      let ests = run kind window cadence in
+      check_true "estimates emitted" (List.length ests > 4);
+      List.iter
+        (fun (e : Core.Streaming.Window.estimate) ->
+          let lo = e.upto - e.covered in
+          check_true "covered window" (lo >= 0 && e.upto <= n);
+          let pyr = Timeseries.Pyramid.create () in
+          Timeseries.Pyramid.push pyr (Array.sub xs lo e.covered);
+          check_true "rate"
+            (relative e.rate (Timeseries.Pyramid.mean pyr /. bin) < 1e-9);
+          let levels = vt_levels e.covered in
+          if List.length levels >= 3 then begin
+            let h = Lrd.Hurst.variance_time_of_pyramid ~levels pyr in
+            check_true "H"
+              (relative e.h.Lrd.Hurst.h h.Lrd.Hurst.h < 1e-9
+              || (Float.is_nan e.h.Lrd.Hurst.h && Float.is_nan h.Lrd.Hurst.h))
+          end)
+        ests)
+    [
+      (Core.Streaming.Window.Sliding, 256, 64);
+      (Core.Streaming.Window.Sliding, 128, 128);
+      (Core.Streaming.Window.Tumbling, 256, 256);
+    ]
 
 (* ---------------- sink combinators ---------------- *)
 
@@ -215,11 +489,11 @@ let test_sink_counts_rejects_unsorted () =
   let sink =
     Timeseries.Sink.counts ~bin:1. ~n_bins:10 (Timeseries.Sink.to_array ())
   in
-  sink.Timeseries.Sink.push [| 1.; 2. |];
+  Timeseries.Sink.push sink [| 1.; 2. |];
   Alcotest.check_raises "regressing time"
     (Invalid_argument
        "Sink.counts: event times must be non-decreasing (1.5 after 2)")
-    (fun () -> sink.Timeseries.Sink.push [| 1.5 |])
+    (fun () -> Timeseries.Sink.push sink [| 1.5 |])
 
 (* ---------------- streaming producers vs array wrappers ------------- *)
 
@@ -463,7 +737,19 @@ let test_invalid_argument_guards () =
       let sink =
         Queueing.Fifo.sink ~service:(fun _ -> 1.) (Prng.Rng.create 0)
       in
-      sink.Timeseries.Sink.finish ())
+      ignore (Timeseries.Sink.finish sink));
+  raises "sink push after finish" (fun () ->
+      let s = Timeseries.Sink.length () in
+      ignore (Timeseries.Sink.finish s);
+      Timeseries.Sink.push s [| 1. |]);
+  raises "sink double finish" (fun () ->
+      let s = Timeseries.Sink.length () in
+      ignore (Timeseries.Sink.finish s);
+      ignore (Timeseries.Sink.finish s));
+  raises "tee finish surfaces at inner node" (fun () ->
+      let a = Timeseries.Sink.length () in
+      ignore (Timeseries.Sink.finish a);
+      ignore (Timeseries.Sink.finish (Timeseries.Sink.tee a (Timeseries.Sink.length ()))))
 
 (* ---------------- the stream driver ---------------- *)
 
@@ -537,12 +823,22 @@ let suite =
     [
       tc "moments welford vs two-pass" test_moments_welford;
       tc "moments merge" test_moments_merge;
+      tc "moments remove inverts merge" test_moments_remove;
+      tc "pyramid merge = batch (power-of-two shards)"
+        test_pyramid_merge_matches_batch;
+      tc "pyramid merge exact registered levels"
+        test_pyramid_merge_registered_levels;
+      tc "pyramid merge misalignment raises"
+        test_pyramid_merge_misaligned_raises;
       tc "pyramid matches naive VT (220 random cases)"
         test_pyramid_matches_naive;
       tc "curve equals naive on default levels"
         test_curve_equals_naive_default_levels;
+      tc "pyramid chunking sweep (pyrtest)" test_pyramid_chunking_sweep;
       tc "pyramid chunk edge cases" test_pyramid_chunk_edges;
       tc "pyramid resampled levels" test_pyramid_resampled_levels;
+      tc "sliding window = batch over covered bins"
+        test_window_sliding_matches_batch;
       tc "sink combinators" test_sink_combinators;
       tc "sink counts = Counts.of_events" test_sink_counts_matches_of_events;
       tc "sink counts rejects unsorted" test_sink_counts_rejects_unsorted;
