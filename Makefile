@@ -1,16 +1,18 @@
 # Tier-1 gate: build, full test suite (which includes the telemetry
 # non-perturbation regression), the distribution goodness-of-fit
 # battery, a 2-domain smoke run of the engine-backed harness, the
-# statistically-gated perf-diff smoke, and the streaming-pipeline
+# statistically-gated perf-diff smoke, the streaming-pipeline
 # smoke (sharding determinism + streamed-vs-materialized agreement +
-# the pyramid-vs-naive variance-time speedup under the perf gate), and
-# the live-analysis serve smoke (deterministic rolling estimates +
-# exactly one drift event on an injected regime change).
+# the pyramid-vs-naive variance-time speedup under the perf gate), the
+# live-analysis serve smoke (deterministic rolling estimates +
+# exactly one drift event on an injected regime change), and the
+# multi-process farm smoke (byte-identical stdout at any worker count,
+# crash detection, and the workers=1 no-slower-than-stream perf gate).
 .PHONY: check build test test-gof test-telemetry smoke bench bench-smoke \
-  perf-smoke stream-smoke serve-smoke
+  perf-smoke stream-smoke serve-smoke farm-smoke
 
 check: build test test-gof test-telemetry smoke bench-smoke perf-smoke \
-  stream-smoke serve-smoke
+  stream-smoke serve-smoke farm-smoke
 
 build:
 	dune build
@@ -126,6 +128,46 @@ serve-smoke:
 	! grep -q '"type":"drift"' _build/serve_smoke_stat.txt
 	@echo "serve-smoke: deterministic output, one drift on the splice,"
 	@echo "serve-smoke: quiet on the stationary stream"
+
+# The multi-process farm end to end. The macro-shard grid and the
+# shard-order merge depend only on the spec, never the worker count,
+# so farm stdout must be byte-identical at --workers 1, 2 and 4 for a
+# fixed seed — no filtering. A worker SIGKILLed mid-run
+# (--inject-crash) must become a nonzero coordinator exit plus a
+# structured farm.worker_died diagnostic naming the worker — never a
+# hang, and never partial results on stdout. Finally the recorded
+# farm-count-1e8 / stream-count-1e8 histories drive the perf gate:
+# the workers=1 farm path (shard streaming + frame round-trips +
+# shard-order merge) must not be slower than the single-process
+# stream driver it generalises.
+FARM_SMOKE_FLAGS = --events 1e6 --chunk 8192 --seed 42
+
+farm-smoke:
+	dune exec bin/wanpoisson.exe -- farm $(FARM_SMOKE_FLAGS) --workers 1 \
+	  2>/dev/null > _build/farm_smoke_w1.txt
+	dune exec bin/wanpoisson.exe -- farm $(FARM_SMOKE_FLAGS) --workers 2 \
+	  2>/dev/null > _build/farm_smoke_w2.txt
+	dune exec bin/wanpoisson.exe -- farm $(FARM_SMOKE_FLAGS) --workers 4 \
+	  2>/dev/null > _build/farm_smoke_w4.txt
+	diff _build/farm_smoke_w1.txt _build/farm_smoke_w2.txt
+	diff _build/farm_smoke_w1.txt _build/farm_smoke_w4.txt
+	! dune exec bin/wanpoisson.exe -- farm $(FARM_SMOKE_FLAGS) --workers 3 \
+	  --inject-crash 1 2> _build/farm_smoke_crash.err \
+	  > _build/farm_smoke_crash.txt
+	test ! -s _build/farm_smoke_crash.txt
+	grep -q 'farm.worker_died' _build/farm_smoke_crash.err
+	grep -q 'worker=1' _build/farm_smoke_crash.err
+	rm -f _build/perf_farm.jsonl _build/perf_stream_raw.jsonl
+	dune exec bench/main.exe -- --perf --only farm-count-1e8 \
+	  --record _build/perf_farm.jsonl 2>/dev/null >/dev/null
+	dune exec bench/main.exe -- --perf --only stream-count-1e8 \
+	  --record _build/perf_stream_raw.jsonl 2>/dev/null >/dev/null
+	sed 's/stream-count-1e8/farm-count-1e8/' _build/perf_stream_raw.jsonl \
+	  > _build/perf_stream.jsonl
+	dune exec bin/wanpoisson.exe -- perf-diff \
+	  _build/perf_stream.jsonl _build/perf_farm.jsonl
+	@echo "farm-smoke: workers-determinism, crash detection, and the"
+	@echo "farm-smoke: farm-vs-stream perf gate all hold"
 
 # Full registry, timing each experiment (default --jobs: one per core).
 bench:

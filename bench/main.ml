@@ -376,6 +376,46 @@ let perf (c : Engine.Cli.config) =
                     rate = 1000.;
                     bin = 0.01;
                   })));
+      (* The farm benchmarks. frame-encode-decode round-trips one ~1 KB
+         checksummed frame (the wire cost per shipped partial);
+         snapshot-merge is one coordinator merge step over two 32768-
+         count pyramid snapshots via the wire codec; farm-count-1e8 is
+         the full workers=1 farm computation (shard streaming + frame
+         round-trips + shard-order merge) on the same 1e8-event spec as
+         stream-count-1e8 — BENCH_farm.json pairs the two. *)
+      (let payload = String.init 1024 (fun i -> Char.chr (i land 0xff)) in
+       Test.make ~name:"frame-encode-decode"
+         (Staged.stage (fun () ->
+              let s = Engine.Frame.encode { Engine.Frame.kind = 1; payload } in
+              match Engine.Frame.decode s 0 with
+              | Ok _ -> ()
+              | Error _ -> assert false)));
+      (let snap seed =
+         let r = Prng.Rng.create seed in
+         let pyr = Timeseries.Pyramid.create () in
+         let buf = Array.init 4096 (fun _ -> 5. +. Prng.Rng.float r) in
+         for _ = 1 to 8 do
+           Timeseries.Pyramid.push pyr buf
+         done;
+         Timeseries.Pyramid.snapshot pyr
+       in
+       let a = snap 1 and b = snap 2 in
+       let b_wire = Timeseries.Pyramid.snapshot_to_string b in
+       Test.make ~name:"snapshot-merge"
+         (Staged.stage (fun () ->
+              match Timeseries.Pyramid.snapshot_of_string b_wire with
+              | Ok b -> ignore (Timeseries.Pyramid.merge a b)
+              | Error _ -> assert false)));
+      Test.make ~name:"farm-count-1e8"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Farm.run_inline
+                  {
+                    Core.Farm.default with
+                    events = 1e8;
+                    rate = 1000.;
+                    bin = 0.01;
+                  })));
       (let pgram = Timeseries.Periodogram.compute fgn_input in
        let f = Lrd.Whittle.fgn_objective_fn pgram in
        Test.make ~name:"whittle-objective-eval"

@@ -26,6 +26,15 @@ let fmt_of_out = function
     at_exit (fun () -> close_out_noerr oc);
     Format.formatter_of_out_channel oc
 
+(* Every subcommand that takes a worker count builds its --jobs argument
+   here, so the flag names, docv and the >= 1 validation cannot diverge
+   between subcommands again. *)
+let jobs_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let check_jobs jobs =
+  if jobs < 1 then Some "--jobs must be at least 1" else None
+
 (* ---------------- list ---------------- *)
 
 let list_cmd =
@@ -49,9 +58,8 @@ let run_cmd =
            ~doc:"Experiment id from $(b,list), or $(b,all)")
   in
   let jobs_arg =
-    Arg.(value & opt int (Engine.Pool.default_jobs ())
-         & info [ "j"; "jobs" ] ~docv:"N"
-             ~doc:"Worker domains for batch runs (default: one per core)")
+    jobs_arg ~default:(Engine.Pool.default_jobs ())
+      ~doc:"Worker domains for batch runs (default: one per core)"
   in
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S"
@@ -79,8 +87,10 @@ let run_cmd =
            ~doc:"Write a self-contained HTML run report to $(docv)")
   in
   let run id jobs seed out metrics trace log log_level report_html =
-    if jobs < 1 then `Error (false, "--jobs must be at least 1")
-    else
+    match check_jobs jobs with
+    | Some e -> `Error (false, e)
+    | None ->
+    begin
       match Engine.Log.level_of_string log_level with
       | None ->
         `Error
@@ -196,6 +206,7 @@ let run_cmd =
             (match failed with
              | [] -> `Ok ()
              | msgs -> `Error (false, String.concat "; " msgs))))
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate a table, figure, or in-text experiment")
@@ -507,9 +518,9 @@ let stream_cmd =
            ~doc:"Root RNG seed (default 42)")
   in
   let jobs_arg =
-    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Worker domains for sharded generation (default 1); the \
-                 report is byte-identical at any value")
+    jobs_arg ~default:1
+      ~doc:"Worker domains for sharded generation (default 1); the \
+            report is byte-identical at any value"
   in
   let materialized_arg =
     Arg.(value & flag & info [ "materialized" ]
@@ -517,8 +528,10 @@ let stream_cmd =
                  instead of the streaming sinks; the smoke test's baseline")
   in
   let run model events rate bin beta chunk seed jobs materialized =
-    if jobs < 1 then `Error (false, "--jobs must be at least 1")
-    else if events < 1. then `Error (false, "--events must be at least 1")
+    match check_jobs jobs with
+    | Some e -> `Error (false, e)
+    | None ->
+    if events < 1. then `Error (false, "--events must be at least 1")
     else if rate <= 0. || bin <= 0. || chunk < 1 then
       `Error (false, "--rate, --bin and --chunk must be positive")
     else begin
@@ -549,6 +562,107 @@ let stream_cmd =
     Term.(ret
             (const run $ model_arg $ events_arg $ rate_arg $ bin_arg
              $ beta_arg $ chunk_arg $ seed_arg $ jobs_arg $ materialized_arg))
+
+(* ---------------- farm ---------------- *)
+
+let farm_cmd =
+  let model_arg =
+    Arg.(value & opt string "poisson" & info [ "model" ] ~docv:"MODEL"
+           ~doc:"Source model; only poisson farms out (independent \
+                 increments over disjoint bin windows)")
+  in
+  let events_arg =
+    Arg.(value & opt float 1e6 & info [ "events" ] ~docv:"N"
+           ~doc:"Expected events; accepts scientific notation, e.g. 1e9")
+  in
+  let rate_arg =
+    Arg.(value & opt float 1000. & info [ "rate" ] ~docv:"R"
+           ~doc:"Arrival rate in events/s (default 1000)")
+  in
+  let bin_arg =
+    Arg.(value & opt float 1.0 & info [ "bin" ] ~docv:"SECONDS"
+           ~doc:"Count-process bin width (default 1 s)")
+  in
+  let chunk_arg =
+    Arg.(value & opt int 65536 & info [ "chunk" ] ~docv:"N"
+           ~doc:"Per-worker streaming chunk size (default 65536)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Root RNG seed (default 42); stdout is byte-identical \
+                 for a fixed seed at any $(b,--workers)")
+  in
+  let workers_arg =
+    Arg.(value & opt int (Engine.Pool.default_jobs ())
+         & info [ "w"; "workers" ] ~docv:"N"
+             ~doc:"Worker processes (default: one per core)")
+  in
+  let shards_arg =
+    Arg.(value & opt int Core.Farm.default.Core.Farm.shards
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Target macro-shard count; the grid layout depends only \
+                   on this, never on $(b,--workers) (default 128)")
+  in
+  let inject_crash_arg =
+    Arg.(value & opt int (-1) & info [ "inject-crash" ] ~docv:"W"
+           ~doc:"Testing hook: worker $(docv) kills itself (SIGKILL) \
+                 after its first completed macro-shard; the coordinator \
+                 must detect it and exit nonzero (-1 = off)")
+  in
+  let metrics_arg =
+    Arg.(value & flag & info [ "metrics" ]
+           ~doc:"Roll worker telemetry up to the coordinator and print \
+                 the counter summary to stderr")
+  in
+  let run model events rate bin chunk seed workers shards inject_crash
+      metrics =
+    if workers < 1 then `Error (false, "--workers must be at least 1")
+    else begin
+      Engine.Log.set_enabled true;
+      Engine.Log.reset ();
+      if metrics then begin
+        Engine.Telemetry.set_enabled true;
+        Engine.Telemetry.reset ()
+      end;
+      let spec =
+        { Core.Farm.default with
+          model; events; rate; bin; chunk; seed; workers; shards;
+          inject_crash; metrics }
+      in
+      let t0 = Unix.gettimeofday () in
+      match Core.Farm.run ~exe:Sys.executable_name spec with
+      | exception Invalid_argument e -> `Error (false, e)
+      | Error e ->
+        List.iter
+          (fun ev -> Format.eprintf "%a@." Engine.Log.pp_event ev)
+          (Engine.Log.warnings ());
+        Printf.eprintf "farm failed: %s\n%!" e;
+        exit 1
+      | Ok result ->
+        Core.Farm.pp Format.std_formatter spec result;
+        Format.pp_print_flush Format.std_formatter ();
+        if metrics then Engine.Telemetry.pp_summary Format.err_formatter;
+        let wall = Unix.gettimeofday () -. t0 in
+        (match peak_rss_kb () with
+         | Some kb ->
+           Printf.eprintf "workers %d, wall %.2f s, peak RSS %d kB\n" workers
+             wall kb
+         | None -> Printf.eprintf "workers %d, wall %.2f s\n" workers wall);
+        `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "farm"
+       ~doc:
+         "Sharded multi-process trace analysis: worker processes stream \
+          disjoint macro-shards of the trace and ship pyramid snapshots \
+          back as checksummed binary frames; the coordinator merges them \
+          in shard order, so the report is byte-identical at any worker \
+          count")
+    Term.(ret
+            (const run $ model_arg $ events_arg $ rate_arg $ bin_arg
+             $ chunk_arg $ seed_arg $ workers_arg $ shards_arg
+             $ inject_crash_arg $ metrics_arg))
 
 (* ---------------- serve ---------------- *)
 
@@ -776,6 +890,11 @@ let verify_manifest_cmd =
     Term.(ret (const run $ a_arg $ b_arg))
 
 let () =
+  (* Hidden farm-worker entry: process plumbing, not CLI surface, so it
+     is dispatched before Cmdliner ever sees argv. The single argument
+     is the JSON spec the coordinator serialized. *)
+  if Array.length Sys.argv >= 3 && Sys.argv.(1) = "farm-worker" then
+    exit (Core.Farm.worker_entry Sys.argv.(2));
   let info =
     Cmd.info "wanpoisson" ~version:(Engine.Build_info.describe ())
       ~doc:
@@ -786,5 +905,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; gen_cmd; genpkt_cmd; check_cmd; hurst_cmd;
-            analyze_cmd; render_cmd; summary_cmd; stream_cmd; serve_cmd;
-            perf_diff_cmd; verify_manifest_cmd ]))
+            analyze_cmd; render_cmd; summary_cmd; stream_cmd; farm_cmd;
+            serve_cmd; perf_diff_cmd; verify_manifest_cmd ]))

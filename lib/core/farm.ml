@@ -1,0 +1,559 @@
+(* Sharded multi-process trace farm. See farm.mli for the architecture
+   and determinism argument; DESIGN.md section 12 for the wire format. *)
+
+type spec = {
+  model : string;
+  events : float;
+  rate : float;
+  bin : float;
+  chunk : int;
+  seed : int;
+  workers : int;
+  shards : int;
+  top_k : int;
+  inject_crash : int;
+  metrics : bool;
+}
+
+let default =
+  {
+    model = "poisson";
+    events = 1e6;
+    rate = 1000.;
+    bin = 1.;
+    chunk = 65536;
+    seed = 42;
+    workers = 1;
+    shards = 128;
+    top_k = 64;
+    inject_crash = -1;
+    metrics = false;
+  }
+
+(* ---------------- plan ---------------- *)
+
+type plan = { n_bins : int; macro_bins : int; n_macro : int; gen_bins : int }
+
+let ceil_pow2 n =
+  let p = ref 1 in
+  while !p < n do
+    p := !p lsl 1
+  done;
+  !p
+
+let plan spec =
+  if spec.model <> "poisson" then
+    invalid_arg
+      (Printf.sprintf
+         "Farm.plan: model %S cannot farm out (only poisson increments over \
+          disjoint windows are independent; renewal/busy-period models \
+          carry cross-shard state)"
+         spec.model);
+  if spec.events < 1. then invalid_arg "Farm.plan: events must be at least 1";
+  if spec.rate <= 0. || spec.bin <= 0. then
+    invalid_arg "Farm.plan: rate and bin must be positive";
+  if spec.chunk < 1 then invalid_arg "Farm.plan: chunk must be at least 1";
+  if spec.workers < 1 then invalid_arg "Farm.plan: workers must be at least 1";
+  if spec.shards < 1 then invalid_arg "Farm.plan: shards must be at least 1";
+  if spec.top_k < 2 then invalid_arg "Farm.plan: top-k must be at least 2";
+  let n_bins =
+    Int.max 1 (int_of_float (Float.round (spec.events /. spec.rate /. spec.bin)))
+  in
+  let gen_bins =
+    Int.max 1
+      (int_of_float (Float.round (float_of_int spec.chunk /. (spec.rate *. spec.bin))))
+  in
+  (* Power-of-two macro-shards: every shard-order merge then satisfies
+     the snapshot alignment contract b <= 2^v2(a) unconditionally. At
+     least one full generation window per shard keeps the per-shard
+     streaming state at O(levels + chunk). *)
+  let macro_bins =
+    ceil_pow2 (Int.max gen_bins ((n_bins + spec.shards - 1) / spec.shards))
+  in
+  let n_macro = (n_bins + macro_bins - 1) / macro_bins in
+  { n_bins; macro_bins; n_macro; gen_bins }
+
+(* ---------------- tail sink (top-k bin counts) ---------------- *)
+
+type topk = { arr : float array; mutable n : int; mutable imin : int }
+
+let topk_create k = { arr = Array.make k neg_infinity; n = 0; imin = 0 }
+
+let topk_offer t v =
+  if t.n < Array.length t.arr then begin
+    t.arr.(t.n) <- v;
+    if v < t.arr.(t.imin) then t.imin <- t.n;
+    t.n <- t.n + 1
+  end
+  else if v > t.arr.(t.imin) then begin
+    t.arr.(t.imin) <- v;
+    for i = 0 to t.n - 1 do
+      if t.arr.(i) < t.arr.(t.imin) then t.imin <- i
+    done
+  end
+
+let topk_sorted_desc t =
+  let a = Array.sub t.arr 0 t.n in
+  Array.sort (fun x y -> Float.compare y x) a;
+  a
+
+(* Merge two descending arrays, keeping the [keep] largest. Top-k of a
+   concatenation equals the merge of per-part top-ks, so shard-order
+   folding reconstructs the global tail exactly. *)
+let merge_desc a b keep =
+  let out = Array.make (Int.min keep (Array.length a + Array.length b)) 0. in
+  let i = ref 0 and j = ref 0 in
+  for o = 0 to Array.length out - 1 do
+    if !j >= Array.length b || (!i < Array.length a && a.(!i) >= b.(!j)) then begin
+      out.(o) <- a.(!i);
+      incr i
+    end
+    else begin
+      out.(o) <- b.(!j);
+      incr j
+    end
+  done;
+  out
+
+(* Hill tail index over the merged top-k, (k+1)-th order statistic as
+   the threshold; needs >= 8 positive exceedances of a positive
+   threshold (same read-out as Core.Streaming.Window). *)
+let hill_of_tops tops =
+  let k = Array.length tops - 1 in
+  if k < 8 || tops.(k) <= 0. then nan else Stats.Fit.hill tops ~k
+
+(* ---------------- per-macro-shard streaming ---------------- *)
+
+type part = {
+  p_index : int;
+  p_snap : Timeseries.Pyramid.snapshot;
+  p_tops : float array;  (* sorted descending *)
+  p_events : int;
+}
+
+(* One macro-shard: generate its bin range window by window (RNG streams
+   keyed by absolute (shard, window) coordinates, so the sample path is
+   invariant under any worker partition) and fold the counts through a
+   dyadic pyramid plus the tail sink. Memory: one window of ~chunk
+   events, one chunk of count bins, O(levels) pyramid state. *)
+let compute_shard ~spec ~(plan : plan) i =
+  let lo = i * plan.macro_bins in
+  let hi = Int.min plan.n_bins (lo + plan.macro_bins) in
+  let len = hi - lo in
+  let pyr = Timeseries.Pyramid.create () in
+  let tail = topk_create spec.top_k in
+  let events = ref 0. in
+  let consume =
+    Timeseries.Sink.make ~name:"farm-shard"
+      ~push:(fun counts ->
+        Timeseries.Pyramid.push pyr counts;
+        Array.iter
+          (fun v ->
+            events := !events +. v;
+            topk_offer tail v)
+          counts)
+      ~finish:(fun () -> ())
+      ()
+  in
+  let sink =
+    Timeseries.Sink.counts
+      ~t_start:(float_of_int lo *. spec.bin)
+      ~bin:spec.bin ~n_bins:len ~chunk:spec.chunk consume
+  in
+  let n_windows = (len + plan.gen_bins - 1) / plan.gen_bins in
+  for j = 0 to n_windows - 1 do
+    let wlo = lo + (j * plan.gen_bins) in
+    let whi = Int.min hi (wlo + plan.gen_bins) in
+    let rng =
+      Engine.Task.derive_rng ~seed:spec.seed (Printf.sprintf "farm#%d#%d" i j)
+    in
+    let duration = float_of_int (whi - wlo) *. spec.bin in
+    let evs = Traffic.Poisson_proc.homogeneous ~rate:spec.rate ~duration rng in
+    Timeseries.Sink.push sink
+      (Traffic.Arrival.shift (float_of_int wlo *. spec.bin) evs)
+  done;
+  Timeseries.Sink.finish sink;
+  {
+    p_index = i;
+    p_snap = Timeseries.Pyramid.snapshot pyr;
+    p_tops = topk_sorted_desc tail;
+    p_events = int_of_float !events;
+  }
+
+(* ---------------- frame payloads ---------------- *)
+
+let kind_snapshot = 1
+let kind_tail = 2
+let kind_counters = 3
+let kind_done = 4
+
+let snapshot_frame p =
+  let b = Buffer.create 256 in
+  Engine.Frame.Wr.u32 b p.p_index;
+  Buffer.add_string b (Timeseries.Pyramid.snapshot_to_string p.p_snap);
+  { Engine.Frame.kind = kind_snapshot; payload = Buffer.contents b }
+
+let tail_frame p =
+  let b = Buffer.create 64 in
+  Engine.Frame.Wr.u32 b p.p_index;
+  Engine.Frame.Wr.i64 b p.p_events;
+  Engine.Frame.Wr.u32 b (Array.length p.p_tops);
+  Array.iter (Engine.Frame.Wr.f64 b) p.p_tops;
+  { Engine.Frame.kind = kind_tail; payload = Buffer.contents b }
+
+let counters_frame counters =
+  let b = Buffer.create 128 in
+  Engine.Frame.Wr.u16 b (List.length counters);
+  List.iter
+    (fun (name, v) ->
+      Engine.Frame.Wr.str b name;
+      Engine.Frame.Wr.i64 b v)
+    counters;
+  { Engine.Frame.kind = kind_counters; payload = Buffer.contents b }
+
+let done_frame ~shards ~events ~wall_s =
+  let b = Buffer.create 24 in
+  Engine.Frame.Wr.u32 b shards;
+  Engine.Frame.Wr.i64 b events;
+  Engine.Frame.Wr.f64 b wall_s;
+  { Engine.Frame.kind = kind_done; payload = Buffer.contents b }
+
+type decoded =
+  | D_snapshot of int * Timeseries.Pyramid.snapshot
+  | D_tail of int * int * float array  (* index, events, tops *)
+  | D_counters of (string * int) list
+  | D_done of int * int * float  (* shards, events, wall_s *)
+
+let decode_frame (f : Engine.Frame.t) =
+  let open Engine.Frame.Rd in
+  match
+    let c = of_string f.payload in
+    if f.kind = kind_snapshot then begin
+      let index = u32 c in
+      let rest =
+        String.sub f.payload 4 (String.length f.payload - 4)
+      in
+      match Timeseries.Pyramid.snapshot_of_string rest with
+      | Ok s -> D_snapshot (index, s)
+      | Error e -> raise (Malformed e)
+    end
+    else if f.kind = kind_tail then begin
+      let index = u32 c in
+      let events = i64 c in
+      let n = u32 c in
+      if n > 1 lsl 20 then raise (Malformed "tail frame too large");
+      let tops = Array.init n (fun _ -> f64 c) in
+      if not (at_end c) then raise (Malformed "trailing bytes in tail frame");
+      D_tail (index, events, tops)
+    end
+    else if f.kind = kind_counters then begin
+      let n = u16 c in
+      let counters = List.init n (fun _ ->
+          let name = str c in
+          let v = i64 c in
+          (name, v))
+      in
+      D_counters counters
+    end
+    else if f.kind = kind_done then begin
+      let shards = u32 c in
+      let events = i64 c in
+      let wall = f64 c in
+      D_done (shards, events, wall)
+    end
+    else raise (Malformed (Printf.sprintf "unknown frame kind %d" f.kind))
+  with
+  | d -> Ok d
+  | exception Malformed m -> Error m
+
+(* ---------------- coordinator merge + read-out ---------------- *)
+
+type result = {
+  bins : int;
+  macro_bins : int;
+  n_macro : int;
+  total : float;
+  mean : float;
+  h_vt : Lrd.Hurst.estimate;
+  alpha : float;
+  chunks : int;
+  levels : int;
+  resident : int;
+}
+
+(* Dyadic variance-time ladder, capped so >= 8 blocks support the
+   shallowest fitted level (same ladder as Core.Streaming.Window). *)
+let vt_levels covered =
+  let rec go m acc =
+    if m > covered / 8 then List.rev acc else go (2 * m) (m :: acc)
+  in
+  go 1 []
+
+(* [parts] must hold every macro-shard exactly once; merging is a left
+   fold in global shard order, so the coordinator state — and therefore
+   the printed report — is bit-identical at any worker count. *)
+let merge_parts ~spec ~(plan : plan) parts =
+  let pyr = Timeseries.Pyramid.of_snapshot parts.(0).p_snap in
+  let tops = ref parts.(0).p_tops in
+  let total = ref parts.(0).p_events in
+  for i = 1 to plan.n_macro - 1 do
+    Timeseries.Pyramid.merge_into pyr parts.(i).p_snap;
+    tops := merge_desc !tops parts.(i).p_tops spec.top_k;
+    total := !total + parts.(i).p_events
+  done;
+  let levels = vt_levels plan.n_bins in
+  let h_vt =
+    if List.length levels < 3 then { Lrd.Hurst.h = nan; slope = nan; r2 = nan }
+    else Lrd.Hurst.variance_time_of_pyramid ~levels pyr
+  in
+  {
+    bins = plan.n_bins;
+    macro_bins = plan.macro_bins;
+    n_macro = plan.n_macro;
+    total = float_of_int !total;
+    mean = Timeseries.Pyramid.mean pyr;
+    h_vt;
+    alpha = hill_of_tops !tops;
+    chunks = Timeseries.Pyramid.chunks pyr;
+    levels = Timeseries.Pyramid.depth pyr;
+    resident = Timeseries.Pyramid.resident_floats pyr;
+  }
+
+(* ---------------- worker side ---------------- *)
+
+let spec_json_fields spec =
+  [
+    ("model", Engine.Json.Str spec.model);
+    ("events", Engine.Json.Float spec.events);
+    ("rate", Engine.Json.Float spec.rate);
+    ("bin", Engine.Json.Float spec.bin);
+    ("chunk", Engine.Json.Int spec.chunk);
+    ("seed", Engine.Json.Int spec.seed);
+    ("workers", Engine.Json.Int spec.workers);
+    ("shards", Engine.Json.Int spec.shards);
+    ("top_k", Engine.Json.Int spec.top_k);
+    ("inject_crash", Engine.Json.Int spec.inject_crash);
+    ("metrics", Engine.Json.Int (if spec.metrics then 1 else 0));
+  ]
+
+let worker_arg spec ~index =
+  Engine.Json.to_string
+    (Engine.Json.Obj (("index", Engine.Json.Int index) :: spec_json_fields spec))
+
+let spec_of_json json =
+  match Engine.Json.parse json with
+  | Error e -> Error ("bad worker spec: " ^ e)
+  | Ok j -> (
+    let int k = Option.bind (Engine.Json.member k j) Engine.Json.to_int_opt in
+    let flt k = Option.bind (Engine.Json.member k j) Engine.Json.to_float_opt in
+    let str k = Option.bind (Engine.Json.member k j) Engine.Json.to_str_opt in
+    match
+      (str "model", flt "events", flt "rate", flt "bin", int "chunk",
+       int "seed", int "workers", int "shards", int "top_k",
+       int "inject_crash", int "metrics", int "index")
+    with
+    | ( Some model, Some events, Some rate, Some bin, Some chunk, Some seed,
+        Some workers, Some shards, Some top_k, Some inject_crash,
+        Some metrics, Some index ) ->
+      Ok
+        ( { model; events; rate; bin; chunk; seed; workers; shards; top_k;
+            inject_crash; metrics = metrics <> 0 },
+          index )
+    | _ -> Error "bad worker spec: missing field")
+
+let worker_entry json =
+  match spec_of_json json with
+  | Error e ->
+    prerr_endline ("farm-worker: " ^ e);
+    2
+  | Ok (spec, index) -> (
+    match plan spec with
+    | exception Invalid_argument e ->
+      prerr_endline ("farm-worker: " ^ e);
+      2
+    | plan_ -> (
+      try
+        set_binary_mode_out stdout true;
+        if spec.metrics then begin
+          Engine.Telemetry.set_enabled true;
+          Engine.Telemetry.reset ()
+        end;
+        let t0 = Unix.gettimeofday () in
+        let shards_done = ref 0 and events = ref 0 in
+        let i = ref index in
+        while !i < plan_.n_macro do
+          let part = compute_shard ~spec ~plan:plan_ !i in
+          output_string stdout (Engine.Frame.encode (snapshot_frame part));
+          output_string stdout (Engine.Frame.encode (tail_frame part));
+          flush stdout;
+          incr shards_done;
+          events := !events + part.p_events;
+          (* Testing hook: die by SIGKILL mid-run, after at least one
+             shipped partial, leaving the frame stream without its final
+             frame — exactly what a real crash looks like. *)
+          if spec.inject_crash = index then
+            Unix.kill (Unix.getpid ()) Sys.sigkill;
+          i := !i + spec.workers
+        done;
+        if spec.metrics then
+          output_string stdout
+            (Engine.Frame.encode (counters_frame (Engine.Telemetry.counters ())));
+        output_string stdout
+          (Engine.Frame.encode
+             (done_frame ~shards:!shards_done ~events:!events
+                ~wall_s:(Unix.gettimeofday () -. t0)));
+        flush stdout;
+        0
+      with e ->
+        Printf.eprintf "farm-worker %d: %s\n%!" index (Printexc.to_string e);
+        3))
+
+(* ---------------- coordinator side ---------------- *)
+
+(* Fold one worker's decoded frames into the shared parts table.
+   Returns an error description on the first malformed or inconsistent
+   frame — treated exactly like a crashed worker. *)
+let absorb_worker ~(plan : plan) ~parts ~rollup (o : Engine.Farm.outcome) =
+  let snaps = Hashtbl.create 16 and tails = Hashtbl.create 16 in
+  let err = ref None in
+  let note_err m = if !err = None then err := Some m in
+  List.iter
+    (fun f ->
+      if !err = None then
+        match decode_frame f with
+        | Error m -> note_err m
+        | Ok (D_snapshot (i, s)) ->
+          if i < 0 || i >= plan.n_macro then note_err "shard index out of range"
+          else if Hashtbl.mem snaps i then note_err "duplicate shard snapshot"
+          else Hashtbl.add snaps i s
+        | Ok (D_tail (i, events, tops)) ->
+          if i < 0 || i >= plan.n_macro then note_err "shard index out of range"
+          else if Hashtbl.mem tails i then note_err "duplicate shard tail"
+          else Hashtbl.add tails i (events, tops)
+        | Ok (D_counters cs) ->
+          List.iter
+            (fun (name, v) ->
+              Engine.Telemetry.add
+                (Engine.Telemetry.counter ("farm.rollup." ^ name))
+                v)
+            cs;
+          rollup := !rollup + List.length cs
+        | Ok (D_done (shards, events, wall_s)) ->
+          Engine.Log.info "farm.worker_done"
+            [
+              ("worker", Engine.Log.I o.index);
+              ("pid", Engine.Log.I o.pid);
+              ("shards", Engine.Log.I shards);
+              ("events", Engine.Log.I events);
+              ("wall_s", Engine.Log.F wall_s);
+            ])
+    o.frames;
+  (match !err with
+  | Some _ -> ()
+  | None ->
+    Hashtbl.iter
+      (fun i snap ->
+        match Hashtbl.find_opt tails i with
+        | None -> note_err (Printf.sprintf "shard %d snapshot without tail" i)
+        | Some (events, tops) ->
+          if parts.(i) <> None then
+            note_err (Printf.sprintf "shard %d shipped twice" i)
+          else
+            parts.(i) <-
+              Some { p_index = i; p_snap = snap; p_tops = tops;
+                     p_events = events })
+      snaps);
+  !err
+
+let run ~exe spec =
+  let plan_ = plan spec in
+  let outcomes =
+    Engine.Farm.run ~exe
+      ~argv:(fun i -> [| exe; "farm-worker"; worker_arg spec ~index:i |])
+      ~workers:spec.workers
+      ~is_final:(fun f -> f.Engine.Frame.kind = kind_done)
+      ()
+  in
+  let parts = Array.make plan_.n_macro None in
+  let rollup = ref 0 in
+  let failures =
+    List.concat_map
+      (fun (o : Engine.Farm.outcome) ->
+        let stream_err =
+          if Engine.Farm.ok o then absorb_worker ~plan:plan_ ~parts ~rollup o
+          else begin
+            ignore (absorb_worker ~plan:plan_ ~parts ~rollup o);
+            Some
+              (match o.failure with
+              | Some m -> m
+              | None -> Engine.Farm.status_to_string o.status)
+          end
+        in
+        match stream_err with
+        | None -> []
+        | Some reason ->
+          Engine.Log.error "farm.worker_died"
+            [
+              ("worker", Engine.Log.I o.index);
+              ("pid", Engine.Log.I o.pid);
+              ("status", Engine.Log.S (Engine.Farm.status_to_string o.status));
+              ("reason", Engine.Log.S reason);
+            ];
+          [ Printf.sprintf "worker %d (pid %d) died: %s, %s" o.index o.pid
+              (Engine.Farm.status_to_string o.status)
+              reason ])
+      outcomes
+  in
+  if failures <> [] then Error (String.concat "; " failures)
+  else begin
+    let missing = ref [] in
+    Array.iteri
+      (fun i p -> if p = None then missing := i :: !missing)
+      parts;
+    match !missing with
+    | _ :: _ ->
+      Error
+        (Printf.sprintf "missing macro-shard%s %s"
+           (if List.length !missing > 1 then "s" else "")
+           (String.concat ", "
+              (List.rev_map string_of_int !missing)))
+    | [] ->
+      let parts = Array.map Option.get parts in
+      Ok (merge_parts ~spec ~plan:plan_ parts)
+  end
+
+(* The full workers=1 computational path — per-shard streaming, frame
+   encode + decode, shard-order merge — without process management.
+   Benched as farm-count-1e8 and pinned against [run] by the tests. *)
+let run_inline spec =
+  let plan_ = plan spec in
+  let parts =
+    Array.init plan_.n_macro (fun i ->
+        let p = compute_shard ~spec ~plan:plan_ i in
+        let roundtrip frame =
+          match Engine.Frame.decode (Engine.Frame.encode frame) 0 with
+          | Ok (f, _) -> f
+          | Error e -> failwith (Engine.Frame.error_to_string e)
+        in
+        match
+          ( decode_frame (roundtrip (snapshot_frame p)),
+            decode_frame (roundtrip (tail_frame p)) )
+        with
+        | Ok (D_snapshot (idx, snap)), Ok (D_tail (_, events, tops)) ->
+          { p_index = idx; p_snap = snap; p_tops = tops; p_events = events }
+        | _ -> failwith "farm inline: frame round-trip failed")
+  in
+  merge_parts ~spec ~plan:plan_ parts
+
+let pp fmt spec r =
+  Format.fprintf fmt "farm model=%s events=%g bins=%d bin=%g seed=%d@."
+    spec.model spec.events r.bins spec.bin spec.seed;
+  Format.fprintf fmt "  macro-shards  %d x %d bins@." r.n_macro r.macro_bins;
+  Format.fprintf fmt "  total-count   %.0f@." r.total;
+  Format.fprintf fmt "  mean/bin      %.6f@." r.mean;
+  Format.fprintf fmt "  H(var-time)   %.6f  (slope %.6f, r2 %.4f)@."
+    r.h_vt.Lrd.Hurst.h r.h_vt.Lrd.Hurst.slope r.h_vt.Lrd.Hurst.r2;
+  Format.fprintf fmt "  tail-alpha    %.6f  (top-%d bin counts)@." r.alpha
+    spec.top_k;
+  Format.fprintf fmt "  pyramid       chunks=%d levels=%d resident-floats=%d@."
+    r.chunks r.levels r.resident

@@ -1,0 +1,100 @@
+(** The [wanpoisson farm] driver: sharded multi-process trace analysis.
+
+    The stream of count bins is cut into a fixed grid of {e macro-shards}
+    — power-of-two bin ranges whose layout depends only on the spec,
+    never on the worker count. Each worker process owns the macro-shards
+    congruent to its index mod [workers]; per shard it generates the
+    Poisson events for that bin range (generation windows and RNG
+    streams are keyed by absolute shard/window coordinates, the PR-5
+    sharding discipline), folds them through the local streaming stack
+    ({!Timeseries.Sink.counts} → {!Timeseries.Pyramid} + a top-k tail
+    sink) in O(levels x chunk) memory, and ships
+    {!Timeseries.Pyramid.snapshot} + tail partials to the coordinator as
+    {!Engine.Frame} binary frames. The coordinator
+    {!Timeseries.Pyramid.merge_into}s the snapshots in {e global shard
+    order} — a left fold whose shape is identical at any worker count —
+    so stdout is byte-identical at [--workers 1] and [--workers 64].
+
+    Every macro-shard holds a power of two bins (the last may be
+    partial), so each merge satisfies the alignment contract
+    [b <= 2^v2(a)] unconditionally; the pyramid is dyadic-only (no
+    registered levels) and the variance-time read-out uses the dyadic
+    ladder, exactly like {!Core.Streaming.Window}.
+
+    Only the Poisson model farms out: its increments over disjoint
+    bin-aligned windows are independent, so per-window RNG streams keyed
+    by absolute position reproduce one global sample path at any
+    partition. The renewal/busy-period models ([pareto], [mginf],
+    [onoff]) carry cross-bin state whose law at a shard boundary has no
+    closed form — sharding them would silently change the model, so
+    {!plan} rejects them instead. *)
+
+type spec = {
+  model : string;  (** Only ["poisson"]; see above. *)
+  events : float;  (** Expected events; bins = events / rate / bin. *)
+  rate : float;
+  bin : float;
+  chunk : int;  (** Streaming chunk size (bins / events per buffer). *)
+  seed : int;
+  workers : int;
+  shards : int;  (** Target macro-shard count (layout rounds to powers
+                     of two); actual count is {!plan}'s [n_macro]. *)
+  top_k : int;  (** Tail-sink size for the Hill read-out. *)
+  inject_crash : int;
+      (** Testing hook: the worker with this index SIGKILLs itself after
+          its first completed macro-shard ([-1] = off). *)
+  metrics : bool;  (** Roll worker telemetry counters up to the
+                       coordinator. *)
+}
+
+val default : spec
+
+type plan = {
+  n_bins : int;
+  macro_bins : int;  (** Bins per macro-shard; a power of two. *)
+  n_macro : int;
+  gen_bins : int;  (** Bins per generation window (~[chunk] events). *)
+}
+
+val plan : spec -> plan
+(** Raises [Invalid_argument] on an unsupported model or out-of-range
+    field. *)
+
+type result = {
+  bins : int;
+  macro_bins : int;
+  n_macro : int;
+  total : float;  (** Events actually counted. *)
+  mean : float;
+  h_vt : Lrd.Hurst.estimate;  (** Variance-time H over the dyadic ladder. *)
+  alpha : float;  (** Hill tail index over the merged top-[top_k] bin
+                      counts ([nan] below 9 positive exceedances). *)
+  chunks : int;
+  levels : int;
+  resident : int;
+}
+
+val worker_entry : string -> int
+(** The hidden [farm-worker] subcommand body: parse the JSON spec
+    argument (spec fields plus ["index"]), compute the owned
+    macro-shards, write frames to stdout, return the exit code. Never
+    raises — failures print to stderr and return nonzero. *)
+
+val run : exe:string -> spec -> (result, string) Stdlib.result
+(** Coordinator: spawn [spec.workers] worker processes re-executing
+    [exe] (via {!Engine.Farm}), collect and merge their partials.
+    [Error] — with [farm.worker_died] logged per dead worker — when any
+    worker exits abnormally, breaks its frame stream, or omits a shard;
+    no partial results are ever reported as complete. Raises
+    [Invalid_argument] only on a bad spec (see {!plan}). *)
+
+val run_inline : spec -> result
+(** The same computation — per-shard streaming, frame encode/decode,
+    shard-order merge — in one process, used by the [farm-count-1e8]
+    bench and the test suite. Produces the identical [result] record
+    (workers only affect process placement, never values). *)
+
+val pp : Format.formatter -> spec -> result -> unit
+(** Deterministic fixed-precision report. Deliberately omits the worker
+    count and any timing: stdout must be byte-identical at any
+    [--workers]. *)

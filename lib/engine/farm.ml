@@ -1,0 +1,78 @@
+(* Worker-pool lifecycle: spawn-all, then drain-and-reap in index order.
+   See farm.mli for the crash-semantics contract. *)
+
+type outcome = {
+  index : int;
+  pid : int;
+  frames : Frame.t list;
+  status : Unix.process_status;
+  failure : string option;
+}
+
+let ok o = o.status = Unix.WEXITED 0 && o.failure = None
+
+(* OCaml signal numbers are its own portable negatives; name the common
+   ones so a crash diagnostic reads "SIGKILL", not "signal -7". *)
+let signal_name s =
+  let names =
+    [ (Sys.sigabrt, "SIGABRT"); (Sys.sigbus, "SIGBUS"); (Sys.sigfpe, "SIGFPE");
+      (Sys.sighup, "SIGHUP"); (Sys.sigill, "SIGILL"); (Sys.sigint, "SIGINT");
+      (Sys.sigkill, "SIGKILL"); (Sys.sigpipe, "SIGPIPE");
+      (Sys.sigquit, "SIGQUIT"); (Sys.sigsegv, "SIGSEGV");
+      (Sys.sigterm, "SIGTERM"); (Sys.sigstop, "SIGSTOP") ]
+  in
+  match List.assoc_opt s names with
+  | Some n -> n
+  | None -> Printf.sprintf "signal %d" s
+
+let status_to_string = function
+  | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+  | Unix.WSIGNALED s -> "killed by " ^ signal_name s
+  | Unix.WSTOPPED s -> "stopped by " ^ signal_name s
+
+let ignore_sigpipe () =
+  (* Absent on non-Unix; harmless to skip there. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+(* Read frames until the final frame, EOF, or a framing error. A clean
+   EOF without the final frame is a crash: the worker died (or was
+   killed) mid-run, and its partials must not be trusted. *)
+let drain ic ~is_final c_frames =
+  let rec go acc =
+    match Frame.read ic with
+    | Ok None -> (List.rev acc, Some "stream ended before the final frame")
+    | Ok (Some f) ->
+      Telemetry.bump c_frames;
+      if is_final f then (List.rev (f :: acc), None) else go (f :: acc)
+    | Error e -> (List.rev acc, Some (Frame.error_to_string e))
+  in
+  go []
+
+let run ~exe ~argv ~workers ~is_final () =
+  if workers < 1 then
+    invalid_arg (Printf.sprintf "Farm.run: workers = %d (want >= 1)" workers);
+  ignore_sigpipe ();
+  let c_workers = Telemetry.counter "farm.workers" in
+  let c_frames = Telemetry.counter "farm.frames" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let procs =
+    Fun.protect
+      ~finally:(fun () -> Unix.close devnull)
+      (fun () ->
+        Array.init workers (fun i ->
+            (* cloexec keeps earlier workers' pipe ends out of later
+               workers, so EOF on a pipe means that worker is gone. *)
+            let r, w = Unix.pipe ~cloexec:true () in
+            let pid = Unix.create_process exe (argv i) devnull w Unix.stderr in
+            Telemetry.bump c_workers;
+            Unix.close w;
+            (pid, Unix.in_channel_of_descr r)))
+  in
+  Array.to_list
+    (Array.mapi
+       (fun index (pid, ic) ->
+         let frames, failure = drain ic ~is_final c_frames in
+         close_in_noerr ic;
+         let _, status = Unix.waitpid [] pid in
+         { index; pid; frames; status; failure })
+       procs)

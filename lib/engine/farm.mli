@@ -1,0 +1,51 @@
+(** Forked-worker process pool for the multi-process trace farm.
+
+    The coordinator re-executes its own binary [workers] times with a
+    per-worker argv (a hidden worker subcommand), wires each worker's
+    stdout to a private pipe, and drains the pipes as {!Frame} streams.
+    Re-exec was chosen over [Unix.fork]: the coordinator links the
+    OCaml 5 domain machinery (pools, DLS, channel locks) whose state is
+    undefined in a fork child, a fresh exec gives every worker a
+    pristine runtime with its own measurable RSS, and the worker entry
+    stays directly invocable for debugging.
+
+    Crash semantics: a worker's stream must end with a frame matched by
+    [is_final] (its "done" summary). EOF before that frame, a framing
+    error, or an abnormal exit status all surface in the worker's
+    {!outcome} — the caller decides that the run failed; nothing is
+    reported as complete on partial data.
+
+    SIGPIPE is ignored for the calling process (idempotently) before
+    spawning, so a worker writing to a coordinator that already gave up
+    sees [EPIPE]/[Sys_error] instead of dying silently by signal. *)
+
+type outcome = {
+  index : int;
+  pid : int;
+  frames : Frame.t list;  (** Decoded frames, in write order. *)
+  status : Unix.process_status;
+  failure : string option;
+      (** [Some reason] when the stream broke: a {!Frame.error}, or EOF
+          before the final frame. Abnormal exits are in [status]. *)
+}
+
+val ok : outcome -> bool
+(** Clean worker: exited 0, stream intact through its final frame. *)
+
+val status_to_string : Unix.process_status -> string
+(** ["exited 0"], ["killed by signal -7"], ... — for diagnostics. *)
+
+val run :
+  exe:string ->
+  argv:(int -> string array) ->
+  workers:int ->
+  is_final:(Frame.t -> bool) ->
+  unit ->
+  outcome list
+(** Spawn [workers] processes ([exe] with [argv i]; stdin is
+    [/dev/null], stderr inherited), then drain and reap them in index
+    order. Draining worker [i] cannot deadlock on worker [j]'s full
+    pipe — [j] merely blocks in [write] until its turn. Raises
+    [Invalid_argument] when [workers < 1]; [Unix.Unix_error] if a spawn
+    itself fails. Telemetry: bumps [farm.workers] per spawn and
+    [farm.frames] per decoded frame. *)

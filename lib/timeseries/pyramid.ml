@@ -761,3 +761,118 @@ let merge a b =
   let t = of_snapshot a in
   merge_into t b;
   snapshot t
+
+(* ---- snapshot wire codec ----
+
+   Fixed-width little-endian layout (Engine.Frame.Wr/Rd), floats as raw
+   IEEE bits, so serialize -> deserialize is the identity on every field
+   and a deserialized snapshot merges bit-for-bit like the original.
+   The farm ships these as frame payloads between worker and
+   coordinator processes. *)
+
+let snapshot_codec_version = 1
+
+let snapshot_to_string s =
+  let open Engine.Frame.Wr in
+  let b = Buffer.create 256 in
+  u8 b snapshot_codec_version;
+  i64 b s.sn_chunks;
+  u16 b (Array.length s.sn_levels);
+  Array.iter
+    (fun ls ->
+      i64 b ls.ls_n;
+      f64 b ls.ls_mean;
+      f64 b ls.ls_m2;
+      f64 b ls.ls_carry;
+      u8 b (if ls.ls_have_carry then 1 else 0))
+    s.sn_levels;
+  u16 b (Array.length s.sn_subs);
+  Array.iter
+    (fun ss ->
+      u32 b ss.ss_sm;
+      i64 b ss.ss_n;
+      f64 b ss.ss_mean;
+      f64 b ss.ss_m2;
+      f64 b ss.ss_ssum;
+      i64 b ss.ss_scnt;
+      i64 b ss.ss_i_raw;
+      i64 b ss.ss_b_raw;
+      i64 b ss.ss_q_aux;
+      i64 b ss.ss_b_aux;
+      i64 b ss.ss_pend_base;
+      u16 b (Array.length ss.ss_pend);
+      Array.iter
+        (fun (raw, aux) ->
+          f64 b raw;
+          f64 b aux)
+        ss.ss_pend)
+    s.sn_subs;
+  Buffer.contents b
+
+let snapshot_of_string bytes =
+  let open Engine.Frame.Rd in
+  match
+    let c = of_string bytes in
+    let ver = u8 c in
+    if ver <> snapshot_codec_version then
+      raise
+        (Malformed (Printf.sprintf "snapshot codec version %d (want %d)" ver
+                      snapshot_codec_version));
+    let nonneg what v =
+      if v < 0 then raise (Malformed (Printf.sprintf "negative %s" what));
+      v
+    in
+    let sn_chunks = nonneg "chunk count" (i64 c) in
+    let nlev = u16 c in
+    let sn_levels =
+      Array.init nlev (fun _ ->
+          let ls_n = nonneg "level count" (i64 c) in
+          let ls_mean = f64 c in
+          let ls_m2 = f64 c in
+          let ls_carry = f64 c in
+          let ls_have_carry = u8 c <> 0 in
+          { ls_n; ls_mean; ls_m2; ls_carry; ls_have_carry })
+    in
+    let nsub = u16 c in
+    let sn_subs =
+      Array.init nsub (fun _ ->
+          let ss_sm = u32 c in
+          if ss_sm < 1 || is_pow2 ss_sm then
+            raise (Malformed (Printf.sprintf "registered level %d" ss_sm));
+          let ss_n = nonneg "subscriber count" (i64 c) in
+          let ss_mean = f64 c in
+          let ss_m2 = f64 c in
+          let ss_ssum = f64 c in
+          let ss_scnt = nonneg "partial-block count" (i64 c) in
+          let ss_i_raw = nonneg "raw cursor" (i64 c) in
+          let ss_b_raw = nonneg "raw block" (i64 c) in
+          let ss_q_aux = nonneg "aux cursor" (i64 c) in
+          let ss_b_aux = nonneg "aux block" (i64 c) in
+          let ss_pend_base = nonneg "pending base" (i64 c) in
+          let npend = u16 c in
+          let ss_pend =
+            Array.init npend (fun _ ->
+                let raw = f64 c in
+                let aux = f64 c in
+                (raw, aux))
+          in
+          {
+            ss_sm;
+            ss_n;
+            ss_mean;
+            ss_m2;
+            ss_ssum;
+            ss_scnt;
+            ss_i_raw;
+            ss_b_raw;
+            ss_q_aux;
+            ss_b_aux;
+            ss_pend_base;
+            ss_pend;
+          })
+    in
+    if not (at_end c) then raise (Malformed "trailing bytes");
+    { sn_levels; sn_subs; sn_chunks }
+  with
+  | s -> Ok s
+  | exception Malformed m -> Error ("Pyramid.snapshot_of_string: " ^ m)

@@ -123,3 +123,17 @@ val of_snapshot : snapshot -> t
 
 val merge : snapshot -> snapshot -> snapshot
 (** Pure form: [snapshot] of [of_snapshot a] merged with [b]. *)
+
+(** {1 Wire codec}
+
+    The farm's worker processes ship snapshots to the coordinator as
+    {!Engine.Frame} payloads. The codec is fixed-width little-endian
+    with floats as raw IEEE bits, so deserialization is the exact
+    inverse of serialization on every field — a round-tripped snapshot
+    merges bit-for-bit like the original. *)
+
+val snapshot_to_string : snapshot -> string
+
+val snapshot_of_string : string -> (snapshot, string) result
+(** [Error] (never an exception) on truncation, trailing bytes, an
+    unknown codec version, or out-of-range fields. *)

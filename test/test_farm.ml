@@ -1,0 +1,284 @@
+(* PR 7: the multi-process trace farm — binary frame codec, pyramid
+   snapshot wire format, and the sharded coordinator/worker drivers. *)
+
+open Helpers
+
+let bits = Int64.bits_of_float
+
+let check_float_exact name a b =
+  check_true name (bits a = bits b)
+
+(* ---------------- Engine.Frame ---------------- *)
+
+let test_frame_roundtrip_prop =
+  prop ~count:300 "frame round-trip"
+    QCheck.(pair (int_bound 255) string)
+    (fun (kind, payload) ->
+      let s = Engine.Frame.encode { Engine.Frame.kind; payload } in
+      String.length s = String.length payload + Engine.Frame.overhead
+      &&
+      match Engine.Frame.decode s 0 with
+      | Ok (f, pos) ->
+        f.Engine.Frame.kind = kind
+        && f.Engine.Frame.payload = payload
+        && pos = String.length s
+      | Error _ -> false)
+
+let test_frame_stream_decode () =
+  (* Concatenated frames decode sequentially, each handing back the
+     offset of the next. *)
+  let frames =
+    List.map
+      (fun (kind, payload) -> { Engine.Frame.kind; payload })
+      [ (1, "alpha"); (2, ""); (255, String.make 1000 '\xee') ]
+  in
+  let s = String.concat "" (List.map Engine.Frame.encode frames) in
+  let rec go pos acc =
+    if pos = String.length s then List.rev acc
+    else
+      match Engine.Frame.decode s pos with
+      | Ok (f, next) -> go next (f :: acc)
+      | Error e -> Alcotest.fail (Engine.Frame.error_to_string e)
+  in
+  check_true "all frames recovered" (go 0 [] = frames)
+
+let test_frame_truncation () =
+  let s = Engine.Frame.encode { Engine.Frame.kind = 7; payload = "payload" } in
+  for len = 0 to String.length s - 1 do
+    match Engine.Frame.decode (String.sub s 0 len) 0 with
+    | Error Engine.Frame.Truncated -> ()
+    | Ok _ -> Alcotest.failf "prefix of %d bytes decoded" len
+    | Error e ->
+      Alcotest.failf "prefix of %d bytes: %s" len
+        (Engine.Frame.error_to_string e)
+  done
+
+let test_frame_corruption () =
+  let s = Engine.Frame.encode { Engine.Frame.kind = 7; payload = "payload" } in
+  let flip pos =
+    let b = Bytes.of_string s in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+    Bytes.to_string b
+  in
+  (match Engine.Frame.decode (flip 0) 0 with
+  | Error Engine.Frame.Bad_magic -> ()
+  | _ -> Alcotest.fail "corrupt magic accepted");
+  (match Engine.Frame.decode (flip 2) 0 with
+  | Error (Engine.Frame.Unsupported_version _) -> ()
+  | _ -> Alcotest.fail "corrupt version accepted");
+  (* Kind, payload and trailer corruption all land on the checksum. *)
+  List.iter
+    (fun pos ->
+      match Engine.Frame.decode (flip pos) 0 with
+      | Error Engine.Frame.Bad_checksum -> ()
+      | _ -> Alcotest.failf "corrupt byte %d accepted" pos)
+    [ 3; 8; 14; String.length s - 1 ]
+
+let test_frame_oversized () =
+  (* A length field past max_payload is rejected before allocating. *)
+  let s = Engine.Frame.encode { Engine.Frame.kind = 1; payload = "x" } in
+  let b = Bytes.of_string s in
+  Bytes.set_int32_le b 4 0x7fffffffl;
+  match Engine.Frame.decode (Bytes.to_string b) 0 with
+  | Error (Engine.Frame.Oversized _) -> ()
+  | _ -> Alcotest.fail "oversized length accepted"
+
+let test_frame_read_channel () =
+  let path = Filename.temp_file "frame" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let f1 = { Engine.Frame.kind = 1; payload = "one" } in
+      let f2 = { Engine.Frame.kind = 2; payload = String.make 300 'z' } in
+      let oc = open_out_bin path in
+      output_string oc (Engine.Frame.encode f1);
+      output_string oc (Engine.Frame.encode f2);
+      close_out oc;
+      let ic = open_in_bin path in
+      check_true "first" (Engine.Frame.read ic = Ok (Some f1));
+      check_true "second" (Engine.Frame.read ic = Ok (Some f2));
+      check_true "clean EOF" (Engine.Frame.read ic = Ok None);
+      close_in ic;
+      (* Truncate mid-frame: EOF inside a frame is a hard error, never
+         a clean end of stream. *)
+      let all = Engine.Frame.encode f1 ^ Engine.Frame.encode f2 in
+      let oc = open_out_bin path in
+      output_string oc (String.sub all 0 (String.length all - 5));
+      close_out oc;
+      let ic = open_in_bin path in
+      check_true "first again" (Engine.Frame.read ic = Ok (Some f1));
+      check_true "truncated tail"
+        (Engine.Frame.read ic = Error Engine.Frame.Truncated);
+      close_in ic)
+
+(* ---------------- pyramid snapshot codec ---------------- *)
+
+let random_snapshot ?(levels = []) seed =
+  let r = rng ~seed () in
+  let pyr = Timeseries.Pyramid.create ~levels () in
+  for _ = 1 to 1 + Prng.Rng.int r 6 do
+    let n = 1 + Prng.Rng.int r 700 in
+    Timeseries.Pyramid.push pyr
+      (Array.init n (fun _ -> 10. *. Prng.Rng.float r))
+  done;
+  Timeseries.Pyramid.snapshot pyr
+
+let test_snapshot_codec_roundtrip () =
+  for seed = 1 to 30 do
+    let levels = if seed mod 3 = 0 then [ 10; 100 ] else [] in
+    let s = random_snapshot ~levels seed in
+    let wire = Timeseries.Pyramid.snapshot_to_string s in
+    match Timeseries.Pyramid.snapshot_of_string wire with
+    | Error e -> Alcotest.fail e
+    | Ok s' ->
+      (* Bit-exact round trip: re-serialization is byte-identical. *)
+      check_true "round-trip bytes"
+        (Timeseries.Pyramid.snapshot_to_string s' = wire)
+  done
+
+let test_snapshot_codec_merge_equals_inprocess () =
+  (* Merging a round-tripped snapshot behaves bit-for-bit like merging
+     the original: the farm's coordinator path = the in-process path. *)
+  let r = rng ~seed:99 () in
+  for _ = 1 to 20 do
+    let n = 512 lsl Prng.Rng.int r 3 in
+    let xs = Array.init (2 * n) (fun _ -> 5. +. Prng.Rng.float r) in
+    let part lo len =
+      let pyr = Timeseries.Pyramid.create () in
+      Timeseries.Pyramid.push pyr (Array.sub xs lo len);
+      Timeseries.Pyramid.snapshot pyr
+    in
+    let a = part 0 n and b = part n n in
+    let through_wire s =
+      match
+        Timeseries.Pyramid.snapshot_of_string
+          (Timeseries.Pyramid.snapshot_to_string s)
+      with
+      | Ok s -> s
+      | Error e -> Alcotest.fail e
+    in
+    let direct = Timeseries.Pyramid.merge a b in
+    let wired = Timeseries.Pyramid.merge (through_wire a) (through_wire b) in
+    check_true "wire merge = in-process merge"
+      (Timeseries.Pyramid.snapshot_to_string wired
+      = Timeseries.Pyramid.snapshot_to_string direct)
+  done
+
+let test_snapshot_codec_rejects () =
+  let wire = Timeseries.Pyramid.snapshot_to_string (random_snapshot 5) in
+  (* Every strict prefix is rejected, never accepted or fatal. *)
+  for len = 0 to String.length wire - 1 do
+    match Timeseries.Pyramid.snapshot_of_string (String.sub wire 0 len) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "prefix of %d bytes accepted" len
+  done;
+  (match Timeseries.Pyramid.snapshot_of_string (wire ^ "\x00") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  let bad_version = Bytes.of_string wire in
+  Bytes.set bad_version 0 '\x63';
+  match Timeseries.Pyramid.snapshot_of_string (Bytes.to_string bad_version) with
+  | Error e -> check_true "names the version" (String.length e > 0)
+  | Ok _ -> Alcotest.fail "unknown codec version accepted"
+
+(* ---------------- Core.Farm ---------------- *)
+
+(* Small spec with several macro-shards: 100 bins, gen_bins = 8,
+   macro_bins = 8 -> 13 shards. *)
+let small_spec =
+  { Core.Farm.default with
+    events = 1e5;
+    chunk = 8192;
+    shards = 16;
+    top_k = 16 }
+
+let check_result_equal (a : Core.Farm.result) (b : Core.Farm.result) =
+  check_int "bins" a.bins b.bins;
+  check_int "macro_bins" a.macro_bins b.macro_bins;
+  check_int "n_macro" a.n_macro b.n_macro;
+  check_float_exact "total" a.total b.total;
+  check_float_exact "mean" a.mean b.mean;
+  check_float_exact "h" a.h_vt.Lrd.Hurst.h b.h_vt.Lrd.Hurst.h;
+  check_float_exact "slope" a.h_vt.Lrd.Hurst.slope b.h_vt.Lrd.Hurst.slope;
+  check_float_exact "r2" a.h_vt.Lrd.Hurst.r2 b.h_vt.Lrd.Hurst.r2;
+  check_float_exact "alpha" a.alpha b.alpha;
+  check_int "levels" a.levels b.levels
+
+let test_plan () =
+  let p = Core.Farm.plan small_spec in
+  check_int "bins" 100 p.Core.Farm.n_bins;
+  check_int "gen bins" 8 p.Core.Farm.gen_bins;
+  check_int "macro bins" 8 p.Core.Farm.macro_bins;
+  check_int "macro count" 13 p.Core.Farm.n_macro;
+  (* The grid depends on the spec only — never on the worker count. *)
+  let p64 = Core.Farm.plan { small_spec with workers = 64 } in
+  check_true "worker-count independent" (p = p64);
+  List.iter
+    (fun model ->
+      match Core.Farm.plan { small_spec with model } with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "model %s accepted" model)
+    [ "pareto"; "mginf"; "onoff"; "nonsense" ]
+
+let test_inline_deterministic () =
+  let a = Core.Farm.run_inline small_spec in
+  let b = Core.Farm.run_inline small_spec in
+  check_result_equal a b;
+  (* Sanity of the read-outs for a Poisson stream: total within 2% of
+     the expectation, mean/bin near rate * bin, H near 1/2. *)
+  check_true "total sane" (Float.abs (a.total -. 1e5) < 2e3);
+  check_true "mean sane" (Float.abs (a.mean -. 1000.) < 20.);
+  check_true "H sane"
+    (a.h_vt.Lrd.Hurst.h > 0.2 && a.h_vt.Lrd.Hurst.h < 0.8);
+  check_true "alpha positive" (a.alpha > 0.)
+
+let wanpoisson_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/wanpoisson.exe"
+
+let test_farm_process_equals_inline () =
+  let inline = Core.Farm.run_inline small_spec in
+  List.iter
+    (fun workers ->
+      match
+        Core.Farm.run ~exe:wanpoisson_exe { small_spec with workers }
+      with
+      | Error e -> Alcotest.failf "workers=%d: %s" workers e
+      | Ok r -> check_result_equal inline r)
+    [ 1; 2; 5 ]
+
+let test_farm_crash_detected () =
+  match
+    Core.Farm.run ~exe:wanpoisson_exe
+      { small_spec with workers = 3; inject_crash = 1 }
+  with
+  | Ok _ -> Alcotest.fail "crashed worker went unnoticed"
+  | Error e ->
+    let mentions needle =
+      let rec go i =
+        i + String.length needle <= String.length e
+        && (String.sub e i (String.length needle) = needle || go (i + 1))
+      in
+      go 0
+    in
+    check_true "names the worker" (mentions "worker 1");
+    check_true "names the signal" (mentions "SIGKILL")
+
+let suite =
+  ( "farm",
+    [
+      test_frame_roundtrip_prop;
+      tc "frame stream decode" test_frame_stream_decode;
+      tc "frame truncation rejected" test_frame_truncation;
+      tc "frame corruption rejected" test_frame_corruption;
+      tc "frame oversized rejected" test_frame_oversized;
+      tc "frame channel read" test_frame_read_channel;
+      tc "snapshot codec round-trip" test_snapshot_codec_roundtrip;
+      tc "snapshot wire merge = in-process merge"
+        test_snapshot_codec_merge_equals_inprocess;
+      tc "snapshot codec rejects malformed input" test_snapshot_codec_rejects;
+      tc "plan: fixed grid, poisson-only" test_plan;
+      tc "run_inline deterministic + sane" test_inline_deterministic;
+      tc "farm processes = inline (workers 1/2/5)"
+        test_farm_process_equals_inline;
+      tc "killed worker detected" test_farm_crash_detected;
+    ] )
