@@ -7,12 +7,14 @@
 # live-analysis serve smoke (deterministic rolling estimates +
 # exactly one drift event on an injected regime change), and the
 # multi-process farm smoke (byte-identical stdout at any worker count,
-# crash detection, and the workers=1 no-slower-than-stream perf gate).
+# crash detection, and the workers=1 no-slower-than-stream perf gate),
+# and the wavelet smoke (streamed-vs-batch logscale agreement, farm
+# wavelet determinism, and the fused-cascade no-slowdown perf gate).
 .PHONY: check build test test-gof test-telemetry smoke bench bench-smoke \
-  perf-smoke stream-smoke serve-smoke farm-smoke
+  perf-smoke stream-smoke serve-smoke farm-smoke wavelet-smoke
 
 check: build test test-gof test-telemetry smoke bench-smoke perf-smoke \
-  stream-smoke serve-smoke farm-smoke
+  stream-smoke serve-smoke farm-smoke wavelet-smoke
 
 build:
 	dune build
@@ -168,6 +170,50 @@ farm-smoke:
 	  _build/perf_stream.jsonl _build/perf_farm.jsonl
 	@echo "farm-smoke: workers-determinism, crash detection, and the"
 	@echo "farm-smoke: farm-vs-stream perf gate all hold"
+
+# The fused wavelet estimator end to end. The streamed octave energies
+# reproduce the batch Haar decomposition bit for bit, so the
+# H(wavelet) report line must be byte-identical between the streamed
+# and the materialized run of the same spec — an exact diff, no
+# tolerance. --no-wavelet must drop the line (the read-out gate). The
+# farm must report wavelet H with stdout byte-identical at --workers 1
+# and 2: the v2 snapshot codec ships each shard's octave energies and
+# the shard-order merge reassembles them independently of worker
+# count. Finally the recorded stream-count-1e7 (read-out off) /
+# wavelet-stream-1e7 (on) histories drive the perf gate: the fused
+# accumulation plus O(levels) read-out must not slow the stream
+# driver.
+wavelet-smoke:
+	dune exec bin/wanpoisson.exe -- stream --events 1e6 \
+	  2>/dev/null > _build/wavelet_smoke_stream.txt
+	dune exec bin/wanpoisson.exe -- stream --events 1e6 --materialized \
+	  2>/dev/null > _build/wavelet_smoke_mat.txt
+	grep 'H(wavelet)' _build/wavelet_smoke_stream.txt \
+	  > _build/wavelet_smoke_stream_h.txt
+	grep 'H(wavelet)' _build/wavelet_smoke_mat.txt \
+	  > _build/wavelet_smoke_mat_h.txt
+	diff _build/wavelet_smoke_stream_h.txt _build/wavelet_smoke_mat_h.txt
+	dune exec bin/wanpoisson.exe -- stream --events 1e6 --no-wavelet \
+	  2>/dev/null > _build/wavelet_smoke_off.txt
+	! grep -q 'H(wavelet)' _build/wavelet_smoke_off.txt
+	dune exec bin/wanpoisson.exe -- farm $(FARM_SMOKE_FLAGS) --workers 1 \
+	  2>/dev/null > _build/wavelet_smoke_w1.txt
+	dune exec bin/wanpoisson.exe -- farm $(FARM_SMOKE_FLAGS) --workers 2 \
+	  2>/dev/null > _build/wavelet_smoke_w2.txt
+	diff _build/wavelet_smoke_w1.txt _build/wavelet_smoke_w2.txt
+	grep -q 'H(wavelet)' _build/wavelet_smoke_w1.txt
+	rm -f _build/perf_wav.jsonl _build/perf_wav_off_raw.jsonl
+	dune exec bench/main.exe -- --perf --only stream-count-1e7 \
+	  --record _build/perf_wav_off_raw.jsonl 2>/dev/null >/dev/null
+	dune exec bench/main.exe -- --perf --only wavelet-stream-1e7 \
+	  --record _build/perf_wav.jsonl 2>/dev/null >/dev/null
+	sed 's/stream-count-1e7/wavelet-stream-1e7/' \
+	  _build/perf_wav_off_raw.jsonl > _build/perf_wav_off.jsonl
+	dune exec bin/wanpoisson.exe -- perf-diff \
+	  _build/perf_wav_off.jsonl _build/perf_wav.jsonl
+	@echo "wavelet-smoke: streamed logscale diagram matches batch exactly,"
+	@echo "wavelet-smoke: farm wavelet H is workers-invariant, and the"
+	@echo "wavelet-smoke: fused cascade passes the no-slowdown perf gate"
 
 # Full registry, timing each experiment (default --jobs: one per core).
 bench:

@@ -376,6 +376,33 @@ let perf (c : Engine.Cli.config) =
                     rate = 1000.;
                     bin = 0.01;
                   })));
+      (* The PR-8 wavelet pair: the same 1e7-event streamed analysis
+         with and without the wavelet read-out. The octave energies are
+         fused into the pyramid cascade either way, so [make
+         wavelet-smoke]'s perf-diff gate holds these two to the same
+         time — the read-out is O(levels) and the fusion is ~3 flops per
+         pair. *)
+      Test.make ~name:"stream-count-1e7"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Streaming.run
+                  {
+                    Core.Streaming.default with
+                    events = 1e7;
+                    rate = 1000.;
+                    bin = 0.01;
+                    wavelet = false;
+                  })));
+      Test.make ~name:"wavelet-stream-1e7"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Streaming.run
+                  {
+                    Core.Streaming.default with
+                    events = 1e7;
+                    rate = 1000.;
+                    bin = 0.01;
+                  })));
       (* The farm benchmarks. frame-encode-decode round-trips one ~1 KB
          checksummed frame (the wire cost per shipped partial);
          snapshot-merge is one coordinator merge step over two 32768-

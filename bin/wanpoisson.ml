@@ -527,7 +527,13 @@ let stream_cmd =
            ~doc:"Analyse through the array entry points (O(bins) memory) \
                  instead of the streaming sinks; the smoke test's baseline")
   in
-  let run model events rate bin beta chunk seed jobs materialized =
+  let no_wavelet_arg =
+    Arg.(value & flag & info [ "no-wavelet" ]
+           ~doc:"Skip the Abry-Veitch wavelet H read-out and report line \
+                 (the octave energies are fused into the cascade either \
+                 way; this is the perf bench's no-read-out baseline)")
+  in
+  let run model events rate bin beta chunk seed jobs materialized no_wavelet =
     match check_jobs jobs with
     | Some e -> `Error (false, e)
     | None ->
@@ -538,7 +544,7 @@ let stream_cmd =
       Engine.Par.set_extra_domains (jobs - 1);
       let spec =
         { Core.Streaming.model; events; rate; bin; beta; chunk; seed;
-          materialized }
+          materialized; wavelet = not no_wavelet }
       in
       let t0 = Unix.gettimeofday () in
       match Core.Streaming.run spec with
@@ -561,7 +567,8 @@ let stream_cmd =
           pyramid and R/S sinks in O(levels x chunk) memory")
     Term.(ret
             (const run $ model_arg $ events_arg $ rate_arg $ bin_arg
-             $ beta_arg $ chunk_arg $ seed_arg $ jobs_arg $ materialized_arg))
+             $ beta_arg $ chunk_arg $ seed_arg $ jobs_arg $ materialized_arg
+             $ no_wavelet_arg))
 
 (* ---------------- farm ---------------- *)
 
@@ -670,7 +677,10 @@ let serve_cmd =
   let source_arg =
     Arg.(value & opt string "splice" & info [ "source" ] ~docv:"SRC"
            ~doc:"Event source: splice (Poisson then rate-matched Pareto \
-                 ON/OFF), poisson, onoff, or stdin (newline-separated \
+                 ON/OFF), poisson, onoff, diurnal (Poisson under the \
+                 paper's Fig. 1 WWW hourly rate envelope — watch the \
+                 rolling variance-time H inflate while Hw holds), or \
+                 stdin (newline-separated \
                  non-decreasing event times)")
   in
   let events_arg =

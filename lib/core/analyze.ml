@@ -6,7 +6,7 @@ type report = {
   h_variance_time : Lrd.Hurst.estimate;
   h_vt_ci : Stats.Bootstrap.interval;
   h_rs : Lrd.Hurst.estimate;
-  h_wavelet : Lrd.Hurst.estimate;
+  h_wavelet : Lrd.Wavelet.estimate;
   whittle : Lrd.Whittle.result;
   beran : Lrd.Beran.result;
   lo : Lrd.Lo_rs.result;
@@ -81,7 +81,8 @@ let pp fmt r =
     r.h_variance_time.Lrd.Hurst.h r.h_vt_ci.Stats.Bootstrap.lo
     r.h_vt_ci.Stats.Bootstrap.hi;
   Report.kv fmt "  H (R/S)" "%.3f" r.h_rs.Lrd.Hurst.h;
-  Report.kv fmt "  H (wavelet)" "%.3f" r.h_wavelet.Lrd.Hurst.h;
+  Report.kv fmt "  H (wavelet)" "%.3f +/- %.3f" r.h_wavelet.Lrd.Wavelet.h
+    r.h_wavelet.Lrd.Wavelet.stderr_h;
   Report.kv fmt "  H (Whittle, fGn)" "%.3f +/- %.3f" r.whittle.Lrd.Whittle.h
     r.whittle.Lrd.Whittle.stderr;
   Report.kv fmt "  Lo's modified R/S" "V_q = %.2f (%s)" r.lo.Lrd.Lo_rs.v_q

@@ -10,7 +10,7 @@ type report = {
   h_vt_ci : Stats.Bootstrap.interval;
       (** Moving-block bootstrap CI on the variance-time H. *)
   h_rs : Lrd.Hurst.estimate;
-  h_wavelet : Lrd.Hurst.estimate;
+  h_wavelet : Lrd.Wavelet.estimate;
   whittle : Lrd.Whittle.result;
   beran : Lrd.Beran.result;
   lo : Lrd.Lo_rs.result;

@@ -167,7 +167,7 @@ let wavelet_data () =
     {
       label = Printf.sprintf "fGn H=%.2f" h;
       h_expected = Some h;
-      h_wavelet = (Lrd.Wavelet.estimate xs).Lrd.Hurst.h;
+      h_wavelet = (Lrd.Wavelet.estimate xs).Lrd.Wavelet.h;
     }
   in
   let trace =
@@ -180,7 +180,7 @@ let wavelet_data () =
     {
       label = "LBL-PKT-2 all packets (0.1 s)";
       h_expected = None;
-      h_wavelet = (Lrd.Wavelet.estimate counts).Lrd.Hurst.h;
+      h_wavelet = (Lrd.Wavelet.estimate counts).Lrd.Wavelet.h;
     }
   in
   [ fgn 0.6 7301; fgn 0.9 7302; trace ]

@@ -176,6 +176,94 @@ let cwnd ctx =
     "(the oscillation TCP stamps on every long transfer's rate)@."
 
 (* ------------------------------------------------------------------ *)
+(* Estimator agreement: Whittle vs variance-time vs wavelet             *)
+
+type estimators_row = {
+  scenario : string;
+  h_expected : float;  (* nan when the scenario has no analytic target *)
+  e_whittle : float;
+  e_vt : float;
+  e_wavelet : Lrd.Wavelet.estimate;
+}
+
+let estimators_row scenario h_expected xs =
+  {
+    scenario;
+    h_expected;
+    e_whittle = (Lrd.Whittle.estimate xs).Lrd.Whittle.h;
+    e_vt = (Lrd.Hurst.variance_time xs).Lrd.Hurst.h;
+    e_wavelet = Lrd.Wavelet.estimate xs;
+  }
+
+let estimators_data () =
+  let n = 8192 in
+  let fgn h =
+    Lrd.Fgn.generate ~h ~n (Prng.Rng.create (7920 + int_of_float (100. *. h)))
+  in
+  let stationary =
+    List.map
+      (fun h -> estimators_row (Printf.sprintf "fGn H=%.1f" h) h (fgn h))
+      [ 0.5; 0.7; 0.9 ]
+  in
+  let onoff =
+    (* 16 Pareto ON/OFF sources, beta = 1.2: the superposition limit has
+       H = (3 - beta) / 2 = 0.9 (Willinger et al.). *)
+    let beta = 1.2 in
+    let sources =
+      List.init 16 (fun _ ->
+          Traffic.Onoff.pareto_source ~beta ~mean_period:50. ~on_rate:10.)
+    in
+    let counts =
+      Traffic.Onoff.count_process ~sources ~dt:1. ~n
+        (Prng.Rng.create 7921)
+    in
+    estimators_row "Pareto ON/OFF beta=1.2" ((3. -. beta) /. 2.) counts
+  in
+  let diurnal =
+    (* fGn H=0.7 plus a smooth one-cycle "diurnal" envelope. The sine
+       adds ~A^2/2 of variance that aggregation cannot average out until
+       the block size reaches the period, so the variance-time curve
+       flattens and its H is biased high. The Haar details of the smooth
+       trend are confined to the coarsest octaves (energy ~ 2^{3j}
+       |f'|^2), leaving the wavelet fit window nearly clean. *)
+    let base = fgn 0.7 in
+    let period = float_of_int n in
+    let xs =
+      Array.init n (fun i ->
+          base.(i)
+          +. (0.5 *. sin (2. *. Float.pi *. float_of_int i /. period)))
+    in
+    estimators_row "fGn H=0.7 + diurnal trend" 0.7 xs
+  in
+  stationary @ [ onoff; diurnal ]
+
+let estimators ctx =
+  let fmt = Engine.Task.formatter ctx in
+  Report.heading fmt
+    "Extension: estimator agreement (Whittle / variance-time / wavelet)";
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.scenario;
+          (if Float.is_nan r.h_expected then "-"
+           else Printf.sprintf "%.2f" r.h_expected);
+          Printf.sprintf "%.3f" r.e_whittle;
+          Printf.sprintf "%.3f" r.e_vt;
+          Printf.sprintf "%.3f +/- %.3f" r.e_wavelet.Lrd.Wavelet.h
+            r.e_wavelet.Lrd.Wavelet.stderr_h;
+        ])
+      (estimators_data ())
+  in
+  Report.table fmt
+    ~headers:[ "scenario"; "H true"; "Whittle"; "var-time"; "wavelet" ]
+    rows;
+  Format.fprintf fmt
+    "(on the trend scenario the aggregated variance absorbs the envelope\n\
+    \ as spurious long memory; the Haar details do not — the logscale\n\
+    \ diagram is the estimator to trust under nonstationarity)@."
+
+(* ------------------------------------------------------------------ *)
 (* Per-protocol dataset summaries                                       *)
 
 let summary ctx =

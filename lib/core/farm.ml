@@ -275,6 +275,7 @@ type result = {
   total : float;
   mean : float;
   h_vt : Lrd.Hurst.estimate;
+  h_wav : Lrd.Wavelet.estimate option;
   alpha : float;
   chunks : int;
   levels : int;
@@ -306,6 +307,14 @@ let merge_parts ~spec ~(plan : plan) parts =
     if List.length levels < 3 then { Lrd.Hurst.h = nan; slope = nan; r2 = nan }
     else Lrd.Hurst.variance_time_of_pyramid ~levels pyr
   in
+  (* The wire codec carried each shard's octave energies; the shard-order
+     merge reassembled them, so this is the 10^9-event logscale diagram
+     without any worker having seen more than its macro-shards. *)
+  let h_wav =
+    match Lrd.Wavelet.estimate_of_pyramid pyr with
+    | e -> Some e
+    | exception Invalid_argument _ -> None
+  in
   {
     bins = plan.n_bins;
     macro_bins = plan.macro_bins;
@@ -313,6 +322,7 @@ let merge_parts ~spec ~(plan : plan) parts =
     total = float_of_int !total;
     mean = Timeseries.Pyramid.mean pyr;
     h_vt;
+    h_wav;
     alpha = hill_of_tops !tops;
     chunks = Timeseries.Pyramid.chunks pyr;
     levels = Timeseries.Pyramid.depth pyr;
@@ -553,6 +563,13 @@ let pp fmt spec r =
   Format.fprintf fmt "  mean/bin      %.6f@." r.mean;
   Format.fprintf fmt "  H(var-time)   %.6f  (slope %.6f, r2 %.4f)@."
     r.h_vt.Lrd.Hurst.h r.h_vt.Lrd.Hurst.slope r.h_vt.Lrd.Hurst.r2;
+  (match r.h_wav with
+  | Some w ->
+    Format.fprintf fmt
+      "  H(wavelet)    %.6f  (slope %.6f, r2 %.4f, se %.4f, j %d..%d)@."
+      w.Lrd.Wavelet.h w.Lrd.Wavelet.slope w.Lrd.Wavelet.r2
+      w.Lrd.Wavelet.stderr_h w.Lrd.Wavelet.j_lo w.Lrd.Wavelet.j_hi
+  | None -> Format.fprintf fmt "  H(wavelet)    n/a@.");
   Format.fprintf fmt "  tail-alpha    %.6f  (top-%d bin counts)@." r.alpha
     spec.top_k;
   Format.fprintf fmt "  pyramid       chunks=%d levels=%d resident-floats=%d@."

@@ -67,6 +67,11 @@ type result = {
   total : float;  (** Events actually counted. *)
   mean : float;
   h_vt : Lrd.Hurst.estimate;  (** Variance-time H over the dyadic ladder. *)
+  h_wav : Lrd.Wavelet.estimate option;
+      (** Abry-Veitch wavelet H from the shard-merged octave energies
+          (the snapshot wire codec carries them, so no worker ever
+          holds more than its macro-shards); [None] when the plan is
+          too shallow for 2 fitted octaves. *)
   alpha : float;  (** Hill tail index over the merged top-[top_k] bin
                       counts ([nan] below 9 positive exceedances). *)
   chunks : int;

@@ -84,6 +84,8 @@ let all =
       run = Extensions2.vbr };
     { id = "x-cwnd"; title = "Ext (S7-D): congestion-window sawtooth";
       run = Extensions2.cwnd };
+    { id = "x-estimators"; title = "Ext: estimator agreement under trends";
+      run = Extensions2.estimators };
     { id = "x-summary"; title = "Per-protocol dataset breakdown";
       run = Extensions2.summary };
   ]

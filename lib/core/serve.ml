@@ -62,14 +62,14 @@ let pp_estimate fmt spec (e : Streaming.Window.estimate) =
   match spec.emit with
   | "jsonl" ->
     Format.fprintf fmt
-      "{\"type\":\"estimate\",\"seq\":%d,\"upto\":%d,\"covered\":%d,\"h\":%s,\"r2\":%s,\"rate\":%s,\"alpha\":%s}@."
+      "{\"type\":\"estimate\",\"seq\":%d,\"upto\":%d,\"covered\":%d,\"h\":%s,\"r2\":%s,\"hw\":%s,\"rate\":%s,\"alpha\":%s}@."
       e.seq e.upto e.covered (jf e.h.Lrd.Hurst.h) (jf e.h.Lrd.Hurst.r2)
-      (jf e.rate) (jf e.alpha)
+      (jf e.hw) (jf e.rate) (jf e.alpha)
   | _ ->
     Format.fprintf fmt
-      "est seq=%-4d upto=%-8d covered=%-6d H=%s r2=%s rate=%s alpha=%s@." e.seq
-      e.upto e.covered (jf e.h.Lrd.Hurst.h) (jf e.h.Lrd.Hurst.r2) (jf e.rate)
-      (jf e.alpha)
+      "est seq=%-4d upto=%-8d covered=%-6d H=%s r2=%s Hw=%s rate=%s alpha=%s@."
+      e.seq e.upto e.covered (jf e.h.Lrd.Hurst.h) (jf e.h.Lrd.Hurst.r2)
+      (jf e.hw) (jf e.rate) (jf e.alpha)
 
 let side_name = function Stats.Cusum.Up -> "up" | Stats.Cusum.Down -> "down"
 
@@ -213,6 +213,46 @@ let onoff_counts spec ~n_bins rng push_counts =
     ~sources:(onoff_sources_matched spec) ~dt:spec.bin ~n:n_bins rng
     (fun c -> push_counts c 0 (Array.length c))
 
+(* Diurnally modulated Poisson: the paper's Fig. 1 WWW profile replayed
+   as a rate envelope. One "day" is compressed to [day_bins] bins (at
+   least 4 cycles over the run when the stream is long enough), the
+   per-hour arrival rate is [24 * fraction * rate] so the daily average
+   stays [rate], and bins are sampled independently Poisson. The rolling
+   variance-time H reads the slow envelope as spurious long memory; the
+   wavelet H differences it away — the serve-side demo of the estimator
+   disagreement. *)
+let diurnal_counts spec ~n_bins rng push_counts =
+  let profile = Trace.Diurnal.www in
+  let day_bins = Int.max 96 (n_bins / 4) in
+  (* Linearly interpolate between the hourly weights: a continuous
+     piecewise-linear envelope. Stepping the rate once per hour instead
+     would inject discontinuities whose Haar details contaminate every
+     octave — exactly the artefact the wavelet's trend robustness (one
+     vanishing moment, so constants cancel and smooth drift is confined
+     to the coarsest octaves) is supposed to dodge. *)
+  let rate_at i =
+    let u = float_of_int (i mod day_bins) /. float_of_int day_bins *. 24. in
+    let h = int_of_float u in
+    let frac = u -. float_of_int h in
+    let f0 = Trace.Diurnal.fraction profile h
+    and f1 = Trace.Diurnal.fraction profile (h + 1) in
+    spec.rate *. 24. *. (f0 +. (frac *. (f1 -. f0)))
+  in
+  let buf = Array.make (Int.max 1 spec.chunk) 0. in
+  let fill = ref 0 in
+  for i = 0 to n_bins - 1 do
+    let d =
+      Dist.Poisson_d.create ~mean:(Float.max 1e-9 (rate_at i *. spec.bin))
+    in
+    buf.(!fill) <- float_of_int (Dist.Poisson_d.sample d rng);
+    incr fill;
+    if !fill = Array.length buf then begin
+      push_counts buf 0 !fill;
+      fill := 0
+    end
+  done;
+  if !fill > 0 then push_counts buf 0 !fill
+
 let n_bins_of spec =
   Int.max 1 (int_of_float (Float.round (spec.events /. spec.rate /. spec.bin)))
 
@@ -224,6 +264,8 @@ let feed spec push_counts =
     poisson_counts ~rate:spec.rate ~bin:spec.bin ~chunk:spec.chunk
       ~n_bins:(n_bins_of spec) (rng "") push_counts
   | "onoff" -> onoff_counts spec ~n_bins:(n_bins_of spec) (rng "") push_counts
+  | "diurnal" ->
+    diurnal_counts spec ~n_bins:(n_bins_of spec) (rng "") push_counts
   | "splice" ->
     (* First half Poisson, second half ON/OFF at the same marginal rate:
        the canonical injected regime change. *)
@@ -235,7 +277,7 @@ let feed spec push_counts =
   | s ->
     invalid_arg
       (Printf.sprintf
-         "serve: unknown source %S (want splice|poisson|onoff|stdin)" s)
+         "serve: unknown source %S (want splice|poisson|onoff|diurnal|stdin)" s)
 
 let run ?(fmt = Format.std_formatter) spec =
   let mons = make_monitors spec in

@@ -16,6 +16,12 @@
       correlation-structure regime change that the H monitor, not the
       rate monitor, should flag;
     - ["poisson"] / ["onoff"]: the stationary halves alone;
+    - ["diurnal"]: Poisson with the paper's Fig. 1 WWW hourly profile
+      replayed as a compressed rate envelope (daily average = [rate]).
+      The rolling variance-time H absorbs the envelope as spurious
+      long memory while the rolling wavelet H ([hw]) stays near 0.5 —
+      the live demonstration of why the logscale diagram is the
+      estimator to trust under nonstationarity;
     - ["stdin"]: newline-separated non-decreasing event times (blank
       lines and [#] comments skipped), binned incrementally with no
       horizon needed up front.
@@ -24,7 +30,7 @@
     final summary as JSONL ([emit = "jsonl"]) or aligned text. *)
 
 type spec = {
-  source : string;  (** splice | poisson | onoff | stdin *)
+  source : string;  (** splice | poisson | onoff | diurnal | stdin *)
   events : float;  (** generated sources: expected event count *)
   rate : float;  (** events per time unit *)
   bin : float;  (** bin width (s) *)

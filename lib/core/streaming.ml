@@ -7,6 +7,7 @@ type spec = {
   chunk : int;
   seed : int;
   materialized : bool;
+  wavelet : bool;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     chunk = 65536;
     seed = 42;
     materialized = false;
+    wavelet = true;
   }
 
 (* How many generation shards a wave materialises at once. Fixed (never
@@ -33,6 +35,8 @@ type result = {
   mean : float;
   h_vt : Lrd.Hurst.estimate;
   h_rs : Lrd.Hurst.estimate;
+  h_wav : Lrd.Wavelet.estimate option;
+      (* [None] when disabled by the spec or too few bins/octaves *)
   chunks : int;  (* chunks pushed through the pyramid *)
   levels : int;  (* dyadic cascade depth *)
   resident : int;  (* peak floats resident in the pyramid *)
@@ -56,13 +60,19 @@ let analysis_sinks n_bins =
   in
   (levels, sink)
 
-let result_of ~levels ~n_bins (pyr, (h_rs, total)) =
+let wavelet_of_pyramid pyr =
+  match Lrd.Wavelet.estimate_of_pyramid pyr with
+  | e -> Some e
+  | exception Invalid_argument _ -> None
+
+let result_of ~wavelet ~levels ~n_bins (pyr, (h_rs, total)) =
   {
     bins = n_bins;
     total;
     mean = Timeseries.Pyramid.mean pyr;
     h_vt = Lrd.Hurst.variance_time_of_pyramid ~levels pyr;
     h_rs;
+    h_wav = (if wavelet then wavelet_of_pyramid pyr else None);
     chunks = Timeseries.Pyramid.chunks pyr;
     levels = Timeseries.Pyramid.depth pyr;
     resident = Timeseries.Pyramid.resident_floats pyr;
@@ -201,12 +211,20 @@ let materialize spec =
     if n_bins >= 32 then Lrd.Hurst.rescaled_range ~max_block:(rs_max_block n_bins) counts
     else { Lrd.Hurst.h = nan; slope = nan; r2 = nan }
   in
+  let h_wav =
+    if spec.wavelet && n_bins >= 16 then
+      match Lrd.Wavelet.estimate counts with
+      | e -> Some e
+      | exception Invalid_argument _ -> None
+    else None
+  in
   {
     bins = n_bins;
     total = Array.fold_left ( +. ) 0. counts;
     mean = Stats.Descriptive.mean counts;
     h_vt;
     h_rs;
+    h_wav;
     chunks = 0;
     levels = 0;
     resident = n_bins;
@@ -216,7 +234,7 @@ let run spec =
   if spec.materialized then materialize spec
   else
     let n_bins, levels, out = stream spec in
-    result_of ~levels ~n_bins out
+    result_of ~wavelet:spec.wavelet ~levels ~n_bins out
 
 let pp fmt spec r =
   Format.fprintf fmt "stream model=%s events=%g bins=%d bin=%g seed=%d%s@."
@@ -228,6 +246,14 @@ let pp fmt spec r =
     r.h_vt.Lrd.Hurst.h r.h_vt.Lrd.Hurst.slope r.h_vt.Lrd.Hurst.r2;
   Format.fprintf fmt "  H(R/S)        %.6f  (r2 %.4f)@." r.h_rs.Lrd.Hurst.h
     r.h_rs.Lrd.Hurst.r2;
+  if spec.wavelet then
+    (match r.h_wav with
+    | Some w ->
+      Format.fprintf fmt
+        "  H(wavelet)    %.6f  (slope %.6f, r2 %.4f, se %.4f, j %d..%d)@."
+        w.Lrd.Wavelet.h w.Lrd.Wavelet.slope w.Lrd.Wavelet.r2
+        w.Lrd.Wavelet.stderr_h w.Lrd.Wavelet.j_lo w.Lrd.Wavelet.j_hi
+    | None -> Format.fprintf fmt "  H(wavelet)    n/a@.");
   if not spec.materialized then
     Format.fprintf fmt "  pyramid       chunks=%d levels=%d resident-floats=%d@."
       r.chunks r.levels r.resident
@@ -242,6 +268,7 @@ module Window = struct
     upto : int;
     covered : int;
     h : Lrd.Hurst.estimate;
+    hw : float;  (* rolling wavelet H; nan when too few octaves *)
     rate : float;
     alpha : float;
   }
@@ -395,6 +422,10 @@ module Window = struct
       upto = t.total;
       covered;
       h;
+      hw =
+        (match Lrd.Wavelet.estimate_of_pyramid pyr with
+        | e -> e.Lrd.Wavelet.h
+        | exception Invalid_argument _ -> nan);
       rate = Timeseries.Pyramid.mean pyr /. t.bin;
       alpha = hill_of_tops tops;
     }

@@ -35,6 +35,11 @@ type spec = {
       (** analyse the same sample path through the array entry points
           (O(bins) memory) instead of the sinks — the baseline the smoke
           test diffs against *)
+  wavelet : bool;
+      (** report the Abry-Veitch wavelet H (default true). The octave
+          energies are accumulated by the pyramid either way (a fused
+          ~3 flop/pair side effect of the cascade); this gates only the
+          read-out and the report line. *)
 }
 
 val default : spec
@@ -45,6 +50,11 @@ type result = {
   mean : float;
   h_vt : Lrd.Hurst.estimate;
   h_rs : Lrd.Hurst.estimate;
+  h_wav : Lrd.Wavelet.estimate option;
+      (** Abry-Veitch wavelet H from the streamed octave energies
+          (batch [Lrd.Wavelet.estimate] when materialized — the same
+          logscale diagram bit-for-bit on the same counts); [None] when
+          disabled or the series is too short for 2 fitted octaves. *)
   chunks : int;  (** chunks pushed through the pyramid (0 if materialized) *)
   levels : int;  (** dyadic cascade depth (0 if materialized) *)
   resident : int;  (** peak floats resident in the pyramid *)
@@ -89,6 +99,11 @@ module Window : sig
     h : Lrd.Hurst.estimate;
         (** Variance-time Hurst over the window's dyadic ladder
             ([nan] when the window is too shallow for 3 levels). *)
+    hw : float;
+        (** Rolling Abry-Veitch wavelet H over the same merged window
+            pyramid ([nan] when too few octaves) — the estimator that
+            stays honest under diurnal drift, where the variance-time
+            ladder absorbs the trend as spurious long memory. *)
     rate : float;  (** Events per time unit: mean bin count / bin width. *)
     alpha : float;
         (** Hill tail index over the window's top-[top_k] bin counts

@@ -1,43 +1,80 @@
 type octave = { j : int; n_coeffs : int; log2_energy : float }
 
+type estimate = {
+  h : float;
+  slope : float;
+  r2 : float;
+  stderr_h : float;
+  j_lo : int;
+  j_hi : int;
+}
+
+(* Shared normalisation between the batch and streamed paths: [raw] is
+   the unnormalised sum of (s_L - s_R)^2 over the pairs of adjacent
+   level-(j-1) block sums. Dividing by 2^j is exact (power of two), so
+   identical raw energies yield bit-identical log2 energies on both
+   paths. The 1e-300 floor keeps an all-zero octave finite. *)
+let log2_energy_of_raw ~j ~pairs raw =
+  let energy = raw /. float_of_int (1 lsl j) /. float_of_int pairs in
+  log (Float.max energy 1e-300) /. log 2.
+
+(* Haar cascade on unnormalised pair sums — the same recurrence
+   [Timeseries.Pyramid] streams: octave j's detail is s_L - s_R over
+   adjacent level-(j-1) block sums, energy accumulated one term at a
+   time in pair order, so the raw energies here are bit-identical to a
+   pyramid fed the same series under any chunking. No power-of-two
+   truncation: octave j has floor (n / 2^j) coefficients, exactly the
+   pyramid's completed-block counts (a trailing unpaired value stays an
+   unconsumed carry on both paths). *)
 let decompose xs =
-  assert (Array.length xs >= 16);
-  let n =
-    let p = ref 1 in
-    while !p * 2 <= Array.length xs do
-      p := !p * 2
-    done;
-    !p
-  in
-  let approx = ref (Array.sub xs 0 n) in
+  let n = Array.length xs in
+  if n < 16 then
+    invalid_arg
+      (Printf.sprintf "Wavelet.decompose: %d observations (need >= 16)" n);
+  let cur = ref xs and len = ref n and j = ref 1 in
   let out = ref [] in
-  let j = ref 1 in
-  let inv_sqrt2 = 1. /. sqrt 2. in
-  while Array.length !approx >= 2 do
-    let half = Array.length !approx / 2 in
-    let a = Array.make half 0. and d = Array.make half 0. in
+  while !len >= 2 do
+    let half = !len / 2 in
+    let nxt = Array.make half 0. in
+    let raw = ref 0. in
     for k = 0 to half - 1 do
-      let x = !approx.(2 * k) and y = !approx.((2 * k) + 1) in
-      a.(k) <- (x +. y) *. inv_sqrt2;
-      d.(k) <- (x -. y) *. inv_sqrt2
+      let x = Array.unsafe_get !cur (2 * k)
+      and y = Array.unsafe_get !cur ((2 * k) + 1) in
+      let d = x -. y in
+      raw := !raw +. (d *. d);
+      Array.unsafe_set nxt k (x +. y)
     done;
-    let energy =
-      Array.fold_left (fun acc v -> acc +. (v *. v)) 0. d /. float_of_int half
-    in
     out :=
-      { j = !j; n_coeffs = half; log2_energy = log (Float.max energy 1e-300) /. log 2. }
+      {
+        j = !j;
+        n_coeffs = half;
+        log2_energy = log2_energy_of_raw ~j:!j ~pairs:half !raw;
+      }
       :: !out;
-    approx := a;
+    cur := nxt;
+    len := half;
     incr j
   done;
   List.rev !out
 
-let estimate ?(j_lo = 2) ?j_hi xs =
-  let octaves = decompose xs in
+let octaves_of_pyramid pyr =
+  Timeseries.Pyramid.wavelet_octaves pyr
+  |> List.map (fun (o : Timeseries.Pyramid.octave_energy) ->
+         {
+           j = o.oe_j;
+           n_coeffs = o.oe_pairs;
+           log2_energy =
+             log2_energy_of_raw ~j:o.oe_j ~pairs:o.oe_pairs o.oe_raw;
+         })
+
+let estimate_octaves ?(j_lo = 2) ?j_hi octaves =
+  let max_j = List.fold_left (fun acc o -> Int.max acc o.j) 0 octaves in
   let j_hi =
     match j_hi with
     | Some j -> j
     | None ->
+      (* Largest octave still holding >= 8 coefficients: coarser octaves
+         have too few details for a stable energy estimate. *)
       List.fold_left
         (fun acc o -> if o.n_coeffs >= 8 then Int.max acc o.j else acc)
         j_lo octaves
@@ -45,15 +82,32 @@ let estimate ?(j_lo = 2) ?j_hi xs =
   let points =
     List.filter_map
       (fun o ->
-        if o.j >= j_lo && o.j <= j_hi then
+        if o.j >= j_lo && o.j <= j_hi && o.n_coeffs > 0 then
           Some (float_of_int o.j, o.log2_energy)
         else None)
       octaves
   in
-  assert (List.length points >= 2);
+  let k = List.length points in
+  if k < 2 then
+    invalid_arg
+      (Printf.sprintf
+         "Wavelet.estimate: octave window [%d, %d] holds %d usable octave%s \
+          (need >= 2; series has octaves 1..%d — lengthen the series or \
+          widen j_lo/j_hi)"
+         j_lo j_hi k
+         (if k = 1 then "" else "s")
+         max_j);
   let fit = Stats.Regression.ols (Array.of_list points) in
   {
-    Hurst.h = (fit.Stats.Regression.slope +. 1.) /. 2.;
+    h = (fit.Stats.Regression.slope +. 1.) /. 2.;
     slope = fit.slope;
     r2 = fit.r2;
+    stderr_h = fit.stderr_slope /. 2.;
+    j_lo;
+    j_hi;
   }
+
+let estimate ?j_lo ?j_hi xs = estimate_octaves ?j_lo ?j_hi (decompose xs)
+
+let estimate_of_pyramid ?j_lo ?j_hi pyr =
+  estimate_octaves ?j_lo ?j_hi (octaves_of_pyramid pyr)

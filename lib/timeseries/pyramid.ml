@@ -30,6 +30,15 @@ type level = {
   moments : Moments.t;
   mutable carry : float;
   mutable have_carry : bool;
+  (* Haar detail energy of the pairs formed FROM this level: every pair
+     (s_L, s_R) of consecutive level-k values is one octave-(k+1) Haar
+     detail coefficient up to normalisation, so the cascade accumulates
+     sum (s_L - s_R)^2 as it pairs — the Abry-Veitch logscale diagram
+     for free. Terms are added one at a time in pair-position order
+     (never batched per chunk), so the accumulator is bit-identical
+     under every chunking; normalisation by 2^(k+1) (exact) and the
+     coefficient count happen at read-out. *)
+  mutable denergy : float;
 }
 
 let stage_cap = 64
@@ -82,7 +91,7 @@ let rec log2_floor m = if m <= 1 then 0 else 1 + log2_floor (m lsr 1)
 let max_depth = 62
 
 let fresh_level () =
-  { moments = Moments.create (); carry = 0.; have_carry = false }
+  { moments = Moments.create (); carry = 0.; have_carry = false; denergy = 0. }
 
 let create ?(levels = []) () =
   let subs =
@@ -370,10 +379,14 @@ let feed_decomp_aux sub vals pos len =
 
 (* One pass for the slice sum, then a fused pass accumulating squared
    deviations (same element order as [Moments.add_slice], so level
-   moments are unchanged) while building the level-(k+1) pair sums.
-   Combines [lev]'s pending carry with the first value; a trailing
-   unpaired value becomes the new carry. Returns the number of
-   level-(k+1) values produced. *)
+   moments are unchanged) while building the level-(k+1) pair sums and
+   the Haar detail energy of each completed pair. The energy accumulator
+   is threaded through a local ref seeded from [lev.denergy] and stored
+   back once: the float additions are the same one-term-at-a-time
+   sequence as a per-pair store, so the value is bit-identical under
+   every chunking, with no memory traffic in the loop. Combines [lev]'s
+   pending carry with the first value; a trailing unpaired value becomes
+   the new carry. Returns the number of level-(k+1) values produced. *)
 let absorb_and_pair lev cur pos len out =
   let stop = pos + len in
   let sum = ref 0. in
@@ -382,11 +395,14 @@ let absorb_and_pair lev cur pos len out =
   done;
   let mean = !sum /. float_of_int len in
   let m2 = ref 0. in
+  let e = ref lev.denergy in
   let o = ref 0 and i = ref pos in
   if lev.have_carry then begin
     let x = Array.unsafe_get cur !i in
     let d = x -. mean in
     m2 := !m2 +. (d *. d);
+    let dc = lev.carry -. x in
+    e := !e +. (dc *. dc);
     out.(0) <- lev.carry +. x;
     lev.have_carry <- false;
     incr i;
@@ -398,6 +414,8 @@ let absorb_and_pair lev cur pos len out =
     let d0 = x0 -. mean and d1 = x1 -. mean in
     m2 := !m2 +. (d0 *. d0);
     m2 := !m2 +. (d1 *. d1);
+    let dd = x0 -. x1 in
+    e := !e +. (dd *. dd);
     Array.unsafe_set out !o (x0 +. x1);
     i := !i + 2;
     incr o
@@ -409,6 +427,7 @@ let absorb_and_pair lev cur pos len out =
     lev.carry <- x;
     lev.have_carry <- true
   end;
+  lev.denergy <- !e;
   Moments.merge_counts lev.moments len mean !m2;
   !o
 
@@ -518,6 +537,29 @@ let stat t m =
 let registered t =
   Array.to_list t.subs |> List.map (fun s -> s.sm) |> List.sort compare
 
+(* ---- wavelet octave energies ----
+
+   Octave j's Haar detail coefficients are (s_L - s_R) / 2^(j/2) over
+   adjacent level-(j-1) block-sum pairs; the cascade accumulated the
+   unnormalised sum of (s_L - s_R)^2 in [levels.(j-1).denergy] as it
+   paired. Every completed level-j value is the sum of exactly one such
+   pair, so the coefficient count at octave j is the level-j count. The
+   raw energy is returned unscaled: dividing by 2^j (exact) and by the
+   count is the estimator's job (Lrd.Wavelet), keeping a single shared
+   normalisation between batch and streamed paths. *)
+
+type octave_energy = { oe_j : int; oe_pairs : int; oe_raw : float }
+
+let wavelet_octaves t =
+  let out = ref [] in
+  for j = t.nlevels - 1 downto 1 do
+    let pairs = Moments.count t.levels.(j).moments in
+    if pairs > 0 then
+      out := { oe_j = j; oe_pairs = pairs; oe_raw = t.levels.(j - 1).denergy }
+             :: !out
+  done;
+  !out
+
 (* ---- snapshot / merge ----
 
    A snapshot is a cheap immutable copy of the full analysis state:
@@ -547,6 +589,7 @@ type level_snapshot = {
   ls_m2 : float;
   ls_carry : float;
   ls_have_carry : bool;
+  ls_denergy : float;
 }
 
 type sub_snapshot = {
@@ -580,6 +623,7 @@ let snapshot t =
           ls_m2 = lev.moments.Moments.m2;
           ls_carry = lev.carry;
           ls_have_carry = lev.have_carry;
+          ls_denergy = lev.denergy;
         })
   in
   let subs =
@@ -645,6 +689,8 @@ let rec insert_value t k v =
   if k < max_depth then begin
     if lev.have_carry then begin
       lev.have_carry <- false;
+      let d = lev.carry -. v in
+      lev.denergy <- lev.denergy +. (d *. d);
       insert_value t (k + 1) (lev.carry +. v)
     end
     else begin
@@ -694,6 +740,7 @@ let merge_into t s =
           ensure_level t k;
           let lev = t.levels.(k) in
           Moments.merge_counts lev.moments ls.ls_n ls.ls_mean ls.ls_m2;
+          lev.denergy <- lev.denergy +. ls.ls_denergy;
           lev.carry <- ls.ls_carry;
           lev.have_carry <- ls.ls_have_carry)
         s.sn_levels;
@@ -730,12 +777,17 @@ let merge_into t s =
               ~da:(a lsr (sub.src + sub.shift))
           end)
         s.sn_subs;
-      (* Dyadic moments, and carries below the boundary level. *)
+      (* Dyadic moments (and detail energies), and carries below the
+         boundary level. Since b <= 2^v the right side formed no pairs at
+         levels >= v, so its energy subtotals there are zero and levels
+         >= v stay bit-identical to inline concatenation; below v the
+         subtotal add is merge-order rounding, same policy as moments. *)
       Array.iteri
         (fun k ls ->
           ensure_level t k;
           let lev = t.levels.(k) in
           Moments.merge_counts lev.moments ls.ls_n ls.ls_mean ls.ls_m2;
+          lev.denergy <- lev.denergy +. ls.ls_denergy;
           if ls.ls_have_carry && k < v then begin
             lev.carry <- ls.ls_carry;
             lev.have_carry <- true
@@ -745,6 +797,8 @@ let merge_into t s =
       if Array.length s.sn_levels > v && s.sn_levels.(v).ls_have_carry then begin
         let lev = t.levels.(v) in
         lev.have_carry <- false;
+        let d = lev.carry -. s.sn_levels.(v).ls_carry in
+        lev.denergy <- lev.denergy +. (d *. d);
         insert_value t (v + 1) (lev.carry +. s.sn_levels.(v).ls_carry)
       end
     end;
@@ -770,7 +824,8 @@ let merge a b =
    The farm ships these as frame payloads between worker and
    coordinator processes. *)
 
-let snapshot_codec_version = 1
+(* Version 2 added [ls_denergy] (the per-level Haar detail energy). *)
+let snapshot_codec_version = 2
 
 let snapshot_to_string s =
   let open Engine.Frame.Wr in
@@ -784,7 +839,8 @@ let snapshot_to_string s =
       f64 b ls.ls_mean;
       f64 b ls.ls_m2;
       f64 b ls.ls_carry;
-      u8 b (if ls.ls_have_carry then 1 else 0))
+      u8 b (if ls.ls_have_carry then 1 else 0);
+      f64 b ls.ls_denergy)
     s.sn_levels;
   u16 b (Array.length s.sn_subs);
   Array.iter
@@ -831,7 +887,8 @@ let snapshot_of_string bytes =
           let ls_m2 = f64 c in
           let ls_carry = f64 c in
           let ls_have_carry = u8 c <> 0 in
-          { ls_n; ls_mean; ls_m2; ls_carry; ls_have_carry })
+          let ls_denergy = f64 c in
+          { ls_n; ls_mean; ls_m2; ls_carry; ls_have_carry; ls_denergy })
     in
     let nsub = u16 c in
     let sn_subs =

@@ -78,6 +78,33 @@ val stat : t -> int -> level_stat option
 val registered : t -> int list
 (** The exact non-dyadic levels, ascending. *)
 
+(** {1 Wavelet octave energies}
+
+    The cascade pairs adjacent level-(j-1) block sums [(s_L, s_R)] to
+    build level [j]; each such pair is, up to normalisation, one Haar
+    detail coefficient at octave [j] ([d = (s_L - s_R) / 2^(j/2)]).
+    The pyramid accumulates the unnormalised energy
+    [sum (s_L - s_R)^2] per octave as it pairs — one term at a time in
+    pair-position order, so the accumulator is {e bit-identical} under
+    every chunking of the input, and matches batch
+    [Lrd.Wavelet.decompose] exactly. Snapshots carry the energies and
+    {!merge_into} adds them (levels at and above the boundary valuation
+    are bit-exact; below it, merge-order rounding, same policy as the
+    moment accumulators). *)
+
+type octave_energy = {
+  oe_j : int;  (** Octave: details over aligned blocks of [2^oe_j] raw values. *)
+  oe_pairs : int;  (** Completed detail coefficients at this octave. *)
+  oe_raw : float;  (** Unnormalised [sum (s_L - s_R)^2]; divide by
+                       [2^oe_j * oe_pairs] for the mean squared detail. *)
+}
+
+val wavelet_octaves : t -> octave_energy list
+(** Ascending in [oe_j], octaves with at least one completed
+    coefficient. Octave [j]'s coefficient count is the completed-block
+    count of level [j] (every level-[j] value is the sum of exactly one
+    pair). *)
+
 (** {1 Snapshot / merge algebra}
 
     The lifecycle-managed contract behind windowed estimation and the
@@ -130,7 +157,9 @@ val merge : snapshot -> snapshot -> snapshot
     {!Engine.Frame} payloads. The codec is fixed-width little-endian
     with floats as raw IEEE bits, so deserialization is the exact
     inverse of serialization on every field — a round-tripped snapshot
-    merges bit-for-bit like the original. *)
+    merges bit-for-bit like the original. Version 2 added the per-level
+    wavelet detail energies; workers and coordinator are always the
+    same binary, so no cross-version compatibility is kept. *)
 
 val snapshot_to_string : snapshot -> string
 

@@ -23,3 +23,31 @@ let samples n f =
   Array.init n (fun _ -> f r)
 
 let mean xs = Stats.Descriptive.mean xs
+
+(* Fixed-seed fGn fixture shared by the estimator-recovery sweeps: the
+   seed is derived from the target parameter (scaled to an int) so each
+   sweep point gets a distinct, reproducible sample path. *)
+let fgn_fixture ?(seed_scale = 1e4) ?(n = 16384) h =
+  Lrd.Fgn.generate ~h ~n (rng ~seed:(int_of_float (h *. seed_scale)) ())
+
+(* Run [f] once per seed and count successes — the acceptance-rate
+   pattern behind the Beran goodness-of-fit checks. *)
+let acceptance_over_seeds ?(seeds = 20) f =
+  let ok = ref 0 in
+  for seed = 1 to seeds do
+    if f (rng ~seed ()) then incr ok
+  done;
+  !ok
+
+(* Check that [f ()] raises [Invalid_argument] whose message starts with
+   [prefix] (exact messages carry bounds that tests shouldn't pin). *)
+let check_invalid_arg name prefix f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument m ->
+    if
+      String.length m < String.length prefix
+      || String.sub m 0 (String.length prefix) <> prefix
+    then
+      Alcotest.failf "%s: Invalid_argument %S does not start with %S" name m
+        prefix

@@ -201,6 +201,14 @@ let check_result_equal (a : Core.Farm.result) (b : Core.Farm.result) =
   check_float_exact "h" a.h_vt.Lrd.Hurst.h b.h_vt.Lrd.Hurst.h;
   check_float_exact "slope" a.h_vt.Lrd.Hurst.slope b.h_vt.Lrd.Hurst.slope;
   check_float_exact "r2" a.h_vt.Lrd.Hurst.r2 b.h_vt.Lrd.Hurst.r2;
+  (match (a.h_wav, b.h_wav) with
+  | None, None -> ()
+  | Some wa, Some wb ->
+    check_float_exact "wav h" wa.Lrd.Wavelet.h wb.Lrd.Wavelet.h;
+    check_float_exact "wav slope" wa.Lrd.Wavelet.slope wb.Lrd.Wavelet.slope;
+    check_float_exact "wav stderr" wa.Lrd.Wavelet.stderr_h
+      wb.Lrd.Wavelet.stderr_h
+  | _ -> Alcotest.fail "h_wav presence differs");
   check_float_exact "alpha" a.alpha b.alpha;
   check_int "levels" a.levels b.levels
 
@@ -230,6 +238,7 @@ let test_inline_deterministic () =
   check_true "mean sane" (Float.abs (a.mean -. 1000.) < 20.);
   check_true "H sane"
     (a.h_vt.Lrd.Hurst.h > 0.2 && a.h_vt.Lrd.Hurst.h < 0.8);
+  check_true "wavelet read-out present" (a.h_wav <> None);
   check_true "alpha positive" (a.alpha > 0.)
 
 let wanpoisson_exe =

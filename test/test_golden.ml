@@ -52,6 +52,41 @@ let test_farima_golden () =
   let fa = Lrd.Farima.whittle_d (Lazy.force xs) in
   check_float_eps "farima d" tol 0.356481681034 fa.Lrd.Whittle.h
 
+let test_wavelet_golden () =
+  let w = Lrd.Wavelet.estimate (Lazy.force xs) in
+  check_float_eps "wavelet h" tol 0.846551741929 w.Lrd.Wavelet.h;
+  check_float_eps "wavelet slope" tol 0.693103483858 w.Lrd.Wavelet.slope;
+  check_float_eps "wavelet stderr" tol 0.032483993151 w.Lrd.Wavelet.stderr_h;
+  check_int "wavelet j_lo" 2 w.Lrd.Wavelet.j_lo;
+  check_int "wavelet j_hi" 8 w.Lrd.Wavelet.j_hi
+
+let test_estimator_agreement_golden () =
+  (* The x-estimators cross-check table: every (scenario, estimator)
+     cell pinned, so the registry rendering stays byte-stable and the
+     headline contrast — variance-time biased to 0.835 by the diurnal
+     envelope while the wavelet holds 0.706 — cannot silently erode. *)
+  let expected =
+    [
+      ("fGn H=0.5", 0.500749224703, 0.477120556001, 0.485507658220);
+      ("fGn H=0.7", 0.698885524612, 0.654523053551, 0.627088045373);
+      ("fGn H=0.9", 0.907030777745, 0.842043593067, 0.879929149752);
+      ("Pareto ON/OFF beta=1.2", 0.989999573858, 0.896199795613,
+       1.054368952950);
+      ("fGn H=0.7 + diurnal trend", 0.717204134455, 0.834510028281,
+       0.706492486871);
+    ]
+  in
+  let rows = Core.Extensions2.estimators_data () in
+  check_int "scenario count" (List.length expected) (List.length rows);
+  List.iter2
+    (fun (name, wh, vt, wav) (r : Core.Extensions2.estimators_row) ->
+      Alcotest.(check string) "scenario" name r.Core.Extensions2.scenario;
+      check_float_eps (name ^ " whittle") tol wh r.Core.Extensions2.e_whittle;
+      check_float_eps (name ^ " variance-time") tol vt r.Core.Extensions2.e_vt;
+      check_float_eps (name ^ " wavelet") tol wav
+        r.Core.Extensions2.e_wavelet.Lrd.Wavelet.h)
+    expected rows
+
 let test_pareto_count_golden () =
   (* Exact integers: the count process must be bit-identical, not just
      close — fig14/fig15 bytes depend on it. *)
@@ -105,6 +140,8 @@ let suite =
       tc "beran t/p" test_beran_golden;
       tc "variance-time H" test_variance_time_golden;
       tc "farima d" test_farima_golden;
+      tc "wavelet h/slope/stderr" test_wavelet_golden;
+      tc "estimator agreement table" test_estimator_agreement_golden;
       tc "pareto count process" test_pareto_count_golden;
       tc "pareto count clamp" test_pareto_count_clamp;
       tc "pareto fast paths" test_pareto_fast_paths;

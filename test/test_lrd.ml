@@ -93,8 +93,7 @@ let test_rs_r2 () =
 let test_whittle_recovers_h () =
   List.iter
     (fun h ->
-      let r = rng ~seed:(int_of_float (1000. *. h)) () in
-      let xs = Fgn.generate ~h ~n:8192 r in
+      let xs = fgn_fixture ~seed_scale:1000. ~n:8192 h in
       let est = Whittle.estimate xs in
       check_close (Printf.sprintf "H=%.2f" h) ~eps:0.05 h est.Whittle.h)
     [ 0.55; 0.7; 0.85; 0.95 ]
@@ -119,17 +118,13 @@ let test_whittle_objective_minimum () =
 (* ---------------- Beran ---------------- *)
 
 let test_beran_accepts_fgn () =
-  let accepted = ref 0 in
-  for seed = 1 to 20 do
-    let r = rng ~seed () in
-    let xs = Fgn.generate ~h:0.8 ~n:8192 r in
-    let est = Whittle.estimate xs in
-    let b = Beran.test ~h:est.Whittle.h xs in
-    if b.Beran.consistent then incr accepted
-  done;
-  check_true
-    (Printf.sprintf "accepts true fGn %d/20" !accepted)
-    (!accepted >= 16)
+  let accepted =
+    acceptance_over_seeds (fun r ->
+        let xs = Fgn.generate ~h:0.8 ~n:8192 r in
+        let est = Whittle.estimate xs in
+        (Beran.test ~h:est.Whittle.h xs).Beran.consistent)
+  in
+  check_true (Printf.sprintf "accepts true fGn %d/20" accepted) (accepted >= 16)
 
 let test_beran_rejects_wrong_h () =
   (* Test a strongly LRD series against the white-noise (H=0.5) shape. *)

@@ -69,17 +69,17 @@ let test_farima_whittle_recovers_d () =
       check_close (Printf.sprintf "d=%.2f" d) ~eps:0.04 d est.Whittle.h)
     [ 0.1; 0.25; 0.4 ]
 
+let test_farima_beran_accepts () =
+  let accepted =
+    acceptance_over_seeds (fun r ->
+        let xs = Farima.generate ~d:0.3 ~n:8192 r in
+        let est = Farima.whittle_d xs in
+        (Farima.beran ~d:est.Whittle.h xs).Beran.consistent)
+  in
+  check_true (Printf.sprintf "accepts %d/20" accepted) (accepted >= 16)
+
 let test_farima_hurst_of_d () =
   check_close "H = d + 1/2" 0.8 (Farima.hurst_of_d 0.3)
-
-let test_farima_beran_accepts () =
-  let accepted = ref 0 in
-  for seed = 1 to 20 do
-    let xs = Farima.generate ~d:0.3 ~n:8192 (rng ~seed ()) in
-    let est = Farima.whittle_d xs in
-    if (Farima.beran ~d:est.Whittle.h xs).Beran.consistent then incr accepted
-  done;
-  check_true (Printf.sprintf "accepts %d/20" !accepted) (!accepted >= 16)
 
 let test_farima_spectral_pole () =
   let f = Farima.spectral_density ~d:0.3 in
@@ -102,22 +102,29 @@ let test_wavelet_white_noise_flat () =
   let r = rng () in
   let xs = Array.init 8192 (fun _ -> Prng.Rng.float r -. 0.5) in
   let est = Wavelet.estimate xs in
-  check_close "H = 0.5 for white noise" ~eps:0.08 0.5 est.Hurst.h
+  check_close "H = 0.5 for white noise" ~eps:0.08 0.5 est.Wavelet.h
 
 let test_wavelet_recovers_fgn () =
   List.iter
     (fun h ->
-      let xs = Fgn.generate ~h ~n:16384 (rng ~seed:(int_of_float (h *. 1e4)) ()) in
-      let est = Wavelet.estimate xs in
-      check_close (Printf.sprintf "H=%.2f" h) ~eps:0.08 h est.Hurst.h)
+      let est = Wavelet.estimate (fgn_fixture h) in
+      check_close (Printf.sprintf "H=%.2f" h) ~eps:0.08 h est.Wavelet.h)
     [ 0.6; 0.75; 0.9 ]
 
-let test_wavelet_truncates_to_pow2 () =
+let test_wavelet_non_pow2 () =
   let r = rng () in
   let xs = Array.init 1000 (fun _ -> Prng.Rng.float r) in
   let octs = Wavelet.decompose xs in
-  (* 1000 -> 512 = 2^9. *)
-  check_int "nine octaves" 9 (List.length octs)
+  (* No power-of-two truncation: octave j has floor (1000 / 2^j)
+     coefficients, down to 3 at octave 9 — 1000,500,...,3. *)
+  check_int "nine octaves" 9 (List.length octs);
+  List.iteri
+    (fun i o ->
+      check_int
+        (Printf.sprintf "octave %d coefficients" (i + 1))
+        (1000 lsr (i + 1))
+        o.Wavelet.n_coeffs)
+    octs
 
 let suite =
   ( "lrd-extensions",
@@ -135,5 +142,5 @@ let suite =
       tc "wavelet structure" test_wavelet_decompose_structure;
       tc "wavelet white noise" test_wavelet_white_noise_flat;
       tc "wavelet recovers fGn" test_wavelet_recovers_fgn;
-      tc "wavelet pow2 truncation" test_wavelet_truncates_to_pow2;
+      tc "wavelet non-pow2 octaves" test_wavelet_non_pow2;
     ] )
