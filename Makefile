@@ -11,10 +11,10 @@
 # and the wavelet smoke (streamed-vs-batch logscale agreement, farm
 # wavelet determinism, and the fused-cascade no-slowdown perf gate).
 .PHONY: check build test test-gof test-telemetry smoke bench bench-smoke \
-  perf-smoke stream-smoke serve-smoke farm-smoke wavelet-smoke
+  perf-smoke stream-smoke serve-smoke farm-smoke wavelet-smoke obs-smoke
 
 check: build test test-gof test-telemetry smoke bench-smoke perf-smoke \
-  stream-smoke serve-smoke farm-smoke wavelet-smoke
+  stream-smoke serve-smoke farm-smoke wavelet-smoke obs-smoke
 
 build:
 	dune build
@@ -214,6 +214,63 @@ wavelet-smoke:
 	@echo "wavelet-smoke: streamed logscale diagram matches batch exactly,"
 	@echo "wavelet-smoke: farm wavelet H is workers-invariant, and the"
 	@echo "wavelet-smoke: fused cascade passes the no-slowdown perf gate"
+
+# The farm observability stack end to end. A metrics+trace+log+manifest
+# run must leave stdout byte-identical at --workers 1, 2 and 4 (the
+# telemetry ships on stderr and side files only), produce one merged
+# Chrome trace with a pid lane per worker plus the coordinator, a
+# worker-attributed JSONL log, and a manifest with per-worker rows. A
+# wedged worker (--inject-stall: alive, silent) must be caught by the
+# missed-heartbeat deadline — nonzero exit, farm.worker_stalled on
+# stderr, nothing on stdout. An unwritable --trace path must preflight
+# to exit 2 naming the path before any work. Finally the recorded
+# farm-count-1e8 / farm-count-1e8-obs histories drive the perf gate:
+# spans + heartbeats + obs-frame round-trips must cost < 5%
+# (perf-diff's default --min-effect floor).
+OBS_SMOKE_FARM = dune exec bin/wanpoisson.exe -- farm $(FARM_SMOKE_FLAGS)
+
+obs-smoke:
+	$(OBS_SMOKE_FARM) --workers 3 --metrics \
+	  --trace _build/obs_smoke_trace.json --log _build/obs_smoke.log \
+	  --out _build/obs_smoke_run.json \
+	  2> _build/obs_smoke_w3.err > _build/obs_smoke_w3.txt
+	grep -q '"coordinator"' _build/obs_smoke_trace.json
+	grep -q '"worker 0"' _build/obs_smoke_trace.json
+	grep -q '"worker 1"' _build/obs_smoke_trace.json
+	grep -q '"worker 2"' _build/obs_smoke_trace.json
+	grep -q '"worker"' _build/obs_smoke.log
+	grep -q '"farm_workers"' _build/obs_smoke_run.json
+	dune exec bin/wanpoisson.exe -- verify-manifest _build/obs_smoke_run.json \
+	  _build/obs_smoke_run.json
+	$(OBS_SMOKE_FARM) --workers 1 --metrics \
+	  --trace _build/obs_smoke_t1.json \
+	  2>/dev/null > _build/obs_smoke_w1.txt
+	$(OBS_SMOKE_FARM) --workers 2 --metrics \
+	  --trace _build/obs_smoke_t2.json \
+	  2>/dev/null > _build/obs_smoke_w2.txt
+	diff _build/obs_smoke_w1.txt _build/obs_smoke_w2.txt
+	diff _build/obs_smoke_w1.txt _build/obs_smoke_w3.txt
+	! $(OBS_SMOKE_FARM) --workers 3 --inject-stall 1 \
+	  --heartbeat 0.2 --stall-timeout 1 \
+	  2> _build/obs_smoke_stall.err > _build/obs_smoke_stall.txt
+	test ! -s _build/obs_smoke_stall.txt
+	grep -q 'farm.worker_stalled' _build/obs_smoke_stall.err
+	grep -q 'worker=1' _build/obs_smoke_stall.err
+	$(OBS_SMOKE_FARM) --trace /nonexistent/trace.json \
+	  2> _build/obs_smoke_preflight.err > /dev/null; test $$? -eq 2
+	grep -q '/nonexistent/trace.json' _build/obs_smoke_preflight.err
+	rm -f _build/perf_farm_plain_raw.jsonl _build/perf_farm_obs.jsonl
+	dune exec bench/main.exe -- --perf --only farm-count-1e8 \
+	  --record _build/perf_farm_plain_raw.jsonl 2>/dev/null >/dev/null
+	dune exec bench/main.exe -- --perf --only farm-count-1e8-obs \
+	  --record _build/perf_farm_obs.jsonl 2>/dev/null >/dev/null
+	sed 's/farm-count-1e8/farm-count-1e8-obs/' \
+	  _build/perf_farm_plain_raw.jsonl > _build/perf_farm_plain.jsonl
+	dune exec bin/wanpoisson.exe -- perf-diff \
+	  _build/perf_farm_plain.jsonl _build/perf_farm_obs.jsonl
+	@echo "obs-smoke: merged trace, worker-attributed logs, manifest rows,"
+	@echo "obs-smoke: stdout workers-invariance with telemetry on, stall"
+	@echo "obs-smoke: detection, preflight, and the <5% obs-cost gate hold"
 
 # Full registry, timing each experiment (default --jobs: one per core).
 bench:

@@ -443,6 +443,49 @@ let perf (c : Engine.Cli.config) =
                     rate = 1000.;
                     bin = 0.01;
                   })));
+      (* The PR-9 observability benchmarks. farm-count-1e8-obs is the
+         same farm computation with the worker's telemetry span,
+         heartbeat tick and obs-frame round-trips live — paired with
+         farm-count-1e8 in BENCH_farm.json, and [make obs-smoke]'s
+         perf-diff gate holds the pair within 5%. sketch-push-1e6 is
+         the quantile sketch's hot add path on realistic bin counts
+         (mostly integer-valued, so the memoised small-int table is
+         exercised); sketch-merge is one coordinator-side bucket-wise
+         merge of two heavy-tailed 1e5-sample sketches. *)
+      Test.make ~name:"farm-count-1e8-obs"
+        (Staged.stage (fun () ->
+             Engine.Telemetry.set_enabled true;
+             Engine.Telemetry.reset ();
+             ignore
+               (Core.Farm.run_inline ~obs:true
+                  {
+                    Core.Farm.default with
+                    events = 1e8;
+                    rate = 1000.;
+                    bin = 0.01;
+                  });
+             Engine.Telemetry.set_enabled false));
+      (let samples =
+         let r = Prng.Rng.create 77 in
+         Array.init 1_000_000 (fun _ ->
+             float_of_int (900 + Prng.Rng.int r 200))
+       in
+       Test.make ~name:"sketch-push-1e6"
+         (Staged.stage (fun () ->
+              let t = Stats.Quantile_sketch.create () in
+              Array.iter (Stats.Quantile_sketch.add t) samples)));
+      (let heavy seed =
+         let r = Prng.Rng.create seed in
+         let t = Stats.Quantile_sketch.create () in
+         for _ = 1 to 100_000 do
+           Stats.Quantile_sketch.add t
+             ((1e-3 +. Prng.Rng.float r) ** -2.)
+         done;
+         t
+       in
+       let a = heavy 1 and b = heavy 2 in
+       Test.make ~name:"sketch-merge"
+         (Staged.stage (fun () -> ignore (Stats.Quantile_sketch.merge a b))));
       (let pgram = Timeseries.Periodogram.compute fgn_input in
        let f = Lrd.Whittle.fgn_objective_fn pgram in
        Test.make ~name:"whittle-objective-eval"

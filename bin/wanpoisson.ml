@@ -467,25 +467,7 @@ let hurst_cmd =
 
 (* ---------------- stream ---------------- *)
 
-let peak_rss_kb () =
-  (* VmHWM from /proc/self/status (Linux); absent elsewhere. *)
-  try
-    let ic = open_in "/proc/self/status" in
-    let rec scan () =
-      match input_line ic with
-      | line ->
-        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
-          close_in ic;
-          Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
-            (fun kb -> Some kb)
-        end
-        else scan ()
-      | exception End_of_file ->
-        close_in ic;
-        None
-    in
-    scan ()
-  with Sys_error _ -> None
+let peak_rss_kb = Engine.Procstat.peak_rss_kb
 
 let stream_cmd =
   let model_arg =
@@ -616,25 +598,87 @@ let farm_cmd =
                  after its first completed macro-shard; the coordinator \
                  must detect it and exit nonzero (-1 = off)")
   in
+  let inject_stall_arg =
+    Arg.(value & opt int (-1) & info [ "inject-stall" ] ~docv:"W"
+           ~doc:"Testing hook: worker $(docv) wedges silently (alive, no \
+                 frames) after its first completed macro-shard; the \
+                 missed-heartbeat deadline must catch it (-1 = off)")
+  in
   let metrics_arg =
     Arg.(value & flag & info [ "metrics" ]
-           ~doc:"Roll worker telemetry up to the coordinator and print \
-                 the counter summary to stderr")
+           ~doc:"Roll worker telemetry counters up to the coordinator and \
+                 print the unified counter summary plus the per-worker \
+                 table to stderr")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Ship worker span tables back and write one merged Chrome \
+                 trace-event JSON to $(docv): a pid lane per worker plus \
+                 the coordinator's drain/absorb/merge lane (load in \
+                 chrome://tracing or Perfetto)")
+  in
+  let log_arg =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"Stream structured JSONL events to $(docv); worker events \
+                 are shipped to the coordinator and re-emitted with \
+                 worker attribution, one totally-ordered stream")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Write a farm-aware run.json manifest to $(docv): report \
+                 content hash plus per-worker exit/RSS/event-count rows \
+                 ($(b,verify-manifest) understands it)")
+  in
+  let progress_arg =
+    Arg.(value & flag & info [ "progress" ]
+           ~doc:"Rewrite a live aggregate progress line on stderr from \
+                 worker heartbeats; stdout is unaffected")
+  in
+  let heartbeat_arg =
+    Arg.(value & opt float Core.Farm.default.Core.Farm.heartbeat_s
+         & info [ "heartbeat" ] ~docv:"SECONDS"
+             ~doc:"Worker heartbeat period (0 disables; default 1)")
+  in
+  let stall_timeout_arg =
+    Arg.(value & opt float Core.Farm.default.Core.Farm.stall_timeout_s
+         & info [ "stall-timeout" ] ~docv:"SECONDS"
+             ~doc:"Declare a worker stalled after this long without any \
+                   frame, log $(b,farm.worker_stalled), SIGKILL it and \
+                   fail the run (0 disables; default 30)")
   in
   let run model events rate bin chunk seed workers shards inject_crash
-      metrics =
+      inject_stall metrics trace log out progress heartbeat stall_timeout =
     if workers < 1 then `Error (false, "--workers must be at least 1")
     else begin
+      (* Fail before any worker spawns, naming the offending path. *)
+      List.iter
+        (Option.iter (fun path ->
+             match check_writable_file path with
+             | Ok () -> ()
+             | Error msg ->
+               prerr_endline msg;
+               exit 2))
+        [ trace; log; out ];
       Engine.Log.set_enabled true;
       Engine.Log.reset ();
-      if metrics then begin
+      Option.iter
+        (fun path ->
+          match Engine.Log.open_file path with
+          | Ok () -> ()
+          | Error msg ->
+            prerr_endline ("cannot write " ^ msg);
+            exit 2)
+        log;
+      if metrics || trace <> None then begin
         Engine.Telemetry.set_enabled true;
         Engine.Telemetry.reset ()
       end;
       let spec =
         { Core.Farm.default with
           model; events; rate; bin; chunk; seed; workers; shards;
-          inject_crash; metrics }
+          inject_crash; inject_stall; metrics; trace = trace <> None;
+          logs = log <> None; heartbeat_s = heartbeat;
+          stall_timeout_s = stall_timeout; progress }
       in
       let t0 = Unix.gettimeofday () in
       match Core.Farm.run ~exe:Sys.executable_name spec with
@@ -643,13 +687,71 @@ let farm_cmd =
         List.iter
           (fun ev -> Format.eprintf "%a@." Engine.Log.pp_event ev)
           (Engine.Log.warnings ());
+        Engine.Log.close_file ();
         Printf.eprintf "farm failed: %s\n%!" e;
         exit 1
-      | Ok result ->
-        Core.Farm.pp Format.std_formatter spec result;
-        Format.pp_print_flush Format.std_formatter ();
-        if metrics then Engine.Telemetry.pp_summary Format.err_formatter;
+      | Ok (result, obs) ->
+        (* Render once: the same bytes go to stdout and, hashed, into
+           the manifest — byte-identical at any worker count. *)
+        let report =
+          Format.asprintf "%a"
+            (fun fmt () -> Core.Farm.pp fmt spec result)
+            ()
+        in
+        print_string report;
+        flush stdout;
         let wall = Unix.gettimeofday () -. t0 in
+        if metrics then begin
+          Engine.Telemetry.pp_summary Format.err_formatter;
+          List.iter
+            (fun (w : Core.Farm.worker_report) ->
+              Printf.eprintf
+                "  worker %d: %s%s, %d events, %d shards, %.2f s, rss %d kB\n"
+                w.Core.Farm.w_index w.Core.Farm.w_status
+                (if w.Core.Farm.w_stalled then " (stalled)" else "")
+                w.Core.Farm.w_events w.Core.Farm.w_shards w.Core.Farm.w_wall_s
+                w.Core.Farm.w_rss_kb)
+            obs.Core.Farm.o_workers;
+          flush stderr
+        end;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc
+                  (Engine.Telemetry.to_chrome_trace_multi
+                     (Core.Farm.trace_processes obs)));
+            Printf.eprintf "chrome trace written to %s\n%!" path)
+          trace;
+        Option.iter
+          (fun path ->
+            let farm_workers =
+              List.map
+                (fun (w : Core.Farm.worker_report) ->
+                  { Engine.Manifest.wk_index = w.Core.Farm.w_index;
+                    wk_status = w.Core.Farm.w_status;
+                    wk_events = w.Core.Farm.w_events;
+                    wk_shards = w.Core.Farm.w_shards;
+                    wk_wall_s = w.Core.Farm.w_wall_s;
+                    wk_rss_kb = w.Core.Farm.w_rss_kb;
+                    wk_stalled = w.Core.Farm.w_stalled })
+                obs.Core.Farm.o_workers
+            in
+            let art =
+              { Engine.Artifact.id = "farm"; title = "farm report";
+                text = report; figures = []; duration_s = wall; metrics = [] }
+            in
+            let manifest =
+              Engine.Manifest.of_run ~farm_workers
+                ~created_at:(Unix.gettimeofday ()) ~seed ~jobs:workers
+                ~total_s:wall [ art ]
+            in
+            Engine.Manifest.write ~path manifest;
+            Printf.eprintf "manifest written to %s\n%!" path)
+          out;
+        Engine.Log.close_file ();
         (match peak_rss_kb () with
          | Some kb ->
            Printf.eprintf "workers %d, wall %.2f s, peak RSS %d kB\n" workers
@@ -662,14 +764,16 @@ let farm_cmd =
     (Cmd.info "farm"
        ~doc:
          "Sharded multi-process trace analysis: worker processes stream \
-          disjoint macro-shards of the trace and ship pyramid snapshots \
-          back as checksummed binary frames; the coordinator merges them \
-          in shard order, so the report is byte-identical at any worker \
-          count")
+          disjoint macro-shards of the trace and ship pyramid snapshots, \
+          quantile sketches, span tables, logs and heartbeats back as \
+          checksummed binary frames; the coordinator merges them in shard \
+          order, so the report is byte-identical at any worker count")
     Term.(ret
             (const run $ model_arg $ events_arg $ rate_arg $ bin_arg
              $ chunk_arg $ seed_arg $ workers_arg $ shards_arg
-             $ inject_crash_arg $ metrics_arg))
+             $ inject_crash_arg $ inject_stall_arg $ metrics_arg $ trace_arg
+             $ log_arg $ out_arg $ progress_arg $ heartbeat_arg
+             $ stall_timeout_arg))
 
 (* ---------------- serve ---------------- *)
 

@@ -49,6 +49,9 @@ type summary = {
   estimates : int;
   drifts : int;
   last : Streaming.Window.estimate option;
+  interarrival : Stats.Quantile_sketch.t option;
+      (* true inter-arrival sketch; stdin source only, where raw event
+         times (not just bin counts) pass through the driver *)
 }
 
 (* JSON-safe float: JSON has no NaN/inf, so unavailable estimates
@@ -62,14 +65,15 @@ let pp_estimate fmt spec (e : Streaming.Window.estimate) =
   match spec.emit with
   | "jsonl" ->
     Format.fprintf fmt
-      "{\"type\":\"estimate\",\"seq\":%d,\"upto\":%d,\"covered\":%d,\"h\":%s,\"r2\":%s,\"hw\":%s,\"rate\":%s,\"alpha\":%s}@."
+      "{\"type\":\"estimate\",\"seq\":%d,\"upto\":%d,\"covered\":%d,\"h\":%s,\"r2\":%s,\"hw\":%s,\"rate\":%s,\"alpha\":%s,\"q50\":%s,\"q99\":%s,\"q999\":%s}@."
       e.seq e.upto e.covered (jf e.h.Lrd.Hurst.h) (jf e.h.Lrd.Hurst.r2)
-      (jf e.hw) (jf e.rate) (jf e.alpha)
+      (jf e.hw) (jf e.rate) (jf e.alpha) (jf e.q50) (jf e.q99) (jf e.q999)
   | _ ->
     Format.fprintf fmt
-      "est seq=%-4d upto=%-8d covered=%-6d H=%s r2=%s Hw=%s rate=%s alpha=%s@."
+      "est seq=%-4d upto=%-8d covered=%-6d H=%s r2=%s Hw=%s rate=%s alpha=%s \
+       q50=%s q99=%s q999=%s@."
       e.seq e.upto e.covered (jf e.h.Lrd.Hurst.h) (jf e.h.Lrd.Hurst.r2)
-      (jf e.hw) (jf e.rate) (jf e.alpha)
+      (jf e.hw) (jf e.rate) (jf e.alpha) (jf e.q50) (jf e.q99) (jf e.q999)
 
 let side_name = function Stats.Cusum.Up -> "up" | Stats.Cusum.Down -> "down"
 
@@ -142,11 +146,12 @@ let observe_monitors fmt spec mons drifts (e : Streaming.Window.estimate) =
 (* Incremental event-time binner for unbounded stdin streams:
    [Sink.counts] needs the horizon up front, this does not. The trailing
    partial bin is emitted, so every event lands in some bin. *)
-let bin_stdin ~bin ~chunk push_counts ic =
+let bin_stdin ?ia ~bin ~chunk push_counts ic =
   let buf = Array.make (Int.max 1 chunk) 0. in
   let fill = ref 0 and cur = ref 0 and cnt = ref 0. in
   let last = ref neg_infinity in
   let seen = ref false in
+  let prev_t = ref nan in
   let emit_bin () =
     buf.(!fill) <- !cnt;
     incr fill;
@@ -164,6 +169,11 @@ let bin_stdin ~bin ~chunk push_counts ic =
     last := t;
     if t >= 0. then begin
       seen := true;
+      (match ia with
+      | Some sk when not (Float.is_nan !prev_t) ->
+        Stats.Quantile_sketch.add sk (t -. !prev_t)
+      | _ -> ());
+      prev_t := t;
       let i = int_of_float (t /. bin) in
       while !cur < i do
         emit_bin ();
@@ -256,10 +266,10 @@ let diurnal_counts spec ~n_bins rng push_counts =
 let n_bins_of spec =
   Int.max 1 (int_of_float (Float.round (spec.events /. spec.rate /. spec.bin)))
 
-let feed spec push_counts =
+let feed ?ia spec push_counts =
   let rng tag = Engine.Task.derive_rng ~seed:spec.seed ("serve" ^ tag) in
   match spec.source with
-  | "stdin" -> bin_stdin ~bin:spec.bin ~chunk:spec.chunk push_counts stdin
+  | "stdin" -> bin_stdin ?ia ~bin:spec.bin ~chunk:spec.chunk push_counts stdin
   | "poisson" ->
     poisson_counts ~rate:spec.rate ~bin:spec.bin ~chunk:spec.chunk
       ~n_bins:(n_bins_of spec) (rng "") push_counts
@@ -297,7 +307,11 @@ let run ?(fmt = Format.std_formatter) spec =
       ~window:spec.window ~cadence:spec.cadence ~top_k:spec.top_k ~bin:spec.bin
       ~emit ()
   in
-  feed spec (fun buf pos len ->
+  let ia =
+    if spec.source = "stdin" then Some (Stats.Quantile_sketch.create ())
+    else None
+  in
+  feed ?ia spec (fun buf pos len ->
       for i = pos to pos + len - 1 do
         total := !total +. buf.(i)
       done;
@@ -309,14 +323,35 @@ let run ?(fmt = Format.std_formatter) spec =
       estimates = !estimates;
       drifts = !drifts;
       last = !last;
+      interarrival = ia;
     }
+  in
+  let iaq =
+    match ia with
+    | Some sk when Stats.Quantile_sketch.count sk > 0 ->
+      let q p = Stats.Quantile_sketch.quantile sk p in
+      Some (q 0.5, q 0.99, q 0.999)
+    | _ -> None
   in
   (match spec.emit with
   | "jsonl" ->
+    let ia_fields =
+      match iaq with
+      | None -> ""
+      | Some (q50, q99, q999) ->
+        Printf.sprintf ",\"ia50\":%s,\"ia99\":%s,\"ia999\":%s" (jf q50) (jf q99)
+          (jf q999)
+    in
     Format.fprintf fmt
-      "{\"type\":\"summary\",\"bins\":%d,\"events\":%s,\"estimates\":%d,\"drifts\":%d}@."
-      s.bins (jf s.total) s.estimates s.drifts
+      "{\"type\":\"summary\",\"bins\":%d,\"events\":%s,\"estimates\":%d,\"drifts\":%d%s}@."
+      s.bins (jf s.total) s.estimates s.drifts ia_fields
   | _ ->
-    Format.fprintf fmt "serve done bins=%d events=%s estimates=%d drifts=%d@."
-      s.bins (jf s.total) s.estimates s.drifts);
+    let ia_fields =
+      match iaq with
+      | None -> ""
+      | Some (q50, q99, q999) ->
+        Printf.sprintf " ia50=%s ia99=%s ia999=%s" (jf q50) (jf q99) (jf q999)
+    in
+    Format.fprintf fmt "serve done bins=%d events=%s estimates=%d drifts=%d%s@."
+      s.bins (jf s.total) s.estimates s.drifts ia_fields);
   s

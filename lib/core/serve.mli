@@ -26,6 +26,12 @@
       lines and [#] comments skipped), binned incrementally with no
       horizon needed up front.
 
+    Every estimate record also carries rolling per-bin count quantiles
+    ([q50]/[q99]/[q999]) read from the window panes'
+    {!Stats.Quantile_sketch}es, and the stdin source summarises the true
+    inter-arrival distribution ([ia50]/[ia99]/[ia999]) from a sketch fed
+    with successive event-time differences.
+
     Output is deterministic for a fixed seed: estimates, drifts and the
     final summary as JSONL ([emit = "jsonl"]) or aligned text. *)
 
@@ -59,6 +65,12 @@ type summary = {
   estimates : int;
   drifts : int;
   last : Streaming.Window.estimate option;
+  interarrival : Stats.Quantile_sketch.t option;
+      (** True inter-arrival quantile sketch (1% accuracy) — [Some] for
+          the ["stdin"] source only, where raw event times (not just bin
+          counts) pass through the driver. Its p50/p99/p999 are appended
+          to the summary record ([ia50]/[ia99]/[ia999]) when at least
+          one inter-arrival was observed. *)
 }
 
 val run : ?fmt:Format.formatter -> spec -> summary

@@ -37,10 +37,16 @@ type result = {
   h_rs : Lrd.Hurst.estimate;
   h_wav : Lrd.Wavelet.estimate option;
       (* [None] when disabled by the spec or too few bins/octaves *)
+  count_sketch : Stats.Quantile_sketch.t;
+      (* per-bin count quantiles; identical on both analysis paths *)
   chunks : int;  (* chunks pushed through the pyramid *)
   levels : int;  (* dyadic cascade depth *)
   resident : int;  (* peak floats resident in the pyramid *)
 }
+
+(* Same accuracy as the farm's per-bin sketches, so the count-q report
+   lines are directly comparable across drivers. *)
+let sketch_accuracy = 0.01
 
 let rs_max_block n_bins = Int.max 1 (Int.min 32768 (n_bins / 4))
 
@@ -55,8 +61,16 @@ let analysis_sinks n_bins =
     Timeseries.Sink.fold ~init:0. ~f:(fun acc c ->
         Array.fold_left ( +. ) acc c)
   in
+  let sketch = Stats.Quantile_sketch.create ~accuracy:sketch_accuracy () in
+  let sketch_sink =
+    Timeseries.Sink.make ~name:"count-sketch"
+      ~push:(Array.iter (Stats.Quantile_sketch.add sketch))
+      ~finish:(fun () -> sketch)
+      ()
+  in
   let sink =
-    Timeseries.Sink.tee (Timeseries.Sink.of_pyramid pyr) (Timeseries.Sink.tee rs total)
+    Timeseries.Sink.tee (Timeseries.Sink.of_pyramid pyr)
+      (Timeseries.Sink.tee rs (Timeseries.Sink.tee total sketch_sink))
   in
   (levels, sink)
 
@@ -65,7 +79,7 @@ let wavelet_of_pyramid pyr =
   | e -> Some e
   | exception Invalid_argument _ -> None
 
-let result_of ~wavelet ~levels ~n_bins (pyr, (h_rs, total)) =
+let result_of ~wavelet ~levels ~n_bins (pyr, (h_rs, (total, sketch))) =
   {
     bins = n_bins;
     total;
@@ -73,6 +87,7 @@ let result_of ~wavelet ~levels ~n_bins (pyr, (h_rs, total)) =
     h_vt = Lrd.Hurst.variance_time_of_pyramid ~levels pyr;
     h_rs;
     h_wav = (if wavelet then wavelet_of_pyramid pyr else None);
+    count_sketch = sketch;
     chunks = Timeseries.Pyramid.chunks pyr;
     levels = Timeseries.Pyramid.depth pyr;
     resident = Timeseries.Pyramid.resident_floats pyr;
@@ -218,6 +233,10 @@ let materialize spec =
       | exception Invalid_argument _ -> None
     else None
   in
+  (* The identical sketch the streamed path builds: the chunking only
+     changes add order, and bucket increments commute. *)
+  let count_sketch = Stats.Quantile_sketch.create ~accuracy:sketch_accuracy () in
+  Array.iter (Stats.Quantile_sketch.add count_sketch) counts;
   {
     bins = n_bins;
     total = Array.fold_left ( +. ) 0. counts;
@@ -225,6 +244,7 @@ let materialize spec =
     h_vt;
     h_rs;
     h_wav;
+    count_sketch;
     chunks = 0;
     levels = 0;
     resident = n_bins;
@@ -254,6 +274,15 @@ let pp fmt spec r =
         w.Lrd.Wavelet.h w.Lrd.Wavelet.slope w.Lrd.Wavelet.r2
         w.Lrd.Wavelet.stderr_h w.Lrd.Wavelet.j_lo w.Lrd.Wavelet.j_hi
     | None -> Format.fprintf fmt "  H(wavelet)    n/a@.");
+  (let q = Stats.Quantile_sketch.quantiles r.count_sketch in
+   match q [ 0.5; 0.9; 0.99; 0.999 ] with
+   | [ p50; p90; p99; p999 ] ->
+     Format.fprintf fmt
+       "  count-q       p50=%.6g p90=%.6g p99=%.6g p999=%.6g  (rel-err <= \
+        %g)@."
+       p50 p90 p99 p999
+       (Stats.Quantile_sketch.accuracy r.count_sketch)
+   | _ -> ());
   if not spec.materialized then
     Format.fprintf fmt "  pyramid       chunks=%d levels=%d resident-floats=%d@."
       r.chunks r.levels r.resident
@@ -271,6 +300,9 @@ module Window = struct
     hw : float;  (* rolling wavelet H; nan when too few octaves *)
     rate : float;
     alpha : float;
+    q50 : float;  (* per-bin count quantiles over the covered window, *)
+    q99 : float;  (* from the panes' mergeable sketches (1% accuracy) *)
+    q999 : float;
   }
 
   (* One tumbling pane: a dyadic-ladder pyramid (no registered levels, so
@@ -282,6 +314,7 @@ module Window = struct
     top : float array;
     mutable tn : int;  (* filled slots in [top] *)
     mutable tmin : int;  (* index of the smallest filled slot *)
+    sk : Stats.Quantile_sketch.t;  (* the pane's per-bin count sketch *)
   }
 
   type t = {
@@ -293,6 +326,9 @@ module Window = struct
     mutable cur : pane;
     mutable prev : Timeseries.Pyramid.snapshot option;
     mutable prev_top : float array;  (* completed pane's top-k, sorted desc *)
+    mutable prev_sk : Stats.Quantile_sketch.t option;
+        (* completed pane's sketch; merged with the current partial
+           pane's for the sliding read-out, like the pyramid snapshot *)
     mutable fill : int;  (* bins in [cur] *)
     mutable since : int;  (* bins since the last sliding emit *)
     mutable total : int;  (* bins consumed overall *)
@@ -312,6 +348,7 @@ module Window = struct
       top = Array.make k neg_infinity;
       tn = 0;
       tmin = 0;
+      sk = Stats.Quantile_sketch.create ~accuracy:sketch_accuracy ();
     }
 
   let create ~kind ~window ?cadence ?(top_k = 64) ~bin ~emit () =
@@ -349,6 +386,7 @@ module Window = struct
       cur = fresh_pane top_k;
       prev = None;
       prev_top = [||];
+      prev_sk = None;
       fill = 0;
       since = 0;
       total = 0;
@@ -410,13 +448,14 @@ module Window = struct
     let rec go m acc = if m > covered / 8 then List.rev acc else go (2 * m) (m :: acc) in
     go 1 []
 
-  let estimate_of t pyr tops covered =
+  let estimate_of t pyr tops sketch covered =
     let levels = vt_levels covered in
     let h =
       if List.length levels < 3 then { Lrd.Hurst.h = nan; slope = nan; r2 = nan }
       else Lrd.Hurst.variance_time_of_pyramid ~levels pyr
     in
     t.seq <- t.seq + 1;
+    let q = Stats.Quantile_sketch.quantile sketch in
     {
       seq = t.seq;
       upto = t.total;
@@ -428,6 +467,9 @@ module Window = struct
         | exception Invalid_argument _ -> nan);
       rate = Timeseries.Pyramid.mean pyr /. t.bin;
       alpha = hill_of_tops tops;
+      q50 = q 0.5;
+      q99 = q 0.99;
+      q999 = q 0.999;
     }
 
   let emit_sliding t =
@@ -436,22 +478,30 @@ module Window = struct
     match t.prev with
     | None ->
       if t.fill >= 16 then
-        t.emit (estimate_of t t.cur.pyr cur_top t.fill)
+        t.emit (estimate_of t t.cur.pyr cur_top t.cur.sk t.fill)
     | Some prev ->
       (* Full previous pane + current partial pane: the rolling window
          covers the last [window + fill] bins. The merge replays
-         concatenation exactly (see {!Timeseries.Pyramid.merge_into}). *)
+         concatenation exactly (see {!Timeseries.Pyramid.merge_into});
+         the sketch merge is bucket-wise and order-free. *)
       let p = Timeseries.Pyramid.of_snapshot prev in
       Timeseries.Pyramid.merge_into p (Timeseries.Pyramid.snapshot t.cur.pyr);
       let tops = merge_desc t.prev_top cur_top k in
-      t.emit (estimate_of t p tops (t.window + t.fill))
+      let sk =
+        match t.prev_sk with
+        | None -> t.cur.sk
+        | Some prev_sk -> Stats.Quantile_sketch.merge prev_sk t.cur.sk
+      in
+      t.emit (estimate_of t p tops sk (t.window + t.fill))
 
   let rotate t =
     (match t.kind with
-    | Tumbling -> t.emit (estimate_of t t.cur.pyr (sorted_desc_top t.cur) t.window)
+    | Tumbling ->
+      t.emit (estimate_of t t.cur.pyr (sorted_desc_top t.cur) t.cur.sk t.window)
     | Sliding ->
       t.prev <- Some (Timeseries.Pyramid.snapshot t.cur.pyr);
-      t.prev_top <- sorted_desc_top t.cur);
+      t.prev_top <- sorted_desc_top t.cur;
+      t.prev_sk <- Some t.cur.sk);
     t.cur <- fresh_pane (Array.length t.cur.top);
     t.fill <- 0
 
@@ -467,7 +517,8 @@ module Window = struct
       in
       Timeseries.Pyramid.push_slice t.cur.pyr xs !pos take;
       for i = !pos to !pos + take - 1 do
-        pane_offer t.cur xs.(i)
+        pane_offer t.cur xs.(i);
+        Stats.Quantile_sketch.add t.cur.sk xs.(i)
       done;
       t.fill <- t.fill + take;
       t.total <- t.total + take;

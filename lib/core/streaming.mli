@@ -55,6 +55,11 @@ type result = {
           (batch [Lrd.Wavelet.estimate] when materialized — the same
           logscale diagram bit-for-bit on the same counts); [None] when
           disabled or the series is too short for 2 fitted octaves. *)
+  count_sketch : Stats.Quantile_sketch.t;
+      (** Per-bin count quantile sketch (1% accuracy). Bucket increments
+          commute, so the streamed and materialized paths build the
+          identical sketch on the same sample path — the count-q report
+          line is byte-identical between them. *)
   chunks : int;  (** chunks pushed through the pyramid (0 if materialized) *)
   levels : int;  (** dyadic cascade depth (0 if materialized) *)
   resident : int;  (** peak floats resident in the pyramid *)
@@ -108,6 +113,14 @@ module Window : sig
     alpha : float;
         (** Hill tail index over the window's top-[top_k] bin counts
             ([nan] when fewer than 9 positive exceedances). *)
+    q50 : float;
+        (** Rolling per-bin count quantiles over the covered window,
+            read from the panes' {!Stats.Quantile_sketch}es (1%
+            accuracy); the sliding read-out merges the previous pane's
+            sketch with the current partial one, exactly like the
+            pyramid snapshot. *)
+    q99 : float;
+    q999 : float;
   }
 
   type t

@@ -1,5 +1,7 @@
-(* Worker-pool lifecycle: spawn-all, then drain-and-reap in index order.
-   See farm.mli for the crash-semantics contract. *)
+(* Worker-pool lifecycle: spawn-all, then a select loop that drains
+   every worker's stdout (frames) and stderr (tagged lines)
+   concurrently, with an optional missed-heartbeat deadline. See
+   farm.mli for the crash/stall-semantics contract. *)
 
 type outcome = {
   index : int;
@@ -7,9 +9,10 @@ type outcome = {
   frames : Frame.t list;
   status : Unix.process_status;
   failure : string option;
+  stalled : bool;
 }
 
-let ok o = o.status = Unix.WEXITED 0 && o.failure = None
+let ok o = o.status = Unix.WEXITED 0 && o.failure = None && not o.stalled
 
 (* OCaml signal numbers are its own portable negatives; name the common
    ones so a crash diagnostic reads "SIGKILL", not "signal -7". *)
@@ -34,45 +37,219 @@ let ignore_sigpipe () =
   (* Absent on non-Unix; harmless to skip there. *)
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
 
-(* Read frames until the final frame, EOF, or a framing error. A clean
-   EOF without the final frame is a crash: the worker died (or was
-   killed) mid-run, and its partials must not be trusted. *)
-let drain ic ~is_final c_frames =
-  let rec go acc =
-    match Frame.read ic with
-    | Ok None -> (List.rev acc, Some "stream ended before the final frame")
-    | Ok (Some f) ->
-      Telemetry.bump c_frames;
-      if is_final f then (List.rev (f :: acc), None) else go (f :: acc)
-    | Error e -> (List.rev acc, Some (Frame.error_to_string e))
-  in
-  go []
+(* Per-worker drain state. [out_pending] holds bytes that do not yet
+   form a complete frame; [err_pending] a partial stderr line. *)
+type wstate = {
+  w_index : int;
+  w_pid : int;
+  mutable out_fd : Unix.file_descr option;
+  mutable err_fd : Unix.file_descr option;
+  mutable out_pending : string;
+  err_pending : Buffer.t;
+  mutable frames_rev : Frame.t list;
+  mutable got_final : bool;
+  mutable failure : string option;
+  mutable stalled : bool;
+  mutable last_frame : float;  (* Unix time of the last decoded frame *)
+}
 
-let run ~exe ~argv ~workers ~is_final () =
+let note_failure w m = if w.failure = None then w.failure <- Some m
+
+let close_out_fd w =
+  match w.out_fd with
+  | Some fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    w.out_fd <- None
+  | None -> ()
+
+let close_err_fd w =
+  match w.err_fd with
+  | Some fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    w.err_fd <- None
+  | None -> ()
+
+(* Decode as many complete frames as [w.out_pending] holds. A Truncated
+   result here just means "wait for more bytes"; real truncation is
+   diagnosed at EOF. Any other decode error poisons the stream — the
+   worker is treated as crashed and its remaining output ignored. *)
+let drain_frames ~is_final ~on_frame ~c_frames w =
+  let s = w.out_pending in
+  let pos = ref 0 and stop = ref false in
+  while not !stop do
+    match Frame.decode s !pos with
+    | Ok (f, next) ->
+      pos := next;
+      w.last_frame <- Unix.gettimeofday ();
+      Telemetry.bump c_frames;
+      if is_final f then w.got_final <- true;
+      if not (on_frame w.w_index f) then w.frames_rev <- f :: w.frames_rev
+    | Error Frame.Truncated -> stop := true
+    | Error e ->
+      note_failure w (Frame.error_to_string e);
+      close_out_fd w;
+      stop := true
+  done;
+  w.out_pending <- String.sub s !pos (String.length s - !pos)
+
+let drain_err_lines ~on_stderr_line w =
+  let s = Buffer.contents w.err_pending in
+  Buffer.clear w.err_pending;
+  let n = String.length s in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if s.[i] = '\n' then begin
+      on_stderr_line w.w_index (String.sub s !start (i - !start));
+      start := i + 1
+    end
+  done;
+  Buffer.add_substring w.err_pending s !start (n - !start)
+
+let chunk = 65536
+
+let run ~exe ~argv ~workers ~is_final ?(on_frame = fun _ _ -> false)
+    ?(on_stderr_line =
+      fun i line -> Printf.eprintf "[w%d] %s\n%!" i line)
+    ?stall_timeout ?on_stall () =
   if workers < 1 then
     invalid_arg (Printf.sprintf "Farm.run: workers = %d (want >= 1)" workers);
+  (match stall_timeout with
+  | Some t when t <= 0. ->
+    invalid_arg "Farm.run: stall_timeout must be positive"
+  | _ -> ());
   ignore_sigpipe ();
   let c_workers = Telemetry.counter "farm.workers" in
   let c_frames = Telemetry.counter "farm.frames" in
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
-  let procs =
+  let states =
     Fun.protect
       ~finally:(fun () -> Unix.close devnull)
       (fun () ->
         Array.init workers (fun i ->
             (* cloexec keeps earlier workers' pipe ends out of later
                workers, so EOF on a pipe means that worker is gone. *)
-            let r, w = Unix.pipe ~cloexec:true () in
-            let pid = Unix.create_process exe (argv i) devnull w Unix.stderr in
+            let out_r, out_w = Unix.pipe ~cloexec:true () in
+            let err_r, err_w = Unix.pipe ~cloexec:true () in
+            let pid = Unix.create_process exe (argv i) devnull out_w err_w in
             Telemetry.bump c_workers;
-            Unix.close w;
-            (pid, Unix.in_channel_of_descr r)))
+            Unix.close out_w;
+            Unix.close err_w;
+            {
+              w_index = i;
+              w_pid = pid;
+              out_fd = Some out_r;
+              err_fd = Some err_r;
+              out_pending = "";
+              err_pending = Buffer.create 256;
+              frames_rev = [];
+              got_final = false;
+              failure = None;
+              stalled = false;
+              last_frame = Unix.gettimeofday ();
+            }))
   in
+  let buf = Bytes.create chunk in
+  let read_out w fd =
+    match Unix.read fd buf 0 chunk with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | 0 ->
+      close_out_fd w;
+      if not w.got_final then
+        note_failure w
+          (if w.out_pending = "" then "stream ended before the final frame"
+           else "frame truncated")
+    | n ->
+      w.out_pending <- w.out_pending ^ Bytes.sub_string buf 0 n;
+      drain_frames ~is_final ~on_frame ~c_frames w
+  in
+  let read_err w fd =
+    match Unix.read fd buf 0 chunk with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | 0 ->
+      if Buffer.length w.err_pending > 0 then begin
+        on_stderr_line w.w_index (Buffer.contents w.err_pending);
+        Buffer.clear w.err_pending
+      end;
+      close_err_fd w
+    | n ->
+      Buffer.add_subbytes w.err_pending buf 0 n;
+      drain_err_lines ~on_stderr_line w
+  in
+  let open_fds () =
+    Array.fold_left
+      (fun acc w ->
+        let acc = match w.out_fd with Some fd -> fd :: acc | None -> acc in
+        match w.err_fd with Some fd -> fd :: acc | None -> acc)
+      [] states
+  in
+  (* A worker is on the clock while its frame stream is still open and
+     its final frame has not arrived. *)
+  let check_stalls () =
+    match stall_timeout with
+    | None -> ()
+    | Some limit ->
+      let now = Unix.gettimeofday () in
+      Array.iter
+        (fun w ->
+          if
+            w.out_fd <> None && not w.got_final && not w.stalled
+            && now -. w.last_frame > limit
+          then begin
+            w.stalled <- true;
+            note_failure w
+              (Printf.sprintf "missed heartbeat deadline (%.3gs)" limit);
+            (match on_stall with
+            | Some f -> f w.w_index w.w_pid
+            | None -> ());
+            (* The worker is wedged: reclaim it rather than wait on a
+               pipe that will never speak again. *)
+            try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ()
+          end)
+        states
+  in
+  let select_timeout () =
+    match stall_timeout with
+    | None -> -1.
+    | Some limit ->
+      let now = Unix.gettimeofday () in
+      Array.fold_left
+        (fun acc w ->
+          if w.out_fd <> None && not w.got_final && not w.stalled then
+            let left = (w.last_frame +. limit) -. now in
+            Float.min acc (Float.max left 0.01)
+          else acc)
+        1.0 states
+  in
+  let rec loop () =
+    match open_fds () with
+    | [] -> ()
+    | fds ->
+      (match Unix.select fds [] [] (select_timeout ()) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+        Array.iter
+          (fun w ->
+            (match w.out_fd with
+            | Some fd when List.memq fd ready -> read_out w fd
+            | _ -> ());
+            match w.err_fd with
+            | Some fd when List.memq fd ready -> read_err w fd
+            | _ -> ())
+          states);
+      check_stalls ();
+      loop ()
+  in
+  loop ();
   Array.to_list
-    (Array.mapi
-       (fun index (pid, ic) ->
-         let frames, failure = drain ic ~is_final c_frames in
-         close_in_noerr ic;
-         let _, status = Unix.waitpid [] pid in
-         { index; pid; frames; status; failure })
-       procs)
+    (Array.map
+       (fun w ->
+         let _, status = Unix.waitpid [] w.w_pid in
+         {
+           index = w.w_index;
+           pid = w.w_pid;
+           frames = List.rev w.frames_rev;
+           status;
+           failure = w.failure;
+           stalled = w.stalled;
+         })
+       states)

@@ -2,18 +2,27 @@
 
     The coordinator re-executes its own binary [workers] times with a
     per-worker argv (a hidden worker subcommand), wires each worker's
-    stdout to a private pipe, and drains the pipes as {!Frame} streams.
-    Re-exec was chosen over [Unix.fork]: the coordinator links the
-    OCaml 5 domain machinery (pools, DLS, channel locks) whose state is
-    undefined in a fork child, a fresh exec gives every worker a
-    pristine runtime with its own measurable RSS, and the worker entry
-    stays directly invocable for debugging.
+    stdout and stderr to private pipes, and drains all of them
+    concurrently from one [select] loop: stdout as a {!Frame} stream,
+    stderr as tagged lines. Re-exec was chosen over [Unix.fork]: the
+    coordinator links the OCaml 5 domain machinery (pools, DLS, channel
+    locks) whose state is undefined in a fork child, a fresh exec gives
+    every worker a pristine runtime with its own measurable RSS, and
+    the worker entry stays directly invocable for debugging.
 
     Crash semantics: a worker's stream must end with a frame matched by
     [is_final] (its "done" summary). EOF before that frame, a framing
     error, or an abnormal exit status all surface in the worker's
     {!outcome} — the caller decides that the run failed; nothing is
     reported as complete on partial data.
+
+    Stall semantics: with [?stall_timeout] set, a worker whose frame
+    stream stays silent past the deadline — no frame of any kind, so in
+    particular no heartbeat ({!Obs_frame}) — is marked [stalled],
+    reported through [?on_stall], and SIGKILLed so the pool never hangs
+    on a wedged process. Any arriving frame resets that worker's clock:
+    periodic heartbeats are what keep a slow-but-alive worker off the
+    deadline.
 
     SIGPIPE is ignored for the calling process (idempotently) before
     spawning, so a worker writing to a coordinator that already gave up
@@ -22,30 +31,53 @@
 type outcome = {
   index : int;
   pid : int;
-  frames : Frame.t list;  (** Decoded frames, in write order. *)
+  frames : Frame.t list;
+      (** Decoded frames in write order, minus those consumed by
+          [?on_frame]. *)
   status : Unix.process_status;
   failure : string option;
-      (** [Some reason] when the stream broke: a {!Frame.error}, or EOF
-          before the final frame. Abnormal exits are in [status]. *)
+      (** [Some reason] when the stream broke: a {!Frame.error}, EOF
+          before the final frame, or a missed heartbeat deadline.
+          Abnormal exits are in [status]. *)
+  stalled : bool;
+      (** True when the worker was killed for missing the heartbeat
+          deadline (its [status] then reads "killed by SIGKILL"). *)
 }
 
 val ok : outcome -> bool
-(** Clean worker: exited 0, stream intact through its final frame. *)
+(** Clean worker: exited 0, stream intact through its final frame, not
+    stalled. *)
 
 val status_to_string : Unix.process_status -> string
-(** ["exited 0"], ["killed by signal -7"], ... — for diagnostics. *)
+(** ["exited 0"], ["killed by SIGKILL"], ... — for diagnostics. *)
 
 val run :
   exe:string ->
   argv:(int -> string array) ->
   workers:int ->
   is_final:(Frame.t -> bool) ->
+  ?on_frame:(int -> Frame.t -> bool) ->
+  ?on_stderr_line:(int -> string -> unit) ->
+  ?stall_timeout:float ->
+  ?on_stall:(int -> int -> unit) ->
   unit ->
   outcome list
 (** Spawn [workers] processes ([exe] with [argv i]; stdin is
-    [/dev/null], stderr inherited), then drain and reap them in index
-    order. Draining worker [i] cannot deadlock on worker [j]'s full
-    pipe — [j] merely blocks in [write] until its turn. Raises
-    [Invalid_argument] when [workers < 1]; [Unix.Unix_error] if a spawn
-    itself fails. Telemetry: bumps [farm.workers] per spawn and
-    [farm.frames] per decoded frame. *)
+    [/dev/null], stdout and stderr piped), drain them concurrently,
+    then reap in index order.
+
+    [on_frame index f] sees every decoded frame as it arrives; return
+    [true] to consume it (observability frames — heartbeats, span
+    tables, shipped logs — are handled live and kept out of
+    [outcome.frames]), [false] to keep it for the caller's merge.
+    [on_stderr_line index line] receives each complete worker stderr
+    line (default: print ["[w<index>] <line>"] to the coordinator's
+    stderr — attributable, never interleaved mid-line).
+    [stall_timeout] arms the missed-heartbeat deadline (seconds since
+    the last decoded frame); [on_stall index pid] fires once per
+    stalled worker, before the SIGKILL.
+
+    Raises [Invalid_argument] when [workers < 1] or
+    [stall_timeout <= 0]; [Unix.Unix_error] if a spawn itself fails.
+    Telemetry: bumps [farm.workers] per spawn and [farm.frames] per
+    decoded frame. *)

@@ -7,6 +7,16 @@ type artifact_entry = {
   art_files : file_entry list;
 }
 
+type worker_entry = {
+  wk_index : int;
+  wk_status : string;
+  wk_events : int;
+  wk_shards : int;
+  wk_wall_s : float;
+  wk_rss_kb : int;
+  wk_stalled : bool;
+}
+
 type t = {
   schema : int;
   created_at : float;
@@ -17,6 +27,7 @@ type t = {
   artifacts : artifact_entry list;
   counters : (string * int) list;
   n_warnings : int;
+  farm_workers : worker_entry list;
 }
 
 let schema_version = 1
@@ -24,7 +35,7 @@ let schema_version = 1
 let file_of_content fname content =
   { fname; sha256 = Sha256.hex content; bytes = String.length content }
 
-let of_run ~created_at ~seed ~jobs ~total_s artifacts =
+let of_run ?(farm_workers = []) ~created_at ~seed ~jobs ~total_s artifacts =
   let entry (a : Artifact.t) =
     {
       art_id = a.id;
@@ -47,6 +58,7 @@ let of_run ~created_at ~seed ~jobs ~total_s artifacts =
     counters = (if Telemetry.enabled () then Telemetry.counters () else []);
     n_warnings =
       (if Log.enabled () then List.length (Log.warnings ()) else 0);
+    farm_workers;
   }
 
 let to_json m =
@@ -68,7 +80,7 @@ let to_json m =
       ]
   in
   Json.Obj
-    [
+    ([
       ("schema", Json.Int m.schema);
       ("created_at", Json.Float m.created_at);
       ("seed", Json.Int m.seed);
@@ -80,6 +92,29 @@ let to_json m =
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) m.counters) );
       ("warnings", Json.Int m.n_warnings);
     ]
+    @
+
+    (* Absent entirely for non-farm runs, so pre-farm manifests and
+       their readers are untouched. *)
+    (if m.farm_workers = [] then []
+     else
+       [
+         ( "farm_workers",
+           Json.List
+             (List.map
+                (fun w ->
+                  Json.Obj
+                    [
+                      ("index", Json.Int w.wk_index);
+                      ("status", Json.Str w.wk_status);
+                      ("events", Json.Int w.wk_events);
+                      ("shards", Json.Int w.wk_shards);
+                      ("wall_s", Json.Float w.wk_wall_s);
+                      ("rss_kb", Json.Int w.wk_rss_kb);
+                      ("stalled", Json.Int (if w.wk_stalled then 1 else 0));
+                    ])
+                m.farm_workers) );
+       ]))
 
 let to_string m = Json.to_string ~indent:true (to_json m) ^ "\n"
 
@@ -139,10 +174,34 @@ let parse s =
       Option.value ~default:0
         (Option.bind (Json.member "warnings" j) Json.to_int_opt)
     in
+    (* Pre-farm manifests have no farm_workers member: empty list. *)
+    let* farm_workers =
+      match Json.member "farm_workers" j with
+      | None -> Ok []
+      | Some jw ->
+        let* rows =
+          match Json.to_list_opt jw with
+          | Some l -> Ok l
+          | None -> Error "manifest: missing or bad \"farm_workers\""
+        in
+        map_result
+          (fun w ->
+            let* wk_index = field "index" Json.to_int_opt w in
+            let* wk_status = field "status" Json.to_str_opt w in
+            let* wk_events = field "events" Json.to_int_opt w in
+            let* wk_shards = field "shards" Json.to_int_opt w in
+            let* wk_wall_s = field "wall_s" Json.to_float_opt w in
+            let* wk_rss_kb = field "rss_kb" Json.to_int_opt w in
+            let* stalled = field "stalled" Json.to_int_opt w in
+            Ok
+              { wk_index; wk_status; wk_events; wk_shards; wk_wall_s;
+                wk_rss_kb; wk_stalled = stalled <> 0 })
+          rows
+    in
     Ok
       {
         schema; created_at; seed; jobs; build; total_s; artifacts; counters;
-        n_warnings;
+        n_warnings; farm_workers;
       }
 
 let load path =
@@ -196,6 +255,15 @@ let compare_manifests a b =
   let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
   if a.seed <> b.seed then note "seeds differ: %d vs %d" a.seed b.seed;
   if a.jobs <> b.jobs then note "jobs differ: %d vs %d (benign)" a.jobs b.jobs;
+  (* Worker placement and timings are provenance, like jobs: a 1-worker
+     and a 16-worker farm of the same spec must still "agree". *)
+  if
+    List.length a.farm_workers <> List.length b.farm_workers
+    && (a.farm_workers <> [] || b.farm_workers <> [])
+  then
+    note "farm workers differ: %d vs %d (benign)"
+      (List.length a.farm_workers)
+      (List.length b.farm_workers);
   if a.build <> b.build then
     note "builds differ: %s vs %s" (Json.to_string a.build)
       (Json.to_string b.build);

@@ -26,6 +26,19 @@ type artifact_entry = {
   art_files : file_entry list;
 }
 
+type worker_entry = {
+  wk_index : int;
+  wk_status : string;  (** e.g. ["exited 0"], ["killed by SIGKILL"]. *)
+  wk_events : int;
+  wk_shards : int;
+  wk_wall_s : float;
+  wk_rss_kb : int;  (** Worker peak RSS; [-1] when unavailable. *)
+  wk_stalled : bool;
+}
+(** One farm worker's exit/RSS/progress row, from its done frame and
+    reaped status. Provenance only — like [jobs], worker placement never
+    counts as divergence. *)
+
 type t = {
   schema : int;  (** Currently {!schema_version}. *)
   created_at : float;  (** Unix seconds; provenance only. *)
@@ -36,11 +49,20 @@ type t = {
   artifacts : artifact_entry list;
   counters : (string * int) list;  (** Telemetry rollup (may be empty). *)
   n_warnings : int;  (** [Warn]-and-above log events during the run. *)
+  farm_workers : worker_entry list;
+      (** Per-worker rows for farm runs; [[]] (and absent from the JSON)
+          otherwise, so pre-farm manifests still parse. *)
 }
 
 val schema_version : int
 
+val file_of_content : string -> string -> file_entry
+(** [file_of_content name content] hashes [content] in memory — the
+    same entry [of_run] builds for artifact files, usable for ad-hoc
+    artifacts like the farm report. *)
+
 val of_run :
+  ?farm_workers:worker_entry list ->
   created_at:float ->
   seed:int ->
   jobs:int ->
@@ -49,7 +71,7 @@ val of_run :
   t
 (** Hash every artifact's text and figures (from the in-memory strings —
     no filesystem round-trip) and capture the current telemetry counters
-    and log warning count. *)
+    and log warning count. [farm_workers] defaults to [[]]. *)
 
 val to_json : t -> Json.t
 val to_string : t -> string

@@ -1,0 +1,182 @@
+(* Observability payload codecs. See obs_frame.mli. *)
+
+let kind_telemetry = 16
+let kind_logs = 17
+let kind_heartbeat = 18
+
+type heartbeat = {
+  hb_index : int;
+  hb_events : int;
+  hb_shards : int;
+  hb_rate : float;
+  hb_rss_kb : int;
+}
+
+type decoded =
+  | Telemetry of int * float * Telemetry.event list
+  | Logs of int * Log.event list
+  | Heartbeat of heartbeat
+
+let is_obs (f : Frame.t) =
+  f.kind = kind_telemetry || f.kind = kind_logs || f.kind = kind_heartbeat
+
+let is_heartbeat (f : Frame.t) = f.kind = kind_heartbeat
+
+(* Span/log volume is O(shards + events-worth-logging); cap the table
+   length so a corrupt length field cannot drive decode allocation. *)
+let max_entries = 1 lsl 20
+
+let opt_str b = function
+  | None -> Frame.Wr.u8 b 0
+  | Some s ->
+    Frame.Wr.u8 b 1;
+    Frame.Wr.str b s
+
+let rd_opt_str c =
+  match Frame.Rd.u8 c with
+  | 0 -> None
+  | 1 -> Some (Frame.Rd.str c)
+  | n -> raise (Frame.Rd.Malformed (Printf.sprintf "bad option tag %d" n))
+
+let telemetry_frame ~index ~epoch_unix_s events =
+  let b = Buffer.create 1024 in
+  Frame.Wr.u32 b index;
+  Frame.Wr.f64 b epoch_unix_s;
+  Frame.Wr.u32 b (List.length events);
+  List.iter
+    (fun (ev : Telemetry.event) ->
+      Frame.Wr.str b ev.ev_name;
+      opt_str b ev.ev_task;
+      Frame.Wr.u32 b ev.ev_domain;
+      Frame.Wr.f64 b ev.ev_start_us;
+      Frame.Wr.f64 b ev.ev_dur_us)
+    events;
+  { Frame.kind = kind_telemetry; payload = Buffer.contents b }
+
+let level_code = function
+  | Log.Debug -> 0
+  | Log.Info -> 1
+  | Log.Warn -> 2
+  | Log.Error -> 3
+
+let level_of_code = function
+  | 0 -> Log.Debug
+  | 1 -> Log.Info
+  | 2 -> Log.Warn
+  | 3 -> Log.Error
+  | n -> raise (Frame.Rd.Malformed (Printf.sprintf "bad level code %d" n))
+
+let field_wr b = function
+  | Log.S s ->
+    Frame.Wr.u8 b 0;
+    Frame.Wr.str b s
+  | Log.I i ->
+    Frame.Wr.u8 b 1;
+    Frame.Wr.i64 b i
+  | Log.F f ->
+    Frame.Wr.u8 b 2;
+    Frame.Wr.f64 b f
+  | Log.B v ->
+    Frame.Wr.u8 b 3;
+    Frame.Wr.u8 b (if v then 1 else 0)
+
+let field_rd c =
+  match Frame.Rd.u8 c with
+  | 0 -> Log.S (Frame.Rd.str c)
+  | 1 -> Log.I (Frame.Rd.i64 c)
+  | 2 -> Log.F (Frame.Rd.f64 c)
+  | 3 -> Log.B (Frame.Rd.u8 c <> 0)
+  | n -> raise (Frame.Rd.Malformed (Printf.sprintf "bad field tag %d" n))
+
+let logs_frame ~index events =
+  let b = Buffer.create 1024 in
+  Frame.Wr.u32 b index;
+  Frame.Wr.u32 b (List.length events);
+  List.iter
+    (fun (ev : Log.event) ->
+      Frame.Wr.u8 b (level_code ev.ev_level);
+      Frame.Wr.i64 b ev.seq;
+      Frame.Wr.f64 b ev.t_us;
+      Frame.Wr.str b ev.ev_name;
+      opt_str b ev.ev_task;
+      Frame.Wr.u32 b ev.ev_domain;
+      Frame.Wr.u16 b (List.length ev.fields);
+      List.iter
+        (fun (k, v) ->
+          Frame.Wr.str b k;
+          field_wr b v)
+        ev.fields)
+    events;
+  { Frame.kind = kind_logs; payload = Buffer.contents b }
+
+let heartbeat_frame hb =
+  let b = Buffer.create 40 in
+  Frame.Wr.u32 b hb.hb_index;
+  Frame.Wr.i64 b hb.hb_events;
+  Frame.Wr.u32 b hb.hb_shards;
+  Frame.Wr.f64 b hb.hb_rate;
+  Frame.Wr.i64 b hb.hb_rss_kb;
+  { Frame.kind = kind_heartbeat; payload = Buffer.contents b }
+
+let list_init_checked c n what f =
+  if n < 0 || n > max_entries then
+    raise
+      (Frame.Rd.Malformed (Printf.sprintf "%s table length %d out of range" what n));
+  List.init n (fun _ -> f c)
+
+let decode (f : Frame.t) =
+  let open Frame.Rd in
+  match
+    let c = of_string f.payload in
+    if f.kind = kind_telemetry then begin
+      let index = u32 c in
+      let epoch = f64 c in
+      let n = u32 c in
+      let events =
+        list_init_checked c n "telemetry" (fun c ->
+            let ev_name = str c in
+            let ev_task = rd_opt_str c in
+            let ev_domain = u32 c in
+            let ev_start_us = f64 c in
+            let ev_dur_us = f64 c in
+            { Telemetry.ev_name; ev_task; ev_domain; ev_start_us; ev_dur_us })
+      in
+      if not (at_end c) then raise (Malformed "trailing bytes in telemetry frame");
+      Telemetry (index, epoch, events)
+    end
+    else if f.kind = kind_logs then begin
+      let index = u32 c in
+      let n = u32 c in
+      let events =
+        list_init_checked c n "logs" (fun c ->
+            let ev_level = level_of_code (u8 c) in
+            let seq = i64 c in
+            let t_us = f64 c in
+            let ev_name = str c in
+            let ev_task = rd_opt_str c in
+            let ev_domain = u32 c in
+            let nf = u16 c in
+            let fields =
+              List.init nf (fun _ ->
+                  let k = str c in
+                  let v = field_rd c in
+                  (k, v))
+            in
+            { Log.seq; t_us; ev_level; ev_name; ev_task; ev_domain; fields })
+      in
+      if not (at_end c) then raise (Malformed "trailing bytes in logs frame");
+      Logs (index, events)
+    end
+    else if f.kind = kind_heartbeat then begin
+      let hb_index = u32 c in
+      let hb_events = i64 c in
+      let hb_shards = u32 c in
+      let hb_rate = f64 c in
+      let hb_rss_kb = i64 c in
+      if not (at_end c) then raise (Malformed "trailing bytes in heartbeat frame");
+      Heartbeat { hb_index; hb_events; hb_shards; hb_rate; hb_rss_kb }
+    end
+    else raise (Malformed (Printf.sprintf "not an observability frame kind %d" f.kind))
+  with
+  | d -> Ok d
+  | exception Malformed m -> Error m

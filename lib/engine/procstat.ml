@@ -1,0 +1,28 @@
+(* /proc/self/status is Linux-only; every reader returns an option so
+   callers degrade to "rss n/a" elsewhere rather than failing. *)
+
+let status_field key =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let prefix = key ^ ":" in
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line ->
+            if String.length line > String.length prefix
+               && String.sub line 0 (String.length prefix) = prefix
+            then
+              (* "VmHWM:     1234 kB" — take the numeric token. *)
+              String.split_on_char ' ' line
+              |> List.find_opt (fun tok -> tok <> "" && tok.[0] >= '0' && tok.[0] <= '9')
+              |> fun tok -> Option.bind tok int_of_string_opt
+            else scan ()
+        in
+        scan ())
+
+let peak_rss_kb () = status_field "VmHWM"
+let rss_kb () = status_field "VmRSS"

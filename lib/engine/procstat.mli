@@ -1,0 +1,13 @@
+(** Process self-inspection (Linux [/proc/self/status]).
+
+    The farm's heartbeat frames and the [--metrics] wall/RSS stderr
+    line both want resident-set numbers; parsing lives here so the CLI
+    and the worker heartbeat loop share one reader. All readers return
+    [None] on platforms without procfs. *)
+
+val peak_rss_kb : unit -> int option
+(** High-water-mark resident set ([VmHWM]), in kB. *)
+
+val rss_kb : unit -> int option
+(** Current resident set ([VmRSS]), in kB — what a live heartbeat
+    reports. *)

@@ -191,7 +191,27 @@ let render ?manifest ?(log_events = []) ?(sparklines = []) ~title ~build ~seed
                f.Manifest.bytes (html_escape f.Manifest.sha256))
            e.Manifest.art_files)
        m.Manifest.artifacts;
-     out "</table>");
+     out "</table>";
+     (* Farm worker rows, when the manifest came from a farm run. *)
+     if m.Manifest.farm_workers <> [] then begin
+       out "<h2>Farm workers</h2><table><tr><th>worker</th><th>status</th>\
+            <th>events</th><th>shards</th><th>wall s</th><th>peak RSS kB</th>\
+            </tr>";
+       List.iter
+         (fun (w : Manifest.worker_entry) ->
+           out "<tr><td class=\"num\">%d</td><td>%s%s</td>\
+                <td class=\"num\">%d</td><td class=\"num\">%d</td>\
+                <td class=\"num\">%.2f</td><td class=\"num\">%d</td></tr>"
+             w.Manifest.wk_index
+             (html_escape w.Manifest.wk_status)
+             (if w.Manifest.wk_stalled then
+                " <span class=\"warn\">(stalled)</span>"
+              else "")
+             w.Manifest.wk_events w.Manifest.wk_shards w.Manifest.wk_wall_s
+             w.Manifest.wk_rss_kb)
+         m.Manifest.farm_workers;
+       out "</table>"
+     end);
 
   (* Flame view. *)
   let spans = List.filter (fun ev -> ev.Telemetry.ev_dur_us > 0.) events in

@@ -26,6 +26,7 @@ let n_events = ref 0
 let t0 = ref (Unix.gettimeofday ())
 
 let now_us () = (Unix.gettimeofday () -. !t0) *. 1e6
+let epoch_unix_s () = !t0
 
 let record ev =
   Mutex.lock lock;
@@ -245,6 +246,73 @@ let to_chrome_trace () =
          \"args\": {\"value\": %d}}"
         (json_escape name) t_end v)
     (counters ());
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents buf
+
+(* Multi-process rendering for the farm: one Chrome pid-lane per
+   process (coordinator + workers), tid = the recording domain inside
+   that process. Worker clocks are re-anchored by the caller-supplied
+   offset so spans interleave on one shared timeline. *)
+type process = {
+  pr_label : string;
+  pr_events : event list;
+  pr_counters : (string * int) list;
+  pr_offset_us : float;
+}
+
+let to_chrome_trace_multi procs =
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let emit fmt =
+    if !first then first := false else Buffer.add_string buf ",\n  ";
+    Printf.ksprintf (Buffer.add_string buf) fmt
+  in
+  Buffer.add_string buf "{\"traceEvents\": [\n  ";
+  List.iteri
+    (fun pid p ->
+      emit
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %d, \
+         \"tid\": 0, \"args\": {\"name\": \"%s\"}}"
+        pid (json_escape p.pr_label))
+    procs;
+  let t_end = ref 0. in
+  List.iteri
+    (fun pid p ->
+      let evs =
+        List.sort (fun a b -> compare a.ev_start_us b.ev_start_us) p.pr_events
+      in
+      List.iter
+        (fun ev ->
+          let ts = ev.ev_start_us +. p.pr_offset_us in
+          t_end := Float.max !t_end (ts +. ev.ev_dur_us);
+          let args =
+            match ev.ev_task with
+            | None -> ""
+            | Some t ->
+              Printf.sprintf ", \"args\": {\"task\": \"%s\"}" (json_escape t)
+          in
+          if ev.ev_dur_us > 0. then
+            emit
+              "{\"name\": \"%s\", \"cat\": \"span\", \"ph\": \"X\", \
+               \"ts\": %.1f, \"dur\": %.1f, \"pid\": %d, \"tid\": %d%s}"
+              (json_escape ev.ev_name) ts ev.ev_dur_us pid ev.ev_domain args
+          else
+            emit
+              "{\"name\": \"%s\", \"cat\": \"mark\", \"ph\": \"i\", \
+               \"ts\": %.1f, \"pid\": %d, \"tid\": %d, \"s\": \"t\"%s}"
+              (json_escape ev.ev_name) ts pid ev.ev_domain args)
+        evs)
+    procs;
+  List.iteri
+    (fun pid p ->
+      List.iter
+        (fun (name, v) ->
+          emit
+            "{\"name\": \"%s\", \"ph\": \"C\", \"ts\": %.1f, \"pid\": %d, \
+             \"args\": {\"value\": %d}}"
+            (json_escape name) !t_end pid v)
+        p.pr_counters)
+    procs;
   Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
   Buffer.contents buf
 

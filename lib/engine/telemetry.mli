@@ -118,6 +118,27 @@ val to_chrome_trace : unit -> string
     ["i"] per mark, ["C"] per counter, plus ["process_name"] metadata
     naming each domain. Timestamps are microseconds. *)
 
+val epoch_unix_s : unit -> float
+(** The Unix time of the last {!reset} — the zero point of every
+    [ev_start_us]. Farm workers ship it with their span tables so the
+    coordinator can re-anchor worker timestamps onto its own epoch. *)
+
+type process = {
+  pr_label : string;  (** Perfetto process name, e.g. ["worker 3"]. *)
+  pr_events : event list;
+  pr_counters : (string * int) list;
+  pr_offset_us : float;
+      (** Added to every timestamp: the process's epoch relative to the
+          trace's (0 for the process whose epoch defines the trace). *)
+}
+
+val to_chrome_trace_multi : process list -> string
+(** Merged multi-process Chrome trace: one pid-lane per listed process
+    (pid = list position, tid = recording domain within it), spans and
+    marks re-anchored by each process's offset, counters attributed to
+    their process. The single-process {!to_chrome_trace} keeps its
+    pid-per-domain layout; this is the farm's merged-trace renderer. *)
+
 val pp_summary : Format.formatter -> unit
 (** Aligned human-readable table: per-span-name call counts / total /
     mean wall time, then all non-zero counters. *)

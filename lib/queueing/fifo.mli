@@ -8,7 +8,9 @@ type stats = {
   mean_wait : float;  (** Mean time spent waiting (excluding service). *)
   mean_sojourn : float;  (** Waiting + service. *)
   max_wait : float;
+  p50_wait : float;
   p99_wait : float;
+  p999_wait : float;
   utilization : float;  (** Busy fraction of the simulated horizon. *)
   dropped : int;  (** Packets lost to a finite buffer (0 if infinite). *)
 }
@@ -37,8 +39,10 @@ val sink :
 (** Chunked-consumer form of {!simulate}: push sorted arrival-time
     chunks, then [finish]. Runs the identical Lindley recursion, so
     [n], [mean_wait], [mean_sojourn], [max_wait], [utilization] and
-    [dropped] equal {!simulate}'s exactly; [p99_wait] is approximated
-    from a log-spaced histogram (100 bins/decade, so within ~2.3% and
-    never above [max_wait]) instead of storing every wait — memory is
-    O(queue depth), independent of trace length. [finish] raises
+    [dropped] equal {!simulate}'s exactly; [p50_wait]/[p99_wait]/
+    [p999_wait] come from a {!Stats.Quantile_sketch} (1% accuracy, so
+    each is within 1% relative value error of some wait whose rank is
+    within the sketch's documented bound of the target, and never above
+    [max_wait]) instead of storing every wait — memory is O(queue depth
+    + sketch buckets), independent of trace length. [finish] raises
     [Invalid_argument] if no arrivals were pushed. *)

@@ -1,0 +1,250 @@
+(* Deterministic mergeable quantile sketch on a fixed geometric grid.
+
+   Bucket index for x > epsilon is ceil (log_gamma x) with
+   gamma = (1 + accuracy) / (1 - accuracy); the grid is a pure function
+   of [accuracy], so sketches over the same multiset are identical no
+   matter how the samples were split across shards or in what tree
+   order the shard sketches were merged — the property the farm's
+   byte-identical-stdout contract needs. Counts are exact ints in a
+   hashtable keyed by bucket index; every read-out path sorts by index
+   first so hashtable iteration order can never leak into output. *)
+
+type t = {
+  acc : float;
+  gamma : float;
+  inv_log_gamma : float;      (* 1 / log gamma, hoisted out of [add] *)
+  tbl : (int, int ref) Hashtbl.t;
+  mutable zero : int;         (* samples in [0, epsilon] *)
+  mutable n : int;
+  mutable mn : float;
+  mutable mx : float;
+  mutable total : float;
+  (* Integer-valued samples below [small_n] (queue bin counts, small
+     packet tallies) dominate several sinks; a memoised index table
+     turns their [add] into an array read instead of a [log]. *)
+  small : int array;          (* small.(k) = index for float k, k >= 1 *)
+}
+
+let epsilon = 1e-12
+let small_n = 4096
+
+let index_of ~inv_log_gamma x =
+  (* ceil via [Float.round (v +. 0.5)] would misbehave at exact
+     integers; int_of_float truncation after ceil is safe because
+     indices stay within a few thousand of 0 for any representable
+     positive float at sane accuracies. *)
+  int_of_float (Float.ceil (Float.log x *. inv_log_gamma))
+
+let create ?(accuracy = 0.01) () =
+  if not (accuracy > 0. && accuracy <= 0.5) then
+    invalid_arg "Quantile_sketch.create: accuracy must be in (0, 0.5]";
+  let gamma = (1. +. accuracy) /. (1. -. accuracy) in
+  let inv_log_gamma = 1. /. Float.log gamma in
+  let small = Array.make small_n 0 in
+  for k = 1 to small_n - 1 do
+    small.(k) <- index_of ~inv_log_gamma (float_of_int k)
+  done;
+  {
+    acc = accuracy;
+    gamma;
+    inv_log_gamma;
+    tbl = Hashtbl.create 256;
+    zero = 0;
+    n = 0;
+    mn = infinity;
+    mx = neg_infinity;
+    total = 0.;
+    small;
+  }
+
+let accuracy t = t.acc
+let count t = t.n
+let min t = if t.n = 0 then Float.nan else t.mn
+let max t = if t.n = 0 then Float.nan else t.mx
+let sum t = t.total
+let mean t = if t.n = 0 then Float.nan else t.total /. float_of_int t.n
+
+let buckets t =
+  Hashtbl.length t.tbl + if t.zero > 0 then 1 else 0
+
+let bump tbl i k =
+  match Hashtbl.find_opt tbl i with
+  | Some r -> r := !r + k
+  | None -> Hashtbl.add tbl i (ref k)
+
+let add t x =
+  if not (Float.is_finite x) || x < 0. then
+    invalid_arg "Quantile_sketch.add: sample must be finite and >= 0";
+  t.n <- t.n + 1;
+  t.total <- t.total +. x;
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  if x <= epsilon then t.zero <- t.zero + 1
+  else begin
+    let xi = int_of_float x in
+    let i =
+      if xi > 0 && xi < small_n && float_of_int xi = x then t.small.(xi)
+      else index_of ~inv_log_gamma:t.inv_log_gamma x
+    in
+    bump t.tbl i 1
+  end
+
+let sorted_buckets t =
+  let bs =
+    Hashtbl.fold (fun i r acc -> (i, !r) :: acc) t.tbl []
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) bs
+
+let value_of_index t i =
+  (* geometric midpoint of (gamma^(i-1), gamma^i] *)
+  2. *. (t.gamma ** float_of_int i) /. (t.gamma +. 1.)
+
+let clamp t v =
+  if v < t.mn then t.mn else if v > t.mx then t.mx else v
+
+let quantiles t qs =
+  List.iter
+    (fun q ->
+      if not (q >= 0. && q <= 1.) then
+        invalid_arg "Quantile_sketch.quantile: q must be in [0, 1]")
+    qs;
+  if t.n = 0 then List.map (fun _ -> Float.nan) qs
+  else begin
+    let bs = sorted_buckets t in
+    List.map
+      (fun q ->
+        if q = 0. then t.mn
+        else if q = 1. then t.mx
+        else begin
+          (* rank of the order statistic, 1-based *)
+          let rank =
+            let r = int_of_float (Float.ceil (q *. float_of_int t.n)) in
+            if r < 1 then 1 else if r > t.n then t.n else r
+          in
+          if rank <= t.zero then 0.
+          else begin
+            let seen = ref t.zero and ans = ref t.mx in
+            (try
+               List.iter
+                 (fun (i, c) ->
+                   seen := !seen + c;
+                   if !seen >= rank then begin
+                     ans := clamp t (value_of_index t i);
+                     raise Exit
+                   end)
+                 bs
+             with Exit -> ());
+            !ans
+          end
+        end)
+      qs
+  end
+
+let quantile t q = List.hd (quantiles t [ q ])
+
+let merge_into dst src =
+  if dst.acc <> src.acc then
+    invalid_arg "Quantile_sketch.merge_into: accuracy mismatch";
+  Hashtbl.iter (fun i r -> bump dst.tbl i !r) src.tbl;
+  dst.zero <- dst.zero + src.zero;
+  dst.n <- dst.n + src.n;
+  dst.total <- dst.total +. src.total;
+  if src.mn < dst.mn then dst.mn <- src.mn;
+  if src.mx > dst.mx then dst.mx <- src.mx
+
+let merge a b =
+  let t = create ~accuracy:a.acc () in
+  merge_into t a;
+  merge_into t b;
+  t
+
+(* Wire codec — hand-rolled little-endian (this library sits below
+   [Engine.Frame] in the dependency order, so it cannot borrow that
+   module's readers/writers).
+
+   layout: magic 'Q','S' | version u8 | accuracy f64 | n i64 | zero i64
+           | min f64 | max f64 | sum f64 | n_buckets i64
+           | n_buckets * (index i64, count i64)            *)
+
+let version = 1
+let header_len = 2 + 1 + 8 + 8 + 8 + 8 + 8 + 8 + 8
+
+let w64 buf v = Buffer.add_int64_le buf v
+let wf buf v = Buffer.add_int64_le buf (Int64.bits_of_float v)
+
+let to_string t =
+  let bs = sorted_buckets t in
+  let buf = Buffer.create (header_len + (16 * List.length bs)) in
+  Buffer.add_char buf 'Q';
+  Buffer.add_char buf 'S';
+  Buffer.add_uint8 buf version;
+  wf buf t.acc;
+  w64 buf (Int64.of_int t.n);
+  w64 buf (Int64.of_int t.zero);
+  wf buf t.mn;
+  wf buf t.mx;
+  wf buf t.total;
+  w64 buf (Int64.of_int (List.length bs));
+  List.iter
+    (fun (i, c) ->
+      w64 buf (Int64.of_int i);
+      w64 buf (Int64.of_int c))
+    bs;
+  Buffer.contents buf
+
+let of_string s =
+  let len = String.length s in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if len < header_len then err "sketch: truncated header (%d bytes)" len
+  else if String.get s 0 <> 'Q' || String.get s 1 <> 'S' then
+    err "sketch: bad magic"
+  else if Char.code (String.get s 2) <> version then
+    err "sketch: unsupported version %d" (Char.code (String.get s 2))
+  else begin
+    let r64 pos = String.get_int64_le s pos in
+    let rf pos = Int64.float_of_bits (r64 pos) in
+    let acc = rf 3 in
+    if not (acc > 0. && acc <= 0.5) then err "sketch: bad accuracy"
+    else begin
+      let n = Int64.to_int (r64 11) in
+      let zero = Int64.to_int (r64 19) in
+      let mn = rf 27 in
+      let mx = rf 35 in
+      let total = rf 43 in
+      let nb = Int64.to_int (r64 51) in
+      if n < 0 || zero < 0 || zero > n then err "sketch: bad counts"
+      else if nb < 0 || header_len + (16 * nb) <> len then
+        err "sketch: bucket table length mismatch"
+      else begin
+        let t = create ~accuracy:acc () in
+        t.n <- n;
+        t.zero <- zero;
+        t.mn <- mn;
+        t.mx <- mx;
+        t.total <- total;
+        let ok = ref true and reason = ref "" in
+        let prev = ref Int64.min_int and nonzero = ref zero in
+        for b = 0 to nb - 1 do
+          let pos = header_len + (16 * b) in
+          let i64 = r64 pos in
+          let c = Int64.to_int (r64 (pos + 8)) in
+          if i64 <= !prev then begin
+            ok := false;
+            reason := "sketch: bucket indices not strictly increasing"
+          end
+          else if c <= 0 then begin
+            ok := false;
+            reason := "sketch: non-positive bucket count"
+          end
+          else begin
+            prev := i64;
+            nonzero := !nonzero + c;
+            bump t.tbl (Int64.to_int i64) c
+          end
+        done;
+        if not !ok then Error !reason
+        else if !nonzero <> n then err "sketch: counts do not sum to n"
+        else Ok t
+      end
+    end
+  end

@@ -1,0 +1,101 @@
+(** Deterministic mergeable streaming quantile sketch.
+
+    The queueing and farm layers need p50/p99/p999 read-outs over 10^8+
+    samples without materializing a delay array, and the multi-process
+    farm needs per-shard partials that merge to {e exactly} the sketch a
+    single process would have built. Randomized compactor sketches (KLL)
+    and insertion-order-sensitive digests (classic t-digest) both break
+    the repository's byte-determinism contract, so this is a t-digest-
+    style constant-memory summary built on a {e fixed} geometric bucket
+    grid (DDSketch-style): a sample [x > 0] lands in bucket
+    [ceil (log_gamma x)] with [gamma = (1 + accuracy) / (1 - accuracy)],
+    zero (and sub-[1e-12]) samples in a dedicated zero cell, and bucket
+    occupancy is an exact integer count.
+
+    Because the grid depends only on [accuracy] — never on the data or
+    the insertion history — the sketch of a multiset is a pure function
+    of that multiset:
+
+    - {b push-order invariance}: any permutation of [add]s yields the
+      same sketch;
+    - {b merge-tree invariance}: [merge] is bucket-wise integer
+      addition, so splitting a stream into shards and merging the shard
+      sketches in {e any} tree order reproduces the pooled single-pass
+      sketch's buckets, counts and extremes — and therefore {e every
+      quantile} — bit for bit. The one exception is [sum] (and [mean]):
+      those are ordinary float accumulations, associative only to the
+      ulp, so they are deterministic for a {e fixed} merge order (the
+      farm always merges in global shard order) but may differ in the
+      last bits across different tree shapes.
+
+    {b Error model.} For quantile [q] over [n] samples the sketch walks
+    the exact cumulative counts to the bucket holding the order
+    statistic of rank [ceil (q * n)] and returns that bucket's
+    geometric midpoint [2 * gamma^i / (gamma + 1)], clamped to the exact
+    observed [[min, max]]. The true sample of that rank lies in the same
+    bucket, so the returned value [v] satisfies
+    [|v - x_(ceil (q n))| <= accuracy * x_(ceil (q n))] — the rank is
+    exact, the value of that rank is off by at most a relative
+    [accuracy] (exactly 0 for zero samples and for [q = 0] / [q = 1],
+    which report the true extremes). Memory is
+    [O(log (max / min) / accuracy)] buckets — a few hundred for
+    waiting-time or bin-count data at the default 1% accuracy. *)
+
+type t
+
+val create : ?accuracy:float -> unit -> t
+(** [create ?accuracy ()]: fresh empty sketch. [accuracy] is the
+    relative value-error bound (default [0.01]); raises
+    [Invalid_argument] outside [(0, 0.5]]. *)
+
+val accuracy : t -> float
+
+val add : t -> float -> unit
+(** Record one sample. Raises [Invalid_argument] on negative or
+    non-finite samples (waiting times, inter-arrivals and bin counts
+    are all nonnegative; a signed variant would need a mirrored grid). *)
+
+val count : t -> int
+val min : t -> float
+(** Exact observed extremes; [nan] while empty. *)
+
+val max : t -> float
+
+val sum : t -> float
+val mean : t -> float  (** [nan] while empty. *)
+
+val buckets : t -> int
+(** Occupied buckets (zero cell included) — the resident-memory gauge. *)
+
+val quantile : t -> float -> float
+(** [quantile t q]: the documented-error estimate of the [q]-quantile;
+    [nan] while empty. Raises [Invalid_argument] unless
+    [0 <= q <= 1]. *)
+
+val quantiles : t -> float list -> float list
+(** One cumulative walk shared by all requested ranks (the p50/p99/p999
+    read-out path). *)
+
+(** {1 Merging} *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src]: fold [src] into [dst] (bucket-wise exact;
+    [src] is unchanged). Raises [Invalid_argument] when the accuracies
+    differ — the grids would not line up. *)
+
+val merge : t -> t -> t
+(** Pure combine of two sketches into a fresh one. *)
+
+(** {1 Wire codec}
+
+    Fixed-width little-endian encoding carried inside farm frames:
+    version, accuracy bits, exact count/zero/min/max/sum, then each
+    occupied bucket as [(i64 index, i64 count)] in increasing index
+    order. Equal sketches encode to equal bytes (the determinism the
+    farm's byte-identical-stdout contract leans on). *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Total decoder: malformed input yields [Error reason], never an
+    exception. *)

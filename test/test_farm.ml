@@ -252,7 +252,7 @@ let test_farm_process_equals_inline () =
         Core.Farm.run ~exe:wanpoisson_exe { small_spec with workers }
       with
       | Error e -> Alcotest.failf "workers=%d: %s" workers e
-      | Ok r -> check_result_equal inline r)
+      | Ok (r, _obs) -> check_result_equal inline r)
     [ 1; 2; 5 ]
 
 let test_farm_crash_detected () =
@@ -272,6 +272,243 @@ let test_farm_crash_detected () =
     check_true "names the worker" (mentions "worker 1");
     check_true "names the signal" (mentions "SIGKILL")
 
+(* ---------------- observability frames (PR 9) ---------------- *)
+
+let sample_telemetry_events =
+  [
+    {
+      Engine.Telemetry.ev_name = "shard";
+      ev_task = Some "farm";
+      ev_domain = 0;
+      ev_start_us = 12.5;
+      ev_dur_us = 340.25;
+    };
+    {
+      Engine.Telemetry.ev_name = "gen";
+      ev_task = None;
+      ev_domain = 1;
+      ev_start_us = 400.;
+      ev_dur_us = 0.;
+    };
+  ]
+
+let sample_log_events =
+  [
+    {
+      Engine.Log.seq = 3;
+      t_us = 99.5;
+      ev_level = Engine.Log.Warn;
+      ev_name = "farm.slow_shard";
+      ev_task = Some "farm";
+      ev_domain = 0;
+      fields = [ ("shard", Engine.Log.I 7); ("s", Engine.Log.F 1.25) ];
+    };
+  ]
+
+let sample_heartbeat =
+  {
+    Engine.Obs_frame.hb_index = 2;
+    hb_events = 51200;
+    hb_shards = 3;
+    hb_rate = 1.25e6;
+    hb_rss_kb = -1;
+  }
+
+let obs_frames () =
+  [
+    Engine.Obs_frame.telemetry_frame ~index:3 ~epoch_unix_s:1722.5
+      sample_telemetry_events;
+    Engine.Obs_frame.logs_frame ~index:1 sample_log_events;
+    Engine.Obs_frame.heartbeat_frame sample_heartbeat;
+  ]
+
+let test_obs_frame_roundtrip () =
+  let check_kind f k = check_int "kind" k f.Engine.Frame.kind in
+  (match obs_frames () with
+  | [ tf; lf; hf ] ->
+    check_kind tf Engine.Obs_frame.kind_telemetry;
+    check_kind lf Engine.Obs_frame.kind_logs;
+    check_kind hf Engine.Obs_frame.kind_heartbeat;
+    List.iter
+      (fun f -> check_true "is_obs" (Engine.Obs_frame.is_obs f))
+      [ tf; lf; hf ];
+    check_true "heartbeat predicate" (Engine.Obs_frame.is_heartbeat hf);
+    check_true "telemetry not heartbeat"
+      (not (Engine.Obs_frame.is_heartbeat tf));
+    (match Engine.Obs_frame.decode tf with
+    | Ok (Engine.Obs_frame.Telemetry (i, epoch, evs)) ->
+      check_int "telemetry index" 3 i;
+      check_float_exact "telemetry epoch" 1722.5 epoch;
+      check_true "span table survives" (evs = sample_telemetry_events)
+    | _ -> Alcotest.fail "telemetry decode");
+    (match Engine.Obs_frame.decode lf with
+    | Ok (Engine.Obs_frame.Logs (i, evs)) ->
+      check_int "logs index" 1 i;
+      check_true "log events survive" (evs = sample_log_events)
+    | _ -> Alcotest.fail "logs decode");
+    (match Engine.Obs_frame.decode hf with
+    | Ok (Engine.Obs_frame.Heartbeat hb) ->
+      check_true "heartbeat survives" (hb = sample_heartbeat)
+    | _ -> Alcotest.fail "heartbeat decode")
+  | _ -> assert false);
+  (* Analysis kinds are not obs frames and never decode as one. *)
+  let analysis = { Engine.Frame.kind = 1; payload = "x" } in
+  check_true "analysis not obs" (not (Engine.Obs_frame.is_obs analysis));
+  match Engine.Obs_frame.decode analysis with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "analysis frame decoded as obs"
+
+let test_obs_frame_corruption () =
+  (* Per-byte corruption of each encoded obs frame: every single-bit
+     flip must be caught (magic/version/length checks or the SHA-256
+     trailer) — never decode to an Ok frame. *)
+  List.iter
+    (fun f ->
+      let s = Engine.Frame.encode f in
+      for pos = 0 to String.length s - 1 do
+        let b = Bytes.of_string s in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+        match Engine.Frame.decode (Bytes.to_string b) 0 with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "kind %d: corrupt byte %d accepted"
+                    f.Engine.Frame.kind pos
+      done)
+    (obs_frames ())
+
+let test_farm_stall_detected () =
+  match
+    Core.Farm.run ~exe:wanpoisson_exe
+      { small_spec with
+        workers = 2;
+        inject_stall = 1;
+        heartbeat_s = 0.1;
+        stall_timeout_s = 0.8 }
+  with
+  | Ok _ -> Alcotest.fail "stalled worker went unnoticed"
+  | Error e ->
+    let mentions needle =
+      let rec go i =
+        i + String.length needle <= String.length e
+        && (String.sub e i (String.length needle) = needle || go (i + 1))
+      in
+      go 0
+    in
+    check_true "names the worker" (mentions "worker 1");
+    check_true "calls it stalled" (mentions "stalled")
+
+let test_farm_trace_merge () =
+  Engine.Telemetry.set_enabled true;
+  Engine.Telemetry.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.Telemetry.reset ();
+      Engine.Telemetry.set_enabled false)
+    (fun () ->
+      match
+        Core.Farm.run ~exe:wanpoisson_exe
+          { small_spec with workers = 3; trace = true; metrics = true }
+      with
+      | Error e -> Alcotest.fail e
+      | Ok (_, obs) ->
+        check_int "one span table per worker" 3
+          (List.length obs.Core.Farm.o_spans);
+        check_int "one counter rollup per worker" 3
+          (List.length obs.Core.Farm.o_counters);
+        check_int "one report per worker" 3
+          (List.length obs.Core.Farm.o_workers);
+        List.iter
+          (fun (w : Core.Farm.worker_report) ->
+            check_true "worker exited cleanly" (w.w_status = "exited 0");
+            check_true "worker counted events" (w.w_events > 0);
+            check_true "worker ran shards" (w.w_shards > 0))
+          obs.Core.Farm.o_workers;
+        let lanes = Core.Farm.trace_processes obs in
+        check_int "coordinator + one lane per worker" 4 (List.length lanes);
+        check_true "coordinator lane first"
+          ((List.hd lanes).Engine.Telemetry.pr_label = "coordinator");
+        List.iteri
+          (fun i (p : Engine.Telemetry.process) ->
+            if i > 0 then begin
+              check_true "worker lane label"
+                (p.pr_label = Printf.sprintf "worker %d" (i - 1));
+              check_true "worker lane has spans" (p.pr_events <> [])
+            end)
+          lanes;
+        let json = Engine.Telemetry.to_chrome_trace_multi lanes in
+        let count c =
+          String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 json
+        in
+        check_int "balanced braces" (count '{') (count '}');
+        check_int "balanced brackets" (count '[') (count ']');
+        let has needle =
+          let rec go i =
+            i + String.length needle <= String.length json
+            && (String.sub json i (String.length needle) = needle
+               || go (i + 1))
+          in
+          go 0
+        in
+        check_true "trace names worker 2" (has "\"worker 2\"");
+        check_true "trace names the coordinator" (has "\"coordinator\""))
+
+let test_manifest_farm_workers () =
+  let rows =
+    [
+      {
+        Engine.Manifest.wk_index = 0;
+        wk_status = "exited 0";
+        wk_events = 50000;
+        wk_shards = 7;
+        wk_wall_s = 1.5;
+        wk_rss_kb = 20480;
+        wk_stalled = false;
+      };
+      {
+        Engine.Manifest.wk_index = 1;
+        wk_status = "killed by SIGKILL";
+        wk_events = 0;
+        wk_shards = 0;
+        wk_wall_s = 0.25;
+        wk_rss_kb = -1;
+        wk_stalled = true;
+      };
+    ]
+  in
+  let m =
+    Engine.Manifest.of_run ~farm_workers:rows ~created_at:0. ~seed:1 ~jobs:2
+      ~total_s:0.5 []
+  in
+  (match Engine.Manifest.parse (Engine.Manifest.to_string m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+    check_true "worker rows survive the round-trip"
+      (m'.Engine.Manifest.farm_workers = rows));
+  (* A manifest without farm rows omits the key entirely, so pre-farm
+     consumers (and manifests) interoperate. *)
+  let plain =
+    Engine.Manifest.of_run ~created_at:0. ~seed:1 ~jobs:2 ~total_s:0.5 []
+  in
+  let text = Engine.Manifest.to_string plain in
+  let has needle =
+    let rec go i =
+      i + String.length needle <= String.length text
+      && (String.sub text i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_true "no farm_workers key when empty" (not (has "farm_workers"));
+  (match Engine.Manifest.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok p -> check_true "parses to empty" (p.Engine.Manifest.farm_workers = []));
+  (* Worker placement differing is provenance, never divergence. *)
+  let d = Engine.Manifest.compare_manifests m plain in
+  check_true "still identical" d.Engine.Manifest.identical;
+  check_true "noted as benign"
+    (List.exists
+       (fun n ->
+         String.length n >= 12 && String.sub n 0 12 = "farm workers")
+       d.Engine.Manifest.notes)
+
 let suite =
   ( "farm",
     [
@@ -290,4 +527,9 @@ let suite =
       tc "farm processes = inline (workers 1/2/5)"
         test_farm_process_equals_inline;
       tc "killed worker detected" test_farm_crash_detected;
+      tc "obs frame round-trip (kinds 16/17/18)" test_obs_frame_roundtrip;
+      tc "obs frame per-byte corruption rejected" test_obs_frame_corruption;
+      tc "stalled worker detected via heartbeats" test_farm_stall_detected;
+      tc "merged trace: one lane per worker" test_farm_trace_merge;
+      tc "manifest farm worker rows" test_manifest_farm_workers;
     ] )
