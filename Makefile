@@ -9,12 +9,16 @@
 # multi-process farm smoke (byte-identical stdout at any worker count,
 # crash detection, and the workers=1 no-slower-than-stream perf gate),
 # and the wavelet smoke (streamed-vs-batch logscale agreement, farm
-# wavelet determinism, and the fused-cascade no-slowdown perf gate).
+# wavelet determinism, and the fused-cascade no-slowdown perf gate),
+# and the netsim smoke (replica-sharded network-simulator stdout
+# byte-identical at any worker count, the x-buffer-sizing gap report,
+# and the superpose-vs-merge >= 3x perf gate both ways).
 .PHONY: check build test test-gof test-telemetry smoke bench bench-smoke \
-  perf-smoke stream-smoke serve-smoke farm-smoke wavelet-smoke obs-smoke
+  perf-smoke stream-smoke serve-smoke farm-smoke wavelet-smoke obs-smoke \
+  netsim-smoke
 
 check: build test test-gof test-telemetry smoke bench-smoke perf-smoke \
-  stream-smoke serve-smoke farm-smoke wavelet-smoke obs-smoke
+  stream-smoke serve-smoke farm-smoke wavelet-smoke obs-smoke netsim-smoke
 
 build:
 	dune build
@@ -271,6 +275,48 @@ obs-smoke:
 	@echo "obs-smoke: merged trace, worker-attributed logs, manifest rows,"
 	@echo "obs-smoke: stdout workers-invariance with telemetry on, stall"
 	@echo "obs-smoke: detection, preflight, and the <5% obs-cost gate hold"
+
+# The netsim fast path end to end. Replicas — not macro-shards — are
+# netsim's sharding unit (queue state cannot be split mid-stream, so
+# each worker simulates whole independent replicas under per-replica
+# derived RNG streams), and the coordinator merges replica partials in
+# replica-index order, so netsim stdout must be byte-identical at
+# --workers 1, 2 and 4 for a fixed seed — no filtering. The
+# x-buffer-sizing experiment must report the Poisson-vs-heavy-tailed
+# buffer-sizing gap. Finally the recorded superpose-1k-1e7 /
+# superpose-merge-1k-1e7 histories drive the perf gate both ways:
+# materialise-and-merge -> SoA engine is a quiet improvement (the
+# >= 3x speedup recorded in BENCH_queue.json), and the reverse
+# direction must be flagged as a regression.
+NETSIM_SMOKE_FLAGS = --events 2e5 --replicas 4 --sources 32 \
+  --discipline red --buffer 16 --seed 42
+
+netsim-smoke:
+	dune exec bin/wanpoisson.exe -- netsim $(NETSIM_SMOKE_FLAGS) \
+	  --workers 1 2>/dev/null > _build/netsim_smoke_w1.txt
+	dune exec bin/wanpoisson.exe -- netsim $(NETSIM_SMOKE_FLAGS) \
+	  --workers 2 2>/dev/null > _build/netsim_smoke_w2.txt
+	dune exec bin/wanpoisson.exe -- netsim $(NETSIM_SMOKE_FLAGS) \
+	  --workers 4 2>/dev/null > _build/netsim_smoke_w4.txt
+	diff _build/netsim_smoke_w1.txt _build/netsim_smoke_w2.txt
+	diff _build/netsim_smoke_w1.txt _build/netsim_smoke_w4.txt
+	dune exec bin/wanpoisson.exe -- run x-buffer-sizing \
+	  2>/dev/null > _build/netsim_smoke_bs.txt
+	grep -q 'buffer for <0.01% loss (poisson)' _build/netsim_smoke_bs.txt
+	grep -q 'buffer for <0.01% loss (onoff)' _build/netsim_smoke_bs.txt
+	rm -f _build/perf_sp.jsonl _build/perf_sp_merge_raw.jsonl
+	dune exec bench/main.exe -- --perf --only superpose-1k-1e7 \
+	  --record _build/perf_sp.jsonl 2>/dev/null >/dev/null
+	dune exec bench/main.exe -- --perf --only superpose-merge-1k-1e7 \
+	  --record _build/perf_sp_merge_raw.jsonl 2>/dev/null >/dev/null
+	sed 's/superpose-merge-1k-1e7/superpose-1k-1e7/' \
+	  _build/perf_sp_merge_raw.jsonl > _build/perf_sp_merge.jsonl
+	dune exec bin/wanpoisson.exe -- perf-diff \
+	  _build/perf_sp_merge.jsonl _build/perf_sp.jsonl
+	! dune exec bin/wanpoisson.exe -- perf-diff \
+	  _build/perf_sp.jsonl _build/perf_sp_merge.jsonl
+	@echo "netsim-smoke: workers-determinism, the buffer-sizing gap, and"
+	@echo "netsim-smoke: the superpose-vs-merge perf gate all hold"
 
 # Full registry, timing each experiment (default --jobs: one per core).
 bench:

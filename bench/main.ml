@@ -486,6 +486,33 @@ let perf (c : Engine.Cli.config) =
        let a = heavy 1 and b = heavy 2 in
        Test.make ~name:"sketch-merge"
          (Staged.stage (fun () -> ignore (Stats.Quantile_sketch.merge a b))));
+      (* The PR-10 superposition pair: superpose-1k-1e7 streams ~1e7
+         arrivals from 1000 Pareto ON/OFF sources through the SoA
+         engine (index-heap scheduling + per-window counting sort);
+         superpose-merge-1k-1e7 is the replaced idiom — materialise
+         every source, then Arrival.merge — on the identical sample
+         path (same splits, same floats). [make netsim-smoke]'s
+         perf-diff gate holds the SoA engine to >= 3x over it. *)
+      (let sources =
+         List.init 1000 (fun _ ->
+             Traffic.Onoff.pareto_source ~beta:1.5 ~mean_period:50.
+               ~on_rate:2.)
+       in
+       Test.make ~name:"superpose-1k-1e7"
+         (Staged.stage (fun () ->
+              let n = ref 0 in
+              Traffic.Superpose.iter ~sources ~horizon:1e4
+                (Prng.Rng.create 99) (fun _ _ len -> n := !n + len))));
+      (let sources =
+         List.init 1000 (fun _ ->
+             Traffic.Onoff.pareto_source ~beta:1.5 ~mean_period:50.
+               ~on_rate:2.)
+       in
+       Test.make ~name:"superpose-merge-1k-1e7"
+         (Staged.stage (fun () ->
+              ignore
+                (Traffic.Superpose.arrivals_naive ~sources ~horizon:1e4
+                   (Prng.Rng.create 99)))));
       (let pgram = Timeseries.Periodogram.compute fgn_input in
        let f = Lrd.Whittle.fgn_objective_fn pgram in
        Test.make ~name:"whittle-objective-eval"

@@ -775,6 +775,143 @@ let farm_cmd =
              $ log_arg $ out_arg $ progress_arg $ heartbeat_arg
              $ stall_timeout_arg))
 
+(* ---------------- netsim ---------------- *)
+
+let netsim_cmd =
+  let d = Core.Netsim.default in
+  let model_arg =
+    Arg.(value & opt string d.Core.Netsim.model
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"Traffic model per replica: onoff (Pareto ON/OFF \
+                   superposition) or poisson (default onoff)")
+  in
+  let events_arg =
+    Arg.(value & opt float d.Core.Netsim.events
+         & info [ "events" ] ~docv:"N"
+             ~doc:"Total packets across all replicas; accepts scientific \
+                   notation, e.g. 1e9 (default 1e6)")
+  in
+  let replicas_arg =
+    Arg.(value & opt int d.Core.Netsim.replicas
+         & info [ "replicas" ] ~docv:"N"
+             ~doc:"Independent replicas; the sharding grid depends only on \
+                   this, never on $(b,--workers) (default 8)")
+  in
+  let sources_arg =
+    Arg.(value & opt int d.Core.Netsim.sources
+         & info [ "sources" ] ~docv:"N"
+             ~doc:"ON/OFF sources per replica (default 64)")
+  in
+  let beta_arg =
+    Arg.(value & opt float d.Core.Netsim.beta
+         & info [ "beta" ] ~docv:"B"
+             ~doc:"Pareto shape of ON/OFF periods (default 1.5)")
+  in
+  let mean_period_arg =
+    Arg.(value & opt float d.Core.Netsim.mean_period
+         & info [ "mean-period" ] ~docv:"S"
+             ~doc:"Mean ON/OFF period in seconds (default 10)")
+  in
+  let on_rate_arg =
+    Arg.(value & opt float d.Core.Netsim.on_rate
+         & info [ "on-rate" ] ~docv:"R"
+             ~doc:"Packets/s while a source is ON (default 4)")
+  in
+  let rate_arg =
+    Arg.(value & opt float d.Core.Netsim.rate
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Aggregate packet rate for the poisson model \
+                   (default 1000)")
+  in
+  let load_arg =
+    Arg.(value & opt float d.Core.Netsim.load
+         & info [ "load" ] ~docv:"RHO"
+             ~doc:"Target utilization; per-link service time is \
+                   load / lambda (default 0.8)")
+  in
+  let topology_arg =
+    Arg.(value & opt string d.Core.Netsim.topology
+         & info [ "topology" ] ~docv:"T"
+             ~doc:"tandem:K (K links in series, K in [1,8]) or fanin:M \
+                   (M ingress links into one egress, M in [1,7]); \
+                   default tandem:2")
+  in
+  let discipline_arg =
+    Arg.(value & opt string d.Core.Netsim.discipline
+         & info [ "discipline" ] ~docv:"D"
+             ~doc:"droptail, red or priority (default droptail)")
+  in
+  let buffer_arg =
+    Arg.(value & opt int d.Core.Netsim.buffer
+         & info [ "buffer" ] ~docv:"N"
+             ~doc:"Waiting slots per link (default 64)")
+  in
+  let chunk_arg =
+    Arg.(value & opt int d.Core.Netsim.chunk
+         & info [ "chunk" ] ~docv:"N"
+             ~doc:"Streaming chunk size (default 65536)")
+  in
+  let seed_arg =
+    Arg.(value & opt int d.Core.Netsim.seed
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Root RNG seed (default 42); stdout is byte-identical \
+                   for a fixed seed at any $(b,--workers)")
+  in
+  let workers_arg =
+    Arg.(value & opt int 1
+         & info [ "w"; "workers" ] ~docv:"N"
+             ~doc:"Worker processes (default 1; 1 runs in-process)")
+  in
+  let run model events replicas sources beta mean_period on_rate rate load
+      topology discipline buffer chunk seed workers =
+    let spec =
+      { Core.Netsim.model; events; replicas; sources; beta; mean_period;
+        on_rate; rate; load; topology; discipline; buffer; chunk; seed;
+        workers }
+    in
+    let t0 = Unix.gettimeofday () in
+    let result =
+      if workers <= 1 then
+        match Core.Netsim.run_inline spec with
+        | r -> Ok r
+        | exception Invalid_argument e -> Error (`Spec e)
+      else
+        match Core.Netsim.run ~exe:Sys.executable_name spec with
+        | Ok r -> Ok r
+        | Error e -> Error (`Run e)
+        | exception Invalid_argument e -> Error (`Spec e)
+    in
+    match result with
+    | Error (`Spec e) -> `Error (false, e)
+    | Error (`Run e) ->
+      Printf.eprintf "netsim failed: %s\n%!" e;
+      exit 1
+    | Ok r ->
+      Core.Netsim.pp Format.std_formatter spec r;
+      Format.pp_print_flush Format.std_formatter ();
+      let wall = Unix.gettimeofday () -. t0 in
+      (match peak_rss_kb () with
+       | Some kb ->
+         Printf.eprintf "workers %d, wall %.2f s, peak RSS %d kB\n" workers
+           wall kb
+       | None -> Printf.eprintf "workers %d, wall %.2f s\n" workers wall);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "netsim"
+       ~doc:
+         "Replica-sharded network simulation: each worker process \
+          simulates whole independent replicas (queue state cannot be \
+          split mid-stream, unlike the poisson farm's macro-shards) and \
+          ships per-link per-class waiting-time sketch partials back as \
+          binary frames; the coordinator merges them in replica order, \
+          so the report is byte-identical at any worker count")
+    Term.(ret
+            (const run $ model_arg $ events_arg $ replicas_arg $ sources_arg
+             $ beta_arg $ mean_period_arg $ on_rate_arg $ rate_arg $ load_arg
+             $ topology_arg $ discipline_arg $ buffer_arg $ chunk_arg
+             $ seed_arg $ workers_arg))
+
 (* ---------------- serve ---------------- *)
 
 let serve_cmd =
@@ -1009,6 +1146,8 @@ let () =
      is the JSON spec the coordinator serialized. *)
   if Array.length Sys.argv >= 3 && Sys.argv.(1) = "farm-worker" then
     exit (Core.Farm.worker_entry Sys.argv.(2));
+  if Array.length Sys.argv >= 3 && Sys.argv.(1) = "netsim-worker" then
+    exit (Core.Netsim.worker_entry Sys.argv.(2));
   let info =
     Cmd.info "wanpoisson" ~version:(Engine.Build_info.describe ())
       ~doc:
@@ -1020,4 +1159,4 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; gen_cmd; genpkt_cmd; check_cmd; hurst_cmd;
             analyze_cmd; render_cmd; summary_cmd; stream_cmd; farm_cmd;
-            serve_cmd; perf_diff_cmd; verify_manifest_cmd ]))
+            netsim_cmd; serve_cmd; perf_diff_cmd; verify_manifest_cmd ]))

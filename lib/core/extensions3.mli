@@ -1,0 +1,24 @@
+(** Third wave of extension experiments: the buffer-sizing consequence
+    of Section VIII, run on the {!Queueing.Network} fast path.
+    Registered as x-buffer-sizing. *)
+
+type bs_row = {
+  bs_model : string;  (** ["poisson"] or ["onoff"]. *)
+  bs_disc : string;  (** ["droptail"] or ["red"]. *)
+  bs_buffer : int;
+  bs_loss : float;  (** dropped / offered. *)
+  bs_p99 : float;
+  bs_p999 : float;  (** Waiting-time quantiles, both classes merged. *)
+}
+
+val bs_buffers : int list
+(** The swept buffer sizes. *)
+
+val buffer_sizing_data : Prng.Rng.t -> bs_row list
+(** One buffered link at rho = 0.8 with deterministic service, offered
+    the same 128 pkt/s mean load from a Poisson stream and from 64
+    Pareto ON/OFF sources (beta 1.5); sweep {!bs_buffers} under
+    drop-tail and RED. Every cell of a model replays the same arrival
+    sample path, so loss is monotone in the buffer by construction. *)
+
+val buffer_sizing : Engine.Task.ctx -> unit

@@ -88,6 +88,8 @@ let all =
       run = Extensions2.estimators };
     { id = "x-summary"; title = "Per-protocol dataset breakdown";
       run = Extensions2.summary };
+    { id = "x-buffer-sizing"; title = "Ext (S8): buffer sizing vs input model";
+      run = Extensions3.buffer_sizing };
   ]
 
 (* Lazily built id index; building it fails fast on a duplicate id so a

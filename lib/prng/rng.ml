@@ -147,6 +147,42 @@ let float t =
   (* Top 53 bits (rh:32 above rl's top 21) -> [0,1). *)
   float_of_int ((rh lsl 21) lor (rl lsr 11)) *. 0x1.0p-53
 
+(* xoshiro256++ step, bulk path: [len] consecutive [float] draws stored
+   straight into a float array (unboxed stores), so callers that need a
+   uniform per event — RED drop decisions over an arrival chunk — stay
+   allocation-free. The third duplicate of the step ([bits64], [float]);
+   keep all copies in sync. *)
+let fill_float t a pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Rng.fill_float: slice out of bounds";
+  for j = pos to pos + len - 1 do
+    let l = t.s0l + t.s3l in
+    let h = (t.s0h + t.s3h + (l lsr 32)) land mask32 in
+    let l = l land mask32 in
+    let rh = ((h lsl 23) lor (l lsr 9)) land mask32 in
+    let rl = ((l lsl 23) lor (h lsr 9)) land mask32 in
+    let l = rl + t.s0l in
+    let rh = (rh + t.s0h + (l lsr 32)) land mask32 in
+    let rl = l land mask32 in
+    let uh = ((t.s1h lsl 17) lor (t.s1l lsr 15)) land mask32 in
+    let ul = (t.s1l lsl 17) land mask32 in
+    t.s2h <- t.s2h lxor t.s0h;
+    t.s2l <- t.s2l lxor t.s0l;
+    t.s3h <- t.s3h lxor t.s1h;
+    t.s3l <- t.s3l lxor t.s1l;
+    t.s1h <- t.s1h lxor t.s2h;
+    t.s1l <- t.s1l lxor t.s2l;
+    t.s0h <- t.s0h lxor t.s3h;
+    t.s0l <- t.s0l lxor t.s3l;
+    t.s2h <- t.s2h lxor uh;
+    t.s2l <- t.s2l lxor ul;
+    let h3 = t.s3h and l3 = t.s3l in
+    t.s3h <- ((l3 lsl 13) lor (h3 lsr 19)) land mask32;
+    t.s3l <- ((h3 lsl 13) lor (l3 lsr 19)) land mask32;
+    a.(j) <- float_of_int ((rh lsl 21) lor (rl lsr 11)) *. 0x1.0p-53
+  done;
+  t.draws <- t.draws + len
+
 let rec float_pos t =
   let x = float t in
   if x > 0. then x else float_pos t

@@ -27,6 +27,13 @@ val bits64 : t -> int64
 val float : t -> float
 (** Uniform in [[0, 1)], with 53 bits of precision. *)
 
+val fill_float : t -> float array -> int -> int -> unit
+(** [fill_float t a pos len] stores [len] consecutive {!float} draws in
+    [a.(pos .. pos+len-1)] — the identical stream, but with every value
+    written unboxed into the array, so bulk consumers (per-arrival RED
+    uniforms) allocate nothing. Raises [Invalid_argument] on a bad
+    slice. *)
+
 val float_pos : t -> float
 (** Uniform in [(0, 1)]: never returns exactly [0.]. Safe as the argument
     of [log]. *)

@@ -1,72 +1,70 @@
+(* Generic facade over the shared {!Traffic.Fheap} index-heap: the float
+   keys and the heap shape live in Fheap's structure-of-arrays, and the
+   ['a] payloads sit in a slot array addressed by the int the heap
+   actually carries. Slots are recycled through a LIFO free stack, so
+   the facade's footprint is the peak heap size. The ordering semantics
+   (strict-< sifts, same child visit order) are identical to the
+   previous self-contained implementation, so pop order for tied keys
+   is unchanged. *)
+
 type 'a t = {
-  mutable keys : float array;
-  mutable values : 'a array;
-  mutable size : int;
+  h : Traffic.Fheap.t;
+  mutable slots : 'a array;
+  mutable free : int array;  (* stack of recycled slot ids *)
+  mutable n_free : int;
+  mutable n_slots : int;  (* slot ids handed out so far *)
 }
 
-let create () = { keys = Array.make 16 0.; values = [||]; size = 0 }
-let size t = t.size
-let is_empty t = t.size = 0
+let create () =
+  {
+    h = Traffic.Fheap.create ();
+    slots = [||];
+    free = [||];
+    n_free = 0;
+    n_slots = 0;
+  }
 
-let ensure_capacity t v =
-  if t.size = 0 && Array.length t.values = 0 then begin
-    t.keys <- Array.make 16 0.;
-    t.values <- Array.make 16 v
+let size t = Traffic.Fheap.size t.h
+let is_empty t = Traffic.Fheap.is_empty t.h
+
+(* The slot array can only be materialised once we hold a value of type
+   ['a]; mirror the old implementation's lazy first-push sizing. *)
+let alloc_slot t v =
+  if t.n_free > 0 then begin
+    t.n_free <- t.n_free - 1;
+    let s = t.free.(t.n_free) in
+    t.slots.(s) <- v;
+    s
   end
-  else if t.size = Array.length t.keys then begin
-    let n = 2 * t.size in
-    let keys = Array.make n 0. and values = Array.make n t.values.(0) in
-    Array.blit t.keys 0 keys 0 t.size;
-    Array.blit t.values 0 values 0 t.size;
-    t.keys <- keys;
-    t.values <- values
-  end
-
-let swap t i j =
-  let k = t.keys.(i) in
-  t.keys.(i) <- t.keys.(j);
-  t.keys.(j) <- k;
-  let v = t.values.(i) in
-  t.values.(i) <- t.values.(j);
-  t.values.(j) <- v
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if t.keys.(i) < t.keys.(parent) then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
-  if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+  else begin
+    if t.n_slots = Array.length t.slots then begin
+      let n = if t.n_slots = 0 then 16 else 2 * t.n_slots in
+      let slots = Array.make n v in
+      Array.blit t.slots 0 slots 0 t.n_slots;
+      t.slots <- slots;
+      let free = Array.make n 0 in
+      Array.blit t.free 0 free 0 t.n_free;
+      t.free <- free
+    end;
+    let s = t.n_slots in
+    t.n_slots <- t.n_slots + 1;
+    t.slots.(s) <- v;
+    s
   end
 
-let push t key v =
-  ensure_capacity t v;
-  t.keys.(t.size) <- key;
-  t.values.(t.size) <- v;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+let push t key v = Traffic.Fheap.push t.h key (alloc_slot t v)
 
-let peek_min t = if t.size = 0 then None else Some (t.keys.(0), t.values.(0))
+let peek_min t =
+  if Traffic.Fheap.is_empty t.h then None
+  else Some (Traffic.Fheap.min_key t.h, t.slots.(Traffic.Fheap.min_val t.h))
 
 let pop_min t =
-  if t.size = 0 then None
+  if Traffic.Fheap.is_empty t.h then None
   else begin
-    let out = (t.keys.(0), t.values.(0)) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.keys.(0) <- t.keys.(t.size);
-      t.values.(0) <- t.values.(t.size);
-      sift_down t 0
-    end;
+    let s = Traffic.Fheap.min_val t.h in
+    let out = (Traffic.Fheap.min_key t.h, t.slots.(s)) in
+    Traffic.Fheap.pop_min t.h;
+    t.free.(t.n_free) <- s;
+    t.n_free <- t.n_free + 1;
     Some out
   end

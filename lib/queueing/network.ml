@@ -1,0 +1,581 @@
+(* Compact event-driven simulator over a handful of buffered links.
+
+   All hot per-link state is structure-of-arrays: server free times,
+   busy accumulators, RED averages and the departure-time rings live in
+   [float array]s, occupancy cursors and counters in [int array]s —
+   never as mutable float fields of a mixed record, which OCaml would
+   box on every store. Per-class waiting times are staged in a flat
+   buffer and flushed to the PR-9 quantile sketches through
+   [Quantile_sketch.add_slice]; RED uniforms come pre-filled in blocks
+   through [Rng.fill_float]. After the growable buffers reach steady
+   size, pushing an arrival allocates nothing — the contract the
+   [Gc.minor_words] test asserts — so 1e8-1e9 packets need only
+   O(queue depth + sketch) memory.
+
+   Each link is the same Lindley recursion as [Fifo.step]: drain the
+   ring of departure times <= t, admit iff occupancy <= buffer (the
+   ring length includes the packet in service; [buffer] waiting slots),
+   start = max t free_at, wait = start - t. A single FIFO link under
+   drop-tail therefore reproduces [Fifo.simulate_const] field by field.
+   The priority discipline replicates [Priority.simulate]'s server
+   loop: jump the clock to the earliest head, serve high iff its head
+   has arrived by then.
+
+   Feed-forward propagation needs no global calendar: a FIFO link's
+   departure times are non-decreasing (departure = max t free_at + s >
+   free_at), so a tandem chain just cascades each link's pending
+   departures into the next. Fan-in is the only place streams merge,
+   and there a linear scan over <= 8 ingress heads (ties broken by
+   ingress index, so the merged order is canonical at any chunk size)
+   replaces a heap. Because every future departure of link [l] is
+   strictly later than both [l]'s last server time and the watermark of
+   its own arrival stream, the egress may safely consume merged
+   departures up to [min over ingress of max(chunk end, last server
+   time)]; the rest stays pending until the next chunk — the same
+   watermark argument bounds how far a priority server may run when one
+   class's queue is empty. *)
+
+type red = { min_th : float; max_th : float; max_p : float; weight : float }
+type discipline = Drop_tail | Red of red | Priority
+type topology = Tandem of int | Fan_in of int
+
+let[@inline] red_drop_prob r avg =
+  if avg < r.min_th then 0.
+  else if avg >= r.max_th then 1.
+  else r.max_p *. (avg -. r.min_th) /. (r.max_th -. r.min_th)
+
+let[@inline] packet_class src = src land 1
+
+type class_stats = {
+  served : int;
+  dropped : int;
+  mean_wait : float;
+  max_wait : float;
+  p50_wait : float;
+  p99_wait : float;
+  p999_wait : float;
+  sketch : Stats.Quantile_sketch.t;
+}
+
+type link_stats = {
+  utilization : float;
+  drop_hash : int;
+  classes : class_stats array;
+}
+
+type t = {
+  n_links : int;
+  n_ingress : int;  (* fan-in ingress count; 0 for tandem *)
+  fan_in : bool;
+  disc : discipline;
+  buffer : int;
+  srv_h : float array;  (* per-link service (all packets / high class) *)
+  srv_l : float array;  (* per-link low-class service (priority only) *)
+  (* hot per-link floats *)
+  free_at : float array;  (* FIFO server free time / last departure *)
+  pclock : float array;  (* priority server clock *)
+  busy : float array;
+  first_arr : float array;  (* nan until the first arrival *)
+  red_avg : float array;
+  (* occupancy rings: departure times of in-system packets, flat *)
+  ring : float array;  (* n_links * ring_cap *)
+  ring_cap : int;  (* power of two *)
+  qhead : int array;
+  qlen : int array;
+  (* per (link, class) counters; index = 2*link + class *)
+  served : int array;
+  dropped : int array;
+  sum_wait : float array;
+  max_wait : float array;
+  drop_hash : int array;  (* per link *)
+  (* wait staging, flat: slot i covers [i*wcap, (i+1)*wcap) *)
+  wbuf : float array;
+  wlen : int array;
+  wcap : int;
+  sk : Stats.Quantile_sketch.t array;  (* per (link, class) *)
+  (* pending departures feeding the downstream link *)
+  pend_t : float array array;  (* per link, growable *)
+  pend_c : int array array;
+  pend_len : int array;
+  pend_head : int array;
+  (* pending (not yet served) arrivals of a priority link, per class *)
+  pa_t : float array array;  (* index = 2*link + class *)
+  pa_len : int array;
+  pa_head : int array;
+  (* RED uniforms, one split stream per link *)
+  ubuf : float array array;
+  ucap : int;
+  upos : int array;
+  rngs : Prng.Rng.t array;
+  mutable last_push : float;
+  mutable finished : bool;
+}
+
+let max_buffer = 1_000_000
+let max_links = 8
+
+let next_pow2 n =
+  let p = ref 1 in
+  while !p < n do
+    p := !p lsl 1
+  done;
+  !p
+
+let create ?(sketch_accuracy = 0.01) ?services_low ?(seed = 0) ~topology
+    ~discipline ~buffer ~services () =
+  let n_links, n_ingress, fan_in =
+    match topology with
+    | Tandem k ->
+      if k < 1 || k > max_links then
+        invalid_arg "Network.create: Tandem links must be in [1, 8]";
+      (k, 0, false)
+    | Fan_in m ->
+      if m < 1 || m > max_links - 1 then
+        invalid_arg "Network.create: Fan_in ingress count must be in [1, 7]";
+      (m + 1, m, true)
+  in
+  if Array.length services <> n_links then
+    invalid_arg "Network.create: services must have one entry per link";
+  Array.iter
+    (fun s ->
+      if not (s > 0.) then
+        invalid_arg "Network.create: service times must be > 0")
+    services;
+  let srv_l =
+    match services_low with
+    | None -> Array.copy services
+    | Some sl ->
+      if Array.length sl <> n_links then
+        invalid_arg "Network.create: services_low must have one entry per link";
+      Array.iter
+        (fun s ->
+          if not (s > 0.) then
+            invalid_arg "Network.create: service times must be > 0")
+        sl;
+      Array.copy sl
+  in
+  if buffer < 0 || buffer > max_buffer then
+    invalid_arg "Network.create: buffer must be in [0, 1_000_000]";
+  (match discipline with
+  | Red r ->
+    if
+      not
+        (r.min_th >= 0. && r.min_th < r.max_th
+        && Float.is_finite r.max_th
+        && r.max_p > 0. && r.max_p <= 1.
+        && r.weight > 0. && r.weight <= 1.)
+    then
+      invalid_arg
+        "Network.create: RED needs 0 <= min_th < max_th, max_p and weight in \
+         (0, 1]"
+  | Drop_tail | Priority -> ());
+  let ring_cap = next_pow2 (buffer + 2) in
+  let nc = 2 * n_links in
+  let wcap = 4096 in
+  let ucap = 4096 in
+  let base_rng = Prng.Rng.create seed in
+  {
+    n_links;
+    n_ingress;
+    fan_in;
+    disc = discipline;
+    buffer;
+    srv_h = Array.copy services;
+    srv_l;
+    free_at = Array.make n_links neg_infinity;
+    pclock = Array.make n_links neg_infinity;
+    busy = Array.make n_links 0.;
+    first_arr = Array.make n_links nan;
+    red_avg = Array.make n_links 0.;
+    ring = Array.make (n_links * ring_cap) 0.;
+    ring_cap;
+    qhead = Array.make n_links 0;
+    qlen = Array.make n_links 0;
+    served = Array.make nc 0;
+    dropped = Array.make nc 0;
+    sum_wait = Array.make nc 0.;
+    max_wait = Array.make nc 0.;
+    drop_hash = Array.make n_links 0;
+    wbuf = Array.make (nc * wcap) 0.;
+    wlen = Array.make nc 0;
+    wcap;
+    sk =
+      Array.init nc (fun _ ->
+          Stats.Quantile_sketch.create ~accuracy:sketch_accuracy ());
+    pend_t = Array.init n_links (fun _ -> Array.make 1024 0.);
+    pend_c = Array.init n_links (fun _ -> Array.make 1024 0);
+    pend_len = Array.make n_links 0;
+    pend_head = Array.make n_links 0;
+    pa_t = Array.init nc (fun _ -> Array.make 1024 0.);
+    pa_len = Array.make nc 0;
+    pa_head = Array.make nc 0;
+    ubuf = Array.init n_links (fun _ -> Array.make ucap 0.);
+    ucap;
+    upos = Array.make n_links ucap;  (* force a fill on first use *)
+    rngs = Array.init n_links (fun _ -> Prng.Rng.split base_rng);
+    last_push = neg_infinity;
+    finished = false;
+  }
+
+(* -- growable buffers (cold paths) ---------------------------------- *)
+
+let grow_pend t l =
+  let old = t.pend_t.(l) in
+  let n = Array.length old in
+  let nt = Array.make (2 * n) 0. and nc = Array.make (2 * n) 0 in
+  Array.blit old 0 nt 0 n;
+  Array.blit t.pend_c.(l) 0 nc 0 n;
+  t.pend_t.(l) <- nt;
+  t.pend_c.(l) <- nc
+
+let[@inline] pend_push t l time cls =
+  if t.pend_len.(l) = Array.length t.pend_t.(l) then grow_pend t l;
+  let n = t.pend_len.(l) in
+  t.pend_t.(l).(n) <- time;
+  t.pend_c.(l).(n) <- cls;
+  t.pend_len.(l) <- n + 1
+
+let grow_pa t i =
+  let old = t.pa_t.(i) in
+  let n = Array.length old in
+  let nt = Array.make (2 * n) 0. in
+  Array.blit old 0 nt 0 n;
+  t.pa_t.(i) <- nt
+
+let[@inline] pa_push t l cls time =
+  if t.first_arr.(l) <> t.first_arr.(l) then t.first_arr.(l) <- time;
+  let i = (2 * l) + cls in
+  if t.pa_len.(i) = Array.length t.pa_t.(i) then grow_pa t i;
+  t.pa_t.(i).(t.pa_len.(i)) <- time;
+  t.pa_len.(i) <- t.pa_len.(i) + 1
+
+let[@inline] wait_push t l cls w =
+  let i = (2 * l) + cls in
+  let n = t.wlen.(i) in
+  t.wbuf.((i * t.wcap) + n) <- w;
+  if n + 1 = t.wcap then begin
+    Stats.Quantile_sketch.add_slice t.sk.(i) t.wbuf (i * t.wcap) t.wcap;
+    t.wlen.(i) <- 0
+  end
+  else t.wlen.(i) <- n + 1
+
+let[@inline] next_uniform t l =
+  if t.upos.(l) = t.ucap then begin
+    Prng.Rng.fill_float t.rngs.(l) t.ubuf.(l) 0 t.ucap;
+    t.upos.(l) <- 0
+  end;
+  let u = t.ubuf.(l).(t.upos.(l)) in
+  t.upos.(l) <- t.upos.(l) + 1;
+  u
+
+(* -- the FIFO (drop-tail / RED) per-arrival step -------------------- *)
+
+let[@inline] step_fifo t l cls at =
+  if t.first_arr.(l) <> t.first_arr.(l) then t.first_arr.(l) <- at;
+  let base = l * t.ring_cap in
+  let mask = t.ring_cap - 1 in
+  while t.qlen.(l) > 0 && t.ring.(base + t.qhead.(l)) <= at do
+    t.qhead.(l) <- (t.qhead.(l) + 1) land mask;
+    t.qlen.(l) <- t.qlen.(l) - 1
+  done;
+  let q = t.qlen.(l) in
+  let admit =
+    match t.disc with
+    | Red r ->
+      let avg =
+        ((1. -. r.weight) *. t.red_avg.(l)) +. (r.weight *. float_of_int q)
+      in
+      t.red_avg.(l) <- avg;
+      if q > t.buffer then false
+      else begin
+        let p = red_drop_prob r avg in
+        (* A uniform is consumed only when 0 < p < 1; whether that
+           happens for the k-th arrival at this link is a deterministic
+           function of the arrival sequence alone, so the decision
+           stream is identical at any chunk size. *)
+        if p <= 0. then true
+        else if p >= 1. then false
+        else next_uniform t l >= p
+      end
+    | Drop_tail | Priority -> q <= t.buffer
+  in
+  if admit then begin
+    let fa = t.free_at.(l) in
+    let start = if at > fa then at else fa in
+    let s = t.srv_h.(l) in
+    let dep = start +. s in
+    t.free_at.(l) <- dep;
+    t.ring.(base + ((t.qhead.(l) + t.qlen.(l)) land mask)) <- dep;
+    t.qlen.(l) <- t.qlen.(l) + 1;
+    t.busy.(l) <- t.busy.(l) +. s;
+    let i = (2 * l) + cls in
+    t.served.(i) <- t.served.(i) + 1;
+    let w = start -. at in
+    t.sum_wait.(i) <- t.sum_wait.(i) +. w;
+    if w > t.max_wait.(i) then t.max_wait.(i) <- w;
+    wait_push t l cls w;
+    if l < t.n_links - 1 && not (t.fan_in && l >= t.n_ingress) then
+      pend_push t l dep cls
+  end
+  else begin
+    let i = (2 * l) + cls in
+    t.dropped.(i) <- t.dropped.(i) + 1;
+    (* Deterministic loss fingerprint: a pure function of the dropped
+       packets' entry times in drop order, so it is byte-comparable
+       across chunk sizes without any per-drop logging. *)
+    t.drop_hash.(l) <-
+      ((t.drop_hash.(l) * 0x01000193) lxor int_of_float (at *. 1e6))
+      land max_int
+  end
+
+(* -- the priority server loop --------------------------------------- *)
+
+(* Run link [l]'s two-class non-preemptive server as far as the
+   watermark allows: every arrival <= [w] is known, so a serve decision
+   whose start time exceeds [w] must wait (an unseen arrival could
+   still precede it). The serve rule is Priority.simulate's: jump the
+   clock to the earliest head, serve high iff its head has arrived. *)
+let run_priority t l ~w =
+  let ih = 2 * l in
+  let il = ih + 1 in
+  let continue = ref true in
+  while !continue do
+    let nh =
+      if t.pa_head.(ih) < t.pa_len.(ih) then t.pa_t.(ih).(t.pa_head.(ih))
+      else infinity
+    in
+    let nl =
+      if t.pa_head.(il) < t.pa_len.(il) then t.pa_t.(il).(t.pa_head.(il))
+      else infinity
+    in
+    let cand = if nh < nl then nh else nl in
+    if cand = infinity then continue := false
+    else begin
+      let tc = t.pclock.(l) in
+      let start = if tc > cand then tc else cand in
+      if start > w then continue := false
+      else if nh <= start then begin
+        t.pa_head.(ih) <- t.pa_head.(ih) + 1;
+        let s = t.srv_h.(l) in
+        let dep = start +. s in
+        t.pclock.(l) <- dep;
+        t.busy.(l) <- t.busy.(l) +. s;
+        t.served.(ih) <- t.served.(ih) + 1;
+        let wt = start -. nh in
+        t.sum_wait.(ih) <- t.sum_wait.(ih) +. wt;
+        if wt > t.max_wait.(ih) then t.max_wait.(ih) <- wt;
+        wait_push t l 0 wt;
+        if l < t.n_links - 1 && not (t.fan_in && l >= t.n_ingress) then
+          pend_push t l dep 0
+      end
+      else begin
+        t.pa_head.(il) <- t.pa_head.(il) + 1;
+        let s = t.srv_l.(l) in
+        let dep = start +. s in
+        t.pclock.(l) <- dep;
+        t.busy.(l) <- t.busy.(l) +. s;
+        t.served.(il) <- t.served.(il) + 1;
+        let wt = start -. nl in
+        t.sum_wait.(il) <- t.sum_wait.(il) +. wt;
+        if wt > t.max_wait.(il) then t.max_wait.(il) <- wt;
+        wait_push t l 1 wt;
+        if l < t.n_links - 1 && not (t.fan_in && l >= t.n_ingress) then
+          pend_push t l dep 1
+      end
+    end
+  done;
+  (* compact the consumed prefixes *)
+  let compact i =
+    let h = t.pa_head.(i) in
+    if h > 0 then begin
+      let rem = t.pa_len.(i) - h in
+      if rem > 0 then Array.blit t.pa_t.(i) h t.pa_t.(i) 0 rem;
+      t.pa_head.(i) <- 0;
+      t.pa_len.(i) <- rem
+    end
+  in
+  compact ih;
+  compact il
+
+(* -- propagation ----------------------------------------------------- *)
+
+let[@inline] last_server t l =
+  match t.disc with
+  | Priority -> t.pclock.(l)
+  | Drop_tail | Red _ -> t.free_at.(l)
+
+(* Push everything safe downstream. [wm] is the entry watermark: all
+   external arrivals <= wm have been pushed (infinity at finish). *)
+let propagate t ~wm =
+  let prio = t.disc = Priority in
+  if t.fan_in then begin
+    let m = t.n_ingress in
+    let egress = m in
+    if prio then
+      for i = 0 to m - 1 do
+        run_priority t i ~w:wm
+      done;
+    (* The egress may consume merged ingress departures up to the
+       smallest ingress out-watermark: every future departure of
+       ingress i is strictly later than max(wm, last_server i). *)
+    let we = ref infinity in
+    for i = 0 to m - 1 do
+      let ls = last_server t i in
+      let wo = if ls > wm then ls else wm in
+      if wo < !we then we := wo
+    done;
+    let we = !we in
+    let continue = ref true in
+    while !continue do
+      (* linear min-scan over ingress heads; ties go to the lowest
+         ingress index, so the merged order is canonical *)
+      let best = ref (-1) in
+      let best_t = ref infinity in
+      for i = 0 to m - 1 do
+        if t.pend_head.(i) < t.pend_len.(i) then begin
+          let ti = t.pend_t.(i).(t.pend_head.(i)) in
+          if ti < !best_t then begin
+            best_t := ti;
+            best := i
+          end
+        end
+      done;
+      if !best < 0 || !best_t > we then continue := false
+      else begin
+        let i = !best in
+        let h = t.pend_head.(i) in
+        let cls = t.pend_c.(i).(h) in
+        t.pend_head.(i) <- h + 1;
+        if prio then pa_push t egress cls !best_t
+        else step_fifo t egress cls !best_t
+      end
+    done;
+    for i = 0 to m - 1 do
+      let h = t.pend_head.(i) in
+      if h > 0 then begin
+        let rem = t.pend_len.(i) - h in
+        if rem > 0 then begin
+          Array.blit t.pend_t.(i) h t.pend_t.(i) 0 rem;
+          Array.blit t.pend_c.(i) h t.pend_c.(i) 0 rem
+        end;
+        t.pend_head.(i) <- 0;
+        t.pend_len.(i) <- rem
+      end
+    done;
+    if prio then run_priority t egress ~w:we
+  end
+  else begin
+    (* Tandem: FIFO departures are non-decreasing, so each link's
+       pending batch cascades whole into the next; only the priority
+       server needs the watermark. *)
+    let wmc = ref wm in
+    for l = 0 to t.n_links - 1 do
+      if prio then run_priority t l ~w:!wmc;
+      let ls = last_server t l in
+      if ls > !wmc then wmc := ls;
+      if l < t.n_links - 1 then begin
+        let n = t.pend_len.(l) in
+        let pt = t.pend_t.(l) and pc = t.pend_c.(l) in
+        if prio then
+          for k = 0 to n - 1 do
+            pa_push t (l + 1) pc.(k) pt.(k)
+          done
+        else
+          for k = 0 to n - 1 do
+            step_fifo t (l + 1) pc.(k) pt.(k)
+          done;
+        t.pend_len.(l) <- 0;
+        t.pend_head.(l) <- 0
+      end
+    done
+  end
+
+(* -- public driving -------------------------------------------------- *)
+
+let push_chunk t ~times ~srcs ~pos ~len =
+  if t.finished then invalid_arg "Network.push_chunk: already finished";
+  if
+    pos < 0 || len < 0
+    || pos + len > Array.length times
+    || pos + len > Array.length srcs
+  then invalid_arg "Network.push_chunk: slice out of bounds";
+  if len > 0 then begin
+    if times.(pos) < t.last_push then
+      invalid_arg "Network.push_chunk: arrivals must be non-decreasing";
+    for j = pos + 1 to pos + len - 1 do
+      if times.(j) < times.(j - 1) then
+        invalid_arg "Network.push_chunk: arrivals must be non-decreasing"
+    done;
+    for j = pos to pos + len - 1 do
+      if srcs.(j) < 0 then
+        invalid_arg "Network.push_chunk: source ids must be >= 0"
+    done;
+    t.last_push <- times.(pos + len - 1);
+    let prio = t.disc = Priority in
+    if t.fan_in then begin
+      let m = t.n_ingress in
+      if prio then
+        for j = pos to pos + len - 1 do
+          let src = srcs.(j) in
+          pa_push t ((src asr 1) mod m) (src land 1) times.(j)
+        done
+      else
+        for j = pos to pos + len - 1 do
+          let src = srcs.(j) in
+          step_fifo t ((src asr 1) mod m) (src land 1) times.(j)
+        done
+    end
+    else if prio then
+      for j = pos to pos + len - 1 do
+        pa_push t 0 (srcs.(j) land 1) times.(j)
+      done
+    else
+      for j = pos to pos + len - 1 do
+        step_fifo t 0 (srcs.(j) land 1) times.(j)
+      done;
+    propagate t ~wm:times.(pos + len - 1)
+  end
+
+let finish t =
+  if t.finished then invalid_arg "Network.finish: already finished";
+  t.finished <- true;
+  propagate t ~wm:infinity;
+  let nc = 2 * t.n_links in
+  for i = 0 to nc - 1 do
+    if t.wlen.(i) > 0 then begin
+      Stats.Quantile_sketch.add_slice t.sk.(i) t.wbuf (i * t.wcap) t.wlen.(i);
+      t.wlen.(i) <- 0
+    end
+  done;
+  Array.init t.n_links (fun l ->
+      let fa = t.first_arr.(l) in
+      let utilization =
+        if fa <> fa then 0.
+        else begin
+          let horizon = last_server t l -. fa in
+          t.busy.(l) /. (if horizon > 1e-9 then horizon else 1e-9)
+        end
+      in
+      {
+        utilization;
+        drop_hash = t.drop_hash.(l);
+        classes =
+          Array.init 2 (fun c ->
+              let i = (2 * l) + c in
+              let sk = t.sk.(i) in
+              let q p =
+                if t.served.(i) = 0 then 0.
+                else Stats.Quantile_sketch.quantile sk p
+              in
+              {
+                served = t.served.(i);
+                dropped = t.dropped.(i);
+                mean_wait =
+                  t.sum_wait.(i) /. float_of_int (Int.max 1 t.served.(i));
+                max_wait = t.max_wait.(i);
+                p50_wait = q 0.5;
+                p99_wait = q 0.99;
+                p999_wait = q 0.999;
+                sketch = sk;
+              });
+      })

@@ -1,0 +1,110 @@
+(** Compact event-driven simulator over a handful of buffered links —
+    the production-scale consequence engine for Section VIII: feed it
+    10^8-10^9 packets from a {!Traffic.Superpose} (or Poisson) chunk
+    stream and read per-link per-class loss and waiting-time tails in
+    O(queue depth + sketch) memory.
+
+    Links run the same Lindley recursion as {!Fifo.step} (occupancy
+    counts the packet in service; [buffer] waiting slots), so a single
+    drop-tail link reproduces {!Fifo.simulate_const} exactly; the
+    priority discipline replicates {!Priority.simulate}'s two-class
+    non-preemptive server. Per-link per-class waiting times feed
+    {!Stats.Quantile_sketch} directly (accuracy 0.01 by default) via
+    the bulk [add_slice] path, and the push loop is allocation-free
+    once warm — asserted by the [Gc.minor_words] test.
+
+    Topologies are feed-forward: [Tandem k] chains k links (every
+    packet enters link 0); [Fan_in m] routes packets to one of [m]
+    ingress links by [(src lsr 1) mod m], all feeding a final egress
+    link. A packet's class is [src land 1] (0 = high / first class) in
+    every topology, so class and ingress assignment are independent
+    bits of the source id. *)
+
+type red = {
+  min_th : float;  (** Average occupancy where dropping starts. *)
+  max_th : float;  (** Average occupancy where the drop rate hits 1. *)
+  max_p : float;  (** Drop probability as the average reaches [max_th]. *)
+  weight : float;  (** EWMA weight of the instantaneous occupancy. *)
+}
+(** Simplified RED: on each arrival the average occupancy is updated as
+    [(1 - weight) * avg + weight * q] (q = post-drain ring length) and
+    the packet is dropped with probability {!red_drop_prob}[ r avg] —
+    no count-since-last-drop spreading. Occupancy overflow past
+    [buffer] still drops unconditionally. *)
+
+type discipline =
+  | Drop_tail
+  | Red of red
+  | Priority
+      (** Two-class non-preemptive priority ({!Priority.simulate}
+          semantics): class 0 preempts the {e decision}, never the
+          packet in service. Infinite queue — [buffer] is ignored. *)
+
+type topology = Tandem of int | Fan_in of int
+
+type class_stats = {
+  served : int;
+  dropped : int;
+  mean_wait : float;
+  max_wait : float;
+  p50_wait : float;
+  p99_wait : float;
+  p999_wait : float;  (** Sketch quantiles; [0.] when nothing served. *)
+  sketch : Stats.Quantile_sketch.t;
+      (** The live waiting-time sketch — mergeable across replicas in
+          worker-index order, which is what [wanpoisson netsim] ships
+          as kind-5 partials. *)
+}
+
+type link_stats = {
+  utilization : float;  (** busy / (last departure - first arrival). *)
+  drop_hash : int;
+      (** Deterministic fingerprint of the drop sequence (a pure
+          function of dropped entry times in drop order): byte-equal
+          across chunk sizes iff the loss sequences are identical. *)
+  classes : class_stats array;  (** Length 2: class 0 (high), 1 (low). *)
+}
+
+type t
+
+val create :
+  ?sketch_accuracy:float ->
+  ?services_low:float array ->
+  ?seed:int ->
+  topology:topology ->
+  discipline:discipline ->
+  buffer:int ->
+  services:float array ->
+  unit ->
+  t
+(** Deterministic per-link service times, one per link ([services_low]
+    gives the priority low class its own times; defaults to
+    [services]). [seed] keys the per-link RED uniform streams (split in
+    link order). Raises [Invalid_argument] on: links outside [1, 8]
+    (ingress [1, 7]), a service list of the wrong length or with
+    non-positive entries, [buffer] outside [0, 1_000_000], or bad RED
+    parameters. *)
+
+val push_chunk :
+  t -> times:float array -> srcs:int array -> pos:int -> len:int -> unit
+(** Feed arrivals [times.(pos .. pos+len-1)] with source ids
+    [srcs.(pos ..)] — the {!Traffic.Superpose.iter} callback shape.
+    Times must be non-decreasing within and across chunks. Results are
+    independent of how the stream is chunked. Allocation-free once the
+    internal buffers reach steady size. Raises [Invalid_argument] on a
+    bad slice, negative source id, time regression, or after
+    {!finish}. *)
+
+val finish : t -> link_stats array
+(** Drain everything in flight, flush the wait staging into the
+    sketches and return per-link stats (index = link; tandem packets
+    flow 0, 1, ...; fan-in puts the egress last). At most once. *)
+
+val red_drop_prob : red -> float -> float
+(** [red_drop_prob r avg] is the drop probability at average occupancy
+    [avg]: [0] below [min_th], [1] at or above [max_th], linear ramp to
+    [max_p] in between — the exact function the simulator applies,
+    exposed for the monotonicity test. *)
+
+val packet_class : int -> int
+(** [packet_class src = src land 1]. *)

@@ -28,7 +28,7 @@ type t = {
 let epsilon = 1e-12
 let small_n = 4096
 
-let index_of ~inv_log_gamma x =
+let[@inline] index_of ~inv_log_gamma x =
   (* ceil via [Float.round (v +. 0.5)] would misbehave at exact
      integers; int_of_float truncation after ceil is safe because
      indices stay within a few thousand of 0 for any representable
@@ -88,6 +88,53 @@ let add t x =
     in
     bump t.tbl i 1
   end
+
+(* Bulk [add] for the zero-alloc queueing fast path: same accumulation
+   order as [len] repeated [add]s (so the resulting sketch is
+   bit-identical), but the scalar stats ride in local accumulators and
+   the bucket bump goes through [Hashtbl.find] + a constant [Not_found]
+   instead of [find_opt]'s [Some] box. After the table has seen every
+   bucket the input distribution reaches, the per-sample cost is an
+   array/hash read and an integer increment — no minor allocation
+   (the boxed float stores for the scalar fields happen once per slice,
+   as does any new-bucket [ref]). *)
+let add_slice t xs pos len =
+  if pos < 0 || len < 0 || pos + len > Array.length xs then
+    invalid_arg "Quantile_sketch.add_slice: slice out of bounds";
+  for j = pos to pos + len - 1 do
+    let x = xs.(j) in
+    if not (Float.is_finite x) || x < 0. then
+      invalid_arg "Quantile_sketch.add_slice: sample must be finite and >= 0"
+  done;
+  let inv_log_gamma = t.inv_log_gamma in
+  let small = t.small in
+  let tbl = t.tbl in
+  let total = ref t.total in
+  let mn = ref t.mn in
+  let mx = ref t.mx in
+  let zero = ref t.zero in
+  for j = pos to pos + len - 1 do
+    let x = xs.(j) in
+    total := !total +. x;
+    if x < !mn then mn := x;
+    if x > !mx then mx := x;
+    if x <= epsilon then incr zero
+    else begin
+      let xi = int_of_float x in
+      let i =
+        if xi > 0 && xi < small_n && float_of_int xi = x then small.(xi)
+        else index_of ~inv_log_gamma x
+      in
+      match Hashtbl.find tbl i with
+      | r -> incr r
+      | exception Not_found -> Hashtbl.add tbl i (ref 1)
+    end
+  done;
+  t.n <- t.n + len;
+  t.total <- !total;
+  t.mn <- !mn;
+  t.mx <- !mx;
+  t.zero <- !zero
 
 let sorted_buckets t =
   let bs =

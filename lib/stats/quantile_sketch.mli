@@ -55,6 +55,16 @@ val add : t -> float -> unit
     non-finite samples (waiting times, inter-arrivals and bin counts
     are all nonnegative; a signed variant would need a mirrored grid). *)
 
+val add_slice : t -> float array -> int -> int -> unit
+(** [add_slice t xs pos len] records [xs.(pos .. pos+len-1)] — exactly
+    equivalent to that many {!add}s (bit-identical resulting sketch),
+    but allocation-free per sample in steady state: scalar stats ride
+    local accumulators stored back once per slice, and the bucket bump
+    avoids [find_opt]'s option box. The bulk entry point for the
+    zero-alloc queueing fast path ([Queueing.Network] wait slices).
+    Validates the whole slice before mutating anything; raises
+    [Invalid_argument] on a bad slice or sample. *)
+
 val count : t -> int
 val min : t -> float
 (** Exact observed extremes; [nan] while empty. *)

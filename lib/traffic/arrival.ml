@@ -5,70 +5,29 @@ let is_sorted xs =
   done;
   !ok
 
-(* K-way merge of individually sorted sources into [out] via a binary
-   min-heap keyed on each source's current head. O(N log k) instead of the
-   O(N log N) concat-and-sort, and the traces merge hundreds of sorted
+(* K-way merge of individually sorted sources into [out] via the shared
+   {!Fheap} index-heap, keyed on each source's current head with the
+   source index as payload. O(N log k) instead of the O(N log N)
+   concat-and-sort, and the traces merge hundreds of sorted
    per-connection arrays. Equal elements are floats, so any tie order
    yields the same output array. *)
 let kway arrays out =
   let k = Array.length arrays in
   let idx = Array.make k 0 in
-  let hv = Array.make k 0. in
-  let hs = Array.make k 0 in
-  let size = ref 0 in
-  let swap i j =
-    let v = hv.(i) and s = hs.(i) in
-    hv.(i) <- hv.(j);
-    hs.(i) <- hs.(j);
-    hv.(j) <- v;
-    hs.(j) <- s
-  in
-  let rec up i =
-    if i > 0 then begin
-      let p = (i - 1) / 2 in
-      if hv.(i) < hv.(p) then begin
-        swap i p;
-        up p
-      end
-    end
-  in
-  let rec down i =
-    let l = (2 * i) + 1 and r = (2 * i) + 2 in
-    let m = ref i in
-    if l < !size && hv.(l) < hv.(!m) then m := l;
-    if r < !size && hv.(r) < hv.(!m) then m := r;
-    if !m <> i then begin
-      swap i !m;
-      down !m
-    end
-  in
+  let h = Fheap.create ~cap:(Int.max 1 k) () in
   Array.iteri
-    (fun s a ->
-      if Array.length a > 0 then begin
-        hv.(!size) <- a.(0);
-        hs.(!size) <- s;
-        incr size;
-        up (!size - 1)
-      end)
+    (fun s a -> if Array.length a > 0 then Fheap.push h a.(0) s)
     arrays;
   let pos = ref 0 in
-  while !size > 0 do
-    let s = hs.(0) in
-    out.(!pos) <- hv.(0);
+  while not (Fheap.is_empty h) do
+    let s = Fheap.min_val h in
+    out.(!pos) <- Fheap.min_key h;
     incr pos;
     let i = idx.(s) + 1 in
     idx.(s) <- i;
     let a = arrays.(s) in
-    if i < Array.length a then begin
-      hv.(0) <- a.(i);
-      down 0
-    end
-    else begin
-      decr size;
-      hv.(0) <- hv.(!size);
-      hs.(0) <- hs.(!size);
-      if !size > 0 then down 0
-    end
+    if i < Array.length a then Fheap.replace_min h a.(i) s
+    else Fheap.pop_min h
   done
 
 let merge lists =

@@ -1,0 +1,86 @@
+(* Structure-of-arrays binary min-heap: float keys in a [float array]
+   (unboxed storage), int payloads in an [int array]. This is the one
+   float-keyed heap in the repo: [Arrival.merge]'s k-way merge and
+   [Superpose]'s source scheduler use it directly, and the generic
+   [Queueing.Heap] is a facade that maps its ['a] payloads to slot
+   indices. Keeping keys and payloads in parallel primitive arrays means
+   no per-element tuples or boxed floats, which is what the zero-alloc
+   queueing fast path needs: [push], [min_key], [min_val], [pop_min] and
+   [replace_min] allocate nothing once the arrays have grown to peak
+   size. *)
+
+type t = {
+  mutable keys : float array;
+  mutable vals : int array;
+  mutable size : int;
+}
+
+let create ?(cap = 16) () =
+  let cap = if cap < 1 then 1 else cap in
+  { keys = Array.make cap 0.; vals = Array.make cap 0; size = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+let clear t = t.size <- 0
+
+(* Precondition for both: [size t > 0]; unchecked like any array read,
+   the heap's own bounds check is the guard. *)
+let[@inline] min_key t = t.keys.(0)
+let[@inline] min_val t = t.vals.(0)
+
+let grow t =
+  let n = 2 * Array.length t.keys in
+  let keys = Array.make n 0. and vals = Array.make n 0 in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.vals 0 vals 0 t.size;
+  t.keys <- keys;
+  t.vals <- vals
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if t.keys.(i) < t.keys.(p) then begin
+      let k = t.keys.(i) and v = t.vals.(i) in
+      t.keys.(i) <- t.keys.(p);
+      t.vals.(i) <- t.vals.(p);
+      t.keys.(p) <- k;
+      t.vals.(p) <- v;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 in
+  let r = l + 1 in
+  let m = if l < t.size && t.keys.(l) < t.keys.(i) then l else i in
+  let m = if r < t.size && t.keys.(r) < t.keys.(m) then r else m in
+  if m <> i then begin
+    let k = t.keys.(i) and v = t.vals.(i) in
+    t.keys.(i) <- t.keys.(m);
+    t.vals.(i) <- t.vals.(m);
+    t.keys.(m) <- k;
+    t.vals.(m) <- v;
+    sift_down t m
+  end
+
+let[@inline] push t key v =
+  if t.size = Array.length t.keys then grow t;
+  let i = t.size in
+  t.keys.(i) <- key;
+  t.vals.(i) <- v;
+  t.size <- i + 1;
+  sift_up t i
+
+let pop_min t =
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    t.keys.(0) <- t.keys.(n);
+    t.vals.(0) <- t.vals.(n);
+    sift_down t 0
+  end
+
+let[@inline] replace_min t key v =
+  t.keys.(0) <- key;
+  t.vals.(0) <- v;
+  sift_down t 0

@@ -1,0 +1,300 @@
+(* Many-source ON/OFF superposition in merged arrival order.
+
+   The generic path materialises one sorted array per source and k-way
+   merges them ([arrivals_naive] below keeps that path alive as the
+   benchmark baseline). This engine instead holds all per-source state
+   in structure-of-arrays form — clocks, next-emission cursors, period
+   bounds and gaps in [float array]s, phases in [Bytes] — and advances
+   the superposition window by window:
+
+   - A shared {!Fheap} schedules sources *by index*: the key is the next
+     time a source needs attention (its next emission while an ON period
+     is draining, else the start of its next undrawn period). No
+     per-event closures or tuples exist anywhere on the path.
+   - Per window [w0, w1) every due source drains its emissions into a
+     staging buffer (sequential unboxed stores; period draws happen
+     lazily when the window reaches the source clock, exactly like
+     [Onoff.iter_chunks]'s deferral rule).
+   - The staged events are then ordered by a one-digit counting sort
+     over ~2n time buckets followed by an insertion-sort pass. Locally
+     the aggregate is near-uniform, so the scatter leaves each element
+     O(1) slots from home and the whole merge costs O(1) per event —
+     the heap is consulted per source per window, not per event, which
+     is where the speedup over the per-event k-way merge comes from.
+
+   The emitted stream is canonically sorted by (time, source index), so
+   it is independent of the window/chunk size by construction. Each
+   source draws from its own [Prng.Rng.split] sub-stream (split in list
+   order) with the same per-period arithmetic as [arrivals_naive], so
+   the merged times are bit-identical to the materialise-and-merge
+   path. *)
+
+type state = {
+  n : int;
+  on_dist : (Prng.Rng.t -> float) array;
+  off_dist : (Prng.Rng.t -> float) array;
+  rngs : Prng.Rng.t array;
+  gap : float array;
+  t : float array;  (* source clock: start of the next undrawn period *)
+  e : float array;  (* next emission; active while e < stop *)
+  stop : float array;  (* emission bound of the current ON period *)
+  on : Bytes.t;  (* '\001' = the next undrawn period is ON *)
+}
+
+let make_state sources rng =
+  let srcs = Array.of_list sources in
+  let n = Array.length srcs in
+  let st =
+    {
+      n;
+      on_dist = Array.map (fun (s : Onoff.source) -> s.on_dist) srcs;
+      off_dist = Array.map (fun (s : Onoff.source) -> s.off_dist) srcs;
+      rngs = Array.map (fun _ -> rng) srcs;
+      gap = Array.map (fun (s : Onoff.source) -> 1. /. s.on_rate) srcs;
+      t = Array.make (Int.max 1 n) 0.;
+      e = Array.make (Int.max 1 n) 0.;
+      stop = Array.make (Int.max 1 n) 0.;
+      on = Bytes.make (Int.max 1 n) '\000';
+    }
+  in
+  (* Split in list order, initial phase drawn from the child — the same
+     (seed, source list) determinism rule as [Onoff.iter_chunks]. *)
+  for i = 0 to n - 1 do
+    let srng = Prng.Rng.split rng in
+    st.rngs.(i) <- srng;
+    Bytes.set st.on i (if Prng.Rng.bool srng then '\001' else '\000')
+  done;
+  st
+
+(* Mean aggregate rate if every source were ON half the time — only an
+   initial guess for the window width; the loop adapts it from observed
+   counts. *)
+let rate_guess sources =
+  let r =
+    List.fold_left (fun acc (s : Onoff.source) -> acc +. s.on_rate) 0. sources
+  in
+  let r = r /. 2. in
+  if r > 0. then r else 1.
+
+type staging = {
+  mutable ts : float array;  (* staged emission times, per-source runs *)
+  mutable ss : int array;  (* staged source ids *)
+  mutable len : int;
+  mutable counts : int array;  (* bucket histogram / scatter cursor *)
+  mutable out_t : float array;  (* scattered + repaired output chunk *)
+  mutable out_s : int array;
+}
+
+let grow_staging stage =
+  let n = 2 * Array.length stage.ts in
+  let ts = Array.make n 0. and ss = Array.make n 0 in
+  Array.blit stage.ts 0 ts 0 stage.len;
+  Array.blit stage.ss 0 ss 0 stage.len;
+  stage.ts <- ts;
+  stage.ss <- ss
+
+let[@inline] stage_push stage time src =
+  if stage.len = Array.length stage.ts then grow_staging stage;
+  stage.ts.(stage.len) <- time;
+  stage.ss.(stage.len) <- src;
+  stage.len <- stage.len + 1
+
+(* Advance source [i] to the window end: drain the current ON period's
+   emissions below [w1], drawing further periods only while the source
+   clock is inside the window. Returns the next attention key, or nan
+   when the source has crossed the horizon with nothing pending. *)
+let gen st stage i ~w1 ~horizon =
+  let gap = st.gap.(i) in
+  let continue = ref true in
+  while !continue do
+    let lim = if st.stop.(i) < w1 then st.stop.(i) else w1 in
+    while st.e.(i) < lim do
+      stage_push stage st.e.(i) i;
+      st.e.(i) <- st.e.(i) +. gap
+    done;
+    if st.e.(i) < st.stop.(i) then continue := false
+      (* paused mid-period at the window edge *)
+    else if st.t.(i) >= horizon || st.t.(i) >= w1 then continue := false
+    else if Bytes.get st.on i = '\001' then begin
+      let len = st.on_dist.(i) st.rngs.(i) in
+      let t = st.t.(i) in
+      st.stop.(i) <- Float.min horizon (t +. len);
+      st.e.(i) <- t +. (gap /. 2.);
+      st.t.(i) <- t +. len;
+      Bytes.set st.on i '\000'
+    end
+    else begin
+      st.t.(i) <- st.t.(i) +. st.off_dist.(i) st.rngs.(i);
+      Bytes.set st.on i '\001'
+    end
+  done;
+  if st.e.(i) < st.stop.(i) then st.e.(i)
+  else if st.t.(i) < horizon then st.t.(i)
+  else Float.nan
+
+let next_pow2 n =
+  let p = ref 1 in
+  while !p < n do
+    p := !p lsl 1
+  done;
+  !p
+
+(* Order the staged window: one-digit counting sort into ~2n time
+   buckets (stable, so a source's own increasing emissions keep their
+   order), then an insertion pass with (time, source) lexicographic
+   compare that repairs the within-bucket order and any boundary
+   rounding. Output is canonically sorted by (time, source). *)
+let sort_window stage ~w0 ~w1 =
+  let n = stage.len in
+  let nb = next_pow2 (2 * n) in
+  if Array.length stage.counts < nb then stage.counts <- Array.make nb 0
+  else Array.fill stage.counts 0 nb 0;
+  if Array.length stage.out_t < Array.length stage.ts then begin
+    stage.out_t <- Array.make (Array.length stage.ts) 0.;
+    stage.out_s <- Array.make (Array.length stage.ts) 0
+  end;
+  let inv_bw = float_of_int nb /. (w1 -. w0) in
+  let counts = stage.counts in
+  let ts = stage.ts and ss = stage.ss in
+  let out_t = stage.out_t and out_s = stage.out_s in
+  let last = nb - 1 in
+  for j = 0 to n - 1 do
+    let b = int_of_float ((ts.(j) -. w0) *. inv_bw) in
+    let b = if b < 0 then 0 else if b > last then last else b in
+    counts.(b) <- counts.(b) + 1
+  done;
+  let acc = ref 0 in
+  for b = 0 to last do
+    let c = counts.(b) in
+    counts.(b) <- !acc;
+    acc := !acc + c
+  done;
+  for j = 0 to n - 1 do
+    let b = int_of_float ((ts.(j) -. w0) *. inv_bw) in
+    let b = if b < 0 then 0 else if b > last then last else b in
+    let d = counts.(b) in
+    counts.(b) <- d + 1;
+    out_t.(d) <- ts.(j);
+    out_s.(d) <- ss.(j)
+  done;
+  for j = 1 to n - 1 do
+    let tj = out_t.(j) and sj = out_s.(j) in
+    let k = ref (j - 1) in
+    while
+      !k >= 0 && (out_t.(!k) > tj || (out_t.(!k) = tj && out_s.(!k) > sj))
+    do
+      out_t.(!k + 1) <- out_t.(!k);
+      out_s.(!k + 1) <- out_s.(!k);
+      decr k
+    done;
+    out_t.(!k + 1) <- tj;
+    out_s.(!k + 1) <- sj
+  done
+
+let iter ?(chunk = 65536) ~sources ~horizon rng f =
+  if not (Float.is_finite horizon) then
+    invalid_arg "Superpose.iter: horizon must be finite";
+  let target = Int.max 16 chunk in
+  if horizon > 0. && sources <> [] then begin
+    let st = make_state sources rng in
+    let sched = Fheap.create ~cap:st.n () in
+    for i = 0 to st.n - 1 do
+      Fheap.push sched 0. i
+    done;
+    let stage =
+      {
+        ts = Array.make target 0.;
+        ss = Array.make target 0;
+        len = 0;
+        counts = [||];
+        out_t = [||];
+        out_s = [||];
+      }
+    in
+    let dt = ref (float_of_int target /. rate_guess sources) in
+    while not (Fheap.is_empty sched) do
+      (* Jump the window start to the earliest pending source: idle gaps
+         cost nothing. *)
+      let w0 = Fheap.min_key sched in
+      let w1 = Float.min horizon (w0 +. !dt) in
+      stage.len <- 0;
+      while (not (Fheap.is_empty sched)) && Fheap.min_key sched < w1 do
+        let i = Fheap.min_val sched in
+        Fheap.pop_min sched;
+        let key = gen st stage i ~w1 ~horizon in
+        if not (Float.is_nan key) then Fheap.push sched key i
+      done;
+      if stage.len > 0 then begin
+        sort_window stage ~w0 ~w1;
+        f stage.out_t stage.out_s stage.len;
+        (* Multiplicative window adaptation toward [target] events per
+           window, damped to [x0.5, x2] per step. *)
+        let ratio = float_of_int target /. float_of_int stage.len in
+        let ratio = if ratio < 0.5 then 0.5 else if ratio > 2. then 2. else ratio in
+        dt := !dt *. ratio
+      end
+      else dt := !dt *. 2.
+        (* every due source only drew periods: widen so we do not spin *)
+    done
+  end
+
+let arrivals ?chunk ~sources ~horizon rng =
+  let buf = ref (Array.make 1024 0.) in
+  let n = ref 0 in
+  iter ?chunk ~sources ~horizon rng (fun ts _ len ->
+      let cap = Array.length !buf in
+      if !n + len > cap then begin
+        let c = ref (2 * cap) in
+        while !n + len > !c do
+          c := 2 * !c
+        done;
+        let b = Array.make !c 0. in
+        Array.blit !buf 0 b 0 !n;
+        buf := b
+      end;
+      Array.blit ts 0 !buf !n len;
+      n := !n + len);
+  Array.sub !buf 0 !n
+
+let arrivals_naive ~sources ~horizon rng =
+  (* The pre-engine idiom this module replaces: materialise one sorted
+     array per source (same split order, same per-period arithmetic and
+     draw order as [iter], so the times are bit-identical), then k-way
+     merge. Kept as the [superpose-merge-1k-1e7] benchmark baseline and
+     the byte-identity oracle. *)
+  let per_source =
+    List.map
+      (fun (src : Onoff.source) ->
+        let srng = Prng.Rng.split rng in
+        let on = ref (Prng.Rng.bool srng) in
+        let gap = 1. /. src.on_rate in
+        let buf = ref (Array.make 1024 0.) in
+        let n = ref 0 in
+        let push x =
+          if !n = Array.length !buf then begin
+            let b = Array.make (2 * !n) 0. in
+            Array.blit !buf 0 b 0 !n;
+            buf := b
+          end;
+          !buf.(!n) <- x;
+          incr n
+        in
+        let t = ref 0. in
+        while !t < horizon do
+          if !on then begin
+            let len = src.on_dist srng in
+            let stop = Float.min horizon (!t +. len) in
+            let e = ref (!t +. (gap /. 2.)) in
+            while !e < stop do
+              push !e;
+              e := !e +. gap
+            done;
+            t := !t +. len
+          end
+          else t := !t +. src.off_dist srng;
+          on := not !on
+        done;
+        Array.sub !buf 0 !n)
+      sources
+  in
+  Arrival.merge per_source

@@ -1,0 +1,49 @@
+(** Structure-of-arrays many-source ON/OFF superposition in merged
+    arrival order (Section VII-B at production scale).
+
+    Per-source state — clock, next-emission cursor, ON-period bound,
+    emission gap, phase — lives in unboxed [float array]/[Bytes]
+    columns; a shared {!Fheap} schedules sources by {e index} (key =
+    next time the source needs attention), and each adaptive time
+    window is ordered by a counting-sort + insertion pass instead of a
+    per-event heap. No per-event closures, tuples or boxed floats.
+
+    Each source draws from its own {!Prng.Rng.split} sub-stream (split
+    in list order, initial ON/OFF phase from the child's first coin),
+    with the same per-period arithmetic as {!Onoff.add_source}: an ON
+    period of length [l] starting at [t] emits at [t + gap/2, t +
+    3gap/2, ...) below [min horizon (t + l)] with [gap = 1 /
+    on_rate]. The merged times are therefore bit-identical to
+    materialising every source and k-way merging ({!arrivals_naive}). *)
+
+val iter :
+  ?chunk:int ->
+  sources:Onoff.source list ->
+  horizon:float ->
+  Prng.Rng.t ->
+  (float array -> int array -> int -> unit) ->
+  unit
+(** [iter ~sources ~horizon rng f] emits every arrival in [0, horizon)
+    as [f times srcs len]: [times.(0..len-1)] are the merged arrival
+    times, [srcs.(j)] the index (in list order) of the emitting source.
+    The stream is canonically sorted by (time, source index), so the
+    concatenated output is independent of [chunk] (default 65536, the
+    {e target} events per callback — actual slices vary around it as
+    the window width adapts). Both arrays are reused buffers — copy
+    anything kept beyond the call. Raises [Invalid_argument] on a
+    non-finite horizon. *)
+
+val arrivals :
+  ?chunk:int ->
+  sources:Onoff.source list ->
+  horizon:float ->
+  Prng.Rng.t ->
+  float array
+(** Materialised [iter]: the merged sorted arrival-time array. *)
+
+val arrivals_naive :
+  sources:Onoff.source list -> horizon:float -> Prng.Rng.t -> float array
+(** The replaced idiom, kept as benchmark baseline and byte-identity
+    oracle: materialise one sorted array per source (identical RNG
+    split order and per-period arithmetic to {!iter}), then
+    {!Arrival.merge}. Same result as {!arrivals}, bit for bit. *)
